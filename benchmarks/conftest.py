@@ -1,0 +1,29 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one table or figure from the paper, times the
+generation with pytest-benchmark, asserts the paper's qualitative claims,
+and records the rendered rows/series to ``benchmarks/results/<name>.txt``
+(also echoed to stdout when run with ``-s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record(request):
+    """Write a rendered artifact to benchmarks/results/ and echo it."""
+
+    def _record(text: str, name: str = "") -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stem = name or request.node.name.replace("/", "_")
+        path = RESULTS_DIR / f"{stem}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,82 @@
+"""Extension: bandwidth crossover and energy for the Table II designs.
+
+The paper motivates fusion by bandwidth and energy (Sections I-II) but
+reports only transfer volume. These benches quantify both for the actual
+Table II design pair: at what DRAM bandwidth does the baseline go
+memory-bound, and how much per-image energy does fusion save?
+"""
+
+import pytest
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import render_table
+from repro.hw import (
+    bandwidth_sweep,
+    estimate_energy,
+    memory_bound_threshold,
+    optimize_baseline,
+    optimize_fused,
+)
+from repro.core.costs import one_pass_ops
+
+GB = 2 ** 30
+
+
+@pytest.fixture(scope="module")
+def designs():
+    levels = extract_levels(vggnet_e().prefix(5))
+    return (levels,
+            optimize_fused(levels, dsp_budget=2987),
+            optimize_baseline(levels, dsp_budget=2880))
+
+
+def test_bandwidth_crossover(benchmark, record, designs):
+    levels, fused, baseline = designs
+    bandwidths = [0.5, 1, 2, 4, 8, 16, 32, 64, 128]
+
+    points = benchmark(
+        bandwidth_sweep,
+        fused.total_cycles, fused.feature_transfer_bytes,
+        baseline.total_cycles, baseline.feature_transfer_bytes,
+        bandwidths,
+    )
+    record(render_table(
+        ["bytes/cycle", "GB/s @100MHz", "fused kcyc", "baseline kcyc", "fused speedup"],
+        [(p.bytes_per_cycle, f"{p.bytes_per_cycle * 100e6 / GB:.1f}",
+          f"{p.fused_cycles / 1e3:.0f}", f"{p.baseline_cycles / 1e3:.0f}",
+          f"{p.speedup:.2f}x") for p in points],
+    ), "ablation_bandwidth_crossover")
+
+    # The baseline needs ~6 bytes/cycle to stay compute-bound; the fused
+    # design streams happily below 1.
+    base_threshold = memory_bound_threshold(baseline.total_cycles,
+                                            baseline.feature_transfer_bytes)
+    fused_threshold = memory_bound_threshold(fused.total_cycles,
+                                             fused.feature_transfer_bytes)
+    assert fused_threshold < base_threshold / 10
+    # Starved of bandwidth, fused wins big; with abundant bandwidth the
+    # two designs converge to their compute times.
+    assert points[0].speedup > 4
+    assert points[-1].speedup == pytest.approx(
+        baseline.total_cycles / fused.total_cycles, rel=0.01)
+
+
+def test_energy_comparison(benchmark, record, designs):
+    levels, fused, baseline = designs
+    ops = one_pass_ops(levels)
+
+    def estimate():
+        return (estimate_energy("fused", fused.feature_transfer_bytes, ops),
+                estimate_energy("baseline", baseline.feature_transfer_bytes, ops))
+
+    fused_e, base_e = benchmark(estimate)
+    record(render_table(
+        ["design", "DRAM mJ", "SRAM mJ", "compute mJ", "total mJ", "DRAM %"],
+        [(e.name, f"{e.dram_j * 1e3:.2f}", f"{e.sram_j * 1e3:.2f}",
+          f"{e.compute_j * 1e3:.2f}", f"{e.total_j * 1e3:.2f}",
+          f"{e.dram_fraction:.0%}") for e in (fused_e, base_e)],
+    ), "ablation_energy")
+
+    # Fusion removes ~94% of feature-map DRAM energy.
+    assert fused_e.dram_j < 0.1 * base_e.dram_j
+    assert fused_e.total_j < base_e.total_j

@@ -1,0 +1,53 @@
+"""Ablation: buffering the group input vs re-reading its halo from DRAM.
+
+The paper's design reads every input element exactly once (Figure 3's
+green circles are the only new loads). Dropping the input-level BL/BT
+buffers makes each pyramid re-fetch its window overlap from DRAM. This
+bench measures that halo traffic with the executed simulator.
+"""
+
+import numpy as np
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import render_table
+from repro.nn.network import Network
+from repro.nn.shapes import TensorShape
+from repro.sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+
+def scaled_vgg5():
+    sliced = vggnet_e().prefix(5)
+    shape = sliced.input_shape
+    return Network(sliced.name, TensorShape(shape.channels, shape.height // 4,
+                                            shape.width // 4), sliced.specs)
+
+
+def test_ablation_input_reuse(benchmark, record):
+    levels = extract_levels(scaled_vgg5())
+    x = make_input(levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(levels, integer=True)
+    expected = reference.run(x)
+
+    def run(input_reuse):
+        executor = FusedExecutor(levels, params=reference.params,
+                                 integer=True, input_reuse=input_reuse)
+        trace = TrafficTrace()
+        out = executor.run(x, trace)
+        return out, trace, executor
+
+    out_buffered, buffered, exec_buffered = run(True)
+    out_halo, halo, _ = benchmark.pedantic(run, args=(False,),
+                                           rounds=1, iterations=1)
+    np.testing.assert_array_equal(expected, out_buffered)
+    np.testing.assert_array_equal(expected, out_halo)
+
+    record(render_table(
+        ["variant", "input words read", "x input size"],
+        [("buffered (paper)", buffered.reads_for("input"),
+          f"{buffered.reads_for('input') / x.size:.2f}"),
+         ("halo re-read", halo.reads_for("input"),
+          f"{halo.reads_for('input') / x.size:.2f}")],
+    ), "ablation_input_reuse")
+
+    assert buffered.reads_for("input") == x.size      # exactly once
+    assert halo.reads_for("input") > 1.5 * x.size     # significant halo

@@ -1,0 +1,43 @@
+"""Ablation: arithmetic precision (the paper's fixed fp32 choice).
+
+The paper uses single-precision floats "for ease of comparison with
+prior work"; the fused-layer technique itself is precision-agnostic.
+Rescaling the Table II design: fp16 halves both the 3.64 MB transfer and
+the 363 KB of reuse buffers while hosting the same parallelism in 40% of
+the DSP slices; int16 (one MAC per DSP48E1) needs only 20%.
+"""
+
+import pytest
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import render_table
+from repro.core.costs import group_transfer, reuse_storage_bytes
+from repro.hw.precision import FP16, FP32, INT16, precision_summary
+
+
+def sweep_precisions():
+    levels = extract_levels(vggnet_e().prefix(5))
+    transfer = group_transfer(levels).feature_map_bytes
+    storage = reuse_storage_bytes(levels)
+    return [precision_summary(transfer, storage, 2880, p)
+            for p in (FP32, FP16, INT16)]
+
+
+def test_ablation_precision(benchmark, record):
+    summaries = benchmark(sweep_precisions)
+    record(render_table(
+        ["precision", "transfer MB", "reuse KB", "DSP for 576 lanes"],
+        [(s.precision.name, f"{s.transfer_mb:.2f}", f"{s.storage_kb:.1f}",
+          s.dsp_for_same_lanes) for s in summaries],
+    ), "ablation_precision")
+
+    fp32, fp16, int16 = summaries
+    # The paper's numbers at fp32.
+    assert fp32.transfer_mb == pytest.approx(3.64, abs=0.01)
+    assert fp32.storage_kb == pytest.approx(363, abs=1)
+    # fp16: everything halves at iso-parallelism.
+    assert fp16.transfer_mb == pytest.approx(fp32.transfer_mb / 2, rel=0.01)
+    assert fp16.storage_kb == pytest.approx(fp32.storage_kb / 2, rel=0.01)
+    assert fp16.dsp_for_same_lanes == 1152
+    # int16: one MAC per DSP48E1.
+    assert int16.dsp_for_same_lanes == 576

@@ -1,0 +1,43 @@
+"""Ablation: reuse vs recompute across fusion depths.
+
+DESIGN.md calls out the intermediate-data strategy as the paper's key
+design choice (Section III-C). This sweep fuses progressively deeper
+VGGNet-E prefixes under both strategies, showing why the paper commits
+to reuse: storage grows gently while recompute blows up super-linearly.
+"""
+
+from repro import Strategy, analyze_group, extract_levels, vggnet_e
+from repro.analysis import render_table
+
+KB = 2 ** 10
+
+
+def sweep_depths(max_convs: int = 5):
+    rows = []
+    for depth in range(2, max_convs + 1):
+        levels = extract_levels(vggnet_e().prefix(depth))
+        reuse = analyze_group(levels, Strategy.REUSE)
+        recompute = analyze_group(levels, Strategy.RECOMPUTE)
+        rows.append((depth, reuse, recompute))
+    return rows
+
+
+def test_ablation_reuse_vs_recompute_depth(benchmark, record):
+    rows = benchmark.pedantic(sweep_depths, rounds=1, iterations=1)
+    record(render_table(
+        ["convs fused", "reuse KB", "recompute extra Gops", "ops factor"],
+        [(d, f"{r.extra_storage_bytes / KB:.1f}",
+          f"{rc.extra_ops / 1e9:.1f}", f"{rc.ops_increase_factor:.2f}x")
+         for d, r, rc in rows],
+    ), "ablation_strategy_depth")
+
+    storages = [r.extra_storage_bytes for _, r, _ in rows]
+    overheads = [rc.extra_ops for _, _, rc in rows]
+    factors = [rc.ops_increase_factor for _, _, rc in rows]
+    # Both costs grow with depth...
+    assert storages == sorted(storages)
+    assert overheads == sorted(overheads)
+    # ...but the recompute *factor* keeps worsening while reuse storage
+    # stays a few hundred KB for the 5-layer fusion.
+    assert factors[-1] > factors[0]
+    assert storages[-1] < 512 * KB

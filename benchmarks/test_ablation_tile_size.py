@@ -1,0 +1,52 @@
+"""Ablation: pyramid tip (output tile) size.
+
+The Section III-B model fixes the tip at 1x1; the FPGA design is free to
+use larger tiles. Larger tips shrink the recompute overhead and the
+relative halo, but grow the working tiles (on-chip window buffers) and
+the BL reuse buffers. This sweep quantifies that trade-off on the
+VGGNet-E five-layer fusion — the design choice behind the paper's X/Y
+calcparams parameters.
+"""
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import render_table
+from repro.core.costs import recompute_overhead_ops, reuse_storage_bytes
+from repro.core.pyramid import build_pyramid
+
+KB = 2 ** 10
+
+
+def sweep_tips(levels, tips):
+    rows = []
+    for tip in tips:
+        geometry = build_pyramid(levels, tip, tip)
+        window_words = sum(t.in_h * t.in_w * t.level.in_channels
+                           for t in geometry.tiles)
+        rows.append((
+            tip,
+            geometry.base_h,
+            reuse_storage_bytes(levels, tip, tip),
+            window_words * 4,
+            recompute_overhead_ops(levels, tip, tip),
+        ))
+    return rows
+
+
+def test_ablation_tip_size(benchmark, record):
+    levels = extract_levels(vggnet_e().prefix(5))
+    tips = (1, 2, 4, 7, 14, 28)
+    rows = benchmark.pedantic(sweep_tips, args=(levels, tips),
+                              rounds=1, iterations=1)
+    record(render_table(
+        ["tip", "base tile", "reuse KB", "window KB", "recompute extra Gops"],
+        [(t, b, f"{s / KB:.1f}", f"{w / KB:.1f}", f"{r / 1e9:.2f}")
+         for t, b, s, w, r in rows],
+    ), "ablation_tip_size")
+
+    base_tiles = [b for _, b, _, _, _ in rows]
+    windows = [w for _, _, _, w, _ in rows]
+    recompute = [r for _, _, _, _, r in rows]
+    # Bigger tips -> bigger bases and window buffers, less recompute.
+    assert base_tiles == sorted(base_tiles)
+    assert windows == sorted(windows)
+    assert recompute == sorted(recompute, reverse=True)

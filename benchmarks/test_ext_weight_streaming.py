@@ -1,0 +1,62 @@
+"""Extension: where fusion stops paying — the weight-traffic crossover.
+
+Figure 2 shows feature maps dominating the first eight VGG layers and
+weights dominating beyond. This bench turns that into accelerator
+traffic: per conv stage, the feature-map movement fusion could eliminate
+versus the weight movement it cannot (weights must cross the chip
+boundary at least once; late layers that cannot keep them resident
+stream them per spatial tile). Fusion's leverage concentrates exactly
+where the paper applies it.
+"""
+
+import pytest
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import render_table
+from repro.hw.baseline import group_stages, stage_cost
+from repro.hw.device import VIRTEX7_690T
+from repro.hw.resources import weights_fit_on_chip
+
+MB = 2 ** 20
+
+
+def sweep_stages():
+    levels = extract_levels(vggnet_e().feature_extractor())
+    stages = group_stages(levels)
+    rows = []
+    for stage in stages:
+        resident = weights_fit_on_chip([stage.conv], VIRTEX7_690T)
+        out = stage.conv.out_shape
+        tile = min(56, out.height)
+        cost = stage_cost(stage, tm=64, tn=9, tr=tile, tc=tile,
+                          weights_resident=resident)
+        rows.append((stage, cost, resident))
+    return rows
+
+
+def test_weight_traffic_crossover(benchmark, record):
+    rows = benchmark.pedantic(sweep_stages, rounds=1, iterations=1)
+    record(render_table(
+        ["stage", "feature MB", "weight MB", "resident", "feature share"],
+        [(s.name, f"{c.feature_words * 4 / MB:.2f}",
+          f"{c.weight_words * 4 / MB:.2f}", r,
+          f"{c.feature_words / (c.feature_words + c.weight_words):.0%}")
+         for s, c, r in rows],
+    ), "ext_weight_streaming")
+
+    features = [c.feature_words for _, c, _ in rows]
+    weights = [c.weight_words for _, c, _ in rows]
+    residents = [r for _, _, r in rows]
+
+    # Early stages: feature-dominated with resident weights — the regime
+    # the paper fuses.
+    assert all(residents[:5])
+    assert all(f > w for f, w in zip(features[:5], weights[:5]))
+    # Late stages: weights no longer fit and dominate the traffic — the
+    # regime where fusing feature maps cannot help much.
+    assert not any(residents[-4:])
+    assert all(w > f for f, w in zip(features[-4:], weights[-4:]))
+    # Fusion's addressable traffic (features) is concentrated up front.
+    early_features = sum(features[:5])
+    late_features = sum(features[-4:])
+    assert early_features > 4 * late_features

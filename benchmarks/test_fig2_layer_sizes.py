@@ -1,0 +1,26 @@
+"""Figure 2: input/output/weight sizes per VGGNet-E conv stage.
+
+Regenerates the bar-chart data (pooling merged into the prior conv) and
+checks the paper's prose claims about it.
+"""
+
+import pytest
+
+from repro.analysis import figure2_series, render_figure2
+
+
+def test_figure2_vgg_layer_sizes(benchmark, record):
+    rows = benchmark(figure2_series)
+    record(render_figure2(rows), "fig2_vgg_layer_sizes")
+
+    assert len(rows) == 16
+    first = rows[0]
+    # "the first convolutional layer requires 0.6MB of input and 7KB of
+    # weights; it produces 12.3MB of output feature maps"
+    assert first.input_mb == pytest.approx(0.574, abs=0.01)
+    assert first.output_mb == pytest.approx(12.25, abs=0.05)
+    assert first.weights_mb * 1024 == pytest.approx(7, abs=0.3)
+    # "In the first eight layers, the sum of the inputs and outputs is
+    # much higher than the weights; beyond that, the weights dominate."
+    assert all(r.feature_mb > r.weights_mb for r in rows[:8])
+    assert all(r.weights_mb > r.feature_mb for r in rows[8:])

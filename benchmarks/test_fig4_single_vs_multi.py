@@ -1,0 +1,52 @@
+"""Figure 4: a single pyramid versus multi-pyramid decompositions.
+
+The figure's narrative, quantified in hardware: fusing everything into
+one pyramid minimizes DRAM transfer but needs the largest buffers; each
+extra pyramid boundary trades a DRAM round-trip of its feature map for
+smaller per-engine storage.
+"""
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import render_table
+from repro.hw.multi import design_partition
+
+MB = 2 ** 20
+
+
+def sweep_partitions(levels, partitions, dsp_budget=2880):
+    designs = []
+    for sizes in partitions:
+        designs.append((sizes, design_partition(levels, sizes, dsp_budget=dsp_budget)))
+    return designs
+
+
+def test_figure4_single_vs_multi(benchmark, record):
+    levels = extract_levels(vggnet_e().prefix(5))
+    partitions = [(7,), (3, 4), (3, 1, 3), (1,) * 7]
+    designs = benchmark.pedantic(sweep_partitions, args=(levels, partitions),
+                                 rounds=1, iterations=1)
+
+    record(render_table(
+        ["partition", "engines", "transfer MB", "latency kcyc",
+         "interval kcyc", "max engine BRAM"],
+        [(str(sizes), len(d.engines),
+          f"{d.feature_transfer_bytes / MB:.2f}",
+          f"{d.latency_cycles / 1e3:.0f}",
+          f"{d.throughput_interval / 1e3:.0f}",
+          max(e.resources().bram18 for e in d.engines))
+         for sizes, d in designs],
+    ), "fig4_single_vs_multi")
+
+    by_sizes = {sizes: d for sizes, d in designs}
+    single = by_sizes[(7,)]
+    two = by_sizes[(3, 4)]
+    lbl = by_sizes[(1,) * 7]
+
+    # Transfer: monotone in the number of cuts along this chain.
+    assert (single.feature_transfer_bytes < two.feature_transfer_bytes
+            < lbl.feature_transfer_bytes)
+    # The single pyramid's engine carries the biggest buffers.
+    single_bram = single.engines[0].resources().bram18
+    assert all(e.resources().bram18 < single_bram for e in two.engines)
+    # Per-image latency grows with cuts (each boundary serializes).
+    assert single.latency_cycles < two.latency_cycles < lbl.latency_cycles

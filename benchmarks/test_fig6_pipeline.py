@@ -1,0 +1,46 @@
+"""Figure 6: pipelining pyramids through the fused stages.
+
+Simulates the stage-by-stage schedule and checks the figure's shape:
+pyramid 2 starts its first stage as soon as pyramid 1 leaves it, and in
+steady state one pyramid completes per bottleneck interval.
+"""
+
+from repro import extract_levels, vggnet_e
+from repro.analysis import figure6_timeline, render_table
+from repro.hw import optimize_fused, simulate_pipeline
+
+
+def test_figure6_pipeline_timeline(benchmark, record):
+    levels = extract_levels(vggnet_e().prefix(5))
+    design = optimize_fused(levels, dsp_budget=2987)
+
+    entries = benchmark(figure6_timeline, design, 3)
+    text = render_table(
+        ["pyramid", "stage", "finish cycle"],
+        [(e.pyramid, e.stage, e.finish_cycle) for e in entries],
+    )
+    record(text, "fig6_pipeline_timeline")
+
+    stages = design.stage_timings()
+    by_pyramid = {}
+    for entry in entries:
+        by_pyramid.setdefault(entry.pyramid, []).append(entry.finish_cycle)
+
+    # Pyramid 2's first stage completes exactly one load after pyramid 1's.
+    assert by_pyramid[2][0] == by_pyramid[1][0] + stages[0].cycles
+    # Each pyramid finishes after its predecessor at every stage.
+    for s in range(len(stages)):
+        assert by_pyramid[1][s] < by_pyramid[2][s] < by_pyramid[3][s]
+
+
+def test_figure6_steady_state_throughput(benchmark):
+    levels = extract_levels(vggnet_e().prefix(5))
+    design = optimize_fused(levels, dsp_budget=2987)
+    stages = design.stage_timings()
+
+    schedule = benchmark(simulate_pipeline, stages, 100)
+    bottleneck = schedule.steady_state_interval
+    # Completion interval in steady state equals the bottleneck stage.
+    completions = [t[-1] for t in schedule.stage_finish]
+    gaps = {b - a for a, b in zip(completions[50:], completions[51:])}
+    assert gaps == {bottleneck}

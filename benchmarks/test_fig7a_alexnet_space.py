@@ -1,0 +1,30 @@
+"""Figure 7(a): AlexNet's fusion design space (128 partitions).
+
+Regenerates every (storage, transfer) point and the Pareto front for the
+five convolutional and three pooling layers of AlexNet.
+"""
+
+from repro import alexnet
+from repro.analysis import figure7_data, render_figure7
+
+MB = 2 ** 20
+KB = 2 ** 10
+
+
+def test_figure7a_alexnet_design_space(benchmark, record):
+    data = benchmark(figure7_data, alexnet())
+    record(render_figure7(data, front_only=True), "fig7a_alexnet_front")
+
+    # "The AlexNet CNN has five convolutional layers and three pooling
+    # layers; there are 128 possible combinations."
+    assert data.num_partitions == 128
+
+    a = data.labeled("A")
+    c = data.labeled("C")
+    assert a.storage_kb == 0
+    assert c.transfer_mb < a.transfer_mb / 4  # fusion slashes traffic
+    # Front is monotone: paying storage always buys bandwidth.
+    front = data.front
+    for left, right in zip(front, front[1:]):
+        assert left.storage_kb <= right.storage_kb
+        assert left.transfer_mb > right.transfer_mb

@@ -1,0 +1,30 @@
+"""Figure 7(b): VGGNet-E's fusion design space (64 partitions).
+
+Checks the paper's three labeled points: A (86 MB, no extra storage),
+B (25 MB, 118 KB), C (3.6 MB, 362 KB — a 24x DRAM-traffic reduction).
+"""
+
+import pytest
+
+from repro import vggnet_e
+from repro.analysis import figure7_data, render_figure7
+
+
+def test_figure7b_vgg_design_space(benchmark, record):
+    data = benchmark(figure7_data, vggnet_e(), 5)
+    record(render_figure7(data), "fig7b_vgg_space")
+
+    assert data.num_partitions == 64
+
+    a = data.labeled("A")
+    assert a.storage_kb == 0
+    assert a.transfer_mb == pytest.approx(86.3, abs=0.2)   # paper: 86 MB
+
+    b = data.labeled("B")
+    assert b.transfer_mb == pytest.approx(25, abs=0.5)     # paper: 25 MB
+    assert b.storage_kb == pytest.approx(118, rel=0.05)    # paper: 118 KB
+
+    c = data.labeled("C")
+    assert c.transfer_mb == pytest.approx(3.64, abs=0.01)  # paper: 3.6 MB
+    assert c.storage_kb == pytest.approx(362, rel=0.01)    # paper: 362 KB
+    assert a.transfer_mb / c.transfer_mb == pytest.approx(24, rel=0.02)

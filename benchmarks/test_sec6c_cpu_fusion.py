@@ -1,0 +1,75 @@
+"""Section VI-C: layer fusion on a CPU.
+
+"our experiments with a C++ implementation of layer fusion for the first
+two layers of AlexNet achieves more than 2x speedup as compared to the
+layer-by-layer approach running on a desktop CPU."
+
+We execute both schedules in the functional simulator on AlexNet's first
+two conv layers (input scaled down so the pure-Python sweep is fast) and
+report wall time plus the scale-invariant traffic ratio that drives the
+hardware speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape, extract_levels
+from repro.analysis import render_table
+from repro.sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+
+def scaled_alexnet_head() -> Network:
+    """AlexNet conv1/pool1/conv2 with real channel counts at half the
+    spatial resolution (115 -> 27 -> 13), so the Python sweep stays fast
+    while the traffic ratios keep AlexNet's channel structure."""
+    return Network("AlexNet-head/2", TensorShape(3, 115, 115), [
+        ConvSpec("conv1", out_channels=96, kernel=11, stride=4),
+        ReLUSpec("relu1"),
+        PoolSpec("pool1", kernel=3, stride=2),
+        ConvSpec("conv2", out_channels=256, kernel=5, stride=1, padding=2, groups=2),
+        ReLUSpec("relu2"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def setup():
+    levels = extract_levels(scaled_alexnet_head())
+    x = make_input(levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(levels, integer=True)
+    return levels, x, reference
+
+
+def test_sec6c_layer_by_layer(benchmark, setup):
+    levels, x, reference = setup
+    trace = TrafficTrace()
+    benchmark(reference.run, x, trace)
+    assert trace.dram_read_elements > 0
+
+
+def test_sec6c_fused(benchmark, setup, record):
+    levels, x, reference = setup
+    expected = reference.run(x)
+    fused = FusedExecutor(levels, params=reference.params, tip_h=13, tip_w=13,
+                          integer=True)
+
+    def run():
+        trace = TrafficTrace()
+        return fused.run(x, trace), trace
+
+    got, trace = benchmark(run)
+    np.testing.assert_array_equal(expected, got)
+
+    ref_trace = TrafficTrace()
+    reference.run(x, ref_trace, merge_pooling=True)
+    ratio = ref_trace.dram_total_bytes / trace.dram_total_bytes
+    record(render_table(
+        ["schedule", "DRAM KB"],
+        [("layer-by-layer", f"{ref_trace.dram_total_bytes / 1024:.1f}"),
+         ("fused", f"{trace.dram_total_bytes / 1024:.1f}"),
+         ("ratio", f"{ratio:.2f}x")],
+    ), "sec6c_cpu_fusion")
+    # Fusing two layers removes every intermediate transfer: for AlexNet's
+    # head that is a ~1.4x raw-traffic advantage (the paper's >2x CPU
+    # speedup adds the cache-locality benefit of never spilling the
+    # intermediate map out of L2).
+    assert ratio > 1.3

@@ -1,0 +1,30 @@
+"""Table I: fused vs baseline accelerator for AlexNet conv1-conv2.
+
+Paper shape: the fused design transfers ~28% less (688 vs 962 KB),
+finishes in fewer cycles (422k vs 621k), and pays for it in control
+logic (LUT/FF up ~50%). Absolute values differ from the paper because
+[19]'s exact AlexNet variant and tile parameters are not restated there;
+EXPERIMENTS.md records the deltas.
+"""
+
+import pytest
+
+from repro.analysis import render_comparison, table1
+
+
+def test_table1_alexnet_comparison(benchmark, record):
+    table = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record(render_comparison(table), "table1_alexnet")
+
+    # Off-chip transfer: fused wins by a two-digit percentage.
+    assert table.fused.transfer_kb < table.baseline.transfer_kb
+    assert 0.2 < table.transfer_reduction < 0.45  # paper: 28%
+
+    # Cycles: fused is faster on AlexNet (paper: 422 vs 621 kcycles).
+    assert table.cycle_ratio < 1.0
+
+    # Resources: within their budgets; fused pays more logic.
+    assert table.baseline.dsp <= 2240
+    assert table.fused.dsp <= 2450  # paper: 2401 vs 2240
+    assert table.fused.luts > table.baseline.luts
+    assert table.fused.ffs > table.baseline.ffs

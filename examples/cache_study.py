@@ -1,0 +1,56 @@
+"""Why fusion speeds up CPUs: a cache study (Section VI-C's mechanism).
+
+Replays the element-level address traces of the layer-by-layer and fused
+schedules — identical accesses, different order — through simulated
+caches of several sizes. Once the feature maps outgrow the cache, the
+layer-by-layer schedule re-streams them from DRAM while the fused
+schedule's misses stay near the compulsory minimum.
+
+Run:  python examples/cache_study.py
+"""
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape, extract_levels
+from repro.sim.cache import CacheSim
+from repro.sim.memtrace import build_address_map, fused_trace, reference_trace
+
+KB = 1024
+
+
+def main() -> None:
+    network = Network("cache-head", TensorShape(3, 30, 30), [
+        ConvSpec("c1", out_channels=16, kernel=3, stride=1, padding=1),
+        ReLUSpec("r1"),
+        ConvSpec("c2", out_channels=16, kernel=3, stride=1, padding=1),
+        ReLUSpec("r2"),
+        PoolSpec("p1", kernel=2, stride=2),
+    ])
+    levels = extract_levels(network)
+    amap = build_address_map(levels)
+    compulsory = amap.total_bytes // 64
+    print(f"{network.name}: data footprint {amap.total_bytes / KB:.0f} KB "
+          f"({compulsory} cache lines)\n")
+    print(f"{'cache':>8s} {'schedule':>16s} {'misses':>8s} {'DRAM lines':>11s} "
+          f"{'x compulsory':>13s}")
+
+    for cache_kb in (16, 32, 64, 256):
+        for name, make in (("layer-by-layer",
+                            lambda: reference_trace(levels, amap)),
+                           ("fused", lambda: fused_trace(levels, amap))):
+            cache = CacheSim(cache_kb * KB, line_bytes=64, ways=8)
+            stats = cache.run(make())
+            cache.flush_dirty()
+            print(f"{cache_kb:6d}KB {name:>16s} {stats.misses:8d} "
+                  f"{stats.dram_lines_transferred:11d} "
+                  f"{stats.dram_lines_transferred / compulsory:13.1f}")
+        print()
+    print("Fusion pays off once the cache holds its pyramid-row working set "
+          "but not whole maps (32-64 KB here): several-fold less DRAM "
+          "traffic at identical arithmetic — the paper's >2x CPU speedup. "
+          "Below that working set (16 KB) fusion's interleaving thrashes, "
+          "and with a cache larger than every map (256 KB) the schedules "
+          "converge — the same crossover structure the on-chip-buffer "
+          "trade-off has in hardware.")
+
+
+if __name__ == "__main__":
+    main()

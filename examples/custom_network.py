@@ -1,0 +1,75 @@
+"""Apply layer fusion to your own CNN.
+
+Defines a small face-detection-style CNN from scratch with the repro IR,
+explores its fusion space, verifies the fused schedule functionally, and
+sizes a fused accelerator for it — the full workflow on a network the
+paper never saw.
+
+Run:  python examples/custom_network.py
+"""
+
+import numpy as np
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, Strategy, TensorShape, explore
+from repro.nn.stages import extract_levels
+from repro.hw import generate_fused, optimize_fused
+from repro.sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+KB = 2 ** 10
+MB = 2 ** 20
+
+
+def build_network() -> Network:
+    """A compact detector: 64x64 grayscale in, three conv blocks."""
+    return Network(
+        "TinyDetector",
+        TensorShape(1, 64, 64),
+        [
+            ConvSpec("conv1", out_channels=16, kernel=5, stride=1, padding=2),
+            ReLUSpec("relu1"),
+            PoolSpec("pool1", kernel=2, stride=2),
+            ConvSpec("conv2", out_channels=32, kernel=3, stride=1, padding=1),
+            ReLUSpec("relu2"),
+            PoolSpec("pool2", kernel=2, stride=2),
+            ConvSpec("conv3", out_channels=64, kernel=3, stride=1, padding=1),
+            ReLUSpec("relu3"),
+        ],
+    )
+
+
+def main() -> None:
+    network = build_network()
+
+    # 1. Explore the fusion design space.
+    result = explore(network, strategy=Strategy.REUSE)
+    print(f"{network.name}: {result.num_partitions} partitions")
+    for point in result.front:
+        print(f"  {str(point.sizes):15s} {point.feature_transfer_bytes / KB:8.1f} KB"
+              f" transfer, {point.extra_storage_bytes / KB:6.1f} KB storage")
+
+    # 2. Verify the fully fused schedule functionally.
+    levels = extract_levels(network)
+    x = make_input(levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(levels, integer=True)
+    fused = FusedExecutor(levels, params=reference.params, tip_h=2, tip_w=2,
+                          integer=True)
+    trace = TrafficTrace()
+    assert np.array_equal(reference.run(x), fused.run(x, trace))
+    print(f"\nfused == layer-by-layer; traffic {trace.dram_total_bytes / KB:.1f} KB "
+          f"(vs {result.layer_by_layer.feature_transfer_bytes / KB:.1f} KB unfused), "
+          f"buffers {fused.buffer_bytes / KB:.1f} KB")
+
+    # 3. Size a fused accelerator for a mid-range FPGA budget.
+    design = optimize_fused(levels, dsp_budget=900, tip_h=2, tip_w=2)
+    print(f"\naccelerator: DSP {design.dsp}, BRAM {design.resources().bram18}, "
+          f"{design.total_cycles / 1e3:.0f}k cycles/frame")
+    for module in design.modules:
+        print(f"  {module.level.name}: Tm={module.tm} Tn={module.tn} "
+              f"{module.cycles} cycles/pyramid")
+    lines = generate_fused(design).count("\n")
+    print(f"\nHLS template: {lines} lines of C++ "
+          f"(see examples/generate_hls.py to emit it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Designer workflow: pick a fusion partition under resource budgets.
+
+The paper's exploration tool (Section V) enumerates every way to split a
+network into fused groups and reports the storage/bandwidth trade-off of
+each. This example walks the workflow an accelerator designer would use:
+
+1. sweep the whole space for AlexNet and VGGNet-E (Figure 7),
+2. pick the best partition under an on-chip storage budget,
+3. pick the best partition under a DRAM bandwidth budget,
+4. compare the reuse strategy against recompute for the chosen design.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import Strategy, alexnet, explore, vggnet_e
+from repro.core import analyze_group, units_to_levels
+
+KB = 2 ** 10
+MB = 2 ** 20
+
+
+def sweep(name, network, num_convs=None) -> None:
+    result = explore(network, num_convs=num_convs)
+    print(f"== {name}: {result.num_partitions} partitions, "
+          f"{len(result.front)} Pareto-optimal ==")
+    for point in result.front:
+        print(f"  {str(point.sizes):22s} {point.feature_transfer_bytes / MB:7.2f} MB"
+              f" {point.extra_storage_bytes / KB:8.1f} KB")
+
+    budget = 128 * KB
+    pick = result.best_under_storage(budget)
+    print(f"\nbest under a {budget // KB} KB storage budget: groups {pick.sizes} "
+          f"-> {pick.feature_transfer_bytes / MB:.2f} MB/image")
+
+    bw_budget = 20 * MB
+    pick = result.best_under_transfer(bw_budget)
+    if pick is None:
+        print(f"no partition reaches {bw_budget // MB} MB/image")
+    else:
+        print(f"best under a {bw_budget // MB} MB/image bandwidth budget: "
+              f"groups {pick.sizes} -> {pick.extra_storage_bytes / KB:.1f} KB storage")
+
+    # Strategy comparison for the fully fused design (Section III-C).
+    levels = units_to_levels(result.units)
+    reuse = analyze_group(levels, Strategy.REUSE)
+    recompute = analyze_group(levels, Strategy.RECOMPUTE)
+    print(f"\nfully fused, reuse:     {reuse.extra_storage_bytes / KB:9.1f} KB extra storage")
+    print(f"fully fused, recompute: {recompute.extra_ops / 1e6:9.1f} M extra ops "
+          f"({recompute.ops_increase_factor:.1f}x total arithmetic)")
+    print()
+
+
+def main() -> None:
+    sweep("AlexNet (5 conv + 3 pool units)", alexnet())
+    sweep("VGGNet-E first 5 convs (+2 pools)", vggnet_e(), num_convs=5)
+
+
+if __name__ == "__main__":
+    main()

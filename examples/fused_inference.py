@@ -1,0 +1,74 @@
+"""Run an actual fused-pyramid inference and verify it end to end.
+
+This is the Section VI-C experiment in miniature: the same convolutions
+evaluated (a) layer by layer and (b) as one fused pyramid sweep with BL/BT
+reuse buffers. The two schedules produce identical outputs while the
+fused one moves a fraction of the data to/from (simulated) DRAM.
+
+The input is scaled down from 224x224 so the pure-Python sweep finishes
+in seconds; the dataflow is identical at any scale.
+
+Run:  python examples/fused_inference.py [--scale 4] [--tip 2]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import extract_levels, vggnet_e
+from repro.nn.network import Network
+from repro.nn.shapes import TensorShape
+from repro.sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+MB = 2 ** 20
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=int, default=4,
+                        help="divide the 224x224 input by this factor")
+    parser.add_argument("--tip", type=int, default=2, help="pyramid tip size")
+    args = parser.parse_args()
+
+    sliced = vggnet_e().prefix(5)
+    shape = sliced.input_shape
+    network = Network(sliced.name,
+                      TensorShape(shape.channels, shape.height // args.scale,
+                                  shape.width // args.scale),
+                      sliced.specs)
+    levels = extract_levels(network)
+    x = make_input(levels[0].in_shape, integer=True)
+
+    reference = ReferenceExecutor(levels, integer=True)
+    ref_trace = TrafficTrace()
+    start = time.perf_counter()
+    expected = reference.run(x, ref_trace, merge_pooling=True)
+    ref_seconds = time.perf_counter() - start
+
+    fused = FusedExecutor(levels, params=reference.params,
+                          tip_h=args.tip, tip_w=args.tip, integer=True)
+    fused_trace = TrafficTrace()
+    start = time.perf_counter()
+    got = fused.run(x, fused_trace)
+    fused_seconds = time.perf_counter() - start
+
+    assert np.array_equal(expected, got), "schedules disagree!"
+    print(f"input {levels[0].in_shape} -> output {levels[-1].out_shape}; "
+          f"outputs bit-identical across schedules\n")
+    print(f"{'':24s}{'layer-by-layer':>16s}{'fused pyramid':>16s}")
+    print(f"{'DRAM traffic':24s}{ref_trace.dram_total_bytes / MB:15.2f}M"
+          f"{fused_trace.dram_total_bytes / MB:15.2f}M")
+    print(f"{'arithmetic (Mops)':24s}{ref_trace.ops / 1e6:15.1f} "
+          f"{fused_trace.ops / 1e6:15.1f} ")
+    print(f"{'wall time (s)':24s}{ref_seconds:15.2f} {fused_seconds:15.2f} ")
+    print(f"\nreuse buffers held {fused.buffer_bytes / 1024:.1f} KB on chip; "
+          f"traffic reduced "
+          f"{1 - fused_trace.dram_total_bytes / ref_trace.dram_total_bytes:.0%}.")
+    print("(Section VI-C reports >2x CPU speedup from fusion; wall time "
+          "here depends on NumPy dispatch overhead and varies with --tip "
+          "and --scale, while the traffic column is scale-invariant.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "Fused-Layer CNN Accelerators" (MICRO 2016).
+
+Public API tour:
+
+* :mod:`repro.nn` — CNN intermediate representation and model zoo
+  (AlexNet, VGG-16, VGGNet-E, the Figure 3 toy network).
+* :mod:`repro.core` — the paper's contribution: pyramid geometry, the
+  reuse/recompute cost models, the 2^(l-1) partition search, and the
+  Pareto-frontier exploration tool of Section V.
+* :mod:`repro.sim` — functional NumPy simulator executing both the
+  layer-by-layer and the fused pyramid schedules with DRAM-traffic
+  tracing; the two produce bit-identical outputs.
+* :mod:`repro.hw` — analytic FPGA accelerator models: the Zhang-style
+  baseline, the fused pipeline with balancing, resource estimation, a
+  discrete-event pipeline simulator, and the HLS C++ template generator.
+* :mod:`repro.analysis` — regeneration of every figure and table in the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import explore, vggnet_e
+    result = explore(vggnet_e(), num_convs=5)
+    point_c = result.fully_fused
+    print(point_c.feature_transfer_bytes / 2**20, "MB per image")
+"""
+
+from .core import (
+    ExplorationResult,
+    GroupAnalysis,
+    PartitionAnalysis,
+    Strategy,
+    analyze_group,
+    build_pyramid,
+    explore,
+    pareto_front,
+)
+from .nn import (
+    ConvSpec,
+    Network,
+    ParseError,
+    PoolSpec,
+    ReLUSpec,
+    TensorShape,
+    dump_network,
+    extract_levels,
+    parse_network,
+)
+from .nn.zoo import alexnet, googlenet_stem, nin_cifar, toynet, vgg16, vggnet_e, zfnet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvSpec",
+    "ExplorationResult",
+    "GroupAnalysis",
+    "Network",
+    "ParseError",
+    "PartitionAnalysis",
+    "PoolSpec",
+    "ReLUSpec",
+    "Strategy",
+    "TensorShape",
+    "alexnet",
+    "analyze_group",
+    "build_pyramid",
+    "dump_network",
+    "explore",
+    "extract_levels",
+    "googlenet_stem",
+    "nin_cifar",
+    "parse_network",
+    "pareto_front",
+    "toynet",
+    "vgg16",
+    "vggnet_e",
+    "zfnet",
+]

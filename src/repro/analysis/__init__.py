@@ -1,0 +1,63 @@
+"""Regeneration of every figure and table in the paper's evaluation."""
+
+from .export import comparison_csv, figure2_csv, figure7_csv, strategy_csv
+from .figures import (
+    Figure7Data,
+    LayerSizeRow,
+    PyramidLevelRow,
+    TimelineEntry,
+    TradeoffPoint,
+    figure2_series,
+    figure3_walkthrough,
+    figure6_timeline,
+    figure7_data,
+)
+from .plot import ascii_scatter, plot_figure7
+from .report import (
+    render_comparison,
+    render_figure2,
+    render_figure7,
+    render_strategy_rows,
+    render_table,
+)
+from .tables import (
+    AcceleratorRow,
+    ComparisonTable,
+    StrategyRow,
+    compare_designs,
+    reuse_vs_recompute,
+    section3c,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "AcceleratorRow",
+    "ComparisonTable",
+    "Figure7Data",
+    "LayerSizeRow",
+    "PyramidLevelRow",
+    "StrategyRow",
+    "TimelineEntry",
+    "TradeoffPoint",
+    "compare_designs",
+    "comparison_csv",
+    "figure2_csv",
+    "figure2_series",
+    "figure3_walkthrough",
+    "figure6_timeline",
+    "figure7_csv",
+    "figure7_data",
+    "plot_figure7",
+    "render_comparison",
+    "render_figure2",
+    "render_figure7",
+    "render_strategy_rows",
+    "render_table",
+    "ascii_scatter",
+    "reuse_vs_recompute",
+    "section3c",
+    "strategy_csv",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,63 @@
+"""CSV export of the regenerated figure/table data (for plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from .figures import Figure7Data, LayerSizeRow
+from .tables import ComparisonTable, StrategyRow
+
+
+def _write(headers: Sequence[str], rows) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def figure2_csv(rows: Sequence[LayerSizeRow]) -> str:
+    """Figure 2 series as CSV (index, stage, input/output/weights MB)."""
+    return _write(
+        ["index", "stage", "input_mb", "output_mb", "weights_mb"],
+        [(r.index, r.name, f"{r.input_mb:.4f}", f"{r.output_mb:.4f}",
+          f"{r.weights_mb:.4f}") for r in rows],
+    )
+
+
+def figure7_csv(data: Figure7Data) -> str:
+    """Figure 7 scatter as CSV (partition, storage KB, transfer MB, flags)."""
+    return _write(
+        ["partition", "storage_kb", "transfer_mb", "pareto", "label"],
+        [("-".join(map(str, p.sizes)), f"{p.storage_kb:.2f}",
+          f"{p.transfer_mb:.4f}", int(p.on_front), p.label)
+         for p in data.points],
+    )
+
+
+def comparison_csv(table: ComparisonTable) -> str:
+    """A Table I/II comparison as CSV (metric, fused, baseline)."""
+    rows = [
+        ("transfer_kb", f"{table.fused.transfer_kb:.1f}",
+         f"{table.baseline.transfer_kb:.1f}"),
+        ("kilo_cycles", f"{table.fused.kilo_cycles:.1f}",
+         f"{table.baseline.kilo_cycles:.1f}"),
+        ("bram", table.fused.bram, table.baseline.bram),
+        ("dsp", table.fused.dsp, table.baseline.dsp),
+        ("luts", table.fused.luts, table.baseline.luts),
+        ("ffs", table.fused.ffs, table.baseline.ffs),
+    ]
+    return _write(["metric", "fused", "baseline"], rows)
+
+
+def strategy_csv(rows: Sequence[StrategyRow]) -> str:
+    """Section III-C rows as CSV."""
+    return _write(
+        ["workload", "tip", "baseline_ops", "recompute_extra_exact",
+         "recompute_extra_adjacent", "reuse_storage_kb"],
+        [(r.workload, r.tip, r.baseline_ops, r.recompute_extra_exact,
+          r.recompute_extra_adjacent, f"{r.reuse_storage_kb:.2f}")
+         for r in rows],
+    )

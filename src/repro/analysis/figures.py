@@ -1,0 +1,201 @@
+"""Data generators for the paper's figures.
+
+Each function returns plain data (lists of dataclasses/dicts) that the
+benchmarks print and EXPERIMENTS.md records; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.explorer import ExplorationResult, explore
+from ..core.fusion import Strategy
+from ..core.pyramid import build_pyramid
+from ..nn.network import Network
+from ..nn.shapes import BYTES_PER_WORD
+from ..nn.stages import extract_levels, pooling_merged_units
+from ..nn.zoo import toynet, vggnet_e
+
+MB = float(2 ** 20)
+KB = float(2 ** 10)
+
+
+@dataclass(frozen=True)
+class LayerSizeRow:
+    """One bar of Figure 2: a conv stage (pooling merged) of VGGNet-E."""
+
+    index: int
+    name: str
+    input_mb: float
+    output_mb: float
+    weights_mb: float
+
+    @property
+    def feature_mb(self) -> float:
+        return self.input_mb + self.output_mb
+
+    @property
+    def total_mb(self) -> float:
+        return self.feature_mb + self.weights_mb
+
+
+def figure2_series(network: Optional[Network] = None) -> List[LayerSizeRow]:
+    """Input/output/weight sizes per conv stage, pooling merged (Fig. 2).
+
+    "This data combines each pooling layer with the prior convolution
+    layer; for example, layer 4 encompasses one convolutional and one
+    pooling layer."
+    """
+    net = network if network is not None else vggnet_e()
+    levels = extract_levels(net.feature_extractor())
+    units = pooling_merged_units(levels)
+    rows: List[LayerSizeRow] = []
+    for i, unit in enumerate(units, start=1):
+        rows.append(
+            LayerSizeRow(
+                index=i,
+                name=unit.name,
+                input_mb=unit.in_shape.bytes / MB,
+                output_mb=unit.out_shape.bytes / MB,
+                weights_mb=unit.weight_count * BYTES_PER_WORD / MB,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class PyramidLevelRow:
+    """One level of the Figure 3 walkthrough pyramid."""
+
+    name: str
+    kind: str
+    in_tile: Tuple[int, int]
+    out_tile: Tuple[int, int]
+    channels_in: int
+    channels_out: int
+    overlap_points_per_map: int
+
+
+def figure3_walkthrough(n: int = 4, m: int = 6, p: int = 8) -> List[PyramidLevelRow]:
+    """The two-layer fusion example of Figure 3 with a 1x1 tip.
+
+    Layer 1 sees a 5x5xN input tile and produces the 3x3xM intermediate
+    region; layer 2 consumes it to produce one output pixel across P
+    maps. Six intermediate points per map (the blue circles) overlap
+    between consecutive pyramids.
+    """
+    levels = extract_levels(toynet(n=n, m=m, p=p))
+    geometry = build_pyramid(levels, 1, 1)
+    rows: List[PyramidLevelRow] = []
+    for i, tile in enumerate(geometry.tiles):
+        level = tile.level
+        if i + 1 < len(levels):
+            consumer = geometry.tiles[i + 1]
+            overlap = consumer.in_h * (consumer.in_w - consumer.step_w)
+        else:
+            overlap = 0
+        rows.append(
+            PyramidLevelRow(
+                name=level.name,
+                kind=level.kind,
+                in_tile=(tile.in_h, tile.in_w),
+                out_tile=(tile.out_h, tile.out_w),
+                channels_in=level.in_channels,
+                channels_out=level.out_channels,
+                overlap_points_per_map=overlap,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One scatter point of Figure 7."""
+
+    sizes: Tuple[int, ...]
+    storage_kb: float
+    transfer_mb: float
+    on_front: bool
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Figure7Data:
+    """The full Figure 7 scatter for one network."""
+
+    network: str
+    num_partitions: int
+    points: Tuple[TradeoffPoint, ...]
+
+    @property
+    def front(self) -> List[TradeoffPoint]:
+        return sorted((p for p in self.points if p.on_front),
+                      key=lambda p: p.storage_kb)
+
+    def labeled(self, label: str) -> TradeoffPoint:
+        for point in self.points:
+            if point.label == label:
+                return point
+        raise KeyError(f"no point labeled {label!r}")
+
+
+def figure7_data(network: Network, num_convs: Optional[int] = None) -> Figure7Data:
+    """The full storage/transfer design space of Figure 7.
+
+    Labels the paper's three reference points: A = layer-by-layer
+    (lowest storage), C = fully fused (lowest transfer), B = the Pareto
+    point nearest the knee between them.
+    """
+    result: ExplorationResult = explore(network, num_convs=num_convs,
+                                        strategy=Strategy.REUSE)
+    front_keys = {id(p) for p in result.front}
+    from ..core.pareto import knee_point
+
+    knee = knee_point(list(result.front),
+                      cost_x=lambda p: p.extra_storage_bytes,
+                      cost_y=lambda p: p.feature_transfer_bytes)
+    points = []
+    for analysis in result.points:
+        label = ""
+        if analysis.is_layer_by_layer:
+            label = "A"
+        elif analysis.is_fully_fused:
+            label = "C"
+        elif analysis is knee:
+            label = "B"
+        points.append(
+            TradeoffPoint(
+                sizes=analysis.sizes,
+                storage_kb=analysis.extra_storage_bytes / KB,
+                transfer_mb=analysis.feature_transfer_bytes / MB,
+                on_front=id(analysis) in front_keys,
+                label=label,
+            )
+        )
+    return Figure7Data(network=result.network_name,
+                       num_partitions=result.num_partitions,
+                       points=tuple(points))
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One stage-completion event in the Figure 6 timeline."""
+
+    pyramid: int
+    stage: str
+    finish_cycle: int
+
+
+def figure6_timeline(design, num_pyramids: int = 3) -> List[TimelineEntry]:
+    """Stage completion times for the first pyramids (Figure 6 shape)."""
+    from ..hw.pipeline import simulate_pipeline
+
+    stages = design.stage_timings()
+    schedule = simulate_pipeline(stages, num_pyramids)
+    entries: List[TimelineEntry] = []
+    for item, times in enumerate(schedule.stage_finish, start=1):
+        for stage, finish in zip(stages, times):
+            entries.append(TimelineEntry(pyramid=item, stage=stage.name,
+                                         finish_cycle=finish))
+    return entries

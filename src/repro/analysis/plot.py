@@ -1,0 +1,56 @@
+"""ASCII scatter plots for terminal use (Pareto fronts, sweeps)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def ascii_scatter(points: Sequence[Tuple[float, float, str]],
+                  width: int = 64, height: int = 20,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render labeled (x, y, marker) points on a character grid.
+
+    Markers are single characters; later points overwrite earlier ones in
+    the same cell (so draw labeled points last). Axes are annotated with
+    the data ranges.
+    """
+    if not points:
+        return "(no points)"
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = (marker or "*")[0]
+
+    lines = [f"{y_label}  ({y_lo:g} .. {y_hi:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  ({x_lo:g} .. {x_hi:g})")
+    return "\n".join(lines)
+
+
+def plot_figure7(data, width: int = 64, height: int = 20) -> str:
+    """The Figure 7 scatter: '.' points, '*' Pareto, A/B/C labels."""
+    points: List[Tuple[float, float, str]] = []
+    for point in data.points:
+        if not point.on_front and not point.label:
+            points.append((point.storage_kb, point.transfer_mb, "."))
+    for point in data.points:
+        if point.on_front and not point.label:
+            points.append((point.storage_kb, point.transfer_mb, "*"))
+    for point in data.points:
+        if point.label:
+            points.append((point.storage_kb, point.transfer_mb, point.label))
+    return ascii_scatter(points, width=width, height=height,
+                         x_label="extra on-chip storage KB",
+                         y_label="DRAM transfer MB")

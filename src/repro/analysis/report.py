@@ -1,0 +1,80 @@
+"""Plain-text rendering of tables, trade-off fronts, and comparisons."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .figures import Figure7Data, LayerSizeRow
+from .tables import ComparisonTable, StrategyRow
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_figure2(rows: Sequence[LayerSizeRow]) -> str:
+    body = [
+        (r.index, r.name, f"{r.input_mb:.2f}", f"{r.output_mb:.2f}",
+         f"{r.weights_mb:.2f}", f"{r.total_mb:.2f}")
+        for r in rows
+    ]
+    return render_table(
+        ["#", "stage", "input MB", "output MB", "weights MB", "total MB"], body)
+
+
+def render_figure7(data: Figure7Data, front_only: bool = False) -> str:
+    points = data.front if front_only else list(data.points)
+    body = [
+        (p.label or ("*" if p.on_front else ""), str(p.sizes),
+         f"{p.storage_kb:.1f}", f"{p.transfer_mb:.2f}")
+        for p in sorted(points, key=lambda p: (p.storage_kb, p.transfer_mb))
+    ]
+    header = (f"{data.network}: {data.num_partitions} partitions "
+              f"({len(data.front)} Pareto-optimal)")
+    table = render_table(["pt", "partition", "storage KB", "transfer MB"], body)
+    return f"{header}\n{table}"
+
+
+def render_comparison(table: ComparisonTable) -> str:
+    rows = [
+        ("KB transferred/input", f"{table.fused.transfer_kb:,.0f}",
+         f"{table.baseline.transfer_kb:,.0f}"),
+        ("Cycles x10^3", f"{table.fused.kilo_cycles:,.0f}",
+         f"{table.baseline.kilo_cycles:,.0f}"),
+        ("BRAMs", table.fused.bram, table.baseline.bram),
+        ("DSP48E1", table.fused.dsp, table.baseline.dsp),
+        ("LUTs", f"{table.fused.luts:,}", f"{table.baseline.luts:,}"),
+        ("FFs", f"{table.fused.ffs:,}", f"{table.baseline.ffs:,}"),
+    ]
+    body = render_table(["", "Fused-Layer", "Baseline"], rows)
+    summary = (
+        f"transfer reduction {table.transfer_reduction:.1%}, "
+        f"cycle ratio {table.cycle_ratio:.3f}, "
+        f"BRAM delta {table.bram_increase:+d}"
+    )
+    return f"{table.title}\n{body}\n{summary}"
+
+
+def render_strategy_rows(rows: Sequence[StrategyRow]) -> str:
+    body = [
+        (r.workload, r.tip, f"{r.baseline_ops / 1e6:,.0f}",
+         f"{r.recompute_extra_adjacent / 1e6:,.0f}", f"{r.adjacent_factor:.2f}x",
+         f"{r.recompute_extra_exact / 1e6:,.0f}", f"{r.exact_factor:.2f}x",
+         f"{r.reuse_storage_kb:,.1f}")
+        for r in rows
+    ]
+    return render_table(
+        ["workload", "tip", "base Mops", "recompute extra Mops (paper model)",
+         "factor", "extra Mops (exact)", "factor", "reuse KB"],
+        body,
+    )

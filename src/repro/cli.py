@@ -1,0 +1,365 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``fused-cnn``).
+
+Commands map one-to-one to the paper's evaluation artifacts::
+
+    figure2     per-layer feature-map / weight sizes of VGGNet-E
+    figure3     the two-layer pyramid walkthrough
+    figure7     the storage/transfer design space (alexnet | vgg; --plot)
+    table1      AlexNet fused vs baseline accelerator comparison
+    table2      VGGNet-E fused vs baseline accelerator comparison
+    sec3c       reuse vs recompute strategy comparison
+    simulate    run the fused executor and verify against layer-by-layer
+    explore     Pareto front for any zoo network or --file description
+    frontier    exact DP frontier (tractable even for all of VGGNet-E)
+    hls         emit the specialized HLS C++ for a fused design
+    codegen     emit a standalone self-checking C++ program
+    bandwidth   roofline sweep, fused vs baseline
+    energy      per-image energy breakdown
+    verify      run the built-in correctness self-checks
+    reproduce   everything above, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import analysis
+from .nn.stages import extract_levels
+from .nn.zoo import alexnet, googlenet_stem, nin_cifar, vgg16, vggnet_e, zfnet
+
+_NETWORKS = {
+    "alexnet": lambda: alexnet(),
+    "vgg": lambda: vggnet_e(),
+    "vggnet-e": lambda: vggnet_e(),
+    "vgg16": lambda: vgg16(),
+    "zfnet": lambda: zfnet(),
+    "nin": lambda: nin_cifar(),
+    "googlenet-stem": lambda: googlenet_stem(),
+}
+
+
+def _network(name: str, file: Optional[str] = None, input_size: Optional[int] = None):
+    if file is not None:
+        from .nn.parse import parse_network
+
+        with open(file) as handle:
+            text = handle.read()
+        size = input_size or 224
+        return parse_network(text, name=name or "parsed", input_size=(size, size))
+    try:
+        return _NETWORKS[name.lower()]()
+    except KeyError:
+        raise SystemExit(f"unknown network {name!r}; choose from {sorted(_NETWORKS)}")
+
+
+def cmd_figure2(args) -> None:
+    print(analysis.render_figure2(analysis.figure2_series()))
+
+
+def cmd_figure3(args) -> None:
+    rows = analysis.figure3_walkthrough()
+    body = [
+        (r.name, r.kind, f"{r.in_tile[0]}x{r.in_tile[1]}",
+         f"{r.out_tile[0]}x{r.out_tile[1]}", r.channels_in, r.channels_out,
+         r.overlap_points_per_map)
+        for r in rows
+    ]
+    print(analysis.render_table(
+        ["level", "kind", "in tile", "out tile", "N", "M", "overlap pts/map"], body))
+
+
+def cmd_figure7(args) -> None:
+    if args.network.lower() in ("alexnet",):
+        data = analysis.figure7_data(alexnet())
+    else:
+        data = analysis.figure7_data(vggnet_e(), num_convs=5)
+    if args.plot:
+        print(analysis.plot_figure7(data))
+        print()
+    print(analysis.render_figure7(data, front_only=args.front_only))
+
+
+def cmd_table1(args) -> None:
+    print(analysis.render_comparison(analysis.table1()))
+
+
+def cmd_table2(args) -> None:
+    print(analysis.render_comparison(analysis.table2()))
+
+
+def cmd_sec3c(args) -> None:
+    for rows in analysis.section3c().values():
+        print(analysis.render_strategy_rows(rows))
+        print()
+
+
+def cmd_simulate(args) -> None:
+    import numpy as np
+
+    from .sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+    network = _network(args.network)
+    sliced = network.prefix(args.convs) if args.convs else network.feature_extractor()
+    levels = extract_levels(sliced)
+    scale = args.scale
+    if scale != 1:
+        from .nn.network import Network
+        from .nn.shapes import TensorShape
+
+        shape = sliced.input_shape
+        sliced = Network(sliced.name,
+                         TensorShape(shape.channels, shape.height // scale,
+                                     shape.width // scale),
+                         sliced.specs)
+        levels = extract_levels(sliced)
+    x = make_input(levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(levels, integer=True)
+    expected = reference.run(x)
+    fused = FusedExecutor(levels, params=reference.params,
+                          tip_h=args.tip, tip_w=args.tip, integer=True)
+    trace = TrafficTrace()
+    got = fused.run(x, trace)
+    match = bool(np.array_equal(expected, got))
+    print(f"network: {sliced.name} input {levels[0].in_shape}")
+    print(f"fused output == layer-by-layer output: {match}")
+    print(f"DRAM traffic: {trace.summary()}")
+    print(f"reuse-buffer footprint: {fused.buffer_bytes / 1024:.1f} KB")
+    if not match:
+        raise SystemExit(1)
+
+
+def cmd_hls(args) -> None:
+    from .hw import generate_fused, optimize_fused
+
+    network = _network(args.network)
+    levels = extract_levels(network.prefix(args.convs))
+    design = optimize_fused(levels, dsp_budget=args.dsp)
+    print(generate_fused(design))
+
+
+def cmd_explore(args) -> None:
+    from .core import Strategy, explore
+
+    network = _network(args.network, file=args.file, input_size=args.input_size)
+    strategy = Strategy.RECOMPUTE if args.recompute else Strategy.REUSE
+    result = explore(network, num_convs=args.convs, strategy=strategy)
+    KB, MB = 2 ** 10, 2 ** 20
+    print(f"{result.network_name}: {result.num_partitions} partitions, "
+          f"{len(result.front)} Pareto-optimal")
+    for point in result.front:
+        cost = (f"{point.extra_storage_bytes / KB:9.1f} KB"
+                if strategy is Strategy.REUSE
+                else f"{point.extra_ops / 1e6:9.1f} Mops")
+        print(f"  {str(point.sizes):24s} {point.feature_transfer_bytes / MB:8.2f} MB  {cost}")
+    if args.storage_budget is not None:
+        pick = result.best_under_storage(args.storage_budget * KB)
+        if pick is None:
+            print(f"no partition fits {args.storage_budget} KB")
+        else:
+            print(f"best under {args.storage_budget} KB: {pick.sizes} -> "
+                  f"{pick.feature_transfer_bytes / MB:.2f} MB/image")
+
+
+def cmd_codegen(args) -> None:
+    from .hw.codegen import generate_standalone
+
+    network = _network(args.network, file=args.file, input_size=args.input_size)
+    sliced = network.prefix(args.convs) if args.convs else network.feature_extractor()
+    levels = extract_levels(sliced)
+    try:
+        code = generate_standalone(levels, tip_h=args.tip, tip_w=args.tip)
+    except ValueError as err:
+        raise SystemExit(f"codegen: {err} (try --convs to shrink the group)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(code)
+        print(f"wrote {len(code.splitlines())} lines to {args.out}; "
+              f"build: g++ -O2 -std=c++17 -o fused_check {args.out}")
+    else:
+        print(code)
+
+
+def cmd_bandwidth(args) -> None:
+    from .hw import bandwidth_sweep, optimize_baseline, optimize_fused
+
+    levels = extract_levels(_network(args.network).prefix(args.convs))
+    fused = optimize_fused(levels, dsp_budget=args.dsp)
+    baseline = optimize_baseline(levels, dsp_budget=args.dsp)
+    points = bandwidth_sweep(
+        fused.total_cycles, fused.feature_transfer_bytes,
+        baseline.total_cycles, baseline.feature_transfer_bytes,
+        bandwidths=[0.5, 1, 2, 4, 8, 16, 32, 64, 128],
+    )
+    print(f"{'bytes/cycle':>12s} {'fused kcyc':>12s} {'baseline kcyc':>14s} {'speedup':>8s}")
+    for p in points:
+        print(f"{p.bytes_per_cycle:12.1f} {p.fused_cycles / 1e3:12.0f} "
+              f"{p.baseline_cycles / 1e3:14.0f} {p.speedup:7.2f}x")
+
+
+def cmd_energy(args) -> None:
+    from .core.costs import one_pass_ops
+    from .hw import estimate_energy, optimize_baseline, optimize_fused
+
+    levels = extract_levels(_network(args.network).prefix(args.convs))
+    fused = optimize_fused(levels, dsp_budget=args.dsp)
+    baseline = optimize_baseline(levels, dsp_budget=args.dsp)
+    ops = one_pass_ops(levels)
+    print(f"{'design':>10s} {'DRAM mJ':>9s} {'SRAM mJ':>9s} {'compute mJ':>11s} {'total mJ':>9s}")
+    for name, transfer in (("fused", fused.feature_transfer_bytes),
+                           ("baseline", baseline.feature_transfer_bytes)):
+        e = estimate_energy(name, transfer, ops)
+        print(f"{name:>10s} {e.dram_j * 1e3:9.2f} {e.sram_j * 1e3:9.2f} "
+              f"{e.compute_j * 1e3:11.2f} {e.total_j * 1e3:9.2f}")
+
+
+def cmd_frontier(args) -> None:
+    from .core.frontier import pareto_frontier_dp
+    from .nn.stages import independent_units
+
+    network = _network(args.network, file=args.file, input_size=args.input_size)
+    sliced = network.prefix(args.convs) if args.convs else network.feature_extractor()
+    units = independent_units(extract_levels(sliced))
+    front = pareto_frontier_dp(units)
+    KB, MB = 2 ** 10, 2 ** 20
+    print(f"{sliced.name}: exact Pareto front over 2^{len(units) - 1} partitions "
+          f"({len(front)} points)")
+    for point in front:
+        print(f"  {str(point.sizes):40s} {point.transfer_bytes / MB:8.2f} MB "
+              f"{point.storage_bytes / KB:9.1f} KB")
+
+
+def cmd_verify(args) -> None:
+    from .verify import render_results, run_verification
+
+    results = run_verification(scale=args.scale)
+    print(render_results(results))
+    if any(not r.passed for r in results):
+        raise SystemExit(1)
+
+
+def cmd_reproduce(args) -> None:
+    print("=" * 72)
+    print("Figure 2: VGGNet-E per-layer data sizes")
+    cmd_figure2(args)
+    print("=" * 72)
+    print("Figure 3: fusion pyramid walkthrough")
+    cmd_figure3(args)
+    for net in ("alexnet", "vgg"):
+        print("=" * 72)
+        print(f"Figure 7 ({net}): design space Pareto front")
+        data = (analysis.figure7_data(alexnet()) if net == "alexnet"
+                else analysis.figure7_data(vggnet_e(), num_convs=5))
+        print(analysis.render_figure7(data, front_only=True))
+    print("=" * 72)
+    print("Section III-C: reuse vs recompute")
+    cmd_sec3c(args)
+    print("=" * 72)
+    cmd_table1(args)
+    print("=" * 72)
+    cmd_table2(args)
+    print("=" * 72)
+    print("Extension: exact frontier of all of VGGNet-E (2^20 partitions)")
+    from argparse import Namespace
+
+    cmd_frontier(Namespace(network="vgg", file=None, input_size=None, convs=None))
+    print("=" * 72)
+    print("Bandwidth roofline and energy, Table II designs")
+    cmd_bandwidth(Namespace(network="vgg", convs=5, dsp=2880))
+    print()
+    cmd_energy(Namespace(network="vgg", convs=5, dsp=2880))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fused-cnn",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure2").set_defaults(func=cmd_figure2)
+    sub.add_parser("figure3").set_defaults(func=cmd_figure3)
+
+    p7 = sub.add_parser("figure7")
+    p7.add_argument("network", nargs="?", default="vgg")
+    p7.add_argument("--front-only", action="store_true")
+    p7.add_argument("--plot", action="store_true",
+                    help="render an ASCII scatter of the space")
+    p7.set_defaults(func=cmd_figure7)
+
+    sub.add_parser("table1").set_defaults(func=cmd_table1)
+    sub.add_parser("table2").set_defaults(func=cmd_table2)
+    sub.add_parser("sec3c").set_defaults(func=cmd_sec3c)
+
+    sim = sub.add_parser("simulate")
+    sim.add_argument("network", nargs="?", default="vgg")
+    sim.add_argument("--convs", type=int, default=5)
+    sim.add_argument("--scale", type=int, default=4,
+                     help="divide input resolution by this factor for speed")
+    sim.add_argument("--tip", type=int, default=1)
+    sim.set_defaults(func=cmd_simulate)
+
+    hls = sub.add_parser("hls")
+    hls.add_argument("network", nargs="?", default="vgg")
+    hls.add_argument("--convs", type=int, default=5)
+    hls.add_argument("--dsp", type=int, default=2987)
+    hls.set_defaults(func=cmd_hls)
+
+    exp = sub.add_parser("explore")
+    exp.add_argument("network", nargs="?", default="vgg")
+    exp.add_argument("--file", default=None,
+                     help="Torch-style description file instead of a zoo net")
+    exp.add_argument("--input-size", type=int, default=None)
+    exp.add_argument("--convs", type=int, default=None)
+    exp.add_argument("--recompute", action="store_true")
+    exp.add_argument("--storage-budget", type=int, default=None, metavar="KB")
+    exp.set_defaults(func=cmd_explore)
+
+    gen = sub.add_parser("codegen")
+    gen.add_argument("network", nargs="?", default="nin")
+    gen.add_argument("--file", default=None)
+    gen.add_argument("--input-size", type=int, default=None)
+    gen.add_argument("--convs", type=int, default=None)
+    gen.add_argument("--tip", type=int, default=1)
+    gen.add_argument("--out", default=None)
+    gen.set_defaults(func=cmd_codegen)
+
+    bw = sub.add_parser("bandwidth")
+    bw.add_argument("network", nargs="?", default="vgg")
+    bw.add_argument("--convs", type=int, default=5)
+    bw.add_argument("--dsp", type=int, default=2880)
+    bw.set_defaults(func=cmd_bandwidth)
+
+    en = sub.add_parser("energy")
+    en.add_argument("network", nargs="?", default="vgg")
+    en.add_argument("--convs", type=int, default=5)
+    en.add_argument("--dsp", type=int, default=2880)
+    en.set_defaults(func=cmd_energy)
+
+    fr = sub.add_parser("frontier")
+    fr.add_argument("network", nargs="?", default="vgg")
+    fr.add_argument("--file", default=None)
+    fr.add_argument("--input-size", type=int, default=None)
+    fr.add_argument("--convs", type=int, default=None)
+    fr.set_defaults(func=cmd_frontier)
+
+    ver = sub.add_parser("verify")
+    ver.add_argument("--scale", type=int, default=4)
+    ver.set_defaults(func=cmd_verify)
+
+    rep = sub.add_parser("reproduce")
+    rep.set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core contribution: fused-layer pyramid analysis and design-space search."""
+
+from .costs import (
+    ReuseBufferPlan,
+    TransferBreakdown,
+    group_transfer,
+    intermediate_transfer_saved,
+    one_pass_ops,
+    recompute_ops,
+    recompute_overhead_ops,
+    reuse_buffer_plans,
+    reuse_storage_bytes,
+)
+from .explorer import ExplorationResult, explore
+from .frontier import FrontierPoint, pareto_frontier_dp
+from .fusion import GroupAnalysis, Strategy, analyze_group, units_to_levels
+from .pareto import is_dominated, knee_point, pareto_front
+from .partition import (
+    PartitionAnalysis,
+    analyze_partition,
+    compositions,
+    enumerate_partitions,
+)
+from .schedule import FusedSchedule, LayerTileParams, PositionParams
+from .pyramid import (
+    LevelTile,
+    PositionFootprint,
+    PyramidGeometry,
+    backward_range,
+    build_pyramid,
+    clamped_range,
+    position_footprint,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "FrontierPoint",
+    "FusedSchedule",
+    "GroupAnalysis",
+    "LevelTile",
+    "LayerTileParams",
+    "PartitionAnalysis",
+    "PositionFootprint",
+    "PositionParams",
+    "PyramidGeometry",
+    "ReuseBufferPlan",
+    "Strategy",
+    "TransferBreakdown",
+    "analyze_group",
+    "analyze_partition",
+    "backward_range",
+    "build_pyramid",
+    "clamped_range",
+    "compositions",
+    "enumerate_partitions",
+    "explore",
+    "group_transfer",
+    "intermediate_transfer_saved",
+    "is_dominated",
+    "knee_point",
+    "one_pass_ops",
+    "pareto_front",
+    "pareto_frontier_dp",
+    "position_footprint",
+    "recompute_ops",
+    "recompute_overhead_ops",
+    "reuse_buffer_plans",
+    "reuse_storage_bytes",
+    "units_to_levels",
+]

@@ -1,0 +1,103 @@
+"""The design-space exploration tool of Section V-A.
+
+The paper built this as a Torch extension: read a network description,
+enumerate every fusion partition, and report the storage/transfer (or
+recompute/transfer) trade-off of each. This module is the same tool over
+the :mod:`repro.nn` IR. Even for VGGNet-E the full space is explored in
+well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..nn.network import Network
+from ..nn.stages import FusionUnit, extract_levels, independent_units, pooling_merged_units
+from .fusion import Strategy
+from .pareto import pareto_front
+from .partition import PartitionAnalysis, enumerate_partitions
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Every scored partition of a network plus its Pareto frontier."""
+
+    network_name: str
+    units: Tuple[FusionUnit, ...]
+    strategy: Strategy
+    points: Tuple[PartitionAnalysis, ...]
+    front: Tuple[PartitionAnalysis, ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.points)
+
+    @property
+    def layer_by_layer(self) -> PartitionAnalysis:
+        """The no-fusion extreme (the paper's point A)."""
+        for point in self.points:
+            if point.is_layer_by_layer:
+                return point
+        raise RuntimeError("layer-by-layer partition missing from exploration")
+
+    @property
+    def fully_fused(self) -> PartitionAnalysis:
+        """The single-pyramid extreme (the paper's point C)."""
+        for point in self.points:
+            if point.is_fully_fused:
+                return point
+        raise RuntimeError("fully fused partition missing from exploration")
+
+    def best_under_storage(self, budget_bytes: int) -> Optional[PartitionAnalysis]:
+        """Minimum-transfer partition whose extra storage fits the budget."""
+        feasible = [p for p in self.points if p.extra_storage_bytes <= budget_bytes]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.feature_transfer_bytes, p.extra_storage_bytes))
+
+    def best_under_transfer(self, budget_bytes: int) -> Optional[PartitionAnalysis]:
+        """Minimum-storage partition whose traffic fits the budget."""
+        feasible = [p for p in self.points if p.feature_transfer_bytes <= budget_bytes]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.extra_storage_bytes, p.feature_transfer_bytes))
+
+
+def explore(network: Network, num_convs: Optional[int] = None,
+            strategy: Strategy = Strategy.REUSE,
+            merge_pooling: bool = False,
+            tip_h: int = 1, tip_w: int = 1) -> ExplorationResult:
+    """Explore all fusion partitions of (a prefix of) a network.
+
+    Parameters
+    ----------
+    network:
+        Any zoo or user network; only its feature extractor is considered.
+    num_convs:
+        If given, truncate after this many convolutional layers first (the
+        paper explores the first 5 convs + 2 pools of VGGNet-E).
+    strategy:
+        Intermediate-data strategy for fused groups.
+    merge_pooling:
+        When True, pooling layers move with their preceding convolution as
+        one unit (Figure 2 grouping). The paper's Figure 7 search keeps
+        them independent (default), letting the optimizer discover that
+        merging is free.
+    """
+    sliced = network.prefix(num_convs) if num_convs is not None else network
+    levels = extract_levels(sliced)
+    units = pooling_merged_units(levels) if merge_pooling else independent_units(levels)
+    points = enumerate_partitions(units, strategy=strategy, tip_h=tip_h, tip_w=tip_w)
+    front = pareto_front(
+        points,
+        cost_x=lambda p: (p.extra_storage_bytes if strategy is Strategy.REUSE else p.extra_ops),
+        cost_y=lambda p: p.feature_transfer_bytes,
+    )
+    return ExplorationResult(
+        network_name=sliced.name,
+        units=tuple(units),
+        strategy=strategy,
+        points=tuple(points),
+        front=tuple(front),
+    )

@@ -1,0 +1,74 @@
+"""Pareto-frontier extraction for the storage/transfer trade-off (Fig. 7).
+
+A design point is Pareto-optimal when no other point is better on one axis
+and at least as good on the other. The paper's Figure 7 connects the
+optimal points with a solid line; :func:`pareto_front` returns them sorted
+by storage so callers can draw the same curve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(points: Sequence[T],
+                 cost_x: Callable[[T], float],
+                 cost_y: Callable[[T], float]) -> List[T]:
+    """Minimizing Pareto front over two cost axes.
+
+    Among points with equal ``cost_x``, only the lowest ``cost_y``
+    survives; the returned list is sorted by ``cost_x`` ascending and has
+    strictly decreasing ``cost_y``.
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (cost_x(p), cost_y(p)))
+    front: List[T] = []
+    best_y = float("inf")
+    for point in ordered:
+        y = cost_y(point)
+        if y < best_y:
+            front.append(point)
+            best_y = y
+    return front
+
+
+def is_dominated(point: T, others: Sequence[T],
+                 cost_x: Callable[[T], float],
+                 cost_y: Callable[[T], float]) -> bool:
+    """True when some other point is <= on both axes and < on at least one."""
+    px, py = cost_x(point), cost_y(point)
+    for other in others:
+        if other is point:
+            continue
+        ox, oy = cost_x(other), cost_y(other)
+        if ox <= px and oy <= py and (ox < px or oy < py):
+            return True
+    return False
+
+
+def knee_point(front: Sequence[T],
+               cost_x: Callable[[T], float],
+               cost_y: Callable[[T], float]) -> T:
+    """The front point with maximum normalized distance from the line
+    joining the extremes — a conventional "best trade-off" pick (the
+    paper's point B is such an interior compromise)."""
+    if not front:
+        raise ValueError("empty front")
+    if len(front) <= 2:
+        return front[0]
+    xs = [cost_x(p) for p in front]
+    ys = [cost_y(p) for p in front]
+    x_span = max(xs) - min(xs) or 1.0
+    y_span = max(ys) - min(ys) or 1.0
+    x0, y0 = xs[0] / x_span, ys[0] / y_span
+    x1, y1 = xs[-1] / x_span, ys[-1] / y_span
+    best, best_dist = front[0], -1.0
+    for point, x, y in zip(front, xs, ys):
+        # Perpendicular distance from (x,y) to the chord (x0,y0)-(x1,y1).
+        num = abs((y1 - y0) * (x / x_span) - (x1 - x0) * (y / y_span) + x1 * y0 - y1 * x0)
+        if num > best_dist:
+            best, best_dist = point, num
+    return best

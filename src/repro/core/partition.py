@@ -1,0 +1,112 @@
+"""Network partitioning: the 2^(l-1) fusion-grouping search of Section V-B.
+
+Given ``l`` fusion units, every way of cutting the sequence into
+contiguous groups corresponds to a subset of the ``l-1`` boundaries —
+``2^(l-1)`` partitions, from fully layer-by-layer ``(1,1,...,1)`` to a
+single all-fused pyramid ``(l,)``. Each partition is scored by total DRAM
+feature-map traffic (the Figure 7 y-axis) and total extra on-chip reuse
+storage (the x-axis), or extra arithmetic under the recompute strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, List, Sequence, Tuple
+
+from ..nn.stages import FusionUnit
+from .fusion import GroupAnalysis, Strategy, analyze_group, units_to_levels
+
+
+def compositions(n: int) -> Iterator[Tuple[int, ...]]:
+    """All ordered compositions of ``n`` (group sizes for ``n`` units).
+
+    ``compositions(3)`` yields (1,1,1), (1,2), (2,1), (3) — the paper's
+    example. There are ``2^(n-1)`` of them.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        yield ()
+        return
+    for cut_count in range(n):
+        for cuts in combinations(range(1, n), cut_count):
+            bounds = (0,) + cuts + (n,)
+            yield tuple(bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1))
+
+
+@dataclass(frozen=True)
+class PartitionAnalysis:
+    """A scored partition of the network's fusion units into groups."""
+
+    sizes: Tuple[int, ...]
+    groups: Tuple[GroupAnalysis, ...]
+    strategy: Strategy
+
+    @property
+    def feature_transfer_bytes(self) -> int:
+        """DRAM feature-map traffic per image (Figure 7 y-axis): every
+        group reads its input and writes its output."""
+        return sum(g.transfer.feature_map_bytes for g in self.groups)
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Feature maps plus a single load of all weights."""
+        return self.feature_transfer_bytes + sum(g.transfer.weight_bytes for g in self.groups)
+
+    @property
+    def extra_storage_bytes(self) -> int:
+        """Extra on-chip reuse storage (Figure 7 x-axis)."""
+        return sum(g.extra_storage_bytes for g in self.groups)
+
+    @property
+    def extra_ops(self) -> int:
+        return sum(g.extra_ops for g in self.groups)
+
+    @property
+    def baseline_ops(self) -> int:
+        return sum(g.baseline_ops for g in self.groups)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def is_layer_by_layer(self) -> bool:
+        return all(size == 1 for size in self.sizes)
+
+    @property
+    def is_fully_fused(self) -> bool:
+        return len(self.sizes) == 1
+
+    def describe(self) -> str:
+        return " | ".join(g.name for g in self.groups)
+
+
+def analyze_partition(units: Sequence[FusionUnit], sizes: Sequence[int],
+                      strategy: Strategy = Strategy.REUSE,
+                      tip_h: int = 1, tip_w: int = 1) -> PartitionAnalysis:
+    """Score one partition (group sizes must sum to ``len(units)``)."""
+    if sum(sizes) != len(units):
+        raise ValueError(f"sizes {tuple(sizes)} do not cover {len(units)} units")
+    if any(size <= 0 for size in sizes):
+        raise ValueError(f"group sizes must be positive: {tuple(sizes)}")
+    groups: List[GroupAnalysis] = []
+    start = 0
+    for size in sizes:
+        run = units[start:start + size]
+        groups.append(
+            analyze_group(units_to_levels(run), strategy=strategy, tip_h=tip_h, tip_w=tip_w)
+        )
+        start += size
+    return PartitionAnalysis(sizes=tuple(sizes), groups=tuple(groups), strategy=strategy)
+
+
+def enumerate_partitions(units: Sequence[FusionUnit],
+                         strategy: Strategy = Strategy.REUSE,
+                         tip_h: int = 1, tip_w: int = 1) -> List[PartitionAnalysis]:
+    """Score all ``2^(l-1)`` partitions of the unit sequence."""
+    return [
+        analyze_partition(units, sizes, strategy=strategy, tip_h=tip_h, tip_w=tip_w)
+        for sizes in compositions(len(units))
+    ]

@@ -1,0 +1,131 @@
+"""The calcparams formulas of Section IV-B, as data.
+
+The fused accelerator is configured at design time with the pyramid base
+(X, Y) and base strides (Sx, Sy); at run time ``calcparams`` derives,
+for every pyramid position (row, col), the DRAM load origin and each
+layer's tile dimensions::
+
+    rowt = Y + (row-1)*Sy - (K-S)   if row > 0 else 0
+    colt = X + (col-1)*Sx - (K-S)   if col > 0 else 0
+    inW1 = X            if col == 0 else Sx + K - S
+    inH1 = Y            if row == 0 else Sy + K - S
+    inWn = outW(n-1) (+ K - S if col > 0)      for n > 1
+    inHn = outH(n-1) (+ K - S if row > 0)
+    outWn = (inWn - K)/S + 1,  outHn = (inHn - K)/S + 1
+
+These are the paper's equations as printed. The functional executor
+derives its schedule differently (backward boundary tables with border
+clamping); the test suite proves the two agree *everywhere* for
+padding-free fused groups, and at every interior position's tile sizes
+for padded ones. For padded groups the literal formulas' load origins
+drift by the accumulated padding (each pad layer absorbs part of the
+first tile at the map border — a detail the paper's equations omit and
+its hardware must fold into the load offsets); the boundary-table
+schedule is the border-exact form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..nn.shapes import ShapeError
+from ..nn.stages import Level
+from .pyramid import PyramidGeometry, build_pyramid
+
+
+@dataclass(frozen=True)
+class LayerTileParams:
+    """One layer's tile dimensions for one pyramid position."""
+
+    level_name: str
+    in_h: int
+    in_w: int
+    out_h: int
+    out_w: int
+
+
+@dataclass(frozen=True)
+class PositionParams:
+    """Everything calcparams produces for one (row, col)."""
+
+    row: int
+    col: int
+    rowt: int  # DRAM load origin (padded input coordinates)
+    colt: int
+    load_h: int  # fresh input rows/cols to load (inH1/inW1)
+    load_w: int
+    layers: Tuple[LayerTileParams, ...]
+
+
+class FusedSchedule:
+    """Design-time calcparams configuration for a fused group."""
+
+    def __init__(self, levels: Sequence[Level], tip_h: int = 1, tip_w: int = 1):
+        self.levels = list(levels)
+        if not self.levels:
+            raise ShapeError("cannot schedule zero levels")
+        self.geometry: PyramidGeometry = build_pyramid(self.levels, tip_h, tip_w)
+        base = self.geometry.tiles[0]
+        #: Pyramid base dimensions and strides (the paper's X, Y, Sx, Sy).
+        self.X = base.in_w
+        self.Y = base.in_h
+        self.Sx = base.step_w
+        self.Sy = base.step_h
+        self.rows, self.cols = self.geometry.num_positions
+
+    def position(self, row: int, col: int) -> PositionParams:
+        """Apply the Section IV-B equations at one pyramid position."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ShapeError(f"position ({row},{col}) outside "
+                             f"{self.rows}x{self.cols} grid")
+        first = self.levels[0]
+        k1, s1 = first.kernel, first.stride
+        rowt = 0 if row == 0 else self.Y + (row - 1) * self.Sy - (k1 - s1)
+        colt = 0 if col == 0 else self.X + (col - 1) * self.Sx - (k1 - s1)
+
+        layers: List[LayerTileParams] = []
+        prev_out_h = prev_out_w = 0
+        load_h = load_w = 0
+        for n, level in enumerate(self.levels, start=1):
+            k, s = level.kernel, level.stride
+            if n == 1:
+                in_h = self.Y if row == 0 else self.Sy + k - s
+                in_w = self.X if col == 0 else self.Sx + k - s
+                load_h, load_w = in_h, in_w
+            else:
+                in_h = prev_out_h + (k - s if row > 0 else 0)
+                in_w = prev_out_w + (k - s if col > 0 else 0)
+            if (in_h - k) % s or (in_w - k) % s or in_h < k or in_w < k:
+                raise ShapeError(
+                    f"{level.name}: tile {in_h}x{in_w} incompatible with "
+                    f"K={k}, S={s} at position ({row},{col})"
+                )
+            out_h = (in_h - k) // s + 1
+            out_w = (in_w - k) // s + 1
+            layers.append(LayerTileParams(level.name, in_h, in_w, out_h, out_w))
+            prev_out_h, prev_out_w = out_h, out_w
+        return PositionParams(row=row, col=col, rowt=rowt, colt=colt,
+                              load_h=load_h, load_w=load_w, layers=tuple(layers))
+
+    def steady_state(self) -> PositionParams:
+        """The interior-position parameters (row > 0, col > 0)."""
+        if self.rows < 2 or self.cols < 2:
+            return self.position(self.rows - 1, self.cols - 1)
+        return self.position(1, 1)
+
+    def total_load_words(self) -> int:
+        """DRAM words loaded over all positions, per the load dimensions.
+
+        The load covers the *padded* input frame (the accelerator's
+        padding stage synthesizes border zeros, so actual DRAM traffic is
+        slightly lower at the edges; this count is the schedule's upper
+        bound used for buffer provisioning).
+        """
+        channels = self.levels[0].in_channels
+        total = 0
+        for row in range(self.rows):
+            for col in range(self.cols):
+                params = self.position(row, col)
+                total += params.load_h * params.load_w * channels
+        return total

@@ -1,0 +1,258 @@
+"""The baseline layer-by-layer CNN accelerator, after Zhang et al. [19].
+
+One compute module of ``Tm x Tn`` MAC lanes (Figure 5) is reused for
+every convolutional layer. Loops over output channels (M), input
+channels (N) and the spatial tile (Tr x Tc) are tiled; the ``Tm``/``Tn``
+loops are fully unrolled into hardware. Double-buffered on-chip arrays
+overlap DRAM transfer with compute.
+
+The cycle model is the paper's Section IV-B formula::
+
+    Cycles_i = ceil(M_i/Tm) * ceil(N_i/Tn) * outW_i * outH_i * K_i^2
+
+and the traffic model follows the Listing 1/2 loop nest: the output tile
+stays on chip across the inner N loop (each output element written once),
+while the input feature maps are re-read once per M-tile group, with the
+``K - S`` halo re-fetched around every spatial tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Optional, Sequence, Tuple
+
+from ..nn.shapes import BYTES_PER_WORD
+from ..nn.stages import Level
+from .device import DSP_PER_MAC, VIRTEX7_690T, FpgaDevice
+from .resources import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class ConvStage:
+    """A conv level together with a pooling level merged into its store."""
+
+    conv: Level
+    pool: Optional[Level] = None
+
+    @property
+    def name(self) -> str:
+        if self.pool is not None:
+            return f"{self.conv.name}+{self.pool.name}"
+        return self.conv.name
+
+    @property
+    def stored_shape(self):
+        return self.pool.out_shape if self.pool is not None else self.conv.out_shape
+
+
+def group_stages(levels: Sequence[Level]) -> List[ConvStage]:
+    """Pair each conv level with an immediately following pooling level.
+
+    The paper grants its baseline this optimization: "when we calculate
+    the data transfer requirements of [19] we include pooling" — pooling
+    is computed on chip before the store, shrinking output traffic.
+    """
+    stages: List[ConvStage] = []
+    i = 0
+    while i < len(levels):
+        level = levels[i]
+        if not level.is_conv:
+            raise ValueError(f"{level.name}: baseline stages must start with a conv")
+        pool = None
+        if i + 1 < len(levels) and levels[i + 1].is_pool:
+            pool = levels[i + 1]
+            i += 1
+        stages.append(ConvStage(conv=level, pool=pool))
+        i += 1
+    return stages
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-stage cycles and DRAM traffic for one tiling choice."""
+
+    stage: ConvStage
+    tm: int
+    tn: int
+    tr: int
+    tc: int
+    cycles: int
+    input_words: int
+    output_words: int
+    weight_words: int
+    weights_resident: bool = True
+
+    @property
+    def transfer_words(self) -> int:
+        return self.input_words + self.output_words + self.weight_words
+
+    @property
+    def feature_words(self) -> int:
+        return self.input_words + self.output_words
+
+
+def stage_cost(stage: ConvStage, tm: int, tn: int, tr: int, tc: int,
+               weights_resident: bool = True) -> StageCost:
+    """Evaluate one stage under tile parameters (Tm, Tn, Tr, Tc).
+
+    ``weights_resident`` models the paper's early-layer assumption ("the
+    weights easily fit into on-chip storage in their entirety for these
+    layers"): weights cross the chip boundary once. Late layers whose
+    weights exceed on-chip storage must instead stream a Tm x Tn x K x K
+    weight tile per (m, n) step of *every spatial tile* — re-reading the
+    whole filter set once per spatial tile.
+    """
+    conv = stage.conv
+    out = conv.out_shape
+    tr = min(tr, out.height)
+    tc = min(tc, out.width)
+    k, s = conv.kernel, conv.stride
+    # Grouped convolutions (AlexNet conv2/4/5) run once per group over
+    # M/g output and N/g input channels.
+    g = conv.groups
+    m, n = conv.out_channels // g, conv.in_channels // g
+
+    cycles = g * ceil(m / tm) * ceil(n / tn) * out.height * out.width * k * k
+
+    # Input traffic: each spatial tile loads an (S*tr + K - S) x (S*tc +
+    # K - S) window of all N (padded) input maps; padding zeros are
+    # generated on chip and cost no bandwidth. The whole sweep repeats
+    # once per M-tile group because the input cannot stay resident while
+    # every output channel group is produced.
+    padded = conv.padded_in_shape
+    tiles_r = ceil(out.height / tr)
+    tiles_c = ceil(out.width / tc)
+    window_words = 0
+    for i in range(tiles_r):
+        rows = min(tr, out.height - i * tr)
+        in_rows = s * rows + k - s
+        row_lo = i * tr * s
+        real_rows = _unpadded_extent(row_lo, row_lo + in_rows, conv.pad, conv.in_shape.height)
+        for j in range(tiles_c):
+            cols = min(tc, out.width - j * tc)
+            in_cols = s * cols + k - s
+            col_lo = j * tc * s
+            real_cols = _unpadded_extent(col_lo, col_lo + in_cols, conv.pad,
+                                         conv.in_shape.width)
+            window_words += real_rows * real_cols
+    input_words = ceil(m / tm) * n * g * window_words
+
+    stored = stage.stored_shape
+    output_words = stored.elements
+    weight_count = conv.weight_count + (stage.pool.weight_count if stage.pool else 0)
+    if weights_resident:
+        weight_words = weight_count
+    else:
+        weight_words = weight_count * tiles_r * tiles_c
+    del padded
+    return StageCost(stage=stage, tm=tm, tn=tn, tr=tr, tc=tc, cycles=cycles,
+                     input_words=input_words, output_words=output_words,
+                     weight_words=weight_words, weights_resident=weights_resident)
+
+
+def _unpadded_extent(lo: int, hi: int, pad: int, size: int) -> int:
+    lo = max(lo - pad, 0)
+    hi = min(hi - pad, size)
+    return max(hi - lo, 0)
+
+
+@dataclass(frozen=True)
+class BaselineDesign:
+    """A complete baseline accelerator: one (Tm, Tn) shared by all stages."""
+
+    stages: Tuple[StageCost, ...]
+    tm: int
+    tn: int
+    device: FpgaDevice
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(stage.cycles for stage in self.stages)
+
+    @property
+    def transfer_bytes(self) -> int:
+        return sum(stage.transfer_words for stage in self.stages) * BYTES_PER_WORD
+
+    @property
+    def feature_transfer_bytes(self) -> int:
+        return sum(stage.feature_words for stage in self.stages) * BYTES_PER_WORD
+
+    @property
+    def dsp(self) -> int:
+        return self.tm * self.tn * DSP_PER_MAC
+
+    def resources(self) -> ResourceEstimate:
+        """BRAM/LUT/FF estimate for the shared compute module."""
+        est = ResourceEstimate(mac_lanes=self.tm * self.tn, control_complexity=2)
+        max_in = max(
+            self.tn * (s.stage.conv.stride * s.tr + s.stage.conv.kernel - s.stage.conv.stride)
+            * (s.stage.conv.stride * s.tc + s.stage.conv.kernel - s.stage.conv.stride)
+            for s in self.stages
+        )
+        max_out = max(self.tm * s.tr * s.tc for s in self.stages)
+        weights = sum(s.weight_words for s in self.stages)
+        est.add_buffer("input", max_in, banks=self.tn, double_buffered=True)
+        est.add_buffer("output", max_out, banks=self.tm, double_buffered=True)
+        est.add_buffer("weights", weights, banks=self.tm)
+        if any(s.stage.pool is not None for s in self.stages):
+            # The paper accounts pooling support in the baseline "as only
+            # 22 additional BRAMs".
+            est.add_buffer("pool-line", 22 * 512)
+        return est
+
+
+def optimize_baseline(levels: Sequence[Level], dsp_budget: int,
+                      device: FpgaDevice = VIRTEX7_690T,
+                      tile_candidates: Sequence[int] = (7, 14, 27, 28, 55, 56, 112, 224),
+                      bram_words_budget: Optional[int] = None) -> BaselineDesign:
+    """Joint (Tm, Tn) optimization of [19] over all stages.
+
+    Enumerates every (Tm, Tn) with ``Tm * Tn * 5 <= dsp_budget``, picks
+    the spatial tile per stage that fits the buffer budget with minimum
+    traffic, and keeps the design minimizing total cycles (traffic breaks
+    ties).
+    """
+    stages = group_stages(list(levels))
+    max_lanes = dsp_budget // DSP_PER_MAC
+    if max_lanes < 1:
+        raise ValueError(f"DSP budget {dsp_budget} cannot fit one MAC lane")
+    max_m = max(s.conv.out_channels for s in stages)
+    max_n = max(s.conv.in_channels for s in stages)
+    if bram_words_budget is None:
+        # Leave room for weights; bound the double-buffered tiles.
+        bram_words_budget = device.bram18 * 512 // 2
+
+    best: Optional[BaselineDesign] = None
+    best_key = None
+    for tm in range(1, min(max_lanes, max_m) + 1):
+        tn = min(max_lanes // tm, max_n)
+        if tn < 1:
+            break
+        costs = [_best_stage_cost(stage, tm, tn, tile_candidates, bram_words_budget)
+                 for stage in stages]
+        design = BaselineDesign(stages=tuple(costs), tm=tm, tn=tn, device=device)
+        key = (design.total_cycles, design.transfer_bytes)
+        if best_key is None or key < best_key:
+            best, best_key = design, key
+    assert best is not None
+    return best
+
+
+def _best_stage_cost(stage: ConvStage, tm: int, tn: int,
+                     tile_candidates: Sequence[int], words_budget: int) -> StageCost:
+    out = stage.conv.out_shape
+    candidates = sorted({min(t, out.height) for t in tile_candidates}
+                        | {out.height}, reverse=True)
+    chosen: Optional[StageCost] = None
+    for tr in candidates:
+        tc = min(tr, out.width)
+        cost = stage_cost(stage, tm, tn, tr, tc)
+        k, s = stage.conv.kernel, stage.conv.stride
+        in_words = 2 * tn * (s * cost.tr + k - s) * (s * cost.tc + k - s)
+        out_words = 2 * tm * cost.tr * cost.tc
+        if in_words + out_words <= words_budget:
+            return cost  # biggest tile that fits => least halo traffic
+        chosen = cost
+    assert chosen is not None
+    return chosen  # nothing fits: return smallest candidate anyway

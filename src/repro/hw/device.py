@@ -1,0 +1,55 @@
+"""FPGA device descriptions and arithmetic-unit costs.
+
+The paper targets a Xilinx Virtex-7 XC7V690T and sizes designs by DSP
+slices: "DSPadd is 2 and DSPmul is 3, based on single-precision floating
+point units on the Xilinx Virtex-7 devices" (Section IV-B). One
+multiply-accumulate lane therefore costs 5 DSP48E1 slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: DSP48E1 slices per single-precision floating-point adder.
+DSP_PER_ADD = 2
+#: DSP48E1 slices per single-precision floating-point multiplier.
+DSP_PER_MUL = 3
+#: Slices per multiply-accumulate lane (one multiplier + one adder).
+DSP_PER_MAC = DSP_PER_ADD + DSP_PER_MUL
+
+#: Words of 32-bit data per BRAM18 (an 18Kb block configured 512 x 36).
+WORDS_PER_BRAM18 = 512
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource capacity of one FPGA part."""
+
+    name: str
+    dsp_slices: int
+    bram18: int
+    luts: int
+    ffs: int
+
+    def mac_lanes(self) -> int:
+        """Upper bound on parallel fp32 MAC lanes."""
+        return self.dsp_slices // DSP_PER_MAC
+
+
+#: The paper's target: Virtex-7 XC7V690T FFG1761-3.
+VIRTEX7_690T = FpgaDevice(
+    name="XC7V690T",
+    dsp_slices=3600,
+    bram18=2940,
+    luts=433_200,
+    ffs=866_400,
+)
+
+#: The Virtex-7 VX485T used by Zhang et al. [19], for baseline context.
+VIRTEX7_485T = FpgaDevice(
+    name="XC7VX485T",
+    dsp_slices=2800,
+    bram18=2060,
+    luts=303_600,
+    ffs=607_200,
+)

@@ -1,0 +1,153 @@
+"""Event-driven simulation of the pipeline with a shared DRAM channel.
+
+The analytic roofline (:mod:`repro.hw.bandwidth`) assumes transfer and
+compute overlap perfectly. This simulator checks that assumption: load
+and store stages contend for one DRAM channel serving ``bytes_per_cycle``
+(one transfer at a time), while compute stages run in parallel as in
+:mod:`repro.hw.pipeline`. The simulated makespan is lower-bounded by
+both the compute bottleneck and the total-traffic/bandwidth bound, and
+converges to the roofline when either dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MemStage:
+    """A stage that moves ``words`` through the shared DRAM channel."""
+
+    name: str
+    words: int
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise ValueError(f"{self.name}: negative words")
+
+
+@dataclass(frozen=True)
+class ComputeStage:
+    """A stage occupying its own hardware for ``cycles``."""
+
+    name: str
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"{self.name}: negative cycles")
+
+
+
+@dataclass(frozen=True)
+class ChannelSchedule:
+    """Result of simulating ``num_items`` with a shared memory channel."""
+
+    makespan: int
+    channel_busy: int
+    compute_bound: int
+    memory_bound: int
+
+    @property
+    def channel_utilization(self) -> float:
+        return self.channel_busy / self.makespan if self.makespan else 0.0
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_bound >= self.compute_bound else "compute"
+
+
+def simulate_with_channel(stages: Sequence[object], num_items: int,
+                          words_per_cycle: float) -> ChannelSchedule:
+    """Pipeline ``num_items`` through ``stages`` with one DRAM channel.
+
+    ``stages`` mixes :class:`MemStage` (channel-contending) and
+    :class:`ComputeStage`. Within an item, stages run in order; across
+    items, each stage (and the channel) serves one item at a time.
+    """
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    if words_per_cycle <= 0:
+        raise ValueError("words_per_cycle must be positive")
+
+    durations: List[int] = []
+    for stage in stages:
+        if isinstance(stage, MemStage):
+            durations.append(ceil(stage.words / words_per_cycle))
+        elif isinstance(stage, ComputeStage):
+            durations.append(stage.cycles)
+        else:
+            raise TypeError(f"unknown stage type: {stage!r}")
+
+    # Discrete-event simulation. Each job (item, stage) becomes ready when
+    # the same item clears the previous stage and the stage clears the
+    # previous item; memory jobs are then served by the channel first-come-
+    # first-served in ready order (a real controller interleaves requests,
+    # so the store of item i must not block the load of item i+1 that was
+    # issued earlier).
+    import heapq
+
+    num_stages = len(stages)
+    done_time = [[0] * num_stages for _ in range(num_items)]
+    deps_left = [[(1 if s > 0 else 0) + (1 if i > 0 else 0)
+                  for s in range(num_stages)] for i in range(num_items)]
+    ready_heap: List[Tuple[int, int, int]] = []
+    channel_free = 0
+    channel_busy = 0
+    makespan = 0
+    if num_items > 0:
+        heapq.heappush(ready_heap, (0, 0, 0))
+    completed = 0
+    total_jobs = num_items * num_stages
+    while completed < total_jobs:
+        ready, i, s = heapq.heappop(ready_heap)
+        if isinstance(stages[s], MemStage):
+            start = max(ready, channel_free)
+            channel_free = start + durations[s]
+            channel_busy += durations[s]
+        else:
+            start = ready
+        finish = start + durations[s]
+        done_time[i][s] = finish
+        makespan = max(makespan, finish)
+        completed += 1
+        for ni, ns in ((i, s + 1), (i + 1, s)):
+            if ni < num_items and ns < num_stages:
+                deps_left[ni][ns] -= 1
+                if deps_left[ni][ns] == 0:
+                    job_ready = 0
+                    if ns > 0:
+                        job_ready = max(job_ready, done_time[ni][ns - 1])
+                    if ni > 0:
+                        job_ready = max(job_ready, done_time[ni - 1][ns])
+                    heapq.heappush(ready_heap, (job_ready, ni, ns))
+
+    total_words = sum(stage.words for stage in stages if isinstance(stage, MemStage))
+    memory_bound = ceil(num_items * total_words / words_per_cycle)
+    compute_cycles = [d for stage, d in zip(stages, durations)
+                      if isinstance(stage, ComputeStage)]
+    compute_bound = num_items * max(compute_cycles) if compute_cycles else 0
+    return ChannelSchedule(
+        makespan=makespan,
+        channel_busy=channel_busy,
+        compute_bound=compute_bound,
+        memory_bound=memory_bound,
+    )
+
+
+def fused_design_stages(design) -> List[object]:
+    """Convert a :class:`~repro.hw.fused_accel.FusedDesign` to channel-
+    aware stages: its load/store become :class:`MemStage`, everything
+    else :class:`ComputeStage`."""
+    stages: List[object] = []
+    geometry = design.geometry
+    base = geometry.tiles[0]
+    load_words = base.new_in_h * base.new_in_w * design.levels[0].in_channels
+    stages.append(MemStage("load", load_words))
+    for timing in design.stage_timings()[1:-1]:
+        stages.append(ComputeStage(timing.name, timing.cycles))
+    out = design.levels[-1].out_shape
+    stages.append(MemStage("store", design.tip_h * design.tip_w * out.channels))
+    return stages

@@ -1,0 +1,89 @@
+"""Discrete-event simulation of the fused pipeline (Figure 6).
+
+The fused accelerator instantiates one module per fused layer and
+pipelines pyramids through them: pyramid two starts its first stage as
+soon as pyramid one leaves it. This module simulates that schedule
+exactly, giving the makespan the analytic model approximates with
+``fill + n_pyramids * bottleneck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One pipeline stage: name and its per-pyramid busy time (cycles)."""
+
+    name: str
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"stage {self.name}: negative cycles")
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Result of simulating ``num_items`` through the stage chain."""
+
+    stages: Tuple[StageTiming, ...]
+    num_items: int
+    makespan: int
+    stage_finish: Tuple[Tuple[int, ...], ...]  # [item][stage] completion times
+
+    @property
+    def bottleneck(self) -> StageTiming:
+        return max(self.stages, key=lambda s: s.cycles)
+
+    @property
+    def steady_state_interval(self) -> int:
+        """Cycles between consecutive pyramid completions once full."""
+        return max(stage.cycles for stage in self.stages)
+
+    @property
+    def fill_cycles(self) -> int:
+        """Time for the first pyramid to traverse the whole pipeline."""
+        return sum(stage.cycles for stage in self.stages)
+
+    @property
+    def utilization(self) -> List[float]:
+        """Busy fraction of each stage over the makespan."""
+        if self.makespan == 0:
+            return [0.0 for _ in self.stages]
+        return [self.num_items * s.cycles / self.makespan for s in self.stages]
+
+
+def simulate_pipeline(stages: Sequence[StageTiming], num_items: int) -> PipelineSchedule:
+    """Event-driven simulation of a linear pipeline without internal
+    buffering: stage ``s`` starts item ``i`` when stage ``s-1`` finished
+    item ``i`` and stage ``s`` finished item ``i-1``."""
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    stages = tuple(stages)
+    finish: List[Tuple[int, ...]] = []
+    prev_item = [0] * len(stages)
+    for _ in range(num_items):
+        times: List[int] = []
+        ready = 0  # completion of this item at the previous stage
+        for s, stage in enumerate(stages):
+            start = max(ready, prev_item[s])
+            done = start + stage.cycles
+            times.append(done)
+            ready = done
+            prev_item[s] = done
+        finish.append(tuple(times))
+    makespan = finish[-1][-1] if finish else 0
+    return PipelineSchedule(stages=stages, num_items=num_items,
+                            makespan=makespan, stage_finish=tuple(finish))
+
+
+def analytic_makespan(stages: Sequence[StageTiming], num_items: int) -> int:
+    """Closed form for a linear pipeline: fill + (n-1) * bottleneck."""
+    if num_items == 0:
+        return 0
+    fill = sum(stage.cycles for stage in stages)
+    bottleneck = max(stage.cycles for stage in stages)
+    return fill + (num_items - 1) * bottleneck

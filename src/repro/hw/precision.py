@@ -1,0 +1,91 @@
+"""Arithmetic-precision variants of the fused/baseline designs.
+
+The paper fixes single-precision floating point "for ease of comparison
+with prior work" (Section VI-A); its DSP costs (3 per multiplier, 2 per
+adder) and all transfer numbers follow from that choice. Precision is
+the obvious free knob: fp16 halves every feature-map byte and reuse
+buffer and fits MACs in fewer DSP slices; int16 maps one MAC per DSP48E1
+(its native 25x18 multiplier).
+
+The core models stay in fp32 words; this module rescales their outputs
+for a chosen precision — valid because the *element counts* (transfers,
+buffer entries, MAC lanes needed) are precision-independent, only bytes
+per element and DSP slices per lane change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..nn.shapes import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class Precision:
+    """One arithmetic format: storage width and DSP cost per MAC lane."""
+
+    name: str
+    bytes_per_word: int
+    dsp_per_mul: int
+    dsp_per_add: int
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_word <= 0:
+            raise ValueError(f"{self.name}: bytes_per_word must be positive")
+        if self.dsp_per_mul < 0 or self.dsp_per_add < 0:
+            raise ValueError(f"{self.name}: DSP costs must be non-negative")
+
+    @property
+    def dsp_per_mac(self) -> int:
+        return self.dsp_per_mul + self.dsp_per_add
+
+
+#: The paper's configuration (Section IV-B).
+FP32 = Precision("fp32", bytes_per_word=4, dsp_per_mul=3, dsp_per_add=2)
+#: Half precision: half the bytes, two DSPs per fused multiply-add.
+FP16 = Precision("fp16", bytes_per_word=2, dsp_per_mul=1, dsp_per_add=1)
+#: 16-bit fixed point: one DSP48E1 does a full multiply-accumulate.
+INT16 = Precision("int16", bytes_per_word=2, dsp_per_mul=1, dsp_per_add=0)
+
+
+def scale_bytes(fp32_bytes: int, precision: Precision) -> int:
+    """Rescale an fp32-word byte count to another precision."""
+    words = fp32_bytes / BYTES_PER_WORD
+    return ceil(words * precision.bytes_per_word)
+
+
+def equivalent_dsp_budget(fp32_budget: int, precision: Precision) -> int:
+    """The precision's DSP budget hosting the same number of MAC lanes a
+    given fp32 budget hosts (iso-parallelism comparison)."""
+    lanes = fp32_budget // FP32.dsp_per_mac
+    return lanes * precision.dsp_per_mac
+
+
+@dataclass(frozen=True)
+class PrecisionSummary:
+    """A design's headline numbers rescaled to one precision."""
+
+    precision: Precision
+    feature_transfer_bytes: int
+    reuse_storage_bytes: int
+    dsp_for_same_lanes: int
+
+    @property
+    def transfer_mb(self) -> float:
+        return self.feature_transfer_bytes / 2 ** 20
+
+    @property
+    def storage_kb(self) -> float:
+        return self.reuse_storage_bytes / 2 ** 10
+
+
+def precision_summary(feature_transfer_fp32: int, reuse_storage_fp32: int,
+                      fp32_dsp: int, precision: Precision) -> PrecisionSummary:
+    """Rescale a design's transfer/storage/DSP to another precision."""
+    return PrecisionSummary(
+        precision=precision,
+        feature_transfer_bytes=scale_bytes(feature_transfer_fp32, precision),
+        reuse_storage_bytes=scale_bytes(reuse_storage_fp32, precision),
+        dsp_for_same_lanes=equivalent_dsp_budget(fp32_dsp, precision),
+    )

@@ -1,0 +1,118 @@
+"""On-chip memory and logic resource estimation.
+
+BRAM accounting follows the banked-buffer style of the HLS designs: an
+on-chip array that must feed ``banks`` parallel lanes is partitioned into
+``banks`` independent memories, each rounded up to whole BRAM18s.
+Double-buffered arrays (ping-pong for overlapping transfer with compute)
+cost twice their capacity.
+
+LUT/FF counts come from a coarse linear model fitted to the scale of the
+paper's Table I (they cannot be predicted exactly without running the HLS
+tool; the model preserves the *relative* cost of the fused design's extra
+control logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import List
+
+from .device import DSP_PER_MAC, WORDS_PER_BRAM18
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One on-chip memory: ``words`` elements across ``banks`` partitions."""
+
+    name: str
+    words: int
+    banks: int = 1
+    double_buffered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.words < 0 or self.banks <= 0:
+            raise ValueError(f"invalid buffer spec {self!r}")
+
+    @property
+    def bram18(self) -> int:
+        """BRAM18 blocks consumed by this buffer."""
+        if self.words == 0:
+            return 0
+        per_bank = ceil(self.words / self.banks)
+        blocks = self.banks * ceil(per_bank / WORDS_PER_BRAM18)
+        return blocks * (2 if self.double_buffered else 1)
+
+    @property
+    def bytes(self) -> int:
+        words = self.words * (2 if self.double_buffered else 1)
+        return words * 4
+
+
+@dataclass
+class ResourceEstimate:
+    """Aggregate FPGA resource usage of one accelerator design."""
+
+    buffers: List[BufferSpec] = field(default_factory=list)
+    mac_lanes: int = 0
+    extra_dsp: int = 0
+    control_complexity: int = 1  # number of distinct pipeline stages
+
+    def add_buffer(self, name: str, words: int, banks: int = 1,
+                   double_buffered: bool = False) -> None:
+        self.buffers.append(BufferSpec(name, words, banks, double_buffered))
+
+    @property
+    def bram18(self) -> int:
+        return sum(buffer.bram18 for buffer in self.buffers)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return sum(buffer.bytes for buffer in self.buffers)
+
+    @property
+    def dsp(self) -> int:
+        return self.mac_lanes * DSP_PER_MAC + self.extra_dsp
+
+    # LUT/FF linear model: each MAC lane brings datapath plumbing, each
+    # pipeline stage brings a control FSM, each buffer brings address
+    # generation. Coefficients chosen so the baseline AlexNet design of
+    # Table I lands near [19]'s reported 186K LUTs / 206K FFs.
+    _LUT_PER_LANE = 380
+    _FF_PER_LANE = 420
+    _LUT_PER_STAGE = 6_000
+    _FF_PER_STAGE = 7_000
+    _LUT_PER_BUFFER = 220
+    _FF_PER_BUFFER = 260
+
+    @property
+    def luts(self) -> int:
+        return (self.mac_lanes * self._LUT_PER_LANE
+                + self.control_complexity * self._LUT_PER_STAGE
+                + len(self.buffers) * self._LUT_PER_BUFFER)
+
+    @property
+    def ffs(self) -> int:
+        return (self.mac_lanes * self._FF_PER_LANE
+                + self.control_complexity * self._FF_PER_STAGE
+                + len(self.buffers) * self._FF_PER_BUFFER)
+
+    def fits(self, device) -> bool:
+        """Whether the estimate fits a :class:`~repro.hw.device.FpgaDevice`."""
+        return (self.dsp <= device.dsp_slices and self.bram18 <= device.bram18
+                and self.luts <= device.luts and self.ffs <= device.ffs)
+
+
+def weights_fit_on_chip(levels, device, reserve_fraction: float = 0.5) -> bool:
+    """Whether a fused group's weights can stay resident on chip.
+
+    The fused accelerator "assumes all filter weights are stored on chip"
+    (Section III-A footnote) — true for early layers, and the reason the
+    paper targets them: late-layer weights are tens of MB. ``reserve_
+    fraction`` of BRAM is kept for feature-map windows and reuse buffers.
+    """
+    if not 0 <= reserve_fraction < 1:
+        raise ValueError("reserve_fraction must be in [0, 1)")
+    weight_words = sum(level.weight_count for level in levels)
+    budget_words = int(device.bram18 * WORDS_PER_BRAM18 * (1 - reserve_fraction))
+    return weight_words <= budget_words

@@ -1,0 +1,40 @@
+"""Network intermediate representation: shapes, layers, networks, stages."""
+
+from .layers import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    LRNSpec,
+    PadSpec,
+    PoolSpec,
+    ReLUSpec,
+)
+from .network import LayerBinding, Network
+from .parse import ParseError, dump_network, parse_network
+from .shapes import BYTES_PER_WORD, ShapeError, TensorShape, conv_output_extent, input_extent_for
+from .stages import FusionUnit, Level, extract_levels, independent_units, pooling_merged_units
+
+__all__ = [
+    "BYTES_PER_WORD",
+    "ConvSpec",
+    "FCSpec",
+    "FusionUnit",
+    "LayerBinding",
+    "LayerSpec",
+    "Level",
+    "LRNSpec",
+    "Network",
+    "ParseError",
+    "PadSpec",
+    "PoolSpec",
+    "ReLUSpec",
+    "ShapeError",
+    "TensorShape",
+    "conv_output_extent",
+    "dump_network",
+    "extract_levels",
+    "independent_units",
+    "input_extent_for",
+    "parse_network",
+    "pooling_merged_units",
+]

@@ -1,0 +1,194 @@
+"""Layer specifications for the CNN intermediate representation.
+
+Each spec is an immutable description of one network layer — enough
+geometry for the fusion analysis (kernel, stride, padding, channels) and
+for the functional simulator (which adds weights at execution time).
+Specs are *unbound*: they do not know their input shape until placed in a
+:class:`~repro.nn.network.Network`, which performs shape inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .shapes import ShapeError, TensorShape, conv_output_extent
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for all layer specifications."""
+
+    name: str
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        raise NotImplementedError
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """Number of learned parameters (weights + biases)."""
+        return 0
+
+    def ops_per_output(self, input_shape: TensorShape) -> int:
+        """Arithmetic operations (multiplies + adds) per output element.
+
+        The paper counts both multiplications and additions (Section III-C:
+        a 3x3xN filter costs ``9N`` multiplications and ``9N`` additions,
+        the additions including the bias).
+        """
+        return 0
+
+    def total_ops(self, input_shape: TensorShape) -> int:
+        """Total arithmetic operations to evaluate the layer once."""
+        out = self.output_shape(input_shape)
+        return out.elements * self.ops_per_output(input_shape)
+
+
+@dataclass(frozen=True)
+class WindowedSpec(LayerSpec):
+    """A layer that slides a K x K window with stride S (conv or pool).
+
+    The pyramid geometry of Section III-B applies uniformly to any windowed
+    layer, which is why the fusion model treats convolution and pooling with
+    the same ``D = S*D' + K - S`` rule.
+    """
+
+    kernel: int = 1
+    stride: int = 1
+
+    def spatial_output(self, input_shape: TensorShape) -> "tuple[int, int]":
+        return (
+            conv_output_extent(input_shape.height, self.kernel, self.stride),
+            conv_output_extent(input_shape.width, self.kernel, self.stride),
+        )
+
+
+@dataclass(frozen=True)
+class ConvSpec(WindowedSpec):
+    """2-D convolution: M filters of N x K x K weights applied with stride S.
+
+    ``padding`` zeros are added around the input before convolving; the
+    accelerator realizes this as an explicit padding layer (Section VI-B
+    counts padding layers separately), but carrying it on the conv spec
+    keeps network descriptions readable.
+
+    ``groups`` supports AlexNet's grouped convolutions (conv2/4/5 use two
+    groups); grouping divides the weight count and per-output work but does
+    not change feature-map geometry, which is what the fusion model needs.
+    """
+
+    out_channels: int = 1
+    padding: int = 0
+    groups: int = 1
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ShapeError(f"{self.name}: out_channels must be positive")
+        if self.groups <= 0 or self.out_channels % self.groups != 0:
+            raise ShapeError(f"{self.name}: groups must divide out_channels")
+        if self.padding < 0:
+            raise ShapeError(f"{self.name}: padding must be non-negative")
+
+    def in_channels_per_group(self, input_shape: TensorShape) -> int:
+        if input_shape.channels % self.groups != 0:
+            raise ShapeError(f"{self.name}: groups must divide in_channels")
+        return input_shape.channels // self.groups
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        padded = input_shape.padded(self.padding)
+        height, width = self.spatial_output(padded)
+        return TensorShape(self.out_channels, height, width)
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        per_filter = self.in_channels_per_group(input_shape) * self.kernel * self.kernel
+        weights = self.out_channels * per_filter
+        biases = self.out_channels if self.bias else 0
+        return weights + biases
+
+    def ops_per_output(self, input_shape: TensorShape) -> int:
+        # K*K*N multiplies plus K*K*N adds (the adds include the bias),
+        # matching the paper's 9N + 9N accounting for a 3x3xN filter.
+        n = self.in_channels_per_group(input_shape)
+        return 2 * self.kernel * self.kernel * n
+
+
+@dataclass(frozen=True)
+class PoolSpec(WindowedSpec):
+    """Subsampling (pooling) layer: K x K window, stride S, max or average."""
+
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise ShapeError(f"{self.name}: pooling mode must be 'max' or 'avg'")
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        height, width = self.spatial_output(input_shape)
+        return TensorShape(input_shape.channels, height, width)
+
+    def ops_per_output(self, input_shape: TensorShape) -> int:
+        # K*K - 1 comparisons (or adds) per pooled value; negligible next to
+        # convolution, but counted for completeness.
+        return self.kernel * self.kernel - 1
+
+
+@dataclass(frozen=True)
+class ReLUSpec(LayerSpec):
+    """Rectified linear unit: f(x) = max(x, 0), elementwise."""
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+    def ops_per_output(self, input_shape: TensorShape) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class PadSpec(LayerSpec):
+    """Explicit zero-padding layer (the accelerator's padding stage)."""
+
+    pad: int = 1
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape.padded(self.pad)
+
+
+@dataclass(frozen=True)
+class LRNSpec(LayerSpec):
+    """Local response normalization (AlexNet). Geometry-preserving.
+
+    The paper omits LRN from its accelerators for comparability with [19]
+    (Section VI-B) but notes it would add a single pipeline stage; we carry
+    it in the IR so AlexNet is described faithfully and the fusion analysis
+    can skip it explicitly.
+    """
+
+    size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 2.0
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+    def ops_per_output(self, input_shape: TensorShape) -> int:
+        # size multiplies + size adds for the window sum, plus the scale.
+        return 2 * self.size + 2
+
+
+@dataclass(frozen=True)
+class FCSpec(LayerSpec):
+    """Fully connected layer. Out of scope for fusion (Section II: weight-
+    dominated), carried so zoo networks are complete end to end."""
+
+    out_features: int = 1
+    bias: bool = True
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return TensorShape(self.out_features, 1, 1)
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        weights = self.out_features * input_shape.elements
+        return weights + (self.out_features if self.bias else 0)
+
+    def ops_per_output(self, input_shape: TensorShape) -> int:
+        return 2 * input_shape.elements

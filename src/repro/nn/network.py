@@ -1,0 +1,178 @@
+"""Network container: an ordered list of layer specs with shape inference.
+
+A :class:`Network` binds each :class:`~repro.nn.layers.LayerSpec` to its
+inferred input and output shapes, the way the paper's Torch-based
+exploration tool reads a network description and derives per-layer
+geometry (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from .layers import ConvSpec, FCSpec, LayerSpec, PoolSpec
+from .shapes import ShapeError, TensorShape
+
+
+@dataclass(frozen=True)
+class LayerBinding:
+    """A layer spec bound to its position and inferred shapes."""
+
+    index: int
+    spec: LayerSpec
+    input_shape: TensorShape
+    output_shape: TensorShape
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def weight_count(self) -> int:
+        return self.spec.weight_count(self.input_shape)
+
+    @property
+    def total_ops(self) -> int:
+        return self.spec.total_ops(self.input_shape)
+
+
+class Network:
+    """An ordered feed-forward stack of layers with inferred shapes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable network name (e.g. ``"VGGNet-E"``).
+    input_shape:
+        Shape of the network input (channels, height, width).
+    layers:
+        Layer specs in evaluation order. Names must be unique; shape
+        inference validates that every window fits its input.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape, layers: Sequence[LayerSpec]):
+        self.name = name
+        self.input_shape = input_shape
+        self._bindings: List[LayerBinding] = []
+
+        seen = set()
+        shape = input_shape
+        for index, spec in enumerate(layers):
+            if spec.name in seen:
+                raise ShapeError(f"duplicate layer name {spec.name!r} in {name}")
+            seen.add(spec.name)
+            out = spec.output_shape(shape)
+            self._bindings.append(LayerBinding(index, spec, shape, out))
+            shape = out
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[LayerBinding]:
+        return iter(self._bindings)
+
+    def __getitem__(self, key) -> LayerBinding:
+        if isinstance(key, str):
+            return self.layer(key)
+        return self._bindings[key]
+
+    # -- lookups ------------------------------------------------------------
+
+    def layer(self, name: str) -> LayerBinding:
+        """Look a layer up by name."""
+        for binding in self._bindings:
+            if binding.name == name:
+                return binding
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    @property
+    def bindings(self) -> List[LayerBinding]:
+        return list(self._bindings)
+
+    @property
+    def output_shape(self) -> TensorShape:
+        if not self._bindings:
+            return self.input_shape
+        return self._bindings[-1].output_shape
+
+    @property
+    def specs(self) -> List[LayerSpec]:
+        return [binding.spec for binding in self._bindings]
+
+    def conv_layers(self) -> List[LayerBinding]:
+        """Convolutional layers in order."""
+        return [b for b in self._bindings if isinstance(b.spec, ConvSpec)]
+
+    def pool_layers(self) -> List[LayerBinding]:
+        return [b for b in self._bindings if isinstance(b.spec, PoolSpec)]
+
+    def feature_extractor(self) -> "Network":
+        """The network up to (excluding) the first fully connected layer.
+
+        The paper's scope: "we focus on the convolutional layers (as well as
+        the subsampling layers that typically surround them), and not on the
+        final fully connected layers" (Section II).
+        """
+        specs: List[LayerSpec] = []
+        for binding in self._bindings:
+            if isinstance(binding.spec, FCSpec):
+                break
+            specs.append(binding.spec)
+        return Network(self.name, self.input_shape, specs)
+
+    def prefix(self, num_convs: int) -> "Network":
+        """The network truncated after its ``num_convs``-th convolutional
+        layer, keeping any pooling/ReLU layers in between.
+
+        This implements "the first five convolutional layers of VGGNet-E"
+        style slicing. Non-conv layers *after* the last kept convolution are
+        dropped (the paper's five-layer VGG design ends at conv3_1's output,
+        before pool/ReLU that follow it would appear — ReLU attached to the
+        final conv is kept because it is part of the conv stage).
+        """
+        if num_convs <= 0:
+            raise ValueError("num_convs must be positive")
+        specs: List[LayerSpec] = []
+        seen_convs = 0
+        for binding in self._bindings:
+            if isinstance(binding.spec, FCSpec):
+                break
+            if isinstance(binding.spec, ConvSpec):
+                if seen_convs == num_convs:
+                    break
+                seen_convs += 1
+                specs.append(binding.spec)
+            else:
+                specs.append(binding.spec)
+        if seen_convs < num_convs:
+            raise ValueError(
+                f"{self.name} has only {seen_convs} conv layers, asked for {num_convs}"
+            )
+        # Trim trailing layers that are not part of the last conv stage
+        # (keep ReLU immediately after the final conv; drop trailing pools
+        # and pads that would start the next stage).
+        while specs:
+            from .layers import PadSpec, PoolSpec, ReLUSpec  # local to avoid cycle noise
+
+            last = specs[-1]
+            if isinstance(last, (PadSpec,)):
+                specs.pop()
+            elif isinstance(last, PoolSpec):
+                specs.pop()
+            else:
+                break
+        return Network(f"{self.name}[:conv{num_convs}]", self.input_shape, specs)
+
+    # -- aggregate statistics (Figure 2 style) -------------------------------
+
+    def total_weights(self) -> int:
+        return sum(b.weight_count for b in self._bindings)
+
+    def total_ops(self) -> int:
+        return sum(b.total_ops for b in self._bindings)
+
+    def __repr__(self) -> str:
+        return f"Network({self.name!r}, {len(self)} layers, in={self.input_shape})"

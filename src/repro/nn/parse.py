@@ -1,0 +1,195 @@
+"""Torch-style network descriptions: parse and serialize.
+
+The paper built its exploration tool "by extending the Torch machine
+learning framework ... Our tool reads a Torch description of a CNN"
+(Section V-A). This module accepts the textual form Torch 7 prints for
+``nn.Sequential`` containers and converts it to the :mod:`repro.nn` IR
+(and back), so network definitions can live in plain files::
+
+    nn.Sequential {
+      nn.SpatialConvolution(3 -> 64, 3x3, 1,1, 1,1)
+      nn.ReLU
+      nn.SpatialMaxPooling(2x2, 2,2)
+      nn.Linear(802816 -> 4096)
+    }
+
+Supported modules: SpatialConvolution (``nIn -> nOut, KxK, dW,dH[,
+padW,padH]``), SpatialMaxPooling / SpatialAveragePooling (``KxK, dW,dH``),
+ReLU, SpatialZeroPadding, SpatialCrossMapLRN, Linear, and the inert
+modules Torch dumps alongside them (Dropout, View, LogSoftMax, SoftMax),
+which carry no geometry and are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .layers import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    LRNSpec,
+    PadSpec,
+    PoolSpec,
+    ReLUSpec,
+)
+from .network import Network
+from .shapes import TensorShape
+
+
+class ParseError(ValueError):
+    """Raised for malformed network descriptions."""
+
+
+_SKIPPED = ("nn.Dropout", "nn.View", "nn.LogSoftMax", "nn.SoftMax",
+            "nn.Reshape", "nn.Identity")
+
+_CONV_RE = re.compile(
+    r"nn\.SpatialConvolution\(\s*(\d+)\s*->\s*(\d+)\s*,\s*(\d+)x(\d+)"
+    r"(?:\s*,\s*(\d+)\s*,\s*(\d+))?(?:\s*,\s*(\d+)\s*,\s*(\d+))?\s*\)"
+)
+_POOL_RE = re.compile(
+    r"nn\.Spatial(Max|Average)Pooling\(\s*(\d+)x(\d+)\s*,\s*(\d+)\s*,\s*(\d+)\s*\)"
+)
+_PAD_RE = re.compile(
+    r"nn\.SpatialZeroPadding\(\s*(-?\d+)\s*,\s*(-?\d+)\s*,\s*(-?\d+)\s*,\s*(-?\d+)\s*\)"
+)
+_LRN_RE = re.compile(
+    r"nn\.SpatialCrossMapLRN\(\s*(\d+)"
+    r"(?:\s*,\s*([\d.eE+-]+))?(?:\s*,\s*([\d.eE+-]+))?(?:\s*,\s*([\d.eE+-]+))?\s*\)"
+)
+_LINEAR_RE = re.compile(r"nn\.Linear\(\s*(\d+)\s*->\s*(\d+)\s*\)")
+
+
+def _clean_lines(text: str) -> List[str]:
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("--", 1)[0].strip()  # Lua-style comments
+        if not line or line in ("{", "}"):
+            continue
+        # Strip Torch's "(1): " index prefixes and container headers.
+        line = re.sub(r"^\(\d+\):\s*", "", line)
+        if line.startswith("nn.Sequential"):
+            continue
+        lines.append(line.rstrip("{").strip())
+    return lines
+
+
+def parse_network(text: str, name: str = "parsed",
+                  input_shape: Optional[TensorShape] = None,
+                  input_size: Optional[Tuple[int, int]] = None) -> Network:
+    """Parse a Torch-style description into a :class:`Network`.
+
+    The textual format carries channel counts but not the spatial input
+    size, so provide either ``input_shape`` outright or ``input_size``
+    (height, width) to pair with the first layer's input channels.
+    """
+    lines = _clean_lines(text)
+    specs: List[LayerSpec] = []
+    first_channels: Optional[int] = None
+    counters = {"conv": 0, "pool": 0, "relu": 0, "pad": 0, "lrn": 0, "fc": 0}
+
+    def next_name(kind: str) -> str:
+        counters[kind] += 1
+        return f"{kind}{counters[kind]}"
+
+    for line in lines:
+        if any(line.startswith(prefix) for prefix in _SKIPPED):
+            continue
+        if line.startswith("nn.ReLU"):
+            specs.append(ReLUSpec(next_name("relu")))
+            continue
+        match = _CONV_RE.match(line)
+        if match:
+            n_in, n_out, kw, kh = (int(match.group(i)) for i in range(1, 5))
+            if kw != kh:
+                raise ParseError(f"non-square kernel in {line!r}")
+            dw = int(match.group(5)) if match.group(5) else 1
+            dh = int(match.group(6)) if match.group(6) else 1
+            if dw != dh:
+                raise ParseError(f"anisotropic stride in {line!r}")
+            pad_w = int(match.group(7)) if match.group(7) else 0
+            pad_h = int(match.group(8)) if match.group(8) else 0
+            if pad_w != pad_h:
+                raise ParseError(f"anisotropic padding in {line!r}")
+            if first_channels is None:
+                first_channels = n_in
+            specs.append(ConvSpec(next_name("conv"), out_channels=n_out,
+                                  kernel=kw, stride=dw, padding=pad_w))
+            continue
+        match = _POOL_RE.match(line)
+        if match:
+            mode = "max" if match.group(1) == "Max" else "avg"
+            kw, kh, dw, dh = (int(match.group(i)) for i in range(2, 6))
+            if kw != kh or dw != dh:
+                raise ParseError(f"anisotropic pooling in {line!r}")
+            specs.append(PoolSpec(next_name("pool"), kernel=kw, stride=dw, mode=mode))
+            continue
+        match = _PAD_RE.match(line)
+        if match:
+            pads = {int(match.group(i)) for i in range(1, 5)}
+            if len(pads) != 1:
+                raise ParseError(f"asymmetric padding in {line!r}")
+            specs.append(PadSpec(next_name("pad"), pad=pads.pop()))
+            continue
+        match = _LRN_RE.match(line)
+        if match:
+            size = int(match.group(1))
+            alpha = float(match.group(2)) if match.group(2) else 1e-4
+            beta = float(match.group(3)) if match.group(3) else 0.75
+            k = float(match.group(4)) if match.group(4) else 1.0
+            specs.append(LRNSpec(next_name("lrn"), size=size, alpha=alpha,
+                                 beta=beta, k=k))
+            continue
+        match = _LINEAR_RE.match(line)
+        if match:
+            specs.append(FCSpec(next_name("fc"), out_features=int(match.group(2))))
+            continue
+        raise ParseError(f"unrecognized module: {line!r}")
+
+    if not specs:
+        raise ParseError("description contains no layers")
+    if input_shape is None:
+        if input_size is None:
+            raise ParseError("provide input_shape or input_size")
+        if first_channels is None:
+            raise ParseError("no convolution to infer input channels from; "
+                             "provide input_shape")
+        input_shape = TensorShape(first_channels, *input_size)
+    return Network(name, input_shape, specs)
+
+
+def dump_network(network: Network) -> str:
+    """Serialize a network back to the Torch-style textual form."""
+    lines = ["nn.Sequential {"]
+    channels = network.input_shape.channels
+    for index, binding in enumerate(network, start=1):
+        spec = binding.spec
+        if isinstance(spec, ConvSpec):
+            entry = (f"nn.SpatialConvolution({channels} -> {spec.out_channels}, "
+                     f"{spec.kernel}x{spec.kernel}, {spec.stride},{spec.stride}")
+            if spec.padding:
+                entry += f", {spec.padding},{spec.padding}"
+            entry += ")"
+            channels = spec.out_channels
+        elif isinstance(spec, PoolSpec):
+            kind = "Max" if spec.mode == "max" else "Average"
+            entry = (f"nn.Spatial{kind}Pooling({spec.kernel}x{spec.kernel}, "
+                     f"{spec.stride},{spec.stride})")
+        elif isinstance(spec, ReLUSpec):
+            entry = "nn.ReLU"
+        elif isinstance(spec, PadSpec):
+            entry = (f"nn.SpatialZeroPadding({spec.pad}, {spec.pad}, "
+                     f"{spec.pad}, {spec.pad})")
+        elif isinstance(spec, LRNSpec):
+            entry = (f"nn.SpatialCrossMapLRN({spec.size}, {spec.alpha}, "
+                     f"{spec.beta}, {spec.k})")
+        elif isinstance(spec, FCSpec):
+            entry = f"nn.Linear({binding.input_shape.elements} -> {spec.out_features})"
+            channels = spec.out_features
+        else:
+            raise ParseError(f"cannot serialize {spec!r}")
+        lines.append(f"  ({index}): {entry}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""Tensor shapes and the output-size arithmetic used throughout the paper.
+
+A feature map is a 3-D volume of ``channels`` maps, each ``height x width``
+(the paper's N maps of R x C values, Figure 1). Convolution and pooling
+share the same output-size rule: for a K x K window applied with stride S
+over an R-sized extent, the output extent is ``(R - K) / S + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per feature-map element. The paper uses single-precision floats
+#: throughout ("we use single-precision floating point for all designs").
+BYTES_PER_WORD = 4
+
+
+class ShapeError(ValueError):
+    """Raised when layer geometry does not divide evenly or is impossible."""
+
+
+def conv_output_extent(extent: int, kernel: int, stride: int) -> int:
+    """Output size of a K-wide window applied with stride S over ``extent``.
+
+    This is the paper's ``R' = (R - K)/S + 1`` (Section II). Raises
+    :class:`ShapeError` when the window does not fit or the slide does not
+    divide evenly, because a hardware dataflow cannot silently truncate.
+    """
+    if kernel <= 0 or stride <= 0:
+        raise ShapeError(f"kernel and stride must be positive, got K={kernel} S={stride}")
+    if extent < kernel:
+        raise ShapeError(f"window K={kernel} does not fit in extent {extent}")
+    if (extent - kernel) % stride != 0:
+        raise ShapeError(
+            f"extent {extent} with K={kernel}, S={stride} leaves a partial window"
+        )
+    return (extent - kernel) // stride + 1
+
+
+def input_extent_for(output_extent: int, kernel: int, stride: int) -> int:
+    """Inverse of :func:`conv_output_extent`: the paper's pyramid rule.
+
+    Section III-B: ``D = S * D' + K - S`` — the input-tile extent a layer
+    needs to produce an output tile of ``output_extent``.
+    """
+    if output_extent <= 0:
+        raise ShapeError(f"output extent must be positive, got {output_extent}")
+    if kernel <= 0 or stride <= 0:
+        raise ShapeError(f"kernel and stride must be positive, got K={kernel} S={stride}")
+    return stride * output_extent + kernel - stride
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """Shape of a feature-map volume: ``channels`` maps of ``height x width``."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ShapeError(f"all dimensions must be positive: {self}")
+
+    @property
+    def elements(self) -> int:
+        """Total number of values in the volume."""
+        return self.channels * self.height * self.width
+
+    @property
+    def bytes(self) -> int:
+        """Storage footprint in bytes at fp32."""
+        return self.elements * BYTES_PER_WORD
+
+    def with_channels(self, channels: int) -> "TensorShape":
+        return TensorShape(channels, self.height, self.width)
+
+    def padded(self, pad: int) -> "TensorShape":
+        """Shape after adding ``pad`` zeros on every spatial border."""
+        if pad < 0:
+            raise ShapeError(f"padding must be non-negative, got {pad}")
+        return TensorShape(self.channels, self.height + 2 * pad, self.width + 2 * pad)
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"

@@ -1,0 +1,8 @@
+"""Model zoo: networks used by the paper's evaluation."""
+
+from .alexnet import alexnet
+from .misc import googlenet_stem, nin_cifar, zfnet
+from .toynet import toynet
+from .vgg import vgg16, vggnet_e
+
+__all__ = ["alexnet", "googlenet_stem", "nin_cifar", "toynet", "vgg16", "vggnet_e", "zfnet"]

@@ -1,0 +1,65 @@
+"""AlexNet (Krizhevsky et al., 2012) — the paper's first evaluation target.
+
+Geometry follows the Caffe reference model: 227x227x3 input, five
+convolutional layers (conv2/4/5 grouped), three 3x3 stride-2 max-pooling
+layers, and two LRN layers. The paper fuses conv1..conv2 (with ReLU,
+padding, and pool1) and omits LRN for comparability with Zhang et al. [19]
+(Section VI-B); LRN is still described here so the IR is faithful.
+"""
+
+from __future__ import annotations
+
+from ..layers import ConvSpec, FCSpec, LRNSpec, PoolSpec, ReLUSpec
+from ..network import Network
+from ..shapes import TensorShape
+
+
+def alexnet(include_lrn: bool = True, include_classifier: bool = True,
+            grouped: bool = True) -> Network:
+    """Build AlexNet.
+
+    Parameters
+    ----------
+    include_lrn:
+        Keep the two local-response-normalization layers. The fusion
+        analysis skips them either way (the paper omits them).
+    include_classifier:
+        Keep the three fully connected layers (out of fusion scope).
+    grouped:
+        Use the original two-group convolutions for conv2/conv4/conv5.
+        Grouping halves those layers' weights and per-output work but does
+        not change feature-map geometry.
+    """
+    groups = 2 if grouped else 1
+    layers = [
+        ConvSpec("conv1", out_channels=96, kernel=11, stride=4, padding=0),
+        ReLUSpec("relu1"),
+    ]
+    if include_lrn:
+        layers.append(LRNSpec("norm1"))
+    layers += [
+        PoolSpec("pool1", kernel=3, stride=2),
+        ConvSpec("conv2", out_channels=256, kernel=5, stride=1, padding=2, groups=groups),
+        ReLUSpec("relu2"),
+    ]
+    if include_lrn:
+        layers.append(LRNSpec("norm2"))
+    layers += [
+        PoolSpec("pool2", kernel=3, stride=2),
+        ConvSpec("conv3", out_channels=384, kernel=3, stride=1, padding=1),
+        ReLUSpec("relu3"),
+        ConvSpec("conv4", out_channels=384, kernel=3, stride=1, padding=1, groups=groups),
+        ReLUSpec("relu4"),
+        ConvSpec("conv5", out_channels=256, kernel=3, stride=1, padding=1, groups=groups),
+        ReLUSpec("relu5"),
+        PoolSpec("pool5", kernel=3, stride=2),
+    ]
+    if include_classifier:
+        layers += [
+            FCSpec("fc6", out_features=4096),
+            ReLUSpec("relu6"),
+            FCSpec("fc7", out_features=4096),
+            ReLUSpec("relu7"),
+            FCSpec("fc8", out_features=1000),
+        ]
+    return Network("AlexNet", TensorShape(3, 227, 227), layers)

@@ -1,0 +1,107 @@
+"""Additional sequential CNNs for fusion studies.
+
+The paper names GoogLeNet as a motivating trend ("using kernels as small
+as 1x1 to allow an increased network depth"); its inception blocks
+branch, but the *stem* — where virtually all feature-map traffic lives —
+is sequential and a natural fusion target. ZFNet is AlexNet's
+higher-resolution successor; Network-in-Network (NiN) stresses the
+1x1-convolution case where fusion overlap buffers vanish (K - S = 0).
+"""
+
+from __future__ import annotations
+
+from ..layers import ConvSpec, FCSpec, LRNSpec, PoolSpec, ReLUSpec
+from ..network import Network
+from ..shapes import TensorShape
+
+
+def googlenet_stem(include_lrn: bool = True) -> Network:
+    """GoogLeNet's pre-inception stem (Szegedy et al., 2015).
+
+    conv7x7/2 -> pool3x3/2 -> conv1x1 -> conv3x3 -> pool3x3/2; the 1x1
+    "reduce" layer makes this the paper's small-kernel example. Input is
+    taken at 231x231 so every stride-2 window tiles exactly (the
+    customary ceil-mode pooling is not a dataflow the paper's accelerator
+    uses).
+    """
+    layers = [
+        ConvSpec("conv1", out_channels=64, kernel=7, stride=2, padding=2),
+        ReLUSpec("relu1"),
+        PoolSpec("pool1", kernel=3, stride=2),
+    ]
+    if include_lrn:
+        layers.append(LRNSpec("norm1"))
+    layers += [
+        ConvSpec("conv2_reduce", out_channels=64, kernel=1, stride=1),
+        ReLUSpec("relu2r"),
+        ConvSpec("conv2", out_channels=192, kernel=3, stride=1, padding=1),
+        ReLUSpec("relu2"),
+    ]
+    if include_lrn:
+        layers.append(LRNSpec("norm2"))
+    layers.append(PoolSpec("pool2", kernel=3, stride=2))
+    return Network("GoogLeNet-stem", TensorShape(3, 231, 231), layers)
+
+
+def zfnet(include_classifier: bool = True) -> Network:
+    """ZFNet (Zeiler & Fergus, 2014): AlexNet with a 7x7/2 first layer.
+
+    Input taken at 233x233 (vs the published 225) so every window tiles
+    exactly without ceil-mode pooling."""
+    layers = [
+        ConvSpec("conv1", out_channels=96, kernel=7, stride=2, padding=1),
+        ReLUSpec("relu1"),
+        PoolSpec("pool1", kernel=3, stride=2),
+        LRNSpec("norm1"),
+        ConvSpec("conv2", out_channels=256, kernel=5, stride=2),
+        ReLUSpec("relu2"),
+        PoolSpec("pool2", kernel=3, stride=2),
+        LRNSpec("norm2"),
+        ConvSpec("conv3", out_channels=384, kernel=3, stride=1, padding=1),
+        ReLUSpec("relu3"),
+        ConvSpec("conv4", out_channels=384, kernel=3, stride=1, padding=1),
+        ReLUSpec("relu4"),
+        ConvSpec("conv5", out_channels=256, kernel=3, stride=1, padding=1),
+        ReLUSpec("relu5"),
+        PoolSpec("pool5", kernel=3, stride=2),
+    ]
+    if include_classifier:
+        layers += [
+            FCSpec("fc6", out_features=4096),
+            ReLUSpec("relu6"),
+            FCSpec("fc7", out_features=4096),
+            ReLUSpec("relu7"),
+            FCSpec("fc8", out_features=1000),
+        ]
+    return Network("ZFNet", TensorShape(3, 233, 233), layers)
+
+
+def nin_cifar() -> Network:
+    """Network-in-Network for CIFAR (Lin et al., 2014): each block is a
+    spatial convolution followed by two 1x1 "mlpconv" layers. The 1x1
+    layers have K = S, so fusing across them needs no reuse buffering at
+    their inputs — a useful boundary case."""
+    layers = [
+        ConvSpec("conv1", out_channels=192, kernel=5, stride=1, padding=2),
+        ReLUSpec("relu1"),
+        ConvSpec("cccp1", out_channels=160, kernel=1, stride=1),
+        ReLUSpec("relu_c1"),
+        ConvSpec("cccp2", out_channels=96, kernel=1, stride=1),
+        ReLUSpec("relu_c2"),
+        PoolSpec("pool1", kernel=2, stride=2),
+        ConvSpec("conv2", out_channels=192, kernel=5, stride=1, padding=2),
+        ReLUSpec("relu2"),
+        ConvSpec("cccp3", out_channels=192, kernel=1, stride=1),
+        ReLUSpec("relu_c3"),
+        ConvSpec("cccp4", out_channels=192, kernel=1, stride=1),
+        ReLUSpec("relu_c4"),
+        PoolSpec("pool2", kernel=2, stride=2),
+        ConvSpec("conv3", out_channels=192, kernel=3, stride=1, padding=1),
+        ReLUSpec("relu3"),
+        ConvSpec("cccp5", out_channels=192, kernel=1, stride=1),
+        ReLUSpec("relu_c5"),
+        ConvSpec("cccp6", out_channels=10, kernel=1, stride=1),
+        ReLUSpec("relu_c6"),
+        PoolSpec("pool3", kernel=8, stride=8, mode="avg"),
+    ]
+    return Network("NiN-CIFAR", TensorShape(3, 32, 32), layers)

@@ -1,0 +1,29 @@
+"""The Figure 3 example network: two 3x3 convolutions over a 7x7 input.
+
+Layer 1 has M filters of 3x3xN weights; Layer 2 has P filters of 3x3xM.
+With a 1x1 pyramid tip, Layer 1 operates on a 5x5xN input tile and
+produces a 3x3xM intermediate region — exactly the black pyramid of the
+paper's walkthrough. Used by tests and the Figure 3 benchmark.
+"""
+
+from __future__ import annotations
+
+from ..layers import ConvSpec, ReLUSpec
+from ..network import Network
+from ..shapes import TensorShape
+
+
+def toynet(n: int = 4, m: int = 6, p: int = 8, size: int = 7,
+           with_relu: bool = False) -> Network:
+    """Build the two-layer example network of Figure 3.
+
+    Parameters default to small channel counts so tests stay fast; the
+    geometry (7x7 input, two 3x3 stride-1 convolutions) matches the figure.
+    """
+    layers = [ConvSpec("layer1", out_channels=m, kernel=3, stride=1)]
+    if with_relu:
+        layers.append(ReLUSpec("relu1"))
+    layers.append(ConvSpec("layer2", out_channels=p, kernel=3, stride=1))
+    if with_relu:
+        layers.append(ReLUSpec("relu2"))
+    return Network("ToyNet", TensorShape(n, size, size), layers)

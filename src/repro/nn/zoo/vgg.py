@@ -1,0 +1,47 @@
+"""VGG networks (Simonyan & Zisserman, 2014).
+
+``vggnet_e`` (configuration E, a.k.a. VGG-19) is the paper's main
+evaluation target: 16 convolutional layers in five blocks with 2x2
+stride-2 max pooling between blocks, all convolutions 3x3 stride-1 pad-1.
+``vgg16`` (configuration D) is provided for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..layers import ConvSpec, FCSpec, LayerSpec, PoolSpec, ReLUSpec
+from ..network import Network
+from ..shapes import TensorShape
+
+
+def _vgg(name: str, block_sizes: Sequence[int], include_classifier: bool) -> Network:
+    channels = (64, 128, 256, 512, 512)
+    layers: List[LayerSpec] = []
+    for block, (count, width) in enumerate(zip(block_sizes, channels), start=1):
+        for i in range(1, count + 1):
+            layers.append(
+                ConvSpec(f"conv{block}_{i}", out_channels=width, kernel=3,
+                         stride=1, padding=1)
+            )
+            layers.append(ReLUSpec(f"relu{block}_{i}"))
+        layers.append(PoolSpec(f"pool{block}", kernel=2, stride=2))
+    if include_classifier:
+        layers += [
+            FCSpec("fc6", out_features=4096),
+            ReLUSpec("relu6"),
+            FCSpec("fc7", out_features=4096),
+            ReLUSpec("relu7"),
+            FCSpec("fc8", out_features=1000),
+        ]
+    return Network(name, TensorShape(3, 224, 224), layers)
+
+
+def vggnet_e(include_classifier: bool = True) -> Network:
+    """VGGNet-E (VGG-19): blocks of 2, 2, 4, 4, 4 convolutions."""
+    return _vgg("VGGNet-E", (2, 2, 4, 4, 4), include_classifier)
+
+
+def vgg16(include_classifier: bool = True) -> Network:
+    """VGG-16 (configuration D): blocks of 2, 2, 3, 3, 3 convolutions."""
+    return _vgg("VGG-16", (2, 2, 3, 3, 3), include_classifier)

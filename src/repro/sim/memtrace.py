@@ -1,0 +1,126 @@
+"""Element-level memory traces of the two schedules (for cache studies).
+
+Both generators emit exactly the same multiset of accesses — one read
+per operand of every multiply-accumulate, plus weight reads and one
+write per output element — differing only in *order*: the layer-by-layer
+trace finishes each map before starting the next, while the fused trace
+interleaves levels pyramid by pyramid. Replaying both through
+:class:`~repro.sim.cache.CacheSim` isolates the locality effect behind
+the paper's Section VI-C CPU speedup.
+
+Address map: fp32 elements; the input map, every level's output map, and
+every level's weights get disjoint line-aligned regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..nn.stages import Level
+from .fused import plan_levels
+
+WORD = 4
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Base addresses of every region used by a fused group's schedule."""
+
+    input_base: int
+    map_bases: Tuple[int, ...]     # output map of each level
+    weight_bases: Tuple[int, ...]  # weights of each level (0 for pools)
+    total_bytes: int
+
+
+def build_address_map(levels: Sequence[Level], line_bytes: int = 64) -> AddressMap:
+    def align(x: int) -> int:
+        return (x + line_bytes - 1) // line_bytes * line_bytes
+
+    cursor = 0
+    input_base = cursor
+    cursor = align(cursor + levels[0].in_shape.bytes)
+    map_bases: List[int] = []
+    weight_bases: List[int] = []
+    for level in levels:
+        map_bases.append(cursor)
+        cursor = align(cursor + level.out_shape.bytes)
+        weight_bases.append(cursor)
+        cursor = align(cursor + level.weight_count * WORD)
+    return AddressMap(input_base=input_base, map_bases=tuple(map_bases),
+                      weight_bases=tuple(weight_bases), total_bytes=cursor)
+
+
+def _element_addr(base: int, channels_extent: Tuple[int, int, int],
+                  ch: int, row: int, col: int) -> int:
+    _, height, width = channels_extent
+    return base + ((ch * height + row) * width + col) * WORD
+
+
+def _level_block_accesses(levels: Sequence[Level], amap: AddressMap, i: int,
+                          r0: int, r1: int, c0: int, c1: int) -> Iterator[Tuple[int, bool]]:
+    """Accesses to compute output block [r0,r1)x[c0,c1) of level ``i``:
+    window reads (producer map or input), weight reads, output writes."""
+    level = levels[i]
+    in_shape = level.in_shape
+    in_dims = (in_shape.channels, in_shape.height, in_shape.width)
+    out_shape = level.out_shape
+    out_dims = (out_shape.channels, out_shape.height, out_shape.width)
+    src_base = amap.input_base if i == 0 else amap.map_bases[i - 1]
+    k, s, pad = level.kernel, level.stride, level.pad
+    g_in = level.in_channels // level.groups
+    g_out = level.out_channels // level.groups
+
+    for m in range(level.out_channels):
+        group = m // g_out if level.is_conv else 0
+        for r in range(r0, r1):
+            for c in range(c0, c1):
+                if level.is_conv:
+                    channel_range = range(group * g_in, (group + 1) * g_in)
+                else:
+                    channel_range = range(m, m + 1)
+                for n in channel_range:
+                    for ki in range(k):
+                        row = r * s + ki - pad
+                        if not 0 <= row < in_shape.height:
+                            continue
+                        for kj in range(k):
+                            col = c * s + kj - pad
+                            if not 0 <= col < in_shape.width:
+                                continue
+                            yield (_element_addr(src_base, in_dims, n, row, col),
+                                   False)
+                            if level.is_conv:
+                                local_n = n - group * g_in
+                                widx = (((m * g_in + local_n) * k + ki) * k + kj)
+                                yield (amap.weight_bases[i] + widx * WORD, False)
+                yield (_element_addr(amap.map_bases[i], out_dims, m, r, c), True)
+
+
+def reference_trace(levels: Sequence[Level],
+                    amap: AddressMap) -> Iterator[Tuple[int, bool]]:
+    """The layer-by-layer schedule: each level over its full map."""
+    for i, level in enumerate(levels):
+        out = level.out_shape
+        yield from _level_block_accesses(levels, amap, i, 0, out.height,
+                                         0, out.width)
+
+
+def fused_trace(levels: Sequence[Level], amap: AddressMap,
+                tip_h: int = 1, tip_w: int = 1) -> Iterator[Tuple[int, bool]]:
+    """The fused pyramid schedule: per pyramid, each level's fresh block."""
+    plans = plan_levels(levels, tip_h, tip_w)
+    rows = len(plans[0].ob_r) - 1
+    cols = len(plans[0].ob_c) - 1
+    for p in range(rows):
+        for q in range(cols):
+            for i, plan in enumerate(plans):
+                r0, r1 = plan.ob_r[p], plan.ob_r[p + 1]
+                c0, c1 = plan.ob_c[q], plan.ob_c[q + 1]
+                if r1 <= r0 or c1 <= c0:
+                    continue
+                yield from _level_block_accesses(levels, amap, i, r0, r1, c0, c1)
+
+
+def trace_length(trace: Iterator[Tuple[int, bool]]) -> int:
+    return sum(1 for _ in trace)

@@ -1,0 +1,97 @@
+"""Whole-network execution: every layer type, end to end.
+
+The level executors (:mod:`repro.sim.reference`, :mod:`repro.sim.fused`)
+cover the fusion scope — windowed layers plus ReLU/padding. This module
+executes complete :class:`~repro.nn.network.Network` objects, including
+the LRN and fully connected layers the paper's accelerators exclude, so
+zoo networks can be evaluated end to end (the role Torch played for the
+paper's tool).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    LRNSpec,
+    PadSpec,
+    PoolSpec,
+    ReLUSpec,
+)
+from ..nn.network import Network
+from ..nn.shapes import ShapeError
+from . import ops
+from .trace import TrafficTrace
+from .weights import make_network_weights
+
+
+class NetworkExecutor:
+    """Executes a full network layer by layer (the Torch role).
+
+    Weights are deterministic per seed unless supplied; shapes are
+    validated against the network's inferred shapes at every step, so a
+    drift between the IR's shape inference and the operators fails loudly.
+    """
+
+    def __init__(self, network: Network,
+                 params: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+                 seed: int = 0, integer: bool = False):
+        self.network = network
+        self.params = params if params is not None else make_network_weights(
+            network, seed=seed, integer=integer)
+
+    def _apply(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
+        if isinstance(spec, ConvSpec):
+            w, b = self.params[spec.name]
+            return ops.conv2d(x, w, b, stride=spec.stride, pad=spec.padding,
+                              groups=spec.groups)
+        if isinstance(spec, PoolSpec):
+            if spec.mode == "max":
+                return ops.maxpool2d(x, spec.kernel, spec.stride)
+            return ops.avgpool2d(x, spec.kernel, spec.stride)
+        if isinstance(spec, ReLUSpec):
+            return ops.relu(x)
+        if isinstance(spec, PadSpec):
+            return ops.pad2d(x, spec.pad)
+        if isinstance(spec, LRNSpec):
+            return ops.lrn(x, size=spec.size, alpha=spec.alpha, beta=spec.beta,
+                           k=spec.k)
+        if isinstance(spec, FCSpec):
+            w, b = self.params[spec.name]
+            return ops.fully_connected(x, w, b)
+        raise ShapeError(f"no operator for {spec!r}")
+
+    def run(self, x: np.ndarray, trace: Optional[TrafficTrace] = None) -> np.ndarray:
+        """Evaluate the whole network; returns the final output volume."""
+        return self.run_all(x, trace)[-1] if len(self.network) else np.asarray(x)
+
+    def run_all(self, x: np.ndarray, trace: Optional[TrafficTrace] = None) -> List[np.ndarray]:
+        """Evaluate all layers, returning every intermediate volume."""
+        expected = self.network.input_shape
+        if x.shape != (expected.channels, expected.height, expected.width):
+            raise ShapeError(f"input {x.shape} != network input {expected}")
+        outputs: List[np.ndarray] = []
+        current = np.asarray(x)
+        for binding in self.network:
+            if trace is not None:
+                trace.read(binding.name, current.size)
+            current = self._apply(binding.spec, current)
+            out = binding.output_shape
+            if current.shape != (out.channels, out.height, out.width):
+                raise ShapeError(
+                    f"{binding.name}: produced {current.shape}, inferred {out}"
+                )
+            if trace is not None:
+                trace.write(binding.name, current.size)
+                trace.compute(binding.name, binding.total_ops)
+            outputs.append(current)
+        return outputs
+
+    def classify(self, x: np.ndarray) -> int:
+        """Index of the maximum output — a toy top-1 'prediction'."""
+        return int(np.argmax(self.run(x).ravel()))

@@ -1,0 +1,101 @@
+"""NumPy implementations of the CNN primitives.
+
+All operators take and return ``(channels, height, width)`` float32
+arrays. Convolution is direct (via stride-tricks windowing + tensordot),
+matching the accelerator's arithmetic order closely enough for float32
+comparison with small tolerances; integer inputs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.shapes import ShapeError, conv_output_extent
+
+
+def pad2d(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions by ``pad`` on every border."""
+    if pad < 0:
+        raise ShapeError(f"padding must be non-negative, got {pad}")
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def _windows(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """View of all K x K windows: shape (C, OH, OW, K, K)."""
+    out_h = conv_output_extent(x.shape[1], kernel, stride)
+    out_w = conv_output_extent(x.shape[2], kernel, stride)
+    view = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(1, 2))
+    return view[:, ::stride, ::stride][:, :out_h, :out_w]
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray, bias: "np.ndarray | None" = None,
+           stride: int = 1, pad: int = 0, groups: int = 1) -> np.ndarray:
+    """2-D convolution (really cross-correlation, as in every CNN framework).
+
+    ``weights`` has shape ``(M, N // groups, K, K)``; ``bias`` shape
+    ``(M,)`` or None. Grouped convolution splits input and output channels
+    into ``groups`` independent blocks (AlexNet conv2/4/5).
+    """
+    x = pad2d(x, pad)
+    m, n_per_group, kh, kw = weights.shape
+    if kh != kw:
+        raise ShapeError("only square kernels are supported")
+    if x.shape[0] != n_per_group * groups:
+        raise ShapeError(
+            f"input channels {x.shape[0]} != weights {n_per_group} x groups {groups}"
+        )
+    if m % groups != 0:
+        raise ShapeError(f"output channels {m} not divisible by groups {groups}")
+
+    windows = _windows(x, kh, stride)  # (N, OH, OW, K, K)
+    m_per_group = m // groups
+    outputs = []
+    for g in range(groups):
+        w_g = weights[g * m_per_group:(g + 1) * m_per_group]
+        x_g = windows[g * n_per_group:(g + 1) * n_per_group]
+        # (M/g, N/g, K, K) x (N/g, OH, OW, K, K) -> (M/g, OH, OW)
+        outputs.append(np.tensordot(w_g, x_g, axes=([1, 2, 3], [0, 3, 4])))
+    out = np.concatenate(outputs, axis=0)
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return out.astype(x.dtype, copy=False)
+
+
+def maxpool2d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Max pooling over K x K windows with stride S."""
+    return _windows(x, kernel, stride).max(axis=(3, 4))
+
+
+def avgpool2d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Average pooling over K x K windows with stride S."""
+    return _windows(x, kernel, stride).mean(axis=(3, 4)).astype(x.dtype, copy=False)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit: max(x, 0) elementwise."""
+    return np.maximum(x, 0)
+
+
+def lrn(x: np.ndarray, size: int = 5, alpha: float = 1e-4, beta: float = 0.75,
+        k: float = 2.0) -> np.ndarray:
+    """Local response normalization across channels (AlexNet)."""
+    half = size // 2
+    squared = np.square(x)
+    scale = np.full_like(x, k)
+    channels = x.shape[0]
+    for c in range(channels):
+        lo, hi = max(0, c - half), min(channels, c + half + 1)
+        scale[c] += (alpha / size) * squared[lo:hi].sum(axis=0)
+    return (x / scale ** beta).astype(x.dtype, copy=False)
+
+
+def fully_connected(x: np.ndarray, weights: np.ndarray,
+                    bias: "np.ndarray | None" = None) -> np.ndarray:
+    """Dense layer over the flattened input; returns (out, 1, 1)."""
+    flat = x.reshape(-1)
+    out = weights @ flat
+    if bias is not None:
+        out = out + bias
+    return out.reshape(-1, 1, 1).astype(x.dtype, copy=False)

@@ -1,0 +1,64 @@
+"""DRAM-traffic and compute tracing for the simulators.
+
+The accelerator's figure of merit is bytes crossing the chip boundary per
+image. Both executors report their traffic through a :class:`TrafficTrace`
+so schedules can be compared event-by-event in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..nn.shapes import BYTES_PER_WORD
+
+
+@dataclass
+class TrafficTrace:
+    """Accumulates off-chip transfer and on-chip compute events."""
+
+    events: List[Tuple[str, str, int]] = field(default_factory=list)
+    dram_read_elements: int = 0
+    dram_write_elements: int = 0
+    macs: int = 0
+    ops: int = 0
+
+    def read(self, label: str, elements: int) -> None:
+        """Record ``elements`` words read from DRAM."""
+        self.dram_read_elements += elements
+        self.events.append(("read", label, elements))
+
+    def write(self, label: str, elements: int) -> None:
+        """Record ``elements`` words written to DRAM."""
+        self.dram_write_elements += elements
+        self.events.append(("write", label, elements))
+
+    def compute(self, label: str, ops: int) -> None:
+        """Record arithmetic operations (multiplies + adds)."""
+        self.ops += ops
+        self.events.append(("compute", label, ops))
+
+    @property
+    def dram_read_bytes(self) -> int:
+        return self.dram_read_elements * BYTES_PER_WORD
+
+    @property
+    def dram_write_bytes(self) -> int:
+        return self.dram_write_elements * BYTES_PER_WORD
+
+    @property
+    def dram_total_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def reads_for(self, label: str) -> int:
+        return sum(n for kind, lbl, n in self.events if kind == "read" and lbl == label)
+
+    def writes_for(self, label: str) -> int:
+        return sum(n for kind, lbl, n in self.events if kind == "write" and lbl == label)
+
+    def summary(self) -> str:
+        return (
+            f"DRAM read {self.dram_read_bytes / 2**20:.3f} MB, "
+            f"write {self.dram_write_bytes / 2**20:.3f} MB, "
+            f"compute {self.ops / 1e6:.1f} Mops"
+        )

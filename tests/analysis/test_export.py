@@ -1,0 +1,52 @@
+"""CSV export of analysis artifacts."""
+
+import csv
+import io
+
+from repro import toynet, vggnet_e
+from repro.analysis.export import (
+    comparison_csv,
+    figure2_csv,
+    figure7_csv,
+    strategy_csv,
+)
+from repro.analysis import figure2_series, figure7_data, reuse_vs_recompute
+from repro.nn.stages import extract_levels
+
+
+def parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestExports:
+    def test_figure2_csv(self):
+        rows = parse_csv(figure2_csv(figure2_series()))
+        assert rows[0] == ["index", "stage", "input_mb", "output_mb", "weights_mb"]
+        assert len(rows) == 17
+        assert rows[1][1] == "conv1_1"
+        assert float(rows[1][2]) > 0.5
+
+    def test_figure7_csv(self):
+        data = figure7_data(vggnet_e(), num_convs=5)
+        rows = parse_csv(figure7_csv(data))
+        assert len(rows) == 65
+        labels = {r[4] for r in rows[1:]}
+        assert {"A", "B", "C"} <= labels
+        pareto_flags = {r[3] for r in rows[1:]}
+        assert pareto_flags == {"0", "1"}
+
+    def test_comparison_csv(self, mini_vgg_levels):
+        from repro.analysis import compare_designs
+
+        table = compare_designs("mini", mini_vgg_levels, baseline_dsp=300,
+                                fused_dsp=330, tile_candidates=(8, 16, 32))
+        rows = parse_csv(comparison_csv(table))
+        metrics = [r[0] for r in rows[1:]]
+        assert metrics == ["transfer_kb", "kilo_cycles", "bram", "dsp", "luts", "ffs"]
+        assert float(rows[1][1]) < float(rows[1][2])  # fused transfers less
+
+    def test_strategy_csv(self):
+        levels = extract_levels(toynet())
+        rows = parse_csv(strategy_csv(reuse_vs_recompute(levels, "toy", tips=(1, 3))))
+        assert len(rows) == 3
+        assert rows[1][0] == "toy"

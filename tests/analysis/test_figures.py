@@ -1,0 +1,108 @@
+"""Figure data generators against the paper's in-text numbers."""
+
+import pytest
+
+from repro import alexnet, vggnet_e
+from repro.analysis.figures import (
+    figure2_series,
+    figure3_walkthrough,
+    figure6_timeline,
+    figure7_data,
+)
+
+
+class TestFigure2:
+    def test_sixteen_stages(self):
+        assert len(figure2_series()) == 16
+
+    def test_first_layer_matches_prose(self):
+        """'the first convolutional layer requires 0.6MB of input and 7KB
+        of weights; it produces 12.3MB of output feature maps.'"""
+        first = figure2_series()[0]
+        assert first.input_mb == pytest.approx(0.574, abs=0.01)
+        assert first.weights_mb * 1024 == pytest.approx(7, abs=0.3)
+        assert first.output_mb == pytest.approx(12.25, abs=0.05)
+
+    def test_layer4_includes_pooling(self):
+        """'layer 4 encompasses one convolutional and one pooling layer.'"""
+        rows = figure2_series()
+        assert rows[3].name == "conv2_2+pool2"
+
+    def test_feature_maps_dominate_first_eight(self):
+        """'In the first eight layers, the sum of the inputs and outputs
+        is much higher than the weights; beyond that, the weights
+        dominate.'"""
+        rows = figure2_series()
+        for row in rows[:8]:
+            assert row.feature_mb > row.weights_mb
+        for row in rows[8:]:
+            assert row.weights_mb > row.feature_mb
+
+    def test_custom_network(self):
+        rows = figure2_series(alexnet())
+        assert len(rows) == 5  # 5 conv stages (pools merged)
+
+
+class TestFigure3:
+    def test_walkthrough_geometry(self):
+        rows = figure3_walkthrough(n=4, m=6, p=8)
+        layer1, layer2 = rows
+        assert layer1.in_tile == (5, 5)
+        assert layer1.out_tile == (3, 3)
+        assert layer2.out_tile == (1, 1)
+        assert (layer1.channels_in, layer1.channels_out) == (4, 6)
+        assert (layer2.channels_in, layer2.channels_out) == (6, 8)
+
+    def test_six_blue_circles(self):
+        """'the 6M blue values in the intermediate feature maps'."""
+        rows = figure3_walkthrough()
+        assert rows[0].overlap_points_per_map == 6
+        assert rows[1].overlap_points_per_map == 0  # tip outputs are unique
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def vgg(self):
+        return figure7_data(vggnet_e(), num_convs=5)
+
+    def test_point_labels_present(self, vgg):
+        assert vgg.labeled("A").storage_kb == 0
+        assert vgg.labeled("C").transfer_mb == pytest.approx(3.64, abs=0.01)
+        b = vgg.labeled("B")
+        assert 0 < b.storage_kb < vgg.labeled("C").storage_kb
+
+    def test_partition_counts(self, vgg):
+        assert vgg.num_partitions == 64
+        assert len(vgg.points) == 64
+        alex = figure7_data(alexnet())
+        assert alex.num_partitions == 128
+
+    def test_front_flags_consistent(self, vgg):
+        front = vgg.front
+        assert front
+        # No point beats a front member on transfer without paying storage.
+        for f in front:
+            dominators = [p for p in vgg.points
+                          if p.storage_kb <= f.storage_kb
+                          and p.transfer_mb < f.transfer_mb]
+            assert not dominators
+
+    def test_unknown_label_raises(self, vgg):
+        with pytest.raises(KeyError):
+            vgg.labeled("Z")
+
+
+class TestFigure6:
+    def test_timeline_entries(self):
+        from repro.hw import optimize_fused
+        from repro.nn.stages import extract_levels
+
+        levels = extract_levels(vggnet_e().prefix(2))
+        design = optimize_fused(levels, dsp_budget=600)
+        entries = figure6_timeline(design, num_pyramids=3)
+        stages = design.stage_timings()
+        assert len(entries) == 3 * len(stages)
+        # Later pyramids finish later at every stage.
+        first = [e.finish_cycle for e in entries if e.pyramid == 1]
+        second = [e.finish_cycle for e in entries if e.pyramid == 2]
+        assert all(a < b for a, b in zip(first, second))

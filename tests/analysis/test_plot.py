@@ -1,0 +1,47 @@
+"""ASCII scatter rendering."""
+
+import pytest
+
+from repro import vggnet_e
+from repro.analysis import figure7_data, plot_figure7
+from repro.analysis.plot import ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_corners_land_on_edges(self):
+        text = ascii_scatter([(0, 0, "a"), (10, 10, "b")], width=10, height=5)
+        lines = text.splitlines()
+        body = [l[1:] for l in lines if l.startswith("|")]
+        assert len(body) == 5
+        assert body[0][9] == "b"   # max y, max x -> top right
+        assert body[-1][0] == "a"  # min y, min x -> bottom left
+
+    def test_axis_annotations(self):
+        text = ascii_scatter([(1, 2, "*"), (3, 4, "*")],
+                             x_label="KB", y_label="MB")
+        assert "KB" in text and "MB" in text
+        assert "(1 .. 3)" in text and "(2 .. 4)" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter([(5, 5, "x")])
+        assert "x" in text
+
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no points)"
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([(0, 0, "*")], width=4, height=2)
+
+    def test_later_points_overwrite(self):
+        text = ascii_scatter([(0, 0, "a"), (0, 0, "b")], width=10, height=5)
+        assert "b" in text and "a" not in text
+
+
+class TestPlotFigure7:
+    def test_labels_visible(self):
+        data = figure7_data(vggnet_e(), num_convs=5)
+        text = plot_figure7(data)
+        for label in ("A", "B", "C"):
+            assert label in text
+        assert "*" in text and "." in text

@@ -1,0 +1,45 @@
+"""Text rendering of analysis artifacts."""
+
+from repro import vggnet_e
+from repro.analysis import (
+    figure2_series,
+    figure7_data,
+    render_figure2,
+    render_figure7,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["a", "bb"], [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[2] or "333" in lines[3]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderFigures:
+    def test_figure2_text(self):
+        text = render_figure2(figure2_series())
+        assert "conv1_1" in text
+        assert "12.25" in text
+
+    def test_figure7_text(self):
+        data = figure7_data(vggnet_e(), num_convs=5)
+        text = render_figure7(data)
+        assert "64 partitions" in text
+        assert "3.64" in text
+        front_text = render_figure7(data, front_only=True)
+        assert len(front_text.splitlines()) < len(text.splitlines())
+        # B and C are Pareto-optimal; A (layer-by-layer) appears in the
+        # full scatter but is dominated by the free pool-merge designs.
+        for label in ("B", "C"):
+            assert any(line.strip().startswith(label)
+                       for line in front_text.splitlines())
+        assert any(line.strip().startswith("A") for line in text.splitlines())

@@ -1,0 +1,57 @@
+"""Shared fixtures: small networks that exercise every geometry feature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape
+from repro.nn.stages import extract_levels
+
+
+@pytest.fixture
+def mini_vgg() -> Network:
+    """A VGG-shaped net scaled to 32x32: 5 convs (pad 1) + 2 pools."""
+    return Network(
+        "miniVGG",
+        TensorShape(3, 32, 32),
+        [
+            ConvSpec("c11", out_channels=8, kernel=3, stride=1, padding=1),
+            ReLUSpec("r11"),
+            ConvSpec("c12", out_channels=8, kernel=3, stride=1, padding=1),
+            ReLUSpec("r12"),
+            PoolSpec("p1", kernel=2, stride=2),
+            ConvSpec("c21", out_channels=16, kernel=3, stride=1, padding=1),
+            ReLUSpec("r21"),
+            ConvSpec("c22", out_channels=16, kernel=3, stride=1, padding=1),
+            ReLUSpec("r22"),
+            PoolSpec("p2", kernel=2, stride=2),
+            ConvSpec("c31", out_channels=32, kernel=3, stride=1, padding=1),
+            ReLUSpec("r31"),
+        ],
+    )
+
+
+@pytest.fixture
+def mini_alex() -> Network:
+    """An AlexNet-shaped net: strided conv, 3x3/s2 pool, grouped conv."""
+    return Network(
+        "miniAlex",
+        TensorShape(3, 35, 35),
+        [
+            ConvSpec("c1", out_channels=8, kernel=7, stride=2),
+            ReLUSpec("r1"),
+            PoolSpec("p1", kernel=3, stride=2),
+            ConvSpec("c2", out_channels=12, kernel=5, stride=1, padding=2, groups=2),
+            ReLUSpec("r2"),
+        ],
+    )
+
+
+@pytest.fixture
+def mini_vgg_levels(mini_vgg):
+    return extract_levels(mini_vgg)
+
+
+@pytest.fixture
+def mini_alex_levels(mini_alex):
+    return extract_levels(mini_alex)

@@ -1,0 +1,175 @@
+"""Cost models: reuse storage, recompute overhead, DRAM transfer."""
+
+import pytest
+
+from repro import alexnet, extract_levels, toynet, vggnet_e
+from repro.core.costs import (
+    group_transfer,
+    intermediate_transfer_saved,
+    one_pass_ops,
+    recompute_ops,
+    recompute_overhead_adjacent,
+    recompute_overhead_ops,
+    reuse_buffer_plans,
+    reuse_storage_bytes,
+)
+
+KB = 2 ** 10
+MB = 2 ** 20
+
+
+class TestReuseStorage:
+    def test_vgg5_matches_papers_362kb(self):
+        """The headline: fusing VGGNet-E's first five conv layers costs
+        362 KB of on-chip reuse storage (we compute 363 KB)."""
+        levels = extract_levels(vggnet_e().prefix(5))
+        storage = reuse_storage_bytes(levels)
+        assert storage / KB == pytest.approx(362, rel=0.01)
+
+    def test_pooling_boundaries_cost_nothing(self):
+        """2x2/s2 pooling has K - S = 0: no reuse buffers at its input."""
+        levels = extract_levels(vggnet_e().prefix(5))
+        plans = reuse_buffer_plans(levels)
+        consumers = {p.consumer_name for p in plans}
+        assert "pool1" not in consumers and "pool2" not in consumers
+        assert consumers == {"conv1_2", "conv2_1", "conv2_2", "conv3_1"}
+
+    def test_plan_shapes(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        plans = reuse_buffer_plans(levels)
+        by_consumer = {p.consumer_name: p for p in plans}
+        conv1_2 = by_consumer["conv1_2"]
+        # BL: 22-row tile x 2 cols x 64 ch; BT: 2 rows x 224 x 64.
+        assert conv1_2.bl_elements == 22 * 2 * 64
+        assert conv1_2.bt_elements == 2 * 224 * 64
+        assert conv1_2.overlap == 2
+
+    def test_input_level_adds_small_buffer(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        without = reuse_storage_bytes(levels, include_input_level=False)
+        with_input = reuse_storage_bytes(levels, include_input_level=True)
+        extra = with_input - without
+        assert 0 < extra < 10 * KB  # a few KB of 3-channel rows
+
+    def test_single_level_no_storage(self):
+        levels = extract_levels(vggnet_e().prefix(1))
+        assert reuse_storage_bytes(levels) == 0
+
+    def test_larger_tip_larger_bl(self):
+        levels = extract_levels(toynet(size=11))
+        assert reuse_storage_bytes(levels, 3, 3) > reuse_storage_bytes(levels, 1, 1)
+
+    def test_alexnet_fuse2_storage_order_of_magnitude(self):
+        """Paper: 55.86 KB; our general BL/BT model gives ~73 KB (the
+        paper's accounting for the merged pool stage is not fully
+        specified — documented in EXPERIMENTS.md)."""
+        levels = extract_levels(alexnet().prefix(2))
+        storage = reuse_storage_bytes(levels) / KB
+        assert 40 < storage < 90
+
+
+class TestRecompute:
+    def test_exact_equals_one_pass_for_single_pyramid(self):
+        # A tip covering the whole output -> one pyramid -> no redundancy.
+        levels = extract_levels(toynet())
+        assert recompute_ops(levels, 3, 3) == one_pass_ops(levels)
+        assert recompute_overhead_ops(levels, 3, 3) == 0
+
+    def test_exact_toynet_by_hand(self):
+        """9 pyramids, each computing a full 3x3 layer-1 tile: layer-1
+        work is 9x what one pass needs; layer-2 work is not redundant."""
+        levels = extract_levels(toynet(n=4, m=6, p=8))
+        l1_ops_per_point = levels[0].ops_per_output
+        l2_total = levels[1].total_ops
+        expected = 9 * (9 * 6 * l1_ops_per_point) + l2_total
+        assert recompute_ops(levels, 1, 1) == expected
+
+    def test_adjacent_matches_papers_example(self):
+        """Section III-C: 6M shared points, each costing 18N ops ->
+        108MN per pyramid, 9 pyramids."""
+        n, m = 4, 6
+        levels = extract_levels(toynet(n=n, m=m, p=8))
+        assert recompute_overhead_adjacent(levels, 1, 1) == 108 * m * n * 9
+
+    def test_adjacent_le_exact_on_deep_nets(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        # The adjacent estimate ignores vertical and cross-level
+        # compounding on multi-level pyramids... but single-direction
+        # overlap can also overcount edges; on real networks exact is
+        # larger for deep fusion.
+        exact = recompute_overhead_ops(levels, 8, 8)
+        adjacent = recompute_overhead_adjacent(levels, 8, 8)
+        assert exact > 0 and adjacent > 0
+
+    def test_alexnet_factor_matches_paper(self):
+        """Paper: fusing AlexNet conv1-conv2 with recompute is 'an 8.6x
+        increase in the overall number of arithmetic operations'."""
+        levels = extract_levels(alexnet().prefix(2))
+        base = one_pass_ops(levels)
+        adjacent = recompute_overhead_adjacent(levels, 1, 1)
+        factor = (base + adjacent) / base
+        assert factor == pytest.approx(8.6, rel=0.02)
+
+    def test_recompute_shrinks_with_tip(self):
+        levels = extract_levels(alexnet().prefix(2))
+        small = recompute_overhead_ops(levels, 1, 1)
+        large = recompute_overhead_ops(levels, 9, 9)
+        assert large < small
+
+    def test_single_level_has_no_overhead(self):
+        levels = extract_levels(vggnet_e().prefix(1))
+        assert recompute_overhead_adjacent(levels) == 0
+
+
+class TestTransfer:
+    def test_group_transfer_vgg5(self):
+        """Point C: 0.57 MB in + 3.06 MB out = 3.64 MB feature maps."""
+        levels = extract_levels(vggnet_e().prefix(5))
+        transfer = group_transfer(levels)
+        assert transfer.input_bytes / MB == pytest.approx(0.574, abs=0.01)
+        assert transfer.output_bytes / MB == pytest.approx(3.0625, abs=0.01)
+        assert transfer.feature_map_bytes / MB == pytest.approx(3.64, abs=0.01)
+
+    def test_weights_counted_separately(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        transfer = group_transfer(levels)
+        weight_words = sum(l.weight_count for l in levels)
+        assert transfer.weight_bytes == weight_words * 4
+        assert transfer.total_bytes == transfer.feature_map_bytes + transfer.weight_bytes
+
+    def test_intermediate_saved(self):
+        levels = extract_levels(toynet(n=1, m=2, p=3))
+        # One intermediate map (2x5x5), written + read back = 2 passes.
+        assert intermediate_transfer_saved(levels) == 2 * 2 * 5 * 5 * 4
+
+    def test_one_pass_ops_additive(self, mini_vgg_levels):
+        assert one_pass_ops(mini_vgg_levels) == sum(
+            l.total_ops for l in mini_vgg_levels)
+
+
+class TestStorageConventions:
+    def test_literal_formula_is_lower_bound(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        full = reuse_storage_bytes(levels, bt_full_width=True)
+        literal = reuse_storage_bytes(levels, bt_full_width=False)
+        assert literal < full
+
+    def test_conventions_agree_when_tile_spans_map(self):
+        """When the pyramid tile is the whole row, the two BT conventions
+        coincide."""
+        levels = extract_levels(vggnet_e().prefix(5))
+        final = levels[-1].out_shape
+        full = reuse_storage_bytes(levels, final.height, final.width,
+                                   bt_full_width=True)
+        literal = reuse_storage_bytes(levels, final.height, final.width,
+                                      bt_full_width=False)
+        # Tiles clamp to the padded map (slightly wider than the map), so
+        # the literal convention can only exceed by the padding columns.
+        assert literal >= full
+
+    def test_plan_exposes_convention(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        full = reuse_buffer_plans(levels, bt_full_width=True)
+        literal = reuse_buffer_plans(levels, bt_full_width=False)
+        assert full[0].bt_elements > literal[0].bt_elements
+        assert full[0].bl_elements == literal[0].bl_elements

@@ -1,0 +1,109 @@
+"""The Section V-A exploration tool against the paper's Figure 7 numbers."""
+
+import pytest
+
+from repro import Strategy, alexnet, explore, vggnet_e
+
+KB = 2 ** 10
+MB = 2 ** 20
+
+
+@pytest.fixture(scope="module")
+def vgg_result():
+    return explore(vggnet_e(), num_convs=5)
+
+
+@pytest.fixture(scope="module")
+def alex_result():
+    return explore(alexnet())
+
+
+class TestVggExploration:
+    def test_partition_count(self, vgg_result):
+        assert vgg_result.num_partitions == 64
+
+    def test_point_a(self, vgg_result):
+        """'point A ... transfers 86MB of data' at zero extra storage."""
+        a = vgg_result.layer_by_layer
+        assert a.extra_storage_bytes == 0
+        assert a.feature_transfer_bytes / MB == pytest.approx(86.3, abs=0.2)
+
+    def test_point_c(self, vgg_result):
+        """'This design transfers only 3.6MB per image, a 24x reduction
+        in DRAM traffic, but requires 362KB of on-chip memory.'"""
+        c = vgg_result.fully_fused
+        assert c.feature_transfer_bytes / MB == pytest.approx(3.64, abs=0.01)
+        assert c.extra_storage_bytes / KB == pytest.approx(362, rel=0.01)
+        a = vgg_result.layer_by_layer
+        reduction = a.feature_transfer_bytes / c.feature_transfer_bytes
+        assert reduction == pytest.approx(24, rel=0.02)
+
+    def test_point_b_on_front(self, vgg_result):
+        """'point B transfers 25MB of data, but requires only 118KB'."""
+        match = [
+            p for p in vgg_result.front
+            if p.feature_transfer_bytes / MB == pytest.approx(25.1, abs=0.2)
+        ]
+        assert match, "no ~25MB Pareto point found"
+        assert match[0].extra_storage_bytes / KB == pytest.approx(118, rel=0.05)
+
+    def test_front_is_subset_of_points(self, vgg_result):
+        ids = {id(p) for p in vgg_result.points}
+        assert all(id(p) in ids for p in vgg_result.front)
+
+    def test_front_monotone(self, vgg_result):
+        front = vgg_result.front
+        for a, b in zip(front, front[1:]):
+            assert a.extra_storage_bytes <= b.extra_storage_bytes
+            assert a.feature_transfer_bytes > b.feature_transfer_bytes
+
+    def test_best_under_storage(self, vgg_result):
+        pick = vgg_result.best_under_storage(128 * KB)
+        assert pick is not None
+        assert pick.extra_storage_bytes <= 128 * KB
+        # Nothing cheaper on transfer within the budget.
+        for p in vgg_result.points:
+            if p.extra_storage_bytes <= 128 * KB:
+                assert pick.feature_transfer_bytes <= p.feature_transfer_bytes
+
+    def test_best_under_transfer(self, vgg_result):
+        pick = vgg_result.best_under_transfer(20 * MB)
+        assert pick is not None
+        assert pick.feature_transfer_bytes <= 20 * MB
+
+    def test_infeasible_budget_returns_none(self, vgg_result):
+        assert vgg_result.best_under_transfer(1) is None
+
+
+class TestAlexNetExploration:
+    def test_partition_count(self, alex_result):
+        """'there are 128 possible combinations' for AlexNet."""
+        assert alex_result.num_partitions == 128
+
+    def test_extremes_ordering(self, alex_result):
+        assert (alex_result.fully_fused.feature_transfer_bytes
+                < alex_result.layer_by_layer.feature_transfer_bytes)
+
+
+class TestExplorerOptions:
+    def test_merge_pooling_shrinks_space(self):
+        merged = explore(vggnet_e(), num_convs=5, merge_pooling=True)
+        assert len(merged.units) == 5
+        assert merged.num_partitions == 16
+
+    def test_merged_extremes_match_independent(self):
+        merged = explore(vggnet_e(), num_convs=5, merge_pooling=True)
+        independent = explore(vggnet_e(), num_convs=5)
+        assert (merged.fully_fused.feature_transfer_bytes
+                == independent.fully_fused.feature_transfer_bytes)
+
+    def test_recompute_strategy_front(self):
+        result = explore(vggnet_e(), num_convs=2, strategy=Strategy.RECOMPUTE)
+        assert result.strategy is Strategy.RECOMPUTE
+        assert all(p.extra_storage_bytes == 0 for p in result.points)
+        fused = result.fully_fused
+        assert fused.extra_ops > 0
+
+    def test_whole_network_default(self):
+        result = explore(alexnet())
+        assert result.network_name == "AlexNet"

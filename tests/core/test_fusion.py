@@ -1,0 +1,64 @@
+"""Fusion-group analysis under both intermediate-data strategies."""
+
+import pytest
+
+from repro import Strategy, analyze_group, extract_levels, toynet, vggnet_e
+from repro.core.fusion import units_to_levels
+from repro.nn.shapes import ShapeError
+from repro.nn.stages import independent_units, pooling_merged_units
+
+
+class TestAnalyzeGroup:
+    def test_reuse_has_storage_no_ops(self):
+        levels = extract_levels(vggnet_e().prefix(2))
+        analysis = analyze_group(levels, Strategy.REUSE)
+        assert analysis.extra_storage_bytes > 0
+        assert analysis.extra_ops == 0
+        assert analysis.ops_increase_factor == 1.0
+
+    def test_recompute_has_ops_no_storage(self):
+        levels = extract_levels(toynet())
+        analysis = analyze_group(levels, Strategy.RECOMPUTE)
+        assert analysis.extra_storage_bytes == 0
+        assert analysis.extra_ops > 0
+        assert analysis.ops_increase_factor > 1.0
+
+    def test_single_level_group_costs_nothing(self):
+        levels = extract_levels(vggnet_e().prefix(1))
+        for strategy in Strategy:
+            analysis = analyze_group(levels, strategy)
+            assert analysis.extra_storage_bytes == 0
+            assert analysis.extra_ops == 0
+            assert not analysis.is_fused
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ShapeError):
+            analyze_group([])
+
+    def test_shapes_and_name(self):
+        levels = extract_levels(toynet(n=2, m=3, p=4))
+        analysis = analyze_group(levels)
+        assert analysis.name == "layer1+layer2"
+        assert analysis.input_shape.channels == 2
+        assert analysis.output_shape.channels == 4
+        assert analysis.num_levels == 2 and analysis.is_fused
+
+    def test_baseline_ops_matches_levels(self):
+        levels = extract_levels(toynet())
+        analysis = analyze_group(levels)
+        assert analysis.baseline_ops == sum(l.total_ops for l in levels)
+
+    def test_transfer_saved_counts_intermediates_twice(self):
+        levels = extract_levels(toynet(n=1, m=2, p=3))
+        analysis = analyze_group(levels)
+        assert analysis.transfer_saved_bytes == 2 * levels[0].out_shape.bytes
+
+
+class TestUnitsToLevels:
+    def test_flattening_preserves_order(self, mini_vgg_levels):
+        units = pooling_merged_units(mini_vgg_levels)
+        assert units_to_levels(units) == list(mini_vgg_levels)
+
+    def test_independent_roundtrip(self, mini_vgg_levels):
+        units = independent_units(mini_vgg_levels)
+        assert units_to_levels(units) == list(mini_vgg_levels)

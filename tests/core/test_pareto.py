@@ -1,0 +1,82 @@
+"""Pareto-frontier extraction properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pareto import is_dominated, knee_point, pareto_front
+
+points_strategy = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 100)), min_size=0, max_size=40)
+
+
+def x(p):
+    return p[0]
+
+
+def y(p):
+    return p[1]
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        pts = [(0, 10), (1, 8), (2, 9), (3, 3), (5, 3), (6, 1)]
+        assert pareto_front(pts, x, y) == [(0, 10), (1, 8), (3, 3), (6, 1)]
+
+    def test_empty(self):
+        assert pareto_front([], x, y) == []
+
+    def test_single(self):
+        assert pareto_front([(5, 5)], x, y) == [(5, 5)]
+
+    def test_duplicate_x_keeps_best_y(self):
+        assert pareto_front([(1, 5), (1, 3)], x, y) == [(1, 3)]
+
+    @given(points_strategy)
+    def test_front_sorted_and_strictly_improving(self, pts):
+        front = pareto_front(pts, x, y)
+        for a, b in zip(front, front[1:]):
+            assert a[0] <= b[0]
+            assert a[1] > b[1]
+
+    @given(points_strategy)
+    def test_front_members_not_dominated(self, pts):
+        front = pareto_front(pts, x, y)
+        for member in front:
+            assert not is_dominated(member, pts, x, y) or pts.count(member) > 1
+
+    @given(points_strategy)
+    def test_every_point_dominated_by_or_on_front(self, pts):
+        front = pareto_front(pts, x, y)
+        for point in pts:
+            covered = any(f[0] <= point[0] and f[1] <= point[1] for f in front)
+            assert covered
+
+
+class TestIsDominated:
+    def test_strict_domination(self):
+        assert is_dominated((5, 5), [(1, 1)], x, y)
+
+    def test_equal_not_dominated(self):
+        assert not is_dominated((5, 5), [(5, 5)], x, y)
+
+    def test_partial_not_dominated(self):
+        assert not is_dominated((5, 5), [(1, 9), (9, 1)], x, y)
+
+    def test_self_excluded_by_identity(self):
+        p = (3, 3)
+        assert not is_dominated(p, [p], x, y)
+
+
+class TestKneePoint:
+    def test_obvious_knee(self):
+        front = [(0, 100), (10, 20), (100, 0)]
+        assert knee_point(front, x, y) == (10, 20)
+
+    def test_short_fronts(self):
+        assert knee_point([(1, 1)], x, y) == (1, 1)
+        assert knee_point([(0, 9), (9, 0)], x, y) == (0, 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point([], x, y)

@@ -1,0 +1,101 @@
+"""Partition enumeration and scoring (Section V-B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Strategy, extract_levels, vggnet_e
+from repro.core.partition import analyze_partition, compositions, enumerate_partitions
+from repro.nn.stages import independent_units
+
+MB = 2 ** 20
+
+
+@pytest.fixture(scope="module")
+def vgg5_units():
+    return independent_units(extract_levels(vggnet_e().prefix(5)))
+
+
+class TestCompositions:
+    def test_papers_three_layer_example(self):
+        # "(1, 1, 1), (1, 2), (2, 1), or (3)"
+        assert set(compositions(3)) == {(1, 1, 1), (1, 2), (2, 1), (3,)}
+
+    @given(n=st.integers(0, 10))
+    def test_count_is_2_to_n_minus_1(self, n):
+        expected = 1 if n == 0 else 2 ** (n - 1)
+        assert sum(1 for _ in compositions(n)) == expected
+
+    @given(n=st.integers(1, 10))
+    def test_all_sum_to_n_and_positive(self, n):
+        for sizes in compositions(n):
+            assert sum(sizes) == n
+            assert all(s > 0 for s in sizes)
+
+    @given(n=st.integers(1, 9))
+    def test_all_distinct(self, n):
+        everything = list(compositions(n))
+        assert len(everything) == len(set(everything))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(compositions(-1))
+
+
+class TestAnalyzePartition:
+    def test_sizes_must_cover(self, vgg5_units):
+        with pytest.raises(ValueError):
+            analyze_partition(vgg5_units, (3, 3))
+        with pytest.raises(ValueError):
+            analyze_partition(vgg5_units, (7, 0))
+
+    def test_group_boundaries(self, vgg5_units):
+        analysis = analyze_partition(vgg5_units, (3, 4))
+        assert analysis.num_groups == 2
+        assert analysis.groups[0].name == "conv1_1+conv1_2+pool1"
+        assert analysis.groups[1].name == "conv2_1+conv2_2+pool2+conv3_1"
+
+    def test_transfer_chains_through_groups(self, vgg5_units):
+        """Adjacent groups hand off through DRAM: the boundary map is
+        written by one group and read by the next."""
+        analysis = analyze_partition(vgg5_units, (3, 4))
+        boundary = analysis.groups[0].output_shape
+        assert analysis.groups[1].input_shape == boundary
+        expected = (analysis.groups[0].transfer.input_bytes
+                    + 2 * boundary.bytes
+                    + analysis.groups[1].transfer.output_bytes)
+        assert analysis.feature_transfer_bytes == expected
+
+    def test_layer_by_layer_flags(self, vgg5_units):
+        lbl = analyze_partition(vgg5_units, (1,) * 7)
+        assert lbl.is_layer_by_layer and not lbl.is_fully_fused
+        assert lbl.extra_storage_bytes == 0
+        fused = analyze_partition(vgg5_units, (7,))
+        assert fused.is_fully_fused and not fused.is_layer_by_layer
+
+    def test_recompute_strategy_propagates(self, vgg5_units):
+        analysis = analyze_partition(vgg5_units, (2, 5), strategy=Strategy.RECOMPUTE)
+        assert analysis.strategy is Strategy.RECOMPUTE
+        assert analysis.extra_ops > 0
+        assert analysis.extra_storage_bytes == 0
+
+    def test_describe(self, vgg5_units):
+        assert "|" in analyze_partition(vgg5_units, (3, 4)).describe()
+
+
+class TestEnumeratePartitions:
+    def test_vgg5_space_size(self, vgg5_units):
+        points = enumerate_partitions(vgg5_units)
+        assert len(points) == 64  # paper: "64 possible combinations"
+
+    def test_fusion_dominates_on_transfer(self, vgg5_units):
+        """More fusion never increases feature-map traffic."""
+        points = {p.sizes: p for p in enumerate_partitions(vgg5_units)}
+        assert (points[(7,)].feature_transfer_bytes
+                < points[(3, 4)].feature_transfer_bytes
+                < points[(1,) * 7].feature_transfer_bytes)
+
+    def test_extremes_match_paper(self, vgg5_units):
+        points = {p.sizes: p for p in enumerate_partitions(vgg5_units)}
+        assert points[(1,) * 7].feature_transfer_bytes / MB == pytest.approx(86.3, abs=0.1)
+        assert points[(7,)].feature_transfer_bytes / MB == pytest.approx(3.64, abs=0.01)

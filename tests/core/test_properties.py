@@ -1,0 +1,112 @@
+"""Cross-cutting invariants of the fusion model, property-tested."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConvSpec, Network, PoolSpec, Strategy, TensorShape, extract_levels
+from repro.core.costs import (
+    intermediate_transfer_saved,
+    recompute_overhead_adjacent,
+    recompute_overhead_ops,
+    reuse_storage_bytes,
+)
+from repro.core.partition import analyze_partition, compositions
+from repro.nn.stages import independent_units
+
+
+@st.composite
+def conv_pool_stack(draw):
+    """Small random conv/pool stacks with valid geometry."""
+    channels = draw(st.integers(1, 3))
+    size = draw(st.sampled_from([16, 24, 32]))
+    specs = []
+    height = size
+    for i in range(draw(st.integers(2, 5))):
+        if draw(st.booleans()) or height < 4 or height % 2:
+            kernel = draw(st.sampled_from([1, 3, 5]))
+            pad = kernel // 2 if draw(st.booleans()) else 0
+            if height + 2 * pad < kernel:
+                continue
+            specs.append(ConvSpec(f"c{i}", out_channels=draw(st.integers(1, 4)),
+                                  kernel=kernel, stride=1, padding=pad))
+            height = height + 2 * pad - kernel + 1
+        else:
+            specs.append(PoolSpec(f"p{i}", kernel=2, stride=2))
+            height //= 2
+    if not specs:
+        specs = [ConvSpec("c", out_channels=2, kernel=3, stride=1, padding=1)]
+    return Network("rand", TensorShape(channels, size, size), specs)
+
+
+class TestPartitionInvariants:
+    @given(net=conv_pool_stack())
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_decomposes_over_boundaries(self, net):
+        """Any partition's traffic = network input + network output + two
+        passes over every group-boundary map."""
+        levels = extract_levels(net)
+        units = independent_units(levels)
+        for sizes in list(compositions(len(units)))[:16]:
+            analysis = analyze_partition(units, sizes)
+            boundary_bytes = sum(
+                2 * group.output_shape.bytes for group in analysis.groups[:-1])
+            expected = (levels[0].in_shape.bytes + levels[-1].out_shape.bytes
+                        + boundary_bytes)
+            assert analysis.feature_transfer_bytes == expected
+
+    @given(net=conv_pool_stack())
+    @settings(max_examples=30, deadline=None)
+    def test_full_fusion_minimizes_transfer(self, net):
+        levels = extract_levels(net)
+        units = independent_units(levels)
+        scores = [analyze_partition(units, sizes).feature_transfer_bytes
+                  for sizes in compositions(len(units))]
+        fused = analyze_partition(units, (len(units),)).feature_transfer_bytes
+        assert fused == min(scores)
+
+    @given(net=conv_pool_stack())
+    @settings(max_examples=20, deadline=None)
+    def test_ops_identical_across_partitions_under_reuse(self, net):
+        """Reuse never changes arithmetic, however the net is partitioned."""
+        levels = extract_levels(net)
+        units = independent_units(levels)
+        baselines = {
+            analyze_partition(units, sizes, strategy=Strategy.REUSE).baseline_ops
+            for sizes in list(compositions(len(units)))[:16]
+        }
+        assert len(baselines) == 1
+
+
+class TestCostInvariants:
+    @given(net=conv_pool_stack(), tip=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_recompute_overhead_nonnegative(self, net, tip):
+        levels = extract_levels(net)
+        final = levels[-1].out_shape
+        tip = min(tip, final.height, final.width)
+        assert recompute_overhead_ops(levels, tip, tip) >= 0
+        assert recompute_overhead_adjacent(levels, tip, tip) >= 0
+
+    @given(net=conv_pool_stack())
+    @settings(max_examples=30, deadline=None)
+    def test_whole_map_tip_has_no_overhead(self, net):
+        levels = extract_levels(net)
+        final = levels[-1].out_shape
+        assert recompute_overhead_ops(levels, final.height, final.width) == 0
+
+    @given(net=conv_pool_stack())
+    @settings(max_examples=30, deadline=None)
+    def test_reuse_storage_nonnegative_and_bounded(self, net):
+        """Reuse buffers never exceed the intermediate maps they shadow."""
+        levels = extract_levels(net)
+        storage = reuse_storage_bytes(levels)
+        assert storage >= 0
+        total_intermediate = sum(l.out_shape.bytes for l in levels[:-1])
+        assert storage <= 2 * total_intermediate or total_intermediate == 0
+
+    @given(net=conv_pool_stack())
+    @settings(max_examples=30, deadline=None)
+    def test_saved_transfer_consistent(self, net):
+        levels = extract_levels(net)
+        saved = intermediate_transfer_saved(levels)
+        assert saved == 2 * sum(l.out_shape.bytes for l in levels[:-1])

@@ -1,0 +1,144 @@
+"""Pyramid geometry: the backward tile computation of Section III-B."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConvSpec, Network, PoolSpec, TensorShape, extract_levels, toynet
+from repro.core.pyramid import (
+    backward_range,
+    build_pyramid,
+    clamped_range,
+    position_footprint,
+)
+from repro.nn.shapes import ShapeError, input_extent_for
+
+
+class TestBuildPyramid:
+    def test_figure3_tiles(self):
+        """The walkthrough: tip 1x1 needs a 3x3 intermediate region and a
+        5x5 input tile."""
+        levels = extract_levels(toynet())
+        geometry = build_pyramid(levels, 1, 1)
+        layer2 = geometry.tiles[1]
+        layer1 = geometry.tiles[0]
+        assert (layer2.out_h, layer2.out_w) == (1, 1)
+        assert (layer2.in_h, layer2.in_w) == (3, 3)
+        assert (layer1.out_h, layer1.out_w) == (3, 3)
+        assert (layer1.in_h, layer1.in_w) == (5, 5)
+        assert geometry.base_h == geometry.base_w == 5
+
+    def test_positions_cover_output(self):
+        levels = extract_levels(toynet())
+        geometry = build_pyramid(levels, 1, 1)
+        assert geometry.num_positions == (3, 3)
+
+    def test_vgg5_base_tile(self):
+        """Backward through conv3_1, pool2, conv2_2, conv2_1, pool1,
+        conv1_2, conv1_1: 1 -> 3 -> 6 -> 8 -> 10 -> 20 -> 22 -> 24."""
+        from repro import vggnet_e
+
+        levels = extract_levels(vggnet_e().prefix(5))
+        geometry = build_pyramid(levels, 1, 1)
+        expected_in = [24, 22, 20, 10, 8, 6, 3]
+        assert [t.in_h for t in geometry.tiles] == expected_in
+
+    def test_steps_are_stride_products(self):
+        from repro import vggnet_e
+
+        levels = extract_levels(vggnet_e().prefix(5))
+        geometry = build_pyramid(levels, 1, 1)
+        # Strides: 1,1,2,1,1,2,1 bottom-up; the base advances by 4.
+        assert geometry.tiles[0].step_h == 4
+        assert geometry.tiles[-1].step_h == 1
+
+    def test_tile_clamps_to_map(self):
+        net = Network("deep", TensorShape(1, 8, 8), [
+            ConvSpec(f"c{i}", out_channels=1, kernel=3, stride=1, padding=1)
+            for i in range(10)
+        ])
+        geometry = build_pyramid(extract_levels(net), 1, 1)
+        # Unclamped the base would be 21 wide; the padded map is only 10.
+        assert geometry.base_h == 10
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ShapeError):
+            build_pyramid([], 1, 1)
+
+    def test_oversized_tip_rejected(self):
+        levels = extract_levels(toynet())
+        with pytest.raises(ShapeError):
+            build_pyramid(levels, 4, 4)
+
+    def test_nonpositive_tip_rejected(self):
+        levels = extract_levels(toynet())
+        with pytest.raises(ShapeError):
+            build_pyramid(levels, 0, 1)
+
+    def test_larger_tip_larger_base(self):
+        levels = extract_levels(toynet())
+        assert build_pyramid(levels, 3, 3).base_h == 7
+        assert build_pyramid(levels, 1, 1).base_h == 5
+
+    @given(tip=st.integers(1, 3), k=st.integers(1, 5), s=st.integers(1, 3))
+    @settings(max_examples=50)
+    def test_single_level_matches_formula(self, tip, k, s):
+        extent = s * 16 + k - s  # guarantees everything fits
+        net = Network("n", TensorShape(1, extent, extent),
+                      [ConvSpec("c", out_channels=2, kernel=k, stride=s)])
+        geometry = build_pyramid(extract_levels(net), tip, tip)
+        assert geometry.base_h == input_extent_for(tip, k, s)
+
+
+class TestRanges:
+    def test_backward_range(self):
+        assert backward_range(0, 1, 3, 1) == (0, 3)
+        assert backward_range(2, 5, 3, 2) == (4, 11)
+        assert backward_range(3, 3, 3, 1) == (3, 3)  # empty stays empty
+
+    def test_clamped_range(self):
+        assert clamped_range(-2, 5, 4) == (0, 4)
+        assert clamped_range(3, 10, 4) == (3, 4)
+        assert clamped_range(6, 10, 4) == (4, 4)  # fully out -> empty
+
+
+class TestPositionFootprint:
+    def test_tip_footprints_partition_output(self):
+        """Across all positions, tip ranges tile the final output exactly."""
+        levels = extract_levels(toynet())
+        final = levels[-1].out_shape
+        covered = set()
+        for r in range(3):
+            for c in range(3):
+                fp = position_footprint(levels, r, c, 1, 1)
+                r0, r1, c0, c1 = fp.out_ranges[-1]
+                for i in range(r0, r1):
+                    for j in range(c0, c1):
+                        assert (i, j) not in covered
+                        covered.add((i, j))
+        assert len(covered) == final.height * final.width
+
+    def test_intermediate_footprints_overlap(self):
+        """Adjacent pyramids share intermediate points (the blue circles)."""
+        levels = extract_levels(toynet())
+        a = position_footprint(levels, 0, 0, 1, 1).out_ranges[0]
+        b = position_footprint(levels, 0, 1, 1, 1).out_ranges[0]
+        # Layer-1 output tiles: cols [0,3) and [1,4): two shared columns.
+        assert a == (0, 3, 0, 3)
+        assert b == (0, 3, 1, 4)
+
+    def test_border_clamping(self):
+        levels = extract_levels(toynet())
+        fp = position_footprint(levels, 2, 2, 1, 1)
+        r0, r1, c0, c1 = fp.out_ranges[0]
+        assert r1 <= levels[0].out_shape.height
+        assert c1 <= levels[0].out_shape.width
+
+    def test_strided_footprint(self, mini_alex):
+        levels = extract_levels(mini_alex)
+        fp = position_footprint(levels, 0, 0, 1, 1)
+        # conv2 (K5 S1 pad2): 1x1 out needs 5x5 padded -> 3x3 real at pool1
+        # out; pool1 (K3 S2): 3 -> 7; conv1 (K7 S2): 7 -> 19.
+        assert fp.out_ranges[2] == (0, 1, 0, 1)
+        assert fp.out_ranges[1] == (0, 3, 0, 3)
+        assert fp.out_ranges[0] == (0, 7, 0, 7)

@@ -1,0 +1,188 @@
+"""The Section IV-B calcparams formulas against the executor's schedule.
+
+The paper publishes closed-form tile equations; the fused executor
+derives its schedule from backward boundary tables with border clamping.
+These tests prove they describe the same dataflow at every interior
+position — and quantify exactly where the closed form over-covers (map
+borders, where outputs depend only on padding).
+"""
+
+import pytest
+
+from repro import extract_levels, toynet, vggnet_e
+from repro.core.schedule import FusedSchedule
+from repro.nn.shapes import ShapeError
+from repro.sim.fused import plan_levels
+
+
+@pytest.fixture(scope="module")
+def vgg5_levels():
+    return extract_levels(vggnet_e().prefix(5))
+
+
+class TestDesignConstants:
+    def test_vgg_base_and_stride(self, vgg5_levels):
+        schedule = FusedSchedule(vgg5_levels)
+        assert (schedule.Y, schedule.X) == (24, 24)
+        assert (schedule.Sy, schedule.Sx) == (4, 4)
+        assert (schedule.rows, schedule.cols) == (56, 56)
+
+    def test_toynet_constants(self):
+        schedule = FusedSchedule(extract_levels(toynet()))
+        assert (schedule.X, schedule.Sx) == (5, 1)
+
+
+class TestFormulas:
+    def test_first_position_loads_full_base(self, vgg5_levels):
+        params = FusedSchedule(vgg5_levels).position(0, 0)
+        assert (params.rowt, params.colt) == (0, 0)
+        assert (params.load_h, params.load_w) == (24, 24)
+
+    def test_interior_load_is_sliver_plus_overlap(self, vgg5_levels):
+        schedule = FusedSchedule(vgg5_levels)
+        params = schedule.position(3, 7)
+        # Sy + K - S = 4 + 3 - 1 = 6 fresh-plus-overlap rows.
+        assert (params.load_h, params.load_w) == (6, 6)
+        # rowt = Y + (row-1)Sy - (K-S).
+        assert params.rowt == 24 + 2 * 4 - 2
+        assert params.colt == 24 + 6 * 4 - 2
+
+    def test_tile_chain_through_layers(self, vgg5_levels):
+        """Steady state: 6 -> 4 (conv1_1) -> ... mirrors the pyramid."""
+        params = FusedSchedule(vgg5_levels).steady_state()
+        dims = [(l.in_h, l.out_h) for l in params.layers]
+        assert dims == [(6, 4), (6, 4), (4, 2), (4, 2), (4, 2), (2, 1), (3, 1)]
+
+    def test_out_of_grid_rejected(self, vgg5_levels):
+        schedule = FusedSchedule(vgg5_levels)
+        with pytest.raises(ShapeError):
+            schedule.position(56, 0)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ShapeError):
+            FusedSchedule([])
+
+
+class TestAgreementWithExecutorPlan:
+    """calcparams vs the executor's backward boundary tables."""
+
+    @pytest.mark.parametrize("net_levels, tip", [
+        ("vgg5_levels", 1),
+        ("vgg5_levels", 2),
+    ])
+    def test_interior_windows_match(self, net_levels, tip, request):
+        levels = request.getfixturevalue(net_levels)
+        schedule = FusedSchedule(levels, tip, tip)
+        plans = plan_levels(levels, tip, tip)
+        # Interior positions: away from the first row/col (formula's
+        # special case) and the last (where clamping at the padded border
+        # shrinks the executor's fresh blocks).
+        for p, q in [(1, 1), (2, 5), (10, 3)]:
+            params = schedule.position(p, q)
+            for plan, layer in zip(plans, params.layers):
+                level = plan.level
+                window_h = plan.ib_r[p + 1] - plan.ob_r[p] * level.stride
+                window_w = plan.ib_c[q + 1] - plan.ob_c[q] * level.stride
+                fresh_h = plan.ob_r[p + 1] - plan.ob_r[p]
+                fresh_w = plan.ob_c[q + 1] - plan.ob_c[q]
+                assert (layer.in_h, layer.in_w) == (window_h, window_w), level.name
+                assert (layer.out_h, layer.out_w) == (fresh_h, fresh_w), level.name
+
+    def test_pad_free_group_matches_everywhere(self):
+        """On padding-free groups the printed formulas are border-exact.
+
+        The load origin/extent correspond to re-fetching the window halo
+        from DRAM (the executor's ``input_reuse=False`` mode): colt is
+        the *window* start and inW1 the full window width.
+        """
+        levels = extract_levels(toynet(n=2, m=3, p=4, size=11))
+        schedule = FusedSchedule(levels)
+        plans = plan_levels(levels, 1, 1)
+        for p in range(schedule.rows):
+            for q in range(schedule.cols):
+                params = schedule.position(p, q)
+                for plan, layer in zip(plans, params.layers):
+                    level = plan.level
+                    window_h = plan.ib_r[p + 1] - plan.ob_r[p] * level.stride
+                    window_w = plan.ib_c[q + 1] - plan.ob_c[q] * level.stride
+                    fresh_h = plan.ob_r[p + 1] - plan.ob_r[p]
+                    fresh_w = plan.ob_c[q + 1] - plan.ob_c[q]
+                    assert (layer.in_h, layer.in_w) == (window_h, window_w)
+                    assert (layer.out_h, layer.out_w) == (fresh_h, fresh_w)
+                # Load origin = start of the first level's input window.
+                stride = levels[0].stride
+                assert params.rowt == plans[0].ob_r[p] * stride
+                assert params.colt == plans[0].ob_c[q] * stride
+
+    def test_pad_free_total_load_equals_halo_traffic(self):
+        """The formulas' load total equals the executed DRAM reads of the
+        halo-re-reading executor — and exceeds reading the input once."""
+        from repro.sim import FusedExecutor, TrafficTrace, make_input
+
+        levels = extract_levels(toynet(n=2, m=3, p=4, size=11))
+        schedule = FusedSchedule(levels)
+        x = make_input(levels[0].in_shape, integer=True)
+        executor = FusedExecutor(levels, integer=True, input_reuse=False)
+        trace = TrafficTrace()
+        executor.run(x, trace)
+        assert schedule.total_load_words() == trace.reads_for("input")
+        assert schedule.total_load_words() > levels[0].in_shape.elements
+
+    def test_padded_group_origin_drift_documented(self, vgg5_levels):
+        """For padded groups the literal formulas' origins drift by the
+        accumulated padding (here 9 rows for the five-conv VGG fusion):
+        the paper's equations omit the pad absorption at map borders."""
+        schedule = FusedSchedule(vgg5_levels)
+        plans = plan_levels(vgg5_levels, 1, 1)
+        drifts = {schedule.position(p, 1).rowt - plans[0].ib_r[p]
+                  for p in range(1, 10)}
+        assert drifts == {7}  # constant drift: 9 pad rows - (K - S)
+
+
+class TestScheduleProperty:
+    def test_formulas_match_plan_on_random_padfree_stacks(self):
+        """On any padding-free conv/pool stack, the printed Section IV-B
+        equations reproduce the executor's boundary tables everywhere."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro import ConvSpec, Network, PoolSpec, TensorShape
+
+        @st.composite
+        def padfree(draw):
+            size = draw(st.sampled_from([15, 21, 25]))
+            specs = []
+            height = size
+            for i in range(draw(st.integers(1, 3))):
+                if draw(st.booleans()):
+                    k = draw(st.sampled_from([1, 3, 5]))
+                    if height < k:
+                        continue
+                    specs.append(ConvSpec(f"c{i}", out_channels=2, kernel=k,
+                                          stride=1))
+                    height = height - k + 1
+                else:
+                    if height < 3 or (height - 3) % 2:
+                        continue
+                    specs.append(PoolSpec(f"p{i}", kernel=3, stride=2))
+                    height = (height - 3) // 2 + 1
+            if not specs:
+                specs = [ConvSpec("c", out_channels=2, kernel=3, stride=1)]
+            return Network("pf", TensorShape(1, size, size), specs)
+
+        @given(net=padfree())
+        @settings(max_examples=25, deadline=None)
+        def check(net):
+            levels = extract_levels(net)
+            schedule = FusedSchedule(levels)
+            plans = plan_levels(levels, 1, 1)
+            for p in range(schedule.rows):
+                for q in range(schedule.cols):
+                    params = schedule.position(p, q)
+                    for plan, layer in zip(plans, params.layers):
+                        s = plan.level.stride
+                        window_h = plan.ib_r[p + 1] - plan.ob_r[p] * s
+                        window_w = plan.ib_c[q + 1] - plan.ob_c[q] * s
+                        assert (layer.in_h, layer.in_w) == (window_h, window_w)
+
+        check()

@@ -1,0 +1,77 @@
+"""Bandwidth and roofline performance model."""
+
+import pytest
+
+from repro.hw.bandwidth import (
+    bandwidth_sweep,
+    memory_bound_threshold,
+    performance_under_bandwidth,
+    required_bandwidth_bytes_per_sec,
+)
+
+MB = 2 ** 20
+
+
+class TestRequiredBandwidth:
+    def test_footnote4_example(self):
+        """'if an accelerator targets 50 images/second, and the graph
+        shows an off-chip transfer of 100MB, this would require
+        5 GB/sec. bandwidth.'"""
+        bw = required_bandwidth_bytes_per_sec(100 * MB, 50)
+        assert bw / 2**30 == pytest.approx(4.88, abs=0.01)  # 5 "GB/s"
+
+    def test_zero_rate(self):
+        assert required_bandwidth_bytes_per_sec(100, 0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            required_bandwidth_bytes_per_sec(100, -1)
+
+
+class TestPerformanceUnderBandwidth:
+    def test_compute_bound(self):
+        perf = performance_under_bandwidth(1000, 100, bytes_per_cycle=10)
+        assert perf.bound == "compute"
+        assert perf.effective_cycles == 1000
+        assert perf.compute_utilization == 1.0
+
+    def test_memory_bound(self):
+        perf = performance_under_bandwidth(1000, 100_000, bytes_per_cycle=10)
+        assert perf.bound == "memory"
+        assert perf.effective_cycles == 10_000
+        assert perf.compute_utilization == pytest.approx(0.1)
+
+    def test_images_per_second(self):
+        perf = performance_under_bandwidth(1000, 100, bytes_per_cycle=10)
+        assert perf.images_per_second(100e6) == pytest.approx(100e3)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            performance_under_bandwidth(10, 10, 0)
+
+
+class TestSweep:
+    def test_fused_wins_at_low_bandwidth(self):
+        """The crossover the paper's design targets: with scarce
+        bandwidth the low-traffic (fused) design wins even if its compute
+        is slightly slower."""
+        points = bandwidth_sweep(
+            fused_compute=1100, fused_bytes=1_000,
+            baseline_compute=1000, baseline_bytes=50_000,
+            bandwidths=[1, 5, 50, 1000],
+        )
+        assert points[0].speedup > 1      # starved: fused much faster
+        assert points[-1].speedup < 1     # abundant: baseline's compute edge wins
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_threshold(self):
+        assert memory_bound_threshold(1000, 50_000) == 50.0
+        perf = performance_under_bandwidth(1000, 50_000, 50.0)
+        assert perf.bound == "compute"
+        perf = performance_under_bandwidth(1000, 50_000, 49.0)
+        assert perf.bound == "memory"
+
+    def test_threshold_invalid(self):
+        with pytest.raises(ValueError):
+            memory_bound_threshold(0, 100)

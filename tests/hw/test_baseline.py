@@ -1,0 +1,144 @@
+"""Zhang-style baseline accelerator model against paper-checkable numbers."""
+
+import pytest
+
+from repro import alexnet, extract_levels, vggnet_e
+from repro.hw.baseline import group_stages, optimize_baseline, stage_cost
+
+MB = 2 ** 20
+
+
+@pytest.fixture(scope="module")
+def vgg5_levels():
+    return extract_levels(vggnet_e().prefix(5))
+
+
+class TestGroupStages:
+    def test_pool_merges_into_conv(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        assert [s.name for s in stages] == [
+            "conv1_1", "conv1_2+pool1", "conv2_1", "conv2_2+pool2", "conv3_1"]
+
+    def test_stored_shape_is_pooled(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        assert stages[1].stored_shape.height == 112
+
+    def test_leading_pool_rejected(self, vgg5_levels):
+        with pytest.raises(ValueError):
+            group_stages(vgg5_levels[2:])  # starts at pool1
+
+
+class TestStageCost:
+    def test_cycle_formula(self, vgg5_levels):
+        """Cycles = ceil(M/Tm) * ceil(N/Tn) * outW * outH * K^2."""
+        stages = group_stages(vgg5_levels)
+        cost = stage_cost(stages[0], tm=64, tn=9, tr=224, tc=224)
+        assert cost.cycles == 1 * 1 * 224 * 224 * 9
+
+    def test_cycle_formula_with_ceils(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        cost = stage_cost(stages[4], tm=64, tn=9, tr=56, tc=56)  # conv3_1
+        # ceil(256/64)=4, ceil(128/9)=15.
+        assert cost.cycles == 4 * 15 * 56 * 56 * 9
+
+    def test_output_written_once(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        cost = stage_cost(stages[0], tm=64, tn=9, tr=56, tc=56)
+        assert cost.output_words == 64 * 224 * 224
+
+    def test_input_rereads_per_m_tile(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        one_pass = stage_cost(stages[4], tm=256, tn=9, tr=56, tc=56).input_words
+        four_pass = stage_cost(stages[4], tm=64, tn=9, tr=56, tc=56).input_words
+        assert four_pass == 4 * one_pass
+
+    def test_halo_grows_with_smaller_tiles(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        big = stage_cost(stages[0], tm=64, tn=3, tr=224, tc=224).input_words
+        small = stage_cost(stages[0], tm=64, tn=3, tr=28, tc=28).input_words
+        assert small > big
+        # Whole-map tile = input read exactly once (pad is free).
+        assert big == 3 * 224 * 224
+
+    def test_grouped_conv(self):
+        levels = extract_levels(alexnet().prefix(2))
+        stages = group_stages(levels)
+        conv2 = stages[1]
+        cost = stage_cost(conv2, tm=64, tn=48, tr=27, tc=27)
+        # Two groups of ceil(128/64) x ceil(48/48).
+        assert cost.cycles == 2 * 2 * 1 * 27 * 27 * 25
+
+    def test_weights_counted_once(self, vgg5_levels):
+        stages = group_stages(vgg5_levels)
+        cost = stage_cost(stages[0], tm=64, tn=9, tr=56, tc=56)
+        assert cost.weight_words == 64 * 27 + 64
+        assert cost.weights_resident
+
+    def test_weight_streaming_multiplies_by_tiles(self, vgg5_levels):
+        """A non-resident filter set is re-read once per spatial tile."""
+        stages = group_stages(vgg5_levels)
+        resident = stage_cost(stages[0], tm=64, tn=9, tr=56, tc=56)
+        streamed = stage_cost(stages[0], tm=64, tn=9, tr=56, tc=56,
+                              weights_resident=False)
+        tiles = (224 // 56) ** 2
+        assert streamed.weight_words == resident.weight_words * tiles
+        assert streamed.feature_words == resident.feature_words
+        assert streamed.cycles == resident.cycles
+
+    def test_streaming_dominates_late_vgg_layers(self):
+        """Figure 2's crossover, in traffic terms: a late VGG layer that
+        must stream weights becomes weight-bound."""
+        from repro import vggnet_e
+
+        levels = extract_levels(vggnet_e().feature_extractor())
+        # conv5_1: 512x512x3x3 weights (9.4 MB), 14x14 maps.
+        conv5_1 = next(l for l in levels if l.name == "conv5_1")
+        stages = group_stages([conv5_1])
+        streamed = stage_cost(stages[0], tm=64, tn=9, tr=7, tc=7,
+                              weights_resident=False)
+        assert streamed.weight_words > 3 * streamed.feature_words
+
+
+class TestOptimizeBaseline:
+    def test_vgg5_matches_table2_exactly(self, vgg5_levels):
+        """The jointly-optimized VGG baseline lands on Tm=64, Tn=9 and
+        10,951k cycles — Table II's baseline cycle count exactly."""
+        design = optimize_baseline(vgg5_levels, dsp_budget=2880)
+        assert (design.tm, design.tn) == (64, 9)
+        assert design.dsp == 2880
+        assert design.total_cycles == pytest.approx(10_951_000, rel=0.001)
+
+    def test_vgg5_transfer_near_paper(self, vgg5_levels):
+        """Paper baseline: 77.14 MB/image; our halo model gives ~65 MB
+        (same order, see EXPERIMENTS.md)."""
+        design = optimize_baseline(vgg5_levels, dsp_budget=2880)
+        assert 55 * MB < design.feature_transfer_bytes < 90 * MB
+
+    def test_budget_respected(self, vgg5_levels):
+        design = optimize_baseline(vgg5_levels, dsp_budget=1000)
+        assert design.dsp <= 1000
+
+    def test_more_dsp_never_slower(self, vgg5_levels):
+        small = optimize_baseline(vgg5_levels, dsp_budget=1000)
+        large = optimize_baseline(vgg5_levels, dsp_budget=2880)
+        assert large.total_cycles <= small.total_cycles
+
+    def test_tiny_budget_rejected(self, vgg5_levels):
+        with pytest.raises(ValueError):
+            optimize_baseline(vgg5_levels, dsp_budget=4)
+
+    def test_resources_reported(self, vgg5_levels):
+        design = optimize_baseline(vgg5_levels, dsp_budget=2880)
+        res = design.resources()
+        assert res.bram18 > 0
+        assert res.dsp == design.dsp
+        # Within ~10% of the paper's 2085 BRAMs.
+        assert res.bram18 == pytest.approx(2085, rel=0.1)
+
+    def test_alexnet_baseline(self):
+        levels = extract_levels(alexnet().prefix(2))
+        design = optimize_baseline(levels, dsp_budget=2240,
+                                   tile_candidates=(5, 11, 13, 27, 55))
+        assert design.dsp <= 2240
+        assert design.total_cycles > 0
+        assert design.feature_transfer_bytes > 0

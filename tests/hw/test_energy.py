@@ -1,0 +1,55 @@
+"""Energy model: DRAM vs SRAM vs arithmetic."""
+
+import pytest
+
+from repro import extract_levels, vggnet_e
+from repro.core.costs import group_transfer, one_pass_ops
+from repro.hw.energy import EnergyModel, estimate_energy
+
+MB = 2 ** 20
+
+
+class TestEnergyModel:
+    def test_dram_dwarfs_sram_per_word(self):
+        model = EnergyModel()
+        assert model.dram_access_pj / model.sram_access_pj > 100
+
+    def test_dram_energy(self):
+        model = EnergyModel()
+        # 1M words -> 1M * 640 pJ = 0.64 mJ.
+        assert model.dram_energy_j(4 * 10**6) == pytest.approx(640e-6)
+
+    def test_compute_energy(self):
+        model = EnergyModel()
+        assert model.compute_energy_j(10**6) == pytest.approx(4.6e-6)
+
+    def test_custom_constants(self):
+        model = EnergyModel(dram_access_pj=100.0)
+        assert model.dram_energy_j(4) == pytest.approx(100e-12)
+
+
+class TestEstimateEnergy:
+    def test_breakdown_sums(self):
+        breakdown = estimate_energy("d", transfer_bytes=4 * 10**6,
+                                    total_ops=2 * 10**6)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.dram_j + breakdown.sram_j + breakdown.compute_j)
+        assert 0 < breakdown.dram_fraction < 1
+
+    def test_fusion_energy_win_on_vgg(self):
+        """Fusing VGG's first five convs removes ~96% of feature-map DRAM
+        energy; compute/SRAM energy is identical, so total energy drops."""
+        levels = extract_levels(vggnet_e().prefix(5))
+        ops = one_pass_ops(levels)
+        fused_bytes = group_transfer(levels).feature_map_bytes
+        baseline_bytes = sum(l.in_shape.bytes + l.out_shape.bytes for l in levels)
+        fused = estimate_energy("fused", fused_bytes, ops)
+        baseline = estimate_energy("baseline", baseline_bytes, ops)
+        assert fused.dram_j < 0.1 * baseline.dram_j
+        assert fused.compute_j == baseline.compute_j
+        assert fused.total_j < baseline.total_j
+
+    def test_zero_everything(self):
+        breakdown = estimate_energy("z", 0, 0)
+        assert breakdown.total_j == 0
+        assert breakdown.dram_fraction == 0

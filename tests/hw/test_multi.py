@@ -1,0 +1,71 @@
+"""Multi-pyramid partition designs (Figure 4's single vs multi)."""
+
+import pytest
+
+from repro import extract_levels, vggnet_e
+from repro.core.partition import analyze_partition
+from repro.hw.multi import PartitionDesign, PoolEngine, design_partition
+from repro.nn.stages import independent_units
+
+MB = 2 ** 20
+
+
+@pytest.fixture(scope="module")
+def vgg5_levels():
+    return extract_levels(vggnet_e().prefix(5))
+
+
+class TestDesignPartition:
+    def test_single_group_matches_fused(self, vgg5_levels):
+        design = design_partition(vgg5_levels, (7,), dsp_budget=2880)
+        assert len(design.engines) == 1
+        assert design.latency_cycles == design.throughput_interval
+
+    def test_transfer_matches_analysis(self, vgg5_levels):
+        """The hardware view and the exploration tool agree on traffic."""
+        units = independent_units(vgg5_levels)
+        for sizes in [(7,), (3, 4), (3, 1, 3), (1,) * 7]:
+            design = design_partition(vgg5_levels, sizes, dsp_budget=2880)
+            analysis = analyze_partition(units, sizes)
+            assert design.feature_transfer_bytes == analysis.feature_transfer_bytes
+
+    def test_figure4_tradeoff(self, vgg5_levels):
+        """Single pyramid: least traffic. Multi pyramid: more traffic,
+        smaller per-engine buffers (the Figure 4 narrative)."""
+        single = design_partition(vgg5_levels, (7,), dsp_budget=2880)
+        multi = design_partition(vgg5_levels, (3, 4), dsp_budget=2880)
+        assert single.feature_transfer_bytes < multi.feature_transfer_bytes
+        # The multi design's largest single engine needs less buffering
+        # than the monolithic pyramid engine.
+        single_bram = single.engines[0].resources().bram18
+        assert all(e.resources().bram18 < single_bram for e in multi.engines)
+
+    def test_latency_sums_interval_maxes(self, vgg5_levels):
+        design = design_partition(vgg5_levels, (3, 4), dsp_budget=2880)
+        cycles = [engine.total_cycles for engine in design.engines]
+        assert design.latency_cycles == sum(cycles)
+        assert design.throughput_interval == max(cycles)
+
+    def test_pool_only_group(self, vgg5_levels):
+        design = design_partition(vgg5_levels, (2, 1, 4), dsp_budget=2880)
+        assert isinstance(design.engines[1], PoolEngine)
+        assert design.engines[1].dsp == 0
+        assert design.engines[1].total_cycles > 0
+
+    def test_budget_split_respects_total(self, vgg5_levels):
+        design = design_partition(vgg5_levels, (3, 4), dsp_budget=2000)
+        lanes = sum(
+            sum(m.tm * m.tn for m in engine.modules)
+            for engine in design.engines if hasattr(engine, "modules")
+        )
+        assert lanes * 5 <= 2000
+
+    def test_bad_sizes_rejected(self, vgg5_levels):
+        with pytest.raises(ValueError):
+            design_partition(vgg5_levels, (3, 3), dsp_budget=2880)
+        with pytest.raises(ValueError):
+            design_partition(vgg5_levels, (7, 0), dsp_budget=2880)
+
+    def test_tiny_budget_rejected(self, vgg5_levels):
+        with pytest.raises(ValueError):
+            design_partition(vgg5_levels, (1,) * 7, dsp_budget=900)

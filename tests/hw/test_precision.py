@@ -1,0 +1,70 @@
+"""Precision rescaling of the paper's fp32 designs."""
+
+import pytest
+
+from repro import extract_levels, vggnet_e
+from repro.core.costs import group_transfer, reuse_storage_bytes
+from repro.hw.precision import (
+    FP16,
+    FP32,
+    INT16,
+    Precision,
+    equivalent_dsp_budget,
+    precision_summary,
+    scale_bytes,
+)
+
+KB = 2 ** 10
+MB = 2 ** 20
+
+
+class TestPrecision:
+    def test_paper_fp32_costs(self):
+        """DSPmul = 3, DSPadd = 2 (Section IV-B)."""
+        assert FP32.dsp_per_mac == 5
+        assert FP32.bytes_per_word == 4
+
+    def test_fp16_halves_bytes(self):
+        assert scale_bytes(1024, FP16) == 512
+        assert scale_bytes(1024, FP32) == 1024
+
+    def test_int16_single_dsp_mac(self):
+        assert INT16.dsp_per_mac == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Precision("bad", bytes_per_word=0, dsp_per_mul=1, dsp_per_add=1)
+        with pytest.raises(ValueError):
+            Precision("bad", bytes_per_word=2, dsp_per_mul=-1, dsp_per_add=1)
+
+
+class TestEquivalentBudget:
+    def test_same_lanes_cheaper_dsp(self):
+        # 2880 fp32 DSPs = 576 lanes = 1152 fp16 DSPs = 576 int16 DSPs.
+        assert equivalent_dsp_budget(2880, FP16) == 1152
+        assert equivalent_dsp_budget(2880, INT16) == 576
+        assert equivalent_dsp_budget(2880, FP32) == 2880
+
+
+class TestTable2AtOtherPrecisions:
+    def test_fp16_point_c(self):
+        """The headline at fp16: 1.82 MB/image for 181 KB of buffers —
+        everything halves, the trade-off shape is unchanged."""
+        levels = extract_levels(vggnet_e().prefix(5))
+        transfer = group_transfer(levels).feature_map_bytes
+        storage = reuse_storage_bytes(levels)
+        summary = precision_summary(transfer, storage, 2880, FP16)
+        assert summary.transfer_mb == pytest.approx(3.64 / 2, abs=0.01)
+        assert summary.storage_kb == pytest.approx(363 / 2, abs=1)
+        assert summary.dsp_for_same_lanes == 1152
+
+    def test_ordering_across_precisions(self):
+        levels = extract_levels(vggnet_e().prefix(5))
+        transfer = group_transfer(levels).feature_map_bytes
+        storage = reuse_storage_bytes(levels)
+        summaries = [precision_summary(transfer, storage, 2880, p)
+                     for p in (FP32, FP16, INT16)]
+        transfers = [s.feature_transfer_bytes for s in summaries]
+        assert transfers[0] > transfers[1] == transfers[2]
+        dsps = [s.dsp_for_same_lanes for s in summaries]
+        assert dsps[0] > dsps[1] > dsps[2]

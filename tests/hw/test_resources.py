@@ -1,0 +1,71 @@
+"""FPGA resource estimation: BRAM rounding, banking, double buffering."""
+
+import pytest
+
+from repro.hw.device import DSP_PER_MAC, VIRTEX7_485T, VIRTEX7_690T, WORDS_PER_BRAM18
+from repro.hw.resources import BufferSpec, ResourceEstimate
+
+
+class TestBufferSpec:
+    def test_one_block_minimum(self):
+        assert BufferSpec("b", words=1).bram18 == 1
+
+    def test_exact_block(self):
+        assert BufferSpec("b", words=WORDS_PER_BRAM18).bram18 == 1
+        assert BufferSpec("b", words=WORDS_PER_BRAM18 + 1).bram18 == 2
+
+    def test_banking_rounds_per_bank(self):
+        # 10 banks of 100 words each round to 1 BRAM18 apiece.
+        assert BufferSpec("b", words=1000, banks=10).bram18 == 10
+
+    def test_double_buffering_doubles(self):
+        single = BufferSpec("b", words=700)
+        double = BufferSpec("b", words=700, double_buffered=True)
+        assert double.bram18 == 2 * single.bram18
+        assert double.bytes == 2 * single.bytes
+
+    def test_zero_words_costs_nothing(self):
+        assert BufferSpec("b", words=0).bram18 == 0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            BufferSpec("b", words=-1)
+        with pytest.raises(ValueError):
+            BufferSpec("b", words=10, banks=0)
+
+
+class TestResourceEstimate:
+    def test_dsp_from_lanes(self):
+        est = ResourceEstimate(mac_lanes=448)
+        assert est.dsp == 448 * DSP_PER_MAC == 2240
+
+    def test_extra_dsp_added(self):
+        est = ResourceEstimate(mac_lanes=10, extra_dsp=16)
+        assert est.dsp == 50 + 16
+
+    def test_bram_sums_buffers(self):
+        est = ResourceEstimate()
+        est.add_buffer("a", 600)
+        est.add_buffer("b", 600, double_buffered=True)
+        assert est.bram18 == 2 + 4
+
+    def test_luts_ffs_scale_with_stages(self):
+        small = ResourceEstimate(mac_lanes=100, control_complexity=2)
+        big = ResourceEstimate(mac_lanes=100, control_complexity=9)
+        assert big.luts > small.luts and big.ffs > small.ffs
+
+    def test_fits_device(self):
+        est = ResourceEstimate(mac_lanes=100)
+        est.add_buffer("a", 10_000)
+        assert est.fits(VIRTEX7_690T)
+        huge = ResourceEstimate(mac_lanes=10_000)
+        assert not huge.fits(VIRTEX7_690T)
+
+
+class TestDevices:
+    def test_virtex7_690t(self):
+        assert VIRTEX7_690T.dsp_slices == 3600
+        assert VIRTEX7_690T.mac_lanes() == 720
+
+    def test_485t_smaller(self):
+        assert VIRTEX7_485T.dsp_slices < VIRTEX7_690T.dsp_slices

@@ -1,0 +1,115 @@
+"""Layer-spec geometry, parameter counts, and operation counts."""
+
+import pytest
+
+from repro.nn.layers import ConvSpec, FCSpec, LRNSpec, PadSpec, PoolSpec, ReLUSpec
+from repro.nn.shapes import ShapeError, TensorShape
+
+
+class TestConvSpec:
+    def test_vgg_conv_shape(self):
+        spec = ConvSpec("c", out_channels=64, kernel=3, stride=1, padding=1)
+        assert spec.output_shape(TensorShape(3, 224, 224)) == TensorShape(64, 224, 224)
+
+    def test_alexnet_conv1_shape(self):
+        spec = ConvSpec("c", out_channels=96, kernel=11, stride=4)
+        assert spec.output_shape(TensorShape(3, 227, 227)) == TensorShape(96, 55, 55)
+
+    def test_weight_count_includes_bias(self):
+        spec = ConvSpec("c", out_channels=64, kernel=3, stride=1)
+        # 64 filters x 3x3x3 + 64 biases
+        assert spec.weight_count(TensorShape(3, 224, 224)) == 64 * 27 + 64
+
+    def test_weight_count_without_bias(self):
+        spec = ConvSpec("c", out_channels=64, kernel=3, stride=1, bias=False)
+        assert spec.weight_count(TensorShape(3, 224, 224)) == 64 * 27
+
+    def test_grouped_weight_count(self):
+        # AlexNet conv2: 256 filters of 48x5x5 (two groups of 96 inputs).
+        spec = ConvSpec("c", out_channels=256, kernel=5, stride=1, padding=2, groups=2)
+        assert spec.weight_count(TensorShape(96, 27, 27)) == 256 * 48 * 25 + 256
+
+    def test_grouped_shape_unchanged(self):
+        grouped = ConvSpec("g", out_channels=256, kernel=5, stride=1, padding=2, groups=2)
+        plain = ConvSpec("p", out_channels=256, kernel=5, stride=1, padding=2)
+        x = TensorShape(96, 27, 27)
+        assert grouped.output_shape(x) == plain.output_shape(x)
+
+    def test_ops_per_output_matches_paper(self):
+        # Section III-C: a 3x3xN filter costs 9N multiplies + 9N adds.
+        spec = ConvSpec("c", out_channels=64, kernel=3, stride=1)
+        assert spec.ops_per_output(TensorShape(3, 224, 224)) == 2 * 9 * 3
+
+    def test_total_ops(self):
+        spec = ConvSpec("c", out_channels=64, kernel=3, stride=1, padding=1)
+        x = TensorShape(3, 224, 224)
+        assert spec.total_ops(x) == 64 * 224 * 224 * 54
+
+    def test_groups_must_divide_out_channels(self):
+        with pytest.raises(ShapeError):
+            ConvSpec("c", out_channels=10, kernel=3, groups=3)
+
+    def test_groups_must_divide_in_channels(self):
+        spec = ConvSpec("c", out_channels=4, kernel=3, groups=2)
+        with pytest.raises(ShapeError):
+            spec.weight_count(TensorShape(3, 8, 8))
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ShapeError):
+            ConvSpec("c", out_channels=4, kernel=3, padding=-1)
+
+    def test_nonpositive_out_channels_rejected(self):
+        with pytest.raises(ShapeError):
+            ConvSpec("c", out_channels=0, kernel=3)
+
+
+class TestPoolSpec:
+    def test_vgg_pool(self):
+        spec = PoolSpec("p", kernel=2, stride=2)
+        assert spec.output_shape(TensorShape(64, 224, 224)) == TensorShape(64, 112, 112)
+
+    def test_alexnet_pool(self):
+        spec = PoolSpec("p", kernel=3, stride=2)
+        assert spec.output_shape(TensorShape(96, 55, 55)) == TensorShape(96, 27, 27)
+
+    def test_no_weights(self):
+        assert PoolSpec("p", kernel=2, stride=2).weight_count(TensorShape(8, 8, 8)) == 0
+
+    def test_ops(self):
+        assert PoolSpec("p", kernel=3, stride=2).ops_per_output(TensorShape(8, 11, 11)) == 8
+
+    def test_invalid_mode(self):
+        with pytest.raises(ShapeError):
+            PoolSpec("p", kernel=2, stride=2, mode="median")
+
+    def test_avg_mode_accepted(self):
+        assert PoolSpec("p", kernel=2, stride=2, mode="avg").mode == "avg"
+
+
+class TestElementwiseSpecs:
+    def test_relu_preserves_shape(self):
+        shape = TensorShape(5, 6, 7)
+        assert ReLUSpec("r").output_shape(shape) == shape
+        assert ReLUSpec("r").ops_per_output(shape) == 1
+
+    def test_pad_grows_shape(self):
+        assert PadSpec("p", pad=2).output_shape(TensorShape(3, 5, 5)) == TensorShape(3, 9, 9)
+
+    def test_lrn_preserves_shape(self):
+        shape = TensorShape(96, 55, 55)
+        assert LRNSpec("n").output_shape(shape) == shape
+        assert LRNSpec("n").weight_count(shape) == 0
+
+
+class TestFCSpec:
+    def test_flattens(self):
+        spec = FCSpec("fc", out_features=4096)
+        assert spec.output_shape(TensorShape(256, 6, 6)) == TensorShape(4096, 1, 1)
+
+    def test_weight_count(self):
+        spec = FCSpec("fc", out_features=10)
+        assert spec.weight_count(TensorShape(4, 2, 2)) == 10 * 16 + 10
+
+    def test_ops(self):
+        spec = FCSpec("fc", out_features=10)
+        assert spec.ops_per_output(TensorShape(4, 2, 2)) == 32

@@ -1,0 +1,109 @@
+"""Network container: shape inference, lookups, slicing."""
+
+import pytest
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape
+from repro.nn.layers import FCSpec
+from repro.nn.shapes import ShapeError
+
+
+def small_net() -> Network:
+    return Network(
+        "net",
+        TensorShape(3, 16, 16),
+        [
+            ConvSpec("c1", out_channels=4, kernel=3, stride=1, padding=1),
+            ReLUSpec("r1"),
+            PoolSpec("p1", kernel=2, stride=2),
+            ConvSpec("c2", out_channels=8, kernel=3, stride=1, padding=1),
+            FCSpec("fc", out_features=10),
+        ],
+    )
+
+
+class TestShapeInference:
+    def test_chained_shapes(self):
+        net = small_net()
+        assert net["c1"].output_shape == TensorShape(4, 16, 16)
+        assert net["p1"].output_shape == TensorShape(4, 8, 8)
+        assert net["c2"].output_shape == TensorShape(8, 8, 8)
+        assert net.output_shape == TensorShape(10, 1, 1)
+
+    def test_binding_carries_input_shape(self):
+        net = small_net()
+        assert net["c2"].input_shape == TensorShape(4, 8, 8)
+
+    def test_invalid_geometry_raises_at_construction(self):
+        with pytest.raises(ShapeError):
+            Network("bad", TensorShape(3, 4, 4),
+                    [ConvSpec("c", out_channels=2, kernel=7, stride=1)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ShapeError):
+            Network("dup", TensorShape(3, 8, 8),
+                    [ReLUSpec("x"), ReLUSpec("x")])
+
+
+class TestContainerProtocol:
+    def test_len_iter_getitem(self):
+        net = small_net()
+        assert len(net) == 5
+        assert [b.name for b in net] == ["c1", "r1", "p1", "c2", "fc"]
+        assert net[0].name == "c1"
+        assert net[-1].name == "fc"
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            small_net().layer("nope")
+
+    def test_conv_and_pool_lists(self):
+        net = small_net()
+        assert [b.name for b in net.conv_layers()] == ["c1", "c2"]
+        assert [b.name for b in net.pool_layers()] == ["p1"]
+
+
+class TestSlicing:
+    def test_feature_extractor_stops_before_fc(self):
+        fx = small_net().feature_extractor()
+        assert [b.name for b in fx] == ["c1", "r1", "p1", "c2"]
+
+    def test_prefix_keeps_interior_pool(self):
+        pre = small_net().prefix(2)
+        assert [b.name for b in pre] == ["c1", "r1", "p1", "c2"]
+
+    def test_prefix_drops_trailing_pool(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            ConvSpec("c1", out_channels=4, kernel=3, padding=1),
+            PoolSpec("p1", kernel=2, stride=2),
+        ])
+        assert [b.name for b in net.prefix(1)] == ["c1"]
+
+    def test_prefix_keeps_relu_of_last_conv(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            ConvSpec("c1", out_channels=4, kernel=3, padding=1),
+            ReLUSpec("r1"),
+            PoolSpec("p1", kernel=2, stride=2),
+        ])
+        assert [b.name for b in net.prefix(1)] == ["c1", "r1"]
+
+    def test_prefix_too_deep(self):
+        with pytest.raises(ValueError):
+            small_net().prefix(3)
+
+    def test_prefix_nonpositive(self):
+        with pytest.raises(ValueError):
+            small_net().prefix(0)
+
+
+class TestAggregates:
+    def test_total_weights(self):
+        net = small_net()
+        expected = sum(b.weight_count for b in net)
+        assert net.total_weights() == expected
+        assert expected > 0
+
+    def test_total_ops_positive(self):
+        assert small_net().total_ops() > 0
+
+    def test_repr(self):
+        assert "net" in repr(small_net())

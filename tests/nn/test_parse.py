@@ -1,0 +1,164 @@
+"""Torch-style description parsing and serialization."""
+
+import pytest
+
+from repro import TensorShape, alexnet, vggnet_e
+from repro.nn.layers import ConvSpec, FCSpec, LRNSpec, PadSpec, PoolSpec, ReLUSpec
+from repro.nn.parse import ParseError, dump_network, parse_network
+
+VGG_HEAD = """
+nn.Sequential {
+  (1): nn.SpatialConvolution(3 -> 64, 3x3, 1,1, 1,1)
+  (2): nn.ReLU
+  (3): nn.SpatialConvolution(64 -> 64, 3x3, 1,1, 1,1)
+  (4): nn.ReLU
+  (5): nn.SpatialMaxPooling(2x2, 2,2)
+}
+"""
+
+
+class TestParse:
+    def test_vgg_head(self):
+        net = parse_network(VGG_HEAD, input_size=(224, 224))
+        assert [b.name for b in net] == ["conv1", "relu1", "conv2", "relu2", "pool1"]
+        assert net.input_shape == TensorShape(3, 224, 224)
+        assert net.output_shape == TensorShape(64, 112, 112)
+
+    def test_conv_parameters(self):
+        net = parse_network(
+            "nn.SpatialConvolution(3 -> 96, 11x11, 4,4)",
+            input_size=(227, 227))
+        conv = net["conv1"].spec
+        assert (conv.out_channels, conv.kernel, conv.stride, conv.padding) == (96, 11, 4, 0)
+
+    def test_average_pooling(self):
+        net = parse_network(
+            "nn.SpatialConvolution(1 -> 2, 3x3, 1,1)\n"
+            "nn.SpatialAveragePooling(2x2, 2,2)",
+            input_size=(10, 10))
+        assert net["pool1"].spec.mode == "avg"
+
+    def test_padding_and_lrn(self):
+        net = parse_network(
+            "nn.SpatialConvolution(3 -> 8, 5x5, 1,1)\n"
+            "nn.SpatialCrossMapLRN(5, 0.0001, 0.75, 2)\n"
+            "nn.SpatialZeroPadding(1, 1, 1, 1)\n"
+            "nn.SpatialConvolution(8 -> 8, 3x3, 1,1)",
+            input_size=(12, 12))
+        assert isinstance(net["lrn1"].spec, LRNSpec)
+        assert isinstance(net["pad1"].spec, PadSpec)
+        assert net["lrn1"].spec.size == 5
+
+    def test_linear_and_inert_modules_skipped(self):
+        net = parse_network(
+            "nn.SpatialConvolution(3 -> 4, 3x3, 1,1)\n"
+            "nn.View\n"
+            "nn.Dropout(0.5)\n"
+            "nn.Linear(576 -> 10)\n"
+            "nn.LogSoftMax",
+            input_size=(14, 14))
+        assert isinstance(net[-1].spec, FCSpec)
+        assert len(net) == 2
+
+    def test_comments_and_indices_ignored(self):
+        net = parse_network(
+            "-- a comment\n  (1): nn.SpatialConvolution(3 -> 4, 3x3, 1,1)",
+            input_size=(8, 8))
+        assert len(net) == 1
+
+    def test_explicit_input_shape(self):
+        net = parse_network("nn.ReLU", input_shape=TensorShape(7, 9, 9))
+        assert net.input_shape == TensorShape(7, 9, 9)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_network("nn.Bogus(3)", input_size=(8, 8))
+        with pytest.raises(ParseError):
+            parse_network("", input_size=(8, 8))
+        with pytest.raises(ParseError):
+            parse_network("nn.SpatialConvolution(3 -> 4, 3x3, 1,1)")  # no size
+        with pytest.raises(ParseError):
+            parse_network("nn.ReLU", input_size=(8, 8))  # channels unknown
+        with pytest.raises(ParseError):
+            parse_network("nn.SpatialConvolution(3 -> 4, 3x2, 1,1)",
+                          input_size=(8, 8))
+        with pytest.raises(ParseError):
+            parse_network("nn.SpatialZeroPadding(1, 2, 1, 1)", input_size=(8, 8))
+
+
+class TestRoundTrip:
+    def _strip_names(self, net):
+        return [
+            (type(b.spec).__name__, b.input_shape, b.output_shape,
+             b.weight_count)
+            for b in net
+        ]
+
+    def test_vgg_roundtrip(self):
+        original = vggnet_e()
+        text = dump_network(original)
+        parsed = parse_network(text, input_shape=original.input_shape)
+        assert self._strip_names(parsed) == self._strip_names(original)
+
+    def test_alexnet_ungrouped_roundtrip(self):
+        # Torch's textual form does not carry groups; compare ungrouped.
+        original = alexnet(grouped=False)
+        text = dump_network(original)
+        parsed = parse_network(text, input_shape=original.input_shape)
+        assert self._strip_names(parsed) == self._strip_names(original)
+
+    def test_dump_is_parsable_torch_syntax(self):
+        text = dump_network(vggnet_e())
+        assert text.startswith("nn.Sequential {")
+        assert "nn.SpatialConvolution(3 -> 64, 3x3, 1,1, 1,1)" in text
+        assert "nn.SpatialMaxPooling(2x2, 2,2)" in text
+        assert "nn.Linear(25088 -> 4096)" in text
+
+
+class TestRoundTripProperty:
+    def test_random_networks_roundtrip(self):
+        """Any IR network serializes to a description that parses back to
+        identical geometry."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.nn.layers import ConvSpec, PoolSpec, ReLUSpec
+        from repro.nn.network import Network
+
+        @st.composite
+        def net(draw):
+            channels = draw(st.integers(1, 4))
+            size = draw(st.sampled_from([16, 24, 32]))
+            specs = []
+            height = size
+            for i in range(draw(st.integers(1, 5))):
+                if draw(st.booleans()):
+                    k = draw(st.sampled_from([1, 3, 5]))
+                    pad = draw(st.sampled_from([0, k // 2]))
+                    if height + 2 * pad < k:
+                        continue
+                    specs.append(ConvSpec(f"c{i}", out_channels=draw(st.integers(1, 8)),
+                                          kernel=k, stride=1, padding=pad))
+                    height = height + 2 * pad - k + 1
+                    if draw(st.booleans()):
+                        specs.append(ReLUSpec(f"r{i}"))
+                elif height >= 2 and height % 2 == 0:
+                    mode = draw(st.sampled_from(["max", "avg"]))
+                    specs.append(PoolSpec(f"p{i}", kernel=2, stride=2, mode=mode))
+                    height //= 2
+            if not specs:
+                specs = [ReLUSpec("r")]
+            return Network("rt", TensorShape(channels, size, size), specs)
+
+        @given(network=net())
+        @settings(max_examples=40, deadline=None)
+        def check(network):
+            text = dump_network(network)
+            parsed = parse_network(text, input_shape=network.input_shape)
+            original = [(type(b.spec).__name__, b.input_shape, b.output_shape,
+                         b.weight_count) for b in network]
+            reparsed = [(type(b.spec).__name__, b.input_shape, b.output_shape,
+                         b.weight_count) for b in parsed]
+            assert original == reparsed
+
+        check()

@@ -1,0 +1,107 @@
+"""Tests for the shape arithmetic that everything else builds on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.shapes import (
+    BYTES_PER_WORD,
+    ShapeError,
+    TensorShape,
+    conv_output_extent,
+    input_extent_for,
+)
+
+
+class TestConvOutputExtent:
+    def test_vgg_conv(self):
+        # 3x3 stride 1 on a padded 226 extent -> 224.
+        assert conv_output_extent(226, 3, 1) == 224
+
+    def test_alexnet_conv1(self):
+        # 11x11 stride 4 on 227 -> 55.
+        assert conv_output_extent(227, 11, 4) == 55
+
+    def test_pooling(self):
+        assert conv_output_extent(224, 2, 2) == 112
+        assert conv_output_extent(55, 3, 2) == 27
+
+    def test_kernel_equal_extent(self):
+        assert conv_output_extent(7, 7, 3) == 1
+
+    def test_window_does_not_fit(self):
+        with pytest.raises(ShapeError):
+            conv_output_extent(2, 3, 1)
+
+    def test_partial_window_rejected(self):
+        with pytest.raises(ShapeError):
+            conv_output_extent(10, 3, 2)  # (10-3) % 2 != 0
+
+    def test_nonpositive_params(self):
+        with pytest.raises(ShapeError):
+            conv_output_extent(10, 0, 1)
+        with pytest.raises(ShapeError):
+            conv_output_extent(10, 3, 0)
+
+
+class TestInputExtentFor:
+    def test_paper_formula(self):
+        # D = S*D' + K - S (Section III-B): 3x3/s1 consumer of a 3-wide
+        # tile needs 5 inputs (Figure 3).
+        assert input_extent_for(3, 3, 1) == 5
+        assert input_extent_for(1, 3, 1) == 3
+
+    def test_pooling_tile(self):
+        assert input_extent_for(3, 2, 2) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            input_extent_for(0, 3, 1)
+        with pytest.raises(ShapeError):
+            input_extent_for(3, 0, 1)
+
+    @given(out=st.integers(1, 64), kernel=st.integers(1, 11), stride=st.integers(1, 4))
+    def test_inverse_of_output_extent(self, out, kernel, stride):
+        """input_extent_for is the exact inverse of conv_output_extent."""
+        extent = input_extent_for(out, kernel, stride)
+        assert conv_output_extent(extent, kernel, stride) == out
+
+    @given(out=st.integers(1, 64), kernel=st.integers(1, 11), stride=st.integers(1, 4))
+    def test_monotone_in_output(self, out, kernel, stride):
+        assert input_extent_for(out + 1, kernel, stride) > input_extent_for(
+            out, kernel, stride)
+
+
+class TestTensorShape:
+    def test_elements_and_bytes(self):
+        shape = TensorShape(64, 224, 224)
+        assert shape.elements == 64 * 224 * 224
+        assert shape.bytes == shape.elements * BYTES_PER_WORD
+
+    def test_vgg_conv1_output_is_papers_12mb(self):
+        # "it produces 12.3MB of output feature maps"
+        assert TensorShape(64, 224, 224).bytes / 2**20 == pytest.approx(12.25, abs=0.01)
+
+    def test_padded(self):
+        assert TensorShape(3, 224, 224).padded(1) == TensorShape(3, 226, 226)
+        assert TensorShape(3, 5, 5).padded(0) == TensorShape(3, 5, 5)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorShape(3, 5, 5).padded(-1)
+
+    def test_with_channels(self):
+        assert TensorShape(3, 8, 9).with_channels(7) == TensorShape(7, 8, 9)
+
+    def test_nonpositive_dims_rejected(self):
+        for dims in [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-2, 3, 3)]:
+            with pytest.raises(ShapeError):
+                TensorShape(*dims)
+
+    def test_str(self):
+        assert str(TensorShape(3, 224, 224)) == "3x224x224"
+
+    def test_ordering_and_hash(self):
+        a, b = TensorShape(1, 2, 3), TensorShape(1, 2, 4)
+        assert a < b
+        assert len({a, b, TensorShape(1, 2, 3)}) == 2

@@ -1,0 +1,139 @@
+"""Level extraction and fusion-unit grouping."""
+
+import pytest
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape
+from repro.nn.layers import FCSpec, LRNSpec, PadSpec
+from repro.nn.shapes import ShapeError
+from repro.nn.stages import (
+    extract_levels,
+    independent_units,
+    pooling_merged_units,
+)
+
+
+class TestExtractLevels:
+    def test_conv_padding_carried(self, mini_vgg):
+        levels = extract_levels(mini_vgg)
+        assert [l.name for l in levels] == ["c11", "c12", "p1", "c21", "c22", "p2", "c31"]
+        assert all(l.pad == 1 for l in levels if l.is_conv)
+        assert all(l.pad == 0 for l in levels if l.is_pool)
+
+    def test_relu_attached_to_producer(self, mini_vgg):
+        levels = extract_levels(mini_vgg)
+        assert all(l.has_relu for l in levels if l.is_conv)
+        assert not any(l.has_relu for l in levels if l.is_pool)
+
+    def test_explicit_pad_layer_folds_into_next_conv(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            PadSpec("pad", pad=2),
+            ConvSpec("c", out_channels=4, kernel=5, stride=1),
+        ])
+        (level,) = extract_levels(net)
+        assert level.pad == 2
+        assert level.in_shape == TensorShape(3, 8, 8)  # unpadded
+        assert level.out_shape == TensorShape(4, 8, 8)
+
+    def test_explicit_pad_combines_with_conv_padding(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            PadSpec("pad", pad=1),
+            ConvSpec("c", out_channels=4, kernel=5, stride=1, padding=1),
+        ])
+        (level,) = extract_levels(net)
+        assert level.pad == 2
+
+    def test_lrn_skipped(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            ConvSpec("c", out_channels=4, kernel=3, padding=1),
+            LRNSpec("norm"),
+            PoolSpec("p", kernel=2, stride=2),
+        ])
+        assert [l.name for l in extract_levels(net)] == ["c", "p"]
+
+    def test_fc_terminates(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            ConvSpec("c", out_channels=4, kernel=3, padding=1),
+            FCSpec("fc", out_features=2),
+            ReLUSpec("r"),
+        ])
+        assert [l.name for l in extract_levels(net)] == ["c"]
+
+    def test_relu_before_any_level_rejected(self):
+        net = Network("n", TensorShape(3, 8, 8), [ReLUSpec("r")])
+        with pytest.raises(ShapeError):
+            extract_levels(net)
+
+    def test_trailing_pad_rejected(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            ConvSpec("c", out_channels=4, kernel=3, padding=1),
+            PadSpec("pad", pad=1),
+        ])
+        with pytest.raises(ShapeError):
+            extract_levels(net)
+
+    def test_pad_before_pool_rejected(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            PadSpec("pad", pad=1),
+            PoolSpec("p", kernel=2, stride=2),
+        ])
+        with pytest.raises(ShapeError):
+            extract_levels(net)
+
+    def test_level_metadata(self, mini_alex):
+        c1, p1, c2 = extract_levels(mini_alex)
+        assert (c1.kernel, c1.stride) == (7, 2)
+        assert c2.groups == 2
+        assert c2.weight_count == 12 * 4 * 25 + 12
+        assert p1.is_pool and p1.weight_count == 0
+
+
+class TestOverlap:
+    def test_conv_overlap(self, mini_vgg_levels):
+        conv = mini_vgg_levels[0]
+        assert conv.overlap == 2  # 3 - 1
+
+    def test_pool_overlap_zero(self, mini_vgg_levels):
+        pool = mini_vgg_levels[2]
+        assert pool.overlap == 0  # 2 - 2: fusing pooling is free
+
+    def test_alexnet_pool_overlap(self, mini_alex_levels):
+        pool = mini_alex_levels[1]
+        assert pool.overlap == 1  # 3 - 2
+
+
+class TestUnits:
+    def test_independent_units(self, mini_vgg_levels):
+        units = independent_units(mini_vgg_levels)
+        assert len(units) == 7
+        assert all(len(u.levels) == 1 for u in units)
+
+    def test_pooling_merged_units(self, mini_vgg_levels):
+        units = pooling_merged_units(mini_vgg_levels)
+        assert [u.name for u in units] == ["c11", "c12+p1", "c21", "c22+p2", "c31"]
+
+    def test_merged_unit_shapes(self, mini_vgg_levels):
+        units = pooling_merged_units(mini_vgg_levels)
+        merged = units[1]
+        assert merged.in_shape == mini_vgg_levels[1].in_shape
+        assert merged.out_shape == mini_vgg_levels[2].out_shape
+
+    def test_merged_unit_aggregates(self, mini_vgg_levels):
+        units = pooling_merged_units(mini_vgg_levels)
+        merged = units[1]
+        assert merged.weight_count == mini_vgg_levels[1].weight_count
+        assert merged.total_ops == (mini_vgg_levels[1].total_ops
+                                    + mini_vgg_levels[2].total_ops)
+
+    def test_empty_unit_rejected(self):
+        from repro.nn.stages import FusionUnit
+
+        with pytest.raises(ShapeError):
+            FusionUnit(())
+
+    def test_leading_pool_is_own_unit(self):
+        net = Network("n", TensorShape(3, 8, 8), [
+            PoolSpec("p", kernel=2, stride=2),
+            ConvSpec("c", out_channels=4, kernel=3, padding=1),
+        ])
+        units = pooling_merged_units(extract_levels(net))
+        assert [u.name for u in units] == ["p", "c"]

@@ -1,0 +1,94 @@
+"""Model-zoo networks match their published geometry."""
+
+import pytest
+
+from repro import TensorShape, alexnet, extract_levels, toynet, vgg16, vggnet_e
+from repro.nn.stages import independent_units, pooling_merged_units
+
+
+class TestAlexNet:
+    def test_layer_output_shapes(self):
+        net = alexnet()
+        assert net["conv1"].output_shape == TensorShape(96, 55, 55)
+        assert net["pool1"].output_shape == TensorShape(96, 27, 27)
+        assert net["conv2"].output_shape == TensorShape(256, 27, 27)
+        assert net["pool2"].output_shape == TensorShape(256, 13, 13)
+        assert net["conv5"].output_shape == TensorShape(256, 13, 13)
+        assert net["pool5"].output_shape == TensorShape(256, 6, 6)
+        assert net.output_shape == TensorShape(1000, 1, 1)
+
+    def test_parameter_count_matches_published(self):
+        # ~60.97M parameters for the grouped Caffe AlexNet.
+        total = alexnet().total_weights()
+        assert total == pytest.approx(60.97e6, rel=0.01)
+
+    def test_eight_fusion_units(self):
+        # 5 convs + 3 pools -> the paper's 128 = 2^7 partitions.
+        units = independent_units(extract_levels(alexnet()))
+        assert len(units) == 8
+
+    def test_ungrouped_variant(self):
+        net = alexnet(grouped=False)
+        assert net.total_weights() > alexnet().total_weights()
+        assert net["conv2"].output_shape == TensorShape(256, 27, 27)
+
+    def test_without_lrn_and_classifier(self):
+        net = alexnet(include_lrn=False, include_classifier=False)
+        names = [b.name for b in net]
+        assert "norm1" not in names and "fc6" not in names
+        assert net.output_shape == TensorShape(256, 6, 6)
+
+    def test_prefix2_is_papers_fused_set(self):
+        # conv1 + relu + pool1 + conv2 + relu: "two convolutional layers,
+        # two ReLU layers ... and one pooling layer".
+        levels = extract_levels(alexnet().prefix(2))
+        assert [l.name for l in levels] == ["conv1", "pool1", "conv2"]
+        assert all(l.has_relu for l in levels if l.is_conv)
+
+
+class TestVGG:
+    def test_vggnet_e_structure(self):
+        net = vggnet_e()
+        assert len(net.conv_layers()) == 16
+        assert len(net.pool_layers()) == 5
+        assert net["conv1_1"].output_shape == TensorShape(64, 224, 224)
+        assert net["pool5"].output_shape == TensorShape(512, 7, 7)
+
+    def test_vggnet_e_parameter_count(self):
+        # VGG-19: ~143.67M parameters.
+        assert vggnet_e().total_weights() == pytest.approx(143.67e6, rel=0.01)
+
+    def test_vgg16_parameter_count(self):
+        # VGG-16: ~138.36M parameters.
+        assert vgg16().total_weights() == pytest.approx(138.36e6, rel=0.01)
+
+    def test_prefix5_has_two_pools(self):
+        # "In addition to the five convolutional layers, this includes two
+        # pooling layers, five padding layers, and five ReLU layers."
+        levels = extract_levels(vggnet_e().prefix(5))
+        convs = [l for l in levels if l.is_conv]
+        pools = [l for l in levels if l.is_pool]
+        assert len(convs) == 5 and len(pools) == 2
+        assert all(l.pad == 1 for l in convs)
+        assert all(l.has_relu for l in convs)
+        assert levels[-1].out_shape == TensorShape(256, 56, 56)
+
+    def test_figure7b_unit_count(self):
+        units = independent_units(extract_levels(vggnet_e().prefix(5)))
+        assert len(units) == 7  # 2^6 = 64 partitions
+
+    def test_figure2_has_16_bars(self):
+        units = pooling_merged_units(extract_levels(vggnet_e().feature_extractor()))
+        assert len(units) == 16
+
+
+class TestToyNet:
+    def test_figure3_geometry(self):
+        net = toynet(n=4, m=6, p=8)
+        assert net.input_shape == TensorShape(4, 7, 7)
+        assert net["layer1"].output_shape == TensorShape(6, 5, 5)
+        assert net["layer2"].output_shape == TensorShape(8, 3, 3)
+
+    def test_with_relu(self):
+        levels = extract_levels(toynet(with_relu=True))
+        assert all(l.has_relu for l in levels)

@@ -1,0 +1,80 @@
+"""Extended zoo networks: GoogLeNet stem, ZFNet, NiN."""
+
+import numpy as np
+import pytest
+
+from repro import TensorShape, explore, extract_levels
+from repro.nn.network import Network
+from repro.nn.shapes import TensorShape as TS
+from repro.nn.zoo import googlenet_stem, nin_cifar, zfnet
+from repro.sim import FusedExecutor, ReferenceExecutor, make_input
+
+
+class TestGoogLeNetStem:
+    def test_geometry(self):
+        net = googlenet_stem()
+        assert net.output_shape == TensorShape(192, 28, 28)
+        assert net["conv2_reduce"].spec.kernel == 1  # the paper's 1x1 trend
+
+    def test_fusion_space(self):
+        result = explore(googlenet_stem())
+        assert result.num_partitions == 16  # 5 windowed units
+        c = result.fully_fused
+        a = result.layer_by_layer
+        assert c.feature_transfer_bytes < a.feature_transfer_bytes / 8
+
+    def test_without_lrn(self):
+        net = googlenet_stem(include_lrn=False)
+        assert all("norm" not in b.name for b in net)
+
+    def test_fused_execution_matches_reference(self):
+        # Scaled-down stem: same layer stack on a small input.
+        full = googlenet_stem(include_lrn=False)
+        net = Network("stem-small", TS(3, 63, 63), full.specs)
+        levels = extract_levels(net)
+        x = make_input(levels[0].in_shape, integer=True)
+        reference = ReferenceExecutor(levels, integer=True)
+        fused = FusedExecutor(levels, params=reference.params, integer=True)
+        np.testing.assert_array_equal(reference.run(x), fused.run(x))
+
+
+class TestZFNet:
+    def test_geometry(self):
+        net = zfnet()
+        assert net["conv1"].spec.kernel == 7
+        assert net["pool5"].output_shape == TensorShape(256, 6, 6)
+        assert net.output_shape == TensorShape(1000, 1, 1)
+
+    def test_feature_extractor(self):
+        net = zfnet(include_classifier=False)
+        assert net.output_shape.channels == 256
+
+    def test_fusion_space_size(self):
+        result = explore(zfnet())
+        assert result.num_partitions == 2 ** 7  # 5 convs + 3 pools
+
+
+class TestNiN:
+    def test_geometry(self):
+        net = nin_cifar()
+        assert net.output_shape == TensorShape(10, 1, 1)
+
+    def test_1x1_levels_have_zero_overlap(self):
+        levels = extract_levels(nin_cifar())
+        cccp = [l for l in levels if l.kernel == 1]
+        assert len(cccp) == 6
+        assert all(l.overlap == 0 for l in cccp)
+
+    def test_1x1_boundaries_need_no_reuse_buffers(self):
+        from repro.core.costs import reuse_buffer_plans
+
+        levels = extract_levels(nin_cifar())
+        consumers = {p.consumer_name for p in reuse_buffer_plans(levels)}
+        assert not any(name.startswith("cccp") for name in consumers)
+
+    def test_fused_execution_matches_reference(self):
+        levels = extract_levels(nin_cifar())[:7]  # through pool1
+        x = make_input(levels[0].in_shape, integer=True)
+        reference = ReferenceExecutor(levels, integer=True)
+        fused = FusedExecutor(levels, params=reference.params, integer=True)
+        np.testing.assert_array_equal(reference.run(x), fused.run(x))

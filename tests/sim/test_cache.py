@@ -1,0 +1,82 @@
+"""Set-associative LRU cache simulator."""
+
+import pytest
+
+from repro.sim.cache import CacheSim
+
+
+class TestCacheSim:
+    def test_miss_then_hit(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        assert cache.access(0) is False
+        assert cache.access(4) is True       # same line
+        assert cache.access(63) is True
+        assert cache.access(64) is False     # next line
+        assert cache.stats.read_hits == 2
+        assert cache.stats.read_misses == 2
+
+    def test_lru_eviction_order(self):
+        # 2 sets x 2 ways x 64B = 256B cache; lines 0,2,4 share set 0.
+        cache = CacheSim(256, line_bytes=64, ways=2)
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(0 * 64)       # line 0 becomes MRU
+        cache.access(4 * 64)       # evicts line 2 (LRU)
+        assert cache.access(0 * 64) is True
+        assert cache.access(2 * 64) is False
+
+    def test_write_allocate_and_writeback(self):
+        cache = CacheSim(256, line_bytes=64, ways=2)
+        cache.access(0, write=True)          # write miss, allocate dirty
+        assert cache.stats.write_misses == 1
+        cache.access(2 * 64)
+        cache.access(4 * 64)                 # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = CacheSim(256, line_bytes=64, ways=2)
+        cache.access(0)
+        cache.access(2 * 64)
+        cache.access(4 * 64)
+        assert cache.stats.writebacks == 0
+
+    def test_flush_dirty(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        cache.access(0, write=True)
+        cache.access(64, write=True)
+        cache.access(128)
+        assert cache.flush_dirty() == 2
+        assert cache.flush_dirty() == 0  # idempotent
+
+    def test_stats_aggregates(self):
+        cache = CacheSim(1024)
+        cache.access(0)
+        cache.access(0, write=True)
+        stats = cache.stats
+        assert stats.accesses == 2
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.miss_ratio == 0.5
+        assert stats.dram_lines_transferred == stats.misses + stats.writebacks
+
+    def test_run_trace(self):
+        cache = CacheSim(1024)
+        stats = cache.run([(0, False), (64, False), (0, True)])
+        assert stats.accesses == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(0)
+        with pytest.raises(ValueError):
+            CacheSim(1000, line_bytes=64, ways=3)  # not a multiple
+
+    def test_capacity_behavior(self):
+        """A working set within capacity stops missing after the first
+        pass; one beyond capacity keeps missing."""
+        cache = CacheSim(1024, line_bytes=64, ways=16)  # fully assoc., 16 lines
+        small = [(i * 64, False) for i in range(8)] * 10
+        cache.run(small)
+        assert cache.stats.misses == 8  # compulsory only
+        big_cache = CacheSim(1024, line_bytes=64, ways=16)
+        big = [(i * 64, False) for i in range(32)] * 10
+        big_cache.run(big)
+        assert big_cache.stats.misses == 320  # thrash every pass

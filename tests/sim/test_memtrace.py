@@ -1,0 +1,116 @@
+"""Schedule memory traces: same accesses, different order."""
+
+from collections import Counter
+
+import pytest
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape, extract_levels, toynet
+from repro.sim.memtrace import (
+    WORD,
+    build_address_map,
+    fused_trace,
+    reference_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    net = Network("tiny", TensorShape(2, 10, 10), [
+        ConvSpec("c1", out_channels=3, kernel=3, stride=1, padding=1),
+        ReLUSpec("r1"),
+        PoolSpec("p1", kernel=2, stride=2),
+        ConvSpec("c2", out_channels=4, kernel=3, stride=1, groups=1),
+    ])
+    levels = extract_levels(net)
+    return levels, build_address_map(levels)
+
+
+class TestAddressMap:
+    def test_regions_disjoint_and_aligned(self, tiny):
+        levels, amap = tiny
+        # Non-empty regions must not overlap (pools have empty weight
+        # regions whose base coincides with the next region — harmless).
+        regions = [(amap.input_base, levels[0].in_shape.bytes)]
+        for level, mbase, wbase in zip(levels, amap.map_bases, amap.weight_bases):
+            regions.append((mbase, level.out_shape.bytes))
+            if level.weight_count:
+                regions.append((wbase, level.weight_count * WORD))
+        regions.sort()
+        for (a, alen), (b, _) in zip(regions, regions[1:]):
+            assert a + alen <= b
+        assert all(base % 64 == 0 for base, _ in regions)
+        assert amap.total_bytes > levels[0].in_shape.bytes
+
+    def test_total_covers_all_regions(self, tiny):
+        levels, amap = tiny
+        data = (levels[0].in_shape.bytes
+                + sum(l.out_shape.bytes for l in levels)
+                + sum(l.weight_count for l in levels) * WORD)
+        assert amap.total_bytes >= data
+
+
+class TestTraces:
+    def test_same_multiset_of_accesses(self, tiny):
+        """The two schedules perform identical accesses in different
+        order — the cache comparison isolates pure locality."""
+        levels, amap = tiny
+        assert Counter(reference_trace(levels, amap)) == \
+            Counter(fused_trace(levels, amap))
+
+    def test_access_count_formula(self, tiny):
+        """Per conv output: K^2*N/g input reads + as many weight reads +
+        one write; per pool output: K^2 reads (minus padding skips) + one
+        write."""
+        levels, amap = tiny
+        count = sum(1 for _ in reference_trace(levels, amap))
+        expected = 0
+        for level in levels:
+            outs = level.out_shape.elements
+            if level.is_conv:
+                # Padded positions skip input+weight reads; compute the
+                # real-window sizes exactly.
+                per_out_reads = 0
+                in_shape = level.in_shape
+                for r in range(level.out_shape.height):
+                    for c in range(level.out_shape.width):
+                        rows = sum(
+                            1 for ki in range(level.kernel)
+                            if 0 <= r * level.stride + ki - level.pad < in_shape.height)
+                        cols = sum(
+                            1 for kj in range(level.kernel)
+                            if 0 <= c * level.stride + kj - level.pad < in_shape.width)
+                        per_out_reads += rows * cols
+                n = level.in_channels // level.groups
+                expected += level.out_channels * per_out_reads * n * 2 + outs
+            else:
+                expected += outs * level.kernel * level.kernel + outs
+        assert count == expected
+
+    def test_addresses_in_bounds(self, tiny):
+        levels, amap = tiny
+        for addr, _ in reference_trace(levels, amap):
+            assert 0 <= addr < amap.total_bytes
+
+    def test_writes_target_output_maps_only(self, tiny):
+        levels, amap = tiny
+        weight_lo = min(amap.weight_bases)
+        for addr, write in fused_trace(levels, amap):
+            if write:
+                assert addr >= amap.map_bases[0]
+
+    def test_toynet_trace(self):
+        levels = extract_levels(toynet(n=2, m=2, p=2))
+        amap = build_address_map(levels)
+        ref = Counter(reference_trace(levels, amap))
+        fus = Counter(fused_trace(levels, amap))
+        assert ref == fus
+
+    def test_grouped_conv_trace(self):
+        net = Network("g", TensorShape(4, 9, 9), [
+            ConvSpec("c1", out_channels=6, kernel=3, stride=1, groups=2),
+        ])
+        levels = extract_levels(net)
+        amap = build_address_map(levels)
+        ref = list(reference_trace(levels, amap))
+        # Each of the 6x7x7 outputs reads 2 channels x 9 taps x (in+weight).
+        assert len(ref) == 6 * 49 * (2 * 9 * 2) + 6 * 49

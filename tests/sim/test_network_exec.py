@@ -1,0 +1,65 @@
+"""Whole-network executor across every layer type."""
+
+import numpy as np
+import pytest
+
+from repro import alexnet, extract_levels, nin_cifar, toynet
+from repro.nn.network import Network
+from repro.nn.shapes import ShapeError, TensorShape
+from repro.sim import ReferenceExecutor, TrafficTrace, make_input
+from repro.sim.network_exec import NetworkExecutor
+
+
+class TestNetworkExecutor:
+    def test_nin_end_to_end(self):
+        net = nin_cifar()
+        executor = NetworkExecutor(net, integer=True)
+        x = make_input(net.input_shape, integer=True)
+        out = executor.run(x)
+        shape = net.output_shape
+        assert out.shape == (shape.channels, shape.height, shape.width)
+
+    def test_alexnet_with_lrn_and_fc(self):
+        """All of AlexNet: conv (grouped), LRN, pooling, FC, ReLU."""
+        net = alexnet()
+        scaled = Network("alex-small", TensorShape(3, 67, 67), net.specs[:8])
+        executor = NetworkExecutor(scaled, integer=True)
+        x = make_input(scaled.input_shape, integer=True)
+        outputs = executor.run_all(x)
+        assert len(outputs) == len(scaled)
+
+    def test_classify_returns_index(self):
+        net = nin_cifar()
+        executor = NetworkExecutor(net, integer=True)
+        x = make_input(net.input_shape, integer=True)
+        assert 0 <= executor.classify(x) < 10
+
+    def test_matches_level_executor_on_fusion_scope(self):
+        """On conv/pool/ReLU-only networks the two executors agree."""
+        net = toynet(n=3, m=4, p=5, with_relu=True)
+        levels = extract_levels(net)
+        level_exec = ReferenceExecutor(levels, integer=True)
+        # Same weights by name.
+        net_exec = NetworkExecutor(net, params=level_exec.params, integer=True)
+        x = make_input(net.input_shape, integer=True)
+        np.testing.assert_array_equal(level_exec.run(x), net_exec.run(x))
+
+    def test_traffic_trace(self):
+        net = toynet(n=2, m=2, p=2)
+        executor = NetworkExecutor(net, integer=True)
+        trace = TrafficTrace()
+        executor.run(make_input(net.input_shape, integer=True), trace)
+        assert trace.dram_read_elements > 0
+        assert trace.ops == net.total_ops()
+
+    def test_wrong_input_rejected(self):
+        executor = NetworkExecutor(toynet(), integer=True)
+        with pytest.raises(ShapeError):
+            executor.run(np.zeros((1, 2, 2)))
+
+    def test_deterministic(self):
+        net = toynet()
+        x = make_input(net.input_shape, integer=True)
+        a = NetworkExecutor(net, seed=9, integer=True).run(x)
+        b = NetworkExecutor(net, seed=9, integer=True).run(x)
+        np.testing.assert_array_equal(a, b)

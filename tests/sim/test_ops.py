@@ -1,0 +1,149 @@
+"""NumPy operator primitives against naive loop references."""
+
+import numpy as np
+import pytest
+
+from repro.nn.shapes import ShapeError
+from repro.sim import ops
+
+
+def naive_conv2d(x, w, b, stride, pad, groups=1):
+    """Direct quadruple-loop convolution for cross-checking."""
+    x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    m, n_per_group, k, _ = w.shape
+    n, h, width = x.shape
+    oh = (h - k) // stride + 1
+    ow = (width - k) // stride + 1
+    out = np.zeros((m, oh, ow), dtype=x.dtype)
+    m_per_group = m // groups
+    for mi in range(m):
+        g = mi // m_per_group
+        for r in range(oh):
+            for c in range(ow):
+                acc = 0.0
+                for ni in range(n_per_group):
+                    patch = x[g * n_per_group + ni,
+                              r * stride:r * stride + k,
+                              c * stride:c * stride + k]
+                    acc += float((patch * w[mi, ni]).sum())
+                out[mi, r, c] = acc + (b[mi] if b is not None else 0.0)
+    return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConv2d:
+    def test_matches_naive(self, rng):
+        x = rng.standard_normal((3, 8, 8)).astype(np.float64)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float64)
+        b = rng.standard_normal(4).astype(np.float64)
+        got = ops.conv2d(x, w, b, stride=1, pad=0)
+        np.testing.assert_allclose(got, naive_conv2d(x, w, b, 1, 0), rtol=1e-10)
+
+    def test_stride_and_pad(self, rng):
+        x = rng.standard_normal((2, 11, 11)).astype(np.float64)
+        w = rng.standard_normal((3, 2, 5, 5)).astype(np.float64)
+        b = rng.standard_normal(3).astype(np.float64)
+        got = ops.conv2d(x, w, b, stride=2, pad=2)
+        np.testing.assert_allclose(got, naive_conv2d(x, w, b, 2, 2), rtol=1e-10)
+
+    def test_groups(self, rng):
+        x = rng.standard_normal((4, 7, 7)).astype(np.float64)
+        w = rng.standard_normal((6, 2, 3, 3)).astype(np.float64)
+        b = rng.standard_normal(6).astype(np.float64)
+        got = ops.conv2d(x, w, b, stride=1, pad=0, groups=2)
+        np.testing.assert_allclose(got, naive_conv2d(x, w, b, 1, 0, groups=2),
+                                   rtol=1e-10)
+
+    def test_no_bias(self, rng):
+        x = rng.standard_normal((1, 5, 5)).astype(np.float64)
+        w = rng.standard_normal((1, 1, 3, 3)).astype(np.float64)
+        got = ops.conv2d(x, w, None)
+        np.testing.assert_allclose(got, naive_conv2d(x, w, None, 1, 0), rtol=1e-10)
+
+    def test_identity_kernel(self):
+        x = np.arange(25, dtype=np.float32).reshape(1, 5, 5)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32)
+        np.testing.assert_array_equal(ops.conv2d(x, w, None), x)
+
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((3, 11, 13)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        assert ops.conv2d(x, w, None, stride=2, pad=1).shape == (5, 6, 7)
+
+    def test_channel_mismatch_rejected(self, rng):
+        x = rng.standard_normal((3, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 4, 3, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            ops.conv2d(x, w, None)
+
+    def test_rectangular_kernel_rejected(self, rng):
+        x = rng.standard_normal((1, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 3, 2)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            ops.conv2d(x, w, None)
+
+    def test_bad_groups_rejected(self, rng):
+        x = rng.standard_normal((4, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            ops.conv2d(x, w, None, groups=2)  # 3 % 2 != 0
+
+
+class TestPooling:
+    def test_maxpool_known(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        got = ops.maxpool2d(x, 2, 2)
+        np.testing.assert_array_equal(got, [[[5, 7], [13, 15]]])
+
+    def test_maxpool_overlapping(self):
+        x = np.arange(25, dtype=np.float32).reshape(1, 5, 5)
+        got = ops.maxpool2d(x, 3, 2)
+        np.testing.assert_array_equal(got, [[[12, 14], [22, 24]]])
+
+    def test_avgpool_known(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        got = ops.avgpool2d(x, 2, 2)
+        np.testing.assert_array_equal(got, [[[2.5, 4.5], [10.5, 12.5]]])
+
+    def test_pool_preserves_channels(self):
+        x = np.random.default_rng(0).standard_normal((7, 8, 8)).astype(np.float32)
+        assert ops.maxpool2d(x, 2, 2).shape == (7, 4, 4)
+
+
+class TestElementwise:
+    def test_relu(self):
+        x = np.array([[[-1.0, 2.0], [0.0, -3.0]]], dtype=np.float32)
+        np.testing.assert_array_equal(ops.relu(x), [[[0, 2], [0, 0]]])
+
+    def test_pad2d(self):
+        x = np.ones((2, 2, 2), dtype=np.float32)
+        padded = ops.pad2d(x, 1)
+        assert padded.shape == (2, 4, 4)
+        assert padded.sum() == x.sum()
+        assert padded[0, 0, 0] == 0
+
+    def test_pad2d_zero_is_noop(self):
+        x = np.ones((1, 3, 3), dtype=np.float32)
+        assert ops.pad2d(x, 0) is x
+
+    def test_pad2d_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.pad2d(np.ones((1, 2, 2), dtype=np.float32), -1)
+
+    def test_lrn_shape_and_scale(self):
+        x = np.ones((8, 3, 3), dtype=np.float32)
+        out = ops.lrn(x)
+        assert out.shape == x.shape
+        assert np.all(out < x)  # normalization shrinks positive values
+
+    def test_fully_connected(self):
+        x = np.arange(4, dtype=np.float32).reshape(1, 2, 2)
+        w = np.eye(4, dtype=np.float32)
+        b = np.ones(4, dtype=np.float32)
+        out = ops.fully_connected(x, w, b)
+        np.testing.assert_array_equal(out.ravel(), [1, 2, 3, 4])
+        assert out.shape == (4, 1, 1)

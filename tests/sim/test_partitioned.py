@@ -1,0 +1,75 @@
+"""Partitioned execution: fused groups chained through DRAM."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import analyze_partition, compositions
+from repro.nn.shapes import ShapeError
+from repro.nn.stages import independent_units
+from repro.sim import ReferenceExecutor, TrafficTrace, make_input
+from repro.sim.partitioned import PartitionedExecutor
+
+
+@pytest.fixture
+def setup(mini_vgg_levels):
+    x = make_input(mini_vgg_levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(mini_vgg_levels, integer=True)
+    return mini_vgg_levels, x, reference, reference.run(x)
+
+
+class TestPartitionedExecutor:
+    @pytest.mark.parametrize("sizes", [(7,), (3, 4), (2, 3, 2), (1,) * 7])
+    def test_any_partition_matches_reference(self, setup, sizes):
+        levels, x, reference, expected = setup
+        executor = PartitionedExecutor(levels, sizes, params=reference.params,
+                                       integer=True)
+        np.testing.assert_array_equal(expected, executor.run(x))
+
+    @pytest.mark.parametrize("sizes", [(7,), (3, 4), (1,) * 7])
+    def test_traffic_matches_partition_analysis(self, setup, sizes):
+        levels, x, reference, _ = setup
+        executor = PartitionedExecutor(levels, sizes, params=reference.params,
+                                       integer=True)
+        trace = TrafficTrace()
+        executor.run(x, trace)
+        analysis = analyze_partition(independent_units(levels), sizes)
+        measured = (trace.dram_read_elements + trace.dram_write_elements) * 4
+        assert measured == analysis.feature_transfer_bytes
+
+    def test_every_composition_exact(self, setup):
+        """All 64 partitions of the mini VGG produce identical outputs."""
+        levels, x, reference, expected = setup
+        for sizes in compositions(len(levels)):
+            executor = PartitionedExecutor(levels, sizes,
+                                           params=reference.params, integer=True)
+            got = executor.run(x)
+            assert np.array_equal(expected, got), sizes
+
+    def test_boundary_shapes(self, setup):
+        levels, x, reference, _ = setup
+        executor = PartitionedExecutor(levels, (3, 4), params=reference.params,
+                                       integer=True)
+        (boundary,) = executor.boundary_shapes
+        assert boundary == levels[2].out_shape
+
+    def test_buffer_accounting(self, setup):
+        levels, x, reference, _ = setup
+        executor = PartitionedExecutor(levels, (3, 4), params=reference.params,
+                                       integer=True)
+        executor.run(x)
+        per_group = [g.buffer_bytes for g in executor.groups]
+        assert executor.buffer_bytes == max(per_group)
+        assert executor.total_buffer_bytes == sum(per_group)
+
+    def test_tip_clamped_per_group(self, setup):
+        levels, x, reference, expected = setup
+        executor = PartitionedExecutor(levels, (3, 4), params=reference.params,
+                                       tip_h=64, tip_w=64, integer=True)
+        np.testing.assert_array_equal(expected, executor.run(x))
+
+    def test_bad_sizes_rejected(self, setup):
+        levels, *_ = setup
+        with pytest.raises(ShapeError):
+            PartitionedExecutor(levels, (3, 3), integer=True)
+        with pytest.raises(ShapeError):
+            PartitionedExecutor(levels, (7, 0), integer=True)

@@ -1,0 +1,90 @@
+"""The recompute-strategy executor versus reference and analytic model."""
+
+import numpy as np
+import pytest
+
+from repro import extract_levels, toynet
+from repro.core.costs import one_pass_ops, recompute_ops
+from repro.nn.shapes import ShapeError
+from repro.sim import (
+    RecomputeExecutor,
+    ReferenceExecutor,
+    TrafficTrace,
+    make_input,
+)
+
+
+def run_both(levels, tip_h=1, tip_w=1, seed=0):
+    x = make_input(levels[0].in_shape, integer=True, seed=seed)
+    reference = ReferenceExecutor(levels, integer=True, seed=seed)
+    expected = reference.run(x)
+    executor = RecomputeExecutor(levels, params=reference.params,
+                                 tip_h=tip_h, tip_w=tip_w, integer=True)
+    trace = TrafficTrace()
+    got = executor.run(x, trace)
+    return x, expected, got, trace, executor
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("tip", [(1, 1), (2, 2), (4, 4), (2, 8)])
+    def test_mini_vgg(self, mini_vgg_levels, tip):
+        _, expected, got, _, _ = run_both(mini_vgg_levels, *tip)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_mini_alex(self, mini_alex_levels):
+        _, expected, got, _, _ = run_both(mini_alex_levels)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_toynet(self):
+        levels = extract_levels(toynet(n=3, m=4, p=5, with_relu=True))
+        _, expected, got, _, _ = run_both(levels)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_ragged_tip_allowed(self, mini_vgg_levels):
+        """Unlike the streaming reuse executor, recompute does not need
+        the tip to divide the output map (each pyramid is independent)."""
+        _, expected, got, _, _ = run_both(mini_vgg_levels, 3, 3)
+        np.testing.assert_array_equal(expected, got)
+
+
+class TestCosts:
+    @pytest.mark.parametrize("tip", [1, 2, 4])
+    def test_executed_ops_equal_model(self, mini_vgg_levels, tip):
+        """The executor performs exactly what Section III-B's recompute
+        model predicts."""
+        _, _, _, trace, _ = run_both(mini_vgg_levels, tip, tip)
+        assert trace.ops == recompute_ops(mini_vgg_levels, tip, tip)
+
+    def test_redundancy_exceeds_one_pass(self, mini_vgg_levels):
+        _, _, _, trace, _ = run_both(mini_vgg_levels)
+        assert trace.ops > one_pass_ops(mini_vgg_levels)
+
+    def test_input_still_read_once(self, mini_vgg_levels):
+        """Recompute trades arithmetic, not bandwidth: the line buffer
+        keeps the input read from DRAM exactly once."""
+        x, _, _, trace, _ = run_both(mini_vgg_levels)
+        assert trace.reads_for("input") == x.size
+
+    def test_output_written_once(self, mini_vgg_levels):
+        _, expected, _, trace, _ = run_both(mini_vgg_levels)
+        assert trace.writes_for("output") == expected.size
+
+    def test_line_buffer_capacity_reported(self, mini_vgg_levels):
+        _, _, _, _, executor = run_both(mini_vgg_levels)
+        from repro.core.pyramid import build_pyramid
+
+        geometry = build_pyramid(mini_vgg_levels, 1, 1)
+        padded = mini_vgg_levels[0].padded_in_shape
+        assert executor.line_buffer_elements == (
+            padded.width * geometry.base_h * mini_vgg_levels[0].in_channels)
+
+
+class TestValidation:
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ShapeError):
+            RecomputeExecutor([])
+
+    def test_wrong_input_shape_rejected(self, mini_vgg_levels):
+        executor = RecomputeExecutor(mini_vgg_levels, integer=True)
+        with pytest.raises(ShapeError):
+            executor.run(np.zeros((3, 5, 5)))

@@ -1,0 +1,103 @@
+"""BL/BT reuse-buffer discipline: resident reads succeed, stale reads raise."""
+
+import numpy as np
+import pytest
+
+from repro.sim.reuse import MapReuseState, ReuseError
+
+
+@pytest.fixture
+def state():
+    return MapReuseState("m", channels=2, hp=10, wp=12, o_v=2, o_h=3,
+                         max_bl_rows=6, dtype=np.float64)
+
+
+class TestBT:
+    def test_roundtrip(self, state):
+        data = np.arange(2 * 2 * 5, dtype=np.float64).reshape(2, 2, 5)
+        state.write_bt(data, row_lo=4, col_lo=3, col_hi=8)
+        got = state.read_bt(4, 6, 3, 8)
+        np.testing.assert_array_equal(got, data)
+
+    def test_partial_column_ranges(self, state):
+        left = np.ones((2, 2, 4))
+        right = np.full((2, 2, 4), 2.0)
+        state.write_bt(left, row_lo=4, col_lo=0, col_hi=4)
+        state.write_bt(right, row_lo=4, col_lo=4, col_hi=8)
+        got = state.read_bt(4, 6, 0, 8)
+        assert got[:, :, :4].min() == 1.0 and got[:, :, 4:].max() == 2.0
+
+    def test_stale_row_tag_raises(self, state):
+        state.write_bt(np.ones((2, 2, 5)), row_lo=4, col_lo=0, col_hi=5)
+        with pytest.raises(ReuseError):
+            state.read_bt(6, 8, 0, 5)  # buffer holds row 4, not 6
+
+    def test_unwritten_columns_raise(self, state):
+        state.write_bt(np.ones((2, 2, 5)), row_lo=4, col_lo=0, col_hi=5)
+        with pytest.raises(ReuseError):
+            state.read_bt(4, 6, 0, 8)  # cols [5, 8) never written
+
+    def test_capacity_enforced(self, state):
+        with pytest.raises(ReuseError):
+            state.write_bt(np.ones((2, 3, 5)), row_lo=0, col_lo=0, col_hi=5)
+        with pytest.raises(ReuseError):
+            state.read_bt(0, 3, 0, 5)
+
+    def test_no_vertical_overlap_rejects_bt(self):
+        flat = MapReuseState("m", 1, 8, 8, o_v=0, o_h=2, max_bl_rows=4)
+        with pytest.raises(ReuseError):
+            flat.read_bt(0, 1, 0, 4)
+        with pytest.raises(ReuseError):
+            flat.write_bt(np.ones((1, 1, 4)), 0, 0, 4)
+
+
+class TestBL:
+    def test_roundtrip(self, state):
+        data = np.arange(2 * 5 * 3, dtype=np.float64).reshape(2, 5, 3)
+        state.write_bl(data, row_lo=2, col_lo=7)
+        got = state.read_bl(2, 7, 7, 10)
+        np.testing.assert_array_equal(got, data)
+
+    def test_sub_row_read(self, state):
+        data = np.arange(2 * 5 * 3, dtype=np.float64).reshape(2, 5, 3)
+        state.write_bl(data, row_lo=2, col_lo=7)
+        got = state.read_bl(3, 6, 7, 10)
+        np.testing.assert_array_equal(got, data[:, 1:4])
+
+    def test_wrong_column_base_raises(self, state):
+        state.write_bl(np.ones((2, 4, 3)), row_lo=0, col_lo=5)
+        with pytest.raises(ReuseError):
+            state.read_bl(0, 2, 4, 7)
+
+    def test_rows_not_covered_raise(self, state):
+        state.write_bl(np.ones((2, 4, 3)), row_lo=2, col_lo=5)
+        with pytest.raises(ReuseError):
+            state.read_bl(1, 3, 5, 8)  # row 1 not held
+        with pytest.raises(ReuseError):
+            state.read_bl(5, 7, 5, 8)  # row 6 not held
+
+    def test_capacity_enforced(self, state):
+        with pytest.raises(ReuseError):
+            state.write_bl(np.ones((2, 7, 3)), row_lo=0, col_lo=0)  # > 6 rows
+        with pytest.raises(ReuseError):
+            state.write_bl(np.ones((2, 4, 4)), row_lo=0, col_lo=0)  # > 3 cols
+        state.write_bl(np.ones((2, 4, 3)), row_lo=0, col_lo=0)
+        with pytest.raises(ReuseError):
+            state.read_bl(0, 4, 0, 4)  # read wider than o_h
+
+    def test_overwrite_replaces(self, state):
+        state.write_bl(np.ones((2, 4, 3)), row_lo=0, col_lo=0)
+        state.write_bl(np.full((2, 4, 3), 7.0), row_lo=0, col_lo=3)
+        assert state.read_bl(0, 4, 3, 6).max() == 7.0
+        with pytest.raises(ReuseError):
+            state.read_bl(0, 4, 0, 3)  # old base gone
+
+
+class TestCapacityAccounting:
+    def test_buffer_elements(self, state):
+        # BT: 2ch x 2 x 12; BL: 2ch x 6 x 3.
+        assert state.buffer_elements == 2 * 2 * 12 + 2 * 6 * 3
+
+    def test_axis_free_buffers_cost_nothing(self):
+        none = MapReuseState("m", 4, 8, 8, o_v=0, o_h=0, max_bl_rows=1)
+        assert none.buffer_elements == 0

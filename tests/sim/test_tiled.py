@@ -1,0 +1,93 @@
+"""The tiled baseline executor against the reference and the hw model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.baseline import group_stages, stage_cost
+from repro.sim import ReferenceExecutor, TrafficTrace, make_input
+from repro.sim.tiled import TiledBaselineExecutor
+from repro.nn.shapes import ShapeError
+
+
+@pytest.fixture
+def setup(mini_vgg_levels):
+    x = make_input(mini_vgg_levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(mini_vgg_levels, integer=True)
+    expected = reference.run(x)
+    return mini_vgg_levels, x, reference, expected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("tiles", [(4, 8, 8), (16, 16, 16), (3, 5, 7), (64, 64, 64)])
+    def test_matches_reference(self, setup, tiles):
+        levels, x, reference, expected = setup
+        tm, tr, tc = tiles
+        executor = TiledBaselineExecutor(levels, params=reference.params,
+                                         tm=tm, tr=tr, tc=tc, integer=True)
+        np.testing.assert_array_equal(expected, executor.run(x))
+
+    def test_grouped_conv(self, mini_alex_levels):
+        x = make_input(mini_alex_levels[0].in_shape, integer=True)
+        reference = ReferenceExecutor(mini_alex_levels, integer=True)
+        executor = TiledBaselineExecutor(mini_alex_levels, params=reference.params,
+                                         tm=4, tr=5, tc=5, integer=True)
+        np.testing.assert_array_equal(reference.run(x), executor.run(x))
+
+
+class TestTrafficMatchesHwModel:
+    @pytest.mark.parametrize("tiles", [(4, 8, 8), (8, 16, 16), (16, 32, 32)])
+    def test_measured_traffic_equals_stage_cost(self, setup, tiles):
+        """The executed loop nest's DRAM reads/writes reproduce the
+        analytic baseline model exactly — per stage."""
+        levels, x, reference, _ = setup
+        tm, tr, tc = tiles
+        executor = TiledBaselineExecutor(levels, params=reference.params,
+                                         tm=tm, tr=tr, tc=tc, integer=True)
+        trace = TrafficTrace()
+        executor.run(x, trace)
+        for stage in group_stages(levels):
+            cost = stage_cost(stage, tm=tm, tn=1, tr=tr, tc=tc)
+            assert trace.reads_for(stage.conv.name) == cost.input_words, stage.name
+            assert trace.writes_for(stage.conv.name) == cost.output_words, stage.name
+
+    def test_m_tiling_rereads_input(self, setup):
+        """Halving Tm doubles the passes over each stage's input."""
+        levels, x, reference, _ = setup
+        small, large = TrafficTrace(), TrafficTrace()
+        TiledBaselineExecutor(levels, params=reference.params, tm=8, tr=32,
+                              tc=32, integer=True).run(x, small)
+        TiledBaselineExecutor(levels, params=reference.params, tm=16, tr=32,
+                              tc=32, integer=True).run(x, large)
+        # c31 has 32 output channels: 4 passes at Tm=8 vs 2 at Tm=16.
+        assert small.reads_for("c31") == 2 * large.reads_for("c31")
+
+    def test_halo_traffic_grows_with_smaller_tiles(self, setup):
+        levels, x, reference, _ = setup
+        coarse, fine = TrafficTrace(), TrafficTrace()
+        TiledBaselineExecutor(levels, params=reference.params, tm=32, tr=32,
+                              tc=32, integer=True).run(x, coarse)
+        TiledBaselineExecutor(levels, params=reference.params, tm=32, tr=4,
+                              tc=4, integer=True).run(x, fine)
+        assert fine.dram_read_elements > coarse.dram_read_elements
+
+    def test_compute_equals_one_pass(self, setup):
+        """Tiling reorders but never duplicates arithmetic."""
+        from repro.core.costs import one_pass_ops
+
+        levels, x, reference, _ = setup
+        trace = TrafficTrace()
+        TiledBaselineExecutor(levels, params=reference.params, tm=4, tr=8,
+                              tc=8, integer=True).run(x, trace)
+        assert trace.ops == one_pass_ops(levels)
+
+
+class TestValidation:
+    def test_bad_tiles_rejected(self, mini_vgg_levels):
+        with pytest.raises(ShapeError):
+            TiledBaselineExecutor(mini_vgg_levels, tm=0)
+
+    def test_leading_pool_rejected(self, mini_vgg_levels):
+        executor = TiledBaselineExecutor(mini_vgg_levels[2:], integer=True)
+        x = make_input(mini_vgg_levels[2].in_shape, integer=True)
+        with pytest.raises(ShapeError):
+            executor.run(x)

@@ -1,0 +1,46 @@
+"""Traffic-trace accounting."""
+
+from repro.sim import TrafficTrace
+
+
+class TestTrafficTrace:
+    def test_counters_accumulate(self):
+        trace = TrafficTrace()
+        trace.read("a", 10)
+        trace.read("b", 5)
+        trace.write("a", 7)
+        trace.compute("a", 100)
+        assert trace.dram_read_elements == 15
+        assert trace.dram_write_elements == 7
+        assert trace.ops == 100
+
+    def test_byte_conversion(self):
+        trace = TrafficTrace()
+        trace.read("x", 256)
+        trace.write("y", 128)
+        assert trace.dram_read_bytes == 1024
+        assert trace.dram_write_bytes == 512
+        assert trace.dram_total_bytes == 1536
+
+    def test_per_label_queries(self):
+        trace = TrafficTrace()
+        trace.read("input", 3)
+        trace.read("input", 4)
+        trace.read("other", 9)
+        trace.write("output", 2)
+        assert trace.reads_for("input") == 7
+        assert trace.writes_for("output") == 2
+        assert trace.reads_for("missing") == 0
+
+    def test_event_log_ordered(self):
+        trace = TrafficTrace()
+        trace.read("a", 1)
+        trace.compute("a", 2)
+        trace.write("a", 3)
+        assert [e[0] for e in trace.events] == ["read", "compute", "write"]
+
+    def test_summary_mentions_units(self):
+        trace = TrafficTrace()
+        trace.read("a", 2 ** 18)  # 1 MB
+        summary = trace.summary()
+        assert "MB" in summary and "Mops" in summary

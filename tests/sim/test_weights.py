@@ -1,0 +1,140 @@
+"""Deterministic weight generation."""
+
+import numpy as np
+import pytest
+
+from repro import alexnet, extract_levels, toynet
+from repro.sim.weights import (
+    conv_weight_shape,
+    make_input,
+    make_level_weights,
+    make_network_weights,
+)
+
+
+class TestConvWeightShape:
+    def test_plain(self, mini_vgg_levels):
+        assert conv_weight_shape(mini_vgg_levels[0]) == (8, 3, 3, 3)
+
+    def test_grouped(self, mini_alex_levels):
+        c2 = mini_alex_levels[2]
+        assert conv_weight_shape(c2) == (12, 4, 5, 5)
+
+    def test_pool_rejected(self, mini_vgg_levels):
+        with pytest.raises(ValueError):
+            conv_weight_shape(mini_vgg_levels[2])
+
+
+class TestMakeLevelWeights:
+    def test_every_conv_covered(self, mini_vgg_levels):
+        params = make_level_weights(mini_vgg_levels)
+        conv_names = {l.name for l in mini_vgg_levels if l.is_conv}
+        assert set(params) == conv_names
+
+    def test_deterministic(self, mini_vgg_levels):
+        a = make_level_weights(mini_vgg_levels, seed=3)
+        b = make_level_weights(mini_vgg_levels, seed=3)
+        for name in a:
+            np.testing.assert_array_equal(a[name][0], b[name][0])
+
+    def test_seed_changes_values(self, mini_vgg_levels):
+        a = make_level_weights(mini_vgg_levels, seed=3)
+        b = make_level_weights(mini_vgg_levels, seed=4)
+        assert not np.array_equal(a["c11"][0], b["c11"][0])
+
+    def test_integer_mode_is_float64_integers(self, mini_vgg_levels):
+        params = make_level_weights(mini_vgg_levels, integer=True)
+        w, b = params["c11"]
+        assert w.dtype == np.float64
+        assert np.all(w == np.round(w))
+
+    def test_float_mode_is_float32(self, mini_vgg_levels):
+        w, _ = make_level_weights(mini_vgg_levels)["c11"]
+        assert w.dtype == np.float32
+
+
+class TestMakeInput:
+    def test_shape_and_determinism(self, mini_vgg_levels):
+        shape = mini_vgg_levels[0].in_shape
+        a = make_input(shape, seed=1)
+        b = make_input(shape, seed=1)
+        assert a.shape == (shape.channels, shape.height, shape.width)
+        np.testing.assert_array_equal(a, b)
+
+    def test_integer_bounds(self, mini_vgg_levels):
+        x = make_input(mini_vgg_levels[0].in_shape, integer=True)
+        assert x.min() >= -3 and x.max() <= 3
+
+
+class TestMakeNetworkWeights:
+    def test_covers_conv_and_fc(self):
+        params = make_network_weights(alexnet())
+        assert "conv1" in params and "fc8" in params
+
+    def test_fc_shape(self):
+        params = make_network_weights(alexnet())
+        w, b = params["fc8"]
+        assert w.shape == (1000, 4096)
+        assert b.shape == (1000,)
+
+    def test_grouped_conv_shape(self):
+        params = make_network_weights(alexnet())
+        assert params["conv2"][0].shape == (256, 48, 5, 5)
+
+    def test_integer_mode(self):
+        params = make_network_weights(toynet(), integer=True)
+        w, _ = params["layer1"]
+        assert np.all(w == np.round(w))
+
+
+class TestParamsIO:
+    def test_roundtrip(self, mini_vgg_levels, tmp_path):
+        from repro.sim.weights import load_params, save_params
+
+        original = make_level_weights(mini_vgg_levels, seed=3)
+        path = tmp_path / "weights.npz"
+        save_params(path, original)
+        loaded = load_params(path, levels=mini_vgg_levels)
+        assert set(loaded) == set(original)
+        for name in original:
+            np.testing.assert_array_equal(original[name][0], loaded[name][0])
+            np.testing.assert_array_equal(original[name][1], loaded[name][1])
+
+    def test_loaded_weights_drive_executors(self, mini_vgg_levels, tmp_path):
+        from repro.sim import FusedExecutor, ReferenceExecutor
+        from repro.sim.weights import load_params, save_params
+
+        params = make_level_weights(mini_vgg_levels, integer=True)
+        path = tmp_path / "weights.npz"
+        save_params(path, params)
+        loaded = load_params(path, levels=mini_vgg_levels)
+        x = make_input(mini_vgg_levels[0].in_shape, integer=True)
+        expected = ReferenceExecutor(mini_vgg_levels, params=loaded).run(x)
+        got = FusedExecutor(mini_vgg_levels, params=loaded, integer=True).run(x)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_shape_validation(self, mini_vgg_levels, mini_alex_levels, tmp_path):
+        from repro.sim.weights import load_params, save_params
+
+        params = make_level_weights(mini_alex_levels)
+        path = tmp_path / "wrong.npz"
+        save_params(path, params)
+        with pytest.raises(ValueError):
+            load_params(path, levels=mini_vgg_levels)
+
+    def test_missing_bias_rejected(self, tmp_path):
+        from repro.sim.weights import load_params
+
+        path = tmp_path / "nobias.npz"
+        np.savez(path, **{"c.weight": np.zeros((1, 1, 3, 3))})
+        with pytest.raises(ValueError):
+            load_params(path)
+
+    def test_dtype_conversion(self, mini_vgg_levels, tmp_path):
+        from repro.sim.weights import load_params, save_params
+
+        params = make_level_weights(mini_vgg_levels)
+        path = tmp_path / "w.npz"
+        save_params(path, params)
+        loaded = load_params(path, dtype=np.float64)
+        assert loaded["c11"][0].dtype == np.float64

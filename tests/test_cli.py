@@ -1,0 +1,94 @@
+"""End-to-end CLI commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCli:
+    def test_figure2(self, capsys):
+        out = run(capsys, "figure2")
+        assert "conv1_1" in out and "weights MB" in out
+
+    def test_figure3(self, capsys):
+        out = run(capsys, "figure3")
+        assert "5x5" in out and "overlap" in out
+
+    def test_figure7_vgg_front(self, capsys):
+        out = run(capsys, "figure7", "vgg", "--front-only")
+        assert "64 partitions" in out and "3.64" in out
+
+    def test_figure7_alexnet(self, capsys):
+        out = run(capsys, "figure7", "alexnet", "--front-only")
+        assert "128 partitions" in out
+
+    def test_sec3c(self, capsys):
+        out = run(capsys, "sec3c")
+        assert "AlexNet conv1-conv2" in out
+        assert "VGGNet-E all conv+pool" in out
+
+    def test_simulate_small(self, capsys):
+        out = run(capsys, "simulate", "vgg", "--convs", "2", "--scale", "8",
+                  "--tip", "2")
+        assert "True" in out
+
+    def test_hls(self, capsys):
+        out = run(capsys, "hls", "vgg", "--convs", "2", "--dsp", "600")
+        assert "#pragma HLS" in out
+        assert "fused_accelerator" in out
+
+    def test_unknown_network(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "resnet"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_explore(self, capsys):
+        out = run(capsys, "explore", "vgg", "--convs", "5",
+                  "--storage-budget", "128")
+        assert "64 partitions" in out
+        assert "best under 128 KB" in out
+
+    def test_explore_recompute(self, capsys):
+        out = run(capsys, "explore", "googlenet-stem", "--recompute")
+        assert "Mops" in out
+
+    def test_explore_from_file(self, capsys, tmp_path):
+        from repro import dump_network, vggnet_e
+
+        path = tmp_path / "net.torchtxt"
+        path.write_text(dump_network(vggnet_e()))
+        out = run(capsys, "explore", "parsed", "--file", str(path),
+                  "--convs", "5")
+        assert "64 partitions" in out
+        assert "3.64" in out
+
+    def test_codegen(self, capsys, tmp_path):
+        out_file = tmp_path / "fused.cpp"
+        out = run(capsys, "codegen", "nin", "--convs", "2", "--out", str(out_file))
+        assert "wrote" in out
+        assert "FUSED_OK" in out_file.read_text()
+
+    def test_codegen_stdout(self, capsys):
+        out = run(capsys, "codegen", "nin", "--convs", "1")
+        assert "GRID_ROWS" in out
+
+    def test_bandwidth(self, capsys):
+        out = run(capsys, "bandwidth", "vgg", "--convs", "2", "--dsp", "600")
+        assert "speedup" in out and "x" in out
+
+    def test_energy(self, capsys):
+        out = run(capsys, "energy", "vgg", "--convs", "2", "--dsp", "600")
+        assert "fused" in out and "baseline" in out
+
+    def test_codegen_too_large_is_clean_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["codegen", "vgg", "--convs", "5"])
+        assert "codegen" in str(err.value)

@@ -1,0 +1,53 @@
+"""The user-facing verification harness."""
+
+import pytest
+
+from repro.verify import CheckResult, render_results, run_verification
+
+
+class TestRunVerification:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_verification(scale=8)
+
+    def test_all_checks_pass(self, results):
+        assert all(r.passed for r in results), render_results(results)
+
+    def test_four_checks(self, results):
+        assert len(results) == 4
+        names = [r.name for r in results]
+        assert "fused schedule equivalence" in names
+        assert "paper calibration (Figure 7b)" in names
+
+    def test_details_informative(self, results):
+        fused = next(r for r in results if r.name == "fused schedule equivalence")
+        assert "bit-identical" in fused.detail
+        assert "Mops" in fused.detail
+
+
+class TestRenderResults:
+    def test_render_pass_and_fail(self):
+        results = [
+            CheckResult("good", True, "fine", 0.1),
+            CheckResult("bad", False, "broke", 0.2),
+        ]
+        text = render_results(results)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 checks passed" in text
+
+
+class TestCliCommands:
+    def test_verify_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 checks passed" in out
+
+    def test_frontier_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["frontier", "vgg", "--convs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "2^6" in out and "3.64" in out

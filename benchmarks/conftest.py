@@ -4,15 +4,28 @@ Each benchmark regenerates one table or figure from the paper, times the
 generation with pytest-benchmark, asserts the paper's qualitative claims,
 and records the rendered rows/series to ``benchmarks/results/<name>.txt``
 (also echoed to stdout when run with ``-s``).
+
+A session-wide :class:`repro.obs.Registry` additionally records one span
+per benchmark (wall + CPU time) and dumps the snapshot to
+``benchmarks/results/BENCH_obs.json`` when the session ends — the seed
+of the perf trajectory future optimisation PRs compare against.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
+from repro.obs import Registry
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OBS_PATH = RESULTS_DIR / "BENCH_obs.json"
+
+#: One registry for the whole benchmark session; every test body runs
+#: inside a span named after its nodeid.
+BENCH_REGISTRY = Registry()
 
 
 @pytest.fixture
@@ -27,3 +40,19 @@ def record(request):
         print(f"\n{text}\n[written to {path}]")
 
     return _record
+
+
+@pytest.fixture(autouse=True)
+def _obs_walltime(request):
+    """Span every benchmark and mirror its wall time into a counter."""
+    with BENCH_REGISTRY.span(request.node.nodeid) as span:
+        yield span
+    record = BENCH_REGISTRY.spans[-1]
+    BENCH_REGISTRY.add(f"bench.wall_s[{request.node.nodeid}]", record.wall_s)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BENCH_REGISTRY.spans:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    OBS_PATH.write_text(json.dumps(BENCH_REGISTRY.to_dict(), indent=2) + "\n")

@@ -15,6 +15,9 @@ Public API tour:
   discrete-event pipeline simulator, and the HLS C++ template generator.
 * :mod:`repro.analysis` — regeneration of every figure and table in the
   paper's evaluation.
+* :mod:`repro.obs` — observability: hierarchical timing spans, counters
+  and gauges over the explorer/simulators/pipeline, with run-report,
+  metrics-JSON, and Chrome-trace (Perfetto) exporters.
 
 Quickstart::
 
@@ -24,6 +27,7 @@ Quickstart::
     print(point_c.feature_transfer_bytes / 2**20, "MB per image")
 """
 
+from . import obs
 from .core import (
     ExplorationResult,
     GroupAnalysis,
@@ -68,6 +72,7 @@ __all__ = [
     "extract_levels",
     "googlenet_stem",
     "nin_cifar",
+    "obs",
     "parse_network",
     "pareto_front",
     "toynet",

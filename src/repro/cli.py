@@ -11,23 +11,31 @@ Commands map one-to-one to the paper's evaluation artifacts::
     simulate    run the fused executor and verify against layer-by-layer
     explore     Pareto front for any zoo network or --file description
     frontier    exact DP frontier (tractable even for all of VGGNet-E)
+    stats       explore + simulate + pipeline for one network; emit the
+                full observability metrics JSON
     hls         emit the specialized HLS C++ for a fused design
     codegen     emit a standalone self-checking C++ program
     bandwidth   roofline sweep, fused vs baseline
     energy      per-image energy breakdown
     verify      run the built-in correctness self-checks
     reproduce   everything above, in order
+
+Every command accepts a global ``--profile[=TRACE_JSON]`` flag (before or
+after the subcommand): it enables the :mod:`repro.obs` registry, prints
+the run report after the command, and — when a path is given — writes a
+Chrome Trace Event Format file loadable in Perfetto. ``--list-networks``
+prints the model-zoo keys.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from . import analysis
+from . import analysis, obs
 from .nn.stages import extract_levels
-from .nn.zoo import alexnet, googlenet_stem, nin_cifar, vgg16, vggnet_e, zfnet
+from .nn.zoo import alexnet, googlenet_stem, nin_cifar, toynet, vgg16, vggnet_e, zfnet
 
 _NETWORKS = {
     "alexnet": lambda: alexnet(),
@@ -37,10 +45,19 @@ _NETWORKS = {
     "zfnet": lambda: zfnet(),
     "nin": lambda: nin_cifar(),
     "googlenet-stem": lambda: googlenet_stem(),
+    "toynet": lambda: toynet(),
 }
 
 
 def _network(name: str, file: Optional[str] = None, input_size: Optional[int] = None):
+    if input_size is not None:
+        if file is None:
+            raise SystemExit(
+                "--input-size only applies to --file networks; zoo network "
+                f"{name!r} fixes its own input size (drop --input-size or "
+                "pass --file DESCRIPTION)")
+        if input_size <= 0:
+            raise SystemExit(f"--input-size must be positive, got {input_size}")
     if file is not None:
         from .nn.parse import parse_network
 
@@ -230,6 +247,106 @@ def cmd_frontier(args) -> None:
               f"{point.storage_bytes / KB:9.1f} KB")
 
 
+def _scaled_prefix(network, convs: int, scale: int):
+    """Prefix of ``network`` with input resolution divided by ``scale``.
+
+    Not every extent is legal (AlexNet's K=11/S=4 conv rejects partial
+    windows), so search upward from the target for the smallest input
+    size whose shapes check out; fall back to full resolution.
+    """
+    sliced = network.prefix(convs)
+    shape = sliced.input_shape
+    if scale <= 1 or shape.height != shape.width:
+        return sliced
+    from .nn.network import Network
+    from .nn.shapes import ShapeError, TensorShape
+
+    target = max(shape.height // scale, 1)
+    for extent in range(target, shape.height):
+        try:
+            return Network(sliced.name,
+                           TensorShape(shape.channels, extent, extent),
+                           sliced.specs)
+        except ShapeError:
+            continue
+    return sliced
+
+
+def cmd_stats(args) -> None:
+    """Explore + simulate + pipeline one network, emitting metrics JSON.
+
+    The three hot layers all run instrumented: the partition explorer
+    (spans + scored/pruned counters), the fused-vs-reference simulators
+    (per-layer DRAM counters mirroring their ``TrafficTrace``), and the
+    discrete-event pipeline of the optimized fused design (per-stage
+    busy/idle cycles and utilization).
+    """
+    import json
+
+    import numpy as np
+
+    from .core import Strategy, explore
+    from .hw import optimize_fused, simulate_pipeline
+    from .sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+    own_capture = not obs.enabled()
+    if own_capture:
+        obs.enable()
+    registry = obs.get_registry()
+
+    network = _network(args.network)
+    with obs.span("stats", network=network.name):
+        result = explore(network, num_convs=args.convs,
+                         strategy=Strategy.REUSE)
+        obs.set_gauge("explore.front_transfer_mb",
+                      result.front[0].feature_transfer_bytes / 2**20)
+
+        sliced = _scaled_prefix(network, args.convs, args.scale)
+        levels = extract_levels(sliced)
+        x = make_input(levels[0].in_shape, integer=True)
+        reference = ReferenceExecutor(levels, integer=True)
+        ref_trace = TrafficTrace()
+        expected = reference.run(x, ref_trace)
+        fused = FusedExecutor(levels, params=reference.params, integer=True)
+        fused_trace = TrafficTrace()
+        got = fused.run(x, fused_trace)
+        match = bool(np.array_equal(expected, got))
+        obs.set_gauge("sim.outputs_match", float(match))
+
+        design = optimize_fused(extract_levels(network.prefix(args.convs)),
+                                dsp_budget=args.dsp)
+        schedule = simulate_pipeline(design.stage_timings(), design.num_pyramids,
+                                     name=f"{network.name}[:conv{args.convs}]")
+
+    metrics = registry.to_dict()
+    metrics["meta"] = {
+        "network": network.name,
+        "convs": args.convs,
+        "scale": args.scale,
+        "dsp_budget": args.dsp,
+        "outputs_match": match,
+        "num_partitions": result.num_partitions,
+        "pareto_points": len(result.front),
+        "fused_dram": fused_trace.summary(),
+        "reference_dram": ref_trace.summary(),
+        "pipeline_makespan_cycles": schedule.makespan,
+    }
+    text = json.dumps(metrics, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"{network.name}: {result.num_partitions} partitions explored, "
+              f"simulators match: {match}, pipeline makespan "
+              f"{schedule.makespan:,} cycles")
+        print(f"wrote metrics JSON to {args.json}")
+    else:
+        print(text)
+    if own_capture:
+        obs.disable()
+    if not match:
+        raise SystemExit(1)
+
+
 def cmd_verify(args) -> None:
     from .verify import render_results, run_verification
 
@@ -271,12 +388,26 @@ def cmd_reproduce(args) -> None:
     cmd_energy(Namespace(network="vgg", convs=5, dsp=2880))
 
 
+class _ListNetworksAction(argparse.Action):
+    """``--list-networks``: print the model-zoo keys and exit."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        for name in sorted(_NETWORKS):
+            print(name)
+        parser.exit()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fused-cnn",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--list-networks", action=_ListNetworksAction,
+                        help="print the model-zoo network keys and exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("figure2").set_defaults(func=cmd_figure2)
@@ -345,6 +476,19 @@ def build_parser() -> argparse.ArgumentParser:
     fr.add_argument("--convs", type=int, default=None)
     fr.set_defaults(func=cmd_frontier)
 
+    st = sub.add_parser(
+        "stats",
+        help="explore + simulate + pipeline one network; emit metrics JSON")
+    st.add_argument("network", nargs="?", default="vgg")
+    st.add_argument("--convs", type=int, default=5,
+                    help="conv-layer prefix to analyse (paper scope: 5)")
+    st.add_argument("--scale", type=int, default=8,
+                    help="divide simulator input resolution for speed")
+    st.add_argument("--dsp", type=int, default=2880)
+    st.add_argument("--json", default=None, metavar="PATH",
+                    help="write metrics JSON here instead of stdout")
+    st.set_defaults(func=cmd_stats)
+
     ver = sub.add_parser("verify")
     ver.add_argument("--scale", type=int, default=4)
     ver.set_defaults(func=cmd_verify)
@@ -354,10 +498,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _extract_profile(argv: List[str]) -> Tuple[Optional[str], List[str]]:
+    """Strip the global ``--profile[=PATH]`` flag from anywhere in argv.
+
+    Returns ``(profile, rest)`` where ``profile`` is None (off), ``""``
+    (report only), or a path to write the Chrome trace to. Handled before
+    argparse so the flag works both before and after the subcommand.
+    """
+    profile: Optional[str] = None
+    rest: List[str] = []
+    for arg in argv:
+        if arg == "--profile":
+            profile = ""
+        elif arg.startswith("--profile="):
+            profile = arg.split("=", 1)[1]
+            if not profile:
+                raise SystemExit("--profile= needs a path (or drop the '=')")
+        else:
+            rest.append(arg)
+    return profile, rest
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    profile, argv = _extract_profile(list(argv))
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    if profile is None:
+        args.func(args)
+        return 0
+    with obs.capture() as registry:
+        args.func(args)
+    print()
+    print(obs.render_report(registry))
+    if profile:
+        obs.write_chrome_trace(profile, registry)
+        print(f"\nwrote Chrome trace to {profile} "
+              "(load in https://ui.perfetto.dev or chrome://tracing)")
     return 0
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from .. import obs
 from ..nn.network import Network
 from ..nn.stages import FusionUnit, extract_levels, independent_units, pooling_merged_units
 from .fusion import Strategy
@@ -86,14 +87,24 @@ def explore(network: Network, num_convs: Optional[int] = None,
         merging is free.
     """
     sliced = network.prefix(num_convs) if num_convs is not None else network
-    levels = extract_levels(sliced)
-    units = pooling_merged_units(levels) if merge_pooling else independent_units(levels)
-    points = enumerate_partitions(units, strategy=strategy, tip_h=tip_h, tip_w=tip_w)
-    front = pareto_front(
-        points,
-        cost_x=lambda p: (p.extra_storage_bytes if strategy is Strategy.REUSE else p.extra_ops),
-        cost_y=lambda p: p.feature_transfer_bytes,
-    )
+    with obs.span("explore", network=sliced.name, strategy=strategy.name):
+        with obs.span("explore.extract_units"):
+            levels = extract_levels(sliced)
+            units = (pooling_merged_units(levels) if merge_pooling
+                     else independent_units(levels))
+        with obs.span("explore.enumerate", units=len(units)):
+            points = enumerate_partitions(units, strategy=strategy,
+                                          tip_h=tip_h, tip_w=tip_w)
+        with obs.span("explore.pareto", points=len(points)):
+            front = pareto_front(
+                points,
+                cost_x=lambda p: (p.extra_storage_bytes
+                                  if strategy is Strategy.REUSE else p.extra_ops),
+                cost_y=lambda p: p.feature_transfer_bytes,
+            )
+        obs.add_counter("explore.partitions_scored", len(points))
+        obs.add_counter("explore.partitions_pruned", len(points) - len(front))
+        obs.add_counter("explore.pareto_points", len(front))
     return ExplorationResult(
         network_name=sliced.name,
         units=tuple(units),

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterator, List, Sequence, Tuple
 
+from .. import obs
 from ..nn.stages import FusionUnit
 from .fusion import GroupAnalysis, Strategy, analyze_group, units_to_levels
 
@@ -106,7 +107,14 @@ def enumerate_partitions(units: Sequence[FusionUnit],
                          strategy: Strategy = Strategy.REUSE,
                          tip_h: int = 1, tip_w: int = 1) -> List[PartitionAnalysis]:
     """Score all ``2^(l-1)`` partitions of the unit sequence."""
-    return [
-        analyze_partition(units, sizes, strategy=strategy, tip_h=tip_h, tip_w=tip_w)
-        for sizes in compositions(len(units))
-    ]
+    with obs.span("partition.enumerate", units=len(units),
+                  strategy=strategy.name) as span:
+        points = [
+            analyze_partition(units, sizes, strategy=strategy, tip_h=tip_h, tip_w=tip_w)
+            for sizes in compositions(len(units))
+        ]
+        span.set(partitions=len(points))
+        obs.add_counter("partition.analyzed", len(points))
+        obs.add_counter("partition.groups_analyzed",
+                        sum(len(p.groups) for p in points))
+    return points

@@ -10,7 +10,9 @@ exactly, giving the makespan the analytic model approximates with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+from .. import obs
 
 
 @dataclass(frozen=True)
@@ -55,29 +57,59 @@ class PipelineSchedule:
             return [0.0 for _ in self.stages]
         return [self.num_items * s.cycles / self.makespan for s in self.stages]
 
+    def busy_cycles(self, stage_index: int) -> int:
+        """Total busy cycles of one stage over the whole run."""
+        return self.num_items * self.stages[stage_index].cycles
 
-def simulate_pipeline(stages: Sequence[StageTiming], num_items: int) -> PipelineSchedule:
+    def idle_cycles(self, stage_index: int) -> int:
+        """Cycles one stage spends waiting (fill, drain, stalls)."""
+        return self.makespan - self.busy_cycles(stage_index)
+
+
+def simulate_pipeline(stages: Sequence[StageTiming], num_items: int,
+                      name: Optional[str] = None) -> PipelineSchedule:
     """Event-driven simulation of a linear pipeline without internal
     buffering: stage ``s`` starts item ``i`` when stage ``s-1`` finished
-    item ``i`` and stage ``s`` finished item ``i-1``."""
+    item ``i`` and stage ``s`` finished item ``i-1``.
+
+    When the observability registry is enabled the resulting schedule is
+    recorded (optionally under ``name``) so exporters can render one
+    timeline track per stage and report busy/idle cycles + utilization.
+    """
     if num_items < 0:
         raise ValueError("num_items must be non-negative")
     stages = tuple(stages)
-    finish: List[Tuple[int, ...]] = []
-    prev_item = [0] * len(stages)
-    for _ in range(num_items):
-        times: List[int] = []
-        ready = 0  # completion of this item at the previous stage
-        for s, stage in enumerate(stages):
-            start = max(ready, prev_item[s])
-            done = start + stage.cycles
-            times.append(done)
-            ready = done
-            prev_item[s] = done
-        finish.append(tuple(times))
-    makespan = finish[-1][-1] if finish else 0
-    return PipelineSchedule(stages=stages, num_items=num_items,
-                            makespan=makespan, stage_finish=tuple(finish))
+    with obs.span("pipeline.simulate", stages=len(stages), items=num_items):
+        finish: List[Tuple[int, ...]] = []
+        prev_item = [0] * len(stages)
+        for _ in range(num_items):
+            times: List[int] = []
+            ready = 0  # completion of this item at the previous stage
+            for s, stage in enumerate(stages):
+                start = max(ready, prev_item[s])
+                done = start + stage.cycles
+                times.append(done)
+                ready = done
+                prev_item[s] = done
+            finish.append(tuple(times))
+        makespan = finish[-1][-1] if finish else 0
+    schedule = PipelineSchedule(stages=stages, num_items=num_items,
+                                makespan=makespan, stage_finish=tuple(finish))
+    if obs.enabled():
+        obs.record_pipeline(
+            stage_names=[s.name for s in stages],
+            stage_cycles=[s.cycles for s in stages],
+            num_items=num_items,
+            makespan=makespan,
+            stage_finish=schedule.stage_finish,
+            name=name,
+        )
+        for i, stage in enumerate(stages):
+            obs.add_counter(f"pipeline.busy_cycles[{stage.name}]",
+                            schedule.busy_cycles(i))
+            obs.add_counter(f"pipeline.idle_cycles[{stage.name}]",
+                            schedule.idle_cycles(i))
+    return schedule
 
 
 def analytic_makespan(stages: Sequence[StageTiming], num_items: int) -> int:

@@ -1,0 +1,61 @@
+"""repro.obs — spans, counters, gauges, and trace export.
+
+The observability substrate for the reproduction: a zero-dependency
+instrumentation core (:mod:`repro.obs.registry`) that the explorer,
+simulators, and pipeline model feed, plus exporters — a human-readable
+run report (:mod:`repro.obs.report`), a machine-readable snapshot
+(:meth:`Registry.to_dict`), and Chrome Trace Event Format
+(:mod:`repro.obs.chrome_trace`) loadable in Perfetto.
+
+Instrumentation is **off by default**: :func:`span` returns a shared
+no-op context manager and :func:`add_counter` is a flag check, so the
+instrumented hot paths run at full speed in ordinary test runs. Turn it
+on around a region with :func:`capture`::
+
+    from repro import obs
+
+    with obs.capture() as registry:
+        result = explore(vggnet_e(), num_convs=5)
+    print(obs.render_report(registry))
+
+or globally with ``python -m repro <command> --profile``.
+"""
+
+from .chrome_trace import chrome_trace, write_chrome_trace
+from .registry import (
+    NOOP_SPAN,
+    PipelineRecord,
+    Registry,
+    SpanRecord,
+    add_counter,
+    capture,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    record_pipeline,
+    set_gauge,
+    span,
+)
+from .report import render_report
+from .traffic import mirror_traffic
+
+__all__ = [
+    "NOOP_SPAN",
+    "PipelineRecord",
+    "Registry",
+    "SpanRecord",
+    "add_counter",
+    "capture",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "mirror_traffic",
+    "record_pipeline",
+    "render_report",
+    "set_gauge",
+    "span",
+    "write_chrome_trace",
+]

@@ -1,0 +1,305 @@
+"""Zero-dependency instrumentation core: spans, counters, gauges.
+
+A :class:`Registry` accumulates three kinds of signal:
+
+* **spans** — hierarchical timed regions (wall *and* CPU time) opened
+  with :meth:`Registry.span`, nesting tracked by an explicit stack;
+* **counters** — monotonically increasing numeric totals
+  (:meth:`Registry.add`), e.g. partitions scored or DRAM bytes moved;
+* **gauges** — last-write-wins numeric values (:meth:`Registry.gauge`).
+
+It also stores :class:`PipelineRecord` snapshots of discrete-event
+pipeline schedules so exporters can render one timeline track per fused
+stage (see :mod:`repro.obs.chrome_trace`).
+
+The module-level API (:func:`span`, :func:`add_counter`, :func:`set_gauge`,
+:func:`record_pipeline`) routes to a process-global registry and is a
+**no-op while disabled** — a single flag check and a shared do-nothing
+context manager — so instrumented hot paths cost nothing in ordinary
+test runs. Enable explicitly with :func:`enable` / :func:`capture`.
+
+Only the standard library is used; importing this module never pulls in
+NumPy or any other subsystem of the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SpanRecord:
+    """One closed timed region."""
+
+    id: int
+    parent_id: Optional[int]
+    name: str
+    depth: int
+    start_s: float  # seconds since the registry epoch
+    end_s: float
+    cpu_s: float    # process CPU seconds consumed inside the span
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class PipelineRecord:
+    """Snapshot of one simulated pipeline schedule.
+
+    ``stage_finish[item][stage]`` holds completion cycles exactly as
+    :class:`repro.hw.pipeline.PipelineSchedule` reports them; the record
+    keeps plain tuples so the observability layer never imports ``hw``.
+    """
+
+    name: str
+    stage_names: Tuple[str, ...]
+    stage_cycles: Tuple[int, ...]
+    num_items: int
+    makespan: int
+    stage_finish: Tuple[Tuple[int, ...], ...]
+
+    def busy_cycles(self, stage: int) -> int:
+        return self.num_items * self.stage_cycles[stage]
+
+    def idle_cycles(self, stage: int) -> int:
+        return self.makespan - self.busy_cycles(stage)
+
+    def utilization(self, stage: int) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return self.busy_cycles(stage) / self.makespan
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "num_items": self.num_items,
+            "makespan": self.makespan,
+            "stages": [
+                {
+                    "name": name,
+                    "cycles_per_item": cycles,
+                    "busy_cycles": self.busy_cycles(i),
+                    "idle_cycles": self.idle_cycles(i),
+                    "utilization": self.utilization(i),
+                }
+                for i, (name, cycles) in enumerate(
+                    zip(self.stage_names, self.stage_cycles))
+            ],
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one open span of an enabled registry."""
+
+    __slots__ = ("_registry", "_record", "_cpu0")
+
+    def __init__(self, registry: "Registry", record: SpanRecord, cpu0: float):
+        self._registry = registry
+        self._record = record
+        self._cpu0 = cpu0
+
+    def set(self, **attrs: Any) -> "_ActiveSpan":
+        """Attach attributes to the span while it is open."""
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._record
+        record.end_s = time.perf_counter() - self._registry.epoch
+        record.cpu_s = time.process_time() - self._cpu0
+        stack = self._registry._stack
+        if stack and stack[-1] is record:
+            stack.pop()
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while instrumentation is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Registry:
+    """Accumulates spans, counters, gauges, and pipeline snapshots.
+
+    A registry's methods always record — the global on/off switch lives
+    in the module-level convenience functions, so standalone registries
+    (benchmark harnesses, tests) work without flipping global state.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.pipelines: List[PipelineRecord] = []
+        self._stack: List[SpanRecord] = []
+        self._next_id = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a timed region; close it by exiting the context manager."""
+        now = time.perf_counter() - self.epoch
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            id=self._next_id,
+            parent_id=parent.id if parent is not None else None,
+            name=name,
+            depth=len(self._stack),
+            start_s=now,
+            end_s=now,
+            cpu_s=0.0,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(record)
+        self._stack.append(record)
+        return _ActiveSpan(self, record, time.process_time())
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a last-write-wins gauge."""
+        self.gauges[name] = value
+
+    def record_pipeline(self, stage_names: Sequence[str],
+                        stage_cycles: Sequence[int],
+                        num_items: int, makespan: int,
+                        stage_finish: Sequence[Sequence[int]],
+                        name: Optional[str] = None) -> PipelineRecord:
+        """Store a pipeline schedule snapshot (auto-named when unnamed)."""
+        record = PipelineRecord(
+            name=name or f"pipeline{len(self.pipelines)}",
+            stage_names=tuple(stage_names),
+            stage_cycles=tuple(int(c) for c in stage_cycles),
+            num_items=num_items,
+            makespan=makespan,
+            stage_finish=tuple(tuple(int(t) for t in row) for row in stage_finish),
+        )
+        self.pipelines.append(record)
+        return record
+
+    # -- introspection ---------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable snapshot of everything recorded."""
+        return {
+            "spans": [
+                {
+                    "id": s.id,
+                    "parent_id": s.parent_id,
+                    "name": s.name,
+                    "depth": s.depth,
+                    "start_s": s.start_s,
+                    "wall_s": s.wall_s,
+                    "cpu_s": s.cpu_s,
+                    "attrs": dict(s.attrs),
+                }
+                for s in self.spans
+            ],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "pipelines": [p.to_dict() for p in self.pipelines],
+        }
+
+
+# -- process-global switchboard ------------------------------------------------
+
+_REGISTRY = Registry()
+_ENABLED = False
+
+
+def get_registry() -> Registry:
+    """The process-global registry (recording only while enabled)."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def enable(fresh: bool = True) -> Registry:
+    """Turn the global instrumentation on (optionally on a new registry)."""
+    global _REGISTRY, _ENABLED
+    if fresh:
+        _REGISTRY = Registry()
+    _ENABLED = True
+    return _REGISTRY
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def capture(fresh: bool = True) -> Iterator[Registry]:
+    """Enable instrumentation for a block; restore the prior state after.
+
+    The yielded registry stays readable after the block exits, so callers
+    can render reports from it once the instrumented work is done.
+    """
+    global _REGISTRY, _ENABLED
+    prior_registry, prior_enabled = _REGISTRY, _ENABLED
+    registry = enable(fresh=fresh)
+    try:
+        yield registry
+    finally:
+        _REGISTRY, _ENABLED = prior_registry, prior_enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global registry; free when disabled."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _REGISTRY.span(name, **attrs)
+
+
+def add_counter(name: str, value: float = 1) -> None:
+    if _ENABLED:
+        _REGISTRY.add(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if _ENABLED:
+        _REGISTRY.gauge(name, value)
+
+
+def record_pipeline(stage_names: Sequence[str], stage_cycles: Sequence[int],
+                    num_items: int, makespan: int,
+                    stage_finish: Sequence[Sequence[int]],
+                    name: Optional[str] = None) -> Optional[PipelineRecord]:
+    if not _ENABLED:
+        return None
+    return _REGISTRY.record_pipeline(stage_names, stage_cycles, num_items,
+                                     makespan, stage_finish, name=name)

@@ -1,0 +1,41 @@
+"""Mirror simulator :class:`~repro.sim.trace.TrafficTrace` totals into
+registry counters.
+
+The simulators keep their own event-level traffic trace (it predates the
+registry and tests compare schedules event by event). This bridge copies
+the totals — overall and per label — into the global registry so every
+run report and metrics JSON shows DRAM bytes next to the timing spans,
+matching the trace exactly.
+
+Duck-typed on purpose: anything exposing ``dram_read_bytes``,
+``dram_write_bytes``, ``ops``, ``macs``, and ``by_label()`` works, so
+this module never imports :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from .registry import enabled, get_registry
+
+
+def mirror_traffic(trace, prefix: str) -> None:
+    """Add a trace's totals to the global registry under ``prefix``.
+
+    Counters are additive, so mirroring several runs under one prefix
+    accumulates their traffic — the same convention the trace itself
+    uses when reused across runs.
+    """
+    if not enabled():
+        return
+    registry = get_registry()
+    registry.add(f"{prefix}.dram_read_bytes", trace.dram_read_bytes)
+    registry.add(f"{prefix}.dram_write_bytes", trace.dram_write_bytes)
+    registry.add(f"{prefix}.dram_total_bytes", trace.dram_total_bytes)
+    registry.add(f"{prefix}.ops", trace.ops)
+    registry.add(f"{prefix}.macs", trace.macs)
+    for label, (read_bytes, write_bytes, ops) in trace.by_label().items():
+        if read_bytes:
+            registry.add(f"{prefix}.dram_read_bytes[{label}]", read_bytes)
+        if write_bytes:
+            registry.add(f"{prefix}.dram_write_bytes[{label}]", write_bytes)
+        if ops:
+            registry.add(f"{prefix}.ops[{label}]", ops)

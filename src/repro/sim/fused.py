@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..nn.shapes import ShapeError
 from ..nn.stages import Level
 from . import ops
@@ -139,12 +140,19 @@ class FusedExecutor:
         final = self.levels[-1].out_shape
         out = np.zeros((final.channels, final.height, final.width), dtype=self.dtype)
 
-        for p in range(self.grid_rows):
-            for q in range(self.grid_cols):
-                fresh, box = self._run_pyramid(p, q)
-                r0, r1, c0, c1 = box
-                out[:, r0:r1, c0:c1] = fresh
-                self._trace.write("output", fresh.size)
+        with obs.span("fused.run", levels=len(self.levels),
+                      grid=f"{self.grid_rows}x{self.grid_cols}",
+                      tip=f"{self.tip_h}x{self.tip_w}"):
+            for p in range(self.grid_rows):
+                with obs.span("fused.pyramid_row", row=p):
+                    for q in range(self.grid_cols):
+                        fresh, box = self._run_pyramid(p, q)
+                        r0, r1, c0, c1 = box
+                        out[:, r0:r1, c0:c1] = fresh
+                        self._trace.write("output", fresh.size)
+                        obs.add_counter("sim.fused.pyramids", 1)
+            obs.set_gauge("sim.fused.buffer_bytes", self.buffer_bytes)
+            obs.mirror_traffic(self._trace, "sim.fused")
         return out
 
     # -- setup ----------------------------------------------------------------
@@ -191,6 +199,10 @@ class FusedExecutor:
     # -- per-pyramid execution --------------------------------------------------
 
     def _run_pyramid(self, p: int, q: int) -> Tuple[np.ndarray, Tuple[int, int, int, int]]:
+        with obs.span("fused.pyramid", p=p, q=q):
+            return self._run_pyramid_levels(p, q)
+
+    def _run_pyramid_levels(self, p: int, q: int) -> Tuple[np.ndarray, Tuple[int, int, int, int]]:
         pending: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
         for i, plan in enumerate(self.plans):
             level = plan.level

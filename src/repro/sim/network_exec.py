@@ -23,6 +23,7 @@ from ..nn.layers import (
     PoolSpec,
     ReLUSpec,
 )
+from .. import obs
 from ..nn.network import Network
 from ..nn.shapes import ShapeError
 from . import ops
@@ -77,19 +78,24 @@ class NetworkExecutor:
             raise ShapeError(f"input {x.shape} != network input {expected}")
         outputs: List[np.ndarray] = []
         current = np.asarray(x)
-        for binding in self.network:
+        with obs.span("network.run", network=self.network.name,
+                      layers=len(self.network)):
+            for binding in self.network:
+                if trace is not None:
+                    trace.read(binding.name, current.size)
+                with obs.span("network.layer", layer=binding.name):
+                    current = self._apply(binding.spec, current)
+                out = binding.output_shape
+                if current.shape != (out.channels, out.height, out.width):
+                    raise ShapeError(
+                        f"{binding.name}: produced {current.shape}, inferred {out}"
+                    )
+                if trace is not None:
+                    trace.write(binding.name, current.size)
+                    trace.compute(binding.name, binding.total_ops)
+                outputs.append(current)
             if trace is not None:
-                trace.read(binding.name, current.size)
-            current = self._apply(binding.spec, current)
-            out = binding.output_shape
-            if current.shape != (out.channels, out.height, out.width):
-                raise ShapeError(
-                    f"{binding.name}: produced {current.shape}, inferred {out}"
-                )
-            if trace is not None:
-                trace.write(binding.name, current.size)
-                trace.compute(binding.name, binding.total_ops)
-            outputs.append(current)
+                obs.mirror_traffic(trace, "sim.network")
         return outputs
 
     def classify(self, x: np.ndarray) -> int:

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..nn.stages import Level
 from . import ops
 from .trace import TrafficTrace
@@ -64,26 +65,31 @@ class ReferenceExecutor:
         outputs: List[np.ndarray] = []
         current = x
         i = 0
-        while i < len(self.levels):
-            level = self.levels[i]
-            if trace is not None:
-                trace.read(level.name, current.size)
-            current = run_level(level, current, self.params)
-            outputs.append(current)
-            # A merged pooling level consumes the conv output on chip
-            # before anything is stored.
-            if (merge_pooling and level.is_conv and i + 1 < len(self.levels)
-                    and self.levels[i + 1].is_pool):
-                pool = self.levels[i + 1]
-                current = run_level(pool, current, self.params)
-                outputs.append(current)
-                i += 1
+        with obs.span("reference.run", levels=len(self.levels)):
+            while i < len(self.levels):
+                level = self.levels[i]
                 if trace is not None:
-                    trace.write(pool.name, current.size)
-                    trace.compute(pool.name, pool.total_ops)
-            elif trace is not None:
-                trace.write(level.name, current.size)
+                    trace.read(level.name, current.size)
+                with obs.span("reference.level", level=level.name):
+                    current = run_level(level, current, self.params)
+                outputs.append(current)
+                # A merged pooling level consumes the conv output on chip
+                # before anything is stored.
+                if (merge_pooling and level.is_conv and i + 1 < len(self.levels)
+                        and self.levels[i + 1].is_pool):
+                    pool = self.levels[i + 1]
+                    with obs.span("reference.level", level=pool.name):
+                        current = run_level(pool, current, self.params)
+                    outputs.append(current)
+                    i += 1
+                    if trace is not None:
+                        trace.write(pool.name, current.size)
+                        trace.compute(pool.name, pool.total_ops)
+                elif trace is not None:
+                    trace.write(level.name, current.size)
+                if trace is not None:
+                    trace.compute(level.name, level.total_ops)
+                i += 1
             if trace is not None:
-                trace.compute(level.name, level.total_ops)
-            i += 1
+                obs.mirror_traffic(trace, "sim.reference")
         return outputs

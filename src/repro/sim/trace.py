@@ -8,9 +8,11 @@ so schedules can be compared event-by-event in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..nn.shapes import BYTES_PER_WORD
+
+_MB = 2 ** 20
 
 
 @dataclass
@@ -33,9 +35,14 @@ class TrafficTrace:
         self.dram_write_elements += elements
         self.events.append(("write", label, elements))
 
-    def compute(self, label: str, ops: int) -> None:
-        """Record arithmetic operations (multiplies + adds)."""
+    def compute(self, label: str, ops: int, macs: int = -1) -> None:
+        """Record arithmetic operations (multiplies + adds).
+
+        ``macs`` defaults to ``ops // 2`` — one multiply plus one add per
+        multiply-accumulate, the convention the energy model uses.
+        """
         self.ops += ops
+        self.macs += macs if macs >= 0 else ops // 2
         self.events.append(("compute", label, ops))
 
     @property
@@ -50,15 +57,42 @@ class TrafficTrace:
     def dram_total_bytes(self) -> int:
         return self.dram_read_bytes + self.dram_write_bytes
 
+    @property
+    def dram_read_mb(self) -> float:
+        return self.dram_read_bytes / _MB
+
+    @property
+    def dram_write_mb(self) -> float:
+        return self.dram_write_bytes / _MB
+
+    @property
+    def dram_total_mb(self) -> float:
+        """Total off-chip traffic in MB (read + write)."""
+        return self.dram_total_bytes / _MB
+
     def reads_for(self, label: str) -> int:
         return sum(n for kind, lbl, n in self.events if kind == "read" and lbl == label)
 
     def writes_for(self, label: str) -> int:
         return sum(n for kind, lbl, n in self.events if kind == "write" and lbl == label)
 
+    def by_label(self) -> Dict[str, Tuple[int, int, int]]:
+        """Per-label totals: ``{label: (read_bytes, write_bytes, ops)}``."""
+        totals: Dict[str, List[int]] = {}
+        for kind, label, n in self.events:
+            entry = totals.setdefault(label, [0, 0, 0])
+            if kind == "read":
+                entry[0] += n * BYTES_PER_WORD
+            elif kind == "write":
+                entry[1] += n * BYTES_PER_WORD
+            else:
+                entry[2] += n
+        return {label: tuple(entry) for label, entry in totals.items()}
+
     def summary(self) -> str:
         return (
-            f"DRAM read {self.dram_read_bytes / 2**20:.3f} MB, "
-            f"write {self.dram_write_bytes / 2**20:.3f} MB, "
-            f"compute {self.ops / 1e6:.1f} Mops"
+            f"DRAM read {self.dram_read_mb:.3f} MB, "
+            f"write {self.dram_write_mb:.3f} MB "
+            f"(total {self.dram_total_mb:.3f} MB), "
+            f"compute {self.ops / 1e6:.1f} Mops ({self.macs / 1e6:.1f} MMACs)"
         )

@@ -68,9 +68,55 @@ class TestSimulatePipeline:
             assert all(a < b for a, b in zip(earlier, later))
 
 
+class TestEdgeCases:
+    """Degenerate schedules: no items, one stage, zero-cycle stages."""
+
+    def test_zero_items_empty_schedule(self):
+        schedule = simulate_pipeline(stages(3, 5), 0)
+        assert schedule.makespan == 0
+        assert schedule.stage_finish == ()
+        assert schedule.utilization == [0.0, 0.0]
+        assert schedule.idle_cycles(0) == 0
+
+    def test_single_stage(self):
+        """One stage degenerates to sequential execution: n * cycles."""
+        schedule = simulate_pipeline(stages(7), 5)
+        assert schedule.makespan == 5 * 7
+        assert schedule.makespan == analytic_makespan(stages(7), 5)
+        assert schedule.stage_finish == ((7,), (14,), (21,), (28,), (35,))
+        assert schedule.utilization == [1.0]
+
+    def test_zero_cycle_stage_allowed(self):
+        """cycles == 0 is a legal pass-through stage (only negatives are
+        rejected); the analytic fill + (n-1) * bottleneck still holds."""
+        timing = stages(3, 0, 5)
+        schedule = simulate_pipeline(timing, 4)
+        assert schedule.makespan == (3 + 0 + 5) + 3 * 5
+        assert schedule.makespan == analytic_makespan(timing, 4)
+        assert schedule.busy_cycles(1) == 0
+        assert schedule.idle_cycles(1) == schedule.makespan
+        assert schedule.utilization[1] == 0.0
+
+    def test_all_zero_cycles(self):
+        timing = stages(0, 0)
+        schedule = simulate_pipeline(timing, 3)
+        assert schedule.makespan == 0
+        assert schedule.makespan == analytic_makespan(timing, 3)
+        assert schedule.utilization == [0.0, 0.0]
+
+    def test_busy_idle_partition_makespan(self):
+        schedule = simulate_pipeline(stages(3, 5, 2), 4)
+        for i in range(3):
+            assert schedule.busy_cycles(i) + schedule.idle_cycles(i) == schedule.makespan
+        assert schedule.busy_cycles(1) == 4 * 5
+
+
 class TestAnalyticMakespan:
     def test_zero_items(self):
         assert analytic_makespan(stages(5), 0) == 0
 
     def test_formula(self):
         assert analytic_makespan(stages(3, 5, 2), 4) == 10 + 3 * 5
+
+    def test_single_stage_formula(self):
+        assert analytic_makespan(stages(9), 6) == 9 + 5 * 9

@@ -1,0 +1,75 @@
+"""Chrome Trace Event Format export validity."""
+
+import json
+
+from repro.obs import Registry, chrome_trace, write_chrome_trace
+
+REQUIRED_KEYS = {"name", "ph", "pid", "tid"}
+
+
+def make_registry() -> Registry:
+    registry = Registry()
+    with registry.span("explore", network="vgg"):
+        with registry.span("explore.enumerate"):
+            pass
+    registry.add("explore.partitions_scored", 64)
+    registry.record_pipeline(
+        stage_names=["load", "conv1", "store"], stage_cycles=[2, 5, 1],
+        num_items=3, makespan=18,
+        stage_finish=[(2, 7, 8), (4, 12, 13), (6, 17, 18)],
+        name="demo")
+    return registry
+
+
+class TestChromeTrace:
+    def test_events_have_required_keys(self):
+        trace = chrome_trace(make_registry())
+        assert isinstance(trace["traceEvents"], list)
+        for event in trace["traceEvents"]:
+            assert REQUIRED_KEYS <= set(event), event
+            assert event["ph"] in {"X", "M", "C"}
+
+    def test_complete_events_have_nonnegative_ts_dur(self):
+        for event in chrome_trace(make_registry())["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["ts"] >= 0
+                assert event["dur"] >= 0
+
+    def test_span_events_on_main_thread(self):
+        events = chrome_trace(make_registry())["traceEvents"]
+        spans = [e for e in events if e.get("cat") == "span"]
+        assert {e["name"] for e in spans} == {"explore", "explore.enumerate"}
+        assert all(e["pid"] == 1 and e["tid"] == 1 for e in spans)
+
+    def test_pipeline_one_track_per_stage(self):
+        events = chrome_trace(make_registry())["traceEvents"]
+        pipe = [e for e in events if e.get("cat") == "pipeline"]
+        # 3 items x 3 stages, each stage on its own tid.
+        assert len(pipe) == 9
+        assert {e["tid"] for e in pipe} == {1, 2, 3}
+        by_stage = {e["tid"]: e for e in pipe if e["args"]["item"] == 0}
+        # Item 0 at stage "conv1": finished at 7 after 5 cycles -> busy [2, 7).
+        assert by_stage[2]["ts"] == 2.0 and by_stage[2]["dur"] == 5.0
+
+    def test_pipeline_thread_names_metadata(self):
+        events = chrome_trace(make_registry())["traceEvents"]
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert "stage 1: conv1" in names
+
+    def test_counter_event_mirrors_counters(self):
+        events = chrome_trace(make_registry())["traceEvents"]
+        (counter,) = [e for e in events if e["ph"] == "C"]
+        assert counter["args"]["explore.partitions_scored"] == 64
+
+    def test_json_serializable_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), make_registry())
+        parsed = json.loads(path.read_text())
+        assert parsed["displayTimeUnit"] == "ms"
+        assert len(parsed["traceEvents"]) >= 9
+
+    def test_empty_registry_still_valid(self):
+        trace = chrome_trace(Registry())
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+        json.dumps(trace)

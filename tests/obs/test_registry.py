@@ -1,0 +1,135 @@
+"""Instrumentation core: spans, counters, gauges, enable/disable."""
+
+import pytest
+
+from repro import obs
+from repro.obs import NOOP_SPAN, Registry
+
+
+class TestRegistrySpans:
+    def test_span_records_wall_and_cpu(self):
+        registry = Registry()
+        with registry.span("work"):
+            sum(range(1000))
+        (span,) = registry.spans
+        assert span.name == "work"
+        assert span.wall_s >= 0
+        assert span.cpu_s >= 0
+        assert span.parent_id is None and span.depth == 0
+
+    def test_nesting_tracks_parent_and_depth(self):
+        registry = Registry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                with registry.span("leaf"):
+                    pass
+            with registry.span("sibling"):
+                pass
+        outer, inner, leaf, sibling = registry.spans
+        assert inner.parent_id == outer.id and inner.depth == 1
+        assert leaf.parent_id == inner.id and leaf.depth == 2
+        assert sibling.parent_id == outer.id and sibling.depth == 1
+
+    def test_span_attrs_and_set(self):
+        registry = Registry()
+        with registry.span("s", network="vgg") as span:
+            span.set(points=64)
+        assert registry.spans[0].attrs == {"network": "vgg", "points": 64}
+
+    def test_span_closes_on_exception(self):
+        registry = Registry()
+        with pytest.raises(RuntimeError):
+            with registry.span("boom"):
+                raise RuntimeError("x")
+        assert registry.spans[0].end_s >= registry.spans[0].start_s
+        # The stack unwound: a new span is again a root.
+        with registry.span("after"):
+            pass
+        assert registry.spans[1].depth == 0
+
+
+class TestCountersGauges:
+    def test_counters_accumulate(self):
+        registry = Registry()
+        registry.add("hits")
+        registry.add("hits", 4)
+        assert registry.counter("hits") == 5
+        assert registry.counter("missing") == 0
+
+    def test_gauge_last_write_wins(self):
+        registry = Registry()
+        registry.gauge("util", 0.4)
+        registry.gauge("util", 0.9)
+        assert registry.gauges["util"] == 0.9
+
+    def test_to_dict_roundtrips_structure(self):
+        registry = Registry()
+        with registry.span("a", k=1):
+            registry.add("c", 2)
+        registry.gauge("g", 3.5)
+        snapshot = registry.to_dict()
+        assert snapshot["spans"][0]["name"] == "a"
+        assert snapshot["spans"][0]["attrs"] == {"k": 1}
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 3.5}
+        assert snapshot["pipelines"] == []
+
+
+class TestPipelineRecord:
+    def test_busy_idle_utilization(self):
+        registry = Registry()
+        record = registry.record_pipeline(
+            stage_names=["a", "b"], stage_cycles=[3, 5], num_items=4,
+            makespan=23, stage_finish=[(3, 8), (6, 13), (9, 18), (12, 23)])
+        assert record.busy_cycles(1) == 20
+        assert record.idle_cycles(1) == 3
+        assert record.utilization(1) == pytest.approx(20 / 23)
+        assert record.name == "pipeline0"
+
+    def test_zero_makespan_utilization(self):
+        record = Registry().record_pipeline(
+            stage_names=["a"], stage_cycles=[0], num_items=0,
+            makespan=0, stage_finish=[])
+        assert record.utilization(0) == 0.0
+
+
+class TestGlobalSwitch:
+    def test_disabled_span_is_shared_noop(self):
+        """The disabled hot path allocates nothing: every span() call
+        returns the same do-nothing context manager."""
+        assert not obs.enabled()
+        assert obs.span("anything", x=1) is NOOP_SPAN
+        assert obs.span("other") is NOOP_SPAN
+        with obs.span("ignored") as span:
+            assert span.set(a=1) is span
+
+    def test_disabled_counters_record_nothing(self):
+        before = dict(obs.get_registry().counters)
+        obs.add_counter("ghost", 7)
+        obs.set_gauge("ghost_gauge", 1.0)
+        assert obs.get_registry().counters == before
+        assert "ghost_gauge" not in obs.get_registry().gauges
+        assert obs.record_pipeline(["a"], [1], 1, 1, [(1,)]) is None
+
+    def test_capture_enables_then_restores(self):
+        assert not obs.enabled()
+        with obs.capture() as registry:
+            assert obs.enabled()
+            with obs.span("inside"):
+                obs.add_counter("n", 3)
+        assert not obs.enabled()
+        assert registry.spans[0].name == "inside"
+        assert registry.counters["n"] == 3
+        # Post-capture activity does not leak into the captured registry.
+        obs.add_counter("n", 100)
+        assert registry.counters["n"] == 3
+
+    def test_capture_nested_keeps_outer_registry(self):
+        with obs.capture() as outer:
+            with obs.capture(fresh=False) as inner:
+                assert inner is outer
+                obs.add_counter("x")
+            assert obs.enabled()
+            obs.add_counter("x")
+        assert outer.counters["x"] == 2
+        assert not obs.enabled()

@@ -44,3 +44,34 @@ class TestTrafficTrace:
         trace.read("a", 2 ** 18)  # 1 MB
         summary = trace.summary()
         assert "MB" in summary and "Mops" in summary
+
+    def test_summary_surfaces_macs(self):
+        trace = TrafficTrace()
+        trace.compute("conv", 4_000_000)
+        assert trace.macs == 2_000_000
+        assert "MMACs" in trace.summary()
+        assert "2.0 MMACs" in trace.summary()
+
+    def test_compute_explicit_macs(self):
+        trace = TrafficTrace()
+        trace.compute("pool", 900, macs=0)
+        assert trace.ops == 900
+        assert trace.macs == 0
+
+    def test_mb_helpers(self):
+        trace = TrafficTrace()
+        trace.read("x", 2 ** 18)   # 1 MB at 4 bytes/word
+        trace.write("y", 2 ** 17)  # 0.5 MB
+        assert trace.dram_read_mb == 1.0
+        assert trace.dram_write_mb == 0.5
+        assert trace.dram_total_mb == 1.5
+
+    def test_by_label_totals(self):
+        trace = TrafficTrace()
+        trace.read("input", 3)
+        trace.read("input", 4)
+        trace.write("input", 2)
+        trace.compute("conv", 10)
+        totals = trace.by_label()
+        assert totals["input"] == (7 * 4, 2 * 4, 0)
+        assert totals["conv"] == (0, 0, 10)

@@ -92,3 +92,96 @@ class TestCli:
         with pytest.raises(SystemExit) as err:
             main(["codegen", "vgg", "--convs", "5"])
         assert "codegen" in str(err.value)
+
+
+class TestNetworkFlags:
+    def test_list_networks(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--list-networks"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "vgg" in out and "toynet" in out
+
+    def test_input_size_without_file_rejected(self):
+        with pytest.raises(SystemExit) as err:
+            main(["explore", "vgg", "--input-size", "112"])
+        assert "--input-size" in str(err.value)
+        assert "--file" in str(err.value)
+
+    def test_nonpositive_input_size_rejected(self, tmp_path):
+        from repro import dump_network, vggnet_e
+
+        path = tmp_path / "net.torchtxt"
+        path.write_text(dump_network(vggnet_e()))
+        with pytest.raises(SystemExit) as err:
+            main(["explore", "parsed", "--file", str(path), "--input-size", "0"])
+        assert "positive" in str(err.value)
+
+    def test_input_size_with_file_accepted(self, capsys, tmp_path):
+        from repro import dump_network, vggnet_e
+
+        path = tmp_path / "net.torchtxt"
+        path.write_text(dump_network(vggnet_e()))
+        out = run(capsys, "explore", "parsed", "--file", str(path),
+                  "--input-size", "64", "--convs", "3")
+        assert "partitions" in out
+
+
+class TestStatsAndProfile:
+    def test_stats_emits_metrics_json(self, capsys):
+        import json
+
+        out = run(capsys, "stats", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600")
+        metrics = json.loads(out)
+        assert metrics["meta"]["outputs_match"] is True
+        counters = metrics["counters"]
+        assert counters["explore.partitions_scored"] >= 2
+        assert counters["sim.fused.dram_read_bytes"] > 0
+        assert metrics["pipelines"], "pipeline schedule missing"
+        stage_names = [s["name"] for s in metrics["pipelines"][0]["stages"]]
+        assert "load" in stage_names and "store" in stage_names
+
+    def test_stats_json_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        out = run(capsys, "stats", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600", "--json", str(path))
+        assert "wrote metrics JSON" in out
+        metrics = json.loads(path.read_text())
+        assert "counters" in metrics and "spans" in metrics
+
+    def test_profile_flag_prints_report(self, capsys):
+        out = run(capsys, "explore", "vgg", "--convs", "3", "--profile")
+        assert "run report" in out
+        assert "explore.partitions_scored" in out
+        assert "partitions" in out  # the command's own output still prints
+
+    def test_profile_flag_before_subcommand(self, capsys):
+        out = run(capsys, "--profile", "explore", "vgg", "--convs", "3")
+        assert "run report" in out
+
+    def test_profile_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        out = run(capsys, "stats", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600", f"--profile={path}")
+        assert "wrote Chrome trace" in out
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        assert events and all("ph" in e and "pid" in e for e in events)
+        span_names = {e["name"] for e in events if e.get("cat") == "span"}
+        assert "explore" in span_names and "stats" in span_names
+        assert any(e.get("cat") == "pipeline" for e in events)
+
+    def test_profile_disabled_after_run(self, capsys):
+        from repro import obs
+
+        run(capsys, "explore", "vgg", "--convs", "2", "--profile")
+        assert not obs.enabled()
+
+    def test_empty_profile_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "vgg", "--profile="])

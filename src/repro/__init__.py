@@ -18,6 +18,12 @@ Public API tour:
 * :mod:`repro.obs` — observability: hierarchical timing spans, counters
   and gauges over the explorer/simulators/pipeline, with run-report,
   metrics-JSON, and Chrome-trace (Perfetto) exporters.
+* :mod:`repro.faults` — robustness: the deterministic fault-injection
+  plan DSL (DRAM stalls, bandwidth degradation, stage stalls, transfer
+  corruption), bounded retry-with-backoff, and exploration budgets with
+  graceful degradation.
+* :mod:`repro.errors` — the structured exception hierarchy
+  (:class:`~repro.errors.ReproError` and friends) every subsystem raises.
 
 Quickstart::
 
@@ -27,7 +33,8 @@ Quickstart::
     print(point_c.feature_transfer_bytes / 2**20, "MB per image")
 """
 
-from . import obs
+from . import faults, obs
+from .errors import BudgetExceeded, ConfigError, ReproError, SimFaultError
 from .core import (
     ExplorationResult,
     GroupAnalysis,
@@ -54,8 +61,12 @@ from .nn.zoo import alexnet, googlenet_stem, nin_cifar, toynet, vgg16, vggnet_e,
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExceeded",
+    "ConfigError",
     "ConvSpec",
     "ExplorationResult",
+    "ReproError",
+    "SimFaultError",
     "GroupAnalysis",
     "Network",
     "ParseError",
@@ -70,6 +81,7 @@ __all__ = [
     "dump_network",
     "explore",
     "extract_levels",
+    "faults",
     "googlenet_stem",
     "nin_cifar",
     "obs",

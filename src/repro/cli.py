@@ -13,6 +13,8 @@ Commands map one-to-one to the paper's evaluation artifacts::
     frontier    exact DP frontier (tractable even for all of VGGNet-E)
     stats       explore + simulate + pipeline for one network; emit the
                 full observability metrics JSON
+    faultsim    run fused-vs-reference under an injected fault plan and
+                report whether outputs still match the golden reference
     hls         emit the specialized HLS C++ for a fused design
     codegen     emit a standalone self-checking C++ program
     bandwidth   roofline sweep, fused vs baseline
@@ -25,6 +27,13 @@ after the subcommand): it enables the :mod:`repro.obs` registry, prints
 the run report after the command, and — when a path is given — writes a
 Chrome Trace Event Format file loadable in Perfetto. ``--list-networks``
 prints the model-zoo keys.
+
+Two more global flags wire up :mod:`repro.faults`: ``--faults SPEC``
+installs a fault plan (e.g. ``dram_stall:p=0.05;transfer_corrupt:p=0.02``)
+that ``simulate``, ``stats``, and ``faultsim`` inject, and ``--seed N``
+seeds the plan's deterministic decision streams. Any diagnosed
+:class:`~repro.errors.ReproError` exits with code 2 and a one-line
+message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
-from . import analysis, obs
+from . import analysis, faults as faults_mod, obs
+from .errors import ReproError
 from .nn.stages import extract_levels
 from .nn.zoo import alexnet, googlenet_stem, nin_cifar, toynet, vgg16, vggnet_e, zfnet
 
@@ -134,8 +144,11 @@ def cmd_simulate(args) -> None:
     x = make_input(levels[0].in_shape, integer=True)
     reference = ReferenceExecutor(levels, integer=True)
     expected = reference.run(x)
+    plan = faults_mod.get_active_plan()
+    injector = plan.injector() if plan is not None else None
     fused = FusedExecutor(levels, params=reference.params,
-                          tip_h=args.tip, tip_w=args.tip, integer=True)
+                          tip_h=args.tip, tip_w=args.tip, integer=True,
+                          faults=injector)
     trace = TrafficTrace()
     got = fused.run(x, trace)
     match = bool(np.array_equal(expected, got))
@@ -143,6 +156,78 @@ def cmd_simulate(args) -> None:
     print(f"fused output == layer-by-layer output: {match}")
     print(f"DRAM traffic: {trace.summary()}")
     print(f"reuse-buffer footprint: {fused.buffer_bytes / 1024:.1f} KB")
+    if injector is not None:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(injector.counts.items()))
+        print(f"fault plan: {plan} (seed {plan.seed}); "
+              f"injected: {counts or 'none'}")
+    if not match:
+        raise SystemExit(1)
+
+
+_DEFAULT_FAULTSIM_SPEC = "dram_stall:p=0.05;transfer_corrupt:p=0.05"
+
+
+def cmd_faultsim(args) -> None:
+    """Fused executor vs fault-free golden reference under a fault plan.
+
+    The reference runs clean; the fused simulator runs with the plan's
+    corruption faults injected (detected and repaired by bounded
+    re-fetch), then the optimized design's channel and pipeline models
+    replay the same plan to price DRAM stalls, bandwidth degradation,
+    and stage stalls in cycles. Exit 1 if the outputs diverge.
+    """
+    import numpy as np
+
+    from .faults import FaultPlan, RetryPolicy
+    from .hw import (fused_design_stages, optimize_fused, simulate_pipeline,
+                     simulate_with_channel)
+    from .sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+    plan = faults_mod.get_active_plan()
+    if plan is None:
+        plan = FaultPlan.parse(_DEFAULT_FAULTSIM_SPEC,
+                               seed=getattr(args, "fault_seed", 0))
+    retry = RetryPolicy(max_attempts=args.max_attempts)
+
+    network = _network(args.network)
+    sliced = _scaled_prefix(network, args.convs, args.scale)
+    levels = extract_levels(sliced)
+    x = make_input(levels[0].in_shape, integer=True)
+    reference = ReferenceExecutor(levels, integer=True)
+    expected = reference.run(x)
+
+    injector = plan.injector()
+    fused = FusedExecutor(levels, params=reference.params,
+                          tip_h=args.tip, tip_w=args.tip, integer=True,
+                          faults=injector, retry=retry)
+    trace = TrafficTrace()
+    got = fused.run(x, trace)
+    match = bool(np.array_equal(expected, got))
+
+    design = optimize_fused(extract_levels(network.prefix(args.convs)),
+                            dsp_budget=args.dsp)
+    clean = simulate_with_channel(fused_design_stages(design),
+                                  design.num_pyramids,
+                                  words_per_cycle=args.words_per_cycle)
+    faulty = simulate_with_channel(fused_design_stages(design),
+                                   design.num_pyramids,
+                                   words_per_cycle=args.words_per_cycle,
+                                   faults=injector, retry=retry)
+    schedule = simulate_pipeline(design.stage_timings(), design.num_pyramids,
+                                 name=f"{network.name}[:conv{args.convs}]",
+                                 faults=injector)
+
+    print(f"fault plan: {plan} (seed {plan.seed})")
+    print(f"network: {sliced.name} input {levels[0].in_shape}")
+    print(f"fused output == fault-free golden reference: {match}")
+    print(f"DRAM traffic: {trace.summary()}")
+    print(f"channel makespan: {faulty.makespan:,} cycles "
+          f"({faulty.makespan / clean.makespan:.2f}x fault-free; "
+          f"{faulty.stalls} stalls, {faulty.retries} retries, "
+          f"{faulty.stall_cycles:,} stall cycles)")
+    print(f"pipeline makespan under stage stalls: {schedule.makespan:,} cycles")
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(injector.counts.items()))
+    print(f"injected: {counts or 'none'}")
     if not match:
         raise SystemExit(1)
 
@@ -161,10 +246,18 @@ def cmd_explore(args) -> None:
 
     network = _network(args.network, file=args.file, input_size=args.input_size)
     strategy = Strategy.RECOMPUTE if args.recompute else Strategy.REUSE
-    result = explore(network, num_convs=args.convs, strategy=strategy)
+    budget = None
+    if args.max_partitions is not None or args.max_seconds is not None:
+        from .faults import ExplorationBudget
+
+        budget = ExplorationBudget(max_evaluations=args.max_partitions,
+                                   max_seconds=args.max_seconds)
+    result = explore(network, num_convs=args.convs, strategy=strategy,
+                     budget=budget)
     KB, MB = 2 ** 10, 2 ** 20
+    degraded = " [degraded: budget hit, best-so-far]" if result.degraded else ""
     print(f"{result.network_name}: {result.num_partitions} partitions, "
-          f"{len(result.front)} Pareto-optimal")
+          f"{len(result.front)} Pareto-optimal{degraded}")
     for point in result.front:
         cost = (f"{point.extra_storage_bytes / KB:9.1f} KB"
                 if strategy is Strategy.REUSE
@@ -294,6 +387,8 @@ def cmd_stats(args) -> None:
         obs.enable()
     registry = obs.get_registry()
 
+    plan = faults_mod.get_active_plan()
+    injector = plan.injector() if plan is not None else None
     network = _network(args.network)
     with obs.span("stats", network=network.name):
         result = explore(network, num_convs=args.convs,
@@ -307,7 +402,8 @@ def cmd_stats(args) -> None:
         reference = ReferenceExecutor(levels, integer=True)
         ref_trace = TrafficTrace()
         expected = reference.run(x, ref_trace)
-        fused = FusedExecutor(levels, params=reference.params, integer=True)
+        fused = FusedExecutor(levels, params=reference.params, integer=True,
+                              faults=injector)
         fused_trace = TrafficTrace()
         got = fused.run(x, fused_trace)
         match = bool(np.array_equal(expected, got))
@@ -316,7 +412,8 @@ def cmd_stats(args) -> None:
         design = optimize_fused(extract_levels(network.prefix(args.convs)),
                                 dsp_budget=args.dsp)
         schedule = simulate_pipeline(design.stage_timings(), design.num_pyramids,
-                                     name=f"{network.name}[:conv{args.convs}]")
+                                     name=f"{network.name}[:conv{args.convs}]",
+                                     faults=injector)
 
     metrics = registry.to_dict()
     metrics["meta"] = {
@@ -330,6 +427,11 @@ def cmd_stats(args) -> None:
         "fused_dram": fused_trace.summary(),
         "reference_dram": ref_trace.summary(),
         "pipeline_makespan_cycles": schedule.makespan,
+        "faults": (None if plan is None else {
+            "plan": str(plan),
+            "seed": plan.seed,
+            "injected": dict(sorted(injector.counts.items())),
+        }),
     }
     text = json.dumps(metrics, indent=2, sort_keys=True)
     if args.json:
@@ -446,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--convs", type=int, default=None)
     exp.add_argument("--recompute", action="store_true")
     exp.add_argument("--storage-budget", type=int, default=None, metavar="KB")
+    exp.add_argument("--max-partitions", type=int, default=None, metavar="N",
+                     help="evaluation budget: stop after scoring N partitions "
+                          "and return the best-so-far frontier (degraded)")
+    exp.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                     help="wall-clock budget for the sweep (degrades)")
     exp.set_defaults(func=cmd_explore)
 
     gen = sub.add_parser("codegen")
@@ -489,6 +596,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write metrics JSON here instead of stdout")
     st.set_defaults(func=cmd_stats)
 
+    fs = sub.add_parser(
+        "faultsim",
+        help="fused vs golden reference under an injected fault plan")
+    fs.add_argument("network", nargs="?", default="alexnet")
+    fs.add_argument("--convs", type=int, default=5)
+    fs.add_argument("--scale", type=int, default=4,
+                    help="divide simulator input resolution for speed")
+    fs.add_argument("--tip", type=int, default=1)
+    fs.add_argument("--dsp", type=int, default=2880)
+    fs.add_argument("--words-per-cycle", type=float, default=16.0,
+                    dest="words_per_cycle")
+    fs.add_argument("--max-attempts", type=int, default=4,
+                    help="retry budget per faulted transfer")
+    fs.set_defaults(func=cmd_faultsim)
+
     ver = sub.add_parser("verify")
     ver.add_argument("--scale", type=int, default=4)
     ver.set_defaults(func=cmd_verify)
@@ -519,17 +641,64 @@ def _extract_profile(argv: List[str]) -> Tuple[Optional[str], List[str]]:
     return profile, rest
 
 
+def _extract_faults(argv: List[str]) -> Tuple[Optional[str], int, List[str]]:
+    """Strip the global ``--faults SPEC`` / ``--seed N`` flags from argv.
+
+    Like ``--profile``, these are handled before argparse so they work
+    position-independently on every subcommand. Returns
+    ``(spec, seed, rest)`` where ``spec`` is None when faults are off.
+    """
+    spec: Optional[str] = None
+    seed = 0
+    rest: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("--faults", "--seed"):
+            if i + 1 >= len(argv):
+                raise SystemExit(f"{arg} needs a value")
+            value = argv[i + 1]
+            i += 2
+        elif arg.startswith("--faults=") or arg.startswith("--seed="):
+            arg, value = arg.split("=", 1)
+            i += 1
+        else:
+            rest.append(arg)
+            i += 1
+            continue
+        if arg == "--faults":
+            if not value:
+                raise SystemExit("--faults needs a non-empty spec "
+                                 "(e.g. dram_stall:p=0.05)")
+            spec = value
+        else:
+            try:
+                seed = int(value)
+            except ValueError:
+                raise SystemExit(f"--seed expects an integer, got {value!r}")
+    return spec, seed, rest
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     profile, argv = _extract_profile(list(argv))
+    fault_spec, fault_seed, argv = _extract_faults(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
-    if profile is None:
-        args.func(args)
-        return 0
-    with obs.capture() as registry:
-        args.func(args)
+    args.fault_seed = fault_seed
+    try:
+        plan = (faults_mod.FaultPlan.parse(fault_spec, seed=fault_seed)
+                if fault_spec is not None else None)
+        with faults_mod.active_plan(plan):
+            if profile is None:
+                args.func(args)
+                return 0
+            with obs.capture() as registry:
+                args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     print()
     print(obs.render_report(registry))
     if profile:

@@ -9,10 +9,12 @@ well under a second.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from .. import obs
+from ..errors import BudgetExceeded, ConfigError, SimFaultError
+from ..faults.budget import ExplorationBudget
 from ..nn.network import Network
 from ..nn.stages import FusionUnit, extract_levels, independent_units, pooling_merged_units
 from .fusion import Strategy
@@ -22,13 +24,19 @@ from .partition import PartitionAnalysis, enumerate_partitions
 
 @dataclass(frozen=True)
 class ExplorationResult:
-    """Every scored partition of a network plus its Pareto frontier."""
+    """Every scored partition of a network plus its Pareto frontier.
+
+    ``degraded`` marks a budget-truncated search: ``points`` then holds
+    the best-so-far sweep (never empty) and ``front`` the Pareto frontier
+    of *those* points — a valid but possibly incomplete answer.
+    """
 
     network_name: str
     units: Tuple[FusionUnit, ...]
     strategy: Strategy
     points: Tuple[PartitionAnalysis, ...]
     front: Tuple[PartitionAnalysis, ...]
+    degraded: bool = field(default=False)
 
     @property
     def num_partitions(self) -> int:
@@ -40,7 +48,10 @@ class ExplorationResult:
         for point in self.points:
             if point.is_layer_by_layer:
                 return point
-        raise RuntimeError("layer-by-layer partition missing from exploration")
+        raise SimFaultError("layer-by-layer partition missing from exploration",
+                            network=self.network_name,
+                            partitions=self.num_partitions,
+                            degraded=self.degraded)
 
     @property
     def fully_fused(self) -> PartitionAnalysis:
@@ -48,7 +59,10 @@ class ExplorationResult:
         for point in self.points:
             if point.is_fully_fused:
                 return point
-        raise RuntimeError("fully fused partition missing from exploration")
+        raise SimFaultError("fully fused partition missing from exploration",
+                            network=self.network_name,
+                            partitions=self.num_partitions,
+                            degraded=self.degraded)
 
     def best_under_storage(self, budget_bytes: int) -> Optional[PartitionAnalysis]:
         """Minimum-transfer partition whose extra storage fits the budget."""
@@ -68,7 +82,9 @@ class ExplorationResult:
 def explore(network: Network, num_convs: Optional[int] = None,
             strategy: Strategy = Strategy.REUSE,
             merge_pooling: bool = False,
-            tip_h: int = 1, tip_w: int = 1) -> ExplorationResult:
+            tip_h: int = 1, tip_w: int = 1,
+            budget: Optional[ExplorationBudget] = None,
+            on_budget: str = "degrade") -> ExplorationResult:
     """Explore all fusion partitions of (a prefix of) a network.
 
     Parameters
@@ -85,8 +101,22 @@ def explore(network: Network, num_convs: Optional[int] = None,
         one unit (Figure 2 grouping). The paper's Figure 7 search keeps
         them independent (default), letting the optimizer discover that
         merging is free.
+    budget:
+        An :class:`~repro.faults.budget.ExplorationBudget` bounding the
+        sweep by evaluations and/or wall-clock. When it trips, behavior
+        follows ``on_budget``.
+    on_budget:
+        ``"degrade"`` (default): return the best-so-far frontier with
+        ``degraded=True`` — the graceful-degradation contract a serving
+        system needs. ``"raise"``: raise
+        :class:`~repro.errors.BudgetExceeded` instead.
     """
+    if on_budget not in ("degrade", "raise"):
+        raise ConfigError("on_budget must be 'degrade' or 'raise'",
+                          on_budget=on_budget)
     sliced = network.prefix(num_convs) if num_convs is not None else network
+    if budget is not None:
+        budget.start()
     with obs.span("explore", network=sliced.name, strategy=strategy.name):
         with obs.span("explore.extract_units"):
             levels = extract_levels(sliced)
@@ -94,7 +124,18 @@ def explore(network: Network, num_convs: Optional[int] = None,
                      else independent_units(levels))
         with obs.span("explore.enumerate", units=len(units)):
             points = enumerate_partitions(units, strategy=strategy,
-                                          tip_h=tip_h, tip_w=tip_w)
+                                          tip_h=tip_h, tip_w=tip_w,
+                                          budget=budget)
+        degraded = budget is not None and budget.tripped
+        if degraded:
+            obs.add_counter("explore.degraded_searches")
+            obs.add_counter("faults.budget_trips")
+            if on_budget == "raise":
+                raise BudgetExceeded(
+                    "exploration budget exhausted",
+                    network=sliced.name, scored=len(points),
+                    budget=budget.describe(),
+                    elapsed_s=round(budget.elapsed_seconds, 3))
         with obs.span("explore.pareto", points=len(points)):
             front = pareto_front(
                 points,
@@ -111,4 +152,5 @@ def explore(network: Network, num_convs: Optional[int] = None,
         strategy=strategy,
         points=tuple(points),
         front=tuple(front),
+        degraded=degraded,
     )

@@ -9,6 +9,7 @@ by storage so callers can draw the same curve.
 from __future__ import annotations
 
 from typing import Callable, List, Sequence, Tuple, TypeVar
+from ..errors import ConfigError
 
 T = TypeVar("T")
 
@@ -56,7 +57,7 @@ def knee_point(front: Sequence[T],
     joining the extremes — a conventional "best trade-off" pick (the
     paper's point B is such an interior compromise)."""
     if not front:
-        raise ValueError("empty front")
+        raise ConfigError("empty front")
     if len(front) <= 2:
         return front[0]
     xs = [cost_x(p) for p in front]

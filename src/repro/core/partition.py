@@ -15,6 +15,7 @@ from itertools import combinations
 from typing import Iterator, List, Sequence, Tuple
 
 from .. import obs
+from ..errors import ConfigError
 from ..nn.stages import FusionUnit
 from .fusion import GroupAnalysis, Strategy, analyze_group, units_to_levels
 
@@ -26,7 +27,7 @@ def compositions(n: int) -> Iterator[Tuple[int, ...]]:
     example. There are ``2^(n-1)`` of them.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise ConfigError("n must be non-negative", n=n)
     if n == 0:
         yield ()
         return
@@ -89,9 +90,11 @@ def analyze_partition(units: Sequence[FusionUnit], sizes: Sequence[int],
                       tip_h: int = 1, tip_w: int = 1) -> PartitionAnalysis:
     """Score one partition (group sizes must sum to ``len(units)``)."""
     if sum(sizes) != len(units):
-        raise ValueError(f"sizes {tuple(sizes)} do not cover {len(units)} units")
+        raise ConfigError(f"sizes {tuple(sizes)} do not cover {len(units)} units",
+                          sizes=tuple(sizes), units=len(units))
     if any(size <= 0 for size in sizes):
-        raise ValueError(f"group sizes must be positive: {tuple(sizes)}")
+        raise ConfigError(f"group sizes must be positive: {tuple(sizes)}",
+                          sizes=tuple(sizes))
     groups: List[GroupAnalysis] = []
     start = 0
     for size in sizes:
@@ -105,14 +108,27 @@ def analyze_partition(units: Sequence[FusionUnit], sizes: Sequence[int],
 
 def enumerate_partitions(units: Sequence[FusionUnit],
                          strategy: Strategy = Strategy.REUSE,
-                         tip_h: int = 1, tip_w: int = 1) -> List[PartitionAnalysis]:
-    """Score all ``2^(l-1)`` partitions of the unit sequence."""
+                         tip_h: int = 1, tip_w: int = 1,
+                         budget=None) -> List[PartitionAnalysis]:
+    """Score all ``2^(l-1)`` partitions of the unit sequence.
+
+    ``budget`` (an :class:`~repro.faults.budget.ExplorationBudget`) is
+    charged one evaluation per partition; once it trips, enumeration
+    stops at that partition boundary and the points scored so far are
+    returned (at least one, so a degraded search is never empty). The
+    budget object's ``tripped`` flag tells the caller the sweep was cut
+    short.
+    """
     with obs.span("partition.enumerate", units=len(units),
                   strategy=strategy.name) as span:
-        points = [
-            analyze_partition(units, sizes, strategy=strategy, tip_h=tip_h, tip_w=tip_w)
-            for sizes in compositions(len(units))
-        ]
+        points: List[PartitionAnalysis] = []
+        for sizes in compositions(len(units)):
+            if budget is not None and points and budget.exceeded():
+                break
+            points.append(analyze_partition(units, sizes, strategy=strategy,
+                                            tip_h=tip_h, tip_w=tip_w))
+            if budget is not None:
+                budget.charge()
         span.set(partitions=len(points))
         obs.add_counter("partition.analyzed", len(points))
         obs.add_counter("partition.groups_analyzed",

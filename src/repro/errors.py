@@ -1,0 +1,59 @@
+"""Structured exception hierarchy shared by every subsystem.
+
+All errors the reproduction raises on purpose derive from
+:class:`ReproError`, so callers (and the CLI's top level) can catch one
+type and know it is a diagnosed condition, not a stray bug. Three broad
+families cover the failure modes a simulation service meets:
+
+* :class:`ConfigError` — the *request* is wrong: impossible geometry,
+  malformed network description, invalid fault spec, bad budgets. Also a
+  ``ValueError`` so legacy ``except ValueError`` call sites keep working.
+* :class:`SimFaultError` — the *simulation* went wrong at run time: an
+  injected DRAM fault survived every retry, a reuse buffer was read
+  outside its resident window, an exploration invariant broke. Also a
+  ``RuntimeError`` for backward compatibility.
+* :class:`BudgetExceeded` — a bounded exploration ran out of wall clock
+  or evaluations. Raised only when the caller asked for strictness
+  (``on_budget="raise"``); the default contract is graceful degradation
+  (see :mod:`repro.faults.budget`).
+
+Every ``ReproError`` carries a ``context`` mapping of keyword details
+(``network="vgg"``, ``attempts=4`` ...) rendered into ``str(err)`` so a
+one-line message is actionable without a traceback.
+
+This module is a leaf: it imports nothing from the package, so any layer
+(``nn``, ``core``, ``sim``, ``hw``, ``faults``) may depend on it freely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ReproError(Exception):
+    """Base for all diagnosed errors raised by the reproduction."""
+
+    def __init__(self, message: str, **context: Any):
+        self.message = message
+        self.context: Dict[str, Any] = dict(context)
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        details = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.context.items())
+        )
+        return f"{self.message} [{details}]"
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid input, geometry, spec, or parameter combination."""
+
+
+class SimFaultError(ReproError, RuntimeError):
+    """A runtime simulation failure: exhausted retries, broken invariant."""
+
+
+class BudgetExceeded(ReproError):
+    """A bounded exploration hit its wall-clock or evaluation budget."""

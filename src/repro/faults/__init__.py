@@ -1,0 +1,83 @@
+"""repro.faults — deterministic fault injection and resilience machinery.
+
+The robustness substrate for the reproduction: a seedable fault-plan DSL
+(:mod:`repro.faults.spec`), a deterministic decision engine
+(:mod:`repro.faults.injector`) that the memory channel, pipeline, cache,
+and fused executor consult, bounded retry-with-exponential-backoff
+(:mod:`repro.faults.retry`), and graceful-degradation budgets for the
+explorer (:mod:`repro.faults.budget`).
+
+Typical use::
+
+    from repro.faults import FaultPlan, RetryPolicy
+
+    plan = FaultPlan.parse("dram_stall:p=0.05;transfer_corrupt:p=0.02", seed=7)
+    fused = FusedExecutor(levels, faults=plan.injector(),
+                          retry=RetryPolicy(max_attempts=4))
+
+or from the CLI, position-independently on any subcommand::
+
+    python -m repro faultsim alexnet --faults dram_stall:p=0.05 --seed 7
+    python -m repro stats vgg --faults transfer_corrupt:p=0.02 --profile
+
+The process-global *active plan* (:func:`set_active_plan` /
+:func:`get_active_plan`) is how the CLI's ``--faults`` flag reaches the
+subcommands; library code should pass injectors explicitly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .budget import ExplorationBudget
+from .injector import FaultInjector
+from .retry import RetryPolicy
+from .spec import (
+    BANDWIDTH_DEGRADE,
+    DRAM_STALL,
+    STAGE_STALL,
+    TRANSFER_CORRUPT,
+    FaultPlan,
+    FaultSpec,
+)
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def set_active_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with ``None``) the process-global fault plan."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def get_active_plan() -> Optional[FaultPlan]:
+    """The process-global fault plan, or None when faults are off."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def active_plan(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scope the global plan to a block, restoring the prior one after."""
+    prior = _ACTIVE_PLAN
+    set_active_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_active_plan(prior)
+
+
+__all__ = [
+    "BANDWIDTH_DEGRADE",
+    "DRAM_STALL",
+    "STAGE_STALL",
+    "TRANSFER_CORRUPT",
+    "ExplorationBudget",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "active_plan",
+    "get_active_plan",
+    "set_active_plan",
+]

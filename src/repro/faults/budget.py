@@ -1,0 +1,79 @@
+"""Exploration budgets: bound a search, degrade instead of dying.
+
+A huge network makes the ``2^(l-1)`` partition space intractable; a
+production explorer must return *something* by a deadline instead of
+hanging. :class:`ExplorationBudget` caps a search by evaluation count
+and/or wall-clock seconds. The contract (see ``docs/robustness.md``):
+
+* the search charges the budget per evaluation and stops — cleanly, at
+  an evaluation boundary — once the budget trips;
+* at least one evaluation always completes, so a degraded result is
+  never empty;
+* the caller decides strictness: by default the explorer returns the
+  best-so-far Pareto frontier flagged ``degraded=True``; with
+  ``on_budget="raise"`` it raises :class:`~repro.errors.BudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import ConfigError
+
+
+class ExplorationBudget:
+    """Mutable per-search budget: evaluations and/or wall-clock seconds.
+
+    A budget instance tracks one search; create a fresh one per call (or
+    call :meth:`start` again to rearm the clock and counters).
+    """
+
+    def __init__(self, max_evaluations: Optional[int] = None,
+                 max_seconds: Optional[float] = None):
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ConfigError("budget needs max_evaluations >= 1",
+                              max_evaluations=max_evaluations)
+        if max_seconds is not None and max_seconds <= 0:
+            raise ConfigError("budget needs max_seconds > 0",
+                              max_seconds=max_seconds)
+        if max_evaluations is None and max_seconds is None:
+            raise ConfigError(
+                "budget needs max_evaluations and/or max_seconds")
+        self.max_evaluations = max_evaluations
+        self.max_seconds = max_seconds
+        self.start()
+
+    def start(self) -> "ExplorationBudget":
+        """(Re)arm the budget: zero the counters, restart the clock."""
+        self.evaluations = 0
+        self.tripped = False
+        self._t0 = time.perf_counter()
+        return self
+
+    def charge(self, n: int = 1) -> None:
+        """Record ``n`` completed evaluations."""
+        self.evaluations += n
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def exceeded(self) -> bool:
+        """Whether the budget is spent; latches :attr:`tripped` once true."""
+        if not self.tripped:
+            if (self.max_evaluations is not None
+                    and self.evaluations >= self.max_evaluations):
+                self.tripped = True
+            elif (self.max_seconds is not None
+                    and self.elapsed_seconds >= self.max_seconds):
+                self.tripped = True
+        return self.tripped
+
+    def describe(self) -> str:
+        limits = []
+        if self.max_evaluations is not None:
+            limits.append(f"{self.max_evaluations} evaluations")
+        if self.max_seconds is not None:
+            limits.append(f"{self.max_seconds:g}s")
+        return " / ".join(limits)

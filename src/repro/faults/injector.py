@@ -1,0 +1,121 @@
+"""Deterministic fault-decision engine for one simulation run.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.spec.FaultPlan`
+into concrete yes/no decisions at each injection *site* (a stable string
+such as ``"channel[load]"`` or ``"input[0:0]"``). Decisions come from
+per-``(kind, site)`` pseudo-random streams seeded by CRC32 of
+``"{plan.seed}/{kind}/{site}"``, which makes every decision:
+
+* **deterministic** — the same plan, seed, and call sequence injects
+  exactly the same faults, run after run;
+* **order-insensitive across sites** — adding instrumentation or faults
+  at one site never perturbs the stream of another.
+
+Every injected fault is tallied locally (``injector.counts``) and, when
+the :mod:`repro.obs` registry is enabled, mirrored into
+``faults.injected[<kind>]`` counters so fault activity shows up in run
+reports, metrics JSON, and Chrome traces next to the timing spans.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, Optional
+
+from .. import obs
+from .spec import (
+    BANDWIDTH_DEGRADE,
+    DRAM_STALL,
+    STAGE_STALL,
+    TRANSFER_CORRUPT,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class FaultInjector:
+    """Resolves a fault plan into deterministic per-site decisions."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.counts: Dict[str, int] = {}
+        self._streams: Dict[str, random.Random] = {}
+
+    # -- stream plumbing -------------------------------------------------------
+
+    def _stream(self, kind: str, site: str) -> random.Random:
+        key = f"{kind}/{site}"
+        stream = self._streams.get(key)
+        if stream is None:
+            seed = zlib.crc32(f"{self.plan.seed}/{key}".encode())
+            stream = self._streams[key] = random.Random(seed)
+        return stream
+
+    def _trip(self, spec: FaultSpec, site: str) -> bool:
+        if self._stream(spec.kind, site).random() >= spec.param("p"):
+            return False
+        self._count(spec.kind)
+        return True
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + n
+        obs.add_counter(f"faults.injected[{kind}]", n)
+
+    # -- decision API ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.plan.specs)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def transfer_stalls(self, site: str) -> int:
+        """``dram_stall``: cycles this transfer attempt wastes stalled,
+        or 0 when the attempt succeeds."""
+        spec = self.plan.spec(DRAM_STALL)
+        if spec is None or not self._trip(spec, site):
+            return 0
+        return spec.param("cycles")
+
+    def corrupts(self, site: str) -> bool:
+        """``transfer_corrupt``: whether this DRAM read arrives corrupted."""
+        spec = self.plan.spec(TRANSFER_CORRUPT)
+        return spec is not None and self._trip(spec, site)
+
+    def stage_stall_cycles(self, stage_name: str, site: str) -> int:
+        """``stage_stall``: extra cycles for one stage execution."""
+        spec = self.plan.spec(STAGE_STALL)
+        if spec is None:
+            return 0
+        only = spec.param("stage")
+        if only is not None and only != stage_name:
+            return 0
+        if not self._trip(spec, site):
+            return 0
+        return spec.param("cycles")
+
+    def bandwidth_factor(self, cycle: int) -> float:
+        """``bandwidth_degrade``: channel throughput multiplier at ``cycle``."""
+        spec = self.plan.spec(BANDWIDTH_DEGRADE)
+        if spec is None or cycle < spec.param("after_cycle"):
+            return 1.0
+        if BANDWIDTH_DEGRADE not in self.counts:
+            self._count(BANDWIDTH_DEGRADE)  # tally activation once per run
+        return spec.param("factor")
+
+    # -- resilience bookkeeping ------------------------------------------------
+
+    def record_retry(self, site: str, backoff_cycles: int = 0) -> None:
+        """Tally one retry (and its backoff) triggered by an injected fault."""
+        self.counts["retries"] = self.counts.get("retries", 0) + 1
+        obs.add_counter("faults.retries")
+        if backoff_cycles:
+            obs.add_counter("faults.backoff_cycles", backoff_cycles)
+
+    def record_refetch(self, site: str) -> None:
+        """Tally one corruption-repair re-fetch from DRAM."""
+        self.counts["refetches"] = self.counts.get("refetches", 0) + 1
+        obs.add_counter("faults.refetches")

@@ -1,0 +1,60 @@
+"""Bounded retry with exponential backoff for failed transfers.
+
+The memory channel, the tile cache, and the fused executor all repair
+injected faults the same way: retry a bounded number of times, waiting
+``base_cycles * multiplier**(attempt-1)`` (capped) between attempts.
+When the budget runs out they raise
+:class:`~repro.errors.SimFaultError` — a fault that survives every
+retry is a *diagnosed* failure, never silent corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, SimFaultError
+
+#: Default policy used whenever faults are injected without an explicit one.
+DEFAULT_MAX_ATTEMPTS = 4
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget (cycles are simulated time).
+
+    ``max_attempts`` counts *total* tries, the first included; backoff is
+    charged before each retry, growing geometrically from ``base_cycles``
+    up to ``max_backoff_cycles``.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_cycles: int = 8
+    multiplier: float = 2.0
+    max_backoff_cycles: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("retry policy needs max_attempts >= 1",
+                              max_attempts=self.max_attempts)
+        if self.base_cycles < 0 or self.max_backoff_cycles < 0:
+            raise ConfigError("retry backoff cycles must be non-negative",
+                              base_cycles=self.base_cycles,
+                              max_backoff_cycles=self.max_backoff_cycles)
+        if self.multiplier < 1.0:
+            raise ConfigError("retry multiplier must be >= 1",
+                              multiplier=self.multiplier)
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Backoff charged before retry number ``attempt`` (1-based: the
+        first retry is attempt 1)."""
+        if attempt < 1:
+            raise ConfigError("backoff attempt is 1-based", attempt=attempt)
+        return min(int(self.base_cycles * self.multiplier ** (attempt - 1)),
+                   self.max_backoff_cycles)
+
+    def exhausted(self, site: str, kind: str, **context) -> SimFaultError:
+        """The error raised when every attempt failed."""
+        return SimFaultError(
+            f"{kind} fault at {site} persisted through {self.max_attempts} "
+            "attempts", site=site, kind=kind,
+            max_attempts=self.max_attempts, **context)

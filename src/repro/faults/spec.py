@@ -1,0 +1,161 @@
+"""The fault-plan DSL: parse ``kind:key=val,...`` specs into a plan.
+
+A *fault plan* is a deterministic, seedable description of everything
+that may go wrong during a run. Plans are built from a tiny text grammar
+(one spec per fault kind, ``;``-separated) so they travel through CLI
+flags, CI job definitions, and test parametrization unchanged::
+
+    dram_stall:p=0.01,cycles=64
+    bandwidth_degrade:factor=0.5,after_cycle=10000
+    stage_stall:p=0.02,cycles=32,stage=conv1
+    transfer_corrupt:p=0.05
+    dram_stall:p=0.05;transfer_corrupt:p=0.02      # combined plan
+
+Supported kinds and their parameters (all optional, with defaults):
+
+``dram_stall``
+    Each DRAM transfer independently *fails* with probability ``p`` and
+    must be retried; every failed attempt wastes ``cycles`` on the
+    channel before the retry (plus the retry policy's backoff).
+``bandwidth_degrade``
+    From ``after_cycle`` onward the channel serves ``factor`` times its
+    nominal words/cycle (0 < factor <= 1).
+``stage_stall``
+    A pipeline stage execution stalls with probability ``p`` for
+    ``cycles`` extra cycles; ``stage`` (optional) restricts the fault to
+    stages whose name matches exactly.
+``transfer_corrupt``
+    A DRAM read (executor input fetch, cache line fill) arrives
+    corrupted with probability ``p``. Corruption is always *detected*
+    (checksum model) and repaired by a bounded re-fetch.
+
+Probabilities are resolved by :class:`~repro.faults.injector.FaultInjector`
+from deterministic per-site streams derived from the plan ``seed``, so
+the same plan and seed always injects the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+DRAM_STALL = "dram_stall"
+BANDWIDTH_DEGRADE = "bandwidth_degrade"
+STAGE_STALL = "stage_stall"
+TRANSFER_CORRUPT = "transfer_corrupt"
+
+#: kind -> {param: (converter, default)}
+_SCHEMAS: Dict[str, Dict[str, Tuple[Any, Any]]] = {
+    DRAM_STALL: {"p": (float, 0.01), "cycles": (int, 64)},
+    BANDWIDTH_DEGRADE: {"factor": (float, 0.5), "after_cycle": (int, 0)},
+    STAGE_STALL: {"p": (float, 0.01), "cycles": (int, 32), "stage": (str, None)},
+    TRANSFER_CORRUPT: {"p": (float, 0.05)},
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause: a kind plus its validated parameters."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    def param(self, name: str) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __str__(self) -> str:
+        body = ",".join(f"{k}={v}" for k, v in self.params if v is not None)
+        return f"{self.kind}:{body}" if body else self.kind
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    kind, _, body = clause.partition(":")
+    kind = kind.strip()
+    if kind not in _SCHEMAS:
+        raise ConfigError(
+            f"unknown fault kind {kind!r}", known=sorted(_SCHEMAS), spec=clause)
+    schema = _SCHEMAS[kind]
+    values = {name: default for name, (_, default) in schema.items()}
+    if body.strip():
+        for assignment in body.split(","):
+            name, eq, raw = assignment.partition("=")
+            name = name.strip()
+            if not eq or name not in schema:
+                raise ConfigError(
+                    f"bad parameter {assignment.strip()!r} for fault {kind!r}",
+                    allowed=sorted(schema), spec=clause)
+            converter, _ = schema[name]
+            try:
+                values[name] = converter(raw.strip())
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"parameter {name!r} of fault {kind!r} expects "
+                    f"{converter.__name__}, got {raw.strip()!r}", spec=clause)
+    _validate(kind, values, clause)
+    return FaultSpec(kind=kind, params=tuple(sorted(values.items())))
+
+
+def _validate(kind: str, values: Dict[str, Any], clause: str) -> None:
+    p = values.get("p")
+    if p is not None and not 0.0 <= p <= 1.0:
+        raise ConfigError(f"fault {kind!r}: p must be in [0, 1]", p=p, spec=clause)
+    cycles = values.get("cycles")
+    if cycles is not None and cycles < 0:
+        raise ConfigError(f"fault {kind!r}: cycles must be non-negative",
+                          cycles=cycles, spec=clause)
+    if kind == BANDWIDTH_DEGRADE:
+        factor = values["factor"]
+        if not 0.0 < factor <= 1.0:
+            raise ConfigError("bandwidth_degrade: factor must be in (0, 1]",
+                              factor=factor, spec=clause)
+        if values["after_cycle"] < 0:
+            raise ConfigError("bandwidth_degrade: after_cycle must be >= 0",
+                              after_cycle=values["after_cycle"], spec=clause)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable collection of fault specs.
+
+    ``specs`` holds at most one spec per kind (later clauses override
+    earlier ones, so a base plan can be specialized by appending).
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``;``-separated spec string into a plan."""
+        if not isinstance(text, str) or not text.strip():
+            raise ConfigError("empty fault spec", spec=text)
+        by_kind: Dict[str, FaultSpec] = {}
+        for clause in text.split(";"):
+            if clause.strip():
+                spec = _parse_clause(clause.strip())
+                by_kind[spec.kind] = spec
+        return cls(specs=tuple(by_kind.values()), seed=seed)
+
+    def spec(self, kind: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(spec.kind for spec in self.specs)
+
+    def injector(self):
+        """A fresh :class:`~repro.faults.injector.FaultInjector` for one run."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self)
+
+    def __str__(self) -> str:
+        return ";".join(str(spec) for spec in self.specs) or "<no faults>"

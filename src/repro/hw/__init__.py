@@ -4,6 +4,7 @@ from .bandwidth import (
     EffectivePerformance,
     SweepPoint,
     bandwidth_sweep,
+    effective_words_per_cycle,
     memory_bound_threshold,
     performance_under_bandwidth,
     required_bandwidth_bytes_per_sec,
@@ -41,6 +42,7 @@ __all__ = [
     "EnergyModel",
     "SweepPoint",
     "bandwidth_sweep",
+    "effective_words_per_cycle",
     "equivalent_dsp_budget",
     "estimate_energy",
     "memory_bound_threshold",

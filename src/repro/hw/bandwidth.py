@@ -15,15 +15,36 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
 
 
 def required_bandwidth_bytes_per_sec(transfer_bytes_per_image: int,
                                      images_per_second: float) -> float:
     """Footnote 4: sustained DRAM bandwidth for a target frame rate."""
     if images_per_second < 0:
-        raise ValueError("images_per_second must be non-negative")
+        raise ConfigError("images_per_second must be non-negative",
+                          images_per_second=images_per_second)
     return transfer_bytes_per_image * images_per_second
+
+
+def effective_words_per_cycle(base: float, cycle: int,
+                              faults: Optional[object] = None) -> float:
+    """Channel throughput at simulated time ``cycle``.
+
+    The nominal ``base`` words/cycle, scaled by an injected
+    ``bandwidth_degrade`` fault when a
+    :class:`~repro.faults.injector.FaultInjector` is supplied (the
+    FPGA-review observation that sustained DRAM bandwidth sags below the
+    datasheet number under real access patterns). Duck-typed so this
+    module never imports :mod:`repro.faults`.
+    """
+    if base <= 0:
+        raise ConfigError("words_per_cycle must be positive", base=base)
+    if faults is None:
+        return base
+    return base * faults.bandwidth_factor(cycle)
 
 
 @dataclass(frozen=True)
@@ -66,7 +87,8 @@ def performance_under_bandwidth(compute_cycles: int, transfer_bytes: int,
     bytes/cycle).
     """
     if bytes_per_cycle <= 0:
-        raise ValueError("bytes_per_cycle must be positive")
+        raise ConfigError("bytes_per_cycle must be positive",
+                          bytes_per_cycle=bytes_per_cycle)
     return EffectivePerformance(
         compute_cycles=compute_cycles,
         transfer_cycles=ceil(transfer_bytes / bytes_per_cycle),
@@ -105,5 +127,6 @@ def bandwidth_sweep(fused_compute: int, fused_bytes: int,
 def memory_bound_threshold(compute_cycles: int, transfer_bytes: int) -> float:
     """Bandwidth (bytes/cycle) below which a design is memory-bound."""
     if compute_cycles <= 0:
-        raise ValueError("compute_cycles must be positive")
+        raise ConfigError("compute_cycles must be positive",
+                          compute_cycles=compute_cycles)
     return transfer_bytes / compute_cycles

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from math import ceil
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import ConfigError
 from ..nn.shapes import BYTES_PER_WORD
 from ..nn.stages import Level
 from .device import DSP_PER_MAC, VIRTEX7_690T, FpgaDevice
@@ -58,7 +59,8 @@ def group_stages(levels: Sequence[Level]) -> List[ConvStage]:
     while i < len(levels):
         level = levels[i]
         if not level.is_conv:
-            raise ValueError(f"{level.name}: baseline stages must start with a conv")
+            raise ConfigError(f"{level.name}: baseline stages must start with a conv",
+                              level=level.name)
         pool = None
         if i + 1 < len(levels) and levels[i + 1].is_pool:
             pool = levels[i + 1]
@@ -216,7 +218,8 @@ def optimize_baseline(levels: Sequence[Level], dsp_budget: int,
     stages = group_stages(list(levels))
     max_lanes = dsp_budget // DSP_PER_MAC
     if max_lanes < 1:
-        raise ValueError(f"DSP budget {dsp_budget} cannot fit one MAC lane")
+        raise ConfigError(f"DSP budget {dsp_budget} cannot fit one MAC lane",
+                          dsp_budget=dsp_budget)
     max_m = max(s.conv.out_channels for s in stages)
     max_n = max(s.conv.in_channels for s in stages)
     if bram_words_budget is None:

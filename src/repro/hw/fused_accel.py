@@ -19,6 +19,7 @@ from math import ceil
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.costs import reuse_buffer_plans
+from ..errors import ConfigError
 from ..core.pyramid import PyramidGeometry, build_pyramid
 from ..nn.shapes import BYTES_PER_WORD
 from ..nn.stages import Level
@@ -78,7 +79,7 @@ class FusedDesign:
 
     def __post_init__(self) -> None:
         if not self.modules:
-            raise ValueError("a fused design needs at least one conv module")
+            raise ConfigError("a fused design needs at least one conv module")
 
     @property
     def geometry(self) -> PyramidGeometry:
@@ -137,7 +138,7 @@ class FusedDesign:
         the fill cost is paid once and amortized across the batch.
         """
         if num_images < 0:
-            raise ValueError("num_images must be non-negative")
+            raise ConfigError("num_images must be non-negative")
         return analytic_makespan(self.stage_timings(),
                                  self.num_pyramids * num_images)
 
@@ -217,12 +218,13 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
     fresh = _fresh_tiles(levels, geometry)
     conv_indices = [i for i, level in enumerate(levels) if level.is_conv]
     if not conv_indices:
-        raise ValueError("fused group has no convolutional levels")
+        raise ConfigError("fused group has no convolutional levels")
 
     control_tax = 16 * (len(levels) + 2)
     lane_budget = (dsp_budget - control_tax) // DSP_PER_MAC
     if lane_budget < len(conv_indices):
-        raise ValueError(f"DSP budget {dsp_budget} too small for {len(conv_indices)} modules")
+        raise ConfigError(f"DSP budget {dsp_budget} too small for {len(conv_indices)} modules",
+                          dsp_budget=dsp_budget, modules=len(conv_indices))
 
     candidates: List[List[ModuleConfig]] = []
     for i in conv_indices:
@@ -268,7 +270,8 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
         if best is None or key < best[0]:
             best = (key, picks)
     if best is None:
-        raise ValueError(f"no feasible fused design within {dsp_budget} DSPs")
+        raise ConfigError(f"no feasible fused design within {dsp_budget} DSPs",
+                         dsp_budget=dsp_budget)
     design = FusedDesign(levels=levels, modules=tuple(best[1]),
                          tip_h=tip_h, tip_w=tip_w, device=device)
     if check_fits:
@@ -279,7 +282,7 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
             ("FFs", resources.ffs, device.ffs),
         ):
             if used > avail:
-                raise ValueError(
+                raise ConfigError(
                     f"fused design needs {used} {label} but {device.name} has "
                     f"{avail}; fuse fewer layers (weights and windows must "
                     f"stay resident for the whole group)"

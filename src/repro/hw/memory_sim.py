@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..errors import ConfigError
+from ..faults.retry import RetryPolicy
+from ..faults.spec import DRAM_STALL
+from .bandwidth import effective_words_per_cycle
 
 
 @dataclass(frozen=True)
@@ -25,7 +31,7 @@ class MemStage:
 
     def __post_init__(self) -> None:
         if self.words < 0:
-            raise ValueError(f"{self.name}: negative words")
+            raise ConfigError(f"{self.name}: negative words", words=self.words)
 
 
 @dataclass(frozen=True)
@@ -37,18 +43,25 @@ class ComputeStage:
 
     def __post_init__(self) -> None:
         if self.cycles < 0:
-            raise ValueError(f"{self.name}: negative cycles")
+            raise ConfigError(f"{self.name}: negative cycles", cycles=self.cycles)
 
 
 
 @dataclass(frozen=True)
 class ChannelSchedule:
-    """Result of simulating ``num_items`` with a shared memory channel."""
+    """Result of simulating ``num_items`` with a shared memory channel.
+
+    ``stalls``/``retries``/``stall_cycles`` tally injected ``dram_stall``
+    faults and their repair cost; all zero on a fault-free run.
+    """
 
     makespan: int
     channel_busy: int
     compute_bound: int
     memory_bound: int
+    stalls: int = 0
+    retries: int = 0
+    stall_cycles: int = 0
 
     @property
     def channel_utilization(self) -> float:
@@ -59,18 +72,63 @@ class ChannelSchedule:
         return "memory" if self.memory_bound >= self.compute_bound else "compute"
 
 
+def _serve_transfer(stage: MemStage, item: int, start: int,
+                    words_per_cycle: float, faults, retry: RetryPolicy) -> Tuple[int, int, int]:
+    """Channel occupancy for one transfer under injected faults.
+
+    Each attempt moves the words at the bandwidth in effect when the
+    transfer starts (``bandwidth_degrade``); an attempt that trips
+    ``dram_stall`` wastes its duration plus the stall penalty, backs off
+    exponentially, and retries — the channel is held throughout, the
+    conservative model of a blocked memory controller. Returns ``(busy,
+    stalls, stall_cycles)``; raises
+    :class:`~repro.errors.SimFaultError` when the retry budget runs out.
+    """
+    duration = ceil(stage.words / effective_words_per_cycle(
+        words_per_cycle, start, faults))
+    site = f"channel[{stage.name}]#{item}"
+    busy = 0
+    stalls = 0
+    stall_cycles = 0
+    attempt = 1
+    while True:
+        penalty = faults.transfer_stalls(site)
+        if penalty == 0:
+            return busy + duration, stalls, stall_cycles
+        if attempt >= retry.max_attempts:
+            raise retry.exhausted(site, DRAM_STALL, stage=stage.name, item=item)
+        backoff = retry.backoff_cycles(attempt)
+        faults.record_retry(site, backoff)
+        obs.add_counter("faults.stall_cycles", penalty)
+        busy += duration + penalty + backoff
+        stalls += 1
+        stall_cycles += penalty + backoff
+        attempt += 1
+
+
 def simulate_with_channel(stages: Sequence[object], num_items: int,
-                          words_per_cycle: float) -> ChannelSchedule:
+                          words_per_cycle: float,
+                          faults=None,
+                          retry: Optional[RetryPolicy] = None) -> ChannelSchedule:
     """Pipeline ``num_items`` through ``stages`` with one DRAM channel.
 
     ``stages`` mixes :class:`MemStage` (channel-contending) and
     :class:`ComputeStage`. Within an item, stages run in order; across
     items, each stage (and the channel) serves one item at a time.
+
+    ``faults`` (a :class:`~repro.faults.injector.FaultInjector`) subjects
+    every transfer to the active plan's ``dram_stall`` and
+    ``bandwidth_degrade`` faults, repaired by bounded
+    retry-with-exponential-backoff under ``retry`` (default
+    :class:`~repro.faults.retry.RetryPolicy`).
     """
     if num_items < 0:
-        raise ValueError("num_items must be non-negative")
+        raise ConfigError("num_items must be non-negative", num_items=num_items)
     if words_per_cycle <= 0:
-        raise ValueError("words_per_cycle must be positive")
+        raise ConfigError("words_per_cycle must be positive",
+                          words_per_cycle=words_per_cycle)
+    if faults is not None and retry is None:
+        retry = RetryPolicy()
 
     durations: List[int] = []
     for stage in stages:
@@ -97,19 +155,32 @@ def simulate_with_channel(stages: Sequence[object], num_items: int,
     channel_free = 0
     channel_busy = 0
     makespan = 0
+    total_stalls = 0
+    total_retries = 0
+    total_stall_cycles = 0
     if num_items > 0:
         heapq.heappush(ready_heap, (0, 0, 0))
     completed = 0
     total_jobs = num_items * num_stages
     while completed < total_jobs:
         ready, i, s = heapq.heappop(ready_heap)
-        if isinstance(stages[s], MemStage):
+        stage = stages[s]
+        if isinstance(stage, MemStage):
             start = max(ready, channel_free)
-            channel_free = start + durations[s]
-            channel_busy += durations[s]
+            if faults is None:
+                occupancy = durations[s]
+            else:
+                occupancy, stalls, stall_cycles = _serve_transfer(
+                    stage, i, start, words_per_cycle, faults, retry)
+                total_stalls += stalls
+                total_retries += stalls
+                total_stall_cycles += stall_cycles
+            channel_free = start + occupancy
+            channel_busy += occupancy
+            finish = start + occupancy
         else:
             start = ready
-        finish = start + durations[s]
+            finish = start + durations[s]
         done_time[i][s] = finish
         makespan = max(makespan, finish)
         completed += 1
@@ -134,6 +205,9 @@ def simulate_with_channel(stages: Sequence[object], num_items: int,
         channel_busy=channel_busy,
         compute_bound=compute_bound,
         memory_bound=memory_bound,
+        stalls=total_stalls,
+        retries=total_retries,
+        stall_cycles=total_stall_cycles,
     )
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from math import ceil
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..errors import ConfigError
 from ..nn.stages import Level
 from .device import VIRTEX7_690T, FpgaDevice
 from .fused_accel import FusedDesign, optimize_fused
@@ -110,12 +111,13 @@ def design_partition(levels: Sequence[Level], sizes: Sequence[int],
     their arithmetic (with a floor large enough to be feasible).
     """
     if sum(sizes) != len(levels):
-        raise ValueError(f"sizes {tuple(sizes)} do not cover {len(levels)} levels")
+        raise ConfigError(f"sizes {tuple(sizes)} do not cover {len(levels)} levels",
+                          sizes=tuple(sizes), levels=len(levels))
     groups: List[List[Level]] = []
     start = 0
     for size in sizes:
         if size <= 0:
-            raise ValueError("group sizes must be positive")
+            raise ConfigError("group sizes must be positive", sizes=tuple(sizes))
         groups.append(list(levels[start:start + size]))
         start += size
 
@@ -129,7 +131,7 @@ def design_partition(levels: Sequence[Level], sizes: Sequence[int],
               for group in groups]
     floor_total = sum(floors)
     if floor_total > dsp_budget:
-        raise ValueError(
+        raise ConfigError(
             f"DSP budget {dsp_budget} cannot host {len(groups)} engines "
             f"(needs at least {floor_total})"
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -24,7 +25,8 @@ class StageTiming:
 
     def __post_init__(self) -> None:
         if self.cycles < 0:
-            raise ValueError(f"stage {self.name}: negative cycles")
+            raise ConfigError(f"stage {self.name}: negative cycles",
+                              stage=self.name, cycles=self.cycles)
 
 
 @dataclass(frozen=True)
@@ -67,7 +69,8 @@ class PipelineSchedule:
 
 
 def simulate_pipeline(stages: Sequence[StageTiming], num_items: int,
-                      name: Optional[str] = None) -> PipelineSchedule:
+                      name: Optional[str] = None,
+                      faults=None) -> PipelineSchedule:
     """Event-driven simulation of a linear pipeline without internal
     buffering: stage ``s`` starts item ``i`` when stage ``s-1`` finished
     item ``i`` and stage ``s`` finished item ``i-1``.
@@ -75,19 +78,30 @@ def simulate_pipeline(stages: Sequence[StageTiming], num_items: int,
     When the observability registry is enabled the resulting schedule is
     recorded (optionally under ``name``) so exporters can render one
     timeline track per stage and report busy/idle cycles + utilization.
+
+    ``faults`` (a :class:`~repro.faults.injector.FaultInjector`) subjects
+    each stage execution to the plan's ``stage_stall`` fault: a stalled
+    execution holds its stage for the extra cycles and the delay ripples
+    through the schedule exactly as a real pipeline bubble would.
     """
     if num_items < 0:
-        raise ValueError("num_items must be non-negative")
+        raise ConfigError("num_items must be non-negative", num_items=num_items)
     stages = tuple(stages)
     with obs.span("pipeline.simulate", stages=len(stages), items=num_items):
         finish: List[Tuple[int, ...]] = []
         prev_item = [0] * len(stages)
-        for _ in range(num_items):
+        for item in range(num_items):
             times: List[int] = []
             ready = 0  # completion of this item at the previous stage
             for s, stage in enumerate(stages):
                 start = max(ready, prev_item[s])
                 done = start + stage.cycles
+                if faults is not None:
+                    stall = faults.stage_stall_cycles(
+                        stage.name, f"{stage.name}#{item}")
+                    if stall:
+                        done += stall
+                        obs.add_counter("faults.stage_stall_cycles", stall)
                 times.append(done)
                 ready = done
                 prev_item[s] = done

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from math import ceil
 
 from ..nn.shapes import BYTES_PER_WORD
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -32,9 +33,9 @@ class Precision:
 
     def __post_init__(self) -> None:
         if self.bytes_per_word <= 0:
-            raise ValueError(f"{self.name}: bytes_per_word must be positive")
+            raise ConfigError(f"{self.name}: bytes_per_word must be positive")
         if self.dsp_per_mul < 0 or self.dsp_per_add < 0:
-            raise ValueError(f"{self.name}: DSP costs must be non-negative")
+            raise ConfigError(f"{self.name}: DSP costs must be non-negative")
 
     @property
     def dsp_per_mac(self) -> int:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from math import ceil
 from typing import List
 
+from ..errors import ConfigError
 from .device import DSP_PER_MAC, WORDS_PER_BRAM18
 
 
@@ -32,7 +33,7 @@ class BufferSpec:
 
     def __post_init__(self) -> None:
         if self.words < 0 or self.banks <= 0:
-            raise ValueError(f"invalid buffer spec {self!r}")
+            raise ConfigError(f"invalid buffer spec {self!r}")
 
     @property
     def bram18(self) -> int:
@@ -112,7 +113,7 @@ def weights_fit_on_chip(levels, device, reserve_fraction: float = 0.5) -> bool:
     fraction`` of BRAM is kept for feature-map windows and reuse buffers.
     """
     if not 0 <= reserve_fraction < 1:
-        raise ValueError("reserve_fraction must be in [0, 1)")
+        raise ConfigError("reserve_fraction must be in [0, 1)")
     weight_words = sum(level.weight_count for level in levels)
     budget_words = int(device.bram18 * WORDS_PER_BRAM18 * (1 - reserve_fraction))
     return weight_words <= budget_words

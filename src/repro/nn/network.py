@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
+from ..errors import ConfigError
 from .layers import ConvSpec, FCSpec, LayerSpec, PoolSpec
 from .shapes import ShapeError, TensorShape
 
@@ -134,7 +135,7 @@ class Network:
         final conv is kept because it is part of the conv stage).
         """
         if num_convs <= 0:
-            raise ValueError("num_convs must be positive")
+            raise ConfigError("num_convs must be positive", num_convs=num_convs)
         specs: List[LayerSpec] = []
         seen_convs = 0
         for binding in self._bindings:
@@ -148,8 +149,9 @@ class Network:
             else:
                 specs.append(binding.spec)
         if seen_convs < num_convs:
-            raise ValueError(
-                f"{self.name} has only {seen_convs} conv layers, asked for {num_convs}"
+            raise ConfigError(
+                f"{self.name} has only {seen_convs} conv layers, asked for {num_convs}",
+                network=self.name, conv_layers=seen_convs, requested=num_convs,
             )
         # Trim trailing layers that are not part of the last conv stage
         # (keep ReLU immediately after the final conv; drop trailing pools

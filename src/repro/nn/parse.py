@@ -34,12 +34,14 @@ from .layers import (
     PoolSpec,
     ReLUSpec,
 )
+from ..errors import ConfigError
 from .network import Network
 from .shapes import TensorShape
 
 
-class ParseError(ValueError):
-    """Raised for malformed network descriptions."""
+class ParseError(ConfigError):
+    """Raised for malformed network descriptions (still a ``ValueError``
+    via :class:`~repro.errors.ConfigError`)."""
 
 
 _SKIPPED = ("nn.Dropout", "nn.View", "nn.LogSoftMax", "nn.SoftMax",

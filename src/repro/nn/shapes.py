@@ -10,13 +10,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigError
+
 #: Bytes per feature-map element. The paper uses single-precision floats
 #: throughout ("we use single-precision floating point for all designs").
 BYTES_PER_WORD = 4
 
 
-class ShapeError(ValueError):
-    """Raised when layer geometry does not divide evenly or is impossible."""
+class ShapeError(ConfigError):
+    """Raised when layer geometry does not divide evenly or is impossible.
+
+    A :class:`~repro.errors.ConfigError` (hence still a ``ValueError``):
+    impossible geometry is a bad request, not a simulation fault.
+    """
 
 
 def conv_output_extent(extent: int, kernel: int, stride: int) -> int:

@@ -15,18 +15,28 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import ConfigError
+from ..faults.retry import RetryPolicy
+from ..faults.spec import TRANSFER_CORRUPT
 
 
 @dataclass
 class CacheStats:
-    """Access counters; misses split by read/write."""
+    """Access counters; misses split by read/write.
+
+    ``corrupted_fills``/``refetches`` tally injected ``transfer_corrupt``
+    faults on line fills and their repair traffic; zero without faults.
+    """
 
     read_hits: int = 0
     read_misses: int = 0
     write_hits: int = 0
     write_misses: int = 0
     writebacks: int = 0
+    corrupted_fills: int = 0
+    refetches: int = 0
 
     @property
     def accesses(self) -> int:
@@ -48,24 +58,53 @@ class CacheStats:
     @property
     def dram_lines_transferred(self) -> int:
         """Lines moved to/from DRAM: every miss fills a line; dirty
-        evictions write one back."""
-        return self.misses + self.writebacks
+        evictions write one back; every corruption repair re-fetches."""
+        return self.misses + self.writebacks + self.refetches
 
 
 class CacheSim:
-    """Set-associative LRU cache with write-back / write-allocate."""
+    """Set-associative LRU cache with write-back / write-allocate.
 
-    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 8):
+    With a :class:`~repro.faults.injector.FaultInjector`, every line fill
+    is subject to the plan's ``transfer_corrupt`` fault. Corruption is
+    always detected (checksum model) and repaired by re-fetching the line
+    under the bounded ``retry`` policy, so cached *data* is never wrong —
+    the cost shows up as extra DRAM line transfers. A line still corrupt
+    after the final attempt raises :class:`~repro.errors.SimFaultError`.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 8,
+                 faults=None, retry: Optional[RetryPolicy] = None):
         if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
-            raise ValueError("cache parameters must be positive")
+            raise ConfigError("cache parameters must be positive",
+                              size_bytes=size_bytes, line_bytes=line_bytes,
+                              ways=ways)
         if size_bytes % (line_bytes * ways):
-            raise ValueError("size must be a multiple of line_bytes * ways")
+            raise ConfigError("size must be a multiple of line_bytes * ways",
+                              size_bytes=size_bytes, line_bytes=line_bytes,
+                              ways=ways)
         self.line_bytes = line_bytes
         self.ways = ways
         self.num_sets = size_bytes // (line_bytes * ways)
         # Per set: OrderedDict tag -> dirty flag, in LRU order (oldest first).
         self._sets: Dict[int, OrderedDict] = {}
         self.stats = CacheStats()
+        self._faults = faults
+        self._retry = retry if retry is not None else RetryPolicy()
+
+    def _fill_line(self, line: int) -> None:
+        """Model the DRAM fill of one line, repairing corrupt arrivals."""
+        if self._faults is None:
+            return
+        site = f"line[{line}]"
+        attempt = 1
+        while self._faults.corrupts(site):
+            self.stats.corrupted_fills += 1
+            if attempt >= self._retry.max_attempts:
+                raise self._retry.exhausted(site, TRANSFER_CORRUPT, line=line)
+            self._faults.record_refetch(site)
+            self.stats.refetches += 1
+            attempt += 1
 
     def access(self, addr: int, write: bool = False) -> bool:
         """One byte-address access; returns True on hit."""
@@ -86,6 +125,7 @@ class CacheSim:
             _, dirty = entries.popitem(last=False)
             if dirty:
                 self.stats.writebacks += 1
+        self._fill_line(line)
         entries[tag] = write
         if write:
             self.stats.write_misses += 1

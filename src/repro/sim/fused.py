@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs
+from ..faults.retry import RetryPolicy
+from ..faults.spec import TRANSFER_CORRUPT
 from ..nn.shapes import ShapeError
 from ..nn.stages import Level
 from . import ops
@@ -104,13 +106,22 @@ class FusedExecutor:
         once. When False, window overlaps at the input are re-read from
         DRAM each pyramid (halo traffic), an ablation of the input-level
         buffering.
+    faults, retry:
+        A :class:`~repro.faults.injector.FaultInjector` subjects every
+        DRAM input read to the plan's ``transfer_corrupt`` fault.
+        Corruption is detected (checksum model) and repaired by bounded
+        re-reads under ``retry`` — the repair traffic is traced under the
+        ``input_refetch`` label — so the executor's *outputs stay
+        bit-identical to the fault-free golden reference*; only the
+        traffic changes. Exhausting the retry budget raises
+        :class:`~repro.errors.SimFaultError`.
     """
 
     def __init__(self, levels: Sequence[Level],
                  params: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
                  tip_h: int = 1, tip_w: int = 1, seed: int = 0,
                  integer: bool = False, input_reuse: bool = True,
-                 dtype=None):
+                 dtype=None, faults=None, retry: Optional[RetryPolicy] = None):
         if dtype is None:
             dtype = np.float64 if integer else np.float32
         self.levels = list(levels)
@@ -126,6 +137,8 @@ class FusedExecutor:
         self.grid_cols = final.width // tip_w
         self._states: List[Optional[MapReuseState]] = []
         self.buffer_bytes = 0
+        self._faults = faults
+        self._retry = retry if retry is not None else RetryPolicy()
 
     # -- public API -----------------------------------------------------------
 
@@ -294,8 +307,26 @@ class FusedExecutor:
         block = self._pad_block(self._input, level.pad, r0, r1, c0, c1)
         real = self._real_elements(level.pad, level.in_shape, r0, r1, c0, c1)
         if real:
-            self._trace.read("input", real * self._input.shape[0])
+            words = real * self._input.shape[0]
+            self._trace.read("input", words)
+            if self._faults is not None:
+                self._repair_corrupt_read(f"input[{r0}:{c0}]", words)
         return block
+
+    def _repair_corrupt_read(self, site: str, words: int) -> None:
+        """Detect-and-refetch loop for one DRAM read under injected
+        ``transfer_corrupt`` faults. The returned data is always correct
+        (detection never misses); the cost is re-read traffic, traced as
+        ``input_refetch`` so the once-per-element invariant of the
+        ``input`` label is preserved."""
+        attempt = 1
+        while self._faults.corrupts(site):
+            obs.add_counter("sim.fused.corrupt_reads")
+            if attempt >= self._retry.max_attempts:
+                raise self._retry.exhausted(site, TRANSFER_CORRUPT, words=words)
+            self._faults.record_refetch(site)
+            self._trace.read("input_refetch", words)
+            attempt += 1
 
     def _place_fresh(self, i: int, pending, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
         """Frame the producer's fresh block into padded coordinates.

@@ -22,9 +22,12 @@ from typing import Optional
 
 import numpy as np
 
+from ..errors import SimFaultError
 
-class ReuseError(RuntimeError):
-    """A read touched data outside the resident BL/BT windows."""
+
+class ReuseError(SimFaultError):
+    """A read touched data outside the resident BL/BT windows (a
+    :class:`~repro.errors.SimFaultError`, hence still a ``RuntimeError``)."""
 
 
 class MapReuseState:

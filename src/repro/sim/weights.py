@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..nn.layers import ConvSpec, FCSpec
+from ..errors import ConfigError
 from ..nn.network import Network
 from ..nn.stages import Level
 
@@ -21,7 +22,7 @@ from ..nn.stages import Level
 def conv_weight_shape(level: Level) -> Tuple[int, int, int, int]:
     """Weight tensor shape for a conv level: (M, N // groups, K, K)."""
     if not level.is_conv:
-        raise ValueError(f"{level.name} is not a convolution")
+        raise ConfigError(f"{level.name} is not a convolution", level=level.name)
     return (
         level.out_channels,
         level.in_channels // level.groups,
@@ -102,7 +103,7 @@ def load_params(path, levels=None,
         w = archive[key]
         bias_key = f"{name}.bias"
         if bias_key not in archive.files:
-            raise ValueError(f"{name}: archive has weights but no bias")
+            raise ConfigError(f"{name}: archive has weights but no bias", layer=name)
         b = archive[bias_key]
         if dtype is not None:
             w = w.astype(dtype)
@@ -113,15 +114,16 @@ def load_params(path, levels=None,
             if not level.is_conv:
                 continue
             if level.name not in params:
-                raise ValueError(f"{level.name}: missing from weight archive")
+                raise ConfigError(f"{level.name}: missing from weight archive", level=level.name)
             expected = conv_weight_shape(level)
             got = params[level.name][0].shape
             if tuple(got) != expected:
-                raise ValueError(
-                    f"{level.name}: weight shape {got} != expected {expected}"
+                raise ConfigError(
+                    f"{level.name}: weight shape {got} != expected {expected}",
+                    level=level.name,
                 )
             if params[level.name][1].shape != (level.out_channels,):
-                raise ValueError(f"{level.name}: bias shape mismatch")
+                raise ConfigError(f"{level.name}: bias shape mismatch", level=level.name)
     return params
 
 

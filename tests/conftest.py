@@ -1,11 +1,47 @@
-"""Shared fixtures: small networks that exercise every geometry feature."""
+"""Shared fixtures: small networks that exercise every geometry feature.
+
+Also installs a global per-test time cap (``REPRO_TEST_TIMEOUT_S``,
+default 120 s) via SIGALRM, so a hung simulation fails one test with a
+clear message instead of wedging the whole suite — the robustness
+contract applied to the tests themselves. Skipped transparently where
+SIGALRM is unavailable (non-main thread, non-POSIX platforms).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape
 from repro.nn.stages import extract_levels
+
+_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_time_cap(request):
+    """Fail any single test that runs longer than the cap."""
+    if (_TIMEOUT_S <= 0
+            or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {_TIMEOUT_S}s per-test time cap "
+                    f"(REPRO_TEST_TIMEOUT_S): {request.node.nodeid}",
+                    pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,76 @@
+"""Graceful degradation of the partition explorer under budgets."""
+
+import pytest
+
+from repro import explore, obs, vggnet_e
+from repro.errors import BudgetExceeded, ConfigError
+from repro.faults import ExplorationBudget
+
+
+class TestDegradedSearch:
+    def test_budget_truncates_but_never_empties(self, mini_vgg):
+        result = explore(mini_vgg, budget=ExplorationBudget(max_evaluations=3))
+        assert result.degraded
+        assert result.num_partitions == 3
+        assert len(result.front) > 0
+
+    def test_fully_fused_survives_truncation(self, mini_vgg):
+        """compositions() yields the all-fused extreme first, so even a
+        one-evaluation budget keeps the paper's point C."""
+        result = explore(mini_vgg, budget=ExplorationBudget(max_evaluations=1))
+        assert result.degraded
+        assert result.fully_fused.is_fully_fused
+
+    def test_generous_budget_not_degraded(self, mini_vgg):
+        unbounded = explore(mini_vgg)
+        bounded = explore(mini_vgg, budget=ExplorationBudget(
+            max_evaluations=10 ** 6, max_seconds=3600))
+        assert not unbounded.degraded
+        assert not bounded.degraded
+        assert bounded.num_partitions == unbounded.num_partitions
+
+    def test_degraded_front_is_subset_invariantly_pareto(self, mini_vgg):
+        result = explore(mini_vgg, budget=ExplorationBudget(max_evaluations=5))
+        transfers = [p.feature_transfer_bytes for p in result.front]
+        storages = [p.extra_storage_bytes for p in result.front]
+        for i, (t_i, s_i) in enumerate(zip(transfers, storages)):
+            for j, (t_j, s_j) in enumerate(zip(transfers, storages)):
+                if i != j:
+                    assert not (t_j <= t_i and s_j < s_i) or t_j == t_i
+
+    def test_degradation_counted_in_obs(self, mini_vgg):
+        with obs.capture() as registry:
+            explore(mini_vgg, budget=ExplorationBudget(max_evaluations=2))
+        counters = registry.to_dict()["counters"]
+        assert counters["explore.degraded_searches"] == 1
+        assert counters["faults.budget_trips"] == 1
+
+
+class TestRaiseMode:
+    def test_on_budget_raise(self):
+        with pytest.raises(BudgetExceeded) as err:
+            explore(vggnet_e(), num_convs=5,
+                    budget=ExplorationBudget(max_evaluations=4),
+                    on_budget="raise")
+        assert err.value.context["scored"] == 4
+        assert "evaluations" in err.value.context["budget"]
+
+    def test_on_budget_validated(self, mini_vgg):
+        with pytest.raises(ConfigError):
+            explore(mini_vgg, on_budget="explode")
+
+    def test_raise_mode_without_trip_is_silent(self, mini_vgg):
+        result = explore(mini_vgg,
+                         budget=ExplorationBudget(max_evaluations=10 ** 6),
+                         on_budget="raise")
+        assert not result.degraded
+
+
+class TestBudgetReuse:
+    def test_budget_rearmed_per_explore_call(self, mini_vgg):
+        """explore() restarts the budget, so one object can be reused."""
+        budget = ExplorationBudget(max_evaluations=3)
+        first = explore(mini_vgg, budget=budget)
+        second = explore(mini_vgg, budget=budget)
+        assert first.degraded and second.degraded
+        assert first.num_partitions == second.num_partitions == 3

@@ -1,0 +1,74 @@
+"""Exploration budgets and the graceful-degradation latch."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import ExplorationBudget
+
+
+class TestValidation:
+    def test_needs_at_least_one_limit(self):
+        with pytest.raises(ConfigError):
+            ExplorationBudget()
+
+    def test_max_evaluations_at_least_one(self):
+        with pytest.raises(ConfigError):
+            ExplorationBudget(max_evaluations=0)
+
+    def test_max_seconds_positive(self):
+        with pytest.raises(ConfigError):
+            ExplorationBudget(max_seconds=0)
+
+
+class TestEvaluationBudget:
+    def test_trips_at_threshold(self):
+        budget = ExplorationBudget(max_evaluations=3)
+        for _ in range(2):
+            budget.charge()
+            assert not budget.exceeded()
+        budget.charge()
+        assert budget.exceeded()
+        assert budget.tripped
+
+    def test_tripped_latches(self):
+        budget = ExplorationBudget(max_evaluations=1)
+        budget.charge()
+        assert budget.exceeded()
+        # Even if evaluations were rolled back, the trip stays latched.
+        budget.evaluations = 0
+        assert budget.exceeded()
+
+    def test_start_rearms(self):
+        budget = ExplorationBudget(max_evaluations=1)
+        budget.charge()
+        assert budget.exceeded()
+        budget.start()
+        assert not budget.tripped
+        assert budget.evaluations == 0
+        assert not budget.exceeded()
+
+    def test_charge_n(self):
+        budget = ExplorationBudget(max_evaluations=10)
+        budget.charge(10)
+        assert budget.exceeded()
+
+
+class TestWallClockBudget:
+    def test_tiny_deadline_trips(self):
+        budget = ExplorationBudget(max_seconds=1e-9)
+        while not budget.exceeded():  # sub-nanosecond: trips immediately
+            pass
+        assert budget.tripped
+
+    def test_generous_deadline_does_not_trip(self):
+        budget = ExplorationBudget(max_seconds=3600)
+        assert not budget.exceeded()
+        assert budget.elapsed_seconds < 3600
+
+
+class TestDescribe:
+    def test_describe_lists_limits(self):
+        assert ExplorationBudget(max_evaluations=5).describe() == "5 evaluations"
+        assert ExplorationBudget(max_seconds=2.5).describe() == "2.5s"
+        both = ExplorationBudget(max_evaluations=5, max_seconds=1)
+        assert both.describe() == "5 evaluations / 1s"

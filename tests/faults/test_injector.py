@@ -1,0 +1,102 @@
+"""The deterministic fault-decision engine."""
+
+from repro import obs
+from repro.faults import FaultInjector, FaultPlan
+
+
+def decisions(injector, sites):
+    return [injector.corrupts(site) for site in sites]
+
+
+SITES = [f"line[{i}]" for i in range(200)]
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan.parse("transfer_corrupt:p=0.5", seed=11)
+        assert decisions(plan.injector(), SITES) == decisions(plan.injector(), SITES)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.parse("transfer_corrupt:p=0.5", seed=1).injector()
+        b = FaultPlan.parse("transfer_corrupt:p=0.5", seed=2).injector()
+        assert decisions(a, SITES) != decisions(b, SITES)
+
+    def test_order_insensitive_across_sites(self):
+        """Querying sites in any order gives the same per-site answers."""
+        plan = FaultPlan.parse("transfer_corrupt:p=0.5", seed=4)
+        forward = dict(zip(SITES, decisions(plan.injector(), SITES)))
+        backward = dict(zip(reversed(SITES),
+                            decisions(plan.injector(), list(reversed(SITES)))))
+        assert forward == backward
+
+    def test_per_site_streams_advance(self):
+        """Repeated draws at one site are a stream, not a constant."""
+        inj = FaultPlan.parse("transfer_corrupt:p=0.5", seed=0).injector()
+        draws = [inj.corrupts("line[0]") for _ in range(100)]
+        assert True in draws and False in draws
+
+
+class TestProbabilityExtremes:
+    def test_p_zero_never_trips(self):
+        inj = FaultPlan.parse("transfer_corrupt:p=0", seed=0).injector()
+        assert not any(decisions(inj, SITES))
+        assert inj.total_injected == 0
+
+    def test_p_one_always_trips(self):
+        inj = FaultPlan.parse("transfer_corrupt:p=1", seed=0).injector()
+        assert all(decisions(inj, SITES))
+        assert inj.counts["transfer_corrupt"] == len(SITES)
+
+
+class TestDecisionAPI:
+    def test_empty_plan_disabled_and_inert(self):
+        inj = FaultInjector()
+        assert not inj.enabled
+        assert inj.transfer_stalls("channel[load]#0") == 0
+        assert not inj.corrupts("line[0]")
+        assert inj.stage_stall_cycles("conv1", "conv1#0") == 0
+        assert inj.bandwidth_factor(100) == 1.0
+        assert inj.total_injected == 0
+
+    def test_transfer_stalls_return_cycles(self):
+        inj = FaultPlan.parse("dram_stall:p=1,cycles=17", seed=0).injector()
+        assert inj.transfer_stalls("channel[load]#0") == 17
+
+    def test_stage_filter_restricts_to_named_stage(self):
+        inj = FaultPlan.parse("stage_stall:p=1,cycles=5,stage=conv1",
+                              seed=0).injector()
+        assert inj.stage_stall_cycles("conv1", "conv1#0") == 5
+        assert inj.stage_stall_cycles("pool1", "pool1#0") == 0
+
+    def test_bandwidth_factor_after_cycle(self):
+        inj = FaultPlan.parse("bandwidth_degrade:factor=0.5,after_cycle=100",
+                              seed=0).injector()
+        assert inj.bandwidth_factor(99) == 1.0
+        assert inj.bandwidth_factor(100) == 0.5
+        assert inj.bandwidth_factor(5000) == 0.5
+        # Activation is tallied once, not per query.
+        assert inj.counts["bandwidth_degrade"] == 1
+
+    def test_resilience_bookkeeping(self):
+        inj = FaultPlan.parse("dram_stall:p=1", seed=0).injector()
+        inj.record_retry("site", backoff_cycles=8)
+        inj.record_retry("site", backoff_cycles=16)
+        inj.record_refetch("line[3]")
+        assert inj.counts["retries"] == 2
+        assert inj.counts["refetches"] == 1
+
+
+class TestObsMirroring:
+    def test_injections_counted_in_registry(self):
+        plan = FaultPlan.parse("transfer_corrupt:p=1", seed=0)
+        with obs.capture() as registry:
+            inj = plan.injector()
+            inj.corrupts("line[0]")
+            inj.corrupts("line[1]")
+            inj.record_refetch("line[0]")
+            inj.record_retry("line[0]", backoff_cycles=32)
+        counters = registry.to_dict()["counters"]
+        assert counters["faults.injected[transfer_corrupt]"] == 2
+        assert counters["faults.refetches"] == 1
+        assert counters["faults.retries"] == 1
+        assert counters["faults.backoff_cycles"] == 32

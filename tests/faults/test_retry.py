@@ -1,0 +1,57 @@
+"""Bounded retry with exponential backoff."""
+
+import pytest
+
+from repro.errors import ConfigError, SimFaultError
+from repro.faults import RetryPolicy
+
+
+class TestBackoff:
+    def test_geometric_growth(self):
+        policy = RetryPolicy(base_cycles=8, multiplier=2.0,
+                             max_backoff_cycles=1024)
+        assert [policy.backoff_cycles(a) for a in (1, 2, 3, 4)] == [8, 16, 32, 64]
+
+    def test_capped_at_max(self):
+        policy = RetryPolicy(base_cycles=8, multiplier=2.0, max_backoff_cycles=20)
+        assert policy.backoff_cycles(1) == 8
+        assert policy.backoff_cycles(2) == 16
+        assert policy.backoff_cycles(3) == 20
+        assert policy.backoff_cycles(50) == 20
+
+    def test_multiplier_one_is_constant(self):
+        policy = RetryPolicy(base_cycles=5, multiplier=1.0)
+        assert policy.backoff_cycles(1) == policy.backoff_cycles(9) == 5
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy().backoff_cycles(0)
+
+
+class TestValidation:
+    def test_max_attempts_at_least_one(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_cycles=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_backoff_cycles=-1)
+
+    def test_multiplier_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestExhausted:
+    def test_returns_sim_fault_error_with_context(self):
+        err = RetryPolicy(max_attempts=3).exhausted(
+            "channel[load]#2", "dram_stall", stage="load", item=2)
+        assert isinstance(err, SimFaultError)
+        assert isinstance(err, RuntimeError)
+        assert err.context["site"] == "channel[load]#2"
+        assert err.context["kind"] == "dram_stall"
+        assert err.context["max_attempts"] == 3
+        assert err.context["item"] == 2
+        assert "persisted through 3 attempts" in str(err)

@@ -1,0 +1,103 @@
+"""The fault-plan DSL: parsing, defaults, validation, round-trips."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    BANDWIDTH_DEGRADE,
+    DRAM_STALL,
+    STAGE_STALL,
+    TRANSFER_CORRUPT,
+    FaultPlan,
+)
+
+
+class TestParse:
+    def test_defaults(self):
+        plan = FaultPlan.parse("dram_stall")
+        spec = plan.spec(DRAM_STALL)
+        assert spec.param("p") == 0.01
+        assert spec.param("cycles") == 64
+
+    def test_explicit_params(self):
+        plan = FaultPlan.parse("dram_stall:p=0.25,cycles=10")
+        spec = plan.spec(DRAM_STALL)
+        assert spec.param("p") == 0.25
+        assert spec.param("cycles") == 10
+
+    def test_combined_plan(self):
+        plan = FaultPlan.parse(
+            "dram_stall:p=0.1;transfer_corrupt:p=0.2;stage_stall", seed=9)
+        assert set(plan.kinds) == {DRAM_STALL, TRANSFER_CORRUPT, STAGE_STALL}
+        assert plan.seed == 9
+
+    def test_later_clause_overrides_earlier(self):
+        plan = FaultPlan.parse("dram_stall:p=0.1;dram_stall:p=0.9")
+        assert plan.spec(DRAM_STALL).param("p") == 0.9
+        assert len(plan.specs) == 1
+
+    def test_whitespace_tolerated(self):
+        plan = FaultPlan.parse("  dram_stall : p = 0.5 ; transfer_corrupt ")
+        assert plan.spec(DRAM_STALL).param("p") == 0.5
+        assert plan.spec(TRANSFER_CORRUPT) is not None
+
+    def test_stage_stall_stage_filter(self):
+        plan = FaultPlan.parse("stage_stall:stage=conv1,p=1")
+        assert plan.spec(STAGE_STALL).param("stage") == "conv1"
+
+    def test_bandwidth_degrade_params(self):
+        plan = FaultPlan.parse("bandwidth_degrade:factor=0.25,after_cycle=100")
+        spec = plan.spec(BANDWIDTH_DEGRADE)
+        assert spec.param("factor") == 0.25
+        assert spec.param("after_cycle") == 100
+
+    def test_str_round_trip(self):
+        plan = FaultPlan.parse("dram_stall:p=0.1,cycles=7;transfer_corrupt:p=0.3",
+                               seed=3)
+        again = FaultPlan.parse(str(plan), seed=3)
+        assert again == plan
+
+    def test_spec_of_absent_kind_is_none(self):
+        assert FaultPlan.parse("dram_stall").spec(TRANSFER_CORRUPT) is None
+
+    def test_empty_plan_str(self):
+        assert str(FaultPlan()) == "<no faults>"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("text", [
+        "", "   ", None,
+    ])
+    def test_empty_spec_rejected(self, text):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(text)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError) as err:
+            FaultPlan.parse("cosmic_ray:p=1")
+        assert "cosmic_ray" in str(err.value)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("dram_stall:q=0.5")
+
+    def test_bad_value_type(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("dram_stall:p=often")
+
+    @pytest.mark.parametrize("text", [
+        "dram_stall:p=1.5",
+        "dram_stall:p=-0.1",
+        "dram_stall:cycles=-1",
+        "bandwidth_degrade:factor=0",
+        "bandwidth_degrade:factor=1.5",
+        "bandwidth_degrade:after_cycle=-1",
+    ])
+    def test_out_of_range_rejected(self, text):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(text)
+
+    def test_config_error_is_value_error(self):
+        """Callers pinning ValueError keep working."""
+        with pytest.raises(ValueError):
+            FaultPlan.parse("dram_stall:p=2")

@@ -1,0 +1,113 @@
+"""Seeded property tests for the shape arithmetic and its error paths.
+
+Shape invariants under random geometry: the forward/inverse output-size
+rules agree wherever both are defined, and every impossible geometry is
+diagnosed with :class:`~repro.nn.shapes.ShapeError` (a
+:class:`~repro.errors.ConfigError`) rather than silently truncated.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.nn.shapes import (
+    ShapeError,
+    TensorShape,
+    conv_output_extent,
+    input_extent_for,
+)
+
+extents = st.integers(1, 64)
+kernels = st.integers(1, 11)
+strides = st.integers(1, 4)
+
+
+class TestForwardInverseInvariants:
+    @given(out=st.integers(1, 32), kernel=kernels, stride=strides)
+    @settings(max_examples=200, deadline=None)
+    def test_inverse_then_forward_round_trips(self, out, kernel, stride):
+        """D = S*D' + K - S always yields a valid extent that maps back."""
+        extent = input_extent_for(out, kernel, stride)
+        assert conv_output_extent(extent, kernel, stride) == out
+
+    @given(extent=extents, kernel=kernels, stride=strides)
+    @settings(max_examples=200, deadline=None)
+    def test_forward_is_total_or_diagnosed(self, extent, kernel, stride):
+        """conv_output_extent either returns the paper's formula or raises
+        ShapeError — never a wrong or negative size."""
+        try:
+            out = conv_output_extent(extent, kernel, stride)
+        except ShapeError:
+            assert extent < kernel or (extent - kernel) % stride != 0
+        else:
+            assert out >= 1
+            assert out == (extent - kernel) // stride + 1
+
+    @given(out=st.integers(1, 32), kernel=kernels, stride=strides)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_is_minimal(self, out, kernel, stride):
+        """No smaller input extent produces ``out`` outputs."""
+        extent = input_extent_for(out, kernel, stride)
+        smaller = extent - 1
+        if smaller >= kernel and (smaller - kernel) % stride == 0:
+            assert conv_output_extent(smaller, kernel, stride) < out
+
+
+class TestShapeErrorPaths:
+    @pytest.mark.parametrize("extent,kernel,stride", [
+        (2, 3, 1),    # window does not fit
+        (10, 3, 2),   # partial window left over
+        (8, 0, 1),    # degenerate kernel
+        (8, 3, 0),    # degenerate stride
+    ])
+    def test_bad_geometry_raises_shape_error(self, extent, kernel, stride):
+        with pytest.raises(ShapeError):
+            conv_output_extent(extent, kernel, stride)
+
+    def test_shape_error_is_config_error_and_value_error(self):
+        with pytest.raises(ConfigError):
+            conv_output_extent(2, 3, 1)
+        with pytest.raises(ValueError):
+            conv_output_extent(2, 3, 1)
+
+    @given(ch=st.integers(-2, 2), h=st.integers(-2, 2), w=st.integers(-2, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_tensor_shape_rejects_nonpositive_dims(self, ch, h, w):
+        if ch > 0 and h > 0 and w > 0:
+            shape = TensorShape(ch, h, w)
+            assert shape.elements == ch * h * w
+        else:
+            with pytest.raises(ShapeError):
+                TensorShape(ch, h, w)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorShape(1, 4, 4).padded(-1)
+
+    @given(out=st.integers(-3, 0))
+    @settings(max_examples=10, deadline=None)
+    def test_inverse_rejects_nonpositive_output(self, out):
+        with pytest.raises(ShapeError):
+            input_extent_for(out, 3, 1)
+
+
+class TestPyramidInvariants:
+    @given(out=st.integers(1, 16), kernel=st.integers(1, 7),
+           stride=st.integers(1, 3), levels=st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_stacked_inverse_is_monotone(self, out, kernel, stride, levels):
+        """Growing a pyramid tip downward never shrinks the input tile."""
+        extent = out
+        for _ in range(levels):
+            wider = input_extent_for(extent, kernel, stride)
+            assert wider >= extent or kernel < stride
+            extent = wider
+
+    @given(out_a=st.integers(1, 16), out_b=st.integers(1, 16),
+           kernel=kernels, stride=strides)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_monotone_in_output(self, out_a, out_b, kernel, stride):
+        if out_a <= out_b:
+            assert (input_extent_for(out_a, kernel, stride)
+                    <= input_extent_for(out_b, kernel, stride))

@@ -1,0 +1,57 @@
+"""Corruption detection and re-fetch in the cache simulator."""
+
+import pytest
+
+from repro.errors import SimFaultError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.sim.cache import CacheSim
+
+TRACE = [(addr * 4, addr % 3 == 0) for addr in range(4096)]
+
+
+def run_cache(faults=None, retry=None):
+    sim = CacheSim(size_bytes=4096, line_bytes=64, ways=4,
+                   faults=faults, retry=retry)
+    return sim.run(TRACE)
+
+
+class TestCorruptFills:
+    def test_fault_free_has_no_repairs(self):
+        stats = run_cache()
+        assert stats.corrupted_fills == 0
+        assert stats.refetches == 0
+        assert stats.dram_lines_transferred == stats.misses + stats.writebacks
+
+    def test_caching_behavior_unchanged_by_faults(self):
+        """Corruption repair costs traffic, never correctness: hit/miss
+        classification is identical with and without faults."""
+        clean = run_cache()
+        injector = FaultPlan.parse("transfer_corrupt:p=0.4", seed=3).injector()
+        faulty = run_cache(faults=injector, retry=RetryPolicy(max_attempts=12))
+        assert (faulty.read_hits, faulty.read_misses) == (clean.read_hits,
+                                                          clean.read_misses)
+        assert (faulty.write_hits, faulty.write_misses) == (clean.write_hits,
+                                                            clean.write_misses)
+        assert faulty.writebacks == clean.writebacks
+
+    def test_refetches_counted_as_dram_lines(self):
+        injector = FaultPlan.parse("transfer_corrupt:p=0.4", seed=3).injector()
+        stats = run_cache(faults=injector, retry=RetryPolicy(max_attempts=12))
+        assert stats.corrupted_fills > 0
+        assert stats.refetches > 0
+        assert stats.dram_lines_transferred == (stats.misses + stats.writebacks
+                                                + stats.refetches)
+        assert injector.counts["refetches"] == stats.refetches
+
+    def test_deterministic(self):
+        plan = FaultPlan.parse("transfer_corrupt:p=0.4", seed=8)
+        generous = RetryPolicy(max_attempts=12)
+        assert run_cache(plan.injector(), retry=generous).refetches == \
+            run_cache(plan.injector(), retry=generous).refetches
+
+    def test_permanent_corruption_is_diagnosed(self):
+        injector = FaultPlan.parse("transfer_corrupt:p=1", seed=0).injector()
+        with pytest.raises(SimFaultError) as err:
+            run_cache(faults=injector, retry=RetryPolicy(max_attempts=2))
+        assert err.value.context["kind"] == "transfer_corrupt"
+        assert err.value.context["site"].startswith("line[")

@@ -1,0 +1,85 @@
+"""Acceptance: the fused simulator stays bit-correct under injected faults.
+
+The headline robustness guarantee — under any seeded fault plan whose
+corruptions are repaired by bounded re-fetch, the fused executor's
+outputs bit-match the fault-free golden reference; only the DRAM traffic
+(traced under ``input_refetch``) and the fault counters change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimFaultError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.sim import FusedExecutor, ReferenceExecutor, TrafficTrace, make_input
+
+CORRUPT = "transfer_corrupt:p=0.3"
+
+
+def run_fused(levels, faults=None, retry=None, params=None):
+    fused = FusedExecutor(levels, params=params, tip_h=1, tip_w=1,
+                          integer=True, faults=faults, retry=retry)
+    trace = TrafficTrace()
+    x = make_input(levels[0].in_shape, integer=True)
+    return fused.run(x, trace), trace
+
+
+class TestBitMatchUnderFaults:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_outputs_match_golden_reference(self, mini_vgg_levels, seed):
+        levels = mini_vgg_levels
+        x = make_input(levels[0].in_shape, integer=True)
+        reference = ReferenceExecutor(levels, integer=True)
+        expected = reference.run(x)
+
+        injector = FaultPlan.parse(CORRUPT, seed=seed).injector()
+        got, trace = run_fused(levels, faults=injector,
+                               params=reference.params)
+        assert np.array_equal(expected, got)
+        assert injector.counts["transfer_corrupt"] > 0
+        assert injector.counts["refetches"] > 0
+
+    def test_grouped_strided_network(self, mini_alex_levels):
+        """The AlexNet-shaped geometry (stride, groups) is also immune."""
+        levels = mini_alex_levels
+        x = make_input(levels[0].in_shape, integer=True)
+        reference = ReferenceExecutor(levels, integer=True)
+        expected = reference.run(x)
+        got, _ = run_fused(levels, params=reference.params,
+                           faults=FaultPlan.parse(CORRUPT, seed=2).injector())
+        assert np.array_equal(expected, got)
+
+
+class TestRepairTraffic:
+    def test_refetches_traced_separately(self, mini_vgg_levels):
+        clean_out, clean_trace = run_fused(mini_vgg_levels)
+        injector = FaultPlan.parse(CORRUPT, seed=1).injector()
+        faulty_out, faulty_trace = run_fused(mini_vgg_levels, faults=injector)
+
+        assert np.array_equal(clean_out, faulty_out)
+        # The read-once invariant on the nominal input label still holds...
+        assert faulty_trace.reads_for("input") == clean_trace.reads_for("input")
+        # ...and the repair cost is visible as separate refetch traffic.
+        assert faulty_trace.reads_for("input_refetch") > 0
+        assert faulty_trace.dram_read_bytes > clean_trace.dram_read_bytes
+
+    def test_no_faults_no_refetch_label(self, mini_vgg_levels):
+        _, trace = run_fused(mini_vgg_levels)
+        assert trace.reads_for("input_refetch") == 0
+
+    def test_deterministic_repair_cost(self, mini_vgg_levels):
+        plan = FaultPlan.parse(CORRUPT, seed=9)
+        a = run_fused(mini_vgg_levels, faults=plan.injector())[1]
+        b = run_fused(mini_vgg_levels, faults=plan.injector())[1]
+        assert a.reads_for("input_refetch") == b.reads_for("input_refetch")
+
+
+class TestRetryExhaustion:
+    def test_permanent_corruption_is_diagnosed(self, mini_alex_levels):
+        injector = FaultPlan.parse("transfer_corrupt:p=1", seed=0).injector()
+        with pytest.raises(SimFaultError) as err:
+            run_fused(mini_alex_levels, faults=injector,
+                      retry=RetryPolicy(max_attempts=3))
+        assert err.value.context["kind"] == "transfer_corrupt"
+        assert err.value.context["max_attempts"] == 3
+        assert err.value.context["site"].startswith("input[")

@@ -185,3 +185,96 @@ class TestStatsAndProfile:
     def test_empty_profile_path_rejected(self):
         with pytest.raises(SystemExit):
             main(["explore", "vgg", "--profile="])
+
+
+class TestFaultFlags:
+    def test_faultsim_matches_golden_reference(self, capsys):
+        out = run(capsys, "faultsim", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600", "--faults", "transfer_corrupt:p=0.3",
+                  "--seed", "7")
+        assert "fused output == fault-free golden reference: True" in out
+        assert "transfer_corrupt" in out
+
+    def test_faultsim_default_plan(self, capsys):
+        out = run(capsys, "faultsim", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600")
+        assert "fault plan:" in out
+        assert "golden reference: True" in out
+
+    def test_faultsim_deterministic(self, capsys):
+        argv = ["faultsim", "toynet", "--convs", "2", "--scale", "1",
+                "--dsp", "600", "--faults", "dram_stall:p=0.2", "--seed", "3"]
+        first = run(capsys, *argv)
+        second = run(capsys, *argv)
+        assert first == second
+
+    def test_global_flags_position_independent(self, capsys):
+        before = run(capsys, "--faults", "dram_stall:p=0.2", "--seed", "3",
+                     "faultsim", "toynet", "--convs", "2", "--scale", "1",
+                     "--dsp", "600")
+        after = run(capsys, "faultsim", "toynet", "--convs", "2", "--scale", "1",
+                    "--dsp", "600", "--faults=dram_stall:p=0.2", "--seed=3")
+        assert before == after
+
+    def test_stats_reports_fault_counts(self, capsys):
+        import json
+
+        out = run(capsys, "stats", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600", "--faults", "stage_stall:p=1,cycles=2",
+                  "--seed", "1")
+        metrics = json.loads(out)
+        meta = metrics["meta"]["faults"]
+        assert meta["seed"] == 1
+        assert meta["injected"]["stage_stall"] > 0
+        assert metrics["counters"]["faults.injected[stage_stall]"] > 0
+
+    def test_stats_without_faults_reports_none(self, capsys):
+        import json
+
+        out = run(capsys, "stats", "toynet", "--convs", "2", "--scale", "1",
+                  "--dsp", "600")
+        assert json.loads(out)["meta"]["faults"] is None
+
+    def test_explore_budget_degrades(self, capsys):
+        out = run(capsys, "explore", "vgg", "--convs", "5",
+                  "--max-partitions", "10")
+        assert "10 partitions" in out
+        assert "degraded" in out
+
+    def test_plan_cleared_after_run(self, capsys):
+        from repro import faults
+
+        run(capsys, "faultsim", "toynet", "--convs", "2", "--scale", "1",
+            "--dsp", "600", "--faults", "dram_stall:p=0.1")
+        assert faults.get_active_plan() is None
+
+
+class TestErrorExitCodes:
+    def test_bad_fault_spec_exits_2_with_one_line_error(self, capsys):
+        assert main(["explore", "vgg", "--faults", "cosmic_ray:p=1"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "cosmic_ray" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_retry_exhaustion_exits_2(self, capsys):
+        code = main(["faultsim", "toynet", "--convs", "2", "--scale", "1",
+                     "--dsp", "600", "--faults", "dram_stall:p=1",
+                     "--max-attempts", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "persisted through 2 attempts" in err
+
+    def test_config_error_exits_2(self, capsys):
+        assert main(["explore", "vgg", "--max-partitions", "0"]) == 2
+        assert "max_evaluations" in capsys.readouterr().err
+
+    def test_flag_without_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "vgg", "--faults"])
+        with pytest.raises(SystemExit):
+            main(["explore", "vgg", "--seed"])
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "vgg", "--faults", "dram_stall", "--seed", "pi"])

@@ -1,0 +1,61 @@
+"""The structured exception hierarchy threaded through every subsystem."""
+
+import pytest
+
+import repro
+from repro.errors import BudgetExceeded, ConfigError, ReproError, SimFaultError
+
+
+class TestHierarchy:
+    def test_config_error_is_repro_and_value_error(self):
+        err = ConfigError("bad knob")
+        assert isinstance(err, ReproError)
+        assert isinstance(err, ValueError)
+
+    def test_sim_fault_error_is_repro_and_runtime_error(self):
+        err = SimFaultError("broken invariant")
+        assert isinstance(err, ReproError)
+        assert isinstance(err, RuntimeError)
+
+    def test_budget_exceeded_is_repro_error(self):
+        assert isinstance(BudgetExceeded("over"), ReproError)
+
+    def test_domain_errors_rebased_on_hierarchy(self):
+        """Subsystem exceptions slot under the shared roots, preserving
+        the concrete builtins older callers catch."""
+        from repro.nn.parse import ParseError
+        from repro.nn.shapes import ShapeError
+        from repro.sim.reuse import ReuseError
+
+        assert issubclass(ShapeError, ConfigError)
+        assert issubclass(ParseError, ConfigError)
+        assert issubclass(ReuseError, SimFaultError)
+
+    def test_top_level_exports(self):
+        assert repro.ReproError is ReproError
+        assert repro.ConfigError is ConfigError
+        assert repro.SimFaultError is SimFaultError
+        assert repro.BudgetExceeded is BudgetExceeded
+
+
+class TestContext:
+    def test_message_without_context(self):
+        assert str(ReproError("plain")) == "plain"
+        assert ReproError("plain").context == {}
+
+    def test_context_rendered_sorted(self):
+        err = ReproError("boom", zebra=1, alpha="x")
+        assert str(err) == "boom [alpha='x', zebra=1]"
+        assert err.context == {"zebra": 1, "alpha": "x"}
+
+    def test_context_survives_raise(self):
+        with pytest.raises(ConfigError) as caught:
+            raise ConfigError("bad", site="channel[load]#0", attempts=4)
+        assert caught.value.context["site"] == "channel[load]#0"
+        assert caught.value.context["attempts"] == 4
+
+    def test_catchable_as_repro_error(self):
+        """One except clause covers every subsystem failure."""
+        for err in (ConfigError("a"), SimFaultError("b"), BudgetExceeded("c")):
+            with pytest.raises(ReproError):
+                raise err

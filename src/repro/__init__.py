@@ -22,6 +22,10 @@ Public API tour:
   plan DSL (DRAM stalls, bandwidth degradation, stage stalls, transfer
   corruption), bounded retry-with-backoff, and exploration budgets with
   graceful degradation.
+* :mod:`repro.serve` — batched inference serving: compiled fusion plans
+  with an LRU plan cache (JSON-persistent), a micro-batching scheduler
+  with admission control, and a fault-tolerant parallel worker pool —
+  the paper's offline-search/online-execution split as a service.
 * :mod:`repro.errors` — the structured exception hierarchy
   (:class:`~repro.errors.ReproError` and friends) every subsystem raises.
 
@@ -57,6 +61,7 @@ from .nn import (
     parse_network,
 )
 from .nn.zoo import alexnet, googlenet_stem, nin_cifar, toynet, vgg16, vggnet_e, zfnet
+from . import serve
 
 __version__ = "1.0.0"
 
@@ -87,6 +92,7 @@ __all__ = [
     "obs",
     "parse_network",
     "pareto_front",
+    "serve",
     "toynet",
     "vgg16",
     "vggnet_e",

@@ -15,6 +15,8 @@ Commands map one-to-one to the paper's evaluation artifacts::
                 full observability metrics JSON
     faultsim    run fused-vs-reference under an injected fault plan and
                 report whether outputs still match the golden reference
+    serve-bench batched inference serving benchmark: compiled-plan cache,
+                micro-batching scheduler, parallel workers
     hls         emit the specialized HLS C++ for a fused design
     codegen     emit a standalone self-checking C++ program
     bandwidth   roofline sweep, fused vs baseline
@@ -253,7 +255,7 @@ def cmd_explore(args) -> None:
         budget = ExplorationBudget(max_evaluations=args.max_partitions,
                                    max_seconds=args.max_seconds)
     result = explore(network, num_convs=args.convs, strategy=strategy,
-                     budget=budget)
+                     budget=budget, jobs=args.jobs)
     KB, MB = 2 ** 10, 2 ** 20
     degraded = " [degraded: budget hit, best-so-far]" if result.degraded else ""
     print(f"{result.network_name}: {result.num_partitions} partitions, "
@@ -270,6 +272,101 @@ def cmd_explore(args) -> None:
         else:
             print(f"best under {args.storage_budget} KB: {pick.sizes} -> "
                   f"{pick.feature_transfer_bytes / MB:.2f} MB/image")
+
+
+def cmd_serve_bench(args) -> None:
+    """Benchmark the :mod:`repro.serve` subsystem on one network.
+
+    Compiles (or loads from ``--cache``) a plan, then pushes
+    ``--requests`` inputs through the micro-batching scheduler and
+    worker pool, reporting throughput, latency percentiles, and
+    plan-cache hits. ``--check`` verifies every served output
+    bit-identical to a direct :class:`NetworkExecutor` run (including
+    under a global ``--faults`` plan). ``--fail-on-overload`` turns the
+    first admission rejection into exit code 2.
+    """
+    import json
+    import os
+    import time as _time
+
+    import numpy as np
+
+    from .core import Strategy
+    from .faults import RetryPolicy
+    from .serve import InferenceService, PlanCache, ServeOverloadError
+    from .sim import NetworkExecutor
+
+    network = _network(args.network)
+    shape = network.input_shape
+    rng = np.random.default_rng(args.fault_seed)
+    dims = (shape.channels, shape.height, shape.width)
+    xs = [np.round(rng.uniform(-4.0, 4.0, size=dims))
+          for _ in range(args.requests)]
+
+    cache = PlanCache()
+    loaded = 0
+    if args.cache and os.path.exists(args.cache):
+        loaded = cache.load(args.cache)
+
+    plan = faults_mod.get_active_plan()
+    injector = plan.injector() if plan is not None else None
+    storage = (None if args.storage_budget is None
+               else args.storage_budget * 2 ** 10)
+    strategy = Strategy.RECOMPUTE if args.recompute else Strategy.REUSE
+    svc = InferenceService(
+        network, workers=args.workers, mode=args.mode,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue, strategy=strategy, tip=args.tip,
+        storage_budget_bytes=storage, precision=args.precision,
+        seed=args.fault_seed, faults=injector,
+        retry=RetryPolicy(max_attempts=args.max_attempts), cache=cache)
+
+    futures = []
+    admitted = []
+    interval = 1.0 / args.rate if args.rate else 0.0
+    try:
+        svc.start()
+        for x in xs:
+            try:
+                futures.append(svc.submit(x))
+                admitted.append(x)
+            except ServeOverloadError:
+                if args.fail_on_overload:
+                    raise
+            if interval:
+                _time.sleep(interval)
+        outs = [f.result(timeout=120) for f in futures]
+    finally:
+        svc.shutdown()
+
+    print(f"serve-bench: {network.name}, {args.requests} requests, "
+          f"{args.workers} workers ({args.mode}), max_batch {args.max_batch}")
+    if args.cache:
+        print(f"plan cache file: {args.cache} ({loaded} plans loaded)")
+    print(svc.report())
+
+    if args.check:
+        direct = NetworkExecutor(network, seed=args.fault_seed,
+                                 integer=args.precision == "int")
+        mismatches = sum(
+            0 if np.array_equal(out, direct.run(x)) else 1
+            for x, out in zip(admitted, outs))
+        print(f"served outputs == direct NetworkExecutor.run: "
+              f"{mismatches == 0} ({len(futures)} checked)")
+        if mismatches:
+            raise SystemExit(1)
+
+    if args.cache:
+        cache.save(args.cache)
+    if args.json:
+        summary = {"bench": "serve", "network": network.name,
+                   "workers": args.workers, "max_batch": args.max_batch,
+                   "mode": args.mode, **svc.stats.summary(),
+                   "plan_cache": cache.stats_dict()}
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote summary JSON to {args.json}")
 
 
 def cmd_codegen(args) -> None:
@@ -553,7 +650,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "and return the best-so-far frontier (degraded)")
     exp.add_argument("--max-seconds", type=float, default=None, metavar="S",
                      help="wall-clock budget for the sweep (degrades)")
+    exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="score partitions across N worker processes "
+                          "(1 = serial; ignored when a budget is set)")
     exp.set_defaults(func=cmd_explore)
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="batched inference serving benchmark (repro.serve)")
+    sb.add_argument("network", nargs="?", default="toynet")
+    sb.add_argument("--requests", type=int, default=64)
+    sb.add_argument("--rate", type=float, default=0.0, metavar="REQ_S",
+                    help="arrival rate in requests/s (0 = submit as fast "
+                         "as possible)")
+    sb.add_argument("--workers", type=int, default=2)
+    sb.add_argument("--mode", choices=("thread", "process"), default="thread")
+    sb.add_argument("--max-batch", type=int, default=8)
+    sb.add_argument("--max-wait-ms", type=float, default=2.0)
+    sb.add_argument("--max-queue", type=int, default=1024)
+    sb.add_argument("--tip", type=int, default=1)
+    sb.add_argument("--recompute", action="store_true")
+    sb.add_argument("--storage-budget", type=int, default=None, metavar="KB")
+    sb.add_argument("--precision", choices=("int", "float"), default="int")
+    sb.add_argument("--max-attempts", type=int, default=4,
+                    help="worker retry budget per faulted request")
+    sb.add_argument("--cache", default=None, metavar="PATH",
+                    help="plan-cache JSON: loaded before the run when it "
+                         "exists, saved after")
+    sb.add_argument("--check", action="store_true",
+                    help="verify every served output bit-identical to a "
+                         "direct NetworkExecutor run")
+    sb.add_argument("--fail-on-overload", action="store_true",
+                    help="exit 2 on the first admission rejection instead "
+                         "of dropping the request")
+    sb.add_argument("--json", default=None, metavar="PATH",
+                    help="write the stats summary JSON here")
+    sb.set_defaults(func=cmd_serve_bench)
 
     gen = sub.add_parser("codegen")
     gen.add_argument("network", nargs="?", default="nin")

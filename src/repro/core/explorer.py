@@ -65,18 +65,34 @@ class ExplorationResult:
                             degraded=self.degraded)
 
     def best_under_storage(self, budget_bytes: int) -> Optional[PartitionAnalysis]:
-        """Minimum-transfer partition whose extra storage fits the budget."""
-        feasible = [p for p in self.points if p.extra_storage_bytes <= budget_bytes]
+        """Minimum-transfer partition whose extra storage fits the budget.
+
+        Ties on both costs resolve to the earliest point in enumeration
+        order — the partition index is the final sort key, so the pick
+        is stable across Python versions and serial/parallel sweeps
+        (plan-cache keys depend on it).
+        """
+        feasible = [(i, p) for i, p in enumerate(self.points)
+                    if p.extra_storage_bytes <= budget_bytes]
         if not feasible:
             return None
-        return min(feasible, key=lambda p: (p.feature_transfer_bytes, p.extra_storage_bytes))
+        return min(feasible,
+                   key=lambda ip: (ip[1].feature_transfer_bytes,
+                                   ip[1].extra_storage_bytes, ip[0]))[1]
 
     def best_under_transfer(self, budget_bytes: int) -> Optional[PartitionAnalysis]:
-        """Minimum-storage partition whose traffic fits the budget."""
-        feasible = [p for p in self.points if p.feature_transfer_bytes <= budget_bytes]
+        """Minimum-storage partition whose traffic fits the budget.
+
+        Equal-cost ties resolve by partition index, like
+        :meth:`best_under_storage`.
+        """
+        feasible = [(i, p) for i, p in enumerate(self.points)
+                    if p.feature_transfer_bytes <= budget_bytes]
         if not feasible:
             return None
-        return min(feasible, key=lambda p: (p.extra_storage_bytes, p.feature_transfer_bytes))
+        return min(feasible,
+                   key=lambda ip: (ip[1].extra_storage_bytes,
+                                   ip[1].feature_transfer_bytes, ip[0]))[1]
 
 
 def explore(network: Network, num_convs: Optional[int] = None,
@@ -84,7 +100,7 @@ def explore(network: Network, num_convs: Optional[int] = None,
             merge_pooling: bool = False,
             tip_h: int = 1, tip_w: int = 1,
             budget: Optional[ExplorationBudget] = None,
-            on_budget: str = "degrade") -> ExplorationResult:
+            on_budget: str = "degrade", jobs: int = 1) -> ExplorationResult:
     """Explore all fusion partitions of (a prefix of) a network.
 
     Parameters
@@ -110,6 +126,12 @@ def explore(network: Network, num_convs: Optional[int] = None,
         ``degraded=True`` — the graceful-degradation contract a serving
         system needs. ``"raise"``: raise
         :class:`~repro.errors.BudgetExceeded` instead.
+    jobs:
+        Number of worker processes for the partition sweep. ``1``
+        (default) runs serial; ``N > 1`` fans the scoring across a
+        process pool and returns points in the identical serial order
+        (a ``budget`` forces the serial path, which it needs for its
+        per-evaluation charging).
     """
     if on_budget not in ("degrade", "raise"):
         raise ConfigError("on_budget must be 'degrade' or 'raise'",
@@ -125,7 +147,7 @@ def explore(network: Network, num_convs: Optional[int] = None,
         with obs.span("explore.enumerate", units=len(units)):
             points = enumerate_partitions(units, strategy=strategy,
                                           tip_h=tip_h, tip_w=tip_w,
-                                          budget=budget)
+                                          budget=budget, jobs=jobs)
         degraded = budget is not None and budget.tripped
         if degraded:
             obs.add_counter("explore.degraded_searches")

@@ -106,10 +106,17 @@ def analyze_partition(units: Sequence[FusionUnit], sizes: Sequence[int],
     return PartitionAnalysis(sizes=tuple(sizes), groups=tuple(groups), strategy=strategy)
 
 
+def _score_partition(args) -> PartitionAnalysis:
+    """Pool target: score one partition (module-level for picklability)."""
+    units, sizes, strategy, tip_h, tip_w = args
+    return analyze_partition(units, sizes, strategy=strategy,
+                             tip_h=tip_h, tip_w=tip_w)
+
+
 def enumerate_partitions(units: Sequence[FusionUnit],
                          strategy: Strategy = Strategy.REUSE,
                          tip_h: int = 1, tip_w: int = 1,
-                         budget=None) -> List[PartitionAnalysis]:
+                         budget=None, jobs: int = 1) -> List[PartitionAnalysis]:
     """Score all ``2^(l-1)`` partitions of the unit sequence.
 
     ``budget`` (an :class:`~repro.faults.budget.ExplorationBudget`) is
@@ -118,17 +125,37 @@ def enumerate_partitions(units: Sequence[FusionUnit],
     returned (at least one, so a degraded search is never empty). The
     budget object's ``tripped`` flag tells the caller the sweep was cut
     short.
+
+    ``jobs > 1`` fans the scoring across a process pool (useful for
+    large unit counts — VGGNet-E at full depth is 2^20 partitions).
+    Results come back in exactly the serial enumeration order, so
+    frontiers and tie-breaks are identical serial vs parallel. A budget
+    needs the serial charge-per-evaluation loop, so ``budget`` forces
+    the serial path regardless of ``jobs``.
     """
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1", jobs=jobs)
+    parallel = jobs > 1 and budget is None
     with obs.span("partition.enumerate", units=len(units),
-                  strategy=strategy.name) as span:
+                  strategy=strategy.name, jobs=jobs if parallel else 1) as span:
         points: List[PartitionAnalysis] = []
-        for sizes in compositions(len(units)):
-            if budget is not None and points and budget.exceeded():
-                break
-            points.append(analyze_partition(units, sizes, strategy=strategy,
-                                            tip_h=tip_h, tip_w=tip_w))
-            if budget is not None:
-                budget.charge()
+        if parallel:
+            import concurrent.futures
+
+            work = [(tuple(units), sizes, strategy, tip_h, tip_w)
+                    for sizes in compositions(len(units))]
+            chunksize = max(1, len(work) // (jobs * 8))
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                points = list(pool.map(_score_partition, work,
+                                       chunksize=chunksize))
+        else:
+            for sizes in compositions(len(units)):
+                if budget is not None and points and budget.exceeded():
+                    break
+                points.append(analyze_partition(units, sizes, strategy=strategy,
+                                                tip_h=tip_h, tip_w=tip_w))
+                if budget is not None:
+                    budget.charge()
         span.set(partitions=len(points))
         obs.add_counter("partition.analyzed", len(points))
         obs.add_counter("partition.groups_analyzed",

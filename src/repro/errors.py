@@ -57,3 +57,13 @@ class SimFaultError(ReproError, RuntimeError):
 
 class BudgetExceeded(ReproError):
     """A bounded exploration hit its wall-clock or evaluation budget."""
+
+
+class ServeOverloadError(ReproError, RuntimeError):
+    """The serving queue is full: admission control fast-failed a request.
+
+    Raised synchronously by :meth:`repro.serve.InferenceService.submit`
+    (and the scheduler underneath) when the bounded request queue is at
+    capacity, so callers get backpressure immediately instead of
+    unbounded latency. Carries ``depth``/``max_queue`` context.
+    """

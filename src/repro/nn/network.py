@@ -168,6 +168,36 @@ class Network:
                 break
         return Network(f"{self.name}[:conv{num_convs}]", self.input_shape, specs)
 
+    def fingerprint(self) -> str:
+        """Content-based identity: a stable hash of layer specs + input shape.
+
+        Two networks fingerprint equally iff they have the same input
+        shape and the same ordered layer specs (type, name, and every
+        parameter) — the display ``name`` is presentation, not content,
+        so it is excluded. Used as the plan-cache key by
+        :mod:`repro.serve`: a served network resolves to the same
+        compiled plan however it was constructed (zoo builder, parser,
+        or by hand), while any geometry change — reordered layers, a
+        different kernel or channel count — produces a new key.
+        """
+        import dataclasses
+        import hashlib
+        import json
+
+        payload = {
+            "input": [self.input_shape.channels, self.input_shape.height,
+                      self.input_shape.width],
+            "layers": [
+                {"type": type(b.spec).__name__,
+                 **{f.name: getattr(b.spec, f.name)
+                    for f in dataclasses.fields(b.spec)}}
+                for b in self._bindings
+            ],
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+        return digest[:16]
+
     # -- aggregate statistics (Figure 2 style) -------------------------------
 
     def total_weights(self) -> int:

@@ -1,0 +1,47 @@
+"""``repro.serve``: batched inference serving over compiled fusion plans.
+
+The paper's tool splits into an offline search and an online fused
+evaluation; this subsystem productizes that split. Compilation
+(:func:`compile_plan`) runs the exploration sweep once and freezes the
+winning fusion partition into a :class:`CompiledPlan`; a
+:class:`PlanCache` memoizes and persists those plans; an
+:class:`InferenceService` then serves requests through a micro-batching
+:class:`BatchScheduler` and a :class:`WorkerPool`, with admission
+control, fault-tolerant retries, and rolling :class:`ServeStats`.
+
+Quick start::
+
+    from repro.nn.zoo import toynet
+    from repro.serve import InferenceService
+
+    with InferenceService(toynet(), workers=4, max_batch=8) as svc:
+        out = svc.infer(x)
+"""
+
+from ..errors import ServeOverloadError
+from .plan import (
+    CompiledPlan,
+    PlanCache,
+    PlanKey,
+    compile_plan,
+    make_plan_key,
+)
+from .scheduler import BatchScheduler, ServeRequest
+from .service import InferenceService
+from .stats import ServeStats, percentile
+from .worker import WorkerPool
+
+__all__ = [
+    "BatchScheduler",
+    "CompiledPlan",
+    "InferenceService",
+    "PlanCache",
+    "PlanKey",
+    "ServeOverloadError",
+    "ServeRequest",
+    "ServeStats",
+    "WorkerPool",
+    "compile_plan",
+    "make_plan_key",
+    "percentile",
+]

@@ -1,0 +1,397 @@
+"""Compiled plans and the plan cache: search once, serve many inputs.
+
+The paper splits its tool into an offline analytical search and an
+online fused evaluation (Section V-A); a serving system makes the same
+split explicit. A :class:`CompiledPlan` freezes everything needed to
+execute one network — the chosen fusion partition (from
+:func:`repro.core.explore` or an explicit spec), the per-group pyramid
+geometry, and deterministic weights — so the expensive search runs once
+per (network, configuration) and every subsequent request just executes.
+
+A :class:`PlanCache` memoizes compilation keyed on
+:class:`PlanKey` = (network fingerprint, strategy, tip, storage budget,
+precision, weight seed) with LRU eviction and byte-size accounting, mirrors
+hit/miss/eviction totals into :mod:`repro.obs` counters
+(``serve.plan_cache.*``), and serializes to JSON so a warmed cache
+survives restarts: the saved form stores the network description and the
+chosen partition, so a restored plan performs **zero exploration work**
+(``explore.partitions_scored`` stays flat on every warm path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.explorer import explore
+from ..core.fusion import Strategy, units_to_levels
+from ..core.partition import analyze_partition
+from ..core.pyramid import PyramidGeometry, build_pyramid
+from ..errors import ConfigError
+from ..faults.budget import ExplorationBudget
+from ..nn.layers import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    LRNSpec,
+    PadSpec,
+    PoolSpec,
+    ReLUSpec,
+)
+from ..nn.network import Network
+from ..nn.shapes import TensorShape
+from ..nn.stages import extract_levels, independent_units
+from ..sim.batched import BatchedNetworkExecutor, preserves_exact_arithmetic
+from ..sim.network_exec import NetworkExecutor
+
+PRECISIONS = ("int", "float")
+
+#: Spec registry for exact JSON round-tripping (the Torch-text form
+#: drops grouped-convolution and LRN parameters, so plans serialize
+#: specs field-by-field instead).
+_SPEC_TYPES = {cls.__name__: cls for cls in
+               (ConvSpec, PoolSpec, ReLUSpec, PadSpec, LRNSpec, FCSpec)}
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything that distinguishes one compiled plan from another."""
+
+    fingerprint: str
+    strategy: str
+    tip: int
+    storage_budget_bytes: Optional[int]
+    precision: str
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlanKey":
+        return cls(fingerprint=data["fingerprint"], strategy=data["strategy"],
+                   tip=int(data["tip"]),
+                   storage_budget_bytes=(None if data["storage_budget_bytes"]
+                                         is None
+                                         else int(data["storage_budget_bytes"])),
+                   precision=data["precision"],
+                   seed=int(data.get("seed", 0)))
+
+    def __str__(self) -> str:
+        budget = ("-" if self.storage_budget_bytes is None
+                  else str(self.storage_budget_bytes))
+        return (f"{self.fingerprint}/{self.strategy}/tip{self.tip}"
+                f"/sb{budget}/{self.precision}/seed{self.seed}")
+
+
+def make_plan_key(network: Network, strategy: Strategy = Strategy.REUSE,
+                  tip: int = 1, storage_budget_bytes: Optional[int] = None,
+                  precision: str = "int", seed: int = 0) -> PlanKey:
+    """The cache key a compilation of ``network`` under these knobs gets.
+
+    ``seed`` determines the plan's frozen weights, so plans compiled
+    under different seeds never alias in the cache.
+    """
+    if precision not in PRECISIONS:
+        raise ConfigError(f"precision must be one of {PRECISIONS}",
+                          precision=precision)
+    if tip < 1:
+        raise ConfigError("tip must be >= 1", tip=tip)
+    return PlanKey(fingerprint=network.fingerprint(), strategy=strategy.name,
+                   tip=tip, storage_budget_bytes=storage_budget_bytes,
+                   precision=precision, seed=seed)
+
+
+def _spec_to_dict(spec: LayerSpec) -> Dict[str, Any]:
+    return {"type": type(spec).__name__,
+            **{f.name: getattr(spec, f.name)
+               for f in dataclasses.fields(spec)}}
+
+
+def _spec_from_dict(data: Dict[str, Any]) -> LayerSpec:
+    kind = data.get("type")
+    if kind not in _SPEC_TYPES:
+        raise ConfigError(f"unknown layer spec type {kind!r} in saved plan",
+                          known=sorted(_SPEC_TYPES))
+    kwargs = {k: v for k, v in data.items() if k != "type"}
+    return _SPEC_TYPES[kind](**kwargs)
+
+
+class CompiledPlan:
+    """A frozen, executable configuration for one network.
+
+    Holds the network, its chosen fusion partition and per-group pyramid
+    geometry, and the executors (deterministic weights per ``seed``).
+    Execution delegates to the vectorized
+    :class:`~repro.sim.batched.BatchedNetworkExecutor` when ``"int"``
+    precision meets an exactness-preserving network (see
+    :func:`~repro.sim.batched.preserves_exact_arithmetic`) — bit-identical
+    to per-item execution in that regime — and to
+    :meth:`NetworkExecutor.run_batch` otherwise.
+    """
+
+    def __init__(self, key: PlanKey, network: Network,
+                 partition_sizes: Tuple[int, ...],
+                 geometry: Tuple[PyramidGeometry, ...],
+                 seed: int = 0, degraded: bool = False,
+                 compile_s: float = 0.0):
+        self.key = key
+        self.network = network
+        self.partition_sizes = tuple(partition_sizes)
+        self.geometry = tuple(geometry)
+        self.seed = seed
+        self.degraded = degraded
+        self.compile_s = compile_s
+        integer = key.precision == "int"
+        self.executor = NetworkExecutor(network, seed=seed, integer=integer)
+        self.batched: Optional[BatchedNetworkExecutor] = (
+            BatchedNetworkExecutor(network, params=self.executor.params)
+            if integer and preserves_exact_arithmetic(network) else None)
+
+    @property
+    def byte_size(self) -> int:
+        """Resident bytes the cache charges this plan for (weights + one
+        input volume)."""
+        weights = sum(w.nbytes + b.nbytes
+                      for w, b in self.executor.params.values())
+        shape = self.network.input_shape
+        return weights + shape.elements * 8
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.partition_sizes)
+
+    def execute(self, xs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Run a batch; outputs are bit-identical to per-item
+        :meth:`NetworkExecutor.run` calls."""
+        if self.batched is not None:
+            return self.batched.run_batch(list(xs))
+        return self.executor.run_batch(xs)
+
+    def describe(self) -> str:
+        mode = "degraded " if self.degraded else ""
+        return (f"{self.network.name}: partition {self.partition_sizes} "
+                f"({self.num_groups} groups, {mode}{self.key.precision} "
+                f"precision, {self.byte_size / 2**10:.0f} KB)")
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        shape = self.network.input_shape
+        return {
+            "key": self.key.to_dict(),
+            "network_name": self.network.name,
+            "input_shape": [shape.channels, shape.height, shape.width],
+            "layers": [_spec_to_dict(b.spec) for b in self.network],
+            "partition_sizes": list(self.partition_sizes),
+            "seed": self.seed,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompiledPlan":
+        c, h, w = data["input_shape"]
+        network = Network(data["network_name"], TensorShape(c, h, w),
+                          [_spec_from_dict(d) for d in data["layers"]])
+        key = PlanKey.from_dict(data["key"])
+        sizes = tuple(int(s) for s in data["partition_sizes"])
+        geometry = _partition_geometry(network, sizes, key.tip)
+        return cls(key=key, network=network, partition_sizes=sizes,
+                   geometry=geometry, seed=int(data["seed"]),
+                   degraded=bool(data["degraded"]))
+
+
+def _partition_geometry(network: Network, sizes: Tuple[int, ...],
+                        tip: int) -> Tuple[PyramidGeometry, ...]:
+    """Pyramid geometry for each fused group of the chosen partition."""
+    units = independent_units(extract_levels(network.feature_extractor()))
+    if sum(sizes) != len(units):
+        raise ConfigError("partition does not cover the network's fusion units",
+                          sizes=sizes, units=len(units),
+                          network=network.name)
+    geometry: List[PyramidGeometry] = []
+    start = 0
+    for size in sizes:
+        group = units[start:start + size]
+        geometry.append(build_pyramid(units_to_levels(group),
+                                      tip_h=tip, tip_w=tip))
+        start += size
+    return tuple(geometry)
+
+
+def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
+                 tip: int = 1, storage_budget_bytes: Optional[int] = None,
+                 precision: str = "int", seed: int = 0,
+                 budget: Optional[ExplorationBudget] = None,
+                 on_budget: str = "degrade",
+                 partition_sizes: Optional[Sequence[int]] = None,
+                 jobs: int = 1) -> CompiledPlan:
+    """Compile ``network`` into an executable plan.
+
+    Without ``partition_sizes`` the fusion partition comes from a full
+    :func:`~repro.core.explore` sweep — minimum feature-map transfer,
+    constrained to ``storage_budget_bytes`` of extra on-chip storage
+    when given (falling back to the minimum-storage partition if nothing
+    fits). ``budget`` bounds that search; a budget-truncated sweep still
+    compiles, with ``degraded=True`` recorded on the plan. With
+    ``partition_sizes`` (an explicit spec, or a cache restore) no
+    exploration runs at all — only the single chosen partition is
+    re-analyzed for geometry.
+    """
+    key = make_plan_key(network, strategy=strategy, tip=tip,
+                        storage_budget_bytes=storage_budget_bytes,
+                        precision=precision, seed=seed)
+    t0 = time.perf_counter()
+    degraded = False
+    with obs.span("serve.compile", network=network.name, key=str(key)):
+        if partition_sizes is None:
+            result = explore(network, strategy=strategy, tip_h=tip, tip_w=tip,
+                             budget=budget, on_budget=on_budget, jobs=jobs)
+            chosen = None
+            if storage_budget_bytes is not None:
+                chosen = result.best_under_storage(storage_budget_bytes)
+            if chosen is None and storage_budget_bytes is not None:
+                # nothing fits: serve the minimum-storage partition
+                chosen = result.best_under_transfer(float("inf"))
+            if chosen is None:
+                chosen = result.best_under_storage(float("inf"))
+            sizes = chosen.sizes
+            degraded = result.degraded
+        else:
+            sizes = tuple(int(s) for s in partition_sizes)
+            units = independent_units(
+                extract_levels(network.feature_extractor()))
+            if sizes or units:
+                analyze_partition(units, sizes, strategy=strategy,
+                                  tip_h=tip, tip_w=tip)
+        geometry = _partition_geometry(network, tuple(sizes), tip)
+    plan = CompiledPlan(key=key, network=network,
+                        partition_sizes=tuple(sizes), geometry=geometry,
+                        seed=seed, degraded=degraded,
+                        compile_s=time.perf_counter() - t0)
+    if degraded:
+        obs.add_counter("serve.degraded_plans")
+    obs.add_counter("serve.plans_compiled")
+    return plan
+
+
+class PlanCache:
+    """LRU cache of compiled plans with byte-size accounting.
+
+    ``max_plans`` bounds the entry count and ``max_bytes`` (optional)
+    the summed :attr:`CompiledPlan.byte_size`; eviction is
+    least-recently-used but always leaves the most recent plan resident.
+    Hits, misses, and evictions are mirrored into
+    ``serve.plan_cache.{hits,misses,evictions}`` obs counters.
+    """
+
+    def __init__(self, max_plans: int = 32,
+                 max_bytes: Optional[int] = None):
+        if max_plans < 1:
+            raise ConfigError("plan cache needs max_plans >= 1",
+                              max_plans=max_plans)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigError("max_bytes must be positive when given",
+                              max_bytes=max_bytes)
+        self.max_plans = max_plans
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._plans: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(plan.byte_size for plan in self._plans.values())
+
+    def lookup(self, key: PlanKey) -> Optional[CompiledPlan]:
+        """Fetch without compiling; counts a hit or miss."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            obs.add_counter("serve.plan_cache.misses")
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        obs.add_counter("serve.plan_cache.hits")
+        return plan
+
+    def get_or_compile(self, network: Network,
+                       strategy: Strategy = Strategy.REUSE, tip: int = 1,
+                       storage_budget_bytes: Optional[int] = None,
+                       precision: str = "int", seed: int = 0,
+                       budget: Optional[ExplorationBudget] = None,
+                       on_budget: str = "degrade",
+                       jobs: int = 1) -> CompiledPlan:
+        """The serving entry point: memoized compilation."""
+        key = make_plan_key(network, strategy=strategy, tip=tip,
+                            storage_budget_bytes=storage_budget_bytes,
+                            precision=precision, seed=seed)
+        plan = self.lookup(key)
+        if plan is not None:
+            return plan
+        plan = compile_plan(network, strategy=strategy, tip=tip,
+                            storage_budget_bytes=storage_budget_bytes,
+                            precision=precision, seed=seed, budget=budget,
+                            on_budget=on_budget, jobs=jobs)
+        self.put(plan)
+        return plan
+
+    def put(self, plan: CompiledPlan) -> None:
+        """Insert (or refresh) a plan, evicting LRU entries over budget."""
+        self._plans[plan.key] = plan
+        self._plans.move_to_end(plan.key)
+        while len(self._plans) > 1 and (
+                len(self._plans) > self.max_plans
+                or (self.max_bytes is not None
+                    and self.total_bytes > self.max_bytes)):
+            self._plans.popitem(last=False)
+            self.evictions += 1
+            obs.add_counter("serve.plan_cache.evictions")
+
+    def stats_dict(self) -> Dict[str, Any]:
+        return {"plans": len(self._plans), "bytes": self.total_bytes,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write every resident plan to ``path`` as JSON (LRU order)."""
+        payload = {"version": 1,
+                   "plans": [plan.to_dict()
+                             for plan in self._plans.values()]}
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def load(self, path) -> int:
+        """Merge plans from ``path`` into the cache; returns the count.
+
+        Restored plans rebuild their network, weights, and geometry from
+        the saved description — no exploration work runs, so a warmed
+        cache serves its first request as cheaply as its thousandth.
+        """
+        with open(path) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "plans" not in payload:
+            raise ConfigError("not a plan-cache file", path=str(path))
+        count = 0
+        for data in payload["plans"]:
+            self.put(CompiledPlan.from_dict(data))
+            count += 1
+            obs.add_counter("serve.plan_cache.loads")
+        return count

@@ -1,0 +1,175 @@
+"""Micro-batching request scheduler with admission control.
+
+A thread-safe queue of :class:`ServeRequest` objects, sharded per plan
+key so one queue per compiled plan drains into the worker pool. Batches
+flush when a shard reaches ``max_batch`` or its oldest request has
+waited ``max_wait_ms`` — the classic micro-batching trade between
+per-request latency and the amortization a wide batch buys (see
+:mod:`repro.sim.batched`).
+
+Admission control is a bounded total depth: a submit that would exceed
+``max_queue`` fast-fails with
+:class:`~repro.errors.ServeOverloadError`, giving callers backpressure
+immediately. Rejections and batch flushes are mirrored into
+``serve.*`` obs counters.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..errors import ConfigError, ServeOverloadError, SimFaultError
+
+
+@dataclass
+class ServeRequest:
+    """One inference request travelling through the serving pipeline."""
+
+    id: int
+    key: Any  # PlanKey of the compiled plan that will execute it
+    x: np.ndarray
+    future: Future = field(default_factory=Future)
+    enqueued_s: float = 0.0
+
+
+class BatchScheduler:
+    """Thread-safe sharded queue with micro-batching and bounded depth."""
+
+    def __init__(self, max_batch: int = 8, max_wait_ms: float = 2.0,
+                 max_queue: int = 1024):
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1", max_batch=max_batch)
+        if max_wait_ms < 0:
+            raise ConfigError("max_wait_ms must be >= 0",
+                              max_wait_ms=max_wait_ms)
+        if max_queue < 1:
+            raise ConfigError("max_queue must be >= 1", max_queue=max_queue)
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.max_queue = max_queue
+        self.depth = 0
+        self._shards: "OrderedDict[Any, Deque[ServeRequest]]" = OrderedDict()
+        self._closed = False
+        import threading
+
+        self._cond = threading.Condition()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- producer side ---------------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> None:
+        """Enqueue one request, or fast-fail when the queue is full."""
+        with self._cond:
+            if self._closed:
+                raise SimFaultError("scheduler is shut down",
+                                    request=request.id)
+            if self.depth >= self.max_queue:
+                obs.add_counter("serve.rejected")
+                raise ServeOverloadError(
+                    "serving queue full", depth=self.depth,
+                    max_queue=self.max_queue, request=request.id)
+            request.enqueued_s = time.perf_counter()
+            self._shards.setdefault(request.key, deque()).append(request)
+            self.depth += 1
+            obs.add_counter("serve.enqueued")
+            self._cond.notify()
+
+    def requeue(self, requests: List[ServeRequest]) -> None:
+        """Put already-admitted requests back at the front of their shards
+        (worker crash recovery); bypasses admission control."""
+        if not requests:
+            return
+        with self._cond:
+            for request in reversed(requests):
+                self._shards.setdefault(request.key,
+                                        deque()).appendleft(request)
+                self.depth += 1
+            obs.add_counter("serve.requeued", len(requests))
+            self._cond.notify_all()
+
+    # -- consumer side ---------------------------------------------------------
+
+    def next_batch(self, timeout: Optional[float] = None
+                   ) -> Optional[List[ServeRequest]]:
+        """Block until a batch is ready; ``None`` means shut down and empty.
+
+        ``timeout`` (seconds) bounds the wait for *any* batch; on expiry
+        with nothing flushable it returns an empty list.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._cond:
+            while True:
+                batch = self._pop_locked()
+                if batch is not None:
+                    obs.add_counter("serve.batches")
+                    obs.add_counter("serve.batched_items", len(batch))
+                    return batch
+                if self._closed and self.depth == 0:
+                    return None
+                wait = self._wait_s_locked()
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return []
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cond.wait(wait)
+
+    def _pop_locked(self) -> Optional[List[ServeRequest]]:
+        if self.depth == 0:
+            return None
+        now = time.perf_counter()
+        flush_key = None
+        for key, shard in self._shards.items():
+            if len(shard) >= self.max_batch:
+                flush_key = key
+                break
+            if self._closed or now - shard[0].enqueued_s >= self.max_wait_s:
+                flush_key = flush_key if flush_key is not None else key
+        if flush_key is None:
+            return None
+        shard = self._shards[flush_key]
+        take = min(len(shard), self.max_batch)
+        batch = [shard.popleft() for _ in range(take)]
+        self.depth -= take
+        if not shard:
+            del self._shards[flush_key]
+        else:
+            # round-robin: a part-drained shard goes to the back so other
+            # plans' queues get the next flush
+            self._shards.move_to_end(flush_key)
+        return batch
+
+    def _wait_s_locked(self) -> Optional[float]:
+        """Seconds until the oldest pending request hits its flush
+        deadline (None = nothing pending, wait for a notify)."""
+        if self.depth == 0:
+            return None
+        oldest = min(shard[0].enqueued_s for shard in self._shards.values())
+        return max(oldest + self.max_wait_s - time.perf_counter(), 1e-4)
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> List[ServeRequest]:
+        """Stop admissions. ``drain=True`` lets workers empty the queue
+        (returns []); ``drain=False`` empties it now and returns the
+        aborted requests for the caller to fail."""
+        with self._cond:
+            self._closed = True
+            aborted: List[ServeRequest] = []
+            if not drain:
+                for shard in self._shards.values():
+                    aborted.extend(shard)
+                self._shards.clear()
+                self.depth = 0
+            self._cond.notify_all()
+            return aborted

@@ -1,0 +1,204 @@
+"""The serving front end: submit inputs, get futures, drain gracefully.
+
+:class:`InferenceService` ties the subsystem together — plan cache,
+batching scheduler, worker pool, stats — behind a small synchronous +
+futures API::
+
+    from repro.serve import InferenceService
+    from repro.nn.zoo import toynet
+
+    with InferenceService(toynet(), workers=4, max_batch=8) as svc:
+        y = svc.infer(x)                      # synchronous
+        futures = svc.submit_batch(xs)        # pipelined
+        outs = [f.result() for f in futures]
+
+Every served output is bit-identical to a direct
+``NetworkExecutor(network).run(x)`` — including under an injected
+``transfer_corrupt`` fault plan, whose repairs happen inside the worker
+retry loop. Shutdown is graceful by default (drain the queue, join the
+workers) or immediate (``drain=False`` fails queued requests with a
+diagnosed error).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fusion import Strategy
+from ..errors import ConfigError, SimFaultError
+from ..faults.budget import ExplorationBudget
+from ..faults.injector import FaultInjector
+from ..faults.retry import RetryPolicy
+from ..nn.network import Network
+from .plan import CompiledPlan, PlanCache, PlanKey
+from .scheduler import BatchScheduler, ServeRequest
+from .stats import ServeStats
+from .worker import WorkerPool
+
+
+class InferenceService:
+    """Batched inference over one or more compiled plans.
+
+    Parameters mirror the subsystem's layers: plan knobs (``strategy``,
+    ``tip``, ``storage_budget_bytes``, ``precision``, ``seed``,
+    ``explore_budget``) feed the plan cache; batching knobs
+    (``max_batch``, ``max_wait_ms``, ``max_queue``) feed the scheduler;
+    ``workers``/``mode``/``retry``/``faults`` feed the pool. ``workers=0``
+    is legal — requests queue but never execute until shutdown aborts
+    them (useful for tests and for staging queues).
+    """
+
+    def __init__(self, network: Optional[Network] = None, *,
+                 networks: Sequence[Network] = (),
+                 workers: int = 2, mode: str = "thread",
+                 max_batch: int = 8, max_wait_ms: float = 2.0,
+                 max_queue: int = 1024,
+                 strategy: Strategy = Strategy.REUSE, tip: int = 1,
+                 storage_budget_bytes: Optional[int] = None,
+                 precision: str = "int", seed: int = 0,
+                 explore_budget: Optional[ExplorationBudget] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultInjector] = None,
+                 cache: Optional[PlanCache] = None):
+        self.cache = cache if cache is not None else PlanCache()
+        self.stats = ServeStats()
+        self.scheduler = BatchScheduler(max_batch=max_batch,
+                                        max_wait_ms=max_wait_ms,
+                                        max_queue=max_queue)
+        self.pool = WorkerPool(self.scheduler, self._resolve_plan,
+                               workers=workers, mode=mode, retry=retry,
+                               faults=faults, stats=self.stats)
+        self._plan_defaults = dict(strategy=strategy, tip=tip,
+                                   storage_budget_bytes=storage_budget_bytes,
+                                   precision=precision, seed=seed,
+                                   budget=explore_budget)
+        self._plans: Dict[PlanKey, CompiledPlan] = {}
+        self._default_key: Optional[PlanKey] = None
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._shut_down = False
+        for net in ([network] if network is not None else []) + list(networks):
+            self.register(net)
+
+    # -- plan management -------------------------------------------------------
+
+    def register(self, network: Network, **overrides: Any) -> PlanKey:
+        """Compile (or fetch from cache) a plan for ``network``."""
+        options = {**self._plan_defaults, **overrides}
+        plan = self.cache.get_or_compile(network, **options)
+        with self._lock:
+            self._plans[plan.key] = plan
+            if self._default_key is None:
+                self._default_key = plan.key
+        return plan.key
+
+    def plan(self, key: Optional[PlanKey] = None) -> CompiledPlan:
+        key = key if key is not None else self._default_key
+        if key is None:
+            raise ConfigError("no network registered with this service")
+        return self._resolve_plan(key)
+
+    def _resolve_plan(self, key: PlanKey) -> CompiledPlan:
+        plan = self._plans.get(key)
+        if plan is None:
+            raise ConfigError("no plan registered under this key",
+                              key=str(key))
+        return plan
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "InferenceService":
+        self.pool.start()
+        return self
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown(drain=exc_type is None)
+        return False
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait (without shutting down) until no request is pending."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while self.stats.pending > 0:
+            if self.pool.workers == 0:
+                return False
+            if deadline is not None and time.perf_counter() > deadline:
+                return False
+            time.sleep(0.0005)
+        return True
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the service. ``drain=True`` serves everything already
+        queued first; ``drain=False`` (or a zero-worker pool, which could
+        never drain) fails queued requests with a diagnosed error."""
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        if self.pool.workers == 0:
+            drain = False
+        aborted = self.scheduler.close(drain=drain)
+        for request in aborted:
+            if not request.future.done():
+                request.future.set_exception(SimFaultError(
+                    "request aborted at shutdown", request=request.id))
+        if aborted:
+            self.stats.record_aborts(len(aborted))
+        self.pool.join(timeout=timeout)
+
+    # -- request API -----------------------------------------------------------
+
+    def submit(self, x: np.ndarray, key: Optional[PlanKey] = None) -> Future:
+        """Enqueue one input; fast-fails with
+        :class:`~repro.errors.ServeOverloadError` when the queue is full."""
+        self.start()
+        plan_key = key if key is not None else self._default_key
+        if plan_key is None:
+            raise ConfigError("no network registered with this service")
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+        request = ServeRequest(id=request_id, key=plan_key, x=np.asarray(x))
+        self.stats.record_submit()
+        try:
+            self.scheduler.submit(request)
+        except Exception:
+            self.stats.record_rejection()
+            raise
+        return request.future
+
+    def submit_batch(self, xs: Sequence[np.ndarray],
+                     key: Optional[PlanKey] = None) -> List[Future]:
+        return [self.submit(x, key=key) for x in xs]
+
+    def infer(self, x: np.ndarray, key: Optional[PlanKey] = None,
+              timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous single-input inference."""
+        return self.submit(x, key=key).result(timeout=timeout)
+
+    def result(self, future: Future,
+               timeout: Optional[float] = None) -> np.ndarray:
+        return future.result(timeout=timeout)
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> str:
+        lines = [self.stats.render(), "plan cache"]
+        stats = self.cache.stats_dict()
+        lines.append(
+            f"  plans    : {stats['plans']} resident "
+            f"({stats['bytes'] / 2**10:.0f} KB), {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['evictions']} evictions")
+        for plan in self._plans.values():
+            lines.append(f"  - {plan.describe()}")
+        if self.pool.respawns:
+            lines.append(f"  workers  : {self.pool.respawns} respawned")
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Rolling serving statistics: latency percentiles, throughput, batches.
+
+A :class:`ServeStats` is the service's always-on telemetry (unlike
+:mod:`repro.obs`, which is opt-in profiling): per-request queue wait and
+execute time, completion/failure/rejection totals, and a batch-size
+histogram, summarized as p50/p95/p99 latencies and requests/s. Pure
+standard library, thread-safe, cheap enough to record on every batch.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServeStats:
+    """Thread-safe accumulator for one service's request telemetry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.queue_wait_s: List[float] = []
+        self.execute_s: List[float] = []
+        self.batch_sizes: Counter = Counter()
+        self.first_submit_s: Optional[float] = None
+        self.last_done_s: Optional[float] = None
+
+    # -- recording -------------------------------------------------------------
+
+    def record_submit(self, n: int = 1) -> None:
+        with self._lock:
+            self.submitted += n
+            if self.first_submit_s is None:
+                self.first_submit_s = time.perf_counter()
+
+    def record_rejection(self, n: int = 1) -> None:
+        with self._lock:
+            self.rejected += n
+
+    def record_aborts(self, n: int) -> None:
+        """Requests failed without executing (e.g. abort at shutdown)."""
+        with self._lock:
+            self.failed += n
+
+    def record_batch(self, size: int, queue_waits: Sequence[float],
+                     exec_s: float, failed: int = 0) -> None:
+        """One drained batch: ``exec_s`` is the whole-batch execute time,
+        which is the execute latency every request in it experienced."""
+        with self._lock:
+            self.batch_sizes[size] += 1
+            self.queue_wait_s.extend(queue_waits)
+            self.execute_s.extend([exec_s] * size)
+            self.completed += size - failed
+            self.failed += failed
+            self.last_done_s = time.perf_counter()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return (self.submitted - self.rejected - self.completed
+                    - self.failed)
+
+    # -- summaries -------------------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        with self._lock:
+            if self.first_submit_s is None:
+                return 0.0
+            end = self.last_done_s
+        return (end if end is not None else time.perf_counter()) \
+            - self.first_submit_s
+
+    def requests_per_s(self) -> float:
+        elapsed = self.elapsed_s()
+        if elapsed <= 0:
+            return 0.0
+        return self.completed / elapsed
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            waits = list(self.queue_wait_s)
+            execs = list(self.execute_s)
+            histogram = {str(size): count
+                         for size, count in sorted(self.batch_sizes.items())}
+            counts = {"submitted": self.submitted, "rejected": self.rejected,
+                      "completed": self.completed, "failed": self.failed}
+        return {
+            **counts,
+            "pending": (counts["submitted"] - counts["rejected"]
+                        - counts["completed"] - counts["failed"]),
+            "requests_per_s": self.requests_per_s(),
+            "elapsed_s": self.elapsed_s(),
+            "queue_wait_ms": {
+                "p50": percentile(waits, 50) * 1e3,
+                "p95": percentile(waits, 95) * 1e3,
+                "p99": percentile(waits, 99) * 1e3,
+            },
+            "execute_ms": {
+                "p50": percentile(execs, 50) * 1e3,
+                "p95": percentile(execs, 95) * 1e3,
+                "p99": percentile(execs, 99) * 1e3,
+            },
+            "batch_size_histogram": histogram,
+        }
+
+    def render(self) -> str:
+        """Human-readable stats report for CLI output."""
+        s = self.summary()
+        lines = [
+            "serving stats",
+            f"  requests : {s['submitted']} submitted, {s['completed']} ok, "
+            f"{s['failed']} failed, {s['rejected']} rejected, "
+            f"{s['pending']} pending",
+            f"  rate     : {s['requests_per_s']:.1f} requests/s over "
+            f"{s['elapsed_s'] * 1e3:.1f} ms",
+            "  queue    : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
+            .format(**s["queue_wait_ms"]),
+            "  execute  : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
+            .format(**s["execute_ms"]),
+        ]
+        if s["batch_size_histogram"]:
+            body = "  ".join(f"{size}x{count}" for size, count
+                             in s["batch_size_histogram"].items())
+            lines.append(f"  batches  : {body} (size x count)")
+        return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""The worker pool: N workers drain batches from the scheduler.
+
+Workers are threads by default; ``mode="process"`` additionally gives
+each worker a child process executing the compiled plan, so NumPy work
+that holds the GIL still overlaps across workers (the parent thread
+blocks on the pipe with the GIL released). Outputs are bit-identical to
+a direct :meth:`~repro.sim.network_exec.NetworkExecutor.run` either way
+— thread workers share the plan's executor, process workers rebuild it
+deterministically from the plan's serialized form.
+
+Worker-level faults follow the :mod:`repro.faults` contract: when an
+injector is installed, each served result may arrive "corrupted"
+(``transfer_corrupt``, always detected) and is repaired by re-executing
+the request under the bounded
+:class:`~repro.faults.retry.RetryPolicy`; exhaustion surfaces as a
+diagnosed :class:`~repro.errors.SimFaultError` on that request's future,
+never as silent corruption. A worker that dies mid-batch is respawned
+and its unfinished requests are requeued at the front of the line.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..errors import ConfigError, SimFaultError
+from ..faults.injector import FaultInjector
+from ..faults.retry import RetryPolicy
+from ..faults.spec import TRANSFER_CORRUPT
+from .plan import CompiledPlan
+from .scheduler import BatchScheduler, ServeRequest
+from .stats import ServeStats
+
+MODES = ("thread", "process")
+
+
+def _process_main(conn, plan_state) -> None:
+    """Child-process loop: rebuild the plan, execute batches off the pipe."""
+    plan = CompiledPlan.from_dict(plan_state)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            conn.close()
+            return
+        try:
+            conn.send(("ok", plan.execute(msg)))
+        except Exception as err:  # diagnosed on the parent side
+            conn.send(("err", f"{type(err).__name__}: {err}"))
+
+
+class _ProcessClient:
+    """Parent-side handle on one child process executing one plan."""
+
+    def __init__(self, plan: CompiledPlan):
+        import multiprocessing
+
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            self._ctx = multiprocessing.get_context()
+        self._state = plan.to_dict()
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self._conn, child_conn = self._ctx.Pipe()
+        self._proc = self._ctx.Process(target=_process_main,
+                                       args=(child_conn, self._state),
+                                       daemon=True)
+        self._proc.start()
+        child_conn.close()
+
+    def execute(self, xs: List[np.ndarray]) -> List[np.ndarray]:
+        self._conn.send(xs)
+        status, payload = self._conn.recv()
+        if status != "ok":
+            raise SimFaultError("plan execution failed in worker process",
+                                detail=payload)
+        return payload
+
+    def respawn(self) -> None:
+        self.close(timeout=0.1)
+        self._spawn()
+
+    def close(self, timeout: float = 1.0) -> None:
+        try:
+            self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=timeout)
+        if self._proc.is_alive():
+            self._proc.terminate()
+        self._conn.close()
+
+
+class WorkerPool:
+    """N workers pulling batches from a :class:`BatchScheduler`."""
+
+    def __init__(self, scheduler: BatchScheduler,
+                 resolve_plan: Callable[[Any], CompiledPlan],
+                 workers: int = 1, mode: str = "thread",
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultInjector] = None,
+                 stats: Optional[ServeStats] = None):
+        if workers < 0:
+            raise ConfigError("workers must be >= 0", workers=workers)
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}", mode=mode)
+        self.scheduler = scheduler
+        self.resolve_plan = resolve_plan
+        self.workers = workers
+        self.mode = mode
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        self.stats = stats
+        self.respawns = 0
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        #: test hook: callable(worker_id, batch); an exception it raises is
+        #: an "unexpected worker death" exercising requeue + respawn
+        self.fail_hook: Optional[Callable[[int, List[ServeRequest]], None]] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for wid in range(self.workers):
+                self._spawn(wid)
+
+    def _spawn(self, wid: int) -> None:
+        thread = threading.Thread(target=self._run, args=(wid,),
+                                  name=f"serve-worker-{wid}", daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for every worker to exit (scheduler must be closed)."""
+        while True:
+            with self._lock:
+                threads = list(self._threads)
+            alive = [t for t in threads if t.is_alive()]
+            if not alive:
+                return
+            for thread in alive:
+                thread.join(timeout=timeout)
+            if timeout is not None:
+                return
+
+    # -- the worker loop -------------------------------------------------------
+
+    def _run(self, wid: int) -> None:
+        clients: Dict[Any, _ProcessClient] = {}
+        try:
+            while True:
+                batch = self.scheduler.next_batch()
+                if batch is None:
+                    return
+                if not batch:
+                    continue
+                try:
+                    self._execute_batch(wid, batch, clients)
+                except Exception:
+                    # unexpected worker death: requeue what this batch
+                    # still owes, then hand the seat to a fresh worker
+                    pending = [r for r in batch if not r.future.done()]
+                    self.scheduler.requeue(pending)
+                    with self._lock:
+                        self.respawns += 1
+                        self._spawn(wid)
+                    obs.add_counter("serve.worker_respawns")
+                    return
+        finally:
+            for client in clients.values():
+                client.close()
+
+    def _execute_batch(self, wid: int, batch: List[ServeRequest],
+                       clients: Dict[Any, _ProcessClient]) -> None:
+        import time
+
+        plan = self.resolve_plan(batch[0].key)
+        if self.fail_hook is not None:
+            self.fail_hook(wid, batch)
+        execute = self._executor_for(plan, clients)
+        t0 = time.perf_counter()
+        queue_waits = [t0 - r.enqueued_s for r in batch]
+        with obs.span("serve.batch", worker=wid, size=len(batch),
+                      network=plan.network.name):
+            outs = self._run_with_retry(plan, execute,
+                                        [r.x for r in batch],
+                                        [r.id for r in batch])
+        exec_s = time.perf_counter() - t0
+        failed = 0
+        for request, out in zip(batch, outs):
+            if isinstance(out, Exception):
+                request.future.set_exception(out)
+                failed += 1
+            else:
+                request.future.set_result(out)
+        if self.stats is not None:
+            self.stats.record_batch(len(batch), queue_waits, exec_s,
+                                    failed=failed)
+
+    def _executor_for(self, plan: CompiledPlan,
+                      clients: Dict[Any, _ProcessClient]
+                      ) -> Callable[[List[np.ndarray]], List[np.ndarray]]:
+        if self.mode == "thread":
+            return plan.execute
+        client = clients.get(plan.key)
+        if client is None:
+            client = clients[plan.key] = _ProcessClient(plan)
+
+        def execute(xs: List[np.ndarray]) -> List[np.ndarray]:
+            try:
+                return client.execute(xs)
+            except (EOFError, BrokenPipeError, OSError):
+                # dead child: respawn it and retry the batch once
+                client.respawn()
+                with self._lock:
+                    self.respawns += 1
+                obs.add_counter("serve.worker_respawns")
+                return client.execute(xs)
+
+        return execute
+
+    def _run_with_retry(self, plan: CompiledPlan, execute, xs, ids) -> List:
+        """Execute a batch, repairing injected per-request transfer faults.
+
+        Each result's delivery may be corrupted (``transfer_corrupt``
+        site ``serve[<request id>]`` — per-request streams, so decisions
+        are deterministic whatever worker or batch carries the request).
+        Corruption is detected and repaired by re-executing the request,
+        bounded by the retry policy; the repaired value equals the
+        original (execution is pure), keeping served outputs
+        bit-identical to direct runs.
+        """
+        outs: List = list(execute(xs))
+        injector = self.faults
+        if injector is None or not injector.enabled:
+            return outs
+        for idx, rid in enumerate(ids):
+            site = f"serve[{rid}]"
+            attempt = 1
+            while injector.corrupts(site):
+                if attempt >= self.retry.max_attempts:
+                    outs[idx] = self.retry.exhausted(site, TRANSFER_CORRUPT,
+                                                     request=rid)
+                    break
+                injector.record_retry(site, self.retry.backoff_cycles(attempt))
+                obs.add_counter("serve.retries")
+                outs[idx] = execute([xs[idx]])[0]
+                attempt += 1
+        return outs

@@ -1,5 +1,6 @@
 """Functional simulator: reference and fused executors with traffic tracing."""
 
+from .batched import BatchedNetworkExecutor, preserves_exact_arithmetic
 from .cache import CacheSim, CacheStats
 from .fused import FusedExecutor, plan_levels
 from .memtrace import build_address_map, fused_trace, reference_trace
@@ -20,6 +21,8 @@ from .weights import (
 )
 
 __all__ = [
+    "BatchedNetworkExecutor",
+    "preserves_exact_arithmetic",
     "CacheSim",
     "CacheStats",
     "FusedExecutor",

@@ -1,0 +1,208 @@
+"""Vectorized batched execution: every layer applied to a whole batch.
+
+:class:`~repro.sim.network_exec.NetworkExecutor.run_batch` loops the
+single-image operators — correct for any dtype, but each tiny NumPy call
+pays fixed dispatch overhead, which dominates on small networks. This
+module provides ``(B, C, H, W)`` implementations of the same operators
+so one call evaluates the whole batch; :class:`BatchedNetworkExecutor`
+is the per-network wrapper the serving layer's compiled plans use.
+
+**Exactness contract.** In the repo's integer mode (integer-valued
+activations and weights stored as float64, the established bit-exact
+regime — see :mod:`repro.sim.weights`) batched outputs are bit-identical
+to per-item execution: all arithmetic is exact, so reduction order
+cannot be observed. In float mode the batched convolution may differ in
+final ULPs from the per-item path (BLAS may block the wider matmul
+differently), which is why serving plans only select this executor for
+``precision="int"`` and fall back to the per-item loop otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.layers import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    LRNSpec,
+    PadSpec,
+    PoolSpec,
+    ReLUSpec,
+)
+from ..nn.network import Network
+from ..nn.shapes import ShapeError, conv_output_extent
+from .. import obs
+from .weights import make_network_weights
+
+
+def preserves_exact_arithmetic(network: Network) -> bool:
+    """True when every layer keeps integer-mode activations exact.
+
+    Convolution, ReLU, padding, max pooling, and dense layers map
+    integer-valued float64 tensors to exactly-representable values, as
+    does average pooling with a power-of-two window count (division by a
+    power of two is exact). LRN is not exact (``scale ** 0.75`` rounds),
+    and a rounded activation makes every downstream reduction
+    order-sensitive — so such networks must serve through the per-item
+    loop to stay bit-identical.
+    """
+    for binding in network:
+        spec = binding.spec
+        if isinstance(spec, LRNSpec):
+            return False
+        if isinstance(spec, PoolSpec) and spec.mode == "avg":
+            count = spec.kernel * spec.kernel
+            if count & (count - 1):
+                return False
+    return True
+
+
+def pad2d_batched(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of a (B, C, H, W) batch."""
+    if pad < 0:
+        raise ShapeError(f"padding must be non-negative, got {pad}")
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+
+def _windows_batched(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """View of all K x K windows: shape (B, C, OH, OW, K, K)."""
+    out_h = conv_output_extent(x.shape[2], kernel, stride)
+    out_w = conv_output_extent(x.shape[3], kernel, stride)
+    view = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel),
+                                                    axis=(2, 3))
+    return view[:, :, ::stride, ::stride][:, :, :out_h, :out_w]
+
+
+def conv2d_batched(x: np.ndarray, weights: np.ndarray,
+                   bias: "np.ndarray | None" = None,
+                   stride: int = 1, pad: int = 0, groups: int = 1) -> np.ndarray:
+    """Batched 2-D convolution over (B, C, H, W), one tensordot per group."""
+    x = pad2d_batched(x, pad)
+    m, n_per_group, kh, kw = weights.shape
+    if kh != kw:
+        raise ShapeError("only square kernels are supported")
+    if x.shape[1] != n_per_group * groups:
+        raise ShapeError(
+            f"input channels {x.shape[1]} != weights {n_per_group} x groups {groups}"
+        )
+    if m % groups != 0:
+        raise ShapeError(f"output channels {m} not divisible by groups {groups}")
+
+    windows = _windows_batched(x, kh, stride)  # (B, N, OH, OW, K, K)
+    m_per_group = m // groups
+    outputs = []
+    for g in range(groups):
+        w_g = weights[g * m_per_group:(g + 1) * m_per_group]
+        x_g = windows[:, g * n_per_group:(g + 1) * n_per_group]
+        # (M/g, N/g, K, K) x (B, N/g, OH, OW, K, K) -> (M/g, B, OH, OW)
+        outputs.append(np.tensordot(w_g, x_g, axes=([1, 2, 3], [1, 4, 5])))
+    out = np.concatenate(outputs, axis=0)  # (M, B, OH, OW)
+    out = np.moveaxis(out, 1, 0)
+    if bias is not None:
+        out = out + bias[None, :, None, None]
+    return out.astype(x.dtype, copy=False)
+
+
+def maxpool2d_batched(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    return _windows_batched(x, kernel, stride).max(axis=(4, 5))
+
+
+def avgpool2d_batched(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    return (_windows_batched(x, kernel, stride).mean(axis=(4, 5))
+            .astype(x.dtype, copy=False))
+
+
+def lrn_batched(x: np.ndarray, size: int = 5, alpha: float = 1e-4,
+                beta: float = 0.75, k: float = 2.0) -> np.ndarray:
+    """Batched LRN: the channel-window sum runs once over the whole batch."""
+    half = size // 2
+    squared = np.square(x)
+    scale = np.full_like(x, k)
+    channels = x.shape[1]
+    for c in range(channels):
+        lo, hi = max(0, c - half), min(channels, c + half + 1)
+        scale[:, c] += (alpha / size) * squared[:, lo:hi].sum(axis=1)
+    return (x / scale ** beta).astype(x.dtype, copy=False)
+
+
+def fully_connected_batched(x: np.ndarray, weights: np.ndarray,
+                            bias: "np.ndarray | None" = None) -> np.ndarray:
+    """Batched dense layer; returns (B, out, 1, 1)."""
+    flat = x.reshape(x.shape[0], -1)
+    out = flat @ weights.T
+    if bias is not None:
+        out = out + bias
+    return out.reshape(x.shape[0], -1, 1, 1).astype(x.dtype, copy=False)
+
+
+class BatchedNetworkExecutor:
+    """Evaluates a whole batch through every layer with one call per layer.
+
+    Mirrors :class:`~repro.sim.network_exec.NetworkExecutor` exactly —
+    same deterministic weights per seed, same shape validation — but
+    carries a leading batch axis through the network. See the module
+    docstring for the integer-mode bit-exactness contract.
+    """
+
+    def __init__(self, network: Network,
+                 params: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+                 seed: int = 0, integer: bool = False):
+        self.network = network
+        self.params = params if params is not None else make_network_weights(
+            network, seed=seed, integer=integer)
+
+    def _apply(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
+        if isinstance(spec, ConvSpec):
+            w, b = self.params[spec.name]
+            return conv2d_batched(x, w, b, stride=spec.stride, pad=spec.padding,
+                                  groups=spec.groups)
+        if isinstance(spec, PoolSpec):
+            if spec.mode == "max":
+                return maxpool2d_batched(x, spec.kernel, spec.stride)
+            return avgpool2d_batched(x, spec.kernel, spec.stride)
+        if isinstance(spec, ReLUSpec):
+            return np.maximum(x, 0)
+        if isinstance(spec, PadSpec):
+            return pad2d_batched(x, spec.pad)
+        if isinstance(spec, LRNSpec):
+            return lrn_batched(x, size=spec.size, alpha=spec.alpha,
+                               beta=spec.beta, k=spec.k)
+        if isinstance(spec, FCSpec):
+            w, b = self.params[spec.name]
+            return fully_connected_batched(x, w, b)
+        raise ShapeError(f"no operator for {spec!r}")
+
+    def run_batch(self, xs) -> List[np.ndarray]:
+        """Evaluate a stacked (B, C, H, W) batch; returns B output volumes."""
+        if not isinstance(xs, np.ndarray) and len(xs) == 0:
+            return []
+        batch = np.asarray(xs) if not isinstance(xs, np.ndarray) else xs
+        if batch.ndim == 3:
+            batch = batch[None]
+        if batch.ndim != 4:
+            raise ConfigError("run_batch expects (B, C, H, W) inputs",
+                              shape=tuple(batch.shape))
+        expected = self.network.input_shape
+        if batch.shape[1:] != (expected.channels, expected.height,
+                               expected.width):
+            raise ShapeError(
+                f"batch items {batch.shape[1:]} != network input {expected}")
+        current = batch
+        with obs.span("network.run_batch_vectorized",
+                      network=self.network.name, batch=batch.shape[0],
+                      layers=len(self.network)):
+            for binding in self.network:
+                with obs.span("network.layer", layer=binding.name):
+                    current = self._apply(binding.spec, current)
+                out = binding.output_shape
+                if current.shape[1:] != (out.channels, out.height, out.width):
+                    raise ShapeError(
+                        f"{binding.name}: produced {current.shape[1:]}, "
+                        f"inferred {out}")
+        return list(current)

@@ -98,6 +98,21 @@ class NetworkExecutor:
                 obs.mirror_traffic(trace, "sim.network")
         return outputs
 
+    def run_batch(self, xs, trace: Optional[TrafficTrace] = None) -> List[np.ndarray]:
+        """Evaluate a batch of inputs one at a time, in order.
+
+        ``xs`` is a sequence of ``(C, H, W)`` volumes or a stacked
+        ``(B, C, H, W)`` array. Each item runs through :meth:`run`, so
+        every item gets its own ``network.run`` span and the outputs are
+        exactly what ``B`` independent calls would produce — the
+        reference semantics :class:`repro.sim.batched.BatchedNetworkExecutor`
+        and the serving workers are verified against.
+        """
+        items: List[np.ndarray] = [np.asarray(x) for x in xs]
+        with obs.span("network.run_batch", network=self.network.name,
+                      batch=len(items)):
+            return [self.run(x, trace) for x in items]
+
     def classify(self, x: np.ndarray) -> int:
         """Index of the maximum output — a toy top-1 'prediction'."""
         return int(np.argmax(self.run(x).ravel()))

@@ -1,0 +1,88 @@
+"""Parallel exploration and tie-break determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Strategy, explore
+from repro.core.explorer import ExplorationResult
+from repro.errors import ConfigError
+from repro.faults import ExplorationBudget
+from repro.nn.zoo import alexnet, toynet
+
+
+def _snapshot(result):
+    return [(p.sizes, p.feature_transfer_bytes, p.extra_storage_bytes)
+            for p in result.points]
+
+
+class TestParallelSweep:
+    @pytest.mark.parametrize("strategy", [Strategy.REUSE, Strategy.RECOMPUTE])
+    def test_parallel_frontier_identical_to_serial(self, strategy):
+        network = alexnet()
+        serial = explore(network, num_convs=5, strategy=strategy, jobs=1)
+        parallel = explore(network, num_convs=5, strategy=strategy, jobs=2)
+        assert _snapshot(serial) == _snapshot(parallel)
+        assert ([p.sizes for p in serial.front]
+                == [p.sizes for p in parallel.front])
+
+    def test_jobs_one_is_the_serial_path(self):
+        result = explore(toynet(), jobs=1)
+        assert result.num_partitions == 2
+
+    def test_budget_forces_the_serial_path(self):
+        # a budget needs per-evaluation charging, so the sweep stays
+        # serial (and still degrades correctly) whatever jobs says
+        result = explore(alexnet(), num_convs=5,
+                         budget=ExplorationBudget(max_evaluations=3), jobs=4)
+        assert result.degraded
+        assert result.num_partitions == 3
+
+    def test_invalid_jobs_is_diagnosed(self):
+        with pytest.raises(ConfigError):
+            explore(toynet(), jobs=0)
+
+
+class _TiedPoint:
+    """Stand-in scored partition with explicit, directly-set costs."""
+
+    def __init__(self, sizes, transfer, storage):
+        self.sizes = sizes
+        self.feature_transfer_bytes = transfer
+        self.extra_storage_bytes = storage
+
+
+def _result(points):
+    return ExplorationResult(network_name="tied", units=(),
+                             strategy=Strategy.REUSE,
+                             points=tuple(points), front=())
+
+
+class TestTieBreakDeterminism:
+    """Regression: equal-cost partitions used to resolve by whatever
+    ``min`` saw first after cost comparison — which is stable in CPython
+    but unspecified across reorderings. The partition index is now the
+    final sort key."""
+
+    def test_best_under_storage_picks_earliest_of_tied_points(self):
+        tied_a = _TiedPoint((2, 1), transfer=100, storage=50)
+        tied_b = _TiedPoint((1, 2), transfer=100, storage=50)
+        result = _result([_TiedPoint((1, 1, 1), 200, 0), tied_a, tied_b])
+        assert result.best_under_storage(1000) is tied_a
+
+    def test_best_under_transfer_picks_earliest_of_tied_points(self):
+        tied_a = _TiedPoint((3,), transfer=80, storage=40)
+        tied_b = _TiedPoint((1, 2), transfer=80, storage=40)
+        result = _result([tied_a, tied_b, _TiedPoint((1, 1, 1), 10, 300)])
+        assert result.best_under_transfer(90) is tied_a
+
+    def test_secondary_cost_still_breaks_primary_ties(self):
+        cheap_storage = _TiedPoint((2,), transfer=100, storage=10)
+        result = _result([_TiedPoint((1, 1), transfer=100, storage=50),
+                          cheap_storage])
+        assert result.best_under_storage(1000) is cheap_storage
+
+    def test_infeasible_budget_returns_none(self):
+        result = _result([_TiedPoint((1,), transfer=100, storage=50)])
+        assert result.best_under_storage(10) is None
+        assert result.best_under_transfer(10) is None

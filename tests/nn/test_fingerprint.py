@@ -1,0 +1,50 @@
+"""Network.fingerprint: content-based, order- and parameter-sensitive."""
+
+from __future__ import annotations
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape
+from repro.nn.zoo import toynet, vggnet_e
+
+
+def _net(name, specs, size=8):
+    return Network(name, TensorShape(3, size, size), specs)
+
+
+def _conv(out_channels=8, kernel=3, padding=1, name="c1"):
+    return ConvSpec(name, kernel=kernel, stride=1,
+                    out_channels=out_channels, padding=padding)
+
+
+def test_deterministic_across_instances():
+    assert toynet().fingerprint() == toynet().fingerprint()
+    assert len(toynet().fingerprint()) == 16
+
+
+def test_distinct_networks_differ():
+    assert toynet().fingerprint() != vggnet_e().fingerprint()
+
+
+def test_network_display_name_is_not_content():
+    specs = [_conv(), ReLUSpec("r1")]
+    assert (_net("a", specs).fingerprint()
+            == _net("b", specs).fingerprint())
+
+
+def test_layer_order_matters():
+    conv = _conv(out_channels=3)
+    pool = PoolSpec("p1", kernel=2, stride=2)
+    assert (_net("n", [conv, pool]).fingerprint()
+            != _net("n", [pool, conv]).fingerprint())
+
+
+def test_every_parameter_matters():
+    base = _net("n", [_conv()])
+    assert base.fingerprint() != _net("n", [_conv(padding=0)]).fingerprint()
+    assert base.fingerprint() != _net("n", [_conv(out_channels=16)]).fingerprint()
+    assert base.fingerprint() != _net(
+        "n", [_conv(kernel=5, padding=2)]).fingerprint()
+
+
+def test_input_shape_matters():
+    assert (_net("n", [_conv()], size=8).fingerprint()
+            != _net("n", [_conv()], size=16).fingerprint())

@@ -1,0 +1,196 @@
+"""Compiled plans and the plan cache: keys, LRU, persistence, warm path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy
+from repro.errors import ConfigError
+from repro.faults import ExplorationBudget
+from repro.nn.zoo import toynet, nin_cifar
+from repro.obs import Registry, capture
+from repro.serve import (
+    CompiledPlan,
+    PlanCache,
+    compile_plan,
+    make_plan_key,
+)
+
+
+class TestPlanKey:
+    def test_same_knobs_same_key(self, net):
+        assert make_plan_key(net) == make_plan_key(toynet())
+
+    def test_each_knob_changes_the_key(self, net):
+        base = make_plan_key(net)
+        assert make_plan_key(net, strategy=Strategy.RECOMPUTE) != base
+        assert make_plan_key(net, tip=2) != base
+        assert make_plan_key(net, storage_budget_bytes=4096) != base
+        assert make_plan_key(net, precision="float") != base
+        assert make_plan_key(net, seed=1) != base
+        assert make_plan_key(nin_cifar()) != base
+
+    def test_round_trips_through_dict(self, net):
+        key = make_plan_key(net, storage_budget_bytes=4096)
+        assert type(key).from_dict(key.to_dict()) == key
+
+    def test_rejects_bad_knobs(self, net):
+        with pytest.raises(ConfigError):
+            make_plan_key(net, precision="fp16")
+        with pytest.raises(ConfigError):
+            make_plan_key(net, tip=0)
+
+
+class TestCompilePlan:
+    def test_explored_plan_covers_all_units(self, net):
+        plan = compile_plan(net)
+        assert sum(plan.partition_sizes) >= 1
+        assert plan.num_groups == len(plan.geometry)
+        assert not plan.degraded
+
+    def test_explicit_partition_skips_exploration(self, net):
+        registry = Registry()
+        with capture() as registry:
+            plan = compile_plan(net, partition_sizes=(1, 1))
+        assert plan.partition_sizes == (1, 1)
+        assert registry.counter("explore.partitions_scored") == 0
+
+    def test_invalid_explicit_partition_is_diagnosed(self, net):
+        with pytest.raises(ConfigError):
+            compile_plan(net, partition_sizes=(7,))
+
+    def test_storage_budget_prefers_cheapest_fitting_partition(self, net):
+        unconstrained = compile_plan(net)
+        tight = compile_plan(net, storage_budget_bytes=0)
+        assert tight.key != unconstrained.key
+        # zero extra storage admits only the layer-by-layer partition
+        assert all(size == 1 for size in tight.partition_sizes)
+
+    def test_budget_truncated_search_marks_degraded(self, net):
+        plan = compile_plan(net, budget=ExplorationBudget(max_evaluations=1))
+        assert plan.degraded
+
+    def test_execute_matches_direct_runs(self, net, inputs, golden):
+        plan = compile_plan(net)
+        outs = plan.execute(inputs)
+        for out, ref in zip(outs, golden):
+            assert out.dtype == ref.dtype
+            assert np.array_equal(out, ref)
+
+    def test_lrn_network_falls_back_to_per_item_and_stays_exact(self):
+        from repro import ConvSpec, Network, ReLUSpec, TensorShape
+        from repro.nn.layers import LRNSpec
+
+        network = Network("lrn-net", TensorShape(3, 8, 8), [
+            ConvSpec("c1", kernel=3, stride=1, out_channels=4, padding=1),
+            ReLUSpec("r1"),
+            LRNSpec("n1"),
+            ConvSpec("c2", kernel=3, stride=1, out_channels=4, padding=1),
+        ])
+        plan = compile_plan(network)
+        assert plan.batched is None  # LRN breaks exact integer arithmetic
+        rng = np.random.default_rng(5)
+        xs = [np.round(rng.uniform(-4.0, 4.0, size=(3, 8, 8)))
+              for _ in range(3)]
+        for x, out in zip(xs, plan.execute(xs)):
+            assert np.array_equal(out, plan.executor.run(x))
+
+    def test_float_precision_plan_serves_via_per_item_loop(self, net, inputs):
+        plan = compile_plan(net, precision="float")
+        assert plan.batched is None
+        outs = plan.execute(inputs[:3])
+        refs = [plan.executor.run(x) for x in inputs[:3]]
+        for out, ref in zip(outs, refs):
+            assert np.array_equal(out, ref)
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self, net):
+        cache = PlanCache()
+        first = cache.get_or_compile(net)
+        second = cache.get_or_compile(net)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_warm_hits_do_zero_exploration_work(self, net):
+        cache = PlanCache()
+        cache.get_or_compile(net)
+        with capture() as registry:
+            for _ in range(3):
+                cache.get_or_compile(net)
+        assert registry.counter("explore.partitions_scored") == 0
+        assert registry.counter("serve.plan_cache.hits") == 3
+
+    def test_lru_eviction_by_count(self):
+        cache = PlanCache(max_plans=2)
+        a = cache.get_or_compile(toynet())
+        cache.get_or_compile(toynet(), tip=2)
+        cache.get_or_compile(toynet(), tip=3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert a.key not in cache  # oldest evicted first
+
+    def test_lru_order_follows_use_not_insertion(self):
+        cache = PlanCache(max_plans=2)
+        a = cache.get_or_compile(toynet())
+        b = cache.get_or_compile(toynet(), tip=2)
+        cache.get_or_compile(toynet())  # refresh a
+        cache.get_or_compile(toynet(), tip=3)
+        assert a.key in cache and b.key not in cache
+
+    def test_byte_budget_eviction_keeps_newest(self, net):
+        plan = compile_plan(net)
+        cache = PlanCache(max_bytes=plan.byte_size)  # room for exactly one
+        cache.put(plan)
+        other = compile_plan(net, tip=2)
+        cache.put(other)
+        assert len(cache) == 1 and other.key in cache
+
+    def test_save_load_round_trip(self, net, inputs, golden, tmp_path):
+        path = tmp_path / "plans.json"
+        cache = PlanCache()
+        original = cache.get_or_compile(net)
+        cache.save(path)
+
+        restored_cache = PlanCache()
+        assert restored_cache.load(path) == 1
+        restored = restored_cache.lookup(original.key)
+        assert restored is not None
+        assert restored.partition_sizes == original.partition_sizes
+        assert restored.network.fingerprint() == net.fingerprint()
+        for out, ref in zip(restored.execute(inputs), golden):
+            assert np.array_equal(out, ref)
+
+    def test_load_is_zero_exploration(self, net, tmp_path):
+        path = tmp_path / "plans.json"
+        cache = PlanCache()
+        cache.get_or_compile(net)
+        cache.save(path)
+        with capture() as registry:
+            PlanCache().load(path)
+        assert registry.counter("explore.partitions_scored") == 0
+        assert registry.counter("serve.plan_cache.loads") == 1
+
+    def test_load_rejects_non_cache_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ConfigError):
+            PlanCache().load(path)
+
+    def test_degraded_plan_survives_persistence(self, net, tmp_path):
+        cache = PlanCache()
+        plan = cache.get_or_compile(
+            net, budget=ExplorationBudget(max_evaluations=1))
+        assert plan.degraded
+        path = tmp_path / "plans.json"
+        cache.save(path)
+        restored = PlanCache()
+        restored.load(path)
+        assert restored.lookup(plan.key).degraded
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ConfigError):
+            PlanCache(max_plans=0)
+        with pytest.raises(ConfigError):
+            PlanCache(max_bytes=0)

@@ -1,0 +1,119 @@
+"""The micro-batching scheduler: flush rules, admission control, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError, ServeOverloadError, SimFaultError
+from repro.serve import BatchScheduler, ServeRequest
+
+
+def _request(rid: int, key: str = "k") -> ServeRequest:
+    return ServeRequest(id=rid, key=key, x=None)
+
+
+class TestAdmission:
+    def test_overload_fast_fails(self):
+        sched = BatchScheduler(max_queue=2, max_wait_ms=1000)
+        sched.submit(_request(0))
+        sched.submit(_request(1))
+        with pytest.raises(ServeOverloadError):
+            sched.submit(_request(2))
+        assert sched.depth == 2
+
+    def test_submit_after_close_is_diagnosed(self):
+        sched = BatchScheduler()
+        sched.close()
+        with pytest.raises(SimFaultError):
+            sched.submit(_request(0))
+
+    def test_requeue_bypasses_admission_and_goes_first(self):
+        sched = BatchScheduler(max_batch=4, max_queue=2, max_wait_ms=0)
+        sched.submit(_request(0))
+        sched.submit(_request(1))
+        sched.requeue([_request(10), _request(11)])  # over max_queue: allowed
+        batch = sched.next_batch(timeout=1.0)
+        assert [r.id for r in batch] == [10, 11, 0, 1]
+
+
+class TestBatching:
+    def test_flushes_immediately_at_max_batch(self):
+        sched = BatchScheduler(max_batch=3, max_wait_ms=60_000)
+        for rid in range(3):
+            sched.submit(_request(rid))
+        start = time.perf_counter()
+        batch = sched.next_batch(timeout=5.0)
+        assert len(batch) == 3
+        assert time.perf_counter() - start < 1.0  # did not wait for the timer
+
+    def test_flushes_partial_batch_after_max_wait(self):
+        sched = BatchScheduler(max_batch=8, max_wait_ms=10)
+        sched.submit(_request(0))
+        batch = sched.next_batch(timeout=5.0)
+        assert [r.id for r in batch] == [0]
+
+    def test_batches_never_mix_plan_keys(self):
+        sched = BatchScheduler(max_batch=8, max_wait_ms=0)
+        sched.submit(_request(0, key="a"))
+        sched.submit(_request(1, key="b"))
+        sched.submit(_request(2, key="a"))
+        first = sched.next_batch(timeout=1.0)
+        second = sched.next_batch(timeout=1.0)
+        assert {len(first), len(second)} == {1, 2}
+        for batch in (first, second):
+            assert len({r.key for r in batch}) == 1
+
+    def test_oversize_shard_drains_in_max_batch_chunks(self):
+        sched = BatchScheduler(max_batch=4, max_wait_ms=0)
+        for rid in range(10):
+            sched.submit(_request(rid))
+        sizes = [len(sched.next_batch(timeout=1.0)) for _ in range(3)]
+        assert sizes == [4, 4, 2]
+
+    def test_timeout_returns_empty_batch(self):
+        sched = BatchScheduler()
+        assert sched.next_batch(timeout=0.01) == []
+
+    def test_consumer_wakes_on_cross_thread_submit(self):
+        sched = BatchScheduler(max_batch=1)
+        got = []
+        consumer = threading.Thread(
+            target=lambda: got.append(sched.next_batch(timeout=5.0)))
+        consumer.start()
+        time.sleep(0.05)
+        sched.submit(_request(7))
+        consumer.join(timeout=5.0)
+        assert [r.id for r in got[0]] == [7]
+
+
+class TestShutdown:
+    def test_drain_close_serves_the_backlog_then_signals_none(self):
+        sched = BatchScheduler(max_batch=8, max_wait_ms=60_000)
+        sched.submit(_request(0))
+        assert sched.close(drain=True) == []
+        batch = sched.next_batch(timeout=1.0)  # closed: flush without waiting
+        assert [r.id for r in batch] == [0]
+        assert sched.next_batch(timeout=1.0) is None
+
+    def test_abort_close_returns_the_backlog(self):
+        sched = BatchScheduler()
+        sched.submit(_request(0))
+        sched.submit(_request(1))
+        aborted = sched.close(drain=False)
+        assert sorted(r.id for r in aborted) == [0, 1]
+        assert sched.depth == 0
+        assert sched.next_batch(timeout=1.0) is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_wait_ms": -1.0},
+        {"max_queue": 0},
+    ])
+    def test_bad_knobs_are_diagnosed(self, kwargs):
+        with pytest.raises(ConfigError):
+            BatchScheduler(**kwargs)

@@ -1,0 +1,145 @@
+"""InferenceService edge cases: lifecycles, overload, stats, multi-network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ServeOverloadError, SimFaultError
+from repro.nn.zoo import nin_cifar
+from repro.serve import InferenceService, PlanCache, ServeStats, percentile
+
+
+class TestEdgeCases:
+    def test_zero_requests_shutdown_is_clean(self, net):
+        svc = InferenceService(net, workers=2)
+        svc.start()
+        svc.shutdown()
+        assert svc.stats.summary()["submitted"] == 0
+
+    def test_zero_workers_zero_requests(self, net):
+        svc = InferenceService(net, workers=0)
+        svc.shutdown()  # must not hang waiting for a drain
+        assert svc.stats.pending == 0
+
+    def test_zero_workers_queued_requests_abort_at_shutdown(self, net, inputs):
+        svc = InferenceService(net, workers=0)
+        futures = svc.submit_batch(inputs[:3])
+        svc.shutdown(drain=True)  # drain impossible: forced abort
+        for future in futures:
+            with pytest.raises(SimFaultError):
+                future.result(timeout=1)
+        assert svc.stats.pending == 0
+
+    def test_shutdown_with_drain_serves_the_backlog(self, net, inputs, golden):
+        svc = InferenceService(net, workers=1, max_batch=4,
+                               max_wait_ms=60_000)
+        futures = svc.submit_batch(inputs[:4])
+        svc.shutdown(drain=True)
+        for future, ref in zip(futures, golden):
+            assert np.array_equal(future.result(timeout=1), ref)
+
+    def test_shutdown_without_drain_aborts_the_backlog(self, net, inputs):
+        svc = InferenceService(net, workers=0, max_wait_ms=60_000)
+        futures = svc.submit_batch(inputs[:4])
+        svc.shutdown(drain=False)
+        aborted = 0
+        for future in futures:
+            if isinstance(future.exception(timeout=1), SimFaultError):
+                aborted += 1
+        assert aborted == 4
+
+    def test_shutdown_is_idempotent(self, net):
+        svc = InferenceService(net, workers=1)
+        svc.shutdown()
+        svc.shutdown()
+
+    def test_submit_after_shutdown_is_diagnosed(self, net, inputs):
+        svc = InferenceService(net, workers=1)
+        svc.shutdown()
+        with pytest.raises(SimFaultError):
+            svc.submit(inputs[0])
+
+    def test_no_network_registered_is_diagnosed(self, inputs):
+        svc = InferenceService(workers=0)
+        with pytest.raises(ConfigError):
+            svc.submit(inputs[0])
+
+
+class TestOverload:
+    def test_fast_fail_and_backpressure_counters(self, net, inputs):
+        svc = InferenceService(net, workers=0, max_queue=2)
+        svc.submit(inputs[0])
+        svc.submit(inputs[1])
+        with pytest.raises(ServeOverloadError):
+            svc.submit(inputs[2])
+        assert svc.stats.rejected == 1
+        assert svc.stats.submitted == 3
+        svc.shutdown()
+
+    def test_error_carries_queue_diagnostics(self, net, inputs):
+        svc = InferenceService(net, workers=0, max_queue=1)
+        svc.submit(inputs[0])
+        with pytest.raises(ServeOverloadError) as excinfo:
+            svc.submit(inputs[1])
+        assert "max_queue=1" in str(excinfo.value)
+        svc.shutdown()
+
+
+class TestMultiNetwork:
+    def test_requests_route_to_their_network(self, net, inputs, golden):
+        other = nin_cifar()
+        with InferenceService(net, networks=[other], workers=2,
+                              max_batch=4) as svc:
+            other_key = svc.register(other)
+            shape = other.input_shape
+            other_x = np.round(np.ones(
+                (shape.channels, shape.height, shape.width)))
+            toy_future = svc.submit(inputs[0])
+            other_future = svc.submit(other_x, key=other_key)
+            assert np.array_equal(toy_future.result(timeout=30), golden[0])
+            out = other_future.result(timeout=60)
+        assert out.shape != golden[0].shape
+
+    def test_shared_cache_across_services(self, net, inputs, golden):
+        cache = PlanCache()
+        with InferenceService(net, workers=1, cache=cache) as svc:
+            svc.infer(inputs[0], timeout=30)
+        with InferenceService(net, workers=1, cache=cache) as svc:
+            out = svc.infer(inputs[0], timeout=30)
+        assert np.array_equal(out, golden[0])
+        assert cache.hits == 1  # the second service reused the plan
+
+
+class TestStats:
+    def test_counts_and_histogram(self, net, inputs):
+        with InferenceService(net, workers=1, max_batch=4,
+                              max_wait_ms=60_000) as svc:
+            futures = svc.submit_batch(inputs[:8])
+            for future in futures:
+                future.result(timeout=30)
+            summary = svc.stats.summary()
+        assert summary["submitted"] == 8
+        assert summary["completed"] == 8
+        assert summary["pending"] == 0
+        assert summary["batch_size_histogram"] == {"4": 2}
+        assert summary["requests_per_s"] > 0
+
+    def test_report_renders(self, net, inputs):
+        with InferenceService(net, workers=1) as svc:
+            svc.infer(inputs[0], timeout=30)
+            report = svc.report()
+        assert "requests/s" in report and "plan cache" in report
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 99) == 4.0
+        assert percentile([], 50) == 0.0
+
+    def test_aborts_count_as_failed(self):
+        stats = ServeStats()
+        stats.record_submit(3)
+        stats.record_aborts(3)
+        assert stats.pending == 0
+        assert stats.failed == 3

@@ -1,0 +1,111 @@
+"""Vectorized batched execution: bit-identical to per-item runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConvSpec, Network, PoolSpec, ReLUSpec, TensorShape
+from repro.nn.layers import LRNSpec
+from repro.errors import ConfigError
+from repro.nn.shapes import ShapeError
+from repro.nn.zoo import alexnet, nin_cifar, toynet
+from repro.sim import (
+    BatchedNetworkExecutor,
+    NetworkExecutor,
+    preserves_exact_arithmetic,
+)
+from repro.sim.batched import lrn_batched
+from repro.sim.ops import lrn
+
+
+def _batch(network, n, seed=0):
+    shape = network.input_shape
+    rng = np.random.default_rng(seed)
+    return [np.round(rng.uniform(-4.0, 4.0, size=(
+        shape.channels, shape.height, shape.width))) for _ in range(n)]
+
+
+@pytest.mark.parametrize("make_net", [toynet, nin_cifar],
+                         ids=["toynet", "nin"])
+def test_bit_identical_to_per_item_runs(make_net):
+    network = make_net()
+    reference = NetworkExecutor(network, seed=0, integer=True)
+    batched = BatchedNetworkExecutor(network, params=reference.params)
+    xs = _batch(network, 5)
+    outs = batched.run_batch(xs)
+    for x, out in zip(xs, outs):
+        ref = reference.run(x)
+        assert out.dtype == ref.dtype
+        assert np.array_equal(out, ref)
+
+
+def test_grouped_convolution_matches_per_item():
+    """groups=2 convolutions (AlexNet's conv2/4/5 shape) in batched form."""
+    network = Network("grouped", TensorShape(3, 10, 10), [
+        ConvSpec("c1", kernel=3, stride=1, out_channels=8, padding=1),
+        ReLUSpec("r1"),
+        ConvSpec("c2", kernel=3, stride=1, out_channels=8, padding=1,
+                 groups=2),
+        PoolSpec("p1", kernel=2, stride=2),
+    ])
+    reference = NetworkExecutor(network, seed=0, integer=True)
+    batched = BatchedNetworkExecutor(network, params=reference.params)
+    xs = _batch(network, 3)
+    for x, out in zip(xs, batched.run_batch(xs)):
+        assert np.array_equal(out, reference.run(x))
+
+
+def test_lrn_batched_matches_per_item_operator():
+    rng = np.random.default_rng(0)
+    x = np.round(rng.uniform(-4.0, 4.0, size=(8, 6, 6)))
+    batch = np.stack([x, x + 1.0])
+    out = lrn_batched(batch)
+    assert np.array_equal(out[0], lrn(x))
+    assert np.array_equal(out[1], lrn(x + 1.0))
+
+
+def test_exactness_gate():
+    """LRN (and non-power-of-two average pooling) breaks the exact-integer
+    regime, so those networks must serve through the per-item loop."""
+    assert preserves_exact_arithmetic(toynet())
+    assert preserves_exact_arithmetic(nin_cifar())  # 8x8 avg pool: exact
+    assert not preserves_exact_arithmetic(alexnet())  # LRN rounds
+    inexact_avg = Network("avg9", TensorShape(3, 9, 9), [
+        PoolSpec("p1", kernel=3, stride=3, mode="avg"),
+    ])
+    assert not preserves_exact_arithmetic(inexact_avg)
+
+
+def test_accepts_stacked_4d_input():
+    network = toynet()
+    reference = NetworkExecutor(network, seed=0, integer=True)
+    batched = BatchedNetworkExecutor(network, params=reference.params)
+    xs = np.stack(_batch(network, 3))
+    outs = batched.run_batch(xs)
+    assert len(outs) == 3
+    for x, out in zip(xs, outs):
+        assert np.array_equal(out, reference.run(x))
+
+
+def test_empty_batch_returns_empty_list():
+    network = toynet()
+    batched = BatchedNetworkExecutor(network)
+    assert batched.run_batch([]) == []
+
+
+def test_batch_of_one_matches_single_run():
+    network = toynet()
+    reference = NetworkExecutor(network, seed=0, integer=True)
+    batched = BatchedNetworkExecutor(network, params=reference.params)
+    x = _batch(network, 1)[0]
+    assert np.array_equal(batched.run_batch([x])[0], reference.run(x))
+
+
+def test_wrong_input_shape_is_diagnosed():
+    network = toynet()
+    batched = BatchedNetworkExecutor(network)
+    with pytest.raises(ShapeError):
+        batched.run_batch([np.zeros((1, 2, 2))])
+    with pytest.raises(ConfigError):
+        batched.run_batch(np.zeros((2, 2)))  # not (B, C, H, W)

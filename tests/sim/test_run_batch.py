@@ -1,0 +1,42 @@
+"""NetworkExecutor.run_batch: equivalence and instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.zoo import toynet
+from repro.obs import capture
+from repro.sim import NetworkExecutor
+
+
+def _inputs(network, n):
+    shape = network.input_shape
+    rng = np.random.default_rng(7)
+    return [np.round(rng.uniform(-4.0, 4.0, size=(
+        shape.channels, shape.height, shape.width))) for _ in range(n)]
+
+
+def test_run_batch_matches_per_item_runs():
+    network = toynet()
+    executor = NetworkExecutor(network, seed=0, integer=True)
+    xs = _inputs(network, 4)
+    outs = executor.run_batch(xs)
+    assert len(outs) == 4
+    for x, out in zip(xs, outs):
+        assert np.array_equal(out, executor.run(x))
+
+
+def test_run_batch_of_empty_sequence():
+    executor = NetworkExecutor(toynet(), seed=0, integer=True)
+    assert executor.run_batch([]) == []
+
+
+def test_run_batch_emits_one_run_span_per_item():
+    network = toynet()
+    executor = NetworkExecutor(network, seed=0, integer=True)
+    xs = _inputs(network, 3)
+    with capture() as registry:
+        executor.run_batch(xs)
+    names = [span.name for span in registry.spans]
+    assert names.count("network.run_batch") == 1
+    assert names.count("network.run") == 3

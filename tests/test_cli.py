@@ -278,3 +278,73 @@ class TestErrorExitCodes:
     def test_non_integer_seed_rejected(self):
         with pytest.raises(SystemExit):
             main(["explore", "vgg", "--faults", "dram_stall", "--seed", "pi"])
+
+
+class TestServeBench:
+    def test_basic_run_with_check(self, capsys):
+        out = run(capsys, "serve-bench", "toynet", "--requests", "16",
+                  "--workers", "2", "--check")
+        assert "requests/s" in out
+        assert "16 submitted, 16 ok" in out
+        assert "served outputs == direct NetworkExecutor.run: True" in out
+
+    def test_cache_file_cold_then_warm(self, capsys, tmp_path):
+        cache = str(tmp_path / "plans.json")
+        cold = run(capsys, "serve-bench", "toynet", "--requests", "8",
+                   "--cache", cache)
+        assert "0 plans loaded" in cold and "1 misses" in cold
+        warm = run(capsys, "serve-bench", "toynet", "--requests", "8",
+                   "--cache", cache)
+        assert "1 plans loaded" in warm and "1 hits" in warm
+
+    def test_overload_exits_2(self, capsys):
+        code = main(["serve-bench", "toynet", "--workers", "0",
+                     "--max-queue", "2", "--requests", "8",
+                     "--fail-on-overload"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "serving queue full" in err
+
+    def test_overload_without_fail_flag_drops_and_continues(self, capsys):
+        out = run(capsys, "serve-bench", "toynet", "--requests", "12",
+                  "--workers", "1", "--max-queue", "4", "--max-batch", "4",
+                  "--max-wait-ms", "0.1")
+        assert "requests/s" in out  # rejected some, served the rest
+
+    def test_cached_plan_not_reused_across_seeds(self, capsys, tmp_path):
+        """Weight seed is part of the plan key: a cache warmed under the
+        default seed must not serve a --seed 3 run (whose --check compares
+        against seed-3 weights)."""
+        cache = str(tmp_path / "plans.json")
+        run(capsys, "serve-bench", "toynet", "--requests", "4",
+            "--cache", cache, "--check")
+        out = run(capsys, "--seed", "3", "serve-bench", "toynet",
+                  "--requests", "4", "--cache", cache, "--check")
+        assert "1 plans loaded" in out and "1 misses" in out
+        assert "served outputs == direct NetworkExecutor.run: True" in out
+
+    def test_bit_identical_under_faults(self, capsys):
+        out = run(capsys, "--faults", "transfer_corrupt:p=0.4", "--seed", "3",
+                  "serve-bench", "toynet", "--requests", "12",
+                  "--max-attempts", "12", "--check")
+        assert "served outputs == direct NetworkExecutor.run: True" in out
+
+    def test_json_summary(self, capsys, tmp_path):
+        path = tmp_path / "serve.json"
+        run(capsys, "serve-bench", "toynet", "--requests", "8",
+            "--json", str(path))
+        import json
+
+        summary = json.loads(path.read_text())
+        assert summary["completed"] == 8
+        assert summary["requests_per_s"] > 0
+
+    def test_explore_jobs_matches_serial(self, capsys):
+        serial = run(capsys, "explore", "alexnet", "--convs", "5")
+        parallel = run(capsys, "explore", "alexnet", "--convs", "5",
+                       "--jobs", "2")
+        assert serial == parallel
+
+    def test_explore_bad_jobs_exits_2(self, capsys):
+        assert main(["explore", "toynet", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err

@@ -11,6 +11,10 @@ Commands map one-to-one to the paper's evaluation artifacts::
     simulate    run the fused executor and verify against layer-by-layer
     explore     Pareto front for any zoo network or --file description
     frontier    exact DP frontier (tractable even for all of VGGNet-E)
+    tune        guided autotuning over the joint fusion x tiling space
+                (seeded, resumable via --db, parallel via --jobs)
+    multi       per-group latency/throughput of a multi-pyramid design
+                for an explicit --partition (or a tuned record)
     stats       explore + simulate + pipeline for one network; emit the
                 full observability metrics JSON
     faultsim    run fused-vs-reference under an injected fault plan and
@@ -46,6 +50,7 @@ from typing import List, Optional, Tuple
 
 from . import analysis, faults as faults_mod, obs
 from .errors import ReproError
+from .hw.device import VIRTEX7_690T
 from .nn.stages import extract_levels
 from .nn.zoo import alexnet, googlenet_stem, nin_cifar, toynet, vgg16, vggnet_e, zfnet
 
@@ -272,6 +277,136 @@ def cmd_explore(args) -> None:
         else:
             print(f"best under {args.storage_budget} KB: {pick.sizes} -> "
                   f"{pick.feature_transfer_bytes / MB:.2f} MB/image")
+
+
+def _parse_sizes(text: str) -> Tuple[int, ...]:
+    """Parse a partition spec like ``2+2+1`` (or ``2,2,1``)."""
+    parts = [p for p in text.replace("+", ",").split(",") if p.strip()]
+    try:
+        sizes = tuple(int(p) for p in parts)
+    except ValueError:
+        raise SystemExit(f"bad partition spec {text!r}: expected e.g. 2+2+1")
+    if not sizes or any(s <= 0 for s in sizes):
+        raise SystemExit(f"partition sizes must be positive: {text!r}")
+    return sizes
+
+
+def cmd_tune(args) -> None:
+    """Guided search over the joint fusion x tiling design space.
+
+    Couples the paper's fusion-partition axis with per-group (Tm, Tn)
+    caps, reuse vs recompute, and the pyramid tip, scoring candidates
+    with the multi-pyramid hardware simulator under the chosen
+    ``--objective``. ``--db`` makes runs resumable: a re-run of the same
+    seed and budget replays its trajectory entirely from the database
+    (zero fresh evaluations).
+    """
+    import json
+
+    from .tune import tune
+
+    network = _network(args.network, file=args.file, input_size=args.input_size)
+    result = tune(network, objective=args.objective, strategy=args.strategy,
+                  evals=args.evals, seconds=args.seconds,
+                  seed=args.fault_seed, jobs=args.jobs, batch=args.batch,
+                  num_convs=args.convs, dsp_budget=args.dsp, db=args.db)
+
+    print(f"{result.network_name}: {result.objective.describe()} over "
+          f"{result.space.num_units} fusion units "
+          f"(strategy {args.strategy}, seed {args.fault_seed})")
+    degraded = " [degraded: wall-clock budget hit]" if result.degraded else ""
+    print(f"  considered {result.considered} candidates in "
+          f"{result.generations} generations: {result.fresh} fresh, "
+          f"{result.cached} cached, {result.pruned} pruned, "
+          f"{result.invalid} invalid ({result.elapsed_s:.2f}s){degraded}")
+    if args.db and result.fresh == 0:
+        print(f"  warm resume: every candidate already in {args.db} "
+              f"(0 fresh evaluations)")
+    print(f"  baseline  {result.baseline.candidate.key():32s} "
+          f"-> {result.baseline.value:,.0f}")
+    print(f"  incumbent {result.incumbent.candidate.key():32s} "
+          f"-> {result.incumbent.value:,.0f} "
+          f"({result.improvement:.2f}x better)")
+    metrics = result.incumbent.result.metrics
+    print(f"  incumbent metrics: cycles {metrics['cycles']:,.0f}, "
+          f"interval {metrics['interval']:,.0f}, "
+          f"energy {metrics['energy'] * 1e3:.2f} mJ, "
+          f"transfer {metrics['bytes'] / 2**20:.2f} MB, "
+          f"DSP {metrics.get('dsp', 0):,.0f}, "
+          f"BRAM18 {metrics.get('bram18', 0):,.0f}")
+    if len(result.pareto) > 1:
+        print(f"  pareto archive ({len(result.pareto)} points, "
+              f"cycles/energy/bytes):")
+        for s in sorted(result.pareto, key=lambda s: s.result.metrics["cycles"]):
+            m = s.result.metrics
+            print(f"    {s.candidate.key():32s} {m['cycles']:>14,.0f} cyc "
+                  f"{m['energy'] * 1e3:8.2f} mJ {m['bytes'] / 2**20:8.2f} MB")
+    if args.db:
+        print(f"  tuning db: {args.db}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote tuning summary JSON to {args.json}")
+
+
+def cmd_multi(args) -> None:
+    """Per-group breakdown of a multi-pyramid partition design.
+
+    Builds one fused engine per group of ``--partition`` (DSP budget
+    split by work) and reports each group's cycles alongside the
+    design's latency (sum) and streaming interval (max). With
+    ``--tuned DB`` the partition/tiling comes from the database's
+    incumbent for this network and ``--objective`` instead.
+    """
+    network = _network(args.network)
+    sliced = (network.prefix(args.convs) if args.convs
+              else network.feature_extractor())
+    levels = extract_levels(sliced)
+
+    if args.tuned:
+        from .hw.device import VIRTEX7_690T as _device
+        from .tune import TuningDB, space_key
+        from .tune.evaluate import candidate_design
+
+        db = TuningDB.open(args.tuned)
+        key = space_key(sliced.fingerprint(), _device.name,
+                        args.dsp, args.objective)
+        record = db.tuned_record(key, sliced.fingerprint(), args.objective)
+        if record is None:
+            raise SystemExit(
+                f"no tuned incumbent for {sliced.name} "
+                f"(objective {args.objective}, dsp {args.dsp}) in {args.tuned}")
+        candidate = record.candidate
+        design = candidate_design(levels, candidate, device=_device,
+                                  dsp_budget=args.dsp)
+        print(f"{sliced.name}: tuned partition {candidate.describe()} "
+              f"(objective {record.objective}, value {record.value:,.0f})")
+    else:
+        from .hw.multi import design_partition
+
+        sizes = (_parse_sizes(args.partition) if args.partition
+                 else (len(levels),))
+        design = design_partition(levels, sizes, dsp_budget=args.dsp,
+                                  tip_h=args.tip, tip_w=args.tip)
+        print(f"{sliced.name}: partition {design.sizes} "
+              f"(DSP budget {args.dsp}, tip {args.tip})")
+
+    interval = design.throughput_interval
+    print(f"  {'group':>5s} {'levels':32s} {'cycles':>14s} {'dsp':>6s} "
+          f"{'bound':>6s}")
+    for i, engine in enumerate(design.engines):
+        name = f"{engine.levels[0].name}..{engine.levels[-1].name}"
+        bound = "max" if engine.total_cycles == interval else ""
+        print(f"  {i:>5d} {name:32s} {engine.total_cycles:>14,} "
+              f"{engine.dsp:>6,} {bound:>6s}")
+    MB = 2 ** 20
+    print(f"  latency (sum of groups):      {design.latency_cycles:>14,} cycles")
+    print(f"  throughput interval (max):    {interval:>14,} cycles")
+    print(f"  feature-map DRAM transfer:    "
+          f"{design.feature_transfer_bytes / MB:>11.2f} MB/image")
+    print(f"  total DSP: {design.dsp:,} | BRAM18: "
+          f"{design.resources().bram18:,}")
 
 
 def cmd_serve_bench(args) -> None:
@@ -714,6 +849,54 @@ def build_parser() -> argparse.ArgumentParser:
     fr.add_argument("--input-size", type=int, default=None)
     fr.add_argument("--convs", type=int, default=None)
     fr.set_defaults(func=cmd_frontier)
+
+    tn = sub.add_parser(
+        "tune",
+        help="guided autotuning over the joint fusion x tiling space")
+    tn.add_argument("network", nargs="?", default="vgg")
+    tn.add_argument("--file", default=None,
+                    help="Torch-style description file instead of a zoo net")
+    tn.add_argument("--input-size", type=int, default=None)
+    tn.add_argument("--convs", type=int, default=None,
+                    help="conv-layer prefix to tune (default: all convs)")
+    tn.add_argument("--objective", default="cycles",
+                    help="metric to minimize: cycles | interval | energy | "
+                         "bytes, or a weighted sum like cycles=0.7,energy=0.3")
+    tn.add_argument("--strategy", choices=("random", "evolve"),
+                    default="evolve", help="search strategy")
+    tn.add_argument("--evals", type=int, default=None, metavar="N",
+                    help="candidate budget (default 64 when no --seconds)")
+    tn.add_argument("--seconds", type=float, default=None, metavar="S",
+                    help="wall-clock budget (degrades to best-so-far)")
+    tn.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="evaluate fresh candidates across N processes")
+    tn.add_argument("--batch", type=int, default=8, metavar="N",
+                    help="candidates proposed per generation")
+    tn.add_argument("--dsp", type=int, default=VIRTEX7_690T.dsp_slices)
+    tn.add_argument("--db", default=None, metavar="PATH",
+                    help="tuning database JSON: loaded before the run when "
+                         "it exists, saved after (enables warm resume)")
+    tn.add_argument("--json", default=None, metavar="PATH",
+                    help="write the tuning summary JSON here")
+    tn.set_defaults(func=cmd_tune)
+
+    mu = sub.add_parser(
+        "multi",
+        help="per-group latency/throughput of a multi-pyramid partition")
+    mu.add_argument("network", nargs="?", default="vgg")
+    mu.add_argument("--convs", type=int, default=None,
+                    help="conv-layer prefix (default: full feature "
+                         "extractor, matching tune's default slicing)")
+    mu.add_argument("--partition", default=None, metavar="SIZES",
+                    help="group sizes like 2+2+1 (default: fully fused)")
+    mu.add_argument("--dsp", type=int, default=VIRTEX7_690T.dsp_slices)
+    mu.add_argument("--tip", type=int, default=1)
+    mu.add_argument("--tuned", default=None, metavar="DB",
+                    help="take the partition from this tuning database's "
+                         "incumbent instead of --partition")
+    mu.add_argument("--objective", default="cycles",
+                    help="objective key for the --tuned lookup")
+    mu.set_defaults(func=cmd_multi)
 
     st = sub.add_parser(
         "stats",

@@ -70,6 +70,12 @@ class ExplorationBudget:
                 self.tripped = True
         return self.tripped
 
+    def remaining_evaluations(self) -> Optional[int]:
+        """Evaluations left before the count limit, or None if unbounded."""
+        if self.max_evaluations is None:
+            return None
+        return max(0, self.max_evaluations - self.evaluations)
+
     def describe(self) -> str:
         limits = []
         if self.max_evaluations is not None:

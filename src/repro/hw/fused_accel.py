@@ -207,6 +207,11 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
     For every candidate steady-state latency T (drawn from each module's
     achievable latencies), each conv module takes its cheapest-DSP config
     with latency <= T; the feasible T minimizing (T, imbalance, DSP) wins.
+    All ties break deterministically: per module toward the
+    lexicographically smallest (Tm, Tn) among equal-DSP configs, and
+    across targets toward the design with the lexicographically smallest
+    per-module (Tm, Tn) sequence — so equal-cycle allocations never
+    depend on enumeration order.
 
     With ``check_fits=True`` the winning design is also validated against
     the device's BRAM/LUT/FF capacity (weights must stay resident for the
@@ -238,8 +243,9 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
                 options.append(ModuleConfig(level=level, tm=tm, tn=tn,
                                             fresh_h=h, fresh_w=w, cycles=cycles))
         # Pareto-prune: keep only configs where fewer lanes never means
-        # fewer cycles.
-        options.sort(key=lambda m: (m.cycles, m.dsp))
+        # fewer cycles. The (tm, tn) tail makes the order — and hence
+        # the surviving config for each (cycles, dsp) — deterministic.
+        options.sort(key=lambda m: (m.cycles, m.dsp, m.tm, m.tn))
         pruned: List[ModuleConfig] = []
         best_dsp = None
         for option in options:
@@ -249,7 +255,7 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
         candidates.append(pruned)
 
     targets = sorted({option.cycles for options in candidates for option in options})
-    best: Optional[Tuple[Tuple[int, int, int], List[ModuleConfig]]] = None
+    best: Optional[Tuple[tuple, List[ModuleConfig]]] = None
     for target in targets:
         picks: List[ModuleConfig] = []
         feasible = True
@@ -258,7 +264,9 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
             if not usable:
                 feasible = False
                 break
-            picks.append(min(usable, key=lambda m: m.dsp))
+            # Equal-DSP ties break lexicographically on (tm, tn), so the
+            # chosen shape never depends on candidate enumeration order.
+            picks.append(min(usable, key=lambda m: (m.dsp, m.tm, m.tn)))
         if not feasible:
             continue
         lanes = sum(p.tm * p.tn for p in picks)
@@ -266,7 +274,8 @@ def optimize_fused(levels: Sequence[Level], dsp_budget: int,
             continue
         slowest = max(p.cycles for p in picks)
         imbalance = slowest - min(p.cycles for p in picks)
-        key = (slowest, imbalance, lanes)
+        key = (slowest, imbalance, lanes,
+               tuple((p.tm, p.tn) for p in picks))
         if best is None or key < best[0]:
             best = (key, picks)
     if best is None:

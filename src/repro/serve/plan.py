@@ -10,7 +10,8 @@ per (network, configuration) and every subsequent request just executes.
 
 A :class:`PlanCache` memoizes compilation keyed on
 :class:`PlanKey` = (network fingerprint, strategy, tip, storage budget,
-precision, weight seed) with LRU eviction and byte-size accounting, mirrors
+precision, weight seed, variant) with LRU eviction and byte-size
+accounting, mirrors
 hit/miss/eviction totals into :mod:`repro.obs` counters
 (``serve.plan_cache.*``), and serializes to JSON so a warmed cache
 survives restarts: the saved form stores the network description and the
@@ -31,8 +32,7 @@ import numpy as np
 
 from .. import obs
 from ..core.explorer import explore
-from ..core.fusion import Strategy, units_to_levels
-from ..core.partition import analyze_partition
+from ..core.fusion import Strategy, analyze_group, units_to_levels
 from ..core.pyramid import PyramidGeometry, build_pyramid
 from ..errors import ConfigError
 from ..faults.budget import ExplorationBudget
@@ -70,6 +70,10 @@ class PlanKey:
     storage_budget_bytes: Optional[int]
     precision: str
     seed: int = 0
+    #: Distinguishes differently sourced configurations of the same
+    #: (strategy, tip): ``"default"`` for explored/explicit plans,
+    #: ``"tuned:<objective>"`` for plans frozen from a tuning record.
+    variant: str = "default"
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -82,22 +86,28 @@ class PlanKey:
                                          is None
                                          else int(data["storage_budget_bytes"])),
                    precision=data["precision"],
-                   seed=int(data.get("seed", 0)))
+                   seed=int(data.get("seed", 0)),
+                   variant=data.get("variant", "default"))
 
     def __str__(self) -> str:
         budget = ("-" if self.storage_budget_bytes is None
                   else str(self.storage_budget_bytes))
-        return (f"{self.fingerprint}/{self.strategy}/tip{self.tip}"
+        text = (f"{self.fingerprint}/{self.strategy}/tip{self.tip}"
                 f"/sb{budget}/{self.precision}/seed{self.seed}")
+        if self.variant != "default":
+            text += f"/{self.variant}"
+        return text
 
 
 def make_plan_key(network: Network, strategy: Strategy = Strategy.REUSE,
                   tip: int = 1, storage_budget_bytes: Optional[int] = None,
-                  precision: str = "int", seed: int = 0) -> PlanKey:
+                  precision: str = "int", seed: int = 0,
+                  variant: str = "default") -> PlanKey:
     """The cache key a compilation of ``network`` under these knobs gets.
 
     ``seed`` determines the plan's frozen weights, so plans compiled
-    under different seeds never alias in the cache.
+    under different seeds never alias in the cache; ``variant`` keeps
+    tuned plans from aliasing explored ones.
     """
     if precision not in PRECISIONS:
         raise ConfigError(f"precision must be one of {PRECISIONS}",
@@ -106,7 +116,7 @@ def make_plan_key(network: Network, strategy: Strategy = Strategy.REUSE,
         raise ConfigError("tip must be >= 1", tip=tip)
     return PlanKey(fingerprint=network.fingerprint(), strategy=strategy.name,
                    tip=tip, storage_budget_bytes=storage_budget_bytes,
-                   precision=precision, seed=seed)
+                   precision=precision, seed=seed, variant=variant)
 
 
 def _spec_to_dict(spec: LayerSpec) -> Dict[str, Any]:
@@ -220,8 +230,14 @@ def _partition_geometry(network: Network, sizes: Tuple[int, ...],
     start = 0
     for size in sizes:
         group = units[start:start + size]
-        geometry.append(build_pyramid(units_to_levels(group),
-                                      tip_h=tip, tip_w=tip))
+        levels = units_to_levels(group)
+        # Clip the tip to the group's output map (the same clamp the
+        # hardware designer and the tuner apply), so one plan-wide tip
+        # works for groups whose output is smaller than the tip.
+        final = levels[-1].out_shape
+        geometry.append(build_pyramid(levels,
+                                      tip_h=min(tip, final.height),
+                                      tip_w=min(tip, final.width)))
         start += size
     return tuple(geometry)
 
@@ -232,7 +248,7 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
                  budget: Optional[ExplorationBudget] = None,
                  on_budget: str = "degrade",
                  partition_sizes: Optional[Sequence[int]] = None,
-                 jobs: int = 1) -> CompiledPlan:
+                 jobs: int = 1, tuned: Optional[Any] = None) -> CompiledPlan:
     """Compile ``network`` into an executable plan.
 
     Without ``partition_sizes`` the fusion partition comes from a full
@@ -244,10 +260,30 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
     ``partition_sizes`` (an explicit spec, or a cache restore) no
     exploration runs at all — only the single chosen partition is
     re-analyzed for geometry.
+
+    ``tuned`` accepts a :class:`repro.tune.TunedRecord` (anything with
+    ``fingerprint``/``objective``/``partition_sizes``/``strategy``/
+    ``tip`` attributes): the record's configuration overrides
+    ``strategy``/``tip``/``partition_sizes`` wholesale, the plan's key
+    gets variant ``"tuned:<objective>"``, and the record's fingerprint
+    must match ``network`` — a tuning result never silently applies to
+    a different network.
     """
+    variant = "default"
+    if tuned is not None:
+        fingerprint = network.fingerprint()
+        if tuned.fingerprint != fingerprint:
+            raise ConfigError(
+                "tuned record fingerprint does not match the network",
+                network=network.name, network_fingerprint=fingerprint,
+                record_fingerprint=tuned.fingerprint)
+        strategy = Strategy(tuned.strategy)
+        tip = int(tuned.tip)
+        partition_sizes = tuple(tuned.partition_sizes)
+        variant = f"tuned:{tuned.objective}"
     key = make_plan_key(network, strategy=strategy, tip=tip,
                         storage_budget_bytes=storage_budget_bytes,
-                        precision=precision, seed=seed)
+                        precision=precision, seed=seed, variant=variant)
     t0 = time.perf_counter()
     degraded = False
     with obs.span("serve.compile", network=network.name, key=str(key)):
@@ -268,9 +304,18 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
             sizes = tuple(int(s) for s in partition_sizes)
             units = independent_units(
                 extract_levels(network.feature_extractor()))
-            if sizes or units:
-                analyze_partition(units, sizes, strategy=strategy,
-                                  tip_h=tip, tip_w=tip)
+            if sum(sizes) != len(units):
+                raise ConfigError(
+                    "partition does not cover the network's fusion units",
+                    sizes=sizes, units=len(units), network=network.name)
+            start = 0
+            for size in sizes:
+                levels = units_to_levels(units[start:start + size])
+                final = levels[-1].out_shape
+                analyze_group(levels, strategy=strategy,
+                              tip_h=min(tip, final.height),
+                              tip_w=min(tip, final.width))
+                start += size
         geometry = _partition_geometry(network, tuple(sizes), tip)
     plan = CompiledPlan(key=key, network=network,
                         partition_sizes=tuple(sizes), geometry=geometry,
@@ -335,18 +380,24 @@ class PlanCache:
                        precision: str = "int", seed: int = 0,
                        budget: Optional[ExplorationBudget] = None,
                        on_budget: str = "degrade",
-                       jobs: int = 1) -> CompiledPlan:
+                       jobs: int = 1,
+                       tuned: Optional[Any] = None) -> CompiledPlan:
         """The serving entry point: memoized compilation."""
+        if tuned is not None:
+            strategy = Strategy(tuned.strategy)
+            tip = int(tuned.tip)
         key = make_plan_key(network, strategy=strategy, tip=tip,
                             storage_budget_bytes=storage_budget_bytes,
-                            precision=precision, seed=seed)
+                            precision=precision, seed=seed,
+                            variant=(f"tuned:{tuned.objective}"
+                                     if tuned is not None else "default"))
         plan = self.lookup(key)
         if plan is not None:
             return plan
         plan = compile_plan(network, strategy=strategy, tip=tip,
                             storage_budget_bytes=storage_budget_bytes,
                             precision=precision, seed=seed, budget=budget,
-                            on_budget=on_budget, jobs=jobs)
+                            on_budget=on_budget, jobs=jobs, tuned=tuned)
         self.put(plan)
         return plan
 

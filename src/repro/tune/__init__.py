@@ -1,0 +1,83 @@
+"""repro.tune — guided autotuning over the joint fusion x tiling space.
+
+The paper's exploration tool (:mod:`repro.core.explorer`) enumerates
+fusion *partitions* and scores them with closed-form byte models; the
+hardware layer (:mod:`repro.hw`) then tiles each group with its own
+heuristic. This package searches the **joint** space — partition sizes,
+per-group ``(Tm, Tn)`` caps, reuse vs recompute, pyramid tip — against
+simulated cycles/energy/bytes, under a seeded, resumable, budgeted
+loop::
+
+    from repro.nn.zoo import vggnet_e
+    from repro.tune import tune
+
+    result = tune(vggnet_e(), num_convs=5, objective="cycles",
+                  evals=200, seed=7, jobs=4, db="tunedb.json")
+    print(result.incumbent.candidate.describe(), result.improvement)
+
+The incumbent round-trips into serving::
+
+    from repro.serve import compile_plan
+    plan = compile_plan(vggnet_e().prefix(5), tuned=result.record)
+
+See ``docs/tuning.md`` for the full design.
+"""
+
+from .db import TunedRecord, TuningDB, space_key
+from .evaluate import (
+    EvalContext,
+    EvalResult,
+    candidate_design,
+    candidate_resources,
+    evaluate_batch,
+    evaluate_candidate,
+    lower_bounds,
+)
+from .objective import METRICS, Objective
+from .search import (
+    STRATEGIES,
+    EvolutionarySearch,
+    RandomSearch,
+    Scored,
+    SearchStrategy,
+    make_strategy,
+    pareto_insert,
+)
+from .space import (
+    STRATEGY_CHOICES,
+    TILE_CHOICES,
+    TIP_CHOICES,
+    Candidate,
+    SearchSpace,
+)
+from .tuner import DEFAULT_EVALS, TuningResult, tune
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_EVALS",
+    "EvalContext",
+    "EvalResult",
+    "EvolutionarySearch",
+    "METRICS",
+    "Objective",
+    "RandomSearch",
+    "STRATEGIES",
+    "STRATEGY_CHOICES",
+    "Scored",
+    "SearchSpace",
+    "SearchStrategy",
+    "TILE_CHOICES",
+    "TIP_CHOICES",
+    "TunedRecord",
+    "TuningDB",
+    "TuningResult",
+    "candidate_design",
+    "candidate_resources",
+    "evaluate_batch",
+    "evaluate_candidate",
+    "lower_bounds",
+    "make_strategy",
+    "pareto_insert",
+    "space_key",
+    "tune",
+]

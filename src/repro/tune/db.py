@@ -1,0 +1,158 @@
+"""The tuning database: every evaluated candidate, persisted as JSON.
+
+A :class:`TuningDB` is a write-through memo for the autotuner. Entries
+are keyed on the *tuning space* — network fingerprint, device, DSP
+budget, and objective spec — and inside an entry every evaluated
+candidate is stored under its canonical :meth:`Candidate.key`, valid or
+not. Because a search trajectory is fully determined by its seed, a
+re-run of the same (space, seed, budget) replays the exact candidate
+sequence and finds every one already priced: the run resumes warm with
+**zero fresh evaluations** (the CI ``smoke-tune`` contract).
+
+The file layout is plain JSON, diff-able and stable under
+``sort_keys``: two identical runs produce byte-identical databases
+(nothing wall-clock-dependent is stored; timings live in the run
+summary the CLI emits, not here).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .evaluate import EvalResult
+from .space import Candidate
+
+_VERSION = 1
+
+
+def space_key(fingerprint: str, device_name: str, dsp_budget: int,
+              objective_spec: str) -> str:
+    """The entry key one tuning space maps to."""
+    return f"{fingerprint}/{device_name}/dsp{dsp_budget}/{objective_spec}"
+
+
+@dataclass(frozen=True)
+class TunedRecord:
+    """The portable outcome of one tuning run: what serving needs.
+
+    ``repro.serve.compile_plan(network, tuned=record)`` freezes this
+    partition/tip/strategy into a :class:`~repro.serve.plan.CompiledPlan`
+    without any exploration; the fingerprint guards against applying a
+    record to the wrong network.
+    """
+
+    fingerprint: str
+    objective: str
+    partition_sizes: Tuple[int, ...]
+    tiles: Tuple[Optional[Tuple[int, int]], ...]
+    strategy: str
+    tip: int
+    value: float
+    metrics: Dict[str, float]
+
+    @classmethod
+    def from_result(cls, fingerprint: str, objective: str, value: float,
+                    result: EvalResult) -> "TunedRecord":
+        c = result.candidate
+        return cls(fingerprint=fingerprint, objective=objective,
+                   partition_sizes=c.sizes, tiles=c.tiles,
+                   strategy=c.strategy, tip=c.tip, value=value,
+                   metrics=dict(result.metrics))
+
+    @property
+    def candidate(self) -> Candidate:
+        return Candidate(sizes=self.partition_sizes, tiles=self.tiles,
+                         strategy=self.strategy, tip=self.tip)
+
+
+class TuningDB:
+    """JSON-persisted store of evaluated candidates and incumbents."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = None if path is None else os.fspath(path)
+        self.data: Dict[str, Any] = {"version": _VERSION, "entries": {}}
+        if self.path and os.path.exists(self.path):
+            self._load(self.path)
+
+    @classmethod
+    def open(cls, db: "Optional[TuningDB | str]") -> "TuningDB":
+        """Coerce ``None`` (ephemeral), a path, or a DB instance."""
+        if db is None:
+            return cls()
+        if isinstance(db, TuningDB):
+            return db
+        return cls(path=db)
+
+    def _load(self, path: str) -> None:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if (not isinstance(payload, dict) or "entries" not in payload
+                or payload.get("version") != _VERSION):
+            raise ConfigError("not a tuning-db file", path=str(path))
+        self.data = payload
+
+    def save(self, path: Optional[str] = None) -> None:
+        """Write the database (no-op for an ephemeral DB without a path)."""
+        target = path or self.path
+        if target is None:
+            return
+        with open(target, "w") as handle:
+            json.dump(self.data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- entries ---------------------------------------------------------------
+
+    def entry(self, key: str) -> Dict[str, Any]:
+        entries = self.data["entries"]
+        if key not in entries:
+            entries[key] = {"evals": {}, "incumbent": None, "runs": []}
+        return entries[key]
+
+    def num_evals(self, key: str) -> int:
+        return len(self.entry(key)["evals"])
+
+    def lookup(self, key: str, candidate: Candidate) -> Optional[EvalResult]:
+        """A previously priced candidate, or None."""
+        record = self.entry(key)["evals"].get(candidate.key())
+        if record is None:
+            return None
+        return EvalResult.from_dict(record)
+
+    def record_eval(self, key: str, result: EvalResult) -> None:
+        self.entry(key)["evals"][result.candidate.key()] = result.to_dict()
+
+    def set_incumbent(self, key: str, candidate: Candidate,
+                      value: float) -> None:
+        self.entry(key)["incumbent"] = {"candidate": candidate.key(),
+                                        "value": value}
+
+    def incumbent(self, key: str) -> Optional[Tuple[EvalResult, float]]:
+        """The stored best candidate of one space, re-hydrated."""
+        entry = self.entry(key)
+        marker = entry["incumbent"]
+        if marker is None:
+            return None
+        record = entry["evals"].get(marker["candidate"])
+        if record is None:
+            return None
+        return EvalResult.from_dict(record), float(marker["value"])
+
+    def record_run(self, key: str, summary: Dict[str, Any]) -> None:
+        """Append one run's summary (deterministic fields only)."""
+        self.entry(key)["runs"].append(dict(summary))
+
+    def runs(self, key: str) -> List[Dict[str, Any]]:
+        return list(self.entry(key)["runs"])
+
+    def tuned_record(self, key: str, fingerprint: str,
+                     objective_spec: str) -> Optional[TunedRecord]:
+        stored = self.incumbent(key)
+        if stored is None:
+            return None
+        result, value = stored
+        return TunedRecord.from_result(fingerprint, objective_spec, value,
+                                       result)

@@ -1,0 +1,119 @@
+"""Tuning objectives: what the autotuner minimizes.
+
+Four scalar metrics come out of every candidate evaluation
+(:mod:`repro.tune.evaluate`):
+
+* ``cycles`` — per-image latency of the multi-pyramid design
+  (:attr:`~repro.hw.multi.PartitionDesign.latency_cycles`);
+* ``interval`` — streaming throughput interval, the slowest group's
+  cycles (alias ``throughput``);
+* ``energy`` — per-image Joules from :func:`repro.hw.energy
+  .estimate_energy` over total DRAM transfer and total arithmetic
+  (including recompute overhead);
+* ``bytes`` — analytical DRAM feature-map traffic (alias ``transfer``),
+  the paper's Figure 7 y-axis.
+
+An :class:`Objective` is either a single metric (``"cycles"``) or a
+positively weighted sum over baseline-normalized metrics
+(``"cycles=0.7,energy=0.3"``); normalization by the layer-by-layer
+default-tiled baseline makes the weighted terms commensurable. Both
+forms admit a cheap analytical lower bound per candidate (computed in
+:func:`repro.tune.evaluate.lower_bounds`), which the search strategies
+use to prune candidates that cannot beat the incumbent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: The metrics an objective may reference.
+METRICS: Tuple[str, ...] = ("cycles", "interval", "energy", "bytes")
+
+_ALIASES = {"throughput": "interval", "latency": "cycles",
+            "transfer": "bytes"}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A minimized scalar over candidate metrics."""
+
+    terms: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ConfigError("objective needs at least one term")
+        seen = set()
+        for metric, weight in self.terms:
+            if metric not in METRICS:
+                raise ConfigError(f"unknown objective metric {metric!r}",
+                                  metrics=METRICS)
+            if metric in seen:
+                raise ConfigError(f"duplicate objective metric {metric!r}")
+            if weight <= 0:
+                raise ConfigError(f"objective weight for {metric!r} must be "
+                                  f"positive", weight=weight)
+            seen.add(metric)
+
+    @classmethod
+    def parse(cls, spec: str) -> "Objective":
+        """Parse ``"cycles"`` or ``"cycles=0.7,energy=0.3"``."""
+        terms = []
+        for part in str(spec).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                metric, _, weight_text = part.partition("=")
+                try:
+                    weight = float(weight_text)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad objective weight {weight_text!r} in {spec!r}")
+            else:
+                metric, weight = part, 1.0
+            metric = metric.strip().lower()
+            terms.append((_ALIASES.get(metric, metric), weight))
+        return cls(terms=tuple(terms))
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.terms) == 1
+
+    @property
+    def metrics(self) -> Tuple[str, ...]:
+        return tuple(metric for metric, _ in self.terms)
+
+    def spec(self) -> str:
+        """Canonical spec string (the :class:`TuningDB` key component)."""
+        if self.is_single and self.terms[0][1] == 1.0:
+            return self.terms[0][0]
+        return ",".join(f"{m}={w:g}" for m, w in self.terms)
+
+    def value(self, metrics: Mapping[str, float],
+              baseline: Optional[Mapping[str, float]] = None) -> float:
+        """The scalar to minimize for one candidate's metrics.
+
+        Single-metric objectives return the raw metric (so ``cycles``
+        values are literally simulated cycles); weighted objectives
+        normalize each term by the ``baseline`` metrics.
+        """
+        if self.is_single and self.terms[0][1] == 1.0:
+            return float(metrics[self.terms[0][0]])
+        if baseline is None:
+            raise ConfigError(
+                "weighted objectives need baseline metrics for normalization",
+                objective=self.spec())
+        total = 0.0
+        for metric, weight in self.terms:
+            ref = float(baseline[metric]) or 1.0
+            total += weight * float(metrics[metric]) / ref
+        return total
+
+    def describe(self) -> str:
+        if self.is_single and self.terms[0][1] == 1.0:
+            return f"minimize {self.terms[0][0]}"
+        return "minimize " + " + ".join(f"{w:g}*{m}/baseline.{m}"
+                                        for m, w in self.terms)

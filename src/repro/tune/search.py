@@ -1,0 +1,184 @@
+"""Search strategies: how the next generation of candidates is chosen.
+
+Two strategies sit behind one interface (the tuner calls
+:meth:`propose` for a generation of candidates and feeds the scored
+results back through :meth:`observe`):
+
+* :class:`RandomSearch` — seeded uniform sampling of the space; the
+  honest baseline every guided search must beat.
+* :class:`EvolutionarySearch` — an evolutionary/annealing hybrid: a
+  first generation seeded from the space's structured anchors (fully
+  fused, balanced bisection), a small parent pool, tournament
+  selection, the space's mutation
+  operators (split/merge a group, bump a ``(Tm, Tn)``, flip strategy,
+  resize the tip), a trickle of random immigrants to keep diversity,
+  and a simulated-annealing acceptance rule — early generations may
+  admit worse parents with probability ``exp(-rel_delta / T)``, and the
+  temperature decays each generation so the pool hardens around the
+  incumbent.
+
+Both draw randomness only from the ``random.Random`` the tuner passes
+in, so a seed pins the full trajectory (the resume-warm contract of the
+:class:`~repro.tune.db.TuningDB` depends on this).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type
+
+from ..errors import ConfigError
+from .evaluate import EvalResult
+from .space import Candidate, SearchSpace
+
+
+@dataclass(frozen=True)
+class Scored:
+    """One observed candidate: its evaluation and scalarized objective."""
+
+    result: EvalResult
+    value: float  # inf for invalid candidates
+
+    @property
+    def candidate(self) -> Candidate:
+        return self.result.candidate
+
+
+class SearchStrategy:
+    """Interface every tuner strategy implements."""
+
+    name = "base"
+
+    def propose(self, rng: random.Random, space: SearchSpace,
+                n: int) -> List[Candidate]:
+        raise NotImplementedError
+
+    def observe(self, rng: random.Random,
+                scored: Sequence[Scored]) -> None:  # pragma: no cover - default
+        pass
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling — pure exploration."""
+
+    name = "random"
+
+    def propose(self, rng: random.Random, space: SearchSpace,
+                n: int) -> List[Candidate]:
+        return [space.random_candidate(rng) for _ in range(n)]
+
+
+class EvolutionarySearch(SearchStrategy):
+    """Mutation-driven search with annealed acceptance."""
+
+    name = "evolve"
+
+    def __init__(self, population: int = 8, immigrants: int = 2,
+                 temperature: float = 0.25, decay: float = 0.9):
+        if population < 1:
+            raise ConfigError("population must be >= 1",
+                              population=population)
+        if immigrants < 0:
+            raise ConfigError("immigrants must be >= 0",
+                              immigrants=immigrants)
+        if not 0 < decay <= 1:
+            raise ConfigError("decay must be in (0, 1]", decay=decay)
+        self.population = population
+        self.immigrants = immigrants
+        self.temperature = temperature
+        self.decay = decay
+        # (value, insertion index, candidate): the index breaks value
+        # ties deterministically, oldest first.
+        self._pool: List[Tuple[float, int, Candidate]] = []
+        self._inserted = 0
+        self._seeded = False
+
+    def _select(self, rng: random.Random) -> Candidate:
+        """Binary tournament over the parent pool."""
+        a = rng.randrange(len(self._pool))
+        b = rng.randrange(len(self._pool))
+        return min(self._pool[a], self._pool[b])[2]
+
+    def propose(self, rng: random.Random, space: SearchSpace,
+                n: int) -> List[Candidate]:
+        if not self._pool and not self._seeded:
+            # First generation: the space's structured corners (fully
+            # fused, balanced bisection) ahead of random exploration —
+            # a random draw proposes the fully-fused pyramid with
+            # probability ~2^-(n-1), yet it is the paper's headline
+            # configuration and frequently the optimum.
+            self._seeded = True
+            out = space.anchors()[:n]
+            while len(out) < n:
+                out.append(space.random_candidate(rng))
+            return out
+        if not self._pool:
+            return [space.random_candidate(rng) for _ in range(n)]
+        out: List[Candidate] = []
+        for j in range(n):
+            if j < min(self.immigrants, n):
+                out.append(space.random_candidate(rng))
+            else:
+                out.append(space.mutate(rng, self._select(rng)))
+        return out
+
+    def observe(self, rng: random.Random, scored: Sequence[Scored]) -> None:
+        best = min((s[0] for s in self._pool), default=math.inf)
+        for item in scored:
+            if not math.isfinite(item.value):
+                continue
+            entry = (item.value, self._inserted, item.candidate)
+            self._inserted += 1
+            if len(self._pool) < self.population:
+                self._pool.append(entry)
+                best = min(best, item.value)
+                continue
+            worst = max(self._pool)
+            if item.value < worst[0]:
+                self._pool[self._pool.index(worst)] = entry
+                best = min(best, item.value)
+            elif self.temperature > 0 and best > 0:
+                # Annealed acceptance of a worse candidate, scaled by
+                # its relative regret against the pool's best.
+                rel = (item.value - best) / best
+                if rng.random() < math.exp(-rel / self.temperature):
+                    self._pool[self._pool.index(worst)] = entry
+        self.temperature *= self.decay
+
+
+STRATEGIES: Dict[str, Type[SearchStrategy]] = {
+    RandomSearch.name: RandomSearch,
+    EvolutionarySearch.name: EvolutionarySearch,
+}
+
+
+def make_strategy(name: str, **kwargs) -> SearchStrategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ConfigError(f"unknown search strategy {name!r}",
+                          strategies=sorted(STRATEGIES))
+    return cls(**kwargs)
+
+
+def pareto_insert(archive: List[Scored], item: Scored,
+                  metrics: Sequence[str] = ("cycles", "energy", "bytes")) -> bool:
+    """Maintain a non-dominated archive over ``metrics`` (all minimized).
+
+    Returns True when ``item`` entered the archive (and evicts anything
+    it dominates). Invalid candidates never enter.
+    """
+    if not item.result.valid:
+        return False
+    point = [item.result.metrics.get(m, math.inf) for m in metrics]
+    others = [[s.result.metrics.get(m, math.inf) for m in metrics]
+              for s in archive]
+    if any(all(o <= p for o, p in zip(other, point)) for other in others):
+        return False  # dominated by (or equal to) an archive member
+    archive[:] = [s for s, other in zip(archive, others)
+                  if not all(p <= o for p, o in zip(point, other))]
+    archive.append(item)
+    return True

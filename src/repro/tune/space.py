@@ -1,0 +1,303 @@
+"""Search-space encoding for the joint fusion x tiling autotuner.
+
+The paper's exploration tool scores only the ``2^(l-1)`` fusion
+partitions with closed-form byte models; the hardware layer then picks
+per-module ``(Tm, Tn)`` unroll factors separately inside
+``optimize_fused``. A :class:`Candidate` couples the two decisions —
+plus the reuse-vs-recompute strategy of Section III-C and the pyramid
+tip size — into one point of the joint design space:
+
+* ``sizes`` — how the fusion units split into contiguous groups (the
+  partition axis the explorer enumerates);
+* ``tiles`` — one entry per group: ``None`` lets ``optimize_fused``
+  balance the group's modules under its DSP share (the default
+  heuristic), or an explicit ``(Tm, Tn)`` cap applied to every conv
+  module of the group (clipped to the module's channel counts);
+* ``strategy`` — ``"reuse"`` buffers shared intermediates (BL/BT BRAM),
+  ``"recompute"`` recomputes them (more cycles, less BRAM);
+* ``tip`` — the square pyramid-tip extent (clipped per group to its
+  output map).
+
+:class:`SearchSpace` owns the legal choice sets, validity checks, and
+the two seeded generators every search strategy builds on:
+:meth:`SearchSpace.random_candidate` and :meth:`SearchSpace.mutate`
+(split/merge a group, bump a tile factor, flip strategy, resize the
+tip). Both draw only from a caller-provided ``random.Random``, so a
+seed fully determines a search trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..hw.device import VIRTEX7_690T, FpgaDevice
+from ..nn.network import Network
+from ..nn.stages import Level, extract_levels
+
+#: Candidate per-group unroll caps (powers of two, the HLS-friendly set).
+TILE_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Intermediate-data strategies a candidate may select.
+STRATEGY_CHOICES: Tuple[str, ...] = ("reuse", "recompute")
+
+#: Pyramid-tip extents searched by default.
+TIP_CHOICES: Tuple[int, ...] = (1, 2, 4)
+
+#: A per-group tiling decision: ``None`` = let ``optimize_fused`` pick.
+Tile = Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the joint fusion x tiling design space."""
+
+    sizes: Tuple[int, ...]
+    tiles: Tuple[Tile, ...]
+    strategy: str = "reuse"
+    tip: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.sizes or any(s <= 0 for s in self.sizes):
+            raise ConfigError("candidate group sizes must be positive",
+                              sizes=self.sizes)
+        if len(self.tiles) != len(self.sizes):
+            raise ConfigError("candidate needs one tile entry per group",
+                              sizes=self.sizes, tiles=self.tiles)
+        if self.strategy not in STRATEGY_CHOICES:
+            raise ConfigError(f"unknown strategy {self.strategy!r}",
+                              choices=STRATEGY_CHOICES)
+        if self.tip < 1:
+            raise ConfigError("tip must be >= 1", tip=self.tip)
+        for tile in self.tiles:
+            if tile is not None and (len(tile) != 2 or tile[0] < 1 or tile[1] < 1):
+                raise ConfigError(f"bad tile {tile!r}: need (Tm, Tn) >= (1, 1)",
+                                  tiles=self.tiles)
+
+    @property
+    def num_units(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.sizes)
+
+    def key(self) -> str:
+        """Canonical string identity (the memo / :class:`TuningDB` key)."""
+        tiles = ",".join("auto" if t is None else f"{t[0]}x{t[1]}"
+                         for t in self.tiles)
+        sizes = "+".join(str(s) for s in self.sizes)
+        return f"{sizes}|{tiles}|{self.strategy}|tip{self.tip}"
+
+    def describe(self) -> str:
+        tiles = ", ".join("auto" if t is None else f"{t[0]}x{t[1]}"
+                          for t in self.tiles)
+        return (f"partition {self.sizes} tiles ({tiles}) "
+                f"{self.strategy} tip {self.tip}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"sizes": list(self.sizes),
+                "tiles": [None if t is None else list(t) for t in self.tiles],
+                "strategy": self.strategy,
+                "tip": self.tip}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Candidate":
+        return cls(sizes=tuple(int(s) for s in data["sizes"]),
+                   tiles=tuple(None if t is None else (int(t[0]), int(t[1]))
+                               for t in data["tiles"]),
+                   strategy=data.get("strategy", "reuse"),
+                   tip=int(data.get("tip", 1)))
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The legal joint design space for one network on one device.
+
+    ``dsp_budget``/``bram_budget`` bound candidate hardware (checked at
+    evaluation time via :mod:`repro.hw.resources`); the choice tuples
+    bound what the generators may propose. The space is deterministic:
+    every random draw comes from the ``random.Random`` the caller
+    provides.
+    """
+
+    levels: Tuple[Level, ...]
+    device: FpgaDevice = VIRTEX7_690T
+    dsp_budget: int = VIRTEX7_690T.dsp_slices
+    bram_budget: Optional[int] = None  # None -> device.bram18
+    tips: Tuple[int, ...] = TIP_CHOICES
+    tile_choices: Tuple[int, ...] = TILE_CHOICES
+    strategies: Tuple[str, ...] = STRATEGY_CHOICES
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigError("search space needs at least one level")
+        if self.dsp_budget < 1:
+            raise ConfigError("dsp_budget must be positive",
+                              dsp_budget=self.dsp_budget)
+        if not self.tips or any(t < 1 for t in self.tips):
+            raise ConfigError("tips must be positive", tips=self.tips)
+        if not all(s in STRATEGY_CHOICES for s in self.strategies):
+            raise ConfigError("unknown strategy in space",
+                              strategies=self.strategies)
+
+    @classmethod
+    def from_network(cls, network: Network, num_convs: Optional[int] = None,
+                     **kwargs) -> "SearchSpace":
+        sliced = (network.prefix(num_convs) if num_convs is not None
+                  else network.feature_extractor())
+        return cls(levels=tuple(extract_levels(sliced)), **kwargs)
+
+    @property
+    def num_units(self) -> int:
+        """Fusion units are 1:1 with windowed levels (the Section V-B
+        independent-unit convention the explorer also uses)."""
+        return len(self.levels)
+
+    @property
+    def bram18_budget(self) -> int:
+        return self.device.bram18 if self.bram_budget is None else self.bram_budget
+
+    def baseline(self) -> Candidate:
+        """The layer-by-layer, default-tiled reference point (point A)."""
+        n = self.num_units
+        return Candidate(sizes=(1,) * n, tiles=(None,) * n,
+                         strategy="reuse", tip=1)
+
+    def validate(self, candidate: Candidate) -> Candidate:
+        """Structural membership check; returns the candidate or raises."""
+        if candidate.num_units != self.num_units:
+            raise ConfigError(
+                f"candidate covers {candidate.num_units} units, "
+                f"space has {self.num_units}",
+                sizes=candidate.sizes, units=self.num_units)
+        if candidate.strategy not in self.strategies:
+            raise ConfigError(f"strategy {candidate.strategy!r} not in space",
+                              strategies=self.strategies)
+        if candidate.tip not in self.tips:
+            raise ConfigError(f"tip {candidate.tip} not in space",
+                              tips=self.tips)
+        for tile in candidate.tiles:
+            if tile is not None and (tile[0] not in self.tile_choices
+                                     or tile[1] not in self.tile_choices):
+                raise ConfigError(f"tile {tile} not in space",
+                                  tile_choices=self.tile_choices)
+        return candidate
+
+    def anchors(self) -> List[Candidate]:
+        """Deterministic structured corners of the space.
+
+        The fully-fused pyramid (the paper's headline point) and the
+        balanced bisection, each at every legal tip — default tiling,
+        reuse. Guided strategies seed their first generation with these
+        so the search starts from the known-good corners instead of
+        relying on a ~2^-(n-1) random draw to propose them. Order is
+        fixed (it is part of the seeded trajectory).
+        """
+        n = self.num_units
+        out: List[Candidate] = []
+        shapes = [(n,)]
+        if n >= 2:
+            shapes.append(((n + 1) // 2, n // 2))
+        for sizes in shapes:
+            for tip in self.tips:
+                cand = Candidate(sizes=sizes, tiles=(None,) * len(sizes),
+                                 strategy="reuse", tip=tip)
+                if cand not in out:
+                    out.append(cand)
+        return out
+
+    # -- seeded generation -----------------------------------------------------
+
+    def _random_tile(self, rng: random.Random) -> Tile:
+        # Bias toward the auto heuristic: it is feasible by construction,
+        # so the search always keeps a foothold in valid territory.
+        if rng.random() < 0.6:
+            return None
+        return (rng.choice(self.tile_choices), rng.choice(self.tile_choices))
+
+    def random_candidate(self, rng: random.Random) -> Candidate:
+        """A uniform partition (each boundary cut with p=0.5) with random
+        tile, strategy, and tip draws."""
+        n = self.num_units
+        sizes = []
+        run = 1
+        for _ in range(n - 1):
+            if rng.random() < 0.5:
+                sizes.append(run)
+                run = 1
+            else:
+                run += 1
+        sizes.append(run)
+        tiles = tuple(self._random_tile(rng) for _ in sizes)
+        return Candidate(sizes=tuple(sizes), tiles=tiles,
+                         strategy=rng.choice(self.strategies),
+                         tip=rng.choice(self.tips))
+
+    def mutate(self, rng: random.Random, candidate: Candidate) -> Candidate:
+        """One random structural edit: split/merge a group, retile or
+        bump a group's (Tm, Tn), flip the strategy, or resize the tip."""
+        ops = ["retile"]
+        if any(s > 1 for s in candidate.sizes):
+            ops.append("split")
+        if candidate.num_groups > 1:
+            ops.append("merge")
+        if any(t is not None for t in candidate.tiles):
+            ops.append("bump")
+        if len(self.strategies) > 1:
+            ops.append("strategy")
+        if len(self.tips) > 1:
+            ops.append("tip")
+        op = rng.choice(ops)
+        return getattr(self, f"_mutate_{op}")(rng, candidate)
+
+    def _mutate_split(self, rng: random.Random, c: Candidate) -> Candidate:
+        splittable = [i for i, s in enumerate(c.sizes) if s > 1]
+        g = rng.choice(splittable)
+        cut = rng.randrange(1, c.sizes[g])
+        sizes = c.sizes[:g] + (cut, c.sizes[g] - cut) + c.sizes[g + 1:]
+        tiles = c.tiles[:g] + (c.tiles[g], c.tiles[g]) + c.tiles[g + 1:]
+        return replace(c, sizes=sizes, tiles=tiles)
+
+    def _mutate_merge(self, rng: random.Random, c: Candidate) -> Candidate:
+        g = rng.randrange(c.num_groups - 1)
+        sizes = c.sizes[:g] + (c.sizes[g] + c.sizes[g + 1],) + c.sizes[g + 2:]
+        tiles = c.tiles[:g] + (c.tiles[g],) + c.tiles[g + 2:]
+        return replace(c, sizes=sizes, tiles=tiles)
+
+    def _mutate_retile(self, rng: random.Random, c: Candidate) -> Candidate:
+        g = rng.randrange(c.num_groups)
+        tiles = list(c.tiles)
+        tiles[g] = self._random_tile(rng)
+        return replace(c, tiles=tuple(tiles))
+
+    def _mutate_bump(self, rng: random.Random, c: Candidate) -> Candidate:
+        tiled = [i for i, t in enumerate(c.tiles) if t is not None]
+        g = rng.choice(tiled)
+        tm, tn = c.tiles[g]
+        axis = rng.randrange(2)
+        value = (tm, tn)[axis]
+        idx = self.tile_choices.index(value) if value in self.tile_choices else 0
+        idx = max(0, min(len(self.tile_choices) - 1,
+                         idx + rng.choice((-1, 1))))
+        bumped = self.tile_choices[idx]
+        tile = (bumped, tn) if axis == 0 else (tm, bumped)
+        tiles = list(c.tiles)
+        tiles[g] = tile
+        return replace(c, tiles=tuple(tiles))
+
+    def _mutate_strategy(self, rng: random.Random, c: Candidate) -> Candidate:
+        others = [s for s in self.strategies if s != c.strategy]
+        return replace(c, strategy=rng.choice(others))
+
+    def _mutate_tip(self, rng: random.Random, c: Candidate) -> Candidate:
+        others = [t for t in self.tips if t != c.tip]
+        return replace(c, tip=rng.choice(others))
+
+    def describe(self) -> str:
+        return (f"{self.num_units} units, DSP budget {self.dsp_budget}, "
+                f"BRAM18 budget {self.bram18_budget}, tips {self.tips}, "
+                f"strategies {'/'.join(self.strategies)}, "
+                f"tile caps {self.tile_choices}")

@@ -1,0 +1,51 @@
+"""Property tests for the partition composition enumerator (ISSUE satellite).
+
+``compositions(n)`` underlies both the explorer's exhaustive sweep and
+the tuner's design space: it must emit exactly ``2^(n-1)`` compositions,
+each summing to ``n``, in one deterministic order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import compositions
+
+sizes = st.integers(1, 12)
+
+
+class TestCompositionProperties:
+    @given(n=sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_count_is_two_to_n_minus_one(self, n):
+        assert sum(1 for _ in compositions(n)) == 2 ** (n - 1)
+
+    @given(n=sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_every_composition_sums_to_n(self, n):
+        for sizes_tuple in compositions(n):
+            assert sum(sizes_tuple) == n
+            assert all(s >= 1 for s in sizes_tuple)
+
+    @given(n=sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_no_duplicates(self, n):
+        seen = list(compositions(n))
+        assert len(seen) == len(set(seen))
+
+    @given(n=sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_order_is_deterministic(self, n):
+        assert list(compositions(n)) == list(compositions(n))
+
+    @given(n=sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_extremes_are_first_and_last(self, n):
+        seen = list(compositions(n))
+        assert seen[0] == (n,)
+        assert seen[-1] == (1,) * n
+
+    @given(n=sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_ordered_by_ascending_cut_count(self, n):
+        cuts = [len(sizes_tuple) - 1 for sizes_tuple in compositions(n)]
+        assert cuts == sorted(cuts)

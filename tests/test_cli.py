@@ -348,3 +348,81 @@ class TestServeBench:
     def test_explore_bad_jobs_exits_2(self, capsys):
         assert main(["explore", "toynet", "--jobs", "0"]) == 2
         assert "jobs" in capsys.readouterr().err
+
+
+class TestTuneCli:
+    def test_tune_toynet(self, capsys):
+        out = run(capsys, "tune", "toynet", "--evals", "30", "--seed", "7")
+        assert "minimize cycles" in out
+        assert "incumbent" in out and "baseline" in out
+        assert "x better" in out
+
+    def test_tune_warm_resume_message(self, capsys, tmp_path):
+        db = str(tmp_path / "tunedb.json")
+        first = run(capsys, "--seed", "7", "tune", "toynet",
+                    "--evals", "30", "--db", db)
+        assert "warm resume" not in first
+        second = run(capsys, "--seed", "7", "tune", "toynet",
+                     "--evals", "30", "--db", db)
+        assert "warm resume" in second
+        assert "0 fresh evaluations" in second
+
+    def test_tune_json_summary(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "tune.json"
+        run(capsys, "--seed", "7", "tune", "toynet", "--evals", "30",
+            "--json", str(path))
+        data = json.loads(path.read_text())
+        assert data["considered"] == 30
+        assert data["incumbent"]["value"] <= data["baseline"]["value"]
+
+    def test_tune_weighted_objective(self, capsys):
+        out = run(capsys, "tune", "toynet", "--evals", "20",
+                  "--objective", "cycles=0.7,energy=0.3")
+        assert "0.7*cycles" in out
+
+    def test_tune_bad_objective_exits_2(self, capsys):
+        assert main(["tune", "toynet", "--objective", "luck"]) == 2
+        assert "metric" in capsys.readouterr().err
+
+    def test_tune_profile_reports_counters(self, capsys):
+        out = run(capsys, "--profile", "tune", "toynet", "--evals", "20",
+                  "--seed", "1")
+        assert "tune.candidates_evaluated" in out
+
+
+class TestMultiCli:
+    def test_multi_explicit_partition(self, capsys):
+        out = run(capsys, "multi", "vgg", "--convs", "5",
+                  "--partition", "4+3")
+        assert "group" in out and "latency" in out
+        assert "throughput interval" in out
+
+    def test_multi_default_is_fully_fused(self, capsys):
+        out = run(capsys, "multi", "vgg", "--convs", "5")
+        assert "(7,)" in out
+
+    def test_multi_bad_partition_exits(self):
+        with pytest.raises(SystemExit) as err:
+            main(["multi", "vgg", "--convs", "5", "--partition", "nope"])
+        assert "partition" in str(err.value)
+
+    def test_multi_wrong_total_is_clean_error(self, capsys):
+        assert main(["multi", "vgg", "--convs", "5",
+                     "--partition", "2+2"]) == 2
+        assert "cover" in capsys.readouterr().err
+
+    def test_multi_tuned_lookup(self, capsys, tmp_path):
+        db = str(tmp_path / "tunedb.json")
+        run(capsys, "--seed", "7", "tune", "toynet", "--evals", "30",
+            "--db", db)
+        out = run(capsys, "multi", "toynet", "--convs", "2",
+                  "--tuned", db)
+        assert "tuned partition" in out
+
+    def test_multi_tuned_missing_incumbent_exits(self, tmp_path):
+        db = str(tmp_path / "empty.json")
+        with pytest.raises(SystemExit) as err:
+            main(["multi", "toynet", "--convs", "2", "--tuned", db])
+        assert "no tuned incumbent" in str(err.value)

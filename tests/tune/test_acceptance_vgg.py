@@ -1,0 +1,74 @@
+"""The ISSUE acceptance criterion, as a test.
+
+On the first five convolutional layers of VGGNet-E, a bounded
+``tune --objective cycles`` run must find a configuration whose
+simulated multi-pyramid cycles are <= the best result of a
+partition-only exploration with default ``optimize_fused`` tiling —
+i.e. the joint search never loses to the marginal search it subsumes —
+while staying seed-deterministic and resumable with zero re-evaluations.
+"""
+
+import pytest
+
+from repro.core.partition import compositions
+from repro.hw.multi import design_partition
+from repro.nn.stages import extract_levels
+from repro.nn.zoo import vggnet_e
+from repro.tune import tune
+
+EVALS = 120
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def partition_only_best():
+    """Exhaustive partition sweep with default tiling (the old tool)."""
+    levels = extract_levels(vggnet_e().prefix(5))
+    best = None
+    for sizes in compositions(len(levels)):
+        try:
+            design = design_partition(levels, sizes, dsp_budget=3600)
+        except Exception:
+            continue
+        if best is None or design.latency_cycles < best:
+            best = design.latency_cycles
+    assert best is not None
+    return best
+
+
+@pytest.fixture(scope="module")
+def tuned(tmp_path_factory):
+    db = str(tmp_path_factory.mktemp("acceptance") / "db.json")
+    result = tune(vggnet_e(), num_convs=5, objective="cycles",
+                  evals=EVALS, seed=SEED, db=db)
+    return result, db
+
+
+class TestAcceptance:
+    def test_joint_search_matches_or_beats_partition_only(
+            self, tuned, partition_only_best):
+        result, _ = tuned
+        assert result.incumbent.value <= partition_only_best
+
+    def test_candidate_count_is_bounded(self, tuned):
+        result, _ = tuned
+        assert result.considered == EVALS
+
+    def test_trajectory_is_seed_deterministic(self, tuned):
+        result, _ = tuned
+        again = tune(vggnet_e(), num_convs=5, objective="cycles",
+                     evals=EVALS, seed=SEED)
+        assert again.incumbent.candidate == result.incumbent.candidate
+        assert again.incumbent.value == result.incumbent.value
+
+    def test_resume_from_db_needs_zero_reevaluations(self, tuned):
+        result, db = tuned
+        warm = tune(vggnet_e(), num_convs=5, objective="cycles",
+                    evals=EVALS, seed=SEED, db=db)
+        assert warm.fresh == 0
+        assert warm.incumbent.value == result.incumbent.value
+
+    def test_big_improvement_over_layer_by_layer(self, tuned):
+        result, _ = tuned
+        # the paper's core claim in cycles: fusion wins by a wide margin
+        assert result.improvement > 2

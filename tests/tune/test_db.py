@@ -1,0 +1,93 @@
+"""TuningDB persistence and the TunedRecord hand-off."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tune import (
+    Candidate,
+    EvalResult,
+    TunedRecord,
+    TuningDB,
+    space_key,
+)
+
+KEY = space_key("ab12cd34", "XC7V690T", 3600, "cycles")
+
+
+def result(sizes=(2,), value=100.0):
+    cand = Candidate(sizes=sizes, tiles=(None,) * len(sizes))
+    return EvalResult(candidate=cand, valid=True,
+                      metrics={"cycles": value, "interval": value,
+                               "energy": 0.1, "bytes": 64.0})
+
+
+class TestTuningDB:
+    def test_space_key_shape(self):
+        assert KEY == "ab12cd34/XC7V690T/dsp3600/cycles"
+
+    def test_record_and_lookup(self):
+        db = TuningDB()
+        r = result()
+        db.record_eval(KEY, r)
+        assert db.lookup(KEY, r.candidate) == r
+        assert db.lookup(KEY, Candidate(sizes=(1, 1),
+                                        tiles=(None, None))) is None
+        assert db.num_evals(KEY) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = TuningDB(path=str(path))
+        r = result()
+        db.record_eval(KEY, r)
+        db.set_incumbent(KEY, r.candidate, 100.0)
+        db.record_run(KEY, {"seed": 7, "fresh": 1})
+        db.save()
+
+        again = TuningDB(path=str(path))
+        assert again.lookup(KEY, r.candidate) == r
+        stored, value = again.incumbent(KEY)
+        assert stored == r and value == 100.0
+        assert again.runs(KEY) == [{"seed": 7, "fresh": 1}]
+
+    def test_ephemeral_save_is_noop(self):
+        TuningDB().save()  # no path: nothing to write, nothing raised
+
+    def test_open_coercions(self, tmp_path):
+        db = TuningDB()
+        assert TuningDB.open(db) is db
+        assert TuningDB.open(None).path is None
+        path_db = TuningDB.open(str(tmp_path / "x.json"))
+        assert path_db.path is not None
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"surprise": True}))
+        with pytest.raises(ConfigError):
+            TuningDB(path=str(path))
+
+    def test_incumbent_missing_eval_is_none(self):
+        db = TuningDB()
+        db.set_incumbent(KEY, result().candidate, 5.0)
+        assert db.incumbent(KEY) is None
+
+
+class TestTunedRecord:
+    def test_from_result_and_back(self):
+        r = result(sizes=(2, 1))
+        record = TunedRecord.from_result("ab12cd34", "cycles", 100.0, r)
+        assert record.partition_sizes == (2, 1)
+        assert record.candidate == r.candidate
+        assert record.value == 100.0
+
+    def test_tuned_record_via_db(self):
+        db = TuningDB()
+        r = result()
+        db.record_eval(KEY, r)
+        db.set_incumbent(KEY, r.candidate, 100.0)
+        record = db.tuned_record(KEY, "ab12cd34", "cycles")
+        assert record is not None
+        assert record.fingerprint == "ab12cd34"
+        assert record.candidate == r.candidate
+        assert db.tuned_record("other/key", "x", "cycles") is None

@@ -1,0 +1,149 @@
+"""Candidate evaluation against the hardware simulators."""
+
+import pytest
+
+from repro.hw.multi import design_partition
+from repro.nn.stages import extract_levels
+from repro.nn.zoo import toynet, vggnet_e
+from repro.tune import (
+    Candidate,
+    EvalContext,
+    SearchSpace,
+    candidate_design,
+    candidate_resources,
+    evaluate_batch,
+    evaluate_candidate,
+    lower_bounds,
+)
+
+
+@pytest.fixture(scope="module")
+def vgg_ctx():
+    return EvalContext.from_space(
+        SearchSpace.from_network(vggnet_e(), num_convs=5))
+
+
+@pytest.fixture(scope="module")
+def toy_ctx():
+    return EvalContext.from_space(SearchSpace.from_network(toynet()))
+
+
+def auto_candidate(ctx, sizes, **kwargs):
+    return Candidate(sizes=sizes, tiles=(None,) * len(sizes), **kwargs)
+
+
+class TestCandidateDesign:
+    def test_all_auto_matches_design_partition(self, vgg_ctx):
+        """With every group on auto tiling, the candidate design is
+        exactly what hw.multi.design_partition builds."""
+        sizes = (4, 3)
+        cand = auto_candidate(vgg_ctx, sizes)
+        ours = candidate_design(vgg_ctx.levels, cand,
+                                dsp_budget=vgg_ctx.dsp_budget)
+        reference = design_partition(list(vgg_ctx.levels), sizes,
+                                     dsp_budget=vgg_ctx.dsp_budget)
+        assert ours.latency_cycles == reference.latency_cycles
+        assert ours.throughput_interval == reference.throughput_interval
+        assert ours.dsp == reference.dsp
+
+    def test_explicit_tile_caps_modules(self, vgg_ctx):
+        cand = Candidate(sizes=(7,), tiles=((8, 4),))
+        design = candidate_design(vgg_ctx.levels, cand,
+                                  dsp_budget=vgg_ctx.dsp_budget)
+        for module in design.engines[0].modules:
+            assert module.tm <= 8
+            assert module.tn <= 4
+
+    def test_recompute_costs_more_cycles(self, vgg_ctx):
+        reuse = evaluate_candidate(
+            vgg_ctx, auto_candidate(vgg_ctx, (7,), tip=4))
+        recompute = evaluate_candidate(
+            vgg_ctx, auto_candidate(vgg_ctx, (7,), strategy="recompute",
+                                    tip=4))
+        assert reuse.valid
+        # recompute re-derives every shared value per pyramid: strictly
+        # more cycles than reuse at the same tip.
+        assert recompute.metrics["cycles"] > reuse.metrics["cycles"]
+
+    def test_recompute_drops_reuse_buffers(self, vgg_ctx):
+        cand = auto_candidate(vgg_ctx, (7,), tip=4)
+        design = candidate_design(vgg_ctx.levels, cand,
+                                  dsp_budget=vgg_ctx.dsp_budget)
+        reuse_bram = candidate_resources(design, "reuse").bram18
+        recompute_bram = candidate_resources(design, "recompute").bram18
+        assert recompute_bram < reuse_bram
+
+
+class TestEvaluateCandidate:
+    def test_fused_beats_layer_by_layer_on_toynet(self, toy_ctx):
+        base = evaluate_candidate(toy_ctx, auto_candidate(toy_ctx, (1, 1)))
+        fused = evaluate_candidate(toy_ctx, auto_candidate(toy_ctx, (2,)))
+        assert base.valid and fused.valid
+        assert fused.metrics["cycles"] < base.metrics["cycles"]
+        assert fused.metrics["bytes"] < base.metrics["bytes"]
+
+    def test_metrics_present_for_valid(self, toy_ctx):
+        result = evaluate_candidate(toy_ctx, auto_candidate(toy_ctx, (2,)))
+        for key in ("cycles", "interval", "energy", "bytes", "dsp", "bram18"):
+            assert key in result.metrics
+
+    def test_bram_budget_invalidates(self):
+        space = SearchSpace.from_network(vggnet_e(), num_convs=5,
+                                         bram_budget=100)
+        ctx = EvalContext.from_space(space)
+        result = evaluate_candidate(ctx, auto_candidate(ctx, (7,)))
+        assert not result.valid
+        assert "BRAM18" in result.reason
+        # metrics computed before the check survive for diagnostics
+        assert "cycles" in result.metrics
+
+    def test_infeasible_dsp_invalidates_with_reason(self):
+        space = SearchSpace.from_network(vggnet_e(), num_convs=5,
+                                         dsp_budget=500)
+        ctx = EvalContext.from_space(space)
+        # 7 layer-by-layer conv engines need 7 * 400 DSP floors
+        result = evaluate_candidate(
+            ctx, Candidate(sizes=(1,) * 7, tiles=(None,) * 7))
+        assert not result.valid
+        assert result.reason
+
+    def test_round_trips_through_dict(self, toy_ctx):
+        result = evaluate_candidate(toy_ctx, auto_candidate(toy_ctx, (2,)))
+        from repro.tune import EvalResult
+
+        again = EvalResult.from_dict(result.to_dict())
+        assert again == result
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("sizes", [(7,), (1,) * 7, (4, 3), (2, 2, 3)])
+    def test_bounds_never_exceed_actual(self, vgg_ctx, sizes):
+        cand = auto_candidate(vgg_ctx, sizes)
+        result = evaluate_candidate(vgg_ctx, cand)
+        assert result.valid
+        lb = lower_bounds(vgg_ctx, cand)
+        assert lb["cycles"] <= result.metrics["cycles"]
+        assert lb["interval"] <= result.metrics["interval"]
+        assert lb["energy"] <= result.metrics["energy"]
+        # the bytes model is exact: the bound IS the metric
+        assert lb["bytes"] == result.metrics["bytes"]
+
+    def test_bounds_hold_under_recompute(self, vgg_ctx):
+        cand = auto_candidate(vgg_ctx, (7,), strategy="recompute", tip=2)
+        result = evaluate_candidate(vgg_ctx, cand)
+        assert result.valid
+        lb = lower_bounds(vgg_ctx, cand)
+        assert lb["cycles"] <= result.metrics["cycles"]
+
+
+class TestEvaluateBatch:
+    def test_parallel_matches_serial(self, toy_ctx):
+        cands = [
+            auto_candidate(toy_ctx, (2,)),
+            auto_candidate(toy_ctx, (1, 1)),
+            Candidate(sizes=(2,), tiles=((4, 2),)),
+            auto_candidate(toy_ctx, (2,), strategy="recompute"),
+        ]
+        serial = evaluate_batch(toy_ctx, cands, jobs=1)
+        parallel = evaluate_batch(toy_ctx, cands, jobs=2)
+        assert parallel == serial

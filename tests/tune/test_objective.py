@@ -1,0 +1,63 @@
+"""Objective parsing, canonicalization, and scalarization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tune import Objective
+
+
+class TestParse:
+    def test_single_metric(self):
+        obj = Objective.parse("cycles")
+        assert obj.is_single
+        assert obj.spec() == "cycles"
+
+    def test_aliases(self):
+        assert Objective.parse("latency").spec() == "cycles"
+        assert Objective.parse("throughput").spec() == "interval"
+        assert Objective.parse("transfer").spec() == "bytes"
+
+    def test_weighted(self):
+        obj = Objective.parse("cycles=0.7,energy=0.3")
+        assert not obj.is_single
+        assert obj.metrics == ("cycles", "energy")
+        assert obj.spec() == "cycles=0.7,energy=0.3"
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective.parse("luck")
+
+    def test_duplicate_metric_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective.parse("cycles=1,cycles=2")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective.parse("cycles=0")
+
+    def test_bad_weight_text_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective.parse("cycles=fast")
+
+
+class TestValue:
+    def test_single_returns_raw_metric(self):
+        obj = Objective.parse("cycles")
+        assert obj.value({"cycles": 123.0}) == 123.0
+
+    def test_weighted_normalizes_by_baseline(self):
+        obj = Objective.parse("cycles=0.5,bytes=0.5")
+        base = {"cycles": 100.0, "bytes": 200.0}
+        # at the baseline itself, every term is exactly its weight
+        assert obj.value(base, base) == pytest.approx(1.0)
+        half = {"cycles": 50.0, "bytes": 100.0}
+        assert obj.value(half, base) == pytest.approx(0.5)
+
+    def test_weighted_without_baseline_rejected(self):
+        obj = Objective.parse("cycles=0.5,bytes=0.5")
+        with pytest.raises(ConfigError):
+            obj.value({"cycles": 1.0, "bytes": 1.0})
+
+    def test_describe(self):
+        assert Objective.parse("cycles").describe() == "minimize cycles"
+        assert "baseline" in Objective.parse("cycles=1,energy=2").describe()

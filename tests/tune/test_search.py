@@ -1,0 +1,134 @@
+"""Search strategies and the Pareto archive."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.zoo import vggnet_e
+from repro.tune import (
+    Candidate,
+    EvalResult,
+    EvolutionarySearch,
+    RandomSearch,
+    Scored,
+    SearchSpace,
+    make_strategy,
+    pareto_insert,
+)
+
+
+def scored(value, cycles=None, energy=1.0, nbytes=1.0, valid=True, tag=1):
+    """A Scored wrapper around synthetic metrics."""
+    cand = Candidate(sizes=(tag,), tiles=(None,))
+    metrics = {"cycles": value if cycles is None else cycles,
+               "energy": energy, "bytes": nbytes}
+    return Scored(result=EvalResult(candidate=cand, valid=valid,
+                                    metrics=metrics),
+                  value=value)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace.from_network(vggnet_e(), num_convs=5)
+
+
+class TestStrategies:
+    def test_registry(self):
+        assert isinstance(make_strategy("random"), RandomSearch)
+        assert isinstance(make_strategy("evolve"), EvolutionarySearch)
+        with pytest.raises(ConfigError):
+            make_strategy("oracle")
+
+    def test_random_is_seed_deterministic(self, space):
+        a = RandomSearch().propose(random.Random(3), space, 12)
+        b = RandomSearch().propose(random.Random(3), space, 12)
+        assert a == b
+
+    def test_evolve_first_generation_starts_from_anchors(self, space):
+        strat = EvolutionarySearch()
+        out = strat.propose(random.Random(3), space, 6)
+        assert len(out) == 6
+        anchors = space.anchors()
+        assert out[:len(anchors)] == anchors[:6]
+        # fully fused at the smallest tip leads the batch
+        assert out[0].sizes == (space.num_units,)
+
+    def test_anchors_are_deterministic_and_valid(self, space):
+        anchors = space.anchors()
+        assert anchors == space.anchors()
+        assert len(anchors) == len(set(anchors))
+        for cand in anchors:
+            space.validate(cand)
+
+    def test_evolve_trajectory_is_seed_deterministic(self, space):
+        def run(seed):
+            rng = random.Random(seed)
+            strat = EvolutionarySearch(population=4, immigrants=1)
+            history = []
+            for gen in range(5):
+                batch = strat.propose(rng, space, 6)
+                history.append([c.key() for c in batch])
+                strat.observe(rng, [scored(float(100 + i + gen), tag=7)
+                                    for i in range(len(batch))])
+            return history
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_evolve_pool_keeps_best(self, space):
+        rng = random.Random(0)
+        strat = EvolutionarySearch(population=2, immigrants=0,
+                                   temperature=0.0)
+        strat.observe(rng, [scored(50.0, tag=7), scored(10.0, tag=7),
+                            scored(90.0, tag=7)])
+        values = sorted(v for v, _, _ in strat._pool)
+        assert values == [10.0, 50.0]
+
+    def test_evolve_ignores_invalid(self, space):
+        rng = random.Random(0)
+        strat = EvolutionarySearch()
+        strat.observe(rng, [scored(math.inf, valid=False, tag=7)])
+        assert strat._pool == []
+
+    def test_evolve_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            EvolutionarySearch(population=0)
+        with pytest.raises(ConfigError):
+            EvolutionarySearch(decay=0)
+
+
+class TestParetoInsert:
+    def test_non_dominated_points_accumulate(self):
+        archive = []
+        assert pareto_insert(archive, scored(1, cycles=1, energy=9, nbytes=5))
+        assert pareto_insert(archive, scored(2, cycles=9, energy=1, nbytes=5))
+        assert len(archive) == 2
+
+    def test_dominated_point_rejected(self):
+        archive = []
+        pareto_insert(archive, scored(1, cycles=1, energy=1, nbytes=1))
+        assert not pareto_insert(archive,
+                                 scored(2, cycles=2, energy=2, nbytes=2))
+        assert len(archive) == 1
+
+    def test_dominating_point_evicts(self):
+        archive = []
+        pareto_insert(archive, scored(5, cycles=5, energy=5, nbytes=5))
+        pareto_insert(archive, scored(9, cycles=1, energy=9, nbytes=9))
+        assert pareto_insert(archive, scored(1, cycles=1, energy=1, nbytes=1))
+        assert len(archive) == 1
+        assert archive[0].value == 1
+
+    def test_duplicate_metrics_rejected(self):
+        archive = []
+        pareto_insert(archive, scored(3, cycles=3, energy=3, nbytes=3))
+        assert not pareto_insert(archive,
+                                 scored(3, cycles=3, energy=3, nbytes=3))
+        assert len(archive) == 1
+
+    def test_invalid_never_enters(self):
+        archive = []
+        assert not pareto_insert(archive, scored(1, valid=False))
+        assert archive == []

@@ -1,0 +1,97 @@
+"""Candidate encoding and the seeded SearchSpace generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.zoo import toynet, vggnet_e
+from repro.tune import Candidate, SearchSpace
+
+
+def vgg_space():
+    return SearchSpace.from_network(vggnet_e(), num_convs=5)
+
+
+class TestCandidate:
+    def test_key_is_canonical(self):
+        c = Candidate(sizes=(2, 1), tiles=((8, 4), None), strategy="reuse",
+                      tip=1)
+        assert c.key() == "2+1|8x4,auto|reuse|tip1"
+
+    def test_dict_round_trip(self):
+        c = Candidate(sizes=(3, 4), tiles=(None, (16, 2)),
+                      strategy="recompute", tip=4)
+        assert Candidate.from_dict(c.to_dict()) == c
+
+    def test_tile_count_must_match_groups(self):
+        with pytest.raises(ConfigError):
+            Candidate(sizes=(2, 1), tiles=(None,))
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            Candidate(sizes=(1,), tiles=(None,), strategy="teleport")
+
+    def test_counts(self):
+        c = Candidate(sizes=(2, 3), tiles=(None, None))
+        assert c.num_units == 5
+        assert c.num_groups == 2
+
+
+class TestSearchSpace:
+    def test_baseline_is_layer_by_layer_auto(self):
+        space = vgg_space()
+        base = space.baseline()
+        assert base.sizes == (1,) * space.num_units
+        assert all(t is None for t in base.tiles)
+        assert base.strategy == "reuse" and base.tip == 1
+
+    def test_validate_rejects_wrong_unit_count(self):
+        space = vgg_space()
+        with pytest.raises(ConfigError):
+            space.validate(Candidate(sizes=(1,), tiles=(None,)))
+
+    def test_validate_rejects_off_menu_tile(self):
+        space = vgg_space()
+        n = space.num_units
+        cand = Candidate(sizes=(n,), tiles=((5, 3),))
+        with pytest.raises(ConfigError):
+            space.validate(cand)
+
+    def test_random_candidates_are_deterministic_and_in_space(self):
+        space = vgg_space()
+        a = [space.random_candidate(random.Random(11)) for _ in range(20)]
+        b = [space.random_candidate(random.Random(11)) for _ in range(20)]
+        assert a == b
+        for cand in a:
+            assert space.validate(cand) is cand
+
+    def test_mutations_stay_in_space(self):
+        space = vgg_space()
+        rng = random.Random(5)
+        cand = space.baseline()
+        for _ in range(200):
+            cand = space.mutate(rng, cand)
+            space.validate(cand)
+            assert cand.num_units == space.num_units
+
+    def test_mutation_reaches_every_axis(self):
+        space = vgg_space()
+        rng = random.Random(1)
+        seen_sizes, seen_tiles, seen_strategies, seen_tips = (
+            set(), set(), set(), set())
+        cand = space.baseline()
+        for _ in range(400):
+            cand = space.mutate(rng, cand)
+            seen_sizes.add(cand.sizes)
+            seen_tiles.add(cand.tiles)
+            seen_strategies.add(cand.strategy)
+            seen_tips.add(cand.tip)
+        assert len(seen_sizes) > 5
+        assert len(seen_tiles) > 5
+        assert seen_strategies == {"reuse", "recompute"}
+        assert seen_tips == set(space.tips)
+
+    def test_from_network_prefix_matches_units(self):
+        space = SearchSpace.from_network(toynet())
+        assert space.num_units == 2

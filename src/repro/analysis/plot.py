@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import ConfigError
+
 
 def ascii_scatter(points: Sequence[Tuple[float, float, str]],
                   width: int = 64, height: int = 20,
@@ -17,7 +19,8 @@ def ascii_scatter(points: Sequence[Tuple[float, float, str]],
     if not points:
         return "(no points)"
     if width < 8 or height < 4:
-        raise ValueError("plot must be at least 8x4")
+        raise ConfigError("plot must be at least 8x4",
+                          width=width, height=height)
     xs = [p[0] for p in points]
     ys = [p[1] for p in points]
     x_lo, x_hi = min(xs), max(xs)

@@ -1,0 +1,62 @@
+"""repro.check: static verification of plans, schedules, and the repo.
+
+Two halves share one diagnostic currency:
+
+* the **domain analyzer** (:mod:`~repro.check.analyzer`,
+  :mod:`~repro.check.hazards`, :mod:`~repro.check.records`) verifies
+  dataflow invariants of a network + partition + plan in milliseconds,
+  with no NumPy execution — geometry, buffer bounds, schedule hazards,
+  record integrity;
+* the **repo linter** (:mod:`~repro.check.lint`) walks source ASTs to
+  enforce the determinism, error-hierarchy, counter-naming, and
+  CLI-documentation contracts.
+
+Entry points: ``repro check`` on the command line;
+:func:`check_network` / :func:`lint_paths` from code;
+``serve.compile_plan`` and ``tune.tune`` run the relevant validators on
+their own outputs by default.
+"""
+
+from .analyzer import (
+    check_group,
+    check_levels,
+    check_network,
+    check_partition,
+    check_pyramid_geometry,
+)
+from .diagnostics import CODES, CheckReport, Diagnostic, Severity, diag
+from .hazards import (
+    check_channel_schedule,
+    check_fused_schedule,
+    check_pipeline_schedule,
+)
+from .lint import lint_paths
+from .records import (
+    check_compiled_plan,
+    check_plan_cache_file,
+    check_plan_dict,
+    check_tuned_record,
+    check_tuning_db_file,
+)
+
+__all__ = [
+    "CODES",
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "check_channel_schedule",
+    "check_compiled_plan",
+    "check_fused_schedule",
+    "check_group",
+    "check_levels",
+    "check_network",
+    "check_partition",
+    "check_pipeline_schedule",
+    "check_plan_cache_file",
+    "check_plan_dict",
+    "check_pyramid_geometry",
+    "check_tuned_record",
+    "check_tuning_db_file",
+    "diag",
+    "lint_paths",
+]

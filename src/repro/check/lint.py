@@ -1,0 +1,282 @@
+"""The repo invariant linter: AST rules for contracts the tests can't see.
+
+PRs 1-4 established repo-wide contracts that are invisible to the test
+suite until they break in production: determinism-critical modules draw
+randomness only from caller-seeded generators and never read the wall
+clock (the warm-resume and replay guarantees depend on it), every
+raised error descends from :mod:`repro.errors` (the CLI's exit-code-2
+diagnosis path depends on it), observability counters follow one naming
+grammar (dashboards depend on it), and the README documents every CLI
+subcommand. This module enforces them by walking source ASTs — no
+imports, no execution — and reports through the same
+:class:`~repro.check.diagnostics.Diagnostic` currency as the domain
+analyzer.
+
+Rules:
+
+====== ==================================================================
+RL101  ``raise ValueError(...)`` / ``raise RuntimeError(...)`` outside
+       the :mod:`repro.errors` hierarchy (``ConfigError`` *is* a
+       ``ValueError``; raise it instead)
+RL201  unseeded randomness (module-level ``random.*``, ``random.Random()``
+       with no seed, ``SystemRandom``, ``np.random.*`` legacy calls) in a
+       determinism-critical module (``tune/``, ``faults/``,
+       ``serve/plan.py``)
+RL202  wall-clock reads (``time.time``, ``datetime.now`` ...) in a
+       determinism-critical module; the monotonic ``time.perf_counter``
+       is allowed — durations are reported, never persisted
+RL301  literal ``obs.add_counter``/``obs.set_gauge`` name not matching
+       ``family.metric`` (dotted lowercase, optional ``[index]`` suffix)
+RL401  CLI subcommand registered in ``cli.py`` but absent from README
+====== ==================================================================
+
+A finding is suppressed when its source line carries ``# noqa`` (with
+or without a code).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .diagnostics import Diagnostic, diag
+
+#: Path fragments marking determinism-critical modules: seeded replay
+#: (tune), fault-plan reproducibility (faults), and plan identity
+#: (serve/plan.py) all break if these read ambient entropy or clocks.
+_DETERMINISTIC_DIRS = ("tune", "faults")
+_DETERMINISTIC_FILES = (("serve", "plan.py"),)
+
+#: Module-level `random.*` functions that consume the global, unseeded
+#: generator state.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "randbytes",
+})
+
+#: Call names (matched on the dotted tail) that read the wall clock.
+_WALL_CLOCK_TAILS = (
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.asctime", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today",
+)
+
+_COUNTER_FNS = frozenset({"add_counter", "set_gauge"})
+_COUNTER_NAME_RE = re.compile(
+    r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+(\[[^\[\]]+\])?$")
+
+
+def _dotted(node: ast.AST) -> str:
+    """The dotted-name text of a call target (``obs.add_counter``), or
+    ``""`` for anything that is not a plain attribute/name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_deterministic_module(path: Path) -> bool:
+    parts = path.parts
+    if "tests" in parts:
+        return False
+    if any(d in parts[:-1] for d in _DETERMINISTIC_DIRS):
+        return True
+    return any(parts[-2:] == tail for tail in _DETERMINISTIC_FILES)
+
+
+def _suppressed(lines: Sequence[str], lineno: int) -> bool:
+    if 1 <= lineno <= len(lines):
+        return "# noqa" in lines[lineno - 1]
+    return False
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: Path, lines: Sequence[str], label: str):
+        self.path = path
+        self.lines = lines
+        self.label = label
+        self.deterministic = is_deterministic_module(path)
+        self.is_errors_module = path.name == "errors.py"
+        self.diagnostics: List[Diagnostic] = []
+
+    def _emit(self, code: str, message: str, node: ast.AST, **context) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if _suppressed(self.lines, lineno):
+            return
+        self.diagnostics.append(
+            diag(code, message, site=f"{self.label}:{lineno}", **context))
+
+    # -- RL101: error-hierarchy discipline --------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if not self.is_errors_module:
+            exc = node.exc
+            name = ""
+            if isinstance(exc, ast.Call):
+                name = _dotted(exc.func)
+            elif exc is not None:
+                name = _dotted(exc)
+            if name in ("ValueError", "RuntimeError"):
+                self._emit(
+                    "RL101", f"raise {name} directly: use the repro.errors "
+                    "hierarchy (ConfigError for bad requests, SimFaultError "
+                    "for runtime faults) so the CLI can diagnose it",
+                    node, exception=name)
+        self.generic_visit(node)
+
+    # -- RL2xx determinism + RL301 naming ---------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if self.deterministic and name:
+            self._check_determinism(node, name)
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _COUNTER_FNS and node.args:
+            self._check_counter_name(node)
+        self.generic_visit(node)
+
+    def _check_determinism(self, node: ast.Call, name: str) -> None:
+        head, _, tail = name.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            self._emit(
+                "RL201", f"{name}() draws from the global unseeded "
+                "generator; thread a caller-provided random.Random through",
+                node, call=name)
+        elif name in ("random.Random", "random.SystemRandom") and not node.args:
+            self._emit(
+                "RL201", f"{name}() with no seed is entropy-seeded; pass "
+                "an explicit seed", node, call=name)
+        elif name == "random.SystemRandom":
+            self._emit("RL201", "SystemRandom is unseedable by design",
+                       node, call=name)
+        elif tail == "default_rng" and "random" in name and not node.args:
+            self._emit("RL201", f"{name}() with no seed is entropy-seeded",
+                       node, call=name)
+        elif head.endswith("np.random") or head.endswith("numpy.random"):
+            if tail not in ("default_rng", "Generator", "SeedSequence",
+                            "PCG64"):
+                self._emit(
+                    "RL201", f"{name}() uses numpy's legacy global "
+                    "generator; use a seeded Generator", node, call=name)
+        if any(name == t or name.endswith("." + t)
+               for t in _WALL_CLOCK_TAILS):
+            self._emit(
+                "RL202", f"{name}() reads the wall clock; deterministic "
+                "modules may only use time.perf_counter for durations",
+                node, call=name)
+
+    def _check_counter_name(self, node: ast.Call) -> None:
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            text = arg.value
+        elif isinstance(arg, ast.JoinedStr):
+            pieces = []
+            for value in arg.values:
+                if isinstance(value, ast.Constant):
+                    pieces.append(str(value.value))
+                else:
+                    pieces.append("x")  # placeholder for the runtime part
+            text = "".join(pieces)
+        else:
+            return  # dynamic name: out of static reach
+        if not _COUNTER_NAME_RE.match(text):
+            self._emit(
+                "RL301", f"counter/gauge name {text!r} violates the "
+                "'family.metric' convention (dotted lowercase, optional "
+                "[index] suffix)", node, name=text)
+
+
+def _iter_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*.py"))
+                         if "__pycache__" not in p.parts)
+        else:
+            files.append(path)
+    return files
+
+
+def _display(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_paths(paths: Sequence[str],
+               readme: Optional[str] = None) -> List[Diagnostic]:
+    """Lint every ``.py`` under ``paths`` and cross-check CLI vs README.
+
+    ``readme`` overrides README discovery (by default the nearest
+    ``README.md`` at or above each lint root is used for RL401).
+    Unreadable or syntactically invalid files yield RC-style failures
+    via ``ConfigError`` — a lint run over broken source is a bad
+    request, not a lint finding.
+    """
+    from ..errors import ConfigError
+
+    out: List[Diagnostic] = []
+    subcommands: List[tuple] = []  # (name, label, lineno)
+    readme_path = Path(readme) if readme else _find_readme(paths)
+    for path in _iter_files(paths):
+        label = _display(path, Path.cwd())
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except OSError as err:
+            raise ConfigError(f"cannot lint {path}: {err}", path=str(path))
+        except SyntaxError as err:
+            raise ConfigError(f"cannot lint {path}: {err}", path=str(path),
+                              line=err.lineno)
+        linter = _FileLinter(path, source.splitlines(), label)
+        linter.visit(tree)
+        out.extend(linter.diagnostics)
+        if path.name == "cli.py":
+            subcommands.extend(
+                (name, label, lineno)
+                for name, lineno in _cli_subcommands(tree))
+    if subcommands and readme_path is not None and readme_path.exists():
+        text = readme_path.read_text()
+        for name, label, lineno in subcommands:
+            if not re.search(rf"\b{re.escape(name)}\b", text):
+                out.append(diag(
+                    "RL401", f"CLI subcommand {name!r} is not documented "
+                    f"in {readme_path.name}", site=f"{label}:{lineno}",
+                    subcommand=name, readme=str(readme_path)))
+    return out
+
+
+def _cli_subcommands(tree: ast.AST) -> List[tuple]:
+    """(name, lineno) of every ``add_parser("name", ...)`` registration."""
+    found: List[tuple] = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser" and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            found.append((node.args[0].value, node.lineno))
+    return found
+
+
+def _find_readme(paths: Sequence[str]) -> Optional[Path]:
+    for raw in paths:
+        current = Path(raw).resolve()
+        if current.is_file():
+            current = current.parent
+        for candidate in (current, *current.parents):
+            readme = candidate / "README.md"
+            if readme.exists():
+                return readme
+    return None

@@ -1,0 +1,311 @@
+"""Static validation of persisted records: compiled plans and tuning DBs.
+
+Plans (:mod:`repro.serve.plan`) and tuning databases
+(:mod:`repro.tune.db`) are the two artifacts that cross process
+boundaries as JSON — the places where a stale file, a hand edit, or a
+version skew can smuggle a wrong configuration into serving. The
+validators here work on the *raw dictionaries*: no
+``NetworkExecutor`` is built, no NumPy weights are materialized, so a
+multi-megabyte plan cache audits in milliseconds.
+
+What gets checked:
+
+* **completeness** (RC403/RC408) — every required field present and
+  parseable via the owning module's own ``from_dict``;
+* **fingerprint integrity** (RC401/RC406) — the key's network
+  fingerprint must equal the fingerprint recomputed from the record's
+  embedded network description (and the caller's network, if given):
+  a tampered or stale record never silently applies;
+* **geometry** (RC402 + the RC1xx family) — the stored partition must
+  cover the network and every group's pyramid must build;
+* **aliasing** (RC404/RC407) — no two plans share a key, and every
+  tuning eval sits under its candidate's canonical key;
+* **staleness** (RC405) — a tuning incumbent must point at an eval
+  that still exists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.fusion import Strategy
+from ..errors import ConfigError
+from ..nn.network import Network
+from ..nn.shapes import ShapeError, TensorShape
+from ..nn.stages import extract_levels
+from ..tune.space import Candidate, STRATEGY_CHOICES
+from .analyzer import check_partition
+from .diagnostics import Diagnostic, diag
+
+_PLAN_FIELDS = ("key", "network_name", "input_shape", "layers",
+                "partition_sizes", "seed", "degraded")
+_STRATEGY_NAMES = tuple(s.name for s in Strategy)
+
+
+def _plan_network(data: Dict[str, Any]) -> Network:
+    """Rebuild the plan's embedded network description (specs only — the
+    executors a real ``CompiledPlan.from_dict`` would construct are
+    exactly what static checking must avoid)."""
+    from ..serve.plan import _spec_from_dict
+
+    c, h, w = (int(v) for v in data["input_shape"])
+    return Network(str(data["network_name"]), TensorShape(c, h, w),
+                   [_spec_from_dict(d) for d in data["layers"]])
+
+
+def check_plan_dict(data: Dict[str, Any],
+                    network: Optional[Network] = None,
+                    site: str = "") -> List[Diagnostic]:
+    """Validate one serialized plan (the ``CompiledPlan.to_dict`` form)."""
+    from ..serve.plan import PRECISIONS, PlanKey
+
+    out: List[Diagnostic] = []
+    if not isinstance(data, dict):
+        return [diag("RC408", f"plan record is {type(data).__name__}, "
+                     "not an object", site=site)]
+    missing = [f for f in _PLAN_FIELDS if f not in data]
+    if missing:
+        return [diag("RC403", f"plan record is missing {missing}",
+                     site=site, missing=missing)]
+    try:
+        key = PlanKey.from_dict(data["key"])
+    except (KeyError, TypeError, ValueError) as err:
+        return [diag("RC403", f"unparseable plan key: {err}", site=site)]
+    site = site or str(key)
+
+    if key.precision not in PRECISIONS:
+        out.append(diag("RC403", f"precision {key.precision!r} not in "
+                        f"{PRECISIONS}", site=site))
+    if key.tip < 1:
+        out.append(diag("RC403", f"tip must be >= 1, got {key.tip}",
+                        site=site))
+    if key.strategy not in _STRATEGY_NAMES:
+        out.append(diag("RC403", f"strategy {key.strategy!r} not in "
+                        f"{_STRATEGY_NAMES}", site=site))
+    if key.seed != int(data["seed"]):
+        out.append(diag("RC403", f"key seed {key.seed} != plan seed "
+                        f"{data['seed']}: the frozen weights would not "
+                        "match the key", site=site))
+
+    try:
+        plan_network = _plan_network(data)
+    except (ConfigError, KeyError, TypeError, ValueError) as err:
+        out.append(diag("RC402", f"embedded network does not rebuild: {err}",
+                        site=site))
+        return out
+
+    fingerprint = plan_network.fingerprint()
+    if key.fingerprint != fingerprint:
+        out.append(diag(
+            "RC401", f"key fingerprint {key.fingerprint} != fingerprint "
+            f"{fingerprint} of the embedded network: the record was "
+            "tampered with or compiled for a different network",
+            site=site, key_fingerprint=key.fingerprint,
+            network_fingerprint=fingerprint))
+    if network is not None and network.fingerprint() != key.fingerprint:
+        out.append(diag(
+            "RC401", f"plan fingerprint {key.fingerprint} does not match "
+            f"{network.name} ({network.fingerprint()})",
+            site=site, key_fingerprint=key.fingerprint,
+            network=network.name))
+
+    sizes = [int(s) for s in data["partition_sizes"]]
+    try:
+        levels = extract_levels(plan_network.feature_extractor())
+    except ShapeError as err:
+        out.append(diag("RC402", f"embedded network has no valid levels: "
+                        f"{err}", site=site))
+        return out
+    partition = check_partition(levels, sizes, tip=key.tip,
+                                strategy="reuse", check_resources=False,
+                                schedule_probes=False)
+    if partition:
+        out.append(diag("RC402", f"stored partition {sizes} is invalid "
+                        f"for the embedded network "
+                        f"({len(partition)} geometry findings)",
+                        site=site, sizes=sizes))
+        out.extend(partition)
+    return out
+
+
+def check_plan_cache_dict(payload: Any,
+                          network: Optional[Network] = None,
+                          site: str = "") -> List[Diagnostic]:
+    """Validate a whole plan-cache payload (the ``PlanCache.save`` form)."""
+    from ..serve.plan import PlanKey
+
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("plans"), list)):
+        return [diag("RC408", "not a plan-cache payload (no 'plans' list)",
+                     site=site)]
+    out: List[Diagnostic] = []
+    seen: Dict[str, int] = {}
+    for i, data in enumerate(payload["plans"]):
+        entry_site = f"{site}plans[{i}]" if site else f"plans[{i}]"
+        out.extend(check_plan_dict(data, network=network, site=entry_site))
+        try:
+            key = str(PlanKey.from_dict(data["key"]))
+        except (KeyError, TypeError, ValueError):
+            continue  # already reported above
+        if key in seen:
+            out.append(diag(
+                "RC404", f"plans[{seen[key]}] and plans[{i}] share key "
+                f"{key}: a cache load would silently drop one",
+                site=entry_site, key=key))
+        else:
+            seen[key] = i
+    return out
+
+
+def check_plan_cache_file(path: str,
+                          network: Optional[Network] = None) -> List[Diagnostic]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [diag("RC408", f"cannot read plan cache: {err}",
+                     site=str(path))]
+    return check_plan_cache_dict(payload, network=network)
+
+
+def check_compiled_plan(plan: Any,
+                        network: Optional[Network] = None) -> List[Diagnostic]:
+    """Validate an in-memory :class:`~repro.serve.plan.CompiledPlan`.
+
+    The serialized form carries everything checkable, so this round-trips
+    through :meth:`CompiledPlan.to_dict` — guaranteeing the persisted and
+    in-memory contracts can never drift apart.
+    """
+    return check_plan_dict(plan.to_dict(), network=network)
+
+
+# -- tuning databases ----------------------------------------------------------
+
+
+def _check_space_key(key: str, site: str) -> List[Diagnostic]:
+    parts = key.split("/")
+    if (len(parts) < 4 or not all(parts)
+            or not parts[2].startswith("dsp")
+            or not parts[2][3:].isdigit()):
+        return [diag("RC408", f"space key {key!r} is not "
+                     "fingerprint/device/dsp<N>/objective", site=site)]
+    return []
+
+
+def check_tuning_db_dict(payload: Any,
+                         fingerprint: Optional[str] = None,
+                         site: str = "") -> List[Diagnostic]:
+    """Validate a tuning-db payload (the ``TuningDB.save`` form)."""
+    out: List[Diagnostic] = []
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("entries"), dict)):
+        return [diag("RC408", "not a tuning-db payload (no 'entries' map)",
+                     site=site)]
+    matched = fingerprint is None
+    for key, entry in payload["entries"].items():
+        entry_site = f"{site}{key}" if site else str(key)
+        out.extend(_check_space_key(str(key), entry_site))
+        if not isinstance(entry, dict) or "evals" not in entry:
+            out.append(diag("RC408", "entry has no 'evals' map",
+                            site=entry_site))
+            continue
+        evals = entry["evals"]
+        if not isinstance(evals, dict):
+            out.append(diag("RC408", "'evals' is not a map", site=entry_site))
+            continue
+        if fingerprint is not None and str(key).split("/")[0] == fingerprint:
+            matched = True
+        for cand_key, record in evals.items():
+            out.extend(_check_eval(str(cand_key), record,
+                                   f"{entry_site}:{cand_key}"))
+        incumbent = entry.get("incumbent")
+        if incumbent is not None:
+            if (not isinstance(incumbent, dict)
+                    or "candidate" not in incumbent
+                    or "value" not in incumbent):
+                out.append(diag("RC408", "incumbent marker needs "
+                                "'candidate' and 'value'", site=entry_site))
+            elif incumbent["candidate"] not in evals:
+                out.append(diag(
+                    "RC405", f"incumbent points at "
+                    f"{incumbent['candidate']!r} but no such eval exists: "
+                    "the record is stale", site=entry_site,
+                    incumbent=incumbent["candidate"]))
+    if not matched:
+        out.append(diag(
+            "RC406", f"no entry matches fingerprint {fingerprint}: the "
+            "database was tuned for a different network",
+            site=site, fingerprint=fingerprint))
+    return out
+
+
+def _check_eval(cand_key: str, record: Any, site: str) -> List[Diagnostic]:
+    from ..tune.evaluate import EvalResult
+
+    if not isinstance(record, dict):
+        return [diag("RC408", "eval record is not an object", site=site)]
+    try:
+        result = EvalResult.from_dict(record)
+    except (ConfigError, KeyError, TypeError, ValueError) as err:
+        return [diag("RC408", f"eval record does not parse: {err}",
+                     site=site)]
+    out: List[Diagnostic] = []
+    actual = result.candidate.key()
+    if actual != cand_key:
+        out.append(diag(
+            "RC407", f"eval stored under {cand_key!r} but its candidate "
+            f"keys as {actual!r}: two candidates alias one slot",
+            site=site, stored=cand_key, actual=actual))
+    if result.valid and "cycles" not in result.metrics:
+        out.append(diag("RC407", "valid eval has no 'cycles' metric: the "
+                        "tuner cannot score it", site=site))
+    return out
+
+
+def check_tuning_db_file(path: str,
+                         fingerprint: Optional[str] = None) -> List[Diagnostic]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [diag("RC408", f"cannot read tuning db: {err}",
+                     site=str(path))]
+    return check_tuning_db_dict(payload, fingerprint=fingerprint)
+
+
+def check_tuned_record(record: Any, fingerprint: str,
+                       num_units: Optional[int] = None) -> List[Diagnostic]:
+    """Validate a :class:`~repro.tune.db.TunedRecord` before it is served.
+
+    ``tune.tune`` runs this on its own output; ``compile_plan`` enforces
+    the fingerprint again at freeze time (defense in depth — the record
+    may have crossed a JSON boundary in between).
+    """
+    out: List[Diagnostic] = []
+    site = f"tuned:{record.objective}"
+    if record.fingerprint != fingerprint:
+        out.append(diag(
+            "RC406", f"record fingerprint {record.fingerprint} != network "
+            f"fingerprint {fingerprint}", site=site,
+            record_fingerprint=record.fingerprint, fingerprint=fingerprint))
+    if record.strategy not in STRATEGY_CHOICES:
+        out.append(diag("RC407", f"strategy {record.strategy!r} not in "
+                        f"{STRATEGY_CHOICES}", site=site))
+    if record.tip < 1:
+        out.append(diag("RC407", f"tip must be >= 1, got {record.tip}",
+                        site=site))
+    try:
+        candidate = Candidate(sizes=tuple(record.partition_sizes),
+                              tiles=tuple(record.tiles),
+                              strategy=record.strategy, tip=max(record.tip, 1))
+    except ConfigError as err:
+        out.append(diag("RC407", f"record does not form a candidate: {err}",
+                        site=site))
+        return out
+    if num_units is not None and candidate.num_units != num_units:
+        out.append(diag(
+            "RC407", f"record partition covers {candidate.num_units} units "
+            f"but the network has {num_units}", site=site,
+            sizes=record.partition_sizes, units=num_units))
+    return out

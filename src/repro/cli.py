@@ -21,6 +21,9 @@ Commands map one-to-one to the paper's evaluation artifacts::
                 report whether outputs still match the golden reference
     serve-bench batched inference serving benchmark: compiled-plan cache,
                 micro-batching scheduler, parallel workers
+    check       static analysis: verify a network/partition/plan without
+                executing, lint the repo's own invariants (--lint), and
+                validate plan-cache/tuning-db files (--plan, --tunedb)
     hls         emit the specialized HLS C++ for a fused design
     codegen     emit a standalone self-checking C++ program
     bandwidth   roofline sweep, fused vs baseline
@@ -681,6 +684,75 @@ def cmd_stats(args) -> None:
         raise SystemExit(1)
 
 
+def _check_request(report, request_path: str) -> None:
+    """Run a check described by a JSON request file (CI fixtures).
+
+    The request names a zoo network plus the same knobs the ``check``
+    subcommand takes: ``{"network": ..., "partition": [...], "tip": N,
+    "convs": N, "strategy": ..., "dsp": N}``.
+    """
+    import json
+
+    from .check import check_network
+
+    with open(request_path) as handle:
+        spec = json.load(handle)
+    network = _network(str(spec.get("network", "toynet")))
+    partition = spec.get("partition")
+    report.merge(check_network(
+        network,
+        partition=None if partition is None else [int(s) for s in partition],
+        tip=int(spec.get("tip", 1)),
+        strategy=str(spec.get("strategy", "reuse")),
+        num_convs=spec.get("convs"),
+        dsp_budget=spec.get("dsp")))
+
+
+def cmd_check(args) -> None:
+    """Static analysis: verify networks/plans/records without executing.
+
+    Aggregates every requested check into one report. Exit code 2 when
+    any error is found (or any warning, under ``--strict``); 0 when
+    clean — the contract the CI smoke job greps for.
+    """
+    from .check import (CheckReport, check_network, check_plan_cache_file,
+                        check_tuning_db_file, lint_paths)
+
+    report = CheckReport()
+    network = None
+    if args.network:
+        network = _network(args.network)
+        partition = _parse_sizes(args.partition) if args.partition else None
+        report.merge(check_network(
+            network, partition=partition, tip=args.tip,
+            strategy=args.strategy, num_convs=args.convs,
+            dsp_budget=args.dsp))
+    if args.request:
+        _check_request(report, args.request)
+    if args.plan:
+        report.extend(f"plan cache {args.plan}",
+                      check_plan_cache_file(args.plan, network=network))
+    if args.tunedb:
+        fingerprint = None
+        if network is not None:
+            sliced = (network.prefix(args.convs) if args.convs
+                      else network.feature_extractor())
+            fingerprint = sliced.fingerprint()
+        report.extend(f"tuning db {args.tunedb}",
+                      check_tuning_db_file(args.tunedb,
+                                           fingerprint=fingerprint))
+    if args.lint:
+        report.extend("lint " + " ".join(args.lint),
+                      lint_paths(args.lint, readme=args.readme))
+    if not report.checks_run:
+        raise SystemExit("nothing to check: give a NETWORK, --lint PATH, "
+                         "--plan PATH, --tunedb PATH, or --request PATH")
+    print(report.to_json() if args.json else report.render())
+    code = report.exit_code(strict=args.strict)
+    if code:
+        raise SystemExit(code)
+
+
 def cmd_verify(args) -> None:
     from .verify import render_results, run_verification
 
@@ -925,6 +997,41 @@ def build_parser() -> argparse.ArgumentParser:
     fs.add_argument("--max-attempts", type=int, default=4,
                     help="retry budget per faulted transfer")
     fs.set_defaults(func=cmd_faultsim)
+
+    ck = sub.add_parser(
+        "check",
+        help="static plan/schedule verifier and repo invariant linter")
+    ck.add_argument("network", nargs="?", default=None,
+                    help="zoo network to verify (dataflow mode without "
+                         "--partition, full design mode with it)")
+    ck.add_argument("--partition", default=None, metavar="SIZES",
+                    help="group sizes like 2+3: verify this concrete "
+                         "design's geometry AND resource bounds")
+    ck.add_argument("--convs", type=int, default=None,
+                    help="conv-layer prefix (default: feature extractor)")
+    ck.add_argument("--tip", type=int, default=1,
+                    help="output tile tip (reported as RC102 if oversized)")
+    ck.add_argument("--dsp", type=int, default=None,
+                    help="DSP budget (default: the device's)")
+    ck.add_argument("--strategy", default="reuse",
+                    choices=["reuse", "recompute"])
+    ck.add_argument("--lint", nargs="+", default=None, metavar="PATH",
+                    help="lint these files/directories (repo invariants "
+                         "RL101..RL401)")
+    ck.add_argument("--readme", default=None, metavar="PATH",
+                    help="README to cross-check CLI docs against "
+                         "(default: nearest README.md above the lint roots)")
+    ck.add_argument("--plan", default=None, metavar="PATH",
+                    help="validate a plan-cache JSON file (RC4xx)")
+    ck.add_argument("--tunedb", default=None, metavar="PATH",
+                    help="validate a tuning-db JSON file (RC4xx)")
+    ck.add_argument("--request", default=None, metavar="PATH",
+                    help="run a check described by a JSON request file")
+    ck.add_argument("--strict", action="store_true",
+                    help="exit 2 on warnings too, not just errors")
+    ck.add_argument("--json", action="store_true",
+                    help="emit the machine-readable report for CI")
+    ck.set_defaults(func=cmd_check)
 
     ver = sub.add_parser("verify")
     ver.add_argument("--scale", type=int, default=4)

@@ -248,7 +248,8 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
                  budget: Optional[ExplorationBudget] = None,
                  on_budget: str = "degrade",
                  partition_sizes: Optional[Sequence[int]] = None,
-                 jobs: int = 1, tuned: Optional[Any] = None) -> CompiledPlan:
+                 jobs: int = 1, tuned: Optional[Any] = None,
+                 validate: bool = True) -> CompiledPlan:
     """Compile ``network`` into an executable plan.
 
     Without ``partition_sizes`` the fusion partition comes from a full
@@ -268,6 +269,11 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
     gets variant ``"tuned:<objective>"``, and the record's fingerprint
     must match ``network`` — a tuning result never silently applies to
     a different network.
+
+    Every compiled plan is passed through the static analyzer
+    (:func:`repro.check.check_compiled_plan`) before it is returned;
+    a plan with error diagnostics raises :class:`ConfigError` instead
+    of entering the serving path. ``validate=False`` opts out.
     """
     variant = "default"
     if tuned is not None:
@@ -321,6 +327,17 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
                         partition_sizes=tuple(sizes), geometry=geometry,
                         seed=seed, degraded=degraded,
                         compile_s=time.perf_counter() - t0)
+    if validate:
+        from ..check import check_compiled_plan
+
+        findings = [d for d in check_compiled_plan(plan, network=network)
+                    if d.is_error]
+        if findings:
+            raise ConfigError(
+                "compiled plan failed static validation: "
+                + "; ".join(d.render() for d in findings[:3]),
+                key=str(key), findings=len(findings))
+        obs.add_counter("serve.plans_validated")
     if degraded:
         obs.add_counter("serve.degraded_plans")
     obs.add_counter("serve.plans_compiled")

@@ -296,7 +296,7 @@ def tune(network: Network, objective: Union[str, Objective] = "cycles",
     })
     database.save()
     obs.set_gauge("tune.incumbent_value", incumbent.value)
-    return TuningResult(
+    result = TuningResult(
         network_name=sliced.name, fingerprint=fingerprint, objective=obj,
         space=space, incumbent=incumbent, baseline=baseline,
         considered=considered, fresh=counters["fresh"],
@@ -305,3 +305,17 @@ def tune(network: Network, objective: Union[str, Objective] = "cycles",
         degraded=degraded, elapsed_s=elapsed, pareto=pareto,
         history=history, db_path=database.path,
     )
+    # Static validation of the serve-ready record: a tuner bug that
+    # minted a record no plan compiler could honor should fail here,
+    # at the producer, not at freeze time in a different process.
+    from ..check import check_tuned_record
+
+    findings = [d for d in check_tuned_record(result.record, fingerprint,
+                                              num_units=space.num_units)
+                if d.is_error]
+    if findings:
+        raise ConfigError(
+            "tuned record failed static validation: "
+            + "; ".join(d.render() for d in findings),
+            network=sliced.name, findings=len(findings))
+    return result

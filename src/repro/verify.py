@@ -5,6 +5,9 @@ core equivalence and accounting checks on demand — the same properties
 the test suite enforces, packaged as a quick self-check a user can run
 after installing or modifying the library:
 
+0. the static analyzer (:mod:`repro.check`) finds no dataflow or
+   hazard findings on the representative networks — cheap, so it runs
+   before any NumPy execution;
 1. fused == layer-by-layer (bit-identical) on representative networks;
 2. recompute == layer-by-layer, with executed ops matching the
    Section III-B model exactly;
@@ -73,6 +76,25 @@ def _scaled_vgg(scale: int = 4) -> Network:
 def run_verification(scale: int = 4) -> List[CheckResult]:
     """Run every self-check; returns one result per check."""
     results: List[CheckResult] = []
+
+    def static_analysis() -> str:
+        from .check import check_network
+        from .nn.zoo import alexnet
+
+        findings = 0
+        checks = 0
+        for network in (toynet(), alexnet(), _scaled_vgg(scale)):
+            report = check_network(network)
+            checks += len(report.checks_run)
+            findings += len(report.diagnostics)
+            assert report.ok(strict=True), (
+                f"{network.name}: " + "; ".join(
+                    d.render() for d in report.diagnostics[:3]))
+        return (f"{checks} static checks, {findings} findings "
+                "(geometry, hazards, dataflow)")
+
+    results.append(_check("static analysis (repro.check)", static_analysis))
+
     levels = extract_levels(_scaled_vgg(scale))
     x = make_input(levels[0].in_shape, integer=True)
     reference = ReferenceExecutor(levels, integer=True)

@@ -1,0 +1,193 @@
+"""Domain analyzer: geometry, resources, and the zero-false-positive sweep."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import (
+    check_group,
+    check_levels,
+    check_network,
+    check_partition,
+    check_pyramid_geometry,
+)
+from repro.core.pyramid import build_pyramid
+from repro.nn.stages import extract_levels
+from repro.nn.zoo import alexnet, toynet, vgg16, vggnet_e
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def compositions(n):
+    """Every ordered split of n units into contiguous groups (2^(n-1))."""
+    if n == 0:
+        return
+    if n == 1:
+        yield (1,)
+        return
+    for rest in compositions(n - 1):
+        yield (1,) + rest
+        yield (rest[0] + 1,) + rest[1:]
+
+
+class TestCheckLevels:
+    def test_zoo_chains_are_clean(self):
+        for factory in (toynet, alexnet, vgg16, vggnet_e):
+            levels = extract_levels(factory().feature_extractor())
+            assert check_levels(levels) == [], factory.__name__
+
+    def test_broken_producer_consumer_chain_rc101(self):
+        levels = list(extract_levels(alexnet().feature_extractor()))
+        bad = dataclasses.replace(
+            levels[1], in_shape=levels[1].in_shape.padded(1))
+        findings = check_levels([levels[0], bad])
+        assert "RC101" in codes(findings)
+
+    def test_wrong_output_arithmetic_rc101(self):
+        levels = extract_levels(toynet())
+        bad = dataclasses.replace(
+            levels[0],
+            out_shape=dataclasses.replace(levels[0].out_shape,
+                                          height=levels[0].out_shape.height + 1))
+        assert "RC101" in codes(check_levels([bad]))
+
+    def test_negative_padding_rc104(self):
+        levels = extract_levels(toynet())
+        bad = dataclasses.replace(levels[0], pad=-1)
+        assert codes(check_levels([bad])) == ["RC104"]
+
+
+class TestCheckPyramidGeometry:
+    def test_clean_on_fresh_pyramid(self):
+        levels = extract_levels(toynet())
+        geometry = build_pyramid(levels, 2, 2)
+        assert check_pyramid_geometry(levels, geometry) == []
+
+    def test_tampered_tile_extent_rc106(self):
+        levels = extract_levels(toynet())
+        geometry = build_pyramid(levels, 2, 2)
+        tiles = list(geometry.tiles)
+        tiles[0] = dataclasses.replace(tiles[0], in_h=tiles[0].in_h + 1)
+        tampered = dataclasses.replace(geometry, tiles=tuple(tiles))
+        assert "RC106" in codes(check_pyramid_geometry(levels, tampered))
+
+    def test_tampered_step_rc106(self):
+        levels = extract_levels(toynet())
+        geometry = build_pyramid(levels, 1, 1)
+        tiles = list(geometry.tiles)
+        tiles[-1] = dataclasses.replace(tiles[-1], step_w=tiles[-1].step_w + 1)
+        tampered = dataclasses.replace(geometry, tiles=tuple(tiles))
+        assert "RC106" in codes(check_pyramid_geometry(levels, tampered))
+
+    def test_tile_count_mismatch_rc106(self):
+        levels = extract_levels(toynet())
+        geometry = build_pyramid(levels, 1, 1)
+        short = dataclasses.replace(geometry, tiles=geometry.tiles[:-1])
+        assert codes(check_pyramid_geometry(levels, short)) == ["RC106"]
+
+
+class TestCheckGroup:
+    def test_oversized_tip_rc102(self):
+        levels = extract_levels(toynet())
+        findings = check_group(levels, tip_h=512, tip_w=512)
+        assert codes(findings) == ["RC102"]
+
+    def test_nonpositive_tip_rc102(self):
+        levels = extract_levels(toynet())
+        assert codes(check_group(levels, tip_h=0, tip_w=1)) == ["RC102"]
+
+    def test_clean_group_with_resources(self):
+        levels = extract_levels(toynet())
+        assert check_group(levels, tip_h=2, tip_w=2) == []
+
+
+class TestCheckPartition:
+    def test_coverage_mismatch_rc105(self):
+        levels = extract_levels(alexnet().feature_extractor())
+        findings = check_partition(levels, (2, 3))
+        assert codes(findings) == ["RC105"]
+
+    def test_nonpositive_sizes_rc105(self):
+        levels = extract_levels(toynet())
+        assert codes(check_partition(levels, (0, 2))) == ["RC105"]
+
+    def test_tiny_dsp_budget_rc202(self):
+        levels = extract_levels(alexnet().feature_extractor())
+        findings = check_partition(levels, (len(levels),), dsp_budget=64)
+        assert "RC202" in codes(findings)
+
+    def test_oversized_tip_reported_when_not_clipped(self):
+        levels = extract_levels(toynet())
+        findings = check_partition(levels, (len(levels),), tip=512,
+                                   clip_tip=False, check_resources=False)
+        assert codes(findings) == ["RC102"]
+
+    def test_oversized_tip_clipped_by_default(self):
+        levels = extract_levels(toynet())
+        assert check_partition(levels, (len(levels),), tip=512,
+                               check_resources=False) == []
+
+
+class TestZeroFalsePositives:
+    """The acceptance sweep: no geometry/hazard finding on any real
+    partition of the zoo — the analyzer never cries wolf."""
+
+    @pytest.mark.parametrize("factory,num_convs", [
+        (toynet, None),
+        (alexnet, None),
+        (vggnet_e, 5),
+    ])
+    def test_exhaustive_partition_sweep(self, factory, num_convs):
+        network = factory()
+        sliced = (network.prefix(num_convs) if num_convs
+                  else network.feature_extractor())
+        levels = extract_levels(sliced)
+        swept = 0
+        for sizes in compositions(len(levels)):
+            findings = check_partition(levels, sizes, check_resources=False)
+            assert findings == [], (sizes, codes(findings))
+            swept += 1
+        assert swept == 2 ** (len(levels) - 1)
+
+    @pytest.mark.parametrize("factory", [toynet, alexnet, vgg16, vggnet_e])
+    def test_dataflow_mode_strict_clean(self, factory):
+        report = check_network(factory())
+        assert report.ok(strict=True), report.render()
+
+    def test_dataflow_mode_with_larger_tips(self):
+        levels = extract_levels(toynet())
+        for tip in (1, 2, 4):
+            assert check_partition(levels, (len(levels),), tip=tip,
+                                   check_resources=False) == []
+
+
+class TestCheckNetwork:
+    def test_design_mode_flags_bram_overflow(self):
+        report = check_network(vgg16(), partition=[18])
+        assert not report.ok()
+        assert "RC201" in codes(report.diagnostics)
+
+    def test_design_mode_weight_residency_warning(self):
+        report = check_network(alexnet(), partition=[2, 3, 3])
+        assert report.ok() and not report.ok(strict=True)
+        assert codes(report.diagnostics) == ["RC203"]
+
+    def test_design_mode_clean_on_toynet(self):
+        report = check_network(toynet(), partition=[2])
+        assert report.ok(strict=True), report.render()
+
+    def test_bad_partition_rc105(self):
+        report = check_network(alexnet(), partition=[2, 3])
+        assert "RC105" in codes(report.diagnostics)
+
+    def test_convs_prefix_slicing(self):
+        report = check_network(vggnet_e(), num_convs=5)
+        assert report.ok(strict=True), report.render()
+
+    def test_report_labels_mode(self):
+        dataflow = check_network(toynet())
+        design = check_network(toynet(), partition=[2])
+        assert any("dataflow" in label for label in dataflow.checks_run)
+        assert any("design" in label for label in design.checks_run)

@@ -1,0 +1,71 @@
+"""The ``check`` subcommand: exit codes, modes, and output formats."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_ok(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCheckCli:
+    def test_dataflow_mode_is_strict_clean(self, capsys):
+        out = run_ok(capsys, "check", "vgg16", "--strict")
+        assert "dataflow" in out and "0 errors" in out
+
+    def test_every_zoo_network_dataflow_clean(self, capsys):
+        for name in ("alexnet", "vgg", "vgg16", "zfnet", "nin",
+                     "googlenet-stem", "toynet"):
+            run_ok(capsys, "check", name, "--strict")
+
+    def test_design_mode_clean_partition(self, capsys):
+        out = run_ok(capsys, "check", "toynet", "--partition", "2")
+        assert "design" in out
+
+    def test_design_mode_warning_fails_only_strict(self, capsys):
+        # alexnet single-engine groups keep weights resident only
+        # partially: RC203 warnings, no errors.
+        run_ok(capsys, "check", "alexnet", "--partition", "2+3+3")
+        with pytest.raises(SystemExit) as info:
+            main(["check", "alexnet", "--partition", "2+3+3", "--strict"])
+        assert info.value.code == 2
+        assert "RC203" in capsys.readouterr().out
+
+    def test_design_mode_bram_overflow_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["check", "vgg16", "--partition", "18"])
+        assert info.value.code == 2
+        assert "RC201" in capsys.readouterr().out
+
+    def test_lint_mode_on_repo_src(self, capsys):
+        out = run_ok(capsys, "check", "--lint", str(REPO_ROOT / "src"),
+                     "--strict")
+        assert "0 errors" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        data = json.loads(run_ok(capsys, "check", "toynet", "--json"))
+        assert data["errors"] == 0
+        assert any("dataflow" in c for c in data["checks"])
+
+    def test_nothing_to_check_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "resnet152"])
+
+    def test_convs_prefix(self, capsys):
+        run_ok(capsys, "check", "vgg", "--convs", "5", "--strict")
+
+    def test_combined_network_and_lint(self, capsys):
+        out = run_ok(capsys, "check", "toynet", "--lint",
+                     str(REPO_ROOT / "src" / "repro" / "check"))
+        assert "lint" in out and "levels" in out

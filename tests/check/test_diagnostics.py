@@ -1,0 +1,77 @@
+"""Diagnostic currency: codes, severities, and the report contract."""
+
+import json
+
+import pytest
+
+from repro.check import CODES, CheckReport, Severity, diag
+
+
+class TestDiag:
+    def test_severity_defaults_from_registry(self):
+        assert diag("RC101", "x").severity is Severity.ERROR
+        assert diag("RC203", "x").severity is Severity.WARNING
+
+    def test_explicit_severity_override(self):
+        d = diag("RC104", "x", severity=Severity.WARNING)
+        assert not d.is_error
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            diag("RC999", "no such code")
+
+    def test_title_comes_from_registry(self):
+        assert diag("RC401", "x").title == CODES["RC401"][1]
+
+    def test_render_carries_code_site_context(self):
+        text = diag("RC102", "too big", site="conv1", tip=(8, 8)).render()
+        assert "RC102" in text and "conv1" in text and "tip=(8, 8)" in text
+
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert isinstance(severity, Severity)
+            assert title
+            assert code[:2] in ("RC", "RL")
+
+
+class TestCheckReport:
+    def test_clean_report_exits_zero(self):
+        report = CheckReport()
+        report.extend("a", [])
+        assert report.ok() and report.ok(strict=True)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+
+    def test_error_always_exits_two(self):
+        report = CheckReport()
+        report.extend("a", [diag("RC101", "bad")])
+        assert not report.ok()
+        assert report.exit_code() == 2
+
+    def test_warning_fails_only_under_strict(self):
+        report = CheckReport()
+        report.extend("a", [diag("RC203", "hmm")])
+        assert report.ok() and not report.ok(strict=True)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 2
+
+    def test_merge_folds_checks_and_findings(self):
+        a, b = CheckReport(), CheckReport()
+        a.extend("one", [diag("RC101", "x")])
+        b.extend("two", [diag("RC203", "y")])
+        a.merge(b)
+        assert a.checks_run == ["one", "two"]
+        assert len(a.errors) == 1 and len(a.warnings) == 1
+
+    def test_json_round_trips(self):
+        report = CheckReport()
+        report.extend("geometry", [diag("RC106", "drift", site="conv2")])
+        data = json.loads(report.to_json())
+        assert data["errors"] == 1 and data["warnings"] == 0
+        assert data["diagnostics"][0]["code"] == "RC106"
+        assert data["diagnostics"][0]["site"] == "conv2"
+
+    def test_render_summarises_counts(self):
+        report = CheckReport()
+        report.extend("a", [diag("RC101", "x"), diag("RC203", "y")])
+        assert "1 errors, 1 warnings" in report.render()

@@ -1,0 +1,63 @@
+"""The broken-fixture contract: each seeded defect pins its exact code.
+
+These fixtures are the analyzer's regression anchors — and the CI
+smoke job's negative tests. Each one must keep producing its exact
+diagnostic code (and exit code 2) forever; a code change here is a
+compatibility break.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_check(capsys, *argv):
+    """Run ``check`` expecting findings; returns (exit_code, codes)."""
+    with pytest.raises(SystemExit) as info:
+        main(["check", *argv, "--json"])
+    data = json.loads(capsys.readouterr().out)
+    return info.value.code, sorted({d["code"] for d in data["diagnostics"]})
+
+
+class TestBrokenFixtures:
+    def test_oversized_tile_rc102(self, capsys):
+        code, found = run_check(
+            capsys, "--request", str(FIXTURES / "oversized_tile.json"))
+        assert code == 2
+        assert found == ["RC102"]
+
+    def test_bram_overflow_partition_rc201(self, capsys):
+        code, found = run_check(
+            capsys, "--request", str(FIXTURES / "bram_overflow.json"))
+        assert code == 2
+        assert "RC201" in found
+
+    def test_tampered_plan_fingerprint_rc401(self, capsys):
+        code, found = run_check(
+            capsys, "--plan", str(FIXTURES / "tampered_plan.json"))
+        assert code == 2
+        assert found == ["RC401"]
+
+    def test_stale_tunedb_record_rc405(self, capsys):
+        code, found = run_check(
+            capsys, "--tunedb", str(FIXTURES / "stale_tunedb.json"))
+        assert code == 2
+        assert found == ["RC405"]
+
+    def test_fixtures_report_stable_severities(self, capsys):
+        # Every seeded defect is an ERROR: it must fail even without
+        # --strict (the CI negative test relies on this).
+        for flag, name in (("--request", "oversized_tile.json"),
+                           ("--request", "bram_overflow.json"),
+                           ("--plan", "tampered_plan.json"),
+                           ("--tunedb", "stale_tunedb.json")):
+            with pytest.raises(SystemExit) as info:
+                main(["check", flag, str(FIXTURES / name), "--json"])
+            assert info.value.code == 2, name
+            data = json.loads(capsys.readouterr().out)
+            assert data["errors"] >= 1, name

@@ -1,0 +1,177 @@
+"""Repo invariant linter: rule-by-rule on synthetic files, plus the
+merged-tree cleanliness contract on the real ``src/``."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import lint_paths
+from repro.check.lint import is_deterministic_module
+from repro.errors import ConfigError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def lint_source(tmp_path, source, name="mod.py", subdir=None):
+    target = tmp_path if subdir is None else tmp_path / subdir
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / name
+    path.write_text(source)
+    return lint_paths([str(path)])
+
+
+class TestRuleRL101:
+    def test_bare_valueerror_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "def f():\n"
+                               "    raise ValueError('nope')\n")
+        assert codes(findings) == ["RL101"]
+
+    def test_bare_runtimeerror_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "raise RuntimeError('boom')\n")
+        assert codes(findings) == ["RL101"]
+
+    def test_config_error_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "from repro.errors import ConfigError\n"
+            "def f():\n    raise ConfigError('bad', x=1)\n")
+        assert findings == []
+
+    def test_errors_module_itself_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, "raise ValueError('defining')\n",
+                               name="errors.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(tmp_path,
+                               "raise ValueError('x')  # noqa: RL101\n")
+        assert findings == []
+
+
+class TestRuleRL201:
+    def test_global_random_in_tune_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import random\n"
+                               "x = random.random()\n", subdir="tune")
+        assert codes(findings) == ["RL201"]
+
+    def test_unseeded_random_instance_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import random\n"
+                               "rng = random.Random()\n", subdir="faults")
+        assert codes(findings) == ["RL201"]
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        findings = lint_source(tmp_path, "import random\n"
+                               "def f(seed):\n"
+                               "    return random.Random(seed)\n",
+                               subdir="tune")
+        assert findings == []
+
+    def test_outside_deterministic_modules_allowed(self, tmp_path):
+        findings = lint_source(tmp_path, "import random\n"
+                               "x = random.random()\n", subdir="analysis")
+        assert findings == []
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import numpy as np\n"
+                               "rng = np.random.default_rng()\n",
+                               subdir="tune")
+        assert codes(findings) == ["RL201"]
+
+    def test_deterministic_module_classifier(self):
+        assert is_deterministic_module(Path("src/repro/tune/tuner.py"))
+        assert is_deterministic_module(Path("src/repro/faults/injector.py"))
+        assert is_deterministic_module(Path("src/repro/serve/plan.py"))
+        assert not is_deterministic_module(Path("src/repro/analysis/plot.py"))
+        assert not is_deterministic_module(Path("tests/tune/test_space.py"))
+
+
+class TestRuleRL202:
+    def test_wall_clock_in_deterministic_module_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import time\n"
+                               "t = time.time()\n", subdir="faults")
+        assert codes(findings) == ["RL202"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "from datetime import datetime\n"
+            "t = datetime.now()\n", subdir="tune")
+        assert codes(findings) == ["RL202"]
+
+    def test_perf_counter_allowed(self, tmp_path):
+        findings = lint_source(tmp_path, "import time\n"
+                               "t = time.perf_counter()\n", subdir="tune")
+        assert findings == []
+
+
+class TestRuleRL301:
+    def test_bad_counter_name_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import repro.obs as obs\n"
+                               "obs.add_counter('BadName')\n")
+        assert codes(findings) == ["RL301"]
+
+    def test_dotted_lowercase_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import repro.obs as obs\n"
+            "obs.add_counter('serve.plans_compiled')\n"
+            "obs.set_gauge('tune.incumbent_value', 1.0)\n")
+        assert findings == []
+
+    def test_fstring_with_index_suffix_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import repro.obs as obs\n"
+            "kind = 'dram_stall'\n"
+            "obs.add_counter(f'faults.injected[{kind}]')\n")
+        assert findings == []
+
+    def test_single_word_name_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import repro.obs as obs\n"
+                               "obs.set_gauge('hits', 2)\n")
+        assert codes(findings) == ["RL301"]
+
+
+class TestRuleRL401:
+    CLI = ("def build(sub):\n"
+           "    sub.add_parser('frobnicate')\n"
+           "    sub.add_parser('explore')\n")
+
+    def test_undocumented_subcommand_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text("only explore is documented\n")
+        (tmp_path / "cli.py").write_text(self.CLI)
+        findings = lint_paths([str(tmp_path)])
+        assert codes(findings) == ["RL401"]
+        assert findings[0].context["subcommand"] == "frobnicate"
+
+    def test_documented_subcommands_pass(self, tmp_path):
+        (tmp_path / "README.md").write_text("frobnicate and explore\n")
+        (tmp_path / "cli.py").write_text(self.CLI)
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_explicit_readme_override(self, tmp_path):
+        (tmp_path / "README.md").write_text("nothing here\n")
+        other = tmp_path / "DOCS.md"
+        other.write_text("frobnicate and explore\n")
+        (tmp_path / "cli.py").write_text(self.CLI)
+        assert lint_paths([str(tmp_path)], readme=str(other)) == []
+
+
+class TestLintDriver:
+    def test_syntax_error_is_a_config_error(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        with pytest.raises(ConfigError):
+            lint_paths([str(tmp_path)])
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("raise ValueError('x')\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_merged_tree_is_strict_clean(self):
+        """Satellite (a): the shipped source passes its own linter."""
+        findings = lint_paths([str(REPO_ROOT / "src")],
+                              readme=str(REPO_ROOT / "README.md"))
+        assert findings == [], [d.render() for d in findings]

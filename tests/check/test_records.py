@@ -1,0 +1,165 @@
+"""Record validators: compiled plans, plan caches, tuning databases."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    check_compiled_plan,
+    check_plan_cache_file,
+    check_plan_dict,
+    check_tuned_record,
+    check_tuning_db_file,
+)
+from repro.check.records import check_plan_cache_dict, check_tuning_db_dict
+from repro.nn.zoo import alexnet, toynet
+from repro.serve.plan import PlanCache, compile_plan
+from repro.tune import tune
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return compile_plan(toynet())
+
+
+@pytest.fixture()
+def plan_dict(plan):
+    return plan.to_dict()
+
+
+class TestPlanChecks:
+    def test_fresh_plan_is_clean(self, plan):
+        assert check_compiled_plan(plan) == []
+        assert check_compiled_plan(plan, network=toynet()) == []
+
+    def test_round_tripped_cache_is_clean(self, plan, tmp_path):
+        cache = PlanCache()
+        cache._plans[plan.key] = plan
+        path = tmp_path / "plans.json"
+        cache.save(path)
+        assert check_plan_cache_file(str(path)) == []
+
+    def test_tampered_fingerprint_rc401(self, plan_dict):
+        fp = plan_dict["key"]["fingerprint"]
+        plan_dict["key"]["fingerprint"] = ("0" if fp[0] != "0" else "1") + fp[1:]
+        assert "RC401" in codes(check_plan_dict(plan_dict))
+
+    def test_wrong_network_rc401(self, plan_dict):
+        findings = check_plan_dict(plan_dict, network=alexnet())
+        assert codes(findings) == ["RC401"]
+
+    def test_missing_field_rc403(self, plan_dict):
+        del plan_dict["partition_sizes"]
+        assert codes(check_plan_dict(plan_dict)) == ["RC403"]
+
+    def test_seed_mismatch_rc403(self, plan_dict):
+        plan_dict["seed"] = plan_dict["seed"] + 1
+        assert "RC403" in codes(check_plan_dict(plan_dict))
+
+    def test_bad_precision_rc403(self, plan_dict):
+        plan_dict["key"]["precision"] = "float128"
+        assert "RC403" in codes(check_plan_dict(plan_dict))
+
+    def test_invalid_partition_rc402(self, plan_dict):
+        plan_dict["partition_sizes"] = [99]
+        findings = check_plan_dict(plan_dict)
+        assert "RC402" in codes(findings)
+        assert "RC105" in codes(findings)  # the nested geometry finding
+
+    def test_non_dict_rc408(self):
+        assert codes(check_plan_dict(["not", "a", "plan"])) == ["RC408"]
+
+    def test_duplicate_keys_rc404(self, plan_dict):
+        payload = {"version": 1, "plans": [plan_dict, dict(plan_dict)]}
+        assert "RC404" in codes(check_plan_cache_dict(payload))
+
+    def test_malformed_cache_rc408(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ nope")
+        assert codes(check_plan_cache_file(str(path))) == ["RC408"]
+
+
+@pytest.fixture(scope="module")
+def tunedb(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tune") / "db.json"
+    tune(toynet(), evals=8, seed=3, db=str(path))
+    return str(path)
+
+
+class TestTuningDbChecks:
+    def test_fresh_db_is_clean(self, tunedb):
+        assert check_tuning_db_file(tunedb) == []
+        fp = toynet().feature_extractor().fingerprint()
+        assert check_tuning_db_file(tunedb, fingerprint=fp) == []
+
+    def test_wrong_fingerprint_rc406(self, tunedb):
+        findings = check_tuning_db_file(tunedb, fingerprint="deadbeef")
+        assert codes(findings) == ["RC406"]
+
+    def test_dangling_incumbent_rc405(self, tunedb):
+        payload = json.load(open(tunedb))
+        for entry in payload["entries"].values():
+            entry["incumbent"]["candidate"] = "9|auto|reuse|tip9"
+        assert "RC405" in codes(check_tuning_db_dict(payload))
+
+    def test_aliased_eval_slot_rc407(self, tunedb):
+        payload = json.load(open(tunedb))
+        for entry in payload["entries"].values():
+            evals = entry["evals"]
+            key, record = next(iter(evals.items()))
+            del evals[key]
+            evals["not-the-canonical-key"] = record
+            if entry.get("incumbent", {}).get("candidate") == key:
+                entry["incumbent"]["candidate"] = "not-the-canonical-key"
+        assert "RC407" in codes(check_tuning_db_dict(payload))
+
+    def test_bad_space_key_rc408(self, tunedb):
+        payload = json.load(open(tunedb))
+        payload["entries"]["garbage-key"] = {"evals": {}}
+        assert "RC408" in codes(check_tuning_db_dict(payload))
+
+    def test_malformed_db_rc408(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[]")
+        assert codes(check_tuning_db_file(str(path))) == ["RC408"]
+
+
+class TestTunedRecordChecks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tune(toynet(), evals=8, seed=3)
+
+    def test_fresh_record_is_clean(self, result):
+        assert check_tuned_record(result.record, result.fingerprint,
+                                  num_units=2) == []
+
+    def test_fingerprint_mismatch_rc406(self, result):
+        findings = check_tuned_record(result.record, "deadbeef")
+        assert codes(findings) == ["RC406"]
+
+    def test_unit_coverage_rc407(self, result):
+        findings = check_tuned_record(result.record, result.fingerprint,
+                                      num_units=99)
+        assert codes(findings) == ["RC407"]
+
+
+class TestProducerValidation:
+    """The producers run the validators on their own outputs by default."""
+
+    def test_compile_plan_validates_by_default(self):
+        # A passing compile implies a passing static check; the flag
+        # exists so the fixture generator can opt out.
+        plan = compile_plan(toynet(), validate=True)
+        assert check_compiled_plan(plan) == []
+
+    def test_compile_plan_validate_off_still_compiles(self):
+        assert compile_plan(toynet(), validate=False) is not None
+
+    def test_tune_validates_its_record(self):
+        result = tune(toynet(), evals=6, seed=1)
+        assert check_tuned_record(result.record, result.fingerprint,
+                                  num_units=2) == []

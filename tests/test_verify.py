@@ -13,11 +13,17 @@ class TestRunVerification:
     def test_all_checks_pass(self, results):
         assert all(r.passed for r in results), render_results(results)
 
-    def test_four_checks(self, results):
-        assert len(results) == 4
+    def test_five_checks(self, results):
+        assert len(results) == 5
         names = [r.name for r in results]
+        assert names[0] == "static analysis (repro.check)"
         assert "fused schedule equivalence" in names
         assert "paper calibration (Figure 7b)" in names
+
+    def test_static_analysis_runs_first_and_passes(self, results):
+        static = results[0]
+        assert static.passed, static.detail
+        assert "static checks" in static.detail
 
     def test_details_informative(self, results):
         fused = next(r for r in results if r.name == "fused schedule equivalence")
@@ -43,7 +49,7 @@ class TestCliCommands:
 
         assert main(["verify", "--scale", "8"]) == 0
         out = capsys.readouterr().out
-        assert "4/4 checks passed" in out
+        assert "5/5 checks passed" in out
 
     def test_frontier_command(self, capsys):
         from repro.cli import main

@@ -31,6 +31,7 @@ from .hazards import (
     check_pipeline_schedule,
 )
 from .lint import lint_paths
+from .trace import check_trace_file
 from .records import (
     check_compiled_plan,
     check_plan_cache_file,
@@ -57,6 +58,7 @@ __all__ = [
     "check_pyramid_geometry",
     "check_tuned_record",
     "check_tuning_db_file",
+    "check_trace_file",
     "diag",
     "lint_paths",
 ]

@@ -15,6 +15,7 @@ RC1xx  geometry: shapes, strides, padding, pyramid tiles
 RC2xx  resources: BRAM/DSP bounds, buffer sizing, weight residency
 RC3xx  schedules: hazards in fused/pipeline/channel schedules
 RC4xx  records: compiled plans, plan caches, tuning databases
+RC5xx  traces: exported request-trace files (JSONL / Chrome trace)
 RL1xx  lint: error-hierarchy discipline
 RL2xx  lint: determinism (seeded randomness, wall clock)
 RL3xx  lint: observability naming conventions
@@ -80,11 +81,18 @@ CODES: Dict[str, tuple] = {
     "RC406": (Severity.ERROR, "tuning record fingerprint mismatch"),
     "RC407": (Severity.ERROR, "tuning record key/candidate mismatch"),
     "RC408": (Severity.ERROR, "malformed record file"),
+    # -- RC5xx traces --------------------------------------------------------
+    "RC501": (Severity.ERROR, "malformed trace file"),
+    "RC502": (Severity.ERROR, "incomplete span (begin without end)"),
+    "RC503": (Severity.ERROR, "orphan span (parent not in trace)"),
+    "RC504": (Severity.ERROR, "span timing inconsistency"),
+    "RC505": (Severity.WARNING, "unmatched flow event"),
     # -- RL lint ------------------------------------------------------------
     "RL101": (Severity.ERROR, "bare ValueError/RuntimeError raise"),
     "RL201": (Severity.ERROR, "unseeded randomness in deterministic module"),
     "RL202": (Severity.ERROR, "wall-clock read in deterministic module"),
     "RL301": (Severity.ERROR, "obs counter/gauge name violates convention"),
+    "RL302": (Severity.ERROR, "event/span name violates convention"),
     "RL401": (Severity.ERROR, "CLI subcommand missing from README"),
 }
 

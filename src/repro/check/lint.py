@@ -27,6 +27,9 @@ RL202  wall-clock reads (``time.time``, ``datetime.now`` ...) in a
        is allowed — durations are reported, never persisted
 RL301  literal ``obs.add_counter``/``obs.set_gauge`` name not matching
        ``family.metric`` (dotted lowercase, optional ``[index]`` suffix)
+RL302  literal event/span name fed to the columnar event store
+       (``obs.emit_event``, ``registry.emit``, ``timeline.record``,
+       ``tracer.begin``/``instant``) not matching the same grammar
 RL401  CLI subcommand registered in ``cli.py`` but absent from README
 ====== ==================================================================
 
@@ -67,6 +70,19 @@ _WALL_CLOCK_TAILS = (
 _COUNTER_FNS = frozenset({"add_counter", "set_gauge"})
 _COUNTER_NAME_RE = re.compile(
     r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+(\[[^\[\]]+\])?$")
+
+#: Event-store entry points (RL302): call tail -> substring the dotted
+#: receiver must contain for the rule to apply. ``emit_event`` is the
+#: module-level helper; the others are methods, scoped by receiver name
+#: so unrelated ``.record()``/``.emit()``/``.begin()`` calls stay
+#: out of reach.
+_EVENT_FNS = {
+    "emit_event": "",
+    "emit": "registry",
+    "record": "timeline",
+    "begin": "tracer",
+    "instant": "tracer",
+}
 
 
 def _dotted(node: ast.AST) -> str:
@@ -139,7 +155,11 @@ class _FileLinter(ast.NodeVisitor):
             self._check_determinism(node, name)
         tail = name.rsplit(".", 1)[-1]
         if tail in _COUNTER_FNS and node.args:
-            self._check_counter_name(node)
+            self._check_counter_name(node, "RL301")
+        elif tail in _EVENT_FNS and node.args:
+            receiver = name.rsplit(".", 1)[0].lower() if "." in name else ""
+            if _EVENT_FNS[tail] in receiver or not _EVENT_FNS[tail]:
+                self._check_counter_name(node, "RL302")
         self.generic_visit(node)
 
     def _check_determinism(self, node: ast.Call, name: str) -> None:
@@ -172,7 +192,7 @@ class _FileLinter(ast.NodeVisitor):
                 "modules may only use time.perf_counter for durations",
                 node, call=name)
 
-    def _check_counter_name(self, node: ast.Call) -> None:
+    def _check_counter_name(self, node: ast.Call, code: str) -> None:
         arg = node.args[0]
         if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
             text = arg.value
@@ -187,8 +207,10 @@ class _FileLinter(ast.NodeVisitor):
         else:
             return  # dynamic name: out of static reach
         if not _COUNTER_NAME_RE.match(text):
+            kind = ("counter/gauge" if code == "RL301"
+                    else "event/span")
             self._emit(
-                "RL301", f"counter/gauge name {text!r} violates the "
+                code, f"{kind} name {text!r} violates the "
                 "'family.metric' convention (dotted lowercase, optional "
                 "[index] suffix)", node, name=text)
 

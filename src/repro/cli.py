@@ -20,10 +20,17 @@ Commands map one-to-one to the paper's evaluation artifacts::
     faultsim    run fused-vs-reference under an injected fault plan and
                 report whether outputs still match the golden reference
     serve-bench batched inference serving benchmark: compiled-plan cache,
-                micro-batching scheduler, parallel workers
+                micro-batching scheduler, parallel workers; per-request
+                tracing (--trace), latency SLOs (--slo), Prometheus
+                exposition (--prom)
+    slo         serve a short load against a latency SLO target and
+                report the monitor's error-budget burn rate
+    bench-diff  compare two benchmark summary JSON files and flag
+                metrics that regressed past a threshold
     check       static analysis: verify a network/partition/plan without
                 executing, lint the repo's own invariants (--lint), and
-                validate plan-cache/tuning-db files (--plan, --tunedb)
+                validate plan-cache/tuning-db/trace files (--plan,
+                --tunedb, --trace)
     hls         emit the specialized HLS C++ for a fused design
     codegen     emit a standalone self-checking C++ program
     bandwidth   roofline sweep, fused vs baseline
@@ -422,6 +429,13 @@ def cmd_serve_bench(args) -> None:
     bit-identical to a direct :class:`NetworkExecutor` run (including
     under a global ``--faults`` plan). ``--fail-on-overload`` turns the
     first admission rejection into exit code 2.
+
+    Observability flags: ``--trace PATH`` records a span tree per
+    request and writes it out (Chrome trace by default, JSONL when the
+    path ends in ``.jsonl``; validate with ``repro check --trace``),
+    ``--slo MS`` attaches a p99 latency SLO whose burn rate lands in
+    the stats report, and ``--prom PATH`` writes a Prometheus text
+    exposition snapshot (``-`` for stdout).
     """
     import json
     import os
@@ -457,7 +471,8 @@ def cmd_serve_bench(args) -> None:
         max_queue=args.max_queue, strategy=strategy, tip=args.tip,
         storage_budget_bytes=storage, precision=args.precision,
         seed=args.fault_seed, faults=injector,
-        retry=RetryPolicy(max_attempts=args.max_attempts), cache=cache)
+        retry=RetryPolicy(max_attempts=args.max_attempts), cache=cache,
+        trace=args.trace is not None, slo=args.slo)
 
     futures = []
     admitted = []
@@ -496,6 +511,27 @@ def cmd_serve_bench(args) -> None:
 
     if args.cache:
         cache.save(args.cache)
+    if args.trace is not None:
+        if args.trace.endswith(".jsonl"):
+            count = svc.tracer.to_jsonl(args.trace)
+            print(f"wrote {count} trace spans (JSONL) to {args.trace}")
+        else:
+            svc.tracer.write_chrome_trace(args.trace)
+            print(f"wrote request trace (Chrome Trace Format) to "
+                  f"{args.trace}")
+    if args.prom is not None:
+        from .obs import write_prometheus
+
+        counts = svc.stats.summary()
+        write_prometheus(
+            args.prom,
+            registry=obs.get_registry() if obs.enabled() else None,
+            slos=svc.stats.slos,
+            extra={f"serve.{key}": float(counts[key])
+                   for key in ("submitted", "completed", "failed",
+                               "rejected")})
+        if args.prom != "-":
+            print(f"wrote Prometheus exposition to {args.prom}")
     if args.json:
         summary = {"bench": "serve", "network": network.name,
                    "workers": args.workers, "max_batch": args.max_batch,
@@ -505,6 +541,94 @@ def cmd_serve_bench(args) -> None:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote summary JSON to {args.json}")
+
+
+def cmd_slo(args) -> None:
+    """Serve a short load against a latency SLO and report its burn rate.
+
+    Drives ``--requests`` seeded inputs through an
+    :class:`InferenceService` carrying one
+    :class:`~repro.obs.slo.SLOTarget` and prints the monitor report —
+    the ``burn-rate ...x`` line CI greps — plus the serving stats. A
+    global ``--faults`` plan (e.g. ``dram_stall:p=0.2``) injects the
+    latency bursts the monitor is there to catch; ``--fail-on-breach``
+    exits 1 when the error budget is exhausted.
+    """
+    import json
+
+    import numpy as np
+
+    from .obs.slo import SLOTarget
+    from .serve import InferenceService
+
+    target = SLOTarget(latency_ms=args.target_ms,
+                       percentile=args.percentile,
+                       error_budget=args.budget,
+                       window_s=args.window,
+                       alert_threshold=args.alert_threshold)
+    plan = faults_mod.get_active_plan()
+    injector = plan.injector() if plan is not None else None
+    network = _network(args.network)
+    shape = network.input_shape
+    rng = np.random.default_rng(args.fault_seed)
+    dims = (shape.channels, shape.height, shape.width)
+    xs = [np.round(rng.uniform(-4.0, 4.0, size=dims))
+          for _ in range(args.requests)]
+
+    svc = InferenceService(network, workers=args.workers,
+                           max_batch=args.max_batch,
+                           max_wait_ms=args.max_wait_ms,
+                           seed=args.fault_seed, faults=injector,
+                           trace=args.trace is not None, slo=target)
+    with svc:
+        for future in [svc.submit(x) for x in xs]:
+            future.result(timeout=120)
+
+    monitor = svc.stats.slos[0]
+    print(f"slo: {network.name}, {args.requests} requests, "
+          f"{target.describe()}")
+    if plan is not None:
+        print(f"fault plan: {plan} (seed {plan.seed})")
+    print(monitor.render())
+    print()
+    print(svc.stats.render())
+    if args.trace is not None:
+        svc.tracer.write_chrome_trace(args.trace)
+        print(f"wrote request trace to {args.trace}")
+    if args.json:
+        payload = {"network": network.name, "requests": args.requests,
+                   "faults": None if plan is None else str(plan),
+                   **monitor.summary()}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote SLO summary JSON to {args.json}")
+    if args.fail_on_breach and monitor.breached():
+        raise SystemExit(1)
+
+
+def cmd_bench_diff(args) -> None:
+    """Compare two benchmark summary JSON files and flag regressions.
+
+    Pairs every numeric leaf of ``baseline`` and ``current`` by dotted
+    path, classifies deltas with a metric-name direction heuristic
+    (latencies should fall, throughputs should rise), and lists any
+    that moved the bad way by more than ``--threshold``.
+    ``--fail-on-regression`` turns a non-empty regression list into
+    exit code 1; metrics present in only one file never fail the diff.
+    """
+    import json
+
+    from .obs import diff_benchmarks, render_diff
+
+    diff = diff_benchmarks(args.baseline, args.current,
+                           threshold=args.threshold)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, verbose=args.verbose))
+    if args.fail_on_regression and diff.regressions:
+        raise SystemExit(1)
 
 
 def cmd_codegen(args) -> None:
@@ -716,7 +840,7 @@ def cmd_check(args) -> None:
     clean — the contract the CI smoke job greps for.
     """
     from .check import (CheckReport, check_network, check_plan_cache_file,
-                        check_tuning_db_file, lint_paths)
+                        check_trace_file, check_tuning_db_file, lint_paths)
 
     report = CheckReport()
     network = None
@@ -741,12 +865,15 @@ def cmd_check(args) -> None:
         report.extend(f"tuning db {args.tunedb}",
                       check_tuning_db_file(args.tunedb,
                                            fingerprint=fingerprint))
+    if args.trace:
+        report.extend(f"trace {args.trace}", check_trace_file(args.trace))
     if args.lint:
         report.extend("lint " + " ".join(args.lint),
                       lint_paths(args.lint, readme=args.readme))
     if not report.checks_run:
         raise SystemExit("nothing to check: give a NETWORK, --lint PATH, "
-                         "--plan PATH, --tunedb PATH, or --request PATH")
+                         "--plan PATH, --tunedb PATH, --trace PATH, or "
+                         "--request PATH")
     print(report.to_json() if args.json else report.render())
     code = report.exit_code(strict=args.strict)
     if code:
@@ -892,7 +1019,63 @@ def build_parser() -> argparse.ArgumentParser:
                          "of dropping the request")
     sb.add_argument("--json", default=None, metavar="PATH",
                     help="write the stats summary JSON here")
+    sb.add_argument("--trace", default=None, metavar="PATH",
+                    help="trace every request and write the span trees "
+                         "here (Chrome trace; .jsonl for JSONL)")
+    sb.add_argument("--slo", type=float, default=None, metavar="MS",
+                    help="attach a p99 latency SLO with this target "
+                         "(milliseconds) and report its burn rate")
+    sb.add_argument("--prom", default=None, metavar="PATH",
+                    help="write a Prometheus text exposition snapshot "
+                         "('-' for stdout)")
     sb.set_defaults(func=cmd_serve_bench)
+
+    sl = sub.add_parser(
+        "slo",
+        help="serve a short load against a latency SLO, report burn rate")
+    sl.add_argument("network", nargs="?", default="toynet")
+    sl.add_argument("--requests", type=int, default=64)
+    sl.add_argument("--target-ms", type=float, default=5.0,
+                    dest="target_ms",
+                    help="latency target in milliseconds")
+    sl.add_argument("--percentile", type=float, default=99.0,
+                    help="percentile the target applies to")
+    sl.add_argument("--budget", type=float, default=0.01,
+                    help="error budget: tolerated violation fraction")
+    sl.add_argument("--window", type=float, default=60.0, metavar="S",
+                    help="burn-rate observation window in seconds")
+    sl.add_argument("--alert-threshold", type=float, default=1.0,
+                    dest="alert_threshold",
+                    help="burn-rate multiple that trips the alert")
+    sl.add_argument("--workers", type=int, default=2)
+    sl.add_argument("--max-batch", type=int, default=8)
+    sl.add_argument("--max-wait-ms", type=float, default=2.0)
+    sl.add_argument("--trace", default=None, metavar="PATH",
+                    help="also record request traces and write them here")
+    sl.add_argument("--json", default=None, metavar="PATH",
+                    help="write the SLO summary JSON here")
+    sl.add_argument("--fail-on-breach", action="store_true",
+                    help="exit 1 when the error budget is exhausted")
+    sl.set_defaults(func=cmd_slo)
+
+    bd = sub.add_parser(
+        "bench-diff",
+        help="compare two benchmark JSON files and flag regressions")
+    bd.add_argument("baseline", help="baseline BENCH_*.json (or any "
+                                     "--json output)")
+    bd.add_argument("current", help="current benchmark JSON to compare")
+    bd.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    bd.add_argument("--verbose", action="store_true",
+                    help="list every compared metric, not just flagged "
+                         "ones")
+    bd.add_argument("--json", action="store_true",
+                    help="emit the machine-readable diff summary")
+    bd.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 when any metric regressed past the "
+                         "threshold")
+    bd.set_defaults(func=cmd_bench_diff)
 
     gen = sub.add_parser("codegen")
     gen.add_argument("network", nargs="?", default="nin")
@@ -1025,6 +1208,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="validate a plan-cache JSON file (RC4xx)")
     ck.add_argument("--tunedb", default=None, metavar="PATH",
                     help="validate a tuning-db JSON file (RC4xx)")
+    ck.add_argument("--trace", default=None, metavar="PATH",
+                    help="validate an exported request-trace file "
+                         "(JSONL or Chrome trace; RC5xx)")
     ck.add_argument("--request", default=None, metavar="PATH",
                     help="run a check described by a JSON request file")
     ck.add_argument("--strict", action="store_true",

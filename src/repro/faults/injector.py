@@ -61,6 +61,9 @@ class FaultInjector:
     def _count(self, kind: str, n: int = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + n
         obs.add_counter(f"faults.injected[{kind}]", n)
+        # mirror into the columnar event store: the timeline view shows
+        # *when* a fault burst hit, which one final total cannot
+        obs.emit_event(f"faults.injected[{kind}]", float(n))
 
     # -- decision API ----------------------------------------------------------
 

@@ -1,16 +1,25 @@
-"""repro.obs — spans, counters, gauges, and trace export.
+"""repro.obs — spans, counters, events, timelines, traces, and SLOs.
 
-The observability substrate for the reproduction: a zero-dependency
-instrumentation core (:mod:`repro.obs.registry`) that the explorer,
-simulators, and pipeline model feed, plus exporters — a human-readable
-run report (:mod:`repro.obs.report`), a machine-readable snapshot
-(:meth:`Registry.to_dict`), and Chrome Trace Event Format
-(:mod:`repro.obs.chrome_trace`) loadable in Perfetto.
+The observability substrate for the reproduction, in two generations:
+
+* **gen 1 (profiling)** — a zero-dependency instrumentation core
+  (:mod:`repro.obs.registry`) of hierarchical spans, counters, and
+  gauges that the explorer, simulators, and pipeline model feed, plus
+  exporters: a human run report (:mod:`repro.obs.report`), a metrics
+  snapshot (:meth:`Registry.to_dict`), and Chrome Trace Event Format
+  (:mod:`repro.obs.chrome_trace`) loadable in Perfetto.
+* **gen 2 (production telemetry)** — a columnar event store
+  (:mod:`repro.obs.events`: typed chunked column arrays, windowed
+  aggregation), timeline metrics with bounded-memory streaming
+  quantiles (:mod:`repro.obs.timeline`), per-request tracing with span
+  trees and flow-event export (:mod:`repro.obs.tracing`), SLO monitors
+  with error-budget burn-rate alerts (:mod:`repro.obs.slo`), and
+  Prometheus text exposition (:mod:`repro.obs.prometheus`).
 
 Instrumentation is **off by default**: :func:`span` returns a shared
-no-op context manager and :func:`add_counter` is a flag check, so the
-instrumented hot paths run at full speed in ordinary test runs. Turn it
-on around a region with :func:`capture`::
+no-op context manager and :func:`add_counter` / :func:`emit_event` are
+a flag check, so the instrumented hot paths run at full speed in
+ordinary test runs. Turn it on around a region with :func:`capture`::
 
     from repro import obs
 
@@ -18,10 +27,16 @@ on around a region with :func:`capture`::
         result = explore(vggnet_e(), num_convs=5)
     print(obs.render_report(registry))
 
-or globally with ``python -m repro <command> --profile``.
+or globally with ``python -m repro <command> --profile``. Request
+tracing and SLO monitoring in :mod:`repro.serve` are *opt-in per
+service* (``InferenceService(trace=True, slo=...)``) and independent of
+the global profiling switch.
 """
 
+from .benchdiff import BenchDiff, MetricDelta, diff_benchmarks, render_diff
 from .chrome_trace import chrome_trace, write_chrome_trace
+from .events import BEGIN, END, INSTANT, POINT, Column, Event, EventStore
+from .prometheus import prometheus_text, write_prometheus
 from .registry import (
     NOOP_SPAN,
     PipelineRecord,
@@ -30,6 +45,7 @@ from .registry import (
     add_counter,
     capture,
     disable,
+    emit_event,
     enable,
     enabled,
     get_registry,
@@ -38,24 +54,48 @@ from .registry import (
     span,
 )
 from .report import render_report
+from .slo import SLOMonitor, SLOTarget, render_slos
+from .timeline import RollingQuantile, Timeline
+from .tracing import Tracer, TraceSpan
 from .traffic import mirror_traffic
 
 __all__ = [
+    "BEGIN",
+    "BenchDiff",
+    "Column",
+    "END",
+    "Event",
+    "EventStore",
+    "INSTANT",
+    "MetricDelta",
     "NOOP_SPAN",
+    "POINT",
     "PipelineRecord",
     "Registry",
+    "RollingQuantile",
+    "SLOMonitor",
+    "SLOTarget",
     "SpanRecord",
+    "Timeline",
+    "TraceSpan",
+    "Tracer",
     "add_counter",
     "capture",
     "chrome_trace",
+    "diff_benchmarks",
     "disable",
+    "emit_event",
     "enable",
     "enabled",
     "get_registry",
     "mirror_traffic",
+    "prometheus_text",
     "record_pipeline",
+    "render_diff",
     "render_report",
+    "render_slos",
     "set_gauge",
     "span",
     "write_chrome_trace",
+    "write_prometheus",
 ]

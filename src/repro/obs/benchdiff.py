@@ -1,0 +1,205 @@
+"""Compare two benchmark-summary JSON files and flag regressions.
+
+The benchmark suite records machine-readable summaries
+(``benchmarks/results/BENCH_*.json``, or any ``--json`` output of
+``serve-bench``/``tune``/``stats``). :func:`diff_benchmarks` flattens
+both files to dotted-path numeric leaves, pairs them up, and classifies
+each delta using a direction heuristic on the metric name — latencies
+and cycle counts should go *down*, throughputs and hit counts *up* —
+so "regression" means "moved the bad way by more than the threshold".
+
+Metrics present in only one file are reported as added/removed, never
+as regressions: growing a benchmark must not fail the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..errors import ConfigError
+
+#: Name fragments whose metrics improve downward (time, traffic, misses).
+LOWER_IS_BETTER = (
+    "wall_s", "wall_ms", "_ms", "latency", "cycles", "seconds", "elapsed",
+    "bytes", "misses", "evictions", "failed", "rejected", "stall",
+    "retries", "violations", "burn_rate", "energy", "interval", "pending",
+)
+
+#: Name fragments whose metrics improve upward (rates, wins, coverage).
+HIGHER_IS_BETTER = (
+    "requests_per_s", "per_s", "hits", "completed", "speedup",
+    "improvement", "throughput", "utilization", "submitted", "ok",
+)
+
+
+def direction(path: str) -> int:
+    """-1 when lower is better, +1 when higher is better, 0 unknown.
+
+    The *last* matching fragment wins so ``cache.hits_ms`` reads as a
+    latency, not a hit count; ties go to the longer fragment.
+    """
+    leaf = path.lower()
+    best: Tuple[int, int] = (-1, 0)  # (fragment length, direction)
+    for fragment in LOWER_IS_BETTER:
+        if fragment in leaf and len(fragment) > best[0]:
+            best = (len(fragment), -1)
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in leaf and len(fragment) > best[0]:
+            best = (len(fragment), +1)
+    return best[1]
+
+
+def flatten(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-path map of every numeric leaf (bools excluded)."""
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(obj[key], path))
+    elif isinstance(obj, (list, tuple)):
+        for index, item in enumerate(obj):
+            out.update(flatten(item, f"{prefix}[{index}]"))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One paired metric across the two files."""
+
+    path: str
+    before: float
+    after: float
+    #: -1 lower-is-better, +1 higher-is-better, 0 unknown direction
+    direction: int
+
+    @property
+    def change(self) -> float:
+        """Relative change (after - before) / |before|; inf from zero."""
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / abs(self.before)
+
+    def regressed(self, threshold: float) -> bool:
+        """Moved the *bad* way by more than ``threshold`` (fraction)."""
+        if self.direction == 0:
+            return False
+        bad = self.change if self.direction < 0 else -self.change
+        return bad > threshold
+
+    def improved(self, threshold: float) -> bool:
+        if self.direction == 0:
+            return False
+        good = -self.change if self.direction < 0 else self.change
+        return good > threshold
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of one baseline/current file pair."""
+
+    baseline: str
+    current: str
+    deltas: List[MetricDelta]
+    added: List[str]
+    removed: List[str]
+    threshold: float
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.improved(self.threshold)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline,
+            "current": self.current,
+            "threshold": self.threshold,
+            "compared": len(self.deltas),
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "regressions": [d.path for d in self.regressions],
+            "improvements": [d.path for d in self.improvements],
+        }
+
+
+def _load(path: str) -> Dict[str, float]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as err:
+        raise ConfigError(f"cannot read benchmark file: {err}", path=path)
+    except json.JSONDecodeError as err:
+        raise ConfigError("benchmark file is not valid JSON",
+                          path=path, error=str(err))
+    if not isinstance(payload, dict):
+        raise ConfigError("benchmark file must hold a JSON object",
+                          path=path)
+    return flatten(payload)
+
+
+def diff_benchmarks(baseline: str, current: str,
+                    threshold: float = 0.10) -> BenchDiff:
+    """Compare two benchmark JSON files (paths), pairing numeric leaves."""
+    if threshold < 0:
+        raise ConfigError("threshold must be >= 0", threshold=threshold)
+    base = _load(baseline)
+    cur = _load(current)
+    deltas = [MetricDelta(path=path, before=base[path], after=cur[path],
+                          direction=direction(path))
+              for path in sorted(base) if path in cur]
+    return BenchDiff(
+        baseline=baseline, current=current, deltas=deltas,
+        added=sorted(set(cur) - set(base)),
+        removed=sorted(set(base) - set(cur)),
+        threshold=threshold,
+    )
+
+
+def _fmt_change(delta: MetricDelta) -> str:
+    if delta.change == float("inf"):
+        return "   +inf"
+    return f"{delta.change:+7.1%}"
+
+
+def render_diff(diff: BenchDiff, verbose: bool = False) -> str:
+    """Human-readable comparison table (regressions always listed)."""
+    lines = [
+        f"bench-diff: {diff.baseline} -> {diff.current} "
+        f"({len(diff.deltas)} metrics compared, "
+        f"threshold {diff.threshold:.0%})",
+    ]
+    flagged = diff.regressions
+    better = diff.improvements
+    shown = (diff.deltas if verbose
+             else flagged + better)
+    if shown:
+        width = max(len(d.path) for d in shown) + 2
+        for delta in shown:
+            if delta.regressed(diff.threshold):
+                tag = "REGRESSED"
+            elif delta.improved(diff.threshold):
+                tag = "improved"
+            else:
+                tag = "~" if delta.direction else "?"
+            arrow = {-1: "v better", 1: "^ better", 0: ""}[delta.direction]
+            lines.append(
+                f"  {delta.path:<{width}s} {delta.before:>14,.4g} -> "
+                f"{delta.after:>14,.4g}  {_fmt_change(delta)}  "
+                f"{tag:<9s} {arrow}")
+    if diff.added:
+        lines.append(f"  added   : {', '.join(diff.added[:8])}"
+                     + (" ..." if len(diff.added) > 8 else ""))
+    if diff.removed:
+        lines.append(f"  removed : {', '.join(diff.removed[:8])}"
+                     + (" ..." if len(diff.removed) > 8 else ""))
+    lines.append(f"  {len(flagged)} regressions, {len(better)} improvements")
+    return "\n".join(lines)

@@ -65,6 +65,20 @@ def chrome_trace(registry: Registry) -> Dict[str, Any]:
             "ts": last * 1e6,
             "args": dict(registry.counters),
         })
+    # Timeline events become per-bucket counter samples so rates (fault
+    # bursts, tuner generations) are visible over time, not just as one
+    # final total.
+    for name in sorted(registry.events.totals()):
+        for t, count, total in registry.timeline.series(name):
+            events.append({
+                "name": name,
+                "cat": "timeline",
+                "ph": "C",
+                "pid": MAIN_PID,
+                "tid": 1,
+                "ts": t * 1e6,
+                "args": {"count": count, "sum": round(total, 6)},
+            })
     for index, pipe in enumerate(registry.pipelines):
         pid = PIPELINE_PID_BASE + index
         events.append(_metadata(pid, 0, "process_name", f"pipeline:{pipe.name}"))

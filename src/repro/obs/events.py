@@ -1,0 +1,311 @@
+"""Columnar event store: typed, chunked column arrays for obs signals.
+
+The first-generation observability layer kept every signal either as a
+scalar (counters/gauges) or as a per-event Python object (``SpanRecord``
+dicts). That is fine for a profile of one run but collapses under a
+serving soak: a million requests × a handful of events each is tens of
+millions of Python dicts. This module stores events **columnarly** — one
+typed :class:`Column` per field, each a chain of fixed-size
+``array.array`` chunks — so an event costs a few machine words, names
+are interned once, and windowed aggregation walks contiguous memory.
+
+Schema (one row per event):
+
+========== ====== ====================================================
+column     type   meaning
+========== ====== ====================================================
+``ts``     f64    seconds since the store epoch
+``name``   i64    interned event-name id (:meth:`EventStore.name_id`)
+``kind``   i64    :data:`POINT` | :data:`BEGIN` | :data:`END` |
+                  :data:`INSTANT`
+``value``  f64    numeric payload (metric increment, latency, ...)
+``trace``  i64    trace id (-1 when the event is not part of a trace)
+``span``   i64    span id (-1 likewise)
+``parent`` i64    parent span id (-1 for roots)
+========== ====== ====================================================
+
+Rare per-event attributes live in a sparse ``{row: dict}`` side table so
+the hot columns stay fixed-width. ``max_rows`` bounds memory for long
+soaks by evicting whole chunks FIFO (running totals survive eviction).
+
+Only the standard library is used; like the rest of :mod:`repro.obs`
+this module never imports NumPy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Event kinds. POINT is a timeline metric sample; BEGIN/END bracket a
+#: trace span; INSTANT is a zero-duration trace event (retry, requeue).
+POINT = 0
+BEGIN = 1
+END = 2
+INSTANT = 3
+
+KIND_NAMES = {POINT: "point", BEGIN: "begin", END: "end", INSTANT: "instant"}
+
+#: Rows per chunk. 4096 rows × 7 columns × 8 bytes ≈ 224 KB per chunk.
+CHUNK_ROWS = 4096
+
+
+class Column:
+    """One typed, chunked, append-only column.
+
+    Values live in fixed-size ``array.array`` chunks; appends never
+    reallocate previous chunks, and :meth:`drop_chunks` evicts from the
+    front in O(1) per chunk. Indexing is by *absolute* row id — rows
+    evicted from the front raise ``IndexError``.
+    """
+
+    __slots__ = ("typecode", "chunk_rows", "chunks", "offset")
+
+    def __init__(self, typecode: str, chunk_rows: int = CHUNK_ROWS):
+        self.typecode = typecode
+        self.chunk_rows = chunk_rows
+        self.chunks: List[array] = []
+        self.offset = 0  # absolute row id of the first retained row
+
+    def append(self, value: float) -> None:
+        if not self.chunks or len(self.chunks[-1]) >= self.chunk_rows:
+            self.chunks.append(array(self.typecode))
+        self.chunks[-1].append(value)
+
+    def __len__(self) -> int:
+        if not self.chunks:
+            return self.offset
+        return (self.offset + (len(self.chunks) - 1) * self.chunk_rows
+                + len(self.chunks[-1]))
+
+    def __getitem__(self, row: int):
+        local = row - self.offset
+        if local < 0:
+            raise IndexError(f"row {row} evicted (offset {self.offset})")
+        chunk, at = divmod(local, self.chunk_rows)
+        return self.chunks[chunk][at]
+
+    def drop_chunks(self, n: int) -> None:
+        """Evict the ``n`` oldest chunks (caller keeps columns in sync)."""
+        for _ in range(min(n, len(self.chunks))):
+            self.offset += len(self.chunks.pop(0))
+
+    def iter_values(self) -> Iterator:
+        for chunk in self.chunks:
+            yield from chunk
+
+
+@dataclass(frozen=True)
+class Event:
+    """A decoded row view (only materialized on read paths)."""
+
+    row: int
+    ts: float
+    name: str
+    kind: int
+    value: float
+    trace: int
+    span: int
+    parent: int
+    attrs: Optional[Dict[str, Any]]
+
+
+class EventStore:
+    """Typed, chunked, thread-safe columnar store of obs events.
+
+    Appends take one lock and seven array appends; aggregation reads
+    walk the chunks without materializing row objects. ``max_rows``
+    (optional) caps resident rows by whole-chunk FIFO eviction —
+    :meth:`totals` keeps exact lifetime counts/sums regardless.
+    """
+
+    def __init__(self, max_rows: Optional[int] = None,
+                 chunk_rows: int = CHUNK_ROWS):
+        self._lock = threading.Lock()
+        self.chunk_rows = chunk_rows
+        self.max_rows = max_rows
+        self.names: List[str] = []
+        self._name_ids: Dict[str, int] = {}
+        self.ts = Column("d", chunk_rows)
+        self.name = Column("q", chunk_rows)
+        self.kind = Column("q", chunk_rows)
+        self.value = Column("d", chunk_rows)
+        self.trace = Column("q", chunk_rows)
+        self.span = Column("q", chunk_rows)
+        self.parent = Column("q", chunk_rows)
+        self.attrs: Dict[int, Dict[str, Any]] = {}
+        self._totals: Dict[int, List[float]] = {}  # name_id -> [count, sum]
+        self.evicted_rows = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def name_id(self, name: str) -> int:
+        """Intern ``name`` (callers may cache the id for hot paths)."""
+        nid = self._name_ids.get(name)
+        if nid is None:
+            with self._lock:
+                nid = self._name_ids.get(name)
+                if nid is None:
+                    nid = len(self.names)
+                    self.names.append(name)
+                    self._name_ids[name] = nid
+        return nid
+
+    def append(self, name: str, ts: float, value: float = 1.0,
+               kind: int = POINT, trace: int = -1, span: int = -1,
+               parent: int = -1,
+               attrs: Optional[Dict[str, Any]] = None) -> int:
+        """Append one event row; returns its absolute row id."""
+        nid = self.name_id(name)
+        with self._lock:
+            row = len(self.ts)
+            self.ts.append(ts)
+            self.name.append(nid)
+            self.kind.append(kind)
+            self.value.append(value)
+            self.trace.append(trace)
+            self.span.append(span)
+            self.parent.append(parent)
+            if attrs:
+                self.attrs[row] = dict(attrs)
+            total = self._totals.get(nid)
+            if total is None:
+                self._totals[nid] = [1.0, value]
+            else:
+                total[0] += 1.0
+                total[1] += value
+            if self.max_rows is not None and self._resident() > self.max_rows:
+                self._evict_locked()
+            return row
+
+    def _resident(self) -> int:
+        return len(self.ts) - self.ts.offset
+
+    def _evict_locked(self) -> None:
+        while len(self.ts.chunks) > 1 and self._resident() > self.max_rows:
+            dropped = len(self.ts.chunks[0])
+            new_offset = self.ts.offset + dropped
+            for column in (self.ts, self.name, self.kind, self.value,
+                           self.trace, self.span, self.parent):
+                column.drop_chunks(1)
+            self.evicted_rows += dropped
+            for row in [r for r in self.attrs if r < new_offset]:
+                del self.attrs[row]
+
+    # -- reading ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    @property
+    def resident_rows(self) -> int:
+        return self._resident()
+
+    def rows(self, name: Optional[str] = None,
+             kind: Optional[int] = None,
+             trace: Optional[int] = None) -> Iterator[Event]:
+        """Iterate retained rows, optionally filtered (decoded lazily)."""
+        want_name = self._name_ids.get(name, -2) if name is not None else None
+        start = self.ts.offset
+        for i, (ts, nid, knd, val, trc, spn, par) in enumerate(zip(
+                self.ts.iter_values(), self.name.iter_values(),
+                self.kind.iter_values(), self.value.iter_values(),
+                self.trace.iter_values(), self.span.iter_values(),
+                self.parent.iter_values())):
+            if want_name is not None and nid != want_name:
+                continue
+            if kind is not None and knd != kind:
+                continue
+            if trace is not None and trc != trace:
+                continue
+            row = start + i
+            yield Event(row=row, ts=ts, name=self.names[int(nid)],
+                        kind=int(knd), value=val, trace=int(trc),
+                        span=int(spn), parent=int(par),
+                        attrs=self.attrs.get(row))
+
+    def totals(self) -> Dict[str, Tuple[int, float]]:
+        """Lifetime ``{name: (count, value_sum)}`` (eviction-proof)."""
+        return {self.names[nid]: (int(count), total)
+                for nid, (count, total) in self._totals.items()}
+
+    def window(self, name: Optional[str] = None,
+               t0: float = float("-inf"),
+               t1: float = float("inf")) -> Tuple[int, float]:
+        """``(count, value_sum)`` of retained POINT rows in ``[t0, t1)``."""
+        want = self._name_ids.get(name, -2) if name is not None else None
+        count, total = 0, 0.0
+        for ts, nid, knd, val in zip(
+                self.ts.iter_values(), self.name.iter_values(),
+                self.kind.iter_values(), self.value.iter_values()):
+            if knd != POINT or ts < t0 or ts >= t1:
+                continue
+            if want is not None and nid != want:
+                continue
+            count += 1
+            total += val
+        return count, total
+
+    def bucket_series(self, name: str,
+                      bucket_s: float) -> List[Tuple[float, int, float]]:
+        """``[(bucket_start_s, count, value_sum)]`` for one event name.
+
+        Buckets are aligned to multiples of ``bucket_s`` from the store
+        epoch; only non-empty buckets are returned, in time order.
+        """
+        want = self._name_ids.get(name)
+        if want is None or bucket_s <= 0:
+            return []
+        buckets: Dict[int, List[float]] = {}
+        for ts, nid, knd, val in zip(
+                self.ts.iter_values(), self.name.iter_values(),
+                self.kind.iter_values(), self.value.iter_values()):
+            if nid != want or knd != POINT:
+                continue
+            key = int(ts / bucket_s)
+            slot = buckets.get(key)
+            if slot is None:
+                buckets[key] = [1.0, val]
+            else:
+                slot[0] += 1.0
+                slot[1] += val
+        return [(key * bucket_s, int(count), total)
+                for key, (count, total) in sorted(buckets.items())]
+
+    # -- export ----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable store summary (bounded size: no row dump)."""
+        return {
+            "rows": len(self),
+            "resident_rows": self.resident_rows,
+            "evicted_rows": self.evicted_rows,
+            "names": len(self.names),
+            "totals": {name: {"count": count, "sum": total}
+                       for name, (count, total) in sorted(self.totals().items())},
+        }
+
+    def to_jsonl(self, path: str) -> int:
+        """Dump every retained row as one JSON object per line."""
+        n = 0
+        with open(path, "w") as handle:
+            for event in self.rows():
+                record = {
+                    "ts": event.ts, "name": event.name,
+                    "kind": KIND_NAMES.get(event.kind, event.kind),
+                    "value": event.value,
+                }
+                if event.trace >= 0:
+                    record["trace"] = event.trace
+                if event.span >= 0:
+                    record["span"] = event.span
+                if event.parent >= 0:
+                    record["parent"] = event.parent
+                if event.attrs:
+                    record["attrs"] = event.attrs
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                n += 1
+        return n

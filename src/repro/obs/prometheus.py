@@ -1,0 +1,109 @@
+"""Prometheus text exposition of obs signals.
+
+Renders counters, gauges, timeline rates, and SLO monitors in the
+Prometheus text format (version 0.0.4): one ``# TYPE`` header per
+metric family, dotted repro names mapped to underscore families, and
+the repo's ``family.metric[label]`` convention mapped to a
+``{label="..."}`` selector::
+
+    faults.injected[dram_stall]  ->  repro_faults_injected{label="dram_stall"}
+
+The exposition is a *snapshot* — this repo has no HTTP scrape endpoint;
+the text lands in a file (``serve-bench --prom``) or on stdout
+(``repro slo --prom -``) where a node-exporter-style textfile collector
+can pick it up.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .registry import Registry
+from .slo import SLOMonitor
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_LABELED = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<label>[^\[\]]+)\]$")
+
+
+def metric_name(name: str, prefix: str = "repro") -> Tuple[str, str]:
+    """Map a dotted repro name to ``(family, label)`` (label may be "")."""
+    label = ""
+    match = _LABELED.match(name)
+    if match:
+        name, label = match.group("base"), match.group("label")
+    family = _INVALID.sub("_", f"{prefix}_{name}")
+    return family, label
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _sample(family: str, label: str, value: float) -> str:
+    selector = f'{{label="{_escape(label)}"}}' if label else ""
+    if value == int(value) and abs(value) < 2**53:
+        return f"{family}{selector} {int(value)}"
+    return f"{family}{selector} {value:.9g}"
+
+
+def _emit(families: Dict[str, Tuple[str, List[str]]], name: str,
+          kind: str, value: float, help_text: str = "") -> None:
+    family, label = metric_name(name)
+    if family not in families:
+        families[family] = (kind, [])
+    families[family][1].append(_sample(family, label, value))
+
+
+def prometheus_text(registry: Optional[Registry] = None,
+                    counters: Optional[Dict[str, float]] = None,
+                    gauges: Optional[Dict[str, float]] = None,
+                    slos: Iterable[SLOMonitor] = (),
+                    extra: Optional[Dict[str, float]] = None) -> str:
+    """Render one exposition snapshot.
+
+    ``registry`` contributes its counters/gauges and event-store totals;
+    ``counters``/``gauges``/``extra`` add ad-hoc values (``extra`` maps
+    dotted names to gauge samples); ``slos`` adds one block per monitor
+    (burn rate, violations, observed quantile).
+    """
+    families: Dict[str, Tuple[str, List[str]]] = {}
+    if registry is not None:
+        for name, value in sorted(registry.counters.items()):
+            _emit(families, name, "counter", value)
+        for name, value in sorted(registry.gauges.items()):
+            _emit(families, name, "gauge", value)
+        for name, (count, total) in sorted(registry.events.totals().items()):
+            _emit(families, f"{name}.events", "counter", count)
+            if total != count:
+                _emit(families, f"{name}.events_sum", "counter", total)
+    for name, value in sorted((counters or {}).items()):
+        _emit(families, name, "counter", value)
+    for source in (gauges, extra):
+        for name, value in sorted((source or {}).items()):
+            _emit(families, name, "gauge", value)
+    for monitor in slos:
+        s = monitor.summary()
+        base = f"slo.{monitor.target.name}"
+        _emit(families, f"{base}.observed", "counter", s["observed"])
+        _emit(families, f"{base}.violations", "counter", s["violations"])
+        _emit(families, f"{base}.alerts", "counter", s["alerts"])
+        _emit(families, f"{base}.burn_rate", "gauge", s["burn_rate"])
+        _emit(families, f"{base}.latency_quantile_ms", "gauge",
+              s[f"p{monitor.target.percentile:g}_ms"])
+    lines: List[str] = []
+    for family in sorted(families):
+        kind, samples = families[family]
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, **kwargs: Any) -> None:
+    """Write the exposition to ``path`` (``-`` for stdout)."""
+    text = prometheus_text(**kwargs)
+    if path == "-":
+        print(text, end="")
+        return
+    with open(path, "w") as handle:
+        handle.write(text)

@@ -29,6 +29,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .events import EventStore
+
 
 @dataclass
 class SpanRecord:
@@ -148,14 +150,28 @@ class Registry:
     (benchmark harnesses, tests) work without flipping global state.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_event_rows: Optional[int] = None) -> None:
         self.epoch = time.perf_counter()
         self.spans: List[SpanRecord] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.pipelines: List[PipelineRecord] = []
+        self.events = EventStore(max_rows=max_event_rows)
         self._stack: List[SpanRecord] = []
         self._next_id = 0
+        self.__dict__.pop("_timeline", None)  # reset() re-runs __init__
+
+    @property
+    def timeline(self):
+        """A :class:`~repro.obs.timeline.Timeline` view over the store
+        (built lazily so importing the registry stays dependency-free)."""
+        view = self.__dict__.get("_timeline")
+        if view is None:
+            from .timeline import Timeline
+
+            view = self.__dict__["_timeline"] = Timeline(
+                bucket_s=0.1, store=self.events, epoch=self.epoch)
+        return view
 
     # -- recording -------------------------------------------------------------
 
@@ -185,6 +201,16 @@ class Registry:
     def gauge(self, name: str, value: float) -> None:
         """Set a last-write-wins gauge."""
         self.gauges[name] = value
+
+    def emit(self, name: str, value: float = 1.0,
+             attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record one timestamped event into the columnar store.
+
+        Unlike :meth:`add`, events keep *when*: windowed rates and
+        bucketed series are derivable afterwards via :attr:`timeline`.
+        """
+        self.events.append(name, time.perf_counter() - self.epoch,
+                           value=value, attrs=attrs)
 
     def record_pipeline(self, stage_names: Sequence[str],
                         stage_cycles: Sequence[int],
@@ -230,6 +256,7 @@ class Registry:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "pipelines": [p.to_dict() for p in self.pipelines],
+            "events": self.events.summary(),
         }
 
 
@@ -293,6 +320,14 @@ def add_counter(name: str, value: float = 1) -> None:
 def set_gauge(name: str, value: float) -> None:
     if _ENABLED:
         _REGISTRY.gauge(name, value)
+
+
+def emit_event(name: str, value: float = 1.0,
+               attrs: Optional[Dict[str, Any]] = None) -> None:
+    """Record a timestamped event on the global registry; free when
+    disabled (a single flag check, like :func:`add_counter`)."""
+    if _ENABLED:
+        _REGISTRY.emit(name, value, attrs=attrs)
 
 
 def record_pipeline(stage_names: Sequence[str], stage_cycles: Sequence[int],

@@ -79,6 +79,21 @@ def _render_counters(registry: Registry, lines: List[str]) -> None:
         lines.append(f"  {name:<{width}s} {_fmt_count(name, registry.counters[name])}")
 
 
+def _render_events(registry: Registry, lines: List[str]) -> None:
+    totals = registry.events.totals()
+    if not totals:
+        return
+    lines.append("events (columnar store):")
+    width = max(len(name) for name in totals) + 2
+    for name in sorted(totals):
+        count, total = totals[name]
+        extra = "" if total == count else f"  (sum {_fmt_count(name, total)})"
+        lines.append(f"  {name:<{width}s} {count:,}{extra}")
+    if registry.events.evicted_rows:
+        lines.append(f"  ({registry.events.evicted_rows:,} old rows evicted; "
+                     "totals are lifetime-exact)")
+
+
 def _render_gauges(registry: Registry, lines: List[str]) -> None:
     if not registry.gauges:
         return
@@ -109,6 +124,7 @@ def render_report(registry: Registry, title: str = "run report") -> str:
     _render_spans(registry, lines)
     lines.append("")
     _render_counters(registry, lines)
+    _render_events(registry, lines)
     _render_gauges(registry, lines)
     for pipe in registry.pipelines:
         lines.append("")

@@ -1,0 +1,180 @@
+"""SLO monitoring: latency targets, error budgets, burn-rate alerts.
+
+An :class:`SLOTarget` declares the promise ("p99 latency under 5 ms,
+with a 1% error budget"); an :class:`SLOMonitor` watches the request
+stream and answers whether the promise is being kept *right now*:
+
+* every observation is classified good/bad (latency over target, or an
+  outright failure) and recorded into a :class:`~repro.obs.timeline.Timeline`
+  bucket, so violation *rates* are reconstructable over time;
+* the **burn rate** is the classic SRE ratio — the fraction of requests
+  violating the objective divided by the error budget. Burn rate 1.0
+  means the budget is being consumed exactly as provisioned; >= the
+  alert threshold (default 1.0) trips an alert, tallied locally and
+  mirrored as ``slo.burn_alerts[<name>]`` / ``slo.burn_rate[<name>]``
+  obs signals;
+* latency quantiles come from a bounded
+  :class:`~repro.obs.timeline.RollingQuantile`, so a monitor's memory is
+  constant no matter how long the soak runs.
+
+Everything is deterministic given the observation sequence: monitors
+never read wall clocks beyond the monotonic timeline stamps.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from . import registry as _registry
+from .timeline import RollingQuantile, Timeline
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One service-level objective over request latency/success."""
+
+    name: str = "latency"
+    latency_ms: float = 5.0      #: the latency bound the SLO promises
+    percentile: float = 99.0     #: which quantile the bound applies to
+    error_budget: float = 0.01   #: allowed violating fraction (0..1]
+    window_s: float = 60.0       #: trailing window for windowed burn rate
+    alert_threshold: float = 1.0  #: burn rate at/above which to alert
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        if self.latency_ms <= 0:
+            raise ConfigError("SLO latency_ms must be positive",
+                              latency_ms=self.latency_ms)
+        if not 0 < self.error_budget <= 1:
+            raise ConfigError("SLO error_budget must be in (0, 1]",
+                              error_budget=self.error_budget)
+        if not 0 < self.percentile <= 100:
+            raise ConfigError("SLO percentile must be in (0, 100]",
+                              percentile=self.percentile)
+        if self.window_s <= 0:
+            raise ConfigError("SLO window_s must be positive",
+                              window_s=self.window_s)
+        if self.alert_threshold <= 0:
+            raise ConfigError("SLO alert_threshold must be positive",
+                              alert_threshold=self.alert_threshold)
+
+    def describe(self) -> str:
+        return (f"{self.name}: p{self.percentile:g} <= {self.latency_ms:g} ms"
+                f" (budget {self.error_budget:.2%})")
+
+
+class SLOMonitor:
+    """Streams request outcomes against one :class:`SLOTarget`."""
+
+    def __init__(self, target: SLOTarget,
+                 timeline: Optional[Timeline] = None,
+                 quantile_window: int = 2048):
+        self.target = target
+        self.timeline = timeline if timeline is not None else Timeline(
+            bucket_s=min(1.0, target.window_s / 10))
+        self.latency = RollingQuantile(window=quantile_window)
+        self._lock = threading.Lock()
+        self.observed = 0
+        self.violations = 0   # latency over target
+        self.failures = 0     # failed requests (always violations)
+        self.alerts = 0
+        self._good_name = f"slo.good[{target.name}]"
+        self._bad_name = f"slo.bad[{target.name}]"
+
+    # -- recording -------------------------------------------------------------
+
+    def observe(self, latency_s: float, ok: bool = True,
+                ts: Optional[float] = None) -> bool:
+        """Record one request outcome; returns True when it violated."""
+        violated = (not ok) or latency_s * 1e3 > self.target.latency_ms
+        with self._lock:
+            self.observed += 1
+            if not ok:
+                self.failures += 1
+            if violated:
+                self.violations += 1
+        self.latency.observe(latency_s)
+        self.timeline.record(self._bad_name if violated else self._good_name,
+                             ts=ts)
+        if violated and self.burn_rate() >= self.target.alert_threshold:
+            with self._lock:
+                self.alerts += 1
+            _registry.add_counter(f"slo.burn_alerts[{self.target.name}]")
+        _registry.set_gauge(f"slo.burn_rate[{self.target.name}]",
+                            self.burn_rate())
+        return violated
+
+    # -- burn rates ------------------------------------------------------------
+
+    def violation_fraction(self, window_s: Optional[float] = None) -> float:
+        """Violating fraction, lifetime or over the trailing window."""
+        if window_s is None:
+            with self._lock:
+                if self.observed == 0:
+                    return 0.0
+                return self.violations / self.observed
+        now = self.timeline.now()
+        bad = self.timeline.window_count(self._bad_name, now - window_s, now)
+        good = self.timeline.window_count(self._good_name, now - window_s, now)
+        total = bad + good
+        return bad / total if total else 0.0
+
+    def burn_rate(self, window_s: Optional[float] = None) -> float:
+        """Violating fraction divided by the error budget.
+
+        1.0 = consuming the budget exactly as provisioned; 0 = clean;
+        e.g. 50x on a 1% budget means half the requests are violating.
+        """
+        return (self.violation_fraction(window_s)
+                / self.target.error_budget)
+
+    def breached(self) -> bool:
+        """Is the observed latency quantile over target right now?"""
+        if self.latency.count == 0:
+            return False
+        observed_ms = self.latency.quantile(self.target.percentile) * 1e3
+        return observed_ms > self.target.latency_ms
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            observed, violations = self.observed, self.violations
+            failures, alerts = self.failures, self.alerts
+        quantile_ms = self.latency.quantile(self.target.percentile) * 1e3
+        return {
+            "name": self.target.name,
+            "objective": self.target.describe(),
+            "latency_target_ms": self.target.latency_ms,
+            "percentile": self.target.percentile,
+            "observed": observed,
+            "violations": violations,
+            "failures": failures,
+            "violation_fraction": (violations / observed) if observed else 0.0,
+            "error_budget": self.target.error_budget,
+            "burn_rate": self.burn_rate(),
+            "windowed_burn_rate": self.burn_rate(self.target.window_s),
+            "alerts": alerts,
+            f"p{self.target.percentile:g}_ms": quantile_ms,
+            "breached": self.breached(),
+        }
+
+    def render(self) -> str:
+        s = self.summary()
+        state = "ALERT" if s["alerts"] else ("breach" if s["breached"] else "ok")
+        return (f"slo {s['name']:10s}: p{self.target.percentile:g} "
+                f"{s[f'p{self.target.percentile:g}_ms']:.2f} ms "
+                f"(target {self.target.latency_ms:g} ms)  "
+                f"burn-rate {s['burn_rate']:.2f}x "
+                f"({s['violations']}/{s['observed']} violations, "
+                f"budget {self.target.error_budget:.2%})  [{state}]")
+
+
+def render_slos(monitors: List[SLOMonitor]) -> str:
+    """One report block for a set of monitors."""
+    if not monitors:
+        return "slo: (no monitors)"
+    return "\n".join(monitor.render() for monitor in monitors)

@@ -1,0 +1,163 @@
+"""Timeline metrics: time-bucketed rates and bounded streaming quantiles.
+
+Counters answer "how much, total"; a timeline answers "how fast, when".
+:class:`Timeline` records metric points into a columnar
+:class:`~repro.obs.events.EventStore` and aggregates them into aligned
+time buckets, so burst shapes, rates, and burn-rate windows are all
+derivable after the fact without per-event Python objects.
+
+:class:`RollingQuantile` is the bounded-memory latency summary the
+serving stats use: a fixed-size ring of the most recent observations
+plus exact lifetime count/sum. Quantiles are computed over the window
+(recent behaviour, which is what an SLO cares about) while totals never
+saturate — a million-request soak holds ``window`` floats, not a
+million.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from array import array
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .events import POINT, EventStore
+
+
+class RollingQuantile:
+    """Bounded-memory stream summary: recent-window quantiles, exact totals.
+
+    A ring buffer of the last ``window`` observations. ``quantile`` is
+    the nearest-rank quantile over that window; ``count``/``total`` are
+    exact over the whole stream. Memory is O(window) forever.
+    """
+
+    __slots__ = ("window", "_ring", "_next", "count", "total", "_min", "_max")
+
+    def __init__(self, window: int = 2048):
+        if window < 1:
+            raise ConfigError("window must be >= 1", window=window)
+        self.window = window
+        self._ring = array("d")
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        if len(self._ring) < self.window:
+            self._ring.append(value)
+        else:
+            self._ring[self._next] = value
+            self._next = (self._next + 1) % self.window
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-percentile (0..100) over the window."""
+        if not self._ring:
+            return 0.0
+        ordered = sorted(self._ring)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    def snapshot(self) -> List[float]:
+        """The retained window, oldest-independent (for tests/export)."""
+        return list(self._ring)
+
+
+class Timeline:
+    """Time-bucketed metric recording over a columnar event store.
+
+    ``record(name, value)`` appends one POINT row stamped with seconds
+    since ``epoch``; ``series``/``rate``/``window_sum`` aggregate rows
+    into aligned ``bucket_s`` windows. The store may be shared (the
+    global registry passes its own) or owned.
+    """
+
+    def __init__(self, bucket_s: float = 1.0,
+                 store: Optional[EventStore] = None,
+                 epoch: Optional[float] = None,
+                 max_rows: Optional[int] = None):
+        if bucket_s <= 0:
+            raise ConfigError("bucket_s must be positive", bucket_s=bucket_s)
+        self.bucket_s = bucket_s
+        self.store = store if store is not None else EventStore(max_rows=max_rows)
+        self.epoch = epoch if epoch is not None else time.perf_counter()
+
+    # -- recording -------------------------------------------------------------
+
+    def now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def record(self, name: str, value: float = 1.0,
+               ts: Optional[float] = None,
+               attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record one metric point (``ts`` defaults to now)."""
+        self.store.append(name, ts if ts is not None else self.now(),
+                          value=value, kind=POINT, attrs=attrs)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def series(self, name: str,
+               bucket_s: Optional[float] = None) -> List[Tuple[float, int, float]]:
+        """``[(bucket_start_s, count, value_sum)]`` for one metric."""
+        return self.store.bucket_series(name, bucket_s or self.bucket_s)
+
+    def window_sum(self, name: str, t0: float, t1: float) -> float:
+        return self.store.window(name, t0, t1)[1]
+
+    def window_count(self, name: str, t0: float, t1: float) -> int:
+        return self.store.window(name, t0, t1)[0]
+
+    def rate(self, name: str, window_s: Optional[float] = None,
+             now: Optional[float] = None) -> float:
+        """Events per second over the trailing ``window_s`` (or all time)."""
+        end = now if now is not None else self.now()
+        start = end - window_s if window_s is not None else 0.0
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return self.store.window(name, start, end)[0] / span
+
+    def value_rate(self, name: str, window_s: Optional[float] = None,
+                   now: Optional[float] = None) -> float:
+        """Value-sum per second over the trailing window (e.g. bytes/s)."""
+        end = now if now is not None else self.now()
+        start = end - window_s if window_s is not None else 0.0
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return self.store.window(name, start, end)[1] / span
+
+    def names(self) -> List[str]:
+        return sorted(self.store.totals())
+
+    def to_dict(self, bucket_s: Optional[float] = None) -> Dict[str, Any]:
+        """Machine-readable snapshot: per-metric bucketed series."""
+        return {
+            "bucket_s": bucket_s or self.bucket_s,
+            "series": {
+                name: [{"t": t, "count": count, "sum": total}
+                       for t, count, total in self.series(name, bucket_s)]
+                for name in self.names()
+            },
+        }

@@ -1,0 +1,259 @@
+"""Per-request tracing: span trees over the columnar event store.
+
+A :class:`Tracer` records BEGIN/END/INSTANT rows into an
+:class:`~repro.obs.events.EventStore`; each served request is one
+*trace* (its id is minted by the serving front end) whose rows
+reconstruct into a span tree::
+
+    serve.request                       (root: submit -> future done)
+      serve.enqueue                     (queue wait; again after requeue)
+      serve.batch                       (batch assembly + execution)
+        serve.execute                   (the compiled plan call)
+          serve.retry                   (instant: fault-repair attempt)
+      serve.requeue                     (instant: worker crash recovery)
+
+Recording is append-only and thread-safe (the store locks); nothing is
+reconstructed until a reader asks. Exports: :meth:`Tracer.to_jsonl`
+(one completed span per line) and :meth:`Tracer.chrome_events` — Chrome
+Trace Event Format complete events on one track per pipeline stage,
+joined per request by flow events (``ph`` s/f) so a request's hop from
+queue to worker is a clickable arrow in Perfetto.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .events import BEGIN, END, INSTANT, Event, EventStore
+
+
+@dataclass
+class TraceSpan:
+    """One reconstructed span (END may be missing: ``end_s is None``)."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int
+    name: str
+    start_s: float
+    end_s: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["TraceSpan"] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def wall_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def walk(self) -> Iterable["TraceSpan"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["TraceSpan"]:
+        return [s for s in self.walk() if s.name == name]
+
+
+class Tracer:
+    """Mints span ids and records span lifecycles columnarly."""
+
+    def __init__(self, store: Optional[EventStore] = None,
+                 epoch: Optional[float] = None):
+        self.store = store if store is not None else EventStore()
+        self.epoch = epoch if epoch is not None else time.perf_counter()
+        self._ids = itertools.count()
+        self._open: Dict[int, int] = {}  # span_id -> begin row (open spans)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(self, name: str, trace_id: int, parent_id: int = -1,
+              **attrs: Any) -> int:
+        """Open a span; returns its id (pass to :meth:`end`)."""
+        with self._lock:
+            span_id = next(self._ids)
+        row = self.store.append(name, self.now(), kind=BEGIN, trace=trace_id,
+                                span=span_id, parent=parent_id,
+                                attrs=attrs or None)
+        with self._lock:
+            self._open[span_id] = row
+        return span_id
+
+    def end(self, span_id: int, **attrs: Any) -> None:
+        """Close a span. Idempotent: a second end of the same id is a
+        no-op, so crash-recovery paths may close defensively."""
+        if span_id < 0:
+            return
+        with self._lock:
+            row = self._open.pop(span_id, None)
+            if row is None:
+                return
+            trace = int(self.store.trace[row])
+            parent = int(self.store.parent[row])
+            name = self.store.names[int(self.store.name[row])]
+        self.store.append(name, self.now(), kind=END, trace=trace,
+                          span=span_id, parent=parent, attrs=attrs or None)
+
+    def instant(self, name: str, trace_id: int, parent_id: int = -1,
+                value: float = 1.0, **attrs: Any) -> None:
+        """Record a zero-duration trace event (retry, requeue, ...)."""
+        self.store.append(name, self.now(), value=value, kind=INSTANT,
+                          trace=trace_id, span=-1, parent=parent_id,
+                          attrs=attrs or None)
+
+    @property
+    def open_spans(self) -> int:
+        with self._lock:
+            return len(self._open)
+
+    # -- reconstruction --------------------------------------------------------
+
+    def trace_ids(self) -> List[int]:
+        ids = sorted({e.trace for e in self.store.rows() if e.trace >= 0})
+        return ids
+
+    def spans(self, trace_id: int) -> List[TraceSpan]:
+        """Every span of one trace, in begin order (flat)."""
+        by_id: Dict[int, TraceSpan] = {}
+        order: List[TraceSpan] = []
+        instants: List[Event] = []
+        for event in self.store.rows(trace=trace_id):
+            if event.kind == BEGIN:
+                span = TraceSpan(trace_id=trace_id, span_id=event.span,
+                                 parent_id=event.parent, name=event.name,
+                                 start_s=event.ts,
+                                 attrs=dict(event.attrs or {}))
+                by_id[event.span] = span
+                order.append(span)
+            elif event.kind == END:
+                span = by_id.get(event.span)
+                if span is not None:
+                    span.end_s = event.ts
+                    if event.attrs:
+                        span.attrs.update(event.attrs)
+            elif event.kind == INSTANT:
+                instants.append(event)
+        for event in instants:
+            parent = by_id.get(event.parent)
+            if parent is not None:
+                parent.events.append(event)
+        return order
+
+    def span_tree(self, trace_id: int) -> List[TraceSpan]:
+        """Root spans of one trace, children nested."""
+        order = self.spans(trace_id)
+        by_id = {span.span_id: span for span in order}
+        roots: List[TraceSpan] = []
+        for span in order:
+            parent = by_id.get(span.parent_id)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                roots.append(span)
+        return roots
+
+    def complete(self, trace_id: int) -> bool:
+        """True when the trace has spans and every one of them ended."""
+        order = self.spans(trace_id)
+        return bool(order) and all(span.complete for span in order)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> int:
+        """One JSON object per span (plus instants), trace-major order."""
+        n = 0
+        with open(path, "w") as handle:
+            for trace_id in self.trace_ids():
+                for span in self.spans(trace_id):
+                    record: Dict[str, Any] = {
+                        "trace": span.trace_id, "span": span.span_id,
+                        "parent": span.parent_id, "name": span.name,
+                        "start_s": span.start_s, "end_s": span.end_s,
+                        "complete": span.complete,
+                    }
+                    if span.attrs:
+                        record["attrs"] = span.attrs
+                    if span.events:
+                        record["events"] = [
+                            {"name": e.name, "ts": e.ts,
+                             **({"attrs": e.attrs} if e.attrs else {})}
+                            for e in span.events]
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    n += 1
+        return n
+
+    #: span name -> (track id, track label); unknown names share a track.
+    _LANES: Dict[str, Tuple[int, str]] = {
+        "serve.request": (1, "requests"),
+        "serve.enqueue": (2, "queue"),
+        "serve.batch": (3, "batch"),
+        "serve.execute": (4, "execute"),
+    }
+    _OTHER_LANE = (9, "other")
+
+    def chrome_events(self, pid: int = 10) -> List[Dict[str, Any]]:
+        """Trace Event Format events: one track per stage + flow arrows."""
+        events: List[Dict[str, Any]] = [
+            {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+             "args": {"name": "serve.trace"}},
+        ]
+        lanes_used: Dict[int, str] = {}
+        for trace_id in self.trace_ids():
+            order = self.spans(trace_id)
+            for span in order:
+                tid, label = self._LANES.get(span.name, self._OTHER_LANE)
+                lanes_used[tid] = label
+                args: Dict[str, Any] = {"trace": span.trace_id,
+                                        "span": span.span_id}
+                args.update(span.attrs)
+                events.append({
+                    "name": span.name, "cat": "serve", "ph": "X",
+                    "pid": pid, "tid": tid,
+                    "ts": span.start_s * 1e6,
+                    "dur": max(span.wall_s, 1e-7) * 1e6,
+                    "args": args,
+                })
+                for inst in span.events:
+                    events.append({
+                        "name": inst.name, "cat": "serve", "ph": "i",
+                        "pid": pid, "tid": tid, "ts": inst.ts * 1e6,
+                        "s": "t", "args": dict(inst.attrs or {}),
+                    })
+            # flow arrows: queue -> execute hops of this request
+            hops = [s for s in order
+                    if s.name in ("serve.enqueue", "serve.execute")
+                    and s.complete]
+            for a, b in zip(hops, hops[1:]):
+                tid_a, _ = self._LANES.get(a.name, self._OTHER_LANE)
+                tid_b, _ = self._LANES.get(b.name, self._OTHER_LANE)
+                events.append({"name": "request", "cat": "serve.flow",
+                               "ph": "s", "id": trace_id, "pid": pid,
+                               "tid": tid_a, "ts": a.end_s * 1e6})
+                events.append({"name": "request", "cat": "serve.flow",
+                               "ph": "f", "bp": "e", "id": trace_id,
+                               "pid": pid, "tid": tid_b,
+                               "ts": b.start_s * 1e6})
+        for tid, label in sorted(lanes_used.items()):
+            events.append({"ph": "M", "pid": pid, "tid": tid,
+                           "name": "thread_name", "args": {"name": label}})
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        payload = {"traceEvents": self.chrome_events(),
+                   "displayTimeUnit": "ms",
+                   "otherData": {"tool": "repro.obs.tracing"}}
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")

@@ -7,7 +7,9 @@ winning fusion partition into a :class:`CompiledPlan`; a
 :class:`PlanCache` memoizes and persists those plans; an
 :class:`InferenceService` then serves requests through a micro-batching
 :class:`BatchScheduler` and a :class:`WorkerPool`, with admission
-control, fault-tolerant retries, and rolling :class:`ServeStats`.
+control, fault-tolerant retries, and rolling :class:`ServeStats` —
+plus opt-in per-request tracing (``trace=True``) and latency SLO
+monitoring (``slo=...``) built on :mod:`repro.obs`.
 
 Quick start::
 
@@ -26,20 +28,28 @@ from .plan import (
     compile_plan,
     make_plan_key,
 )
+from ..obs.slo import SLOMonitor, SLOTarget
+from ..obs.tracing import Tracer, TraceSpan
 from .scheduler import BatchScheduler, ServeRequest
 from .service import InferenceService
-from .stats import ServeStats, percentile
-from .worker import WorkerPool
+from .stats import LATENCY_WINDOW, ServeStats, percentile
+from .worker import STALL_S_PER_CYCLE, WorkerPool
 
 __all__ = [
     "BatchScheduler",
     "CompiledPlan",
     "InferenceService",
+    "LATENCY_WINDOW",
     "PlanCache",
     "PlanKey",
+    "STALL_S_PER_CYCLE",
+    "SLOMonitor",
+    "SLOTarget",
     "ServeOverloadError",
     "ServeRequest",
     "ServeStats",
+    "TraceSpan",
+    "Tracer",
     "WorkerPool",
     "compile_plan",
     "make_plan_key",

@@ -30,13 +30,25 @@ from ..errors import ConfigError, ServeOverloadError, SimFaultError
 
 @dataclass
 class ServeRequest:
-    """One inference request travelling through the serving pipeline."""
+    """One inference request travelling through the serving pipeline.
+
+    When the service traces requests, ``tracer``/``trace_id`` carry the
+    trace context end to end: the root span brackets submit → future
+    done, ``enqueue_span`` each stint in the queue (requeues open a new
+    one), and ``batch_span`` the batch currently executing it.
+    """
 
     id: int
     key: Any  # PlanKey of the compiled plan that will execute it
     x: np.ndarray
     future: Future = field(default_factory=Future)
     enqueued_s: float = 0.0
+    tracer: Any = None  # Optional[repro.obs.tracing.Tracer]
+    trace_id: int = -1
+    root_span: int = -1
+    enqueue_span: int = -1
+    batch_span: int = -1
+    requeues: int = 0
 
 
 class BatchScheduler:
@@ -89,6 +101,15 @@ class BatchScheduler:
         (worker crash recovery); bypasses admission control."""
         if not requests:
             return
+        for request in requests:
+            if request.tracer is not None:
+                request.tracer.end(request.batch_span, status="crashed")
+                request.tracer.instant("serve.requeue", request.trace_id,
+                                       parent_id=request.root_span)
+                request.requeues += 1
+                request.enqueue_span = request.tracer.begin(
+                    "serve.enqueue", request.trace_id,
+                    parent_id=request.root_span, requeued=True)
         with self._cond:
             for request in reversed(requests):
                 self._shards.setdefault(request.key,

@@ -35,10 +35,34 @@ from ..faults.budget import ExplorationBudget
 from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
 from ..nn.network import Network
+from ..obs.slo import SLOTarget
+from ..obs.tracing import Tracer
 from .plan import CompiledPlan, PlanCache, PlanKey
 from .scheduler import BatchScheduler, ServeRequest
 from .stats import ServeStats
-from .worker import WorkerPool
+from .worker import STALL_S_PER_CYCLE, WorkerPool
+
+
+def _slo_targets(slo: Any) -> List[SLOTarget]:
+    """Normalize the service's ``slo`` argument to a list of targets.
+
+    Accepts ``None``, a latency budget in milliseconds (``float``/``int``
+    shorthand for a p99 target), one :class:`SLOTarget`, or a sequence
+    mixing the two.
+    """
+    if slo is None:
+        return []
+    if isinstance(slo, SLOTarget):
+        return [slo]
+    if isinstance(slo, (int, float)) and not isinstance(slo, bool):
+        return [SLOTarget(latency_ms=float(slo))]
+    if isinstance(slo, (list, tuple)):
+        out: List[SLOTarget] = []
+        for item in slo:
+            out.extend(_slo_targets(item))
+        return out
+    raise ConfigError("slo must be a latency in ms, an SLOTarget, or a "
+                      "sequence of either", slo=repr(slo))
 
 
 class InferenceService:
@@ -51,6 +75,16 @@ class InferenceService:
     ``workers``/``mode``/``retry``/``faults`` feed the pool. ``workers=0``
     is legal — requests queue but never execute until shutdown aborts
     them (useful for tests and for staging queues).
+
+    Observability knobs: ``trace=True`` mints a trace per request (the
+    request id doubles as the trace id) and records a span tree —
+    ``serve.request`` → ``serve.enqueue`` → ``serve.batch`` →
+    ``serve.execute``, with retry/requeue/stall instants — on
+    ``service.tracer``, independent of the global :mod:`repro.obs`
+    profiling switch. ``slo`` attaches latency SLO monitors to the
+    stats (a bare number is shorthand for a p99 latency budget in
+    milliseconds); ``stall_s_per_cycle`` scales how injected
+    ``dram_stall`` cycles slow served requests down.
     """
 
     def __init__(self, network: Optional[Network] = None, *,
@@ -64,15 +98,22 @@ class InferenceService:
                  explore_budget: Optional[ExplorationBudget] = None,
                  retry: Optional[RetryPolicy] = None,
                  faults: Optional[FaultInjector] = None,
-                 cache: Optional[PlanCache] = None):
+                 cache: Optional[PlanCache] = None,
+                 trace: bool = False,
+                 slo: Any = None,
+                 stall_s_per_cycle: float = STALL_S_PER_CYCLE):
         self.cache = cache if cache is not None else PlanCache()
         self.stats = ServeStats()
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        for target in _slo_targets(slo):
+            self.stats.add_slo(target)
         self.scheduler = BatchScheduler(max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
                                         max_queue=max_queue)
         self.pool = WorkerPool(self.scheduler, self._resolve_plan,
                                workers=workers, mode=mode, retry=retry,
-                               faults=faults, stats=self.stats)
+                               faults=faults, stats=self.stats,
+                               stall_s_per_cycle=stall_s_per_cycle)
         self._plan_defaults = dict(strategy=strategy, tip=tip,
                                    storage_budget_bytes=storage_budget_bytes,
                                    precision=precision, seed=seed,
@@ -147,6 +188,12 @@ class InferenceService:
             drain = False
         aborted = self.scheduler.close(drain=drain)
         for request in aborted:
+            if request.tracer is not None:
+                # close the open queue stint before the root span's
+                # done-callback fires (tracer.end is idempotent, so a
+                # request that never reached a worker is still complete)
+                request.tracer.end(request.enqueue_span, status="aborted")
+                request.tracer.end(request.batch_span, status="aborted")
             if not request.future.done():
                 request.future.set_exception(SimFaultError(
                     "request aborted at shutdown", request=request.id))
@@ -167,13 +214,40 @@ class InferenceService:
             request_id = self._next_id
             self._next_id += 1
         request = ServeRequest(id=request_id, key=plan_key, x=np.asarray(x))
+        if self.tracer is not None:
+            self._begin_trace(request)
         self.stats.record_submit()
         try:
             self.scheduler.submit(request)
         except Exception:
             self.stats.record_rejection()
+            if request.tracer is not None:
+                request.tracer.end(request.enqueue_span, status="rejected")
+                request.tracer.end(request.root_span, status="rejected")
             raise
         return request.future
+
+    def _begin_trace(self, request: ServeRequest) -> None:
+        """Mint the request's trace: the request id is the trace id, the
+        root span brackets submit → future-done, and the first enqueue
+        span opens now (workers close it when the batch picks up)."""
+        tracer = self.tracer
+        assert tracer is not None
+        request.tracer = tracer
+        request.trace_id = request.id
+        request.root_span = tracer.begin("serve.request", request.id,
+                                         request=request.id)
+        request.enqueue_span = tracer.begin("serve.enqueue", request.id,
+                                            parent_id=request.root_span)
+        root_span = request.root_span
+
+        def _close_root(future: Future) -> None:
+            status = "ok"
+            if future.cancelled() or future.exception() is not None:
+                status = "failed"
+            tracer.end(root_span, status=status)
+
+        request.future.add_done_callback(_close_root)
 
     def submit_batch(self, xs: Sequence[np.ndarray],
                      key: Optional[PlanKey] = None) -> List[Future]:
@@ -201,4 +275,11 @@ class InferenceService:
             lines.append(f"  - {plan.describe()}")
         if self.pool.respawns:
             lines.append(f"  workers  : {self.pool.respawns} respawned")
+        if self.tracer is not None:
+            traces = self.tracer.trace_ids()
+            complete = sum(1 for tid in traces if self.tracer.complete(tid))
+            lines.append(
+                f"  tracing  : {len(traces)} traces recorded, "
+                f"{complete} complete, {self.tracer.open_spans} spans "
+                "still open")
         return "\n".join(lines)

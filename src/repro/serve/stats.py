@@ -1,10 +1,17 @@
-"""Rolling serving statistics: latency percentiles, throughput, batches.
+"""Rolling serving statistics: latency percentiles, throughput, SLOs.
 
 A :class:`ServeStats` is the service's always-on telemetry (unlike
-:mod:`repro.obs`, which is opt-in profiling): per-request queue wait and
-execute time, completion/failure/rejection totals, and a batch-size
-histogram, summarized as p50/p95/p99 latencies and requests/s. Pure
-standard library, thread-safe, cheap enough to record on every batch.
+:mod:`repro.obs` profiling, which is opt-in): per-request queue wait,
+execute time, and total latency summarized as p50/p95/p99, plus
+completion/failure/rejection totals, a batch-size histogram, a
+time-bucketed :class:`~repro.obs.timeline.Timeline` of request events,
+and any attached :class:`~repro.obs.slo.SLOMonitor`\\ s.
+
+Memory is **bounded**: latency percentiles come from fixed-size
+:class:`~repro.obs.timeline.RollingQuantile` windows (recent behaviour,
+exact lifetime counts) and the timeline's columnar store caps resident
+rows, so a million-request soak holds kilobytes, not gigabytes, while
+the p50/p95/p99 summary keeps its exact historical shape.
 """
 
 from __future__ import annotations
@@ -14,6 +21,9 @@ import threading
 import time
 from collections import Counter
 from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.slo import SLOMonitor, SLOTarget, render_slos
+from ..obs.timeline import RollingQuantile, Timeline
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -25,20 +35,42 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+#: Default latency-window size: big enough that p99 over the window is
+#: meaningful, small enough that a soak's stats stay O(1) in memory.
+LATENCY_WINDOW = 4096
+
+#: Default resident-row cap for the stats timeline's columnar store.
+TIMELINE_MAX_ROWS = 1 << 16
+
+
 class ServeStats:
     """Thread-safe accumulator for one service's request telemetry."""
 
-    def __init__(self) -> None:
+    def __init__(self, latency_window: int = LATENCY_WINDOW,
+                 timeline_bucket_s: float = 0.05):
         self._lock = threading.Lock()
         self.submitted = 0
         self.rejected = 0
         self.completed = 0
         self.failed = 0
-        self.queue_wait_s: List[float] = []
-        self.execute_s: List[float] = []
+        self.queue_wait_s = RollingQuantile(window=latency_window)
+        self.execute_s = RollingQuantile(window=latency_window)
+        self.latency_s = RollingQuantile(window=latency_window)
         self.batch_sizes: Counter = Counter()
         self.first_submit_s: Optional[float] = None
         self.last_done_s: Optional[float] = None
+        self.timeline = Timeline(bucket_s=timeline_bucket_s,
+                                 max_rows=TIMELINE_MAX_ROWS)
+        self.slos: List[SLOMonitor] = []
+
+    # -- SLO wiring ------------------------------------------------------------
+
+    def add_slo(self, target: SLOTarget) -> SLOMonitor:
+        """Attach a monitor fed per-request total latency (queue+execute)."""
+        monitor = SLOMonitor(target, timeline=self.timeline)
+        with self._lock:
+            self.slos.append(monitor)
+        return monitor
 
     # -- recording -------------------------------------------------------------
 
@@ -47,15 +79,21 @@ class ServeStats:
             self.submitted += n
             if self.first_submit_s is None:
                 self.first_submit_s = time.perf_counter()
+        self.timeline.record("serve.submitted", n)
 
     def record_rejection(self, n: int = 1) -> None:
         with self._lock:
             self.rejected += n
+        self.timeline.record("serve.rejected", n)
 
     def record_aborts(self, n: int) -> None:
         """Requests failed without executing (e.g. abort at shutdown)."""
         with self._lock:
             self.failed += n
+        self.timeline.record("serve.aborted", n)
+        for monitor in self.slos:
+            for _ in range(n):
+                monitor.observe(0.0, ok=False)
 
     def record_batch(self, size: int, queue_waits: Sequence[float],
                      exec_s: float, failed: int = 0) -> None:
@@ -63,11 +101,23 @@ class ServeStats:
         which is the execute latency every request in it experienced."""
         with self._lock:
             self.batch_sizes[size] += 1
-            self.queue_wait_s.extend(queue_waits)
-            self.execute_s.extend([exec_s] * size)
+            for wait in queue_waits:
+                self.queue_wait_s.observe(wait)
+                self.execute_s.observe(exec_s)
+                self.latency_s.observe(wait + exec_s)
             self.completed += size - failed
             self.failed += failed
             self.last_done_s = time.perf_counter()
+        self.timeline.record("serve.completed", size - failed)
+        if failed:
+            self.timeline.record("serve.failed", failed)
+        # every request in the batch had 'failed' split unknown per item;
+        # conservatively mark the batch's failures as SLO failures and
+        # the rest by their latency.
+        ok_flags = [True] * (size - failed) + [False] * failed
+        for monitor in self.slos:
+            for wait, ok in zip(queue_waits, ok_flags):
+                monitor.observe(wait + exec_s, ok=ok)
 
     @property
     def pending(self) -> int:
@@ -91,32 +141,36 @@ class ServeStats:
             return 0.0
         return self.completed / elapsed
 
+    @staticmethod
+    def _quantiles_ms(window: RollingQuantile) -> Dict[str, float]:
+        return {
+            "p50": window.quantile(50) * 1e3,
+            "p95": window.quantile(95) * 1e3,
+            "p99": window.quantile(99) * 1e3,
+        }
+
     def summary(self) -> Dict[str, Any]:
         with self._lock:
-            waits = list(self.queue_wait_s)
-            execs = list(self.execute_s)
             histogram = {str(size): count
                          for size, count in sorted(self.batch_sizes.items())}
             counts = {"submitted": self.submitted, "rejected": self.rejected,
                       "completed": self.completed, "failed": self.failed}
-        return {
+            monitors = list(self.slos)
+        out = {
             **counts,
             "pending": (counts["submitted"] - counts["rejected"]
                         - counts["completed"] - counts["failed"]),
             "requests_per_s": self.requests_per_s(),
             "elapsed_s": self.elapsed_s(),
-            "queue_wait_ms": {
-                "p50": percentile(waits, 50) * 1e3,
-                "p95": percentile(waits, 95) * 1e3,
-                "p99": percentile(waits, 99) * 1e3,
-            },
-            "execute_ms": {
-                "p50": percentile(execs, 50) * 1e3,
-                "p95": percentile(execs, 95) * 1e3,
-                "p99": percentile(execs, 99) * 1e3,
-            },
+            "queue_wait_ms": self._quantiles_ms(self.queue_wait_s),
+            "execute_ms": self._quantiles_ms(self.execute_s),
+            "latency_ms": self._quantiles_ms(self.latency_s),
+            "latency_window": self.latency_s.window,
             "batch_size_histogram": histogram,
         }
+        if monitors:
+            out["slo"] = [monitor.summary() for monitor in monitors]
+        return out
 
     def render(self) -> str:
         """Human-readable stats report for CLI output."""
@@ -132,9 +186,15 @@ class ServeStats:
             .format(**s["queue_wait_ms"]),
             "  execute  : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
             .format(**s["execute_ms"]),
+            "  latency  : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
+            .format(**s["latency_ms"]),
         ]
         if s["batch_size_histogram"]:
             body = "  ".join(f"{size}x{count}" for size, count
                              in s["batch_size_histogram"].items())
             lines.append(f"  batches  : {body} (size x count)")
+        with self._lock:
+            monitors = list(self.slos)
+        if monitors:
+            lines.append(render_slos(monitors))
         return "\n".join(lines)

@@ -98,6 +98,13 @@ class _ProcessClient:
         self._conn.close()
 
 
+#: Wall seconds one simulated stall cycle costs a served request. With
+#: the default ``dram_stall`` spec (cycles=64) one stall adds ~6.4 ms —
+#: comfortably over a millisecond-scale latency SLO, which is the point:
+#: injected stall bursts must be *observable* in the latency timeline.
+STALL_S_PER_CYCLE = 1e-4
+
+
 class WorkerPool:
     """N workers pulling batches from a :class:`BatchScheduler`."""
 
@@ -106,7 +113,8 @@ class WorkerPool:
                  workers: int = 1, mode: str = "thread",
                  retry: Optional[RetryPolicy] = None,
                  faults: Optional[FaultInjector] = None,
-                 stats: Optional[ServeStats] = None):
+                 stats: Optional[ServeStats] = None,
+                 stall_s_per_cycle: float = STALL_S_PER_CYCLE):
         if workers < 0:
             raise ConfigError("workers must be >= 0", workers=workers)
         if mode not in MODES:
@@ -118,6 +126,7 @@ class WorkerPool:
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
         self.stats = stats
+        self.stall_s_per_cycle = stall_s_per_cycle
         self.respawns = 0
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
@@ -187,19 +196,38 @@ class WorkerPool:
         import time
 
         plan = self.resolve_plan(batch[0].key)
+        # Trace: the queue stint ends here; the batch span opens before
+        # the crash hook so a dying worker leaves spans the requeue path
+        # can close (scheduler.requeue marks them "crashed").
+        for request in batch:
+            if request.tracer is not None:
+                request.tracer.end(request.enqueue_span)
+                request.batch_span = request.tracer.begin(
+                    "serve.batch", request.trace_id,
+                    parent_id=request.root_span, worker=wid,
+                    size=len(batch))
         if self.fail_hook is not None:
             self.fail_hook(wid, batch)
         execute = self._executor_for(plan, clients)
         t0 = time.perf_counter()
         queue_waits = [t0 - r.enqueued_s for r in batch]
+        exec_spans: Dict[int, int] = {}
+        for request in batch:
+            if request.tracer is not None:
+                exec_spans[request.id] = request.tracer.begin(
+                    "serve.execute", request.trace_id,
+                    parent_id=request.batch_span, worker=wid)
         with obs.span("serve.batch", worker=wid, size=len(batch),
                       network=plan.network.name):
-            outs = self._run_with_retry(plan, execute,
-                                        [r.x for r in batch],
-                                        [r.id for r in batch])
+            outs = self._run_with_retry(plan, execute, batch, exec_spans)
         exec_s = time.perf_counter() - t0
         failed = 0
         for request, out in zip(batch, outs):
+            if request.tracer is not None:
+                request.tracer.end(
+                    exec_spans.get(request.id, -1),
+                    status="error" if isinstance(out, Exception) else "ok")
+                request.tracer.end(request.batch_span)
             if isinstance(out, Exception):
                 request.future.set_exception(out)
                 failed += 1
@@ -231,7 +259,9 @@ class WorkerPool:
 
         return execute
 
-    def _run_with_retry(self, plan: CompiledPlan, execute, xs, ids) -> List:
+    def _run_with_retry(self, plan: CompiledPlan, execute,
+                        batch: List[ServeRequest],
+                        exec_spans: Dict[int, int]) -> List:
         """Execute a batch, repairing injected per-request transfer faults.
 
         Each result's delivery may be corrupted (``transfer_corrupt``
@@ -241,12 +271,21 @@ class WorkerPool:
         bounded by the retry policy; the repaired value equals the
         original (execution is pure), keeping served outputs
         bit-identical to direct runs.
+
+        ``dram_stall`` faults hit the same per-request sites: a tripped
+        stall holds the result for ``cycles``
+        × ``stall_s_per_cycle`` wall seconds — the latency burst an SLO
+        monitor must catch — without touching the payload.
         """
+        import time
+
+        xs = [r.x for r in batch]
         outs: List = list(execute(xs))
         injector = self.faults
         if injector is None or not injector.enabled:
             return outs
-        for idx, rid in enumerate(ids):
+        for idx, request in enumerate(batch):
+            rid = request.id
             site = f"serve[{rid}]"
             attempt = 1
             while injector.corrupts(site):
@@ -256,6 +295,19 @@ class WorkerPool:
                     break
                 injector.record_retry(site, self.retry.backoff_cycles(attempt))
                 obs.add_counter("serve.retries")
+                if request.tracer is not None:
+                    request.tracer.instant(
+                        "serve.retry", request.trace_id,
+                        parent_id=exec_spans.get(rid, -1), attempt=attempt)
                 outs[idx] = execute([xs[idx]])[0]
                 attempt += 1
+            stall_cycles = injector.transfer_stalls(site)
+            if stall_cycles and self.stall_s_per_cycle > 0:
+                obs.add_counter("serve.stall_cycles", stall_cycles)
+                if request.tracer is not None:
+                    request.tracer.instant(
+                        "serve.stall", request.trace_id,
+                        parent_id=exec_spans.get(rid, -1),
+                        value=float(stall_cycles), cycles=stall_cycles)
+                time.sleep(stall_cycles * self.stall_s_per_cycle)
         return outs

@@ -268,6 +268,11 @@ def tune(network: Network, objective: Union[str, Objective] = "cycles",
                 gen_span.set(fresh=len(fresh_cands),
                              incumbent=(incumbent.value
                                         if incumbent else None))
+                # one timeline point per generation: plotting this series
+                # shows convergence (value falling) over the search
+                if incumbent is not None:
+                    obs.emit_event("tune.generation_best", incumbent.value,
+                                   attrs={"generation": generations})
                 strat.observe(rng, scored_gen)
 
         if incumbent is None:

@@ -132,6 +132,51 @@ class TestRuleRL301:
         assert codes(findings) == ["RL301"]
 
 
+class TestRuleRL302:
+    def test_bad_event_name_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "import repro.obs as obs\n"
+                               "obs.emit_event('BadName')\n")
+        assert codes(findings) == ["RL302"]
+
+    def test_dotted_event_name_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import repro.obs as obs\n"
+            "obs.emit_event('tune.generation_best', 1.0)\n")
+        assert findings == []
+
+    def test_timeline_record_checked(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "self.timeline.record('Bad', value=1.0)\n")
+        assert codes(findings) == ["RL302"]
+
+    def test_tracer_spans_checked(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "tracer.begin('Bad', 0)\n"
+            "tracer.instant('AlsoBad', 0)\n")
+        assert codes(findings) == ["RL302"]
+        assert len(findings) == 2
+
+    def test_unrelated_receivers_ignored(self, tmp_path):
+        # .record()/.begin() on non-obs objects are out of scope
+        findings = lint_source(
+            tmp_path, "log.record('Whatever')\n"
+            "txn.begin('UPPER')\n")
+        assert findings == []
+
+    def test_fstring_with_index_suffix_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import repro.obs as obs\n"
+            "kind = 'dram_stall'\n"
+            "obs.emit_event(f'faults.injected[{kind}]')\n")
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import repro.obs as obs\n"
+            "obs.emit_event('legacy')  # noqa: RL302\n")
+        assert findings == []
+
+
 class TestRuleRL401:
     CLI = ("def build(sub):\n"
            "    sub.add_parser('frobnicate')\n"

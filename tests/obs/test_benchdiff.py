@@ -1,0 +1,126 @@
+"""Benchmark diffing: flatten, direction heuristics, regression flags."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.benchdiff import (MetricDelta, diff_benchmarks, direction,
+                                 flatten, render_diff)
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestFlatten:
+    def test_nested_paths(self):
+        flat = flatten({"a": {"b": 1, "c": 2.5}, "d": 3})
+        assert flat == {"a.b": 1.0, "a.c": 2.5, "d": 3.0}
+
+    def test_lists_indexed(self):
+        flat = flatten({"xs": [1, {"y": 2}]})
+        assert flat == {"xs[0]": 1.0, "xs[1].y": 2.0}
+
+    def test_non_numeric_leaves_skipped(self):
+        flat = flatten({"name": "toynet", "ok": True, "n": 4})
+        assert flat == {"n": 4.0}
+
+
+class TestDirection:
+    @pytest.mark.parametrize("path,expected", [
+        ("serve.p99_ms", -1),
+        ("latency.mean", -1),
+        ("total_cycles", -1),
+        ("requests_per_s", +1),
+        ("cache.hits", +1),
+        ("improvement", +1),
+        ("generations", 0),
+    ])
+    def test_heuristics(self, path, expected):
+        assert direction(path) == expected
+
+    def test_longest_fragment_wins(self):
+        # "hits_ms" contains both "hits" (+1) and "_ms" (-1); the metric
+        # is a latency, and per_s beats _s-style confusion the same way
+        assert direction("requests_per_s") == +1
+
+
+class TestMetricDelta:
+    def test_regressed_lower_is_better(self):
+        delta = MetricDelta("p99_ms", before=2.0, after=3.0, direction=-1)
+        assert delta.change == pytest.approx(0.5)
+        assert delta.regressed(0.10)
+        assert not delta.improved(0.10)
+
+    def test_regressed_higher_is_better(self):
+        delta = MetricDelta("requests_per_s", before=100.0, after=80.0,
+                            direction=+1)
+        assert delta.regressed(0.10)
+
+    def test_unknown_direction_never_flags(self):
+        delta = MetricDelta("generations", before=1.0, after=100.0,
+                            direction=0)
+        assert not delta.regressed(0.10)
+        assert not delta.improved(0.10)
+
+    def test_within_threshold_not_flagged(self):
+        delta = MetricDelta("p99_ms", before=2.0, after=2.1, direction=-1)
+        assert not delta.regressed(0.10)
+
+    def test_change_from_zero(self):
+        assert MetricDelta("x_ms", 0.0, 1.0, -1).change == float("inf")
+        assert MetricDelta("x_ms", 0.0, 0.0, -1).change == 0.0
+
+
+class TestDiffBenchmarks:
+    def test_pairs_flags_added_removed(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     {"p99_ms": 2.0, "hits": 10, "old": 1})
+        cur = write(tmp_path, "cur.json",
+                    {"p99_ms": 4.0, "hits": 12, "new": 1})
+        diff = diff_benchmarks(base, cur, threshold=0.10)
+        assert [d.path for d in diff.deltas] == ["hits", "p99_ms"]
+        assert [d.path for d in diff.regressions] == ["p99_ms"]
+        assert [d.path for d in diff.improvements] == ["hits"]
+        assert diff.added == ["new"]
+        assert diff.removed == ["old"]
+        payload = diff.to_dict()
+        assert payload["regressions"] == ["p99_ms"]
+        assert payload["compared"] == 2
+
+    def test_added_metrics_never_regress(self, tmp_path):
+        base = write(tmp_path, "base.json", {"a_ms": 1.0})
+        cur = write(tmp_path, "cur.json", {"a_ms": 1.0, "b_ms": 999.0})
+        diff = diff_benchmarks(base, cur)
+        assert diff.regressions == []
+        assert diff.added == ["b_ms"]
+
+    def test_bad_files_rejected(self, tmp_path):
+        good = write(tmp_path, "good.json", {"a": 1})
+        with pytest.raises(ConfigError):
+            diff_benchmarks(str(tmp_path / "missing.json"), good)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            diff_benchmarks(good, str(bad))
+        arr = write(tmp_path, "arr.json", [1, 2])
+        with pytest.raises(ConfigError):
+            diff_benchmarks(good, arr)
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        good = write(tmp_path, "good.json", {"a": 1})
+        with pytest.raises(ConfigError):
+            diff_benchmarks(good, good, threshold=-0.1)
+
+    def test_render(self, tmp_path):
+        base = write(tmp_path, "base.json", {"p99_ms": 2.0, "gen": 1})
+        cur = write(tmp_path, "cur.json", {"p99_ms": 4.0, "gen": 2})
+        diff = diff_benchmarks(base, cur)
+        text = render_diff(diff)
+        assert "REGRESSED" in text
+        assert "1 regressions" in text
+        # verbose also lists the unflagged/unknown-direction metrics
+        assert "gen" in render_diff(diff, verbose=True)

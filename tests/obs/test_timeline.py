@@ -1,0 +1,108 @@
+"""Timeline metrics: rolling quantiles and time-bucketed rates."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.timeline import RollingQuantile, Timeline
+
+
+class TestRollingQuantile:
+    def test_quantiles_exact_small(self):
+        window = RollingQuantile(window=16)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            window.observe(value)
+        assert window.quantile(50) == 2.0
+        assert window.quantile(100) == 4.0
+        assert window.quantile(0) == 1.0
+
+    def test_window_keeps_recent_only(self):
+        window = RollingQuantile(window=4)
+        for value in range(100):
+            window.observe(float(value))
+        assert len(window) == 4
+        assert sorted(window.snapshot()) == [96.0, 97.0, 98.0, 99.0]
+        assert window.quantile(50) >= 96.0
+
+    def test_lifetime_count_and_total_survive_eviction(self):
+        window = RollingQuantile(window=4)
+        for value in range(10):
+            window.observe(float(value))
+        assert window.count == 10
+        assert window.total == sum(range(10))
+
+    def test_min_max_mean(self):
+        window = RollingQuantile(window=8)
+        for value in [3.0, 1.0, 2.0]:
+            window.observe(value)
+        assert window.minimum == 1.0
+        assert window.maximum == 3.0
+        assert window.mean() == pytest.approx(2.0)
+
+    def test_empty(self):
+        window = RollingQuantile()
+        assert window.quantile(99) == 0.0
+        assert window.mean() == 0.0
+        assert len(window) == 0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigError):
+            RollingQuantile(window=0)
+
+
+class TestTimeline:
+    def make(self):
+        # pinned epoch so tests control timestamps explicitly
+        return Timeline(bucket_s=1.0, epoch=0.0)
+
+    def test_record_and_series(self):
+        timeline = self.make()
+        timeline.record("serve.ok", ts=0.1)
+        timeline.record("serve.ok", ts=0.2, value=2.0)
+        timeline.record("serve.ok", ts=1.5)
+        series = timeline.series("serve.ok")
+        assert series == [(0.0, 2, 3.0), (1.0, 1, 1.0)]
+
+    def test_window_sum_and_count(self):
+        timeline = self.make()
+        for ts in (0.5, 1.5, 2.5):
+            timeline.record("a.x", ts=ts, value=2.0)
+        assert timeline.window_count("a.x", 1.0, 3.0) == 2
+        assert timeline.window_sum("a.x", 1.0, 3.0) == 4.0
+
+    def test_rate_over_window(self):
+        timeline = self.make()
+        for ts in (0.0, 1.0, 2.0, 3.0):
+            timeline.record("a.x", ts=ts)
+        # 4 events in the 4 seconds ending at t=4 -> 1/s
+        assert timeline.rate("a.x", window_s=4.0, now=4.0) == pytest.approx(1.0)
+        # value_rate scales by the recorded values
+        assert timeline.value_rate("a.x", window_s=4.0, now=4.0) \
+            == pytest.approx(1.0)
+
+    def test_names_and_to_dict(self):
+        timeline = self.make()
+        timeline.record("b.y", ts=0.0)
+        timeline.record("a.x", ts=0.0)
+        assert timeline.names() == ["a.x", "b.y"]
+        payload = timeline.to_dict()
+        assert payload["bucket_s"] == 1.0
+        assert set(payload["series"]) == {"a.x", "b.y"}
+        assert payload["series"]["a.x"][0]["count"] == 1
+
+    def test_max_rows_bounds_store(self):
+        # eviction is whole-chunk, so resident stays within one chunk of
+        # the cap once the stream exceeds a chunk
+        timeline = Timeline(bucket_s=1.0, epoch=0.0, max_rows=64)
+        n = 10_000
+        for i in range(n):
+            timeline.record("a.x", ts=float(i))
+        store = timeline.store
+        assert store.resident_rows < n
+        assert store.resident_rows <= 64 + store.ts.chunk_rows
+        assert store.evicted_rows == n - store.resident_rows
+        # totals stay lifetime-exact
+        assert store.totals()["a.x"][0] == n
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ConfigError):
+            Timeline(bucket_s=0.0)

@@ -350,6 +350,123 @@ class TestServeBench:
         assert "jobs" in capsys.readouterr().err
 
 
+class TestServeObservability:
+    def test_trace_chrome_export_validates(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        out = run(capsys, "serve-bench", "toynet", "--requests", "8",
+                  "--trace", trace)
+        assert "wrote request trace (Chrome Trace Format)" in out
+        assert "tracing  :" in out  # the report counts recorded traces
+        run(capsys, "check", "--trace", trace)  # RC5xx-clean -> exit 0
+
+    def test_trace_jsonl_export_validates(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        out = run(capsys, "serve-bench", "toynet", "--requests", "8",
+                  "--trace", trace)
+        assert "trace spans (JSONL)" in out
+        run(capsys, "check", "--trace", trace)
+
+    def test_check_trace_flags_broken_file(self, capsys, tmp_path):
+        bad = tmp_path / "broken.jsonl"
+        bad.write_text('{"trace": 0, "span": 0, "parent": -1, '
+                       '"name": "serve.request", "start_s": 0.0, '
+                       '"end_s": null, "complete": false}\n')
+        with pytest.raises(SystemExit) as err:
+            main(["check", "--trace", str(bad)])
+        assert err.value.code == 2
+        assert "RC502" in capsys.readouterr().out
+
+    def test_slo_flag_renders_burn_rate(self, capsys):
+        out = run(capsys, "serve-bench", "toynet", "--requests", "8",
+                  "--slo", "1000")
+        assert "burn-rate" in out
+
+    def test_prom_export(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        run(capsys, "serve-bench", "toynet", "--requests", "8",
+            "--slo", "1000", "--prom", str(prom))
+        text = prom.read_text()
+        assert "# TYPE" in text
+        assert "repro_serve_submitted" in text
+        assert "repro_slo" in text
+
+
+class TestSloCli:
+    def test_clean_run_reports_ok(self, capsys):
+        out = run(capsys, "slo", "toynet", "--requests", "16",
+                  "--target-ms", "1000")
+        assert "burn-rate 0.00x" in out
+        assert "[ok]" in out
+        assert "0/16 violations" in out
+
+    def test_dram_stall_burst_alerts(self, capsys):
+        out = run(capsys, "--faults", "dram_stall:p=0.3,cycles=64",
+                  "--seed", "3", "slo", "toynet", "--requests", "32",
+                  "--target-ms", "5")
+        assert "fault plan: dram_stall" in out
+        assert "[ALERT]" in out
+        assert "burn-rate 0.00x" not in out
+
+    def test_fail_on_breach_exits_1(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["slo", "toynet", "--requests", "8",
+                  "--target-ms", "0.001", "--fail-on-breach"])
+        assert err.value.code == 1
+
+    def test_json_and_trace_outputs(self, capsys, tmp_path):
+        import json
+
+        payload = tmp_path / "slo.json"
+        trace = tmp_path / "trace.json"
+        run(capsys, "slo", "toynet", "--requests", "8",
+            "--target-ms", "1000", "--json", str(payload),
+            "--trace", str(trace))
+        data = json.loads(payload.read_text())
+        assert data["observed"] == 8
+        assert data["burn_rate"] == 0.0
+        run(capsys, "check", "--trace", str(trace))
+
+
+class TestBenchDiffCli:
+    def write(self, tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_regression_flagged(self, capsys, tmp_path):
+        base = self.write(tmp_path, "base.json", {"p99_ms": 2.0, "hits": 10})
+        cur = self.write(tmp_path, "cur.json", {"p99_ms": 4.0, "hits": 12})
+        out = run(capsys, "bench-diff", base, cur)
+        assert "REGRESSED" in out and "p99_ms" in out
+        assert "1 regressions, 1 improvements" in out
+
+    def test_fail_on_regression_exits_1(self, capsys, tmp_path):
+        base = self.write(tmp_path, "base.json", {"p99_ms": 2.0})
+        cur = self.write(tmp_path, "cur.json", {"p99_ms": 4.0})
+        with pytest.raises(SystemExit) as err:
+            main(["bench-diff", base, cur, "--fail-on-regression"])
+        assert err.value.code == 1
+        clean = main(["bench-diff", base, base, "--fail-on-regression"])
+        assert clean == 0
+
+    def test_json_output(self, capsys, tmp_path):
+        import json
+
+        base = self.write(tmp_path, "base.json", {"p99_ms": 2.0})
+        cur = self.write(tmp_path, "cur.json", {"p99_ms": 4.0})
+        out = run(capsys, "bench-diff", base, cur, "--json")
+        payload = json.loads(out)
+        assert payload["regressions"] == ["p99_ms"]
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        base = self.write(tmp_path, "base.json", {"a": 1})
+        assert main(["bench-diff", base,
+                     str(tmp_path / "missing.json")]) == 2
+        assert "benchmark" in capsys.readouterr().err
+
+
 class TestTuneCli:
     def test_tune_toynet(self, capsys):
         out = run(capsys, "tune", "toynet", "--evals", "30", "--seed", "7")

@@ -31,6 +31,7 @@ from .hazards import (
     check_pipeline_schedule,
 )
 from .lint import lint_paths
+from .soak import check_soak_report_dict, check_soak_report_file
 from .trace import check_trace_file
 from .records import (
     check_compiled_plan,
@@ -56,6 +57,8 @@ __all__ = [
     "check_plan_cache_file",
     "check_plan_dict",
     "check_pyramid_geometry",
+    "check_soak_report_dict",
+    "check_soak_report_file",
     "check_tuned_record",
     "check_tuning_db_file",
     "check_trace_file",

@@ -16,6 +16,7 @@ RC2xx  resources: BRAM/DSP bounds, buffer sizing, weight residency
 RC3xx  schedules: hazards in fused/pipeline/channel schedules
 RC4xx  records: compiled plans, plan caches, tuning databases
 RC5xx  traces: exported request-trace files (JSONL / Chrome trace)
+RC6xx  soak: overload-soak reports (accounting, correctness, scaling)
 RL1xx  lint: error-hierarchy discipline
 RL2xx  lint: determinism (seeded randomness, wall clock)
 RL3xx  lint: observability naming conventions
@@ -87,6 +88,13 @@ CODES: Dict[str, tuple] = {
     "RC503": (Severity.ERROR, "orphan span (parent not in trace)"),
     "RC504": (Severity.ERROR, "span timing inconsistency"),
     "RC505": (Severity.WARNING, "unmatched flow event"),
+    # -- RC6xx soak reports ---------------------------------------------------
+    "RC601": (Severity.ERROR, "malformed soak report"),
+    "RC602": (Severity.ERROR, "soak produced wrong answers"),
+    "RC603": (Severity.ERROR, "soak request accounting inconsistent"),
+    "RC604": (Severity.ERROR, "guaranteed-class request was shed"),
+    "RC605": (Severity.ERROR, "scale event outside worker bounds"),
+    "RC606": (Severity.ERROR, "latency percentiles non-monotone"),
     # -- RL lint ------------------------------------------------------------
     "RL101": (Severity.ERROR, "bare ValueError/RuntimeError raise"),
     "RL201": (Severity.ERROR, "unseeded randomness in deterministic module"),

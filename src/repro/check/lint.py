@@ -47,10 +47,14 @@ from typing import Iterable, List, Optional, Sequence
 from .diagnostics import Diagnostic, diag
 
 #: Path fragments marking determinism-critical modules: seeded replay
-#: (tune), fault-plan reproducibility (faults), and plan identity
-#: (serve/plan.py) all break if these read ambient entropy or clocks.
+#: (tune), fault-plan reproducibility (faults), plan identity
+#: (serve/plan.py), and the soak stack's seeded traces / virtual-time
+#: replay (loadgen, autoscale, soak, clock) all break if these read
+#: ambient entropy or clocks.
 _DETERMINISTIC_DIRS = ("tune", "faults")
-_DETERMINISTIC_FILES = (("serve", "plan.py"),)
+_DETERMINISTIC_FILES = (("serve", "plan.py"), ("serve", "loadgen.py"),
+                        ("serve", "autoscale.py"), ("serve", "soak.py"),
+                        ("serve", "clock.py"))
 
 #: Module-level `random.*` functions that consume the global, unseeded
 #: generator state.

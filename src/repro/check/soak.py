@@ -1,0 +1,142 @@
+"""RC6xx: static verification of overload-soak reports.
+
+A soak run (:func:`repro.serve.soak.run_soak`, ``repro serve-soak``)
+emits a JSON report claiming "N requests, zero wrong answers, these
+sheds, these scaling events". This checker re-verifies the claims that
+can be checked without re-running the soak: internal accounting must
+balance, correctness and class guarantees must hold, scaling events
+must respect the configured worker bounds and chain consistently, and
+percentile summaries must be monotone. CI runs it on every published
+``BENCH_soak.json`` so a report that drifts from its own invariants
+fails loudly instead of being plotted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List
+
+from .diagnostics import Diagnostic, diag
+
+_REQUIRED = ("counts", "config", "latency_ms", "queue_wait_ms",
+             "shed_rate", "scale_events")
+_COUNT_KEYS = ("submitted", "completed", "shed", "rejected",
+               "guaranteed_shed", "wrong_answers", "spot_checks")
+_QUANTILE_ORDER = ("p50", "p99", "p999", "max")
+
+
+def check_soak_report_dict(data: Any,
+                           site: str = "soak") -> List[Diagnostic]:
+    """Verify one parsed soak report; returns its diagnostics."""
+    out: List[Diagnostic] = []
+    if not isinstance(data, dict):
+        return [diag("RC601", "soak report is not a JSON object",
+                     site=site, got=type(data).__name__)]
+    missing = [key for key in _REQUIRED if key not in data]
+    if missing:
+        return [diag("RC601", "soak report is missing required fields",
+                     site=site, missing=", ".join(missing))]
+    counts = data["counts"]
+    if not isinstance(counts, dict):
+        return [diag("RC601", "soak counts must be an object", site=site)]
+    bad = [key for key in _COUNT_KEYS
+           if not isinstance(counts.get(key), int)
+           or isinstance(counts.get(key), bool)
+           or counts.get(key, -1) < 0]
+    if bad:
+        return [diag("RC601", "soak counts missing or not counting numbers",
+                     site=site, fields=", ".join(bad))]
+
+    # -- correctness and class guarantees -------------------------------------
+    if counts["wrong_answers"] > 0:
+        out.append(diag(
+            "RC602", "spot checks diverged from the reference executor",
+            site=site, wrong_answers=counts["wrong_answers"],
+            spot_checks=counts["spot_checks"]))
+    if counts["guaranteed_shed"] > 0:
+        out.append(diag(
+            "RC604", "admission control shed guaranteed-class traffic",
+            site=site, guaranteed_shed=counts["guaranteed_shed"]))
+
+    # -- accounting: a drained soak resolves every request exactly once ------
+    resolved = counts["completed"] + counts["shed"] + counts["rejected"]
+    if resolved != counts["submitted"]:
+        out.append(diag(
+            "RC603", "completed + shed + rejected must equal submitted",
+            site=site, submitted=counts["submitted"], resolved=resolved))
+    if counts["wrong_answers"] > counts["spot_checks"]:
+        out.append(diag(
+            "RC603", "more wrong answers than spot checks performed",
+            site=site, wrong_answers=counts["wrong_answers"],
+            spot_checks=counts["spot_checks"]))
+    shed_rate = data["shed_rate"]
+    expect = ((counts["shed"] + counts["rejected"])
+              / max(1, counts["submitted"]))
+    if not isinstance(shed_rate, (int, float)) or \
+            abs(float(shed_rate) - expect) > 1e-6:
+        out.append(diag(
+            "RC603", "shed_rate does not match the shed/rejected counts",
+            site=site, shed_rate=shed_rate, expected=round(expect, 9)))
+
+    # -- scaling events -------------------------------------------------------
+    config = data["config"] if isinstance(data["config"], dict) else {}
+    lo = config.get("min_workers")
+    hi = config.get("max_workers")
+    previous_to = None
+    for i, event in enumerate(data["scale_events"]):
+        if not isinstance(event, dict) or \
+                event.get("action") not in ("up", "down"):
+            out.append(diag("RC601", "malformed scale event", site=site,
+                            index=i))
+            continue
+        w_from, w_to = event.get("workers_from"), event.get("workers_to")
+        if not isinstance(w_from, int) or not isinstance(w_to, int):
+            out.append(diag("RC601", "scale event without worker counts",
+                            site=site, index=i))
+            continue
+        if event["action"] == "up" and w_to <= w_from or \
+                event["action"] == "down" and w_to >= w_from:
+            out.append(diag(
+                "RC605", "scale event direction contradicts its action",
+                site=site, index=i, action=event["action"],
+                workers_from=w_from, workers_to=w_to))
+        if isinstance(lo, int) and isinstance(hi, int) and \
+                not lo <= w_to <= hi:
+            out.append(diag(
+                "RC605", "scale event leaves the configured worker bounds",
+                site=site, index=i, workers_to=w_to,
+                min_workers=lo, max_workers=hi))
+        if previous_to is not None and w_from != previous_to:
+            out.append(diag(
+                "RC605", "scale events do not chain (from != previous to)",
+                site=site, index=i, workers_from=w_from,
+                previous_to=previous_to))
+        previous_to = w_to
+
+    # -- percentile monotonicity ---------------------------------------------
+    for label in ("latency_ms", "queue_wait_ms"):
+        quantiles = data[label]
+        if not isinstance(quantiles, dict) or \
+                not all(isinstance(quantiles.get(q), (int, float))
+                        for q in _QUANTILE_ORDER):
+            out.append(diag("RC601", f"{label} quantile summary malformed",
+                            site=site))
+            continue
+        values = [float(quantiles[q]) for q in _QUANTILE_ORDER]
+        if any(a > b + 1e-9 for a, b in zip(values, values[1:])):
+            out.append(diag(
+                "RC606", f"{label} percentiles are not non-decreasing",
+                site=site, **{q: quantiles[q] for q in _QUANTILE_ORDER}))
+    return out
+
+
+def check_soak_report_file(path: Any) -> List[Diagnostic]:
+    """Load ``path`` as JSON and verify it as a soak report."""
+    site = str(path)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [diag("RC601", "cannot read soak report", site=site,
+                     error=str(exc))]
+    return check_soak_report_dict(data, site=site)

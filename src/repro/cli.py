@@ -607,6 +607,73 @@ def cmd_slo(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_serve_soak(args) -> None:
+    """Deterministic overload soak: load shedding + autoscaling + faults.
+
+    Drives an open-loop arrival trace (``--trace-kind poisson | diurnal
+    | burst``) through the real admission/batching/autoscaling control
+    plane on a virtual clock — 100k requests in seconds, byte-identical
+    replays per ``--seed``. A global ``--faults`` plan prices injected
+    stalls/corruptions into service times; every ``--spot-check-every``th
+    completed request executes its compiled plan for real and
+    bit-compares against an independent reference (the ``wrong
+    answers: 0`` line CI greps). ``--json`` writes the report for
+    ``repro check --soak`` and ``bench-diff``.
+    """
+    import os
+
+    from .serve import AutoscalePolicy, PlanCache, run_soak
+
+    names = [name.strip() for name in args.networks.split(",") if name.strip()]
+    networks = [_network(name) for name in names]
+    plan = faults_mod.get_active_plan()
+    injector = plan.injector() if plan is not None else None
+
+    cache = PlanCache()
+    loaded = 0
+    if args.cache and os.path.exists(args.cache):
+        loaded = cache.load(args.cache)
+
+    trace_kwargs = {}
+    if args.trace_kind == "burst":
+        trace_kwargs = {"burst_every_s": args.burst_every,
+                        "burst_len_s": args.burst_len,
+                        "burst_factor": args.burst_factor}
+    report = run_soak(
+        networks, args.requests, trace=args.trace_kind, rate_rps=args.rate,
+        seed=args.fault_seed, guaranteed_fraction=args.guaranteed,
+        faults=injector, max_batch=args.max_batch, max_queue=args.max_queue,
+        shed_depth_fraction=args.shed_fraction, deadline_ms=args.deadline_ms,
+        autoscale=AutoscalePolicy(min_workers=args.min_workers,
+                                  max_workers=args.max_workers),
+        mean_service_ms=args.mean_service_ms,
+        spot_check_every=args.spot_check_every, cache=cache,
+        trace_kwargs=trace_kwargs)
+
+    print(f"serve-soak: {', '.join(names)}, {args.requests} requests, "
+          f"{args.trace_kind} trace at {args.rate:g} req/s, seed "
+          f"{args.fault_seed}")
+    if plan is not None:
+        print(f"fault plan: {plan} (seed {plan.seed})")
+    if args.cache:
+        print(f"plan cache file: {args.cache} ({loaded} plans loaded)")
+    print(report.render())
+
+    if args.cache:
+        cache.save(args.cache)
+    if args.json:
+        report.save(args.json)
+        print(f"wrote soak report JSON to {args.json}")
+    if args.check:
+        from .check import CheckReport, check_soak_report_dict
+
+        check = CheckReport()
+        check.extend("soak report", check_soak_report_dict(report.to_dict()))
+        print(check.render(verbose=False))
+        if not check.ok():
+            raise SystemExit(2)
+
+
 def cmd_bench_diff(args) -> None:
     """Compare two benchmark summary JSON files and flag regressions.
 
@@ -840,7 +907,8 @@ def cmd_check(args) -> None:
     clean — the contract the CI smoke job greps for.
     """
     from .check import (CheckReport, check_network, check_plan_cache_file,
-                        check_trace_file, check_tuning_db_file, lint_paths)
+                        check_soak_report_file, check_trace_file,
+                        check_tuning_db_file, lint_paths)
 
     report = CheckReport()
     network = None
@@ -867,13 +935,16 @@ def cmd_check(args) -> None:
                                            fingerprint=fingerprint))
     if args.trace:
         report.extend(f"trace {args.trace}", check_trace_file(args.trace))
+    if args.soak:
+        report.extend(f"soak report {args.soak}",
+                      check_soak_report_file(args.soak))
     if args.lint:
         report.extend("lint " + " ".join(args.lint),
                       lint_paths(args.lint, readme=args.readme))
     if not report.checks_run:
         raise SystemExit("nothing to check: give a NETWORK, --lint PATH, "
-                         "--plan PATH, --tunedb PATH, --trace PATH, or "
-                         "--request PATH")
+                         "--plan PATH, --tunedb PATH, --trace PATH, "
+                         "--soak PATH, or --request PATH")
     print(report.to_json() if args.json else report.render())
     code = report.exit_code(strict=args.strict)
     if code:
@@ -1058,6 +1129,57 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit 1 when the error budget is exhausted")
     sl.set_defaults(func=cmd_slo)
 
+    so = sub.add_parser(
+        "serve-soak",
+        help="deterministic virtual-time overload soak with shedding, "
+             "deadlines, autoscaling, and fault spot checks")
+    so.add_argument("networks", nargs="?", default="toynet",
+                    help="comma-separated zoo networks to serve "
+                         "(e.g. toynet,nin)")
+    so.add_argument("--requests", type=int, default=100_000)
+    so.add_argument("--trace-kind", choices=("poisson", "diurnal", "burst"),
+                    default="burst", dest="trace_kind",
+                    help="open-loop arrival trace shape")
+    so.add_argument("--rate", type=float, default=2000.0, metavar="REQ_S",
+                    help="mean arrival rate in requests/s")
+    so.add_argument("--guaranteed", type=float, default=0.1,
+                    help="fraction of arrivals in the guaranteed class")
+    so.add_argument("--max-batch", type=int, default=8)
+    so.add_argument("--max-queue", type=int, default=256)
+    so.add_argument("--shed-fraction", type=float, default=0.75,
+                    dest="shed_fraction",
+                    help="sheddable-class depth watermark as a fraction "
+                         "of --max-queue")
+    so.add_argument("--deadline-ms", type=float, default=25.0,
+                    dest="deadline_ms",
+                    help="per-request latency budget for deadline batching")
+    so.add_argument("--min-workers", type=int, default=1,
+                    dest="min_workers")
+    so.add_argument("--max-workers", type=int, default=8,
+                    dest="max_workers")
+    so.add_argument("--mean-service-ms", type=float, default=1.0,
+                    dest="mean_service_ms",
+                    help="zoo-mean modeled service time per request")
+    so.add_argument("--spot-check-every", type=int, default=1000,
+                    dest="spot_check_every",
+                    help="bit-compare every Nth completed request against "
+                         "an independent reference executor (0 = off)")
+    so.add_argument("--burst-every", type=float, default=5.0,
+                    dest="burst_every", metavar="S")
+    so.add_argument("--burst-len", type=float, default=1.0,
+                    dest="burst_len", metavar="S")
+    so.add_argument("--burst-factor", type=float, default=8.0,
+                    dest="burst_factor")
+    so.add_argument("--cache", default=None, metavar="PATH",
+                    help="plan-cache JSON: loaded before the run when it "
+                         "exists, saved after")
+    so.add_argument("--json", default=None, metavar="PATH",
+                    help="write the soak report JSON here (checkable with "
+                         "'repro check --soak')")
+    so.add_argument("--check", action="store_true",
+                    help="verify the report's RC6xx invariants before exit")
+    so.set_defaults(func=cmd_serve_soak)
+
     bd = sub.add_parser(
         "bench-diff",
         help="compare two benchmark JSON files and flag regressions")
@@ -1211,6 +1333,8 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--trace", default=None, metavar="PATH",
                     help="validate an exported request-trace file "
                          "(JSONL or Chrome trace; RC5xx)")
+    ck.add_argument("--soak", default=None, metavar="PATH",
+                    help="validate a serve-soak report JSON (RC6xx)")
     ck.add_argument("--request", default=None, metavar="PATH",
                     help="run a check described by a JSON request file")
     ck.add_argument("--strict", action="store_true",

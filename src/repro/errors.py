@@ -65,5 +65,25 @@ class ServeOverloadError(ReproError, RuntimeError):
     Raised synchronously by :meth:`repro.serve.InferenceService.submit`
     (and the scheduler underneath) when the bounded request queue is at
     capacity, so callers get backpressure immediately instead of
-    unbounded latency. Carries ``depth``/``max_queue`` context.
+    unbounded latency. Carries ``depth``/``max_queue`` context and,
+    when the scheduler can estimate it, a ``retry_after_s`` hint.
+    """
+
+    @property
+    def retry_after_s(self) -> float:
+        """Suggested wait before resubmitting (0.0 when unknown)."""
+        return float(self.context.get("retry_after_s", 0.0))
+
+
+class ServeShedError(ServeOverloadError):
+    """A sheddable request was dropped by graceful load shedding.
+
+    Unlike the hard-full :class:`ServeOverloadError` it subclasses,
+    shedding fires *before* the queue is full — at the admission
+    policy's depth or estimated-wait watermark — and only for requests
+    in the ``sheddable`` class, so guaranteed traffic keeps being
+    admitted while the service degrades gracefully under overload. The
+    ``retry_after_s`` context is the scheduler's estimate of when the
+    backlog will have drained; clients that honor it act like an HTTP
+    429 ``Retry-After`` backoff.
     """

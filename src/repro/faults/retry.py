@@ -6,10 +6,22 @@ injected faults the same way: retry a bounded number of times, waiting
 When the budget runs out they raise
 :class:`~repro.errors.SimFaultError` — a fault that survives every
 retry is a *diagnosed* failure, never silent corruption.
+
+Backoff can carry **deterministic seeded jitter**: with ``jitter > 0``,
+each (site, attempt) pair perturbs its backoff by up to ±``jitter``/2
+of the nominal value, drawn from a stream seeded by
+``crc32(f"{seed}/{site}/{attempt}")`` — the same per-site scheme the
+:class:`~repro.faults.injector.FaultInjector` uses. Sites retrying the
+same fault kind therefore spread out instead of thundering back in
+lockstep, while the same seed reproduces the exact same backoff
+sequence byte for byte. The default ``jitter=0.0`` keeps the classic
+deterministic schedule unchanged.
 """
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
 
 from ..errors import ConfigError, SimFaultError
@@ -24,13 +36,17 @@ class RetryPolicy:
 
     ``max_attempts`` counts *total* tries, the first included; backoff is
     charged before each retry, growing geometrically from ``base_cycles``
-    up to ``max_backoff_cycles``.
+    up to ``max_backoff_cycles``. ``jitter`` (0..1) is the fraction of
+    each backoff randomized around its nominal value, decorrelated per
+    retry site and attempt from ``seed``.
     """
 
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     base_cycles: int = 8
     multiplier: float = 2.0
     max_backoff_cycles: int = 1024
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -43,14 +59,26 @@ class RetryPolicy:
         if self.multiplier < 1.0:
             raise ConfigError("retry multiplier must be >= 1",
                               multiplier=self.multiplier)
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("retry jitter must be in [0, 1]",
+                              jitter=self.jitter)
 
-    def backoff_cycles(self, attempt: int) -> int:
+    def backoff_cycles(self, attempt: int, site: str = "") -> int:
         """Backoff charged before retry number ``attempt`` (1-based: the
-        first retry is attempt 1)."""
+        first retry is attempt 1). ``site`` keys the jitter stream, so
+        different retry sites decorrelate while the same (seed, site,
+        attempt) always yields the same backoff."""
         if attempt < 1:
             raise ConfigError("backoff attempt is 1-based", attempt=attempt)
-        return min(int(self.base_cycles * self.multiplier ** (attempt - 1)),
-                   self.max_backoff_cycles)
+        nominal = min(int(self.base_cycles * self.multiplier ** (attempt - 1)),
+                      self.max_backoff_cycles)
+        if self.jitter <= 0.0 or nominal <= 0:
+            return nominal
+        stream = random.Random(
+            zlib.crc32(f"{self.seed}/{site}/{attempt}".encode()))
+        offset = self.jitter * (stream.random() - 0.5)  # +- jitter/2
+        jittered = int(round(nominal * (1.0 + offset)))
+        return max(0, min(jittered, self.max_backoff_cycles))
 
     def exhausted(self, site: str, kind: str, **context) -> SimFaultError:
         """The error raised when every attempt failed."""

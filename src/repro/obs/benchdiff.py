@@ -25,6 +25,7 @@ LOWER_IS_BETTER = (
     "wall_s", "wall_ms", "_ms", "latency", "cycles", "seconds", "elapsed",
     "bytes", "misses", "evictions", "failed", "rejected", "stall",
     "retries", "violations", "burn_rate", "energy", "interval", "pending",
+    "shed", "shed_rate", "wrong_answers", "p999", "guaranteed_shed",
 )
 
 #: Name fragments whose metrics improve upward (rates, wins, coverage).

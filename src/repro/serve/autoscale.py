@@ -1,0 +1,147 @@
+"""Autoscaling policy for the worker pool: a deterministic state machine.
+
+The :class:`Autoscaler` decides *when* to add or retire workers; the
+:class:`~repro.serve.worker.WorkerPool` (live threads) and the soak
+harness's virtual-time event loop (simulated capacity) both apply its
+decisions. Separating decision from actuation keeps the policy a pure
+function of the observation sequence ``(queue_depth, now)`` — drive it
+with a :class:`~repro.serve.clock.ManualClock` and the same inputs and
+it emits byte-identical :class:`ScaleEvent` sequences, which is what
+the replay tests and the soak's determinism gate pin.
+
+The policy is the classic hysteresis + cooldown shape:
+
+* **scale up** when backlog pressure (depth at/above
+  ``backlog_per_worker`` × current workers) has been sustained for
+  ``sustain_s`` — a burst shorter than that is absorbed by shedding
+  and deadline batching instead of flapping the pool;
+* **scale down** when the queue has been empty for ``idle_s``;
+* both respect ``cooldown_s`` between consecutive actions and the
+  ``[min_workers, max_workers]`` bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Knobs of the hysteresis + cooldown scaling loop."""
+
+    min_workers: int = 1
+    max_workers: int = 8
+    backlog_per_worker: float = 4.0  #: queued requests per worker = pressure
+    sustain_s: float = 0.25          #: pressure must persist this long
+    idle_s: float = 1.0              #: empty queue this long scales down
+    cooldown_s: float = 0.5          #: min gap between scaling actions
+    step: int = 1                    #: workers added/removed per action
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 0:
+            raise ConfigError("min_workers must be >= 0",
+                              min_workers=self.min_workers)
+        if self.max_workers < max(1, self.min_workers):
+            raise ConfigError("max_workers must be >= max(1, min_workers)",
+                              min_workers=self.min_workers,
+                              max_workers=self.max_workers)
+        if self.backlog_per_worker <= 0:
+            raise ConfigError("backlog_per_worker must be positive",
+                              backlog_per_worker=self.backlog_per_worker)
+        if self.sustain_s < 0 or self.idle_s < 0 or self.cooldown_s < 0:
+            raise ConfigError("autoscale durations must be >= 0",
+                              sustain_s=self.sustain_s, idle_s=self.idle_s,
+                              cooldown_s=self.cooldown_s)
+        if self.step < 1:
+            raise ConfigError("step must be >= 1", step=self.step)
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One applied scaling decision."""
+
+    t: float
+    action: str          #: "up" or "down"
+    workers_from: int
+    workers_to: int
+    depth: int           #: queue depth at decision time
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"t": self.t, "action": self.action,
+                "workers_from": self.workers_from,
+                "workers_to": self.workers_to,
+                "depth": self.depth, "reason": self.reason}
+
+
+class Autoscaler:
+    """Folds ``(depth, now)`` observations into scaling decisions."""
+
+    def __init__(self, policy: Optional[AutoscalePolicy] = None,
+                 workers: Optional[int] = None):
+        self.policy = policy if policy is not None else AutoscalePolicy()
+        start = self.policy.min_workers if workers is None else workers
+        self.workers = min(max(start, self.policy.min_workers),
+                           self.policy.max_workers)
+        self.events: List[ScaleEvent] = []
+        self._pressure_since: Optional[float] = None
+        self._idle_since: Optional[float] = None
+        self._last_action_t = -math.inf
+
+    def observe(self, depth: int, now: float) -> Optional[ScaleEvent]:
+        """Fold one observation; returns the event when one fires."""
+        policy = self.policy
+        pressured = depth >= policy.backlog_per_worker * max(1, self.workers)
+        idle = depth == 0
+        if pressured:
+            self._idle_since = None
+            if self._pressure_since is None:
+                self._pressure_since = now
+        elif idle:
+            self._pressure_since = None
+            if self._idle_since is None:
+                self._idle_since = now
+        else:
+            # mid-band: neither trend continues (hysteresis)
+            self._pressure_since = None
+            self._idle_since = None
+        if now - self._last_action_t < policy.cooldown_s:
+            return None
+        if (pressured and self.workers < policy.max_workers
+                and self._pressure_since is not None
+                and now - self._pressure_since >= policy.sustain_s):
+            return self._fire(now, "up",
+                              min(self.workers + policy.step,
+                                  policy.max_workers),
+                              depth, "sustained_backlog")
+        if (idle and self.workers > policy.min_workers
+                and self._idle_since is not None
+                and now - self._idle_since >= policy.idle_s):
+            return self._fire(now, "down",
+                              max(self.workers - policy.step,
+                                  policy.min_workers),
+                              depth, "idle")
+        return None
+
+    def _fire(self, now: float, action: str, target: int, depth: int,
+              reason: str) -> ScaleEvent:
+        event = ScaleEvent(t=now, action=action, workers_from=self.workers,
+                           workers_to=target, depth=depth, reason=reason)
+        self.workers = target
+        self.events.append(event)
+        self._last_action_t = now
+        self._pressure_since = None
+        self._idle_since = None
+        return event
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.action == "up")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.action == "down")

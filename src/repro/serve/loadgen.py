@@ -1,0 +1,151 @@
+"""Open-loop load generation: seeded arrival traces for the soak harness.
+
+A trace is a list of :class:`Arrival` records — absolute arrival time,
+request class, and target network index — generated *open loop*: arrival
+times never depend on how fast the service answers, which is what makes
+overload possible (a closed-loop client self-throttles and can never
+observe shedding). Three shapes cover the soak matrix:
+
+* :func:`poisson_trace` — memoryless steady-state load at ``rate_rps``;
+* :func:`diurnal_trace` — a sinusoidal day: rate swings between
+  ``(1 - depth)`` and ``(1 + depth)`` times the mean over ``period_s``,
+  realized by thinning a Poisson process at the peak rate;
+* :func:`burst_trace` — baseline Poisson plus periodic square-wave
+  bursts at ``burst_factor`` times the rate, the adversarial input the
+  autoscaler + shedding stack must absorb.
+
+Everything is driven by ``random.Random(seed)`` — same arguments, same
+trace, byte for byte — so soak runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..errors import ConfigError
+
+#: Registry of trace shapes, used by ``make_trace`` and the CLI.
+TRACE_KINDS = ("poisson", "diurnal", "burst")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One open-loop request arrival."""
+
+    t: float            #: absolute arrival time (seconds from trace start)
+    klass: str          #: "guaranteed" or "sheddable"
+    network: int        #: index into the soak's network list
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"t": self.t, "klass": self.klass, "network": self.network}
+
+
+def _validate(n: int, rate_rps: float, guaranteed_fraction: float,
+              networks: int) -> None:
+    if n < 1:
+        raise ConfigError("trace needs at least one arrival", n=n)
+    if rate_rps <= 0:
+        raise ConfigError("arrival rate must be positive", rate_rps=rate_rps)
+    if not 0.0 <= guaranteed_fraction <= 1.0:
+        raise ConfigError("guaranteed_fraction must be in [0, 1]",
+                          guaranteed_fraction=guaranteed_fraction)
+    if networks < 1:
+        raise ConfigError("trace needs at least one network",
+                          networks=networks)
+
+
+def _classify(rng: random.Random, guaranteed_fraction: float) -> str:
+    # local import keeps loadgen importable without the scheduler's deps
+    from .scheduler import GUARANTEED, SHEDDABLE
+    return GUARANTEED if rng.random() < guaranteed_fraction else SHEDDABLE
+
+
+def poisson_trace(n: int, rate_rps: float, *, seed: int = 0,
+                  guaranteed_fraction: float = 0.1,
+                  networks: int = 1) -> List[Arrival]:
+    """``n`` arrivals with exponential inter-arrival gaps at ``rate_rps``."""
+    _validate(n, rate_rps, guaranteed_fraction, networks)
+    rng = random.Random(seed)
+    t = 0.0
+    out: List[Arrival] = []
+    for _ in range(n):
+        t += rng.expovariate(rate_rps)
+        out.append(Arrival(t=t, klass=_classify(rng, guaranteed_fraction),
+                           network=rng.randrange(networks)))
+    return out
+
+
+def diurnal_trace(n: int, rate_rps: float, *, seed: int = 0,
+                  period_s: float = 60.0, depth: float = 0.8,
+                  guaranteed_fraction: float = 0.1,
+                  networks: int = 1) -> List[Arrival]:
+    """Sinusoidal load: instantaneous rate
+    ``rate_rps * (1 + depth * sin(2*pi*t/period_s))``, realized by
+    thinning a Poisson process at the peak rate (Lewis & Shedler)."""
+    _validate(n, rate_rps, guaranteed_fraction, networks)
+    if period_s <= 0:
+        raise ConfigError("diurnal period must be positive",
+                          period_s=period_s)
+    if not 0.0 <= depth < 1.0:
+        raise ConfigError("diurnal depth must be in [0, 1)", depth=depth)
+    rng = random.Random(seed)
+    peak = rate_rps * (1.0 + depth)
+    t = 0.0
+    out: List[Arrival] = []
+    while len(out) < n:
+        t += rng.expovariate(peak)
+        instantaneous = rate_rps * (
+            1.0 + depth * math.sin(2.0 * math.pi * t / period_s))
+        if rng.random() * peak <= instantaneous:
+            out.append(Arrival(t=t,
+                               klass=_classify(rng, guaranteed_fraction),
+                               network=rng.randrange(networks)))
+    return out
+
+
+def burst_trace(n: int, rate_rps: float, *, seed: int = 0,
+                burst_every_s: float = 5.0, burst_len_s: float = 1.0,
+                burst_factor: float = 8.0,
+                guaranteed_fraction: float = 0.1,
+                networks: int = 1) -> List[Arrival]:
+    """Baseline Poisson at ``rate_rps`` with square-wave bursts: every
+    ``burst_every_s`` seconds the rate jumps to ``burst_factor`` times
+    baseline for ``burst_len_s`` seconds."""
+    _validate(n, rate_rps, guaranteed_fraction, networks)
+    if burst_every_s <= 0 or burst_len_s <= 0:
+        raise ConfigError("burst cadence must be positive",
+                          burst_every_s=burst_every_s,
+                          burst_len_s=burst_len_s)
+    if burst_len_s >= burst_every_s:
+        raise ConfigError("burst must be shorter than its period",
+                          burst_every_s=burst_every_s,
+                          burst_len_s=burst_len_s)
+    if burst_factor < 1.0:
+        raise ConfigError("burst_factor must be >= 1", burst_factor=burst_factor)
+    rng = random.Random(seed)
+    t = 0.0
+    out: List[Arrival] = []
+    while len(out) < n:
+        in_burst = (t % burst_every_s) < burst_len_s
+        rate = rate_rps * (burst_factor if in_burst else 1.0)
+        t += rng.expovariate(rate)
+        out.append(Arrival(t=t, klass=_classify(rng, guaranteed_fraction),
+                           network=rng.randrange(networks)))
+    return out
+
+
+def make_trace(kind: str, n: int, rate_rps: float, *, seed: int = 0,
+               guaranteed_fraction: float = 0.1, networks: int = 1,
+               **kwargs: Any) -> List[Arrival]:
+    """Dispatch on ``kind`` (one of :data:`TRACE_KINDS`)."""
+    makers = {"poisson": poisson_trace, "diurnal": diurnal_trace,
+              "burst": burst_trace}
+    if kind not in makers:
+        raise ConfigError("unknown trace kind", kind=kind,
+                          choices=", ".join(TRACE_KINDS))
+    return makers[kind](n, rate_rps, seed=seed,
+                        guaranteed_fraction=guaranteed_fraction,
+                        networks=networks, **kwargs)

@@ -2,35 +2,169 @@
 
 A thread-safe queue of :class:`ServeRequest` objects, sharded per plan
 key so one queue per compiled plan drains into the worker pool. Batches
-flush when a shard reaches ``max_batch`` or its oldest request has
-waited ``max_wait_ms`` — the classic micro-batching trade between
-per-request latency and the amortization a wide batch buys (see
-:mod:`repro.sim.batched`).
+flush when a shard reaches ``max_batch`` or its oldest request's
+*flush deadline* passes — with deadline-aware batching, that deadline
+is derived from the request's latency budget (flush when the slack
+left after the estimated execute time runs out) instead of the fixed
+``max_wait_ms`` of classic micro-batching.
 
-Admission control is a bounded total depth: a submit that would exceed
-``max_queue`` fast-fails with
-:class:`~repro.errors.ServeOverloadError`, giving callers backpressure
-immediately. Rejections and batch flushes are mirrored into
-``serve.*`` obs counters.
+Admission control is watermark-based, not all-or-nothing:
+
+* every request carries a class — :data:`GUARANTEED` traffic is
+  admitted until the queue is hard-full, :data:`SHEDDABLE` traffic is
+  *shed* earlier, once depth crosses the policy's watermark or the
+  estimated wait exceeds its bound, raising
+  :class:`~repro.errors.ServeShedError` with a ``retry_after_s`` hint
+  (the scheduler's drain estimate);
+* a hard-full queue still fast-fails everyone with
+  :class:`~repro.errors.ServeOverloadError`, exactly as before.
+
+A batch requeued after a worker crash goes back at the *front* of its
+shard **and** its shard moves to the front of the flush rotation; an
+age-based promotion guard additionally lets any shard whose head has
+waited far past its own flush deadline preempt shards that keep
+filling to ``max_batch``, so a requeued (or just unlucky) batch can
+never starve behind a stream of newer arrivals. Rejections, sheds, and
+batch flushes are mirrored into ``serve.*`` obs counters.
 """
 
 from __future__ import annotations
 
-import time
+import math
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .. import obs
-from ..errors import ConfigError, ServeOverloadError, SimFaultError
+from ..errors import (ConfigError, ServeOverloadError, ServeShedError,
+                      SimFaultError)
+from .clock import SYSTEM_CLOCK, Clock
+
+#: Request classes: guaranteed traffic is only rejected when the queue
+#: is hard-full; sheddable traffic is shed at the admission watermarks.
+GUARANTEED = "guaranteed"
+SHEDDABLE = "sheddable"
+REQUEST_CLASSES = (GUARANTEED, SHEDDABLE)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Watermarks deciding who gets into the queue under load.
+
+    ``max_queue`` is the hard depth cap (everyone rejected at/above
+    it). ``shed_depth_fraction`` places the sheddable-class watermark:
+    sheddable requests are shed once depth reaches that fraction of
+    ``max_queue`` (1.0 = only shed when hard-full, the legacy
+    behavior). ``shed_wait_ms`` sheds sheddable requests whenever the
+    *estimated* queueing delay — depth times the EWMA of observed
+    per-request service time — exceeds the bound, which catches
+    overload even when the queue is deep but not full.
+    """
+
+    max_queue: int = 1024
+    shed_depth_fraction: float = 1.0
+    shed_wait_ms: float = math.inf
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ConfigError("max_queue must be >= 1",
+                              max_queue=self.max_queue)
+        if not 0.0 < self.shed_depth_fraction <= 1.0:
+            raise ConfigError("shed_depth_fraction must be in (0, 1]",
+                              shed_depth_fraction=self.shed_depth_fraction)
+        if self.shed_wait_ms < 0:
+            raise ConfigError("shed_wait_ms must be >= 0",
+                              shed_wait_ms=self.shed_wait_ms)
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]",
+                              ewma_alpha=self.ewma_alpha)
+
+    @property
+    def shed_depth(self) -> int:
+        """The absolute queue depth at which sheddable traffic sheds."""
+        return max(1, int(math.ceil(self.shed_depth_fraction
+                                    * self.max_queue)))
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check."""
+
+    admitted: bool
+    shed: bool = False           #: watermark shed (vs hard-full reject)
+    retry_after_s: float = 0.0   #: estimated drain time, the Retry-After hint
+    reason: str = ""
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy`, tracking the service rate.
+
+    Workers feed observed batch times back via :meth:`note_service`;
+    the controller keeps an EWMA of seconds-per-request and uses it for
+    the estimated-wait watermark and for ``retry_after_s`` hints. All
+    state transitions are pure functions of the observation sequence,
+    so identically-driven controllers replay identically.
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._per_item_s = 0.0  # 0.0 = no service-time observation yet
+
+    def note_service(self, items: int, seconds: float) -> None:
+        """Fold one served batch (``items`` requests over ``seconds``)
+        into the per-request service-time EWMA."""
+        if items <= 0 or seconds < 0:
+            return
+        per = seconds / items
+        if self._per_item_s == 0.0:
+            self._per_item_s = per
+        else:
+            alpha = self.policy.ewma_alpha
+            self._per_item_s = alpha * per + (1 - alpha) * self._per_item_s
+
+    @property
+    def per_item_s(self) -> float:
+        return self._per_item_s
+
+    def estimated_wait_s(self, depth: int) -> float:
+        """Expected queueing delay for a request arriving at ``depth``."""
+        return depth * self._per_item_s
+
+    def decide(self, klass: str, depth: int) -> AdmissionDecision:
+        if klass not in REQUEST_CLASSES:
+            raise ConfigError(
+                f"request class must be one of {REQUEST_CLASSES}",
+                klass=klass)
+        wait_s = self.estimated_wait_s(depth)
+        if depth >= self.policy.max_queue:
+            return AdmissionDecision(admitted=False, shed=False,
+                                     retry_after_s=wait_s, reason="full")
+        if klass == SHEDDABLE:
+            if depth >= self.policy.shed_depth:
+                return AdmissionDecision(admitted=False, shed=True,
+                                         retry_after_s=wait_s,
+                                         reason="depth_watermark")
+            if wait_s * 1e3 > self.policy.shed_wait_ms:
+                return AdmissionDecision(admitted=False, shed=True,
+                                         retry_after_s=wait_s,
+                                         reason="wait_watermark")
+        return AdmissionDecision(admitted=True)
 
 
 @dataclass
 class ServeRequest:
     """One inference request travelling through the serving pipeline.
+
+    ``klass`` selects the admission class (:data:`SHEDDABLE` by
+    default); ``deadline_ms`` is the caller's latency budget (None =
+    use the scheduler default). At enqueue time the scheduler resolves
+    it into ``deadline_s`` (absolute completion deadline, inf = none)
+    and ``flush_at_s`` (the batching deadline — the instant the
+    request stops waiting for batch-mates).
 
     When the service traces requests, ``tracer``/``trace_id`` carry the
     trace context end to end: the root span brackets submit → future
@@ -43,6 +177,10 @@ class ServeRequest:
     x: np.ndarray
     future: Future = field(default_factory=Future)
     enqueued_s: float = 0.0
+    klass: str = SHEDDABLE
+    deadline_ms: Optional[float] = None
+    deadline_s: float = math.inf
+    flush_at_s: float = 0.0
     tracer: Any = None  # Optional[repro.obs.tracing.Tracer]
     trace_id: int = -1
     root_span: int = -1
@@ -52,10 +190,16 @@ class ServeRequest:
 
 
 class BatchScheduler:
-    """Thread-safe sharded queue with micro-batching and bounded depth."""
+    """Thread-safe sharded queue: micro-batching, watermark admission,
+    deadline-aware flushing."""
 
     def __init__(self, max_batch: int = 8, max_wait_ms: float = 2.0,
-                 max_queue: int = 1024):
+                 max_queue: int = 1024,
+                 admission: Optional[AdmissionPolicy] = None,
+                 default_deadline_ms: Optional[float] = None,
+                 deadline_margin: float = 0.5,
+                 promotion_factor: float = 2.0,
+                 clock: Optional[Clock] = None):
         if max_batch < 1:
             raise ConfigError("max_batch must be >= 1", max_batch=max_batch)
         if max_wait_ms < 0:
@@ -63,10 +207,28 @@ class BatchScheduler:
                               max_wait_ms=max_wait_ms)
         if max_queue < 1:
             raise ConfigError("max_queue must be >= 1", max_queue=max_queue)
+        if default_deadline_ms is not None and default_deadline_ms < 0:
+            raise ConfigError("default_deadline_ms must be >= 0",
+                              default_deadline_ms=default_deadline_ms)
+        if not 0.0 <= deadline_margin < 1.0:
+            raise ConfigError("deadline_margin must be in [0, 1)",
+                              deadline_margin=deadline_margin)
+        if promotion_factor < 1.0:
+            raise ConfigError("promotion_factor must be >= 1",
+                              promotion_factor=promotion_factor)
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1000.0
-        self.max_queue = max_queue
+        self.admission = AdmissionController(
+            admission if admission is not None
+            else AdmissionPolicy(max_queue=max_queue))
+        self.max_queue = self.admission.policy.max_queue
+        self.default_deadline_ms = default_deadline_ms
+        self.deadline_margin = deadline_margin
+        self.promotion_factor = promotion_factor
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.depth = 0
+        self.shed = 0
+        self.deadline_flushes = 0
         self._shards: "OrderedDict[Any, Deque[ServeRequest]]" = OrderedDict()
         self._closed = False
         import threading
@@ -79,26 +241,75 @@ class BatchScheduler:
 
     # -- producer side ---------------------------------------------------------
 
+    def note_service(self, items: int, seconds: float) -> None:
+        """Worker feedback: one batch of ``items`` served in ``seconds``
+        (drives the estimated-wait watermark and retry-after hints)."""
+        with self._cond:
+            self.admission.note_service(items, seconds)
+
+    def estimated_wait_s(self) -> float:
+        """Expected queueing delay for a request arriving right now."""
+        with self._cond:
+            return self.admission.estimated_wait_s(self.depth)
+
     def submit(self, request: ServeRequest) -> None:
-        """Enqueue one request, or fast-fail when the queue is full."""
+        """Enqueue one request, shed it, or fast-fail when hard-full."""
         with self._cond:
             if self._closed:
                 raise SimFaultError("scheduler is shut down",
                                     request=request.id)
-            if self.depth >= self.max_queue:
+            decision = self.admission.decide(request.klass, self.depth)
+            if not decision.admitted:
                 obs.add_counter("serve.rejected")
+                if decision.shed:
+                    self.shed += 1
+                    obs.add_counter("serve.shed")
+                    raise ServeShedError(
+                        "request shed by admission control",
+                        depth=self.depth, watermark=decision.reason,
+                        retry_after_s=round(decision.retry_after_s, 6),
+                        request=request.id, klass=request.klass)
                 raise ServeOverloadError(
                     "serving queue full", depth=self.depth,
-                    max_queue=self.max_queue, request=request.id)
-            request.enqueued_s = time.perf_counter()
+                    max_queue=self.max_queue, request=request.id,
+                    retry_after_s=round(decision.retry_after_s, 6))
+            request.enqueued_s = self.clock.now()
+            request.flush_at_s = self._flush_at(request)
             self._shards.setdefault(request.key, deque()).append(request)
             self.depth += 1
             obs.add_counter("serve.enqueued")
             self._cond.notify()
 
+    def _flush_at(self, request: ServeRequest) -> float:
+        """The instant this request stops waiting for batch-mates.
+
+        With a deadline (its own, or the scheduler default — typically
+        the SLO latency target), the flush point is the deadline minus
+        an execute-time reservation: the larger of the measured
+        batch-execute estimate and ``deadline_margin`` of the budget
+        (so a cold scheduler with no measurements still leaves room to
+        execute). Without any deadline, the classic fixed ``max_wait``
+        applies.
+        """
+        budget_ms = (request.deadline_ms if request.deadline_ms is not None
+                     else self.default_deadline_ms)
+        if budget_ms is None:
+            return request.enqueued_s + self.max_wait_s
+        if budget_ms < 0:
+            raise ConfigError("deadline_ms must be >= 0",
+                              deadline_ms=budget_ms, request=request.id)
+        budget_s = budget_ms / 1000.0
+        request.deadline_s = request.enqueued_s + budget_s
+        exec_estimate_s = self.admission.per_item_s * self.max_batch
+        headroom_s = max(budget_s * self.deadline_margin, exec_estimate_s)
+        return request.enqueued_s + max(0.0, budget_s - headroom_s)
+
     def requeue(self, requests: List[ServeRequest]) -> None:
         """Put already-admitted requests back at the front of their shards
-        (worker crash recovery); bypasses admission control."""
+        (worker crash recovery); bypasses admission control. The shard
+        also moves to the front of the flush rotation and the requests
+        become immediately flushable, so a crashed batch is re-served
+        ahead of newer arrivals instead of re-waiting behind them."""
         if not requests:
             return
         for request in requests:
@@ -111,9 +322,12 @@ class BatchScheduler:
                     "serve.enqueue", request.trace_id,
                     parent_id=request.root_span, requeued=True)
         with self._cond:
+            now = self.clock.now()
             for request in reversed(requests):
+                request.flush_at_s = min(request.flush_at_s, now)
                 self._shards.setdefault(request.key,
                                         deque()).appendleft(request)
+                self._shards.move_to_end(request.key, last=False)
                 self.depth += 1
             obs.add_counter("serve.requeued", len(requests))
             self._cond.notify_all()
@@ -127,7 +341,7 @@ class BatchScheduler:
         ``timeout`` (seconds) bounds the wait for *any* batch; on expiry
         with nothing flushable it returns an empty list.
         """
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else self.clock.now() + timeout
         with self._cond:
             while True:
                 batch = self._pop_locked()
@@ -139,29 +353,76 @@ class BatchScheduler:
                     return None
                 wait = self._wait_s_locked()
                 if deadline is not None:
-                    remaining = deadline - time.perf_counter()
+                    remaining = deadline - self.clock.now()
                     if remaining <= 0:
                         return []
                     wait = remaining if wait is None else min(wait, remaining)
                 self._cond.wait(wait)
 
+    def poll(self) -> Optional[List[ServeRequest]]:
+        """Non-blocking :meth:`next_batch`: a ready batch or ``None``.
+
+        The soak harness's virtual-time event loop drives the scheduler
+        through this (plus :meth:`next_flush_at`) instead of blocking
+        worker threads.
+        """
+        with self._cond:
+            batch = self._pop_locked()
+        if batch is not None:
+            obs.add_counter("serve.batches")
+            obs.add_counter("serve.batched_items", len(batch))
+        return batch
+
+    def next_flush_at(self) -> Optional[float]:
+        """The earliest instant a batch becomes flushable (``None`` =
+        queue empty; "now" when a shard is already full or closed)."""
+        with self._cond:
+            if self.depth == 0:
+                return None
+            now = self.clock.now()
+            if self._closed:
+                return now
+            earliest = math.inf
+            for shard in self._shards.values():
+                if len(shard) >= self.max_batch:
+                    return now
+                earliest = min(earliest, shard[0].flush_at_s)
+            return earliest
+
     def _pop_locked(self) -> Optional[List[ServeRequest]]:
         if self.depth == 0:
             return None
-        now = time.perf_counter()
-        flush_key = None
+        now = self.clock.now()
+        full_key = None
+        overdue: List[Tuple[float, Any]] = []  # (head enqueue time, key)
+        promoted_key = None
         for key, shard in self._shards.items():
-            if len(shard) >= self.max_batch:
-                flush_key = key
-                break
-            if self._closed or now - shard[0].enqueued_s >= self.max_wait_s:
-                flush_key = flush_key if flush_key is not None else key
+            head = shard[0]
+            if full_key is None and len(shard) >= self.max_batch:
+                full_key = key
+            if self._closed or now >= head.flush_at_s:
+                overdue.append((head.enqueued_s, key))
+                if promoted_key is None and self._promotable(head, now):
+                    promoted_key = key
+        flush_key = None
+        deadline_flush = False
+        if full_key is not None:
+            # An over-age overdue head (a requeued crash batch, or a
+            # shard starved by busier plans) preempts the full shard.
+            flush_key = promoted_key if promoted_key is not None else full_key
+        elif overdue:
+            # oldest head first: deterministic and fair across shards
+            flush_key = min(overdue)[1]
+            deadline_flush = True
         if flush_key is None:
             return None
         shard = self._shards[flush_key]
         take = min(len(shard), self.max_batch)
         batch = [shard.popleft() for _ in range(take)]
         self.depth -= take
+        if deadline_flush and take < self.max_batch:
+            self.deadline_flushes += 1
+            obs.add_counter("serve.deadline_flushes")
         if not shard:
             del self._shards[flush_key]
         else:
@@ -170,13 +431,22 @@ class BatchScheduler:
             self._shards.move_to_end(flush_key)
         return batch
 
+    def _promotable(self, head: ServeRequest, now: float) -> bool:
+        """Age-based promotion guard: has this overdue head waited more
+        than ``promotion_factor`` times its own planned flush delay
+        (floored at 1 ms so zero-delay requests still get a grace
+        window)? Such a shard preempts even full shards, so it cannot
+        starve behind plans whose queues keep hitting ``max_batch``."""
+        planned_delay = max(head.flush_at_s - head.enqueued_s, 1e-3)
+        return now - head.enqueued_s >= self.promotion_factor * planned_delay
+
     def _wait_s_locked(self) -> Optional[float]:
-        """Seconds until the oldest pending request hits its flush
-        deadline (None = nothing pending, wait for a notify)."""
+        """Seconds until the earliest pending flush deadline (None =
+        nothing pending, wait for a notify)."""
         if self.depth == 0:
             return None
-        oldest = min(shard[0].enqueued_s for shard in self._shards.values())
-        return max(oldest + self.max_wait_s - time.perf_counter(), 1e-4)
+        earliest = min(shard[0].flush_at_s for shard in self._shards.values())
+        return max(earliest - self.clock.now(), 1e-4)
 
     # -- shutdown --------------------------------------------------------------
 

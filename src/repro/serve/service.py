@@ -30,15 +30,17 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.fusion import Strategy
-from ..errors import ConfigError, SimFaultError
+from ..errors import ConfigError, ServeShedError, SimFaultError
 from ..faults.budget import ExplorationBudget
 from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
 from ..nn.network import Network
 from ..obs.slo import SLOTarget
 from ..obs.tracing import Tracer
+from .autoscale import AutoscalePolicy
+from .clock import Clock
 from .plan import CompiledPlan, PlanCache, PlanKey
-from .scheduler import BatchScheduler, ServeRequest
+from .scheduler import SHEDDABLE, AdmissionPolicy, BatchScheduler, ServeRequest
 from .stats import ServeStats
 from .worker import STALL_S_PER_CYCLE, WorkerPool
 
@@ -101,18 +103,31 @@ class InferenceService:
                  cache: Optional[PlanCache] = None,
                  trace: bool = False,
                  slo: Any = None,
+                 admission: Optional[AdmissionPolicy] = None,
+                 deadline_ms: Optional[float] = None,
+                 autoscale: Optional[AutoscalePolicy] = None,
+                 clock: Optional[Clock] = None,
                  stall_s_per_cycle: float = STALL_S_PER_CYCLE):
         self.cache = cache if cache is not None else PlanCache()
         self.stats = ServeStats()
         self.tracer: Optional[Tracer] = Tracer() if trace else None
-        for target in _slo_targets(slo):
+        targets = _slo_targets(slo)
+        for target in targets:
             self.stats.add_slo(target)
+        if deadline_ms is None and targets:
+            # SLO-derived default: finishing by the tightest latency
+            # target is the natural per-request deadline budget.
+            deadline_ms = min(t.latency_ms for t in targets)
         self.scheduler = BatchScheduler(max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
-                                        max_queue=max_queue)
+                                        max_queue=max_queue,
+                                        admission=admission,
+                                        default_deadline_ms=deadline_ms,
+                                        clock=clock)
         self.pool = WorkerPool(self.scheduler, self._resolve_plan,
                                workers=workers, mode=mode, retry=retry,
                                faults=faults, stats=self.stats,
+                               autoscale=autoscale, clock=clock,
                                stall_s_per_cycle=stall_s_per_cycle)
         self._plan_defaults = dict(strategy=strategy, tip=tip,
                                    storage_budget_bytes=storage_budget_bytes,
@@ -203,9 +218,20 @@ class InferenceService:
 
     # -- request API -----------------------------------------------------------
 
-    def submit(self, x: np.ndarray, key: Optional[PlanKey] = None) -> Future:
-        """Enqueue one input; fast-fails with
-        :class:`~repro.errors.ServeOverloadError` when the queue is full."""
+    def submit(self, x: np.ndarray, key: Optional[PlanKey] = None, *,
+               klass: str = SHEDDABLE,
+               deadline_ms: Optional[float] = None) -> Future:
+        """Enqueue one input.
+
+        Overload surfaces as structured backpressure rather than silence:
+        a watermark shed raises :class:`~repro.errors.ServeShedError`
+        (sheddable class only, with a ``retry_after_s`` drain estimate)
+        and a hard-full queue raises
+        :class:`~repro.errors.ServeOverloadError`. ``klass`` selects the
+        request class (``"guaranteed"`` requests are admitted up to the
+        hard queue cap); ``deadline_ms`` overrides the service's default
+        per-request latency budget for deadline-aware batching.
+        """
         self.start()
         plan_key = key if key is not None else self._default_key
         if plan_key is None:
@@ -213,14 +239,18 @@ class InferenceService:
         with self._lock:
             request_id = self._next_id
             self._next_id += 1
-        request = ServeRequest(id=request_id, key=plan_key, x=np.asarray(x))
+        request = ServeRequest(id=request_id, key=plan_key, x=np.asarray(x),
+                               klass=klass, deadline_ms=deadline_ms)
         if self.tracer is not None:
             self._begin_trace(request)
         self.stats.record_submit()
         try:
             self.scheduler.submit(request)
-        except Exception:
-            self.stats.record_rejection()
+        except Exception as exc:
+            if isinstance(exc, ServeShedError):
+                self.stats.record_shed()
+            else:
+                self.stats.record_rejection()
             if request.tracer is not None:
                 request.tracer.end(request.enqueue_span, status="rejected")
                 request.tracer.end(request.root_span, status="rejected")
@@ -275,6 +305,10 @@ class InferenceService:
             lines.append(f"  - {plan.describe()}")
         if self.pool.respawns:
             lines.append(f"  workers  : {self.pool.respawns} respawned")
+        if self.pool.scale_events:
+            lines.append(
+                f"  autoscale: {len(self.pool.scale_events)} events, "
+                f"{self.pool.workers} workers now")
         if self.tracer is not None:
             traces = self.tracer.trace_ids()
             complete = sum(1 for tid in traces if self.tracer.complete(tid))

@@ -51,8 +51,11 @@ class ServeStats:
         self._lock = threading.Lock()
         self.submitted = 0
         self.rejected = 0
+        self.shed = 0        # watermark sheds (a subset of rejected)
         self.completed = 0
         self.failed = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
         self.queue_wait_s = RollingQuantile(window=latency_window)
         self.execute_s = RollingQuantile(window=latency_window)
         self.latency_s = RollingQuantile(window=latency_window)
@@ -85,6 +88,22 @@ class ServeStats:
         with self._lock:
             self.rejected += n
         self.timeline.record("serve.rejected", n)
+
+    def record_shed(self, n: int = 1) -> None:
+        """Watermark sheds: counted as rejections, tallied separately."""
+        with self._lock:
+            self.rejected += n
+            self.shed += n
+        self.timeline.record("serve.shed", n)
+
+    def record_scale(self, event: Any) -> None:
+        """One applied :class:`~repro.serve.autoscale.ScaleEvent`."""
+        with self._lock:
+            if event.action == "up":
+                self.scale_ups += 1
+            else:
+                self.scale_downs += 1
+        self.timeline.record(f"serve.scale_{event.action}")
 
     def record_aborts(self, n: int) -> None:
         """Requests failed without executing (e.g. abort at shutdown)."""
@@ -147,6 +166,7 @@ class ServeStats:
             "p50": window.quantile(50) * 1e3,
             "p95": window.quantile(95) * 1e3,
             "p99": window.quantile(99) * 1e3,
+            "p999": window.quantile(99.9) * 1e3,
         }
 
     def summary(self) -> Dict[str, Any]:
@@ -155,9 +175,15 @@ class ServeStats:
                          for size, count in sorted(self.batch_sizes.items())}
             counts = {"submitted": self.submitted, "rejected": self.rejected,
                       "completed": self.completed, "failed": self.failed}
+            shed, ups, downs = self.shed, self.scale_ups, self.scale_downs
             monitors = list(self.slos)
         out = {
             **counts,
+            "shed": shed,
+            "shed_rate": (shed / counts["submitted"]
+                          if counts["submitted"] else 0.0),
+            "scale_ups": ups,
+            "scale_downs": downs,
             "pending": (counts["submitted"] - counts["rejected"]
                         - counts["completed"] - counts["failed"]),
             "requests_per_s": self.requests_per_s(),
@@ -178,8 +204,8 @@ class ServeStats:
         lines = [
             "serving stats",
             f"  requests : {s['submitted']} submitted, {s['completed']} ok, "
-            f"{s['failed']} failed, {s['rejected']} rejected, "
-            f"{s['pending']} pending",
+            f"{s['failed']} failed, {s['rejected']} rejected "
+            f"({s['shed']} shed), {s['pending']} pending",
             f"  rate     : {s['requests_per_s']:.1f} requests/s over "
             f"{s['elapsed_s'] * 1e3:.1f} ms",
             "  queue    : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
@@ -187,8 +213,11 @@ class ServeStats:
             "  execute  : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
             .format(**s["execute_ms"]),
             "  latency  : p50 {p50:.2f} ms  p95 {p95:.2f} ms  p99 {p99:.2f} ms"
-            .format(**s["latency_ms"]),
+            "  p99.9 {p999:.2f} ms".format(**s["latency_ms"]),
         ]
+        if s["scale_ups"] or s["scale_downs"]:
+            lines.append(f"  scaling  : {s['scale_ups']} ups, "
+                         f"{s['scale_downs']} downs")
         if s["batch_size_histogram"]:
             body = "  ".join(f"{size}x{count}" for size, count
                              in s["batch_size_histogram"].items())

@@ -30,6 +30,8 @@ from ..errors import ConfigError, SimFaultError
 from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
 from ..faults.spec import TRANSFER_CORRUPT
+from .autoscale import Autoscaler, AutoscalePolicy, ScaleEvent
+from .clock import SYSTEM_CLOCK, Clock, SystemClock
 from .plan import CompiledPlan
 from .scheduler import BatchScheduler, ServeRequest
 from .stats import ServeStats
@@ -114,11 +116,16 @@ class WorkerPool:
                  retry: Optional[RetryPolicy] = None,
                  faults: Optional[FaultInjector] = None,
                  stats: Optional[ServeStats] = None,
-                 stall_s_per_cycle: float = STALL_S_PER_CYCLE):
+                 stall_s_per_cycle: float = STALL_S_PER_CYCLE,
+                 autoscale: Optional[AutoscalePolicy] = None,
+                 clock: Optional[Clock] = None,
+                 tick_s: float = 0.02):
         if workers < 0:
             raise ConfigError("workers must be >= 0", workers=workers)
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}", mode=mode)
+        if tick_s <= 0:
+            raise ConfigError("tick_s must be positive", tick_s=tick_s)
         self.scheduler = scheduler
         self.resolve_plan = resolve_plan
         self.workers = workers
@@ -127,9 +134,16 @@ class WorkerPool:
         self.faults = faults
         self.stats = stats
         self.stall_s_per_cycle = stall_s_per_cycle
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.tick_s = tick_s
+        self.autoscaler = (Autoscaler(autoscale, workers=workers)
+                           if autoscale is not None else None)
+        if self.autoscaler is not None:
+            self.workers = self.autoscaler.workers
         self.respawns = 0
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        self._seats: Dict[int, threading.Thread] = {}
         self._started = False
         #: test hook: callable(worker_id, batch); an exception it raises is
         #: an "unexpected worker death" exercising requeue + respawn
@@ -144,12 +158,73 @@ class WorkerPool:
             self._started = True
             for wid in range(self.workers):
                 self._spawn(wid)
+            # The live supervisor only makes sense on real time; a
+            # ManualClock pool is driven by explicit scale_tick() calls
+            # (tests, the virtual-time soak), where a background ticker
+            # would race the deterministic schedule.
+            if (self.autoscaler is not None
+                    and isinstance(self.clock, SystemClock)):
+                supervisor = threading.Thread(target=self._supervise,
+                                              name="serve-autoscaler",
+                                              daemon=True)
+                self._threads.append(supervisor)
+                supervisor.start()
 
     def _spawn(self, wid: int) -> None:
         thread = threading.Thread(target=self._run, args=(wid,),
                                   name=f"serve-worker-{wid}", daemon=True)
         self._threads.append(thread)
+        self._seats[wid] = thread
         thread.start()
+
+    # -- autoscaling -----------------------------------------------------------
+
+    @property
+    def scale_events(self) -> List[ScaleEvent]:
+        return [] if self.autoscaler is None else list(self.autoscaler.events)
+
+    def scale_tick(self, now: Optional[float] = None) -> Optional[ScaleEvent]:
+        """Run one autoscaling observation and apply its decision.
+
+        The live supervisor thread calls this every ``tick_s``; tests
+        and the soak harness call it directly with an explicit ``now``
+        so scaling decisions replay deterministically.
+        """
+        if self.autoscaler is None:
+            return None
+        t = self.clock.now() if now is None else now
+        with self._lock:
+            if not self._started:
+                return None
+            event = self.autoscaler.observe(self.scheduler.depth, t)
+            if event is not None:
+                self.workers = event.workers_to
+                if event.action == "up":
+                    for wid in range(event.workers_from, event.workers_to):
+                        seat = self._seats.get(wid)
+                        if seat is None or not seat.is_alive():
+                            self._spawn(wid)
+        if event is not None:
+            obs.add_counter(f"serve.scale_{event.action}")
+            if self.stats is not None:
+                self.stats.record_scale(event)
+        return event
+
+    def _supervise(self) -> None:
+        import time
+
+        while True:
+            if self.scheduler.closed and self.scheduler.depth == 0:
+                return
+            self.scale_tick()
+            time.sleep(self.tick_s)
+
+    def _should_retire(self, wid: int) -> bool:
+        """Scale-down retirement: seats at/above the target count exit."""
+        if self.autoscaler is None:
+            return False
+        with self._lock:
+            return wid >= self.workers
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for every worker to exit (scheduler must be closed)."""
@@ -168,9 +243,14 @@ class WorkerPool:
 
     def _run(self, wid: int) -> None:
         clients: Dict[Any, _ProcessClient] = {}
+        # autoscaling pools poll with a bounded wait so retired seats
+        # notice the lowered target; fixed pools block indefinitely
+        timeout = self.tick_s if self.autoscaler is not None else None
         try:
             while True:
-                batch = self.scheduler.next_batch()
+                if self._should_retire(wid):
+                    return
+                batch = self.scheduler.next_batch(timeout)
                 if batch is None:
                     return
                 if not batch:
@@ -188,6 +268,9 @@ class WorkerPool:
                     obs.add_counter("serve.worker_respawns")
                     return
         finally:
+            with self._lock:
+                if self._seats.get(wid) is threading.current_thread():
+                    del self._seats[wid]
             for client in clients.values():
                 client.close()
 
@@ -221,6 +304,9 @@ class WorkerPool:
                       network=plan.network.name):
             outs = self._run_with_retry(plan, execute, batch, exec_spans)
         exec_s = time.perf_counter() - t0
+        # feed the admission controller's service-rate EWMA (estimated
+        # wait watermark + retry-after hints)
+        self.scheduler.note_service(len(batch), exec_s)
         failed = 0
         for request, out in zip(batch, outs):
             if request.tracer is not None:
@@ -293,7 +379,8 @@ class WorkerPool:
                     outs[idx] = self.retry.exhausted(site, TRANSFER_CORRUPT,
                                                      request=rid)
                     break
-                injector.record_retry(site, self.retry.backoff_cycles(attempt))
+                injector.record_retry(
+                    site, self.retry.backoff_cycles(attempt, site=site))
                 obs.add_counter("serve.retries")
                 if request.tracer is not None:
                     request.tracer.instant(

@@ -1,0 +1,146 @@
+"""RC6xx soak-report checks: a clean report passes, seeded defects pin codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.check import check_soak_report_dict, check_soak_report_file
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def _clean_report() -> dict:
+    """A minimal well-formed soak report (hand-built, no soak run)."""
+    return {
+        "bench": "serve_soak",
+        "config": {"requests": 100, "min_workers": 1, "max_workers": 4},
+        "counts": {"submitted": 100, "completed": 90, "shed": 6,
+                   "rejected": 4, "guaranteed_shed": 0,
+                   "wrong_answers": 0, "spot_checks": 10},
+        "shed_rate": 0.1,
+        "latency_ms": {"p50": 1.0, "p99": 4.0, "p999": 9.0, "max": 12.0},
+        "queue_wait_ms": {"p50": 0.5, "p99": 2.0, "p999": 3.0, "max": 3.5},
+        "scale_events": [
+            {"t": 0.5, "action": "up", "workers_from": 1, "workers_to": 2,
+             "depth": 9, "reason": "sustained_backlog"},
+            {"t": 2.5, "action": "down", "workers_from": 2, "workers_to": 1,
+             "depth": 0, "reason": "idle"},
+        ],
+    }
+
+
+@pytest.fixture()
+def report():
+    return copy.deepcopy(_clean_report())
+
+
+class TestCleanReport:
+    def test_passes(self, report):
+        assert check_soak_report_dict(report) == []
+
+    def test_file_round_trip_passes(self, report, tmp_path):
+        path = tmp_path / "soak.json"
+        path.write_text(json.dumps(report))
+        assert check_soak_report_file(path) == []
+
+
+class TestRC601Malformed:
+    def test_non_object(self):
+        assert codes(check_soak_report_dict([1, 2])) == ["RC601"]
+
+    def test_missing_required_field(self, report):
+        del report["shed_rate"]
+        assert codes(check_soak_report_dict(report)) == ["RC601"]
+
+    def test_count_that_is_not_a_count(self, report):
+        report["counts"]["completed"] = -1
+        assert codes(check_soak_report_dict(report)) == ["RC601"]
+        report["counts"]["completed"] = True
+        assert codes(check_soak_report_dict(report)) == ["RC601"]
+
+    def test_malformed_scale_event(self, report):
+        report["scale_events"].append({"action": "sideways"})
+        assert "RC601" in codes(check_soak_report_dict(report))
+
+    def test_malformed_quantiles(self, report):
+        report["latency_ms"] = {"p50": 1.0}
+        assert "RC601" in codes(check_soak_report_dict(report))
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "soak.json"
+        path.write_text("{not json")
+        assert codes(check_soak_report_file(path)) == ["RC601"]
+        assert codes(check_soak_report_file(tmp_path / "nope.json")) \
+            == ["RC601"]
+
+
+class TestRC602WrongAnswers:
+    def test_wrong_answers_flagged(self, report):
+        report["counts"]["wrong_answers"] = 2
+        assert "RC602" in codes(check_soak_report_dict(report))
+
+
+class TestRC603Accounting:
+    def test_unbalanced_resolution(self, report):
+        report["counts"]["completed"] = 89  # one request vanished
+        assert codes(check_soak_report_dict(report)) == ["RC603"]
+
+    def test_more_wrong_than_checked(self, report):
+        report["counts"]["wrong_answers"] = 11
+        got = codes(check_soak_report_dict(report))
+        assert "RC603" in got and "RC602" in got
+
+    def test_shed_rate_mismatch(self, report):
+        report["shed_rate"] = 0.5
+        assert codes(check_soak_report_dict(report)) == ["RC603"]
+        report["shed_rate"] = "lots"
+        assert codes(check_soak_report_dict(report)) == ["RC603"]
+
+
+class TestRC604GuaranteedShed:
+    def test_guaranteed_shed_flagged(self, report):
+        report["counts"]["guaranteed_shed"] = 1
+        assert codes(check_soak_report_dict(report)) == ["RC604"]
+
+
+class TestRC605ScaleEvents:
+    def test_direction_contradicts_action(self, report):
+        report["scale_events"][0]["action"] = "down"
+        assert "RC605" in codes(check_soak_report_dict(report))
+
+    def test_bounds_violation(self, report):
+        report["scale_events"][0]["workers_to"] = 9
+        got = check_soak_report_dict(report)
+        assert "RC605" in codes(got)
+        assert any("bounds" in d.message for d in got)
+
+    def test_broken_chain(self, report):
+        report["scale_events"][1]["workers_from"] = 3
+        got = check_soak_report_dict(report)
+        assert any("chain" in d.message for d in got)
+
+    def test_bounds_skipped_without_config(self, report):
+        del report["config"]["min_workers"]
+        report["scale_events"][0]["workers_to"] = 9
+        # direction still checks out; only the chain now breaks
+        got = codes(check_soak_report_dict(report))
+        assert got == ["RC605"]
+
+
+class TestRC606Percentiles:
+    def test_non_monotone_latency(self, report):
+        report["latency_ms"]["p99"] = 100.0
+        assert codes(check_soak_report_dict(report)) == ["RC606"]
+
+    def test_non_monotone_queue_wait(self, report):
+        report["queue_wait_ms"]["max"] = 0.0
+        assert codes(check_soak_report_dict(report)) == ["RC606"]
+
+    def test_tiny_float_noise_is_tolerated(self, report):
+        report["latency_ms"]["p99"] = report["latency_ms"]["p999"] + 1e-12
+        assert check_soak_report_dict(report) == []

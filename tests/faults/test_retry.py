@@ -28,6 +28,56 @@ class TestBackoff:
             RetryPolicy().backoff_cycles(0)
 
 
+class TestJitter:
+    def test_default_policy_keeps_the_classic_schedule(self):
+        # jitter defaults off: the pinned geometric sequence is untouched
+        policy = RetryPolicy()
+        assert [policy.backoff_cycles(a, site="serve[3]")
+                for a in (1, 2, 3, 4)] == [8, 16, 32, 64]
+
+    def test_same_seed_same_site_is_byte_identical(self):
+        a = RetryPolicy(jitter=0.5, seed=7)
+        b = RetryPolicy(jitter=0.5, seed=7)
+        seq = [a.backoff_cycles(n, site="channel[load]#2")
+               for n in range(1, 9)]
+        assert seq == [b.backoff_cycles(n, site="channel[load]#2")
+                       for n in range(1, 9)]
+
+    def test_sites_decorrelate(self):
+        policy = RetryPolicy(jitter=1.0, seed=0)
+        seqs = {site: tuple(policy.backoff_cycles(n, site=site)
+                            for n in range(1, 9))
+                for site in ("serve[0]", "serve[1]", "serve[2]")}
+        assert len(set(seqs.values())) == 3  # no thundering herd
+
+    def test_seed_changes_the_stream(self):
+        base = [RetryPolicy(jitter=1.0, seed=1).backoff_cycles(n, site="s")
+                for n in range(1, 9)]
+        other = [RetryPolicy(jitter=1.0, seed=2).backoff_cycles(n, site="s")
+                 for n in range(1, 9)]
+        assert base != other
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_cycles=100, multiplier=2.0,
+                             max_backoff_cycles=1024, jitter=0.5, seed=3)
+        for attempt in range(1, 12):
+            nominal = min(int(100 * 2.0 ** (attempt - 1)), 1024)
+            got = policy.backoff_cycles(attempt, site=f"serve[{attempt}]")
+            # +-25% of nominal (rounding slack of 1), never over the cap
+            assert abs(got - nominal) <= nominal * 0.25 + 1
+            assert 0 <= got <= 1024
+
+    def test_zero_nominal_stays_zero(self):
+        policy = RetryPolicy(base_cycles=0, jitter=1.0)
+        assert policy.backoff_cycles(1, site="x") == 0
+
+    def test_jitter_outside_unit_interval_is_diagnosed(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+
+
 class TestValidation:
     def test_max_attempts_at_least_one(self):
         with pytest.raises(ConfigError):

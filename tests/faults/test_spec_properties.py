@@ -1,0 +1,115 @@
+"""Property tests for the fault-plan DSL: parse/str round-trips.
+
+Hypothesis generates plans across the whole parameter space; the pinned
+example-based tests in test_spec.py stay the readable specification,
+these guard the corners (extreme floats, clause ordering, overrides).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ConfigError  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.faults.spec import _SCHEMAS  # noqa: E402
+
+COMMON = settings(max_examples=50, deadline=None)
+
+_probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_cycles = st.integers(min_value=0, max_value=10**9)
+_stages = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.-",
+                  min_size=1, max_size=16)
+_factors = st.floats(min_value=0.0, max_value=1.0, exclude_min=True,
+                     allow_nan=False)
+
+
+@st.composite
+def _clause(draw) -> str:
+    """One valid textual clause, possibly leaving params at defaults."""
+    kind = draw(st.sampled_from(sorted(_SCHEMAS)))
+    pools = {
+        "dram_stall": {"p": _probs, "cycles": _cycles},
+        "bandwidth_degrade": {"factor": _factors, "after_cycle": _cycles},
+        "stage_stall": {"p": _probs, "cycles": _cycles, "stage": _stages},
+        "transfer_corrupt": {"p": _probs},
+    }[kind]
+    chosen = draw(st.sets(st.sampled_from(sorted(pools))))
+    body = ",".join(f"{name}={draw(pools[name])}" for name in sorted(chosen))
+    return f"{kind}:{body}" if body else kind
+
+
+@st.composite
+def _plan_text(draw) -> str:
+    return ";".join(draw(st.lists(_clause(), min_size=1, max_size=4)))
+
+
+class TestRoundTrip:
+    @COMMON
+    @given(text=_plan_text(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_parse_str_parse_is_identity(self, text, seed):
+        plan = FaultPlan.parse(text, seed=seed)
+        assert FaultPlan.parse(str(plan), seed=seed) == plan
+
+    @COMMON
+    @given(text=_plan_text())
+    def test_str_is_a_fixed_point(self, text):
+        rendered = str(FaultPlan.parse(text))
+        assert str(FaultPlan.parse(rendered)) == rendered
+
+    @COMMON
+    @given(text=_plan_text())
+    def test_at_most_one_spec_per_kind(self, text):
+        plan = FaultPlan.parse(text)
+        assert len(plan.kinds) == len(set(plan.kinds))
+
+    @COMMON
+    @given(first=_clause(), second=_clause())
+    def test_later_clause_overrides_earlier_same_kind(self, first, second):
+        a = FaultPlan.parse(first)
+        b = FaultPlan.parse(second)
+        combined = FaultPlan.parse(f"{first};{second}")
+        if a.kinds == b.kinds:  # same kind: the later clause wins outright
+            assert combined.specs == b.specs
+        else:
+            assert combined.spec(b.kinds[0]) == b.specs[0]
+
+
+class TestMalformed:
+    @COMMON
+    @given(kind=st.text(min_size=1, max_size=12).filter(
+        lambda s: s.strip() and s.strip() not in _SCHEMAS
+        and ";" not in s and ":" not in s))
+    def test_unknown_kind_is_diagnosed(self, kind):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(f"{kind}:p=0.1")
+
+    @COMMON
+    @given(p=st.floats(allow_nan=False).filter(lambda v: not 0.0 <= v <= 1.0),
+           kind=st.sampled_from(["dram_stall", "stage_stall",
+                                 "transfer_corrupt"]))
+    def test_out_of_range_probability_is_diagnosed(self, p, kind):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(f"{kind}:p={p}")
+
+    @COMMON
+    @given(param=st.text(alphabet="abcdefghijklmnopqrstuvwxyz",
+                         min_size=1, max_size=8).filter(
+        lambda s: s not in _SCHEMAS["dram_stall"]))
+    def test_unknown_parameter_is_diagnosed(self, param):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(f"dram_stall:{param}=1")
+
+    @COMMON
+    @given(raw=st.text(max_size=6).filter(
+        lambda s: not s.strip() or "=" in s or ";" in s or ":" in s))
+    def test_garbage_never_parses_silently(self, raw):
+        try:
+            plan = FaultPlan.parse(f"dram_stall:p={raw}")
+        except ConfigError:
+            return
+        # if it parsed, the value must have been a real float
+        assert isinstance(plan.spec("dram_stall").param("p"), float)

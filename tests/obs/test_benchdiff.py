@@ -47,6 +47,17 @@ class TestDirection:
         # is a latency, and per_s beats _s-style confusion the same way
         assert direction("requests_per_s") == +1
 
+    @pytest.mark.parametrize("path", [
+        "shed_rate",
+        "counts.shed",
+        "counts.wrong_answers",
+        "counts.guaranteed_shed",
+        "latency_ms.p999",
+    ])
+    def test_soak_metrics_read_lower_is_better(self, path):
+        # the overload-soak report's headline metrics all improve downward
+        assert direction(path) == -1
+
 
 class TestMetricDelta:
     def test_regressed_lower_is_better(self):

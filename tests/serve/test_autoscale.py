@@ -1,0 +1,126 @@
+"""The autoscaler state machine: hysteresis, cooldown, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import Autoscaler, AutoscalePolicy
+
+
+def _policy(**kwargs) -> AutoscalePolicy:
+    base = dict(min_workers=1, max_workers=4, backlog_per_worker=4.0,
+                sustain_s=0.2, idle_s=0.5, cooldown_s=0.3)
+    base.update(kwargs)
+    return AutoscalePolicy(**base)
+
+
+class TestScaleUp:
+    def test_sustained_backlog_scales_up(self):
+        scaler = Autoscaler(_policy())
+        assert scaler.observe(10, 0.0) is None     # pressure starts
+        assert scaler.observe(10, 0.1) is None     # not sustained yet
+        event = scaler.observe(10, 0.25)
+        assert event is not None and event.action == "up"
+        assert (event.workers_from, event.workers_to) == (1, 2)
+        assert event.reason == "sustained_backlog"
+        assert scaler.workers == 2
+
+    def test_transient_burst_does_not_scale(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(10, 0.0)
+        scaler.observe(2, 0.1)    # pressure relents: trend resets
+        assert scaler.observe(10, 0.25) is None
+        assert scaler.workers == 1
+
+    def test_never_exceeds_max_workers(self):
+        scaler = Autoscaler(_policy(max_workers=2), workers=2)
+        scaler.observe(100, 0.0)
+        assert scaler.observe(100, 1.0) is None
+        assert scaler.workers == 2
+
+    def test_pressure_threshold_scales_with_worker_count(self):
+        scaler = Autoscaler(_policy(), workers=2)
+        scaler.observe(7, 0.0)                  # 7 < 4.0 * 2: no pressure
+        assert scaler.observe(7, 1.0) is None
+        scaler.observe(8, 2.0)                  # 8 >= 4.0 * 2: pressure
+        assert scaler.observe(8, 2.3).action == "up"
+
+
+class TestScaleDown:
+    def test_sustained_idle_scales_down(self):
+        scaler = Autoscaler(_policy(), workers=3)
+        scaler.observe(0, 0.0)
+        assert scaler.observe(0, 0.4) is None   # idle_s not reached
+        event = scaler.observe(0, 0.6)
+        assert event.action == "down" and event.reason == "idle"
+        assert scaler.workers == 2
+
+    def test_never_drops_below_min_workers(self):
+        scaler = Autoscaler(_policy(min_workers=2), workers=2)
+        scaler.observe(0, 0.0)
+        assert scaler.observe(0, 10.0) is None
+        assert scaler.workers == 2
+
+    def test_midband_depth_resets_the_idle_trend(self):
+        scaler = Autoscaler(_policy(), workers=3)
+        scaler.observe(0, 0.0)
+        scaler.observe(2, 0.3)   # neither idle nor pressured: hysteresis
+        assert scaler.observe(0, 0.6) is None   # idle clock restarted
+        assert scaler.workers == 3
+
+
+class TestCooldown:
+    def test_actions_respect_the_cooldown_gap(self):
+        scaler = Autoscaler(_policy(cooldown_s=1.0))
+        scaler.observe(100, 0.0)
+        first = scaler.observe(100, 0.25)
+        assert first.action == "up"
+        assert scaler.observe(100, 0.5) is None      # cooling down
+        assert scaler.observe(100, 0.9) is None
+        second = scaler.observe(100, 1.5)
+        assert second is not None and second.workers_to == 3
+
+    def test_event_log_chains_and_counts(self):
+        scaler = Autoscaler(_policy(cooldown_s=0.0, sustain_s=0.0,
+                                    idle_s=0.0))
+        scaler.observe(100, 0.1)
+        scaler.observe(100, 0.2)
+        scaler.observe(0, 0.3)
+        assert [e.action for e in scaler.events] == ["up", "up", "down"]
+        assert scaler.scale_ups == 2 and scaler.scale_downs == 1
+        for prev, cur in zip(scaler.events, scaler.events[1:]):
+            assert cur.workers_from == prev.workers_to
+
+
+class TestDeterminism:
+    def test_identical_observations_identical_events(self):
+        observations = [(int(abs(10 - i % 20) * 1.5), i * 0.05)
+                        for i in range(200)]
+        runs = []
+        for _ in range(2):
+            scaler = Autoscaler(_policy())
+            for depth, now in observations:
+                scaler.observe(depth, now)
+            runs.append([e.to_dict() for e in scaler.events])
+        assert runs[0] == runs[1]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_workers": -1},
+        {"max_workers": 0},
+        {"min_workers": 5, "max_workers": 3},
+        {"backlog_per_worker": 0.0},
+        {"sustain_s": -1.0},
+        {"cooldown_s": -0.1},
+        {"step": 0},
+    ])
+    def test_bad_policy_is_diagnosed(self, kwargs):
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(**kwargs)
+
+    def test_initial_workers_clamped_to_bounds(self):
+        assert Autoscaler(_policy(), workers=100).workers == 4
+        assert Autoscaler(_policy(min_workers=2), workers=0).workers == 2
+        assert Autoscaler(_policy()).workers == 1

@@ -1,0 +1,103 @@
+"""Open-loop load generation: seeded, shaped, byte-identical per seed."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (GUARANTEED, SHEDDABLE, TRACE_KINDS, burst_trace,
+                         diurnal_trace, make_trace, poisson_trace)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_same_seed_same_trace(self, kind):
+        a = make_trace(kind, 500, 100.0, seed=7, networks=3)
+        b = make_trace(kind, 500, 100.0, seed=7, networks=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = poisson_trace(200, 100.0, seed=1)
+        b = poisson_trace(200, 100.0, seed=2)
+        assert a != b
+
+
+class TestShapes:
+    def test_arrival_times_strictly_increase(self):
+        trace = poisson_trace(1000, 500.0, seed=3)
+        times = [a.t for a in trace]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_poisson_mean_rate_is_close(self):
+        trace = poisson_trace(20_000, 1000.0, seed=0)
+        observed = len(trace) / trace[-1].t
+        assert observed == pytest.approx(1000.0, rel=0.05)
+
+    def test_diurnal_rate_swings_with_the_period(self):
+        period = 10.0
+        trace = diurnal_trace(40_000, 1000.0, seed=0, period_s=period,
+                              depth=0.8)
+        # count arrivals in the peak vs trough quarter of each period
+        peak = trough = 0
+        for arrival in trace:
+            phase = (arrival.t % period) / period
+            if 0.125 <= phase < 0.375:      # around sin max
+                peak += 1
+            elif 0.625 <= phase < 0.875:    # around sin min
+                trough += 1
+        assert peak > 3 * trough
+
+    def test_burst_packs_arrivals_into_burst_windows(self):
+        trace = burst_trace(20_000, 500.0, seed=0, burst_every_s=5.0,
+                            burst_len_s=1.0, burst_factor=8.0)
+        in_burst = sum(1 for a in trace if (a.t % 5.0) < 1.0)
+        # burst windows are 20% of the time but see 8x the rate:
+        # expect 8 / (8 + 4) = 2/3 of arrivals inside them
+        assert in_burst / len(trace) == pytest.approx(2 / 3, abs=0.05)
+
+    def test_guaranteed_fraction_is_respected(self):
+        trace = poisson_trace(20_000, 1000.0, seed=1,
+                              guaranteed_fraction=0.25)
+        guaranteed = sum(1 for a in trace if a.klass == GUARANTEED)
+        assert guaranteed / len(trace) == pytest.approx(0.25, abs=0.02)
+        assert all(a.klass in (GUARANTEED, SHEDDABLE) for a in trace)
+
+    def test_networks_are_covered(self):
+        trace = poisson_trace(1000, 100.0, seed=0, networks=3)
+        assert {a.network for a in trace} == {0, 1, 2}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0},
+        {"rate_rps": 0.0},
+        {"rate_rps": -5.0},
+        {"guaranteed_fraction": 1.5},
+        {"networks": 0},
+    ])
+    def test_bad_arguments_are_diagnosed(self, kwargs):
+        base = {"n": 10, "rate_rps": 10.0}
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            poisson_trace(base.pop("n"), base.pop("rate_rps"), **base)
+
+    def test_unknown_kind_is_diagnosed(self):
+        with pytest.raises(ConfigError):
+            make_trace("sawtooth", 10, 10.0)
+
+    def test_burst_longer_than_period_is_diagnosed(self):
+        with pytest.raises(ConfigError):
+            burst_trace(10, 10.0, burst_every_s=1.0, burst_len_s=2.0)
+
+    def test_diurnal_depth_must_stay_below_one(self):
+        with pytest.raises(ConfigError):
+            diurnal_trace(10, 10.0, depth=1.0)
+
+    def test_arrival_serializes(self):
+        arrival = poisson_trace(1, 10.0, seed=0)[0]
+        data = arrival.to_dict()
+        assert set(data) == {"t", "klass", "network"}
+        assert math.isfinite(data["t"])

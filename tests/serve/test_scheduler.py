@@ -7,12 +7,16 @@ import time
 
 import pytest
 
-from repro.errors import ConfigError, ServeOverloadError, SimFaultError
-from repro.serve import BatchScheduler, ServeRequest
+from repro.errors import (ConfigError, ServeOverloadError, ServeShedError,
+                          SimFaultError)
+from repro.serve import (GUARANTEED, SHEDDABLE, AdmissionPolicy,
+                         BatchScheduler, ManualClock, ServeRequest)
 
 
-def _request(rid: int, key: str = "k") -> ServeRequest:
-    return ServeRequest(id=rid, key=key, x=None)
+def _request(rid: int, key: str = "k", klass: str = SHEDDABLE,
+             deadline_ms=None) -> ServeRequest:
+    return ServeRequest(id=rid, key=key, x=None, klass=klass,
+                        deadline_ms=deadline_ms)
 
 
 class TestAdmission:
@@ -37,6 +41,152 @@ class TestAdmission:
         sched.requeue([_request(10), _request(11)])  # over max_queue: allowed
         batch = sched.next_batch(timeout=1.0)
         assert [r.id for r in batch] == [10, 11, 0, 1]
+
+
+class TestWatermarkShedding:
+    def _sched(self, **kwargs) -> BatchScheduler:
+        policy = AdmissionPolicy(max_queue=4, shed_depth_fraction=0.5,
+                                 **kwargs)
+        return BatchScheduler(max_batch=8, max_wait_ms=1000, admission=policy)
+
+    def test_sheddable_sheds_at_depth_watermark(self):
+        sched = self._sched()
+        sched.submit(_request(0))
+        sched.submit(_request(1))  # depth watermark = ceil(0.5 * 4) = 2
+        with pytest.raises(ServeShedError) as info:
+            sched.submit(_request(2))
+        assert info.value.context["watermark"] == "depth_watermark"
+        assert sched.shed == 1
+
+    def test_shed_error_is_an_overload_error_with_retry_after(self):
+        sched = self._sched()
+        sched.note_service(10, 0.5)  # 50 ms per request
+        sched.submit(_request(0))
+        sched.submit(_request(1))
+        with pytest.raises(ServeOverloadError) as info:  # subclass contract
+            sched.submit(_request(2))
+        assert isinstance(info.value, ServeShedError)
+        assert info.value.retry_after_s == pytest.approx(0.1, rel=1e-3)
+
+    def test_guaranteed_admitted_past_watermark_until_hard_full(self):
+        sched = self._sched()
+        for rid in range(4):
+            sched.submit(_request(rid, klass=GUARANTEED))
+        with pytest.raises(ServeOverloadError) as info:
+            sched.submit(_request(4, klass=GUARANTEED))
+        assert not isinstance(info.value, ServeShedError)
+        assert "serving queue full" in str(info.value)
+
+    def test_wait_watermark_sheds_on_estimated_delay(self):
+        policy = AdmissionPolicy(max_queue=100, shed_wait_ms=10.0)
+        sched = BatchScheduler(max_wait_ms=1000, admission=policy)
+        sched.note_service(1, 0.02)  # 20 ms per request
+        sched.submit(_request(0))    # est. wait at depth 0 is 0: admitted
+        with pytest.raises(ServeShedError) as info:  # 1 * 20ms > 10ms
+            sched.submit(_request(1))
+        assert info.value.context["watermark"] == "wait_watermark"
+
+    def test_unknown_class_is_diagnosed(self):
+        sched = BatchScheduler()
+        with pytest.raises(ConfigError):
+            sched.submit(_request(0, klass="bronze"))
+
+    def test_default_policy_reproduces_legacy_hard_cap(self):
+        sched = BatchScheduler(max_queue=2, max_wait_ms=1000)
+        sched.submit(_request(0))
+        sched.submit(_request(1))
+        with pytest.raises(ServeOverloadError) as info:
+            sched.submit(_request(2))
+        assert not isinstance(info.value, ServeShedError)
+        assert sched.shed == 0
+
+
+class TestDeadlineBatching:
+    def test_deadline_sets_flush_before_budget_expiry(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=8, max_wait_ms=60_000, clock=clock,
+                               deadline_margin=0.5)
+        sched.submit(_request(0, deadline_ms=100.0))
+        request = sched._shards["k"][0]
+        assert request.deadline_s == pytest.approx(0.1)
+        assert request.flush_at_s == pytest.approx(0.05)  # budget - margin
+
+    def test_no_deadline_keeps_fixed_max_wait(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_wait_ms=7.0, clock=clock)
+        sched.submit(_request(0))
+        assert sched._shards["k"][0].flush_at_s == pytest.approx(0.007)
+
+    def test_default_deadline_applies_to_all_requests(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=4, max_wait_ms=60_000,
+                               default_deadline_ms=20.0, clock=clock)
+        sched.submit(_request(0))
+        assert sched._shards["k"][0].flush_at_s == pytest.approx(0.01)
+
+    def test_partial_batch_flushes_when_slack_runs_out(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=8, max_wait_ms=60_000, clock=clock)
+        sched.submit(_request(0, deadline_ms=10.0))
+        assert sched.poll() is None          # slack remains: keep batching
+        clock.advance(0.004)
+        assert sched.poll() is None
+        clock.advance(0.002)                 # past flush_at = 5 ms
+        batch = sched.poll()
+        assert [r.id for r in batch] == [0]
+        assert sched.deadline_flushes == 1
+
+    def test_measured_service_time_reserves_execute_headroom(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=4, max_wait_ms=60_000, clock=clock,
+                               deadline_margin=0.1)
+        sched.note_service(1, 0.01)  # 10 ms/item -> 40 ms per full batch
+        sched.submit(_request(0, deadline_ms=100.0))
+        # flush at deadline - max(10ms margin, 40ms estimate) = 60 ms
+        assert sched._shards["k"][0].flush_at_s == pytest.approx(0.06)
+
+    def test_negative_deadline_is_diagnosed(self):
+        sched = BatchScheduler()
+        with pytest.raises(ConfigError):
+            sched.submit(_request(0, deadline_ms=-1.0))
+
+
+class TestPromotionGuard:
+    def test_requeued_shard_preempts_full_shards(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=2, max_wait_ms=5.0, clock=clock)
+        # simulate the crash path: a request went out and came back
+        victim = _request(0, key="crashed")
+        sched.requeue([victim])
+        # meanwhile a busier plan keeps producing full batches
+        sched.submit(_request(1, key="busy"))
+        sched.submit(_request(2, key="busy"))
+        # the requeued head ages past promotion_factor * planned delay
+        clock.advance(1.0)
+        batch = sched.next_batch(timeout=0.01)
+        assert [r.id for r in batch] == [0]  # promoted over the full shard
+
+    def test_fresh_overdue_head_does_not_preempt_full_shard(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=2, max_wait_ms=5.0, clock=clock,
+                               promotion_factor=2.0)
+        sched.submit(_request(0, key="slow"))
+        clock.advance(0.006)   # overdue, but aged < 2x planned 5 ms delay
+        sched.submit(_request(1, key="busy"))
+        sched.submit(_request(2, key="busy"))
+        batch = sched.next_batch(timeout=0.01)
+        assert [r.id for r in batch] == [1, 2]  # full shard still wins
+
+    def test_starved_shard_is_promoted_without_a_requeue(self):
+        clock = ManualClock()
+        sched = BatchScheduler(max_batch=2, max_wait_ms=5.0, clock=clock,
+                               promotion_factor=2.0)
+        sched.submit(_request(0, key="starved"))
+        clock.advance(0.05)  # 10x the planned flush delay
+        sched.submit(_request(1, key="busy"))
+        sched.submit(_request(2, key="busy"))
+        batch = sched.next_batch(timeout=0.01)
+        assert [r.id for r in batch] == [0]
 
 
 class TestBatching:

@@ -5,9 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError, ServeOverloadError, SimFaultError
+from repro.errors import (ConfigError, ServeOverloadError, ServeShedError,
+                          SimFaultError)
 from repro.nn.zoo import nin_cifar
-from repro.serve import InferenceService, PlanCache, ServeStats, percentile
+from repro.obs.slo import SLOTarget
+from repro.serve import (GUARANTEED, AdmissionPolicy, AutoscalePolicy,
+                         InferenceService, PlanCache, ServeStats, percentile)
 
 
 class TestEdgeCases:
@@ -84,6 +87,87 @@ class TestOverload:
             svc.submit(inputs[1])
         assert "max_queue=1" in str(excinfo.value)
         svc.shutdown()
+
+
+class TestShedding:
+    def _svc(self, net) -> InferenceService:
+        return InferenceService(
+            net, workers=0, max_queue=4,
+            admission=AdmissionPolicy(max_queue=4, shed_depth_fraction=0.5))
+
+    def test_sheddable_requests_shed_at_the_watermark(self, net, inputs):
+        svc = self._svc(net)
+        svc.submit(inputs[0])
+        svc.submit(inputs[1])
+        with pytest.raises(ServeShedError) as info:
+            svc.submit(inputs[2])
+        assert info.value.retry_after_s >= 0.0
+        assert svc.stats.shed == 1
+        assert svc.stats.rejected == 1  # sheds are a kind of rejection
+        svc.shutdown()
+
+    def test_guaranteed_requests_ride_past_the_watermark(self, net, inputs):
+        svc = self._svc(net)
+        for x in inputs[:4]:
+            svc.submit(x, klass=GUARANTEED)
+        with pytest.raises(ServeOverloadError) as info:
+            svc.submit(inputs[4], klass=GUARANTEED)
+        assert not isinstance(info.value, ServeShedError)
+        assert svc.stats.shed == 0
+        svc.shutdown()
+
+    def test_shed_requests_are_not_counted_pending(self, net, inputs):
+        svc = self._svc(net)
+        svc.submit(inputs[0])
+        svc.submit(inputs[1])
+        with pytest.raises(ServeShedError):
+            svc.submit(inputs[2])
+        assert svc.stats.pending == 2
+        svc.shutdown()
+
+
+class TestDeadlinesAndScaling:
+    def test_deadline_ms_defaults_from_the_slo_target(self, net):
+        svc = InferenceService(net, workers=0, slo=SLOTarget(latency_ms=40.0))
+        assert svc.scheduler.default_deadline_ms == pytest.approx(40.0)
+        svc.shutdown()
+
+    def test_explicit_deadline_overrides_the_slo(self, net):
+        svc = InferenceService(net, workers=0, deadline_ms=15.0,
+                               slo=SLOTarget(latency_ms=40.0))
+        assert svc.scheduler.default_deadline_ms == pytest.approx(15.0)
+        svc.shutdown()
+
+    def test_per_request_deadline_reaches_the_scheduler(self, net, inputs):
+        svc = InferenceService(net, workers=0, max_wait_ms=60_000)
+        svc.submit(inputs[0], deadline_ms=30.0)
+        shard = next(iter(svc.scheduler._shards.values()))
+        assert shard[0].deadline_ms == pytest.approx(30.0)
+        svc.shutdown()
+
+    def test_autoscaled_service_serves_bit_exact(self, net, inputs, golden):
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 sustain_s=0.01, cooldown_s=0.01,
+                                 idle_s=10.0)
+        with InferenceService(net, workers=1, max_batch=2,
+                              autoscale=policy) as svc:
+            futures = svc.submit_batch(inputs)
+            outs = [f.result(timeout=60) for f in futures]
+        for out, ref in zip(outs, golden):
+            assert np.array_equal(out, ref)
+        assert 1 <= svc.pool.workers <= 3
+
+    def test_report_mentions_autoscaling_after_an_event(self, net, inputs):
+        policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                                 backlog_per_worker=1.0, sustain_s=0.0,
+                                 cooldown_s=0.0)
+        with InferenceService(net, workers=1, max_batch=2,
+                              autoscale=policy) as svc:
+            futures = svc.submit_batch(inputs)
+            for future in futures:
+                future.result(timeout=60)
+        if svc.pool.scale_events:
+            assert "autoscale:" in svc.report()
 
 
 class TestMultiNetwork:

@@ -1,0 +1,137 @@
+"""The virtual-time soak harness: determinism, resilience, correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.serve import AutoscalePolicy, PlanCache, run_soak
+from repro.serve.soak import SoakReport
+
+
+@pytest.fixture(scope="module")
+def cache():
+    """One compiled-plan cache shared across the module's soak runs."""
+    return PlanCache()
+
+
+def _soak(net, cache, requests=4000, **kwargs):
+    defaults = dict(trace="burst", rate_rps=1500.0, seed=11, max_queue=64,
+                    spot_check_every=0, cache=cache)
+    defaults.update(kwargs)
+    return run_soak([net], requests, **defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_shed_and_scale_sequences(self, net, cache):
+        a = _soak(net, cache)
+        b = _soak(net, cache)
+        assert a.shed_log == b.shed_log
+        assert a.scale_events == b.scale_events
+        assert a.counts == b.counts
+        assert a.latency_ms == b.latency_ms
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_changes_the_run(self, net, cache):
+        a = _soak(net, cache)
+        b = _soak(net, cache, seed=12)
+        assert a.shed_log != b.shed_log
+
+
+class TestResilience:
+    def test_burst_is_absorbed_by_scaling_and_shedding(self, net, cache):
+        report = _soak(net, cache, requests=8000, rate_rps=1000.0,
+                       trace_kwargs={"burst_every_s": 2.0,
+                                     "burst_len_s": 0.5,
+                                     "burst_factor": 8.0},
+                       autoscale=AutoscalePolicy(min_workers=1,
+                                                 max_workers=8,
+                                                 sustain_s=0.1,
+                                                 cooldown_s=0.2))
+        counts = report.counts
+        # every request resolves exactly once, nothing hangs
+        assert counts["completed"] + counts["shed"] + counts["rejected"] \
+            == counts["submitted"] == 8000
+        # overload is shed, not silently absorbed ...
+        assert counts["shed"] > 0
+        # ... but bounded: the pool still serves most of the load
+        assert report.shed_rate < 0.9
+        # the autoscaler reacted to the bursts
+        assert sum(1 for e in report.scale_events if e.action == "up") >= 1
+        # and the guaranteed class was never shed
+        assert counts["guaranteed_shed"] == 0
+
+    def test_guaranteed_class_only_fails_when_hard_full(self, net, cache):
+        report = _soak(net, cache, guaranteed_fraction=0.3)
+        assert report.counts["guaranteed_shed"] == 0
+
+    def test_faults_are_injected_and_answers_stay_right(self, net, cache):
+        plan = FaultPlan.parse("dram_stall:p=0.2;transfer_corrupt:p=0.1",
+                               seed=5)
+        report = _soak(net, cache, requests=3000, spot_check_every=250,
+                       faults=plan.injector())
+        assert report.faults_injected.get("dram_stall", 0) > 0
+        assert report.faults_injected.get("transfer_corrupt", 0) > 0
+        assert report.counts["spot_checks"] > 0
+        assert report.counts["wrong_answers"] == 0
+
+    def test_deadline_flushes_happen_under_light_load(self, net, cache):
+        report = _soak(net, cache, requests=200, rate_rps=50.0,
+                       trace="poisson", deadline_ms=10.0)
+        # light load never fills batches: flushes come from deadlines
+        assert report.counts["deadline_flushes"] > 0
+        assert report.shed_rate == 0.0
+
+
+class TestReport:
+    def test_report_passes_its_own_checker(self, net, cache):
+        from repro.check import check_soak_report_dict
+
+        report = _soak(net, cache, requests=2000, spot_check_every=500)
+        assert check_soak_report_dict(report.to_dict()) == []
+
+    def test_report_round_trips_through_json(self, net, cache, tmp_path):
+        import json
+
+        report = _soak(net, cache, requests=1000)
+        path = tmp_path / "soak.json"
+        report.save(path)
+        data = json.loads(path.read_text())
+        assert data["bench"] == "serve_soak"
+        assert data["counts"] == report.counts
+        assert data["scale_ups"] == sum(1 for e in report.scale_events
+                                        if e.action == "up")
+        assert set(data["latency_ms"]) == {"p50", "p99", "p999", "max",
+                                           "mean"}
+
+    def test_percentiles_are_monotone(self, net, cache):
+        report = _soak(net, cache)
+        q = report.latency_ms
+        assert q["p50"] <= q["p99"] <= q["p999"] <= q["max"]
+
+    def test_render_carries_the_ci_greppable_lines(self, net, cache):
+        report = _soak(net, cache, requests=1000, spot_check_every=100)
+        text = report.render()
+        assert "wrong answers: 0" in text
+        assert "shed rate:" in text
+        assert "guaranteed shed: 0" in text
+
+    def test_isinstance_of_report(self, net, cache):
+        assert isinstance(_soak(net, cache, requests=100), SoakReport)
+
+
+class TestValidation:
+    def test_no_networks_is_diagnosed(self):
+        with pytest.raises(ConfigError):
+            run_soak([], 10)
+
+    def test_bad_request_count_is_diagnosed(self, net, cache):
+        with pytest.raises(ConfigError):
+            run_soak([net], 0, cache=cache)
+
+    def test_bad_service_model_is_diagnosed(self, net, cache):
+        with pytest.raises(ConfigError):
+            _soak(net, cache, mean_service_ms=0.0)
+        with pytest.raises(ConfigError):
+            _soak(net, cache, spot_check_every=-1)

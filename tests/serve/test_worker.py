@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ConfigError, SimFaultError
 from repro.faults import FaultPlan, RetryPolicy
-from repro.serve import InferenceService
+from repro.serve import AutoscalePolicy, InferenceService, ManualClock
 
 
 class TestBitExactness:
@@ -110,6 +110,67 @@ class TestCrashRecovery:
             future.result(timeout=30)
         svc.shutdown()
         assert svc.pool.respawns == 2
+
+
+class TestAutoscaling:
+    def test_manual_clock_pool_scales_only_on_explicit_ticks(self, net,
+                                                             inputs):
+        """With a ManualClock no supervisor thread runs: scaling is
+        driven (deterministically) by explicit scale_tick calls."""
+        clock = ManualClock()
+        policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                                 backlog_per_worker=1.0, sustain_s=0.5,
+                                 cooldown_s=0.0)
+        svc = InferenceService(net, workers=1, max_wait_ms=60_000,
+                               max_batch=16, autoscale=policy, clock=clock)
+        svc.start()
+        assert not any(t.name == "serve-autoscaler"
+                       for t in svc.pool._threads)
+        for x in inputs[:8]:
+            svc.submit(x)
+        assert svc.pool.scale_tick() is None          # pressure starts
+        clock.advance(0.6)
+        event = svc.pool.scale_tick()                 # sustained: scale up
+        assert event is not None and event.action == "up"
+        assert svc.pool.workers == 2
+        assert svc.stats.scale_ups == 1
+        svc.shutdown()
+
+    def test_live_pool_scales_up_under_backlog_and_stays_exact(
+            self, net, inputs, golden):
+        policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                                 backlog_per_worker=1.0, sustain_s=0.0,
+                                 cooldown_s=0.0, idle_s=30.0)
+        with InferenceService(net, workers=1, max_batch=2,
+                              autoscale=policy) as svc:
+            futures = svc.submit_batch(inputs)
+            outs = [f.result(timeout=60) for f in futures]
+        for out, ref in zip(outs, golden):
+            assert np.array_equal(out, ref)
+        events = svc.pool.scale_events
+        for event in events:
+            assert policy.min_workers <= event.workers_to \
+                <= policy.max_workers
+
+    def test_scale_down_retires_worker_seats(self, net, inputs):
+        clock = ManualClock()
+        policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                                 idle_s=0.5, cooldown_s=0.0)
+        svc = InferenceService(net, workers=2, autoscale=policy, clock=clock)
+        svc.start()
+        assert svc.pool.scale_tick() is None    # idle trend begins
+        clock.advance(1.0)
+        event = svc.pool.scale_tick()           # idle the whole virtual second
+        assert event is not None and event.action == "down"
+        assert svc.pool.workers == 1
+        assert svc.stats.scale_downs == 1
+        svc.shutdown()
+
+    def test_bad_tick_is_diagnosed(self):
+        from repro.serve.worker import WorkerPool
+
+        with pytest.raises(ConfigError):
+            WorkerPool(None, None, tick_s=0.0)
 
 
 class TestValidation:

@@ -1,0 +1,72 @@
+"""DAG fusion: fused vs unfused DRAM traffic across the graph zoo.
+
+The paper's headline claim, extended to branchy networks: branch-aware
+fused-layer scheduling moves strictly less feature-map traffic than both
+the all-boundary schedule (every join is a DRAM materialization point)
+and the layer-by-layer baseline — on every zoo network, at the default
+ImageNet-scale input sizes.
+
+Results land in ``benchmarks/results/BENCH_graph.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.fusion import Strategy
+from repro.graph import GRAPH_ZOO, explore_graph
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_graph.json"
+
+
+def _row(config):
+    return {
+        "transfer_bytes": config.feature_transfer_bytes,
+        "storage_bytes": config.extra_storage_bytes,
+        "fused_layers": config.fused_layer_count,
+        "fused_joins": config.fused_join_count,
+    }
+
+
+def test_fused_dag_schedules_beat_unfused(record):
+    summary = {"bench": "graph_fusion", "strategy": "reuse", "networks": {}}
+    lines = []
+    for name in sorted(GRAPH_ZOO):
+        builder, _ = GRAPH_ZOO[name]
+        network = builder()  # default ImageNet-scale input size
+        result = explore_graph(network, strategy=Strategy.REUSE, tip=1)
+        chosen = result.chosen
+        boundary = result.all_boundary
+        lbl = result.layer_by_layer
+        summary["networks"][name] = {
+            "input_size": network.input_shape.height,
+            "nodes": len(network),
+            "segments": len(result.program.segments),
+            "chosen": _row(chosen),
+            "all_boundary": _row(boundary),
+            "layer_by_layer": _row(lbl),
+            "traffic_vs_layer_by_layer": round(
+                chosen.feature_transfer_bytes / lbl.feature_transfer_bytes,
+                3),
+        }
+        lines.append(
+            f"{name:12s} {chosen.feature_transfer_bytes / 2**20:8.2f} MB "
+            f"fused ({chosen.fused_layer_count:3d} layers) vs "
+            f"{boundary.feature_transfer_bytes / 2**20:8.2f} MB boundary vs "
+            f"{lbl.feature_transfer_bytes / 2**20:8.2f} MB layer-by-layer")
+
+        # The acceptance inequalities, strict on every network.
+        assert (chosen.feature_transfer_bytes
+                < boundary.feature_transfer_bytes), name
+        assert (boundary.feature_transfer_bytes
+                < lbl.feature_transfer_bytes), name
+        assert chosen.fused_layer_count > boundary.fused_layer_count, name
+        assert chosen.fused_join_count > 0, name
+        assert lbl.fused_layer_count == 0, name
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True)
+                            + "\n")
+    record("\n".join(lines), name="graph_fusion")
+    print(f"[written to {RESULTS_PATH}]")

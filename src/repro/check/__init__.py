@@ -25,6 +25,11 @@ from .analyzer import (
     check_pyramid_geometry,
 )
 from .diagnostics import CODES, CheckReport, Diagnostic, Severity, diag
+from .graph import (
+    check_graph_dict,
+    check_graph_network,
+    check_graph_plan_dict,
+)
 from .hazards import (
     check_channel_schedule,
     check_fused_schedule,
@@ -49,6 +54,9 @@ __all__ = [
     "check_channel_schedule",
     "check_compiled_plan",
     "check_fused_schedule",
+    "check_graph_dict",
+    "check_graph_network",
+    "check_graph_plan_dict",
     "check_group",
     "check_levels",
     "check_network",

@@ -95,6 +95,13 @@ CODES: Dict[str, tuple] = {
     "RC604": (Severity.ERROR, "guaranteed-class request was shed"),
     "RC605": (Severity.ERROR, "scale event outside worker bounds"),
     "RC606": (Severity.ERROR, "latency percentiles non-monotone"),
+    # -- RC7xx graphs ---------------------------------------------------------
+    "RC701": (Severity.ERROR, "dangling edge (input names no node)"),
+    "RC702": (Severity.ERROR, "cycle in graph"),
+    "RC703": (Severity.ERROR, "join operand shape/channel mismatch"),
+    "RC704": (Severity.ERROR, "lowering does not cover the graph"),
+    "RC705": (Severity.ERROR, "invalid graph node"),
+    "RC706": (Severity.ERROR, "invalid graph plan record"),
     # -- RL lint ------------------------------------------------------------
     "RL101": (Severity.ERROR, "bare ValueError/RuntimeError raise"),
     "RL201": (Severity.ERROR, "unseeded randomness in deterministic module"),

@@ -64,6 +64,14 @@ def check_plan_dict(data: Dict[str, Any],
     if not isinstance(data, dict):
         return [diag("RC408", f"plan record is {type(data).__name__}, "
                      "not an object", site=site)]
+    key_data = data.get("key")
+    if (isinstance(key_data, dict)
+            and key_data.get("family", "linear") == "graph"):
+        from .graph import check_graph_plan_dict
+
+        graph_network = (network if getattr(network, "plan_family", "linear")
+                         == "graph" else None)
+        return check_graph_plan_dict(data, network=graph_network, site=site)
     missing = [f for f in _PLAN_FIELDS if f not in data]
     if missing:
         return [diag("RC403", f"plan record is missing {missing}",

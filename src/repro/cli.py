@@ -9,7 +9,10 @@ Commands map one-to-one to the paper's evaluation artifacts::
     table2      VGGNet-E fused vs baseline accelerator comparison
     sec3c       reuse vs recompute strategy comparison
     simulate    run the fused executor and verify against layer-by-layer
-    explore     Pareto front for any zoo network or --file description
+    explore     Pareto front for any zoo network or --file description;
+                DAG zoo networks (resnet18, resnet50, mobilenetv2,
+                yolohead) get branch-aware segment fusion with
+                fused-vs-all-boundary baselines
     frontier    exact DP frontier (tractable even for all of VGGNet-E)
     tune        guided autotuning over the joint fusion x tiling space
                 (seeded, resumable via --db, parallel via --jobs)
@@ -30,7 +33,7 @@ Commands map one-to-one to the paper's evaluation artifacts::
     check       static analysis: verify a network/partition/plan without
                 executing, lint the repo's own invariants (--lint), and
                 validate plan-cache/tuning-db/trace files (--plan,
-                --tunedb, --trace)
+                --tunedb, --trace) and DAG descriptions (--graph)
     hls         emit the specialized HLS C++ for a fused design
     codegen     emit a standalone self-checking C++ program
     bandwidth   roofline sweep, fused vs baseline
@@ -76,13 +79,47 @@ _NETWORKS = {
 }
 
 
-def _network(name: str, file: Optional[str] = None, input_size: Optional[int] = None):
+def _is_graph_network(name: Optional[str]) -> bool:
+    """Whether ``name`` is a DAG zoo network (:mod:`repro.graph.zoo`)."""
+    if not name:
+        return False
+    from .graph.zoo import GRAPH_ZOO
+
+    return name.lower() in GRAPH_ZOO
+
+
+def _graph_network(name: str, input_size: Optional[int] = None):
+    """Build a DAG zoo network, honoring ``--input-size`` when given.
+
+    The builders validate the size themselves (each family only accepts
+    ``stride * k + offset`` inputs) and raise a diagnosed
+    :class:`~repro.graph.ir.GraphError` naming the legal sizes.
+    """
+    from .graph.zoo import GRAPH_ZOO
+
+    builder, _ = GRAPH_ZOO[name.lower()]
+    if input_size is None:
+        return builder()
+    if input_size <= 0:
+        raise SystemExit(f"--input-size must be positive, got {input_size}")
+    return builder(input_size)
+
+
+def _network(name: str, file: Optional[str] = None,
+             input_size: Optional[int] = None, graph: bool = False):
+    if file is None and _is_graph_network(name):
+        if not graph:
+            raise SystemExit(
+                f"{name!r} is a DAG zoo network; this command only handles "
+                "linear networks (DAG networks work with: explore, stats, "
+                "serve-bench, check)")
+        return _graph_network(name, input_size)
     if input_size is not None:
         if file is None:
             raise SystemExit(
-                "--input-size only applies to --file networks; zoo network "
-                f"{name!r} fixes its own input size (drop --input-size or "
-                "pass --file DESCRIPTION)")
+                "--input-size only applies to --file networks and DAG zoo "
+                f"networks; linear zoo network {name!r} fixes its own input "
+                "size (drop --input-size or pass --file DESCRIPTION)")
         if input_size <= 0:
             raise SystemExit(f"--input-size must be positive, got {input_size}")
     if file is not None:
@@ -95,7 +132,10 @@ def _network(name: str, file: Optional[str] = None, input_size: Optional[int] = 
     try:
         return _NETWORKS[name.lower()]()
     except KeyError:
-        raise SystemExit(f"unknown network {name!r}; choose from {sorted(_NETWORKS)}")
+        from .graph.zoo import GRAPH_ZOO
+
+        known = sorted(_NETWORKS) + sorted(GRAPH_ZOO)
+        raise SystemExit(f"unknown network {name!r}; choose from {known}")
 
 
 def cmd_figure2(args) -> None:
@@ -258,7 +298,80 @@ def cmd_hls(args) -> None:
     print(generate_fused(design))
 
 
+def _config_row(config) -> Tuple[int, int, int]:
+    """(transfer, storage, fused layers) of one graph configuration."""
+    return (config.feature_transfer_bytes, config.extra_storage_bytes,
+            config.fused_layer_count)
+
+
+def _explore_graph(args) -> None:
+    """Branch-aware exploration of a DAG zoo network (:mod:`repro.graph`).
+
+    Reports the chosen configuration against two baselines: the same
+    per-segment sweeps with every join at a boundary (branch-unaware
+    fusion) and the layer-by-layer schedule. The ``fused layers:`` lines
+    are the greppable acceptance surface — branch-aware fusion must fuse
+    strictly more layers (and move strictly fewer bytes) than the
+    all-boundary baseline whenever a join is structurally fusable.
+    """
+    import json
+
+    from .core import Strategy
+    from .graph import explore_graph
+
+    network = _graph_network(args.network, args.input_size)
+    strategy = Strategy.RECOMPUTE if args.recompute else Strategy.REUSE
+    budget = (None if args.storage_budget is None
+              else args.storage_budget * 2 ** 10)
+    result = explore_graph(network, strategy=strategy,
+                           storage_budget_bytes=budget, jobs=args.jobs)
+    program = result.program
+    KB, MB = 2 ** 10, 2 ** 20
+    shape = network.input_shape
+    print(f"{network.name}: input {shape.channels}x{shape.height}x"
+          f"{shape.width}, {len(network)} nodes -> "
+          f"{len(program.segments)} segments, "
+          f"{len(program.boundary_joins)} boundary joins, "
+          f"{len(program.opaques)} opaque steps")
+    print(f"  chosen: {result.chosen.describe()}")
+    rows = [("chosen", result.chosen), ("all-boundary", result.all_boundary),
+            ("layer-by-layer", result.layer_by_layer)]
+    for label, config in rows:
+        transfer, storage, layers = _config_row(config)
+        print(f"  {label:14s} {transfer / MB:8.2f} MB  "
+              f"{storage / KB:9.1f} KB  fused layers: {layers}  "
+              f"(joins fused: {config.fused_join_count})")
+    if budget is not None:
+        print(f"  (storage budget: {args.storage_budget} KB)")
+    if args.json:
+        payload = {
+            "bench": "graph-explore",
+            "network": network.name,
+            "input_shape": [shape.channels, shape.height, shape.width],
+            "strategy": strategy.name.lower(),
+            "segments": len(program.segments),
+            "storage_budget_bytes": budget,
+        }
+        for label, config in rows:
+            transfer, storage, layers = _config_row(config)
+            payload[label.replace("-", "_")] = {
+                "transfer_bytes": transfer,
+                "storage_bytes": storage,
+                "fused_layers": layers,
+                "fused_joins": config.fused_join_count,
+                "decisions": [d.to_dict() for d in config.decisions],
+            }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote exploration JSON to {args.json}")
+
+
 def cmd_explore(args) -> None:
+    if args.file is None and _is_graph_network(args.network):
+        _explore_graph(args)
+        return
+
     from .core import Strategy, explore
 
     network = _network(args.network, file=args.file, input_size=args.input_size)
@@ -287,6 +400,25 @@ def cmd_explore(args) -> None:
         else:
             print(f"best under {args.storage_budget} KB: {pick.sizes} -> "
                   f"{pick.feature_transfer_bytes / MB:.2f} MB/image")
+    if args.json:
+        import json
+
+        payload = {
+            "bench": "explore",
+            "network": result.network_name,
+            "strategy": strategy.name.lower(),
+            "num_partitions": result.num_partitions,
+            "degraded": result.degraded,
+            "front": [{"sizes": list(p.sizes),
+                       "transfer_bytes": p.feature_transfer_bytes,
+                       "storage_bytes": p.extra_storage_bytes,
+                       "extra_ops": p.extra_ops}
+                      for p in result.front],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote exploration JSON to {args.json}")
 
 
 def _parse_sizes(text: str) -> Tuple[int, ...]:
@@ -448,7 +580,7 @@ def cmd_serve_bench(args) -> None:
     from .serve import InferenceService, PlanCache, ServeOverloadError
     from .sim import NetworkExecutor
 
-    network = _network(args.network)
+    network = _network(args.network, input_size=args.input_size, graph=True)
     shape = network.input_shape
     rng = np.random.default_rng(args.fault_seed)
     dims = (shape.channels, shape.height, shape.width)
@@ -499,12 +631,20 @@ def cmd_serve_bench(args) -> None:
     print(svc.report())
 
     if args.check:
-        direct = NetworkExecutor(network, seed=args.fault_seed,
-                                 integer=args.precision == "int")
+        if getattr(network, "plan_family", "linear") == "graph":
+            from .graph import GraphExecutor
+
+            direct = GraphExecutor(network, seed=args.fault_seed,
+                                   integer=args.precision == "int")
+            reference, label = direct.run_reference, "GraphExecutor.run_reference"
+        else:
+            direct = NetworkExecutor(network, seed=args.fault_seed,
+                                     integer=args.precision == "int")
+            reference, label = direct.run, "NetworkExecutor.run"
         mismatches = sum(
-            0 if np.array_equal(out, direct.run(x)) else 1
+            0 if np.array_equal(out, reference(x)) else 1
             for x, out in zip(admitted, outs))
-        print(f"served outputs == direct NetworkExecutor.run: "
+        print(f"served outputs == direct {label}: "
               f"{mismatches == 0} ({len(futures)} checked)")
         if mismatches:
             raise SystemExit(1)
@@ -791,6 +931,89 @@ def _scaled_prefix(network, convs: int, scale: int):
     return sliced
 
 
+def _stats_graph(args) -> None:
+    """``stats`` for a DAG zoo network: explore + execute + bit-compare.
+
+    Runs the branch-aware explorer, then executes the chosen
+    configuration with :class:`~repro.graph.GraphExecutor` and verifies
+    the fused path bit-identical to the node-by-node reference (under
+    the global ``--faults`` plan, if any). Defaults to the smallest
+    legal input size for the family so the NumPy execution stays fast;
+    ``--input-size`` overrides.
+    """
+    import json
+
+    import numpy as np
+
+    from .core import Strategy
+    from .faults import RetryPolicy
+    from .graph import GraphExecutor, explore_graph
+    from .graph.zoo import GRAPH_ZOO
+    from .sim import TrafficTrace
+
+    own_capture = not obs.enabled()
+    if own_capture:
+        obs.enable()
+    registry = obs.get_registry()
+
+    plan = faults_mod.get_active_plan()
+    injector = plan.injector() if plan is not None else None
+    input_size = args.input_size
+    if input_size is None:
+        input_size = GRAPH_ZOO[args.network.lower()][1]
+    network = _graph_network(args.network, input_size)
+    with obs.span("stats", network=network.name):
+        result = explore_graph(network, strategy=Strategy.REUSE)
+        obs.set_gauge("explore.chosen_transfer_mb",
+                      result.chosen.feature_transfer_bytes / 2**20)
+
+        executor = GraphExecutor(
+            network, decisions=result.chosen.decisions, seed=args.fault_seed,
+            integer=True, faults=injector,
+            retry=RetryPolicy(max_attempts=12) if injector else None)
+        x = executor.make_input()
+        expected = executor.run_reference(x)
+        fused_trace = TrafficTrace()
+        got = executor.run_fused(x, fused_trace)
+        match = bool(np.array_equal(expected, got))
+        obs.set_gauge("sim.outputs_match", float(match))
+
+    metrics = registry.to_dict()
+    metrics["meta"] = {
+        "network": network.name,
+        "input_size": input_size,
+        "outputs_match": match,
+        "segments": len(result.program.segments),
+        "fused_layers": result.chosen.fused_layer_count,
+        "fused_layers_all_boundary": result.all_boundary.fused_layer_count,
+        "fused_joins": result.chosen.fused_join_count,
+        "transfer_bytes": result.chosen.feature_transfer_bytes,
+        "transfer_bytes_all_boundary":
+            result.all_boundary.feature_transfer_bytes,
+        "fused_dram": fused_trace.summary(),
+        "faults": (None if plan is None else {
+            "plan": str(plan),
+            "seed": plan.seed,
+            "injected": dict(sorted(injector.counts.items())),
+        }),
+    }
+    text = json.dumps(metrics, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"{network.name}: {len(result.program.segments)} segments, "
+              f"fused layers {result.chosen.fused_layer_count} vs "
+              f"{result.all_boundary.fused_layer_count} all-boundary, "
+              f"outputs match: {match}")
+        print(f"wrote metrics JSON to {args.json}")
+    else:
+        print(text)
+    if own_capture:
+        obs.disable()
+    if not match:
+        raise SystemExit(1)
+
+
 def cmd_stats(args) -> None:
     """Explore + simulate + pipeline one network, emitting metrics JSON.
 
@@ -798,8 +1021,13 @@ def cmd_stats(args) -> None:
     (spans + scored/pruned counters), the fused-vs-reference simulators
     (per-layer DRAM counters mirroring their ``TrafficTrace``), and the
     discrete-event pipeline of the optimized fused design (per-stage
-    busy/idle cycles and utilization).
+    busy/idle cycles and utilization). DAG zoo networks take the
+    explore + execute + bit-compare path of :func:`_stats_graph`.
     """
+    if _is_graph_network(args.network):
+        _stats_graph(args)
+        return
+
     import json
 
     import numpy as np
@@ -899,6 +1127,36 @@ def _check_request(report, request_path: str) -> None:
         dsp_budget=spec.get("dsp")))
 
 
+def _check_graph_file(path: str):
+    """Diagnostics for a DAG description file (text form or JSON).
+
+    ``.json`` files are treated as the ``GraphNetwork.to_dict`` form and
+    get the exhaustive raw-dictionary checks; anything else is parsed as
+    the :mod:`repro.graph.parse` text form, with parse failures surfaced
+    as RC705 instead of an exception so they aggregate into the report.
+    """
+    import json
+
+    from .check import check_graph_dict, check_graph_network, diag
+    from .graph import parse_graph
+    from .nn.parse import ParseError
+
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".json"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            return [diag("RC705", f"not valid JSON: {err}", site=path)]
+        return check_graph_dict(data, site=path)
+    try:
+        network = parse_graph(text, name=path)
+    except ParseError as err:
+        return [diag("RC705", f"graph text does not parse: {err}",
+                     site=path)]
+    return check_graph_network(network, site=path)
+
+
 def cmd_check(args) -> None:
     """Static analysis: verify networks/plans/records without executing.
 
@@ -906,19 +1164,31 @@ def cmd_check(args) -> None:
     any error is found (or any warning, under ``--strict``); 0 when
     clean — the contract the CI smoke job greps for.
     """
-    from .check import (CheckReport, check_network, check_plan_cache_file,
-                        check_soak_report_file, check_trace_file,
-                        check_tuning_db_file, lint_paths)
+    from .check import (CheckReport, check_graph_network, check_network,
+                        check_plan_cache_file, check_soak_report_file,
+                        check_trace_file, check_tuning_db_file, lint_paths)
 
     report = CheckReport()
     network = None
     if args.network:
-        network = _network(args.network)
-        partition = _parse_sizes(args.partition) if args.partition else None
-        report.merge(check_network(
-            network, partition=partition, tip=args.tip,
-            strategy=args.strategy, num_convs=args.convs,
-            dsp_budget=args.dsp))
+        if _is_graph_network(args.network):
+            if args.partition:
+                raise SystemExit(
+                    "--partition does not apply to DAG networks: graph "
+                    "plans carry one partition per fusion segment "
+                    "(check a plan cache with --plan instead)")
+            network = _graph_network(args.network, args.input_size)
+            report.extend(f"graph network {network.name}",
+                          check_graph_network(network))
+        else:
+            network = _network(args.network, input_size=args.input_size)
+            partition = _parse_sizes(args.partition) if args.partition else None
+            report.merge(check_network(
+                network, partition=partition, tip=args.tip,
+                strategy=args.strategy, num_convs=args.convs,
+                dsp_budget=args.dsp))
+    if args.graph:
+        report.extend(f"graph {args.graph}", _check_graph_file(args.graph))
     if args.request:
         _check_request(report, args.request)
     if args.plan:
@@ -926,7 +1196,8 @@ def cmd_check(args) -> None:
                       check_plan_cache_file(args.plan, network=network))
     if args.tunedb:
         fingerprint = None
-        if network is not None:
+        if network is not None and getattr(network, "plan_family",
+                                           "linear") == "linear":
             sliced = (network.prefix(args.convs) if args.convs
                       else network.feature_extractor())
             fingerprint = sliced.fingerprint()
@@ -942,9 +1213,9 @@ def cmd_check(args) -> None:
         report.extend("lint " + " ".join(args.lint),
                       lint_paths(args.lint, readme=args.readme))
     if not report.checks_run:
-        raise SystemExit("nothing to check: give a NETWORK, --lint PATH, "
-                         "--plan PATH, --tunedb PATH, --trace PATH, "
-                         "--soak PATH, or --request PATH")
+        raise SystemExit("nothing to check: give a NETWORK, --graph PATH, "
+                         "--lint PATH, --plan PATH, --tunedb PATH, "
+                         "--trace PATH, --soak PATH, or --request PATH")
     print(report.to_json() if args.json else report.render())
     code = report.exit_code(strict=args.strict)
     if code:
@@ -999,8 +1270,12 @@ class _ListNetworksAction(argparse.Action):
         super().__init__(option_strings, dest, nargs=0, **kwargs)
 
     def __call__(self, parser, namespace, values, option_string=None):
+        from .graph.zoo import GRAPH_ZOO
+
         for name in sorted(_NETWORKS):
             print(name)
+        for name in sorted(GRAPH_ZOO):
+            print(f"{name} (graph)")
         parser.exit()
 
 
@@ -1058,12 +1333,19 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="score partitions across N worker processes "
                           "(1 = serial; ignored when a budget is set)")
+    exp.add_argument("--json", default=None, metavar="PATH",
+                     help="write the exploration summary JSON here "
+                          "(Pareto front; chosen/baseline configs for "
+                          "DAG networks)")
     exp.set_defaults(func=cmd_explore)
 
     sb = sub.add_parser(
         "serve-bench",
         help="batched inference serving benchmark (repro.serve)")
     sb.add_argument("network", nargs="?", default="toynet")
+    sb.add_argument("--input-size", type=int, default=None,
+                    help="input resolution for DAG zoo networks (each "
+                         "family only accepts stride*k+offset sizes)")
     sb.add_argument("--requests", type=int, default=64)
     sb.add_argument("--rate", type=float, default=0.0, metavar="REQ_S",
                     help="arrival rate in requests/s (0 = submit as fast "
@@ -1279,6 +1561,9 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="explore + simulate + pipeline one network; emit metrics JSON")
     st.add_argument("network", nargs="?", default="vgg")
+    st.add_argument("--input-size", type=int, default=None,
+                    help="input resolution for DAG zoo networks "
+                         "(default: the family's smallest legal size)")
     st.add_argument("--convs", type=int, default=5,
                     help="conv-layer prefix to analyse (paper scope: 5)")
     st.add_argument("--scale", type=int, default=8,
@@ -1309,9 +1594,14 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("network", nargs="?", default=None,
                     help="zoo network to verify (dataflow mode without "
                          "--partition, full design mode with it)")
+    ck.add_argument("--input-size", type=int, default=None,
+                    help="input resolution for DAG zoo networks")
     ck.add_argument("--partition", default=None, metavar="SIZES",
                     help="group sizes like 2+3: verify this concrete "
                          "design's geometry AND resource bounds")
+    ck.add_argument("--graph", default=None, metavar="PATH",
+                    help="validate a DAG description file (text form, or "
+                         "a GraphNetwork JSON dump; RC7xx)")
     ck.add_argument("--convs", type=int, default=None,
                     help="conv-layer prefix (default: feature extractor)")
     ck.add_argument("--tip", type=int, default=1,

@@ -1,0 +1,315 @@
+"""A line-oriented text form for DAG network specs.
+
+Grammar (one statement per line; ``#`` starts a comment)::
+
+    graph <display name>           # optional, first
+    input CxHxW                    # required before any node
+
+    # node lines: [src[, src] ->] name = op [relu]
+    c1 = conv 16 3x3/1 pad=1 relu  # input defaults to the previous node
+    p1 = pool max 2x2/2
+    p1 -> b1 = conv 16 3x3/1 pad=1 relu
+    b2 = conv 16 3x3/1 pad=1
+    j1 = add(b2, p1) relu          # joins name their operands
+    d1 = dwconv 3x3/1 pad=1        # depthwise: channels from the input
+    f  = fc 10
+
+Ops: ``conv M KxK/S [pad=P] [groups=G] [nobias]``, ``dwconv KxK/S
+[pad=P] [nobias]``, ``pool max|avg KxK/S``, ``relu``, ``pad P``,
+``lrn [size=S] [alpha=A] [beta=B] [k=K]``, ``fc N [nobias]``, and the
+joins ``add(a,b)`` / ``mul(a,b)`` / ``max(a,b)`` / ``concat(a,b)``. A
+trailing ``relu`` on a conv/pool/join line adds a ``<name>_relu`` node,
+which later references should name. The reserved tensor ``input`` is the
+graph input. Nodes must be declared before they are referenced
+(declaration order is the topological order).
+
+:func:`parse_graph` raises :class:`~repro.nn.parse.ParseError` with the
+offending line number; :func:`dump_graph` emits canonical text such that
+``parse_graph(dump_graph(g))`` reproduces ``g``'s fingerprint exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..nn.layers import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    LRNSpec,
+    PadSpec,
+    PoolSpec,
+    ReLUSpec,
+)
+from ..nn.parse import ParseError
+from ..nn.shapes import ShapeError, TensorShape
+from .ir import INPUT, ConcatSpec, EltwiseSpec, GraphError, GraphNetwork
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_NAME_RE = re.compile(rf"^{_NAME}$")
+_SHAPE_RE = re.compile(r"^(\d+)x(\d+)x(\d+)$")
+_WINDOW_RE = re.compile(r"^(\d+)x(\d+)/(\d+)$")
+_JOIN_RE = re.compile(rf"^(add|mul|max|concat)\(\s*({_NAME}(?:\s*,\s*{_NAME})+)\s*\)$")
+_NODE_RE = re.compile(rf"^({_NAME})\s*=\s*(.+)$")
+
+
+def _fail(lineno: int, message: str) -> "ParseError":
+    return ParseError(f"line {lineno}: {message}", line=lineno)
+
+
+def _window(token: str, lineno: int) -> Tuple[int, int]:
+    match = _WINDOW_RE.match(token)
+    if not match:
+        raise _fail(lineno, f"expected KxK/S window, got {token!r}")
+    kh, kw, stride = (int(g) for g in match.groups())
+    if kh != kw:
+        raise _fail(lineno, f"only square kernels are supported: {token!r}")
+    return kh, int(stride)
+
+
+def _keyword_args(tokens: List[str], lineno: int, allowed: dict) -> dict:
+    """Parse trailing ``key=value`` / flag tokens against ``allowed``
+    (mapping key -> converter, or flag -> None)."""
+    out = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            if key not in allowed or allowed[key] is None:
+                raise _fail(lineno, f"unknown option {token!r}")
+            try:
+                out[key] = allowed[key](value)
+            except ValueError:
+                raise _fail(lineno, f"bad value in {token!r}") from None
+        else:
+            if token not in allowed or allowed[token] is not None:
+                raise _fail(lineno, f"unknown option {token!r}")
+            out[token] = True
+    return out
+
+
+def parse_graph(text: str, name: str = "parsed-graph") -> GraphNetwork:
+    """Parse the text form into a :class:`GraphNetwork`."""
+    net: Optional[GraphNetwork] = None
+    display = name
+    previous = INPUT
+    pending: List[Tuple[int, str, List[str], str]] = []
+
+    lines = text.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        # A node line always contains '=' (and may legitimately start
+        # with 'input ->' or 'graph ='), so the two header forms only
+        # claim lines without one.
+        if line.startswith("graph ") and "=" not in line:
+            if net is not None or pending:
+                raise _fail(lineno, "'graph' must come before everything else")
+            display = line[len("graph "):].strip()
+            if not display:
+                raise _fail(lineno, "empty graph name")
+            continue
+        if line.startswith("input ") and "=" not in line:
+            if net is not None:
+                raise _fail(lineno, "duplicate 'input' line")
+            match = _SHAPE_RE.match(line[len("input "):].strip())
+            if not match:
+                raise _fail(lineno, "expected 'input CxHxW'")
+            c, h, w = (int(g) for g in match.groups())
+            net = GraphNetwork(display, TensorShape(c, h, w))
+            continue
+        if net is None:
+            raise _fail(lineno, "an 'input CxHxW' line must come first")
+
+        sources: Optional[List[str]] = None
+        if "->" in line:
+            left, _, line = line.partition("->")
+            sources = [tok.strip() for tok in left.split(",")]
+            for tok in sources:
+                if not _NAME_RE.match(tok):
+                    raise _fail(lineno, f"bad source name {tok!r}")
+            line = line.strip()
+        match = _NODE_RE.match(line)
+        if not match:
+            raise _fail(lineno, f"expected 'name = op', got {line!r}")
+        node_name, spec_text = match.group(1), match.group(2).strip()
+        previous = _add_node(net, node_name, spec_text, sources, previous,
+                             lineno)
+    if net is None:
+        raise ParseError("no 'input CxHxW' line found", line=0)
+    if len(net) == 0:
+        raise ParseError("graph has no nodes", line=len(lines))
+    return net
+
+
+def _add_node(net: GraphNetwork, name: str, spec_text: str,
+              sources: Optional[List[str]], previous: str,
+              lineno: int) -> str:
+    tokens = spec_text.split()
+    has_relu = False
+    if tokens and tokens[-1] == "relu" and tokens[0] != "relu":
+        has_relu = True
+        tokens = tokens[:-1]
+        spec_text = " ".join(tokens)
+    if not tokens:
+        raise _fail(lineno, "empty op")
+    op = tokens[0]
+    join = _JOIN_RE.match(spec_text)
+    try:
+        if join:
+            if sources is not None:
+                raise _fail(lineno,
+                            "joins name their operands in parentheses; "
+                            "an arrow prefix is not allowed")
+            kind = join.group(1)
+            operands = [tok.strip() for tok in join.group(2).split(",")]
+            spec: LayerSpec
+            if kind == "concat":
+                spec = ConcatSpec(name)
+            else:
+                spec = EltwiseSpec(name, op=kind)
+            net.add(spec, tuple(operands))
+        else:
+            inputs = tuple(sources) if sources is not None else (previous,)
+            if len(inputs) != 1:
+                raise _fail(lineno, f"{op} takes exactly one input")
+            spec = _unary_spec(net, name, op, tokens[1:], inputs[0], lineno)
+            net.add(spec, inputs)
+    except (GraphError, ShapeError) as exc:
+        raise _fail(lineno, str(exc)) from exc
+    result = name
+    if has_relu:
+        try:
+            net.add(ReLUSpec(f"{name}_relu"), (name,))
+        except (GraphError, ShapeError) as exc:
+            raise _fail(lineno, str(exc)) from exc
+        result = f"{name}_relu"
+    return result
+
+
+def _unary_spec(net: GraphNetwork, name: str, op: str, args: List[str],
+                source: str, lineno: int) -> LayerSpec:
+    if op == "conv":
+        if len(args) < 2:
+            raise _fail(lineno, "conv needs channels and a KxK/S window")
+        try:
+            channels = int(args[0])
+        except ValueError:
+            raise _fail(lineno, f"bad channel count {args[0]!r}") from None
+        kernel, stride = _window(args[1], lineno)
+        opts = _keyword_args(args[2:], lineno,
+                             {"pad": int, "groups": int, "nobias": None})
+        return ConvSpec(name, kernel=kernel, stride=stride,
+                        out_channels=channels, padding=opts.get("pad", 0),
+                        groups=opts.get("groups", 1),
+                        bias=not opts.get("nobias", False))
+    if op == "dwconv":
+        if len(args) < 1:
+            raise _fail(lineno, "dwconv needs a KxK/S window")
+        kernel, stride = _window(args[0], lineno)
+        opts = _keyword_args(args[1:], lineno, {"pad": int, "nobias": None})
+        channels = net.tensor_shape(source, site=name).channels
+        return ConvSpec(name, kernel=kernel, stride=stride,
+                        out_channels=channels, padding=opts.get("pad", 0),
+                        groups=channels, bias=not opts.get("nobias", False))
+    if op == "pool":
+        if len(args) < 2 or args[0] not in ("max", "avg"):
+            raise _fail(lineno, "pool needs 'max|avg KxK/S'")
+        kernel, stride = _window(args[1], lineno)
+        _keyword_args(args[2:], lineno, {})
+        return PoolSpec(name, kernel=kernel, stride=stride, mode=args[0])
+    if op == "relu":
+        _keyword_args(args, lineno, {})
+        return ReLUSpec(name)
+    if op == "pad":
+        if len(args) != 1:
+            raise _fail(lineno, "pad needs exactly one amount")
+        try:
+            return PadSpec(name, pad=int(args[0]))
+        except ValueError:
+            raise _fail(lineno, f"bad pad amount {args[0]!r}") from None
+    if op == "lrn":
+        opts = _keyword_args(args, lineno, {"size": int, "alpha": float,
+                                            "beta": float, "k": float})
+        return LRNSpec(name, size=opts.get("size", 5),
+                       alpha=opts.get("alpha", 1e-4),
+                       beta=opts.get("beta", 0.75), k=opts.get("k", 2.0))
+    if op == "fc":
+        if len(args) < 1:
+            raise _fail(lineno, "fc needs an output feature count")
+        try:
+            features = int(args[0])
+        except ValueError:
+            raise _fail(lineno, f"bad feature count {args[0]!r}") from None
+        opts = _keyword_args(args[1:], lineno, {"nobias": None})
+        return FCSpec(name, out_features=features,
+                      bias=not opts.get("nobias", False))
+    raise _fail(lineno, f"unknown op {op!r}")
+
+
+def dump_graph(network: GraphNetwork) -> str:
+    """Emit canonical text; ``parse_graph`` of it reproduces the
+    network's fingerprint (names, specs, and edges are preserved)."""
+    lines = [f"graph {network.name}"]
+    shape = network.input_shape
+    lines.append(f"input {shape.channels}x{shape.height}x{shape.width}")
+    nodes = network.nodes
+    previous = INPUT
+    index = 0
+    while index < len(nodes):
+        node = nodes[index]
+        if not _NAME_RE.match(node.name):
+            raise GraphError(
+                f"node name {node.name!r} has no text form",
+                network=network.name)
+        folded_relu = False
+        nxt = nodes[index + 1] if index + 1 < len(nodes) else None
+        if (nxt is not None and isinstance(nxt.spec, ReLUSpec)
+                and nxt.name == f"{node.name}_relu"
+                and nxt.inputs == (node.name,)
+                and not isinstance(node.spec, ReLUSpec)):
+            folded_relu = True
+        spec_text, functional = _spec_text(node)
+        prefix = ""
+        if not functional and node.inputs != (previous,):
+            prefix = ", ".join(node.inputs) + " -> "
+        suffix = " relu" if folded_relu else ""
+        lines.append(f"{prefix}{node.name} = {spec_text}{suffix}")
+        previous = f"{node.name}_relu" if folded_relu else node.name
+        index += 2 if folded_relu else 1
+    return "\n".join(lines) + "\n"
+
+
+def _spec_text(node) -> Tuple[str, bool]:
+    spec = node.spec
+    if isinstance(spec, EltwiseSpec):
+        return f"{spec.op}({', '.join(node.inputs)})", True
+    if isinstance(spec, ConcatSpec):
+        return f"concat({', '.join(node.inputs)})", True
+    if isinstance(spec, ConvSpec):
+        text = (f"conv {spec.out_channels} "
+                f"{spec.kernel}x{spec.kernel}/{spec.stride}")
+        if spec.padding:
+            text += f" pad={spec.padding}"
+        if spec.groups != 1:
+            text += f" groups={spec.groups}"
+        if not spec.bias:
+            text += " nobias"
+        return text, False
+    if isinstance(spec, PoolSpec):
+        return (f"pool {spec.mode} "
+                f"{spec.kernel}x{spec.kernel}/{spec.stride}"), False
+    if isinstance(spec, ReLUSpec):
+        return "relu", False
+    if isinstance(spec, PadSpec):
+        return f"pad {spec.pad}", False
+    if isinstance(spec, LRNSpec):
+        return (f"lrn size={spec.size} alpha={spec.alpha!r} "
+                f"beta={spec.beta!r} k={spec.k!r}"), False
+    if isinstance(spec, FCSpec):
+        text = f"fc {spec.out_features}"
+        if not spec.bias:
+            text += " nobias"
+        return text, False
+    raise GraphError(f"{node.name}: no text form for {type(spec).__name__}")

@@ -1,0 +1,201 @@
+"""DAG network zoo: ResNet-18/50, MobileNetV2, and a YOLO-style head.
+
+Input sizes are *derived*, not the ImageNet 224: the repo's window
+arithmetic (:func:`repro.nn.shapes.conv_output_extent`) rejects partial
+windows, so every downsampling stage must divide exactly. Working
+backwards from a final-stage extent ``f``:
+
+* ResNets (7x7/2 pad3 conv, 3x3/2 pool, three 3x3/2 pad1 downsamples):
+  ``input = 32*f - 27`` — 197 for the ImageNet-like default ``f = 7``,
+  37 for the smallest test geometry ``f = 2``.
+* MobileNetV2 (five 3x3/2 pad1 downsamples): ``input = 32*f - 31`` —
+  193 default, 33 for tests.
+* The YOLO-style head (four 2x2/2 pools): ``input = 16*f`` — 208 default
+  (13x13 detection grid), 48 for tests.
+
+Each builder validates its ``input_size`` and raises
+:class:`~repro.graph.ir.GraphError` naming the legal family otherwise.
+"""
+
+from __future__ import annotations
+
+from ..nn.layers import ConvSpec, FCSpec, PoolSpec, ReLUSpec
+from ..nn.shapes import TensorShape
+from .ir import ConcatSpec, EltwiseSpec, GraphError, GraphNetwork, depthwise
+
+
+def _check_size(input_size: int, stride: int, offset: int, family: str) -> int:
+    """Solve ``input = stride*f + offset`` for integer ``f >= 2``."""
+    f, rem = divmod(input_size - offset, stride)
+    if rem != 0 or f < 2:
+        legal = [stride * g + offset for g in range(2, 8)]
+        raise GraphError(
+            f"{family}: input size {input_size} does not divide cleanly; "
+            f"legal sizes are {stride}*f{offset:+d} for f >= 2, "
+            f"e.g. {legal}",
+            input_size=input_size, family=family)
+    return f
+
+
+def _residual_tail(net: GraphNetwork, tag: str, body: str, skip: str) -> str:
+    net.add(EltwiseSpec(f"{tag}_add", op="add"), inputs=(body, skip))
+    return net.add(ReLUSpec(f"{tag}_out"))
+
+
+def _basic_block(net: GraphNetwork, tag: str, prev: str,
+                 in_channels: int, width: int, stride: int) -> str:
+    net.add(ConvSpec(f"{tag}_conv1", kernel=3, stride=stride, padding=1,
+                     out_channels=width), inputs=(prev,))
+    net.add(ReLUSpec(f"{tag}_relu1"))
+    body = net.add(ConvSpec(f"{tag}_conv2", kernel=3, stride=1, padding=1,
+                            out_channels=width))
+    skip = prev
+    if stride != 1 or in_channels != width:
+        skip = net.add(ConvSpec(f"{tag}_proj", kernel=1, stride=stride,
+                                out_channels=width, bias=False),
+                       inputs=(prev,))
+    return _residual_tail(net, tag, body, skip)
+
+
+def _bottleneck_block(net: GraphNetwork, tag: str, prev: str,
+                      in_channels: int, width: int, stride: int) -> str:
+    out_channels = 4 * width
+    net.add(ConvSpec(f"{tag}_conv1", kernel=1, stride=1,
+                     out_channels=width), inputs=(prev,))
+    net.add(ReLUSpec(f"{tag}_relu1"))
+    net.add(ConvSpec(f"{tag}_conv2", kernel=3, stride=stride, padding=1,
+                     out_channels=width))
+    net.add(ReLUSpec(f"{tag}_relu2"))
+    body = net.add(ConvSpec(f"{tag}_conv3", kernel=1, stride=1,
+                            out_channels=out_channels))
+    skip = prev
+    if stride != 1 or in_channels != out_channels:
+        skip = net.add(ConvSpec(f"{tag}_proj", kernel=1, stride=stride,
+                                out_channels=out_channels, bias=False),
+                       inputs=(prev,))
+    return _residual_tail(net, tag, body, skip)
+
+
+def _resnet(name: str, input_size: int, block, stage_blocks,
+            expansion: int) -> GraphNetwork:
+    _check_size(input_size, 32, -27, name)
+    net = GraphNetwork(name, TensorShape(3, input_size, input_size))
+    net.add(ConvSpec("conv1", kernel=7, stride=2, padding=3, out_channels=64))
+    net.add(ReLUSpec("conv1_relu"))
+    prev = net.add(PoolSpec("pool1", kernel=3, stride=2))
+    channels = 64
+    widths = (64, 128, 256, 512)
+    for stage, (width, blocks) in enumerate(zip(widths, stage_blocks),
+                                            start=1):
+        for index in range(blocks):
+            stride = 2 if (stage > 1 and index == 0) else 1
+            prev = block(net, f"s{stage}b{index + 1}", prev, channels,
+                         width, stride)
+            channels = width * expansion
+    extent = net.node(prev).output_shape.height
+    net.add(PoolSpec("avgpool", kernel=extent, stride=extent, mode="avg"),
+            inputs=(prev,))
+    net.add(FCSpec("fc", out_features=1000))
+    return net
+
+
+def resnet18(input_size: int = 197) -> GraphNetwork:
+    """ResNet-18: basic residual blocks (2-2-2-2), identity and
+    projection skips."""
+    return _resnet("ResNet-18", input_size, _basic_block,
+                   (2, 2, 2, 2), expansion=1)
+
+
+def resnet50(input_size: int = 197) -> GraphNetwork:
+    """ResNet-50: bottleneck blocks (3-4-6-3), 4x channel expansion."""
+    return _resnet("ResNet-50", input_size, _bottleneck_block,
+                   (3, 4, 6, 3), expansion=4)
+
+
+#: MobileNetV2 inverted-residual rows: (expansion t, channels, blocks, stride).
+_MBV2_ROWS = ((1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+              (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1))
+
+
+def _inverted_residual(net: GraphNetwork, tag: str, prev: str,
+                       in_channels: int, out_channels: int,
+                       stride: int, expansion: int) -> str:
+    hidden = in_channels * expansion
+    body = prev
+    if expansion != 1:
+        net.add(ConvSpec(f"{tag}_expand", kernel=1, stride=1,
+                         out_channels=hidden), inputs=(prev,))
+        body = net.add(ReLUSpec(f"{tag}_expand_relu"))
+    net.add(depthwise(f"{tag}_dw", hidden, kernel=3, stride=stride,
+                      padding=1), inputs=(body,))
+    net.add(ReLUSpec(f"{tag}_dw_relu"))
+    body = net.add(ConvSpec(f"{tag}_project", kernel=1, stride=1,
+                            out_channels=out_channels))
+    if stride == 1 and in_channels == out_channels:
+        return net.add(EltwiseSpec(f"{tag}_add", op="add"),
+                       inputs=(body, prev))
+    return body
+
+
+def mobilenetv2(input_size: int = 193) -> GraphNetwork:
+    """MobileNetV2: depthwise-separable inverted residuals with linear
+    bottlenecks (residual add, *no* ReLU after the join)."""
+    _check_size(input_size, 32, -31, "MobileNetV2")
+    net = GraphNetwork("MobileNetV2", TensorShape(3, input_size, input_size))
+    net.add(ConvSpec("conv1", kernel=3, stride=2, padding=1, out_channels=32))
+    prev = net.add(ReLUSpec("conv1_relu"))
+    channels = 32
+    for row, (t, out_channels, blocks, stride) in enumerate(_MBV2_ROWS,
+                                                            start=1):
+        for index in range(blocks):
+            s = stride if index == 0 else 1
+            prev = _inverted_residual(net, f"r{row}b{index + 1}", prev,
+                                      channels, out_channels, s, t)
+            channels = out_channels
+    net.add(ConvSpec("head", kernel=1, stride=1, out_channels=1280),
+            inputs=(prev,))
+    prev = net.add(ReLUSpec("head_relu"))
+    extent = net.node(prev).output_shape.height
+    net.add(PoolSpec("avgpool", kernel=extent, stride=extent, mode="avg"))
+    net.add(FCSpec("fc", out_features=1000))
+    return net
+
+
+def yolo_head(input_size: int = 208) -> GraphNetwork:
+    """A small YOLO-style detector: conv/pool backbone, a route that
+    depth-concatenates a 1x1 squeeze with its own source (the classic
+    passthrough), and a 1x1 detection convolution (5 boxes x 25)."""
+    f, rem = divmod(input_size, 16)
+    if rem != 0 or f < 2:
+        raise GraphError(
+            f"YOLO head: input size {input_size} must be 16*f for f >= 2, "
+            f"e.g. {[16 * g for g in range(2, 8)]}",
+            input_size=input_size, family="yolo")
+    net = GraphNetwork("YOLO-head", TensorShape(3, input_size, input_size))
+    prev = "input"
+    for index, channels in enumerate((16, 32, 64, 128), start=1):
+        net.add(ConvSpec(f"conv{index}", kernel=3, stride=1, padding=1,
+                         out_channels=channels), inputs=(prev,))
+        net.add(ReLUSpec(f"conv{index}_relu"))
+        prev = net.add(PoolSpec(f"pool{index}", kernel=2, stride=2))
+    net.add(ConvSpec("conv5", kernel=3, stride=1, padding=1,
+                     out_channels=256))
+    route = net.add(ReLUSpec("conv5_relu"))
+    net.add(ConvSpec("conv6", kernel=1, stride=1, out_channels=128),
+            inputs=(route,))
+    squeeze = net.add(ReLUSpec("conv6_relu"))
+    net.add(ConcatSpec("route"), inputs=(squeeze, route))
+    net.add(ConvSpec("conv7", kernel=3, stride=1, padding=1,
+                     out_channels=256))
+    net.add(ReLUSpec("conv7_relu"))
+    net.add(ConvSpec("detect", kernel=1, stride=1, out_channels=125))
+    return net
+
+
+#: Registry used by the CLI: name -> (builder, smallest legal input size).
+GRAPH_ZOO = {
+    "resnet18": (resnet18, 37),
+    "resnet50": (resnet50, 37),
+    "mobilenetv2": (mobilenetv2, 33),
+    "yolohead": (yolo_head, 32),
+}

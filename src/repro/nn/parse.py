@@ -195,3 +195,23 @@ def dump_network(network: Network) -> str:
         lines.append(f"  ({index}): {entry}")
     lines.append("}")
     return "\n".join(lines) + "\n"
+
+
+def parse_graph(text: str, name: str = "parsed-graph"):
+    """Parse the DAG text form (see :mod:`repro.graph.parse`).
+
+    Re-exported here lazily so ``repro.nn`` stays a leaf of
+    ``repro.graph`` — the graph package imports this module for
+    :class:`ParseError`.
+    """
+    from ..graph.parse import parse_graph as _parse_graph
+
+    return _parse_graph(text, name=name)
+
+
+def dump_graph(network) -> str:
+    """Serialize a :class:`~repro.graph.GraphNetwork` to the DAG text
+    form (lazy counterpart of :func:`parse_graph`)."""
+    from ..graph.parse import dump_graph as _dump_graph
+
+    return _dump_graph(network)

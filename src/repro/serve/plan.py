@@ -74,6 +74,11 @@ class PlanKey:
     #: (strategy, tip): ``"default"`` for explored/explicit plans,
     #: ``"tuned:<objective>"`` for plans frozen from a tuning record.
     variant: str = "default"
+    #: Plan family: ``"linear"`` for :class:`~repro.nn.network.Network`
+    #: chains, ``"graph"`` for DAG networks
+    #: (:class:`repro.graph.GraphNetwork`). Keyed so the two families
+    #: never alias in a cache even on a fingerprint collision.
+    family: str = "linear"
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -87,7 +92,8 @@ class PlanKey:
                                          else int(data["storage_budget_bytes"])),
                    precision=data["precision"],
                    seed=int(data.get("seed", 0)),
-                   variant=data.get("variant", "default"))
+                   variant=data.get("variant", "default"),
+                   family=data.get("family", "linear"))
 
     def __str__(self) -> str:
         budget = ("-" if self.storage_budget_bytes is None
@@ -96,6 +102,8 @@ class PlanKey:
                 f"/sb{budget}/{self.precision}/seed{self.seed}")
         if self.variant != "default":
             text += f"/{self.variant}"
+        if self.family != "linear":
+            text += f"/{self.family}"
         return text
 
 
@@ -116,7 +124,8 @@ def make_plan_key(network: Network, strategy: Strategy = Strategy.REUSE,
         raise ConfigError("tip must be >= 1", tip=tip)
     return PlanKey(fingerprint=network.fingerprint(), strategy=strategy.name,
                    tip=tip, storage_budget_bytes=storage_budget_bytes,
-                   precision=precision, seed=seed, variant=variant)
+                   precision=precision, seed=seed, variant=variant,
+                   family=getattr(network, "plan_family", "linear"))
 
 
 def _spec_to_dict(spec: LayerSpec) -> Dict[str, Any]:
@@ -207,6 +216,12 @@ class CompiledPlan:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CompiledPlan":
+        if data.get("key", {}).get("family", "linear") == "graph":
+            # Saved DAG plans restore through the graph family so mixed
+            # cache files (PlanCache.load, process-mode workers) work.
+            from ..graph.plan import CompiledGraphPlan
+
+            return CompiledGraphPlan.from_dict(data)
         c, h, w = data["input_shape"]
         network = Network(data["network_name"], TensorShape(c, h, w),
                           [_spec_from_dict(d) for d in data["layers"]])
@@ -274,7 +289,22 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
     (:func:`repro.check.check_compiled_plan`) before it is returned;
     a plan with error diagnostics raises :class:`ConfigError` instead
     of entering the serving path. ``validate=False`` opts out.
+
+    Networks of the ``"graph"`` plan family (DAGs) dispatch to
+    :func:`repro.graph.plan.compile_graph_plan`; ``tuned`` records and
+    explicit ``partition_sizes`` are linear-only and rejected there.
     """
+    if getattr(network, "plan_family", "linear") == "graph":
+        if tuned is not None or partition_sizes is not None:
+            raise ConfigError(
+                "tuned records and explicit partition_sizes apply only to "
+                "linear networks", network=network.name, family="graph")
+        from ..graph.plan import compile_graph_plan
+
+        return compile_graph_plan(
+            network, strategy=strategy, tip=tip,
+            storage_budget_bytes=storage_budget_bytes, precision=precision,
+            seed=seed, jobs=jobs, validate=validate)
     variant = "default"
     if tuned is not None:
         fingerprint = network.fingerprint()

@@ -1,0 +1,92 @@
+"""RC7xx broken-fixture contract: each seeded DAG defect pins its code.
+
+Same stability rules as ``test_fixtures.py``: these fixtures must keep
+producing their exact diagnostic codes (and exit code 2) forever.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import check_graph_dict, check_graph_network
+from repro.cli import main
+from repro.graph import lower_graph
+
+from ..graph.conftest import tiny_concat, tiny_residual
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_check(capsys, *argv):
+    """Run ``check`` expecting findings; returns (exit_code, codes)."""
+    with pytest.raises(SystemExit) as info:
+        main(["check", *argv, "--json"])
+    data = json.loads(capsys.readouterr().out)
+    return info.value.code, sorted({d["code"] for d in data["diagnostics"]})
+
+
+class TestBrokenGraphFixtures:
+    def test_dangling_edge_rc701(self, capsys):
+        code, found = run_check(
+            capsys, "--graph", str(FIXTURES / "dangling_graph.json"))
+        assert code == 2
+        assert found == ["RC701"]
+
+    def test_cycle_rc702(self, capsys):
+        code, found = run_check(
+            capsys, "--graph", str(FIXTURES / "cyclic_graph.json"))
+        assert code == 2
+        assert found == ["RC702"]
+
+    def test_mismatched_join_rc703(self, capsys):
+        code, found = run_check(
+            capsys, "--graph", str(FIXTURES / "mismatched_join_graph.json"))
+        assert code == 2
+        assert found == ["RC703"]
+
+    def test_unknown_spec_rc705(self, capsys):
+        code, found = run_check(
+            capsys, "--graph", str(FIXTURES / "unknown_spec_graph.json"))
+        assert code == 2
+        assert found == ["RC705"]
+
+    def test_tampered_graph_plan_rc706(self, capsys):
+        code, found = run_check(
+            capsys, "--plan", str(FIXTURES / "tampered_graph_plan.json"))
+        assert code == 2
+        assert found == ["RC706"]
+
+
+class TestGraphCheckUnits:
+    def test_clean_graphs_have_no_findings(self):
+        for net in (tiny_residual(), tiny_concat()):
+            assert check_graph_network(net) == []
+            assert check_graph_dict(net.to_dict()) == []
+
+    def test_foreign_program_breaks_coverage_rc704(self):
+        """The segment-coverage identity: pairing a graph with another
+        graph's lowered program is diagnosed, both directions."""
+        findings = check_graph_network(tiny_residual(),
+                                       program=lower_graph(tiny_concat()))
+        codes = {d.code for d in findings}
+        assert codes == {"RC704"}
+
+    def test_structural_findings_are_exhaustive(self):
+        """A file with several independent defects reports them all."""
+        data = tiny_residual().to_dict()
+        data["nodes"][1]["inputs"] = ["ghost"]
+        data["nodes"][2]["name"] = "c1"  # duplicate
+        data["nodes"].append({"type": "WarpSpec", "name": "w",
+                              "inputs": ["c3"]})
+        codes = {d.code for d in check_graph_dict(data)}
+        assert {"RC701", "RC705"} <= codes
+
+    def test_zoo_networks_check_clean(self):
+        from repro.graph import GRAPH_ZOO
+
+        for builder, size in GRAPH_ZOO.values():
+            assert check_graph_network(builder(size)) == []
+
+    def test_non_dict_payload_rc705(self):
+        assert [d.code for d in check_graph_dict([1, 2])] == ["RC705"]

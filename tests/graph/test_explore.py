@@ -1,0 +1,95 @@
+"""Branch-aware exploration: ordering, budgets, decision round-trips."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.graph import (
+    GRAPH_ZOO,
+    SegmentDecision,
+    explore_graph,
+    lower_graph,
+)
+
+from .conftest import tiny_residual
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("zoo_name", sorted(GRAPH_ZOO))
+    def test_chosen_strictly_beats_baselines(self, zoo_name):
+        """The acceptance inequality: branch-aware fusion must move
+        strictly fewer bytes AND fuse strictly more layers than the
+        all-boundary baseline on every zoo network (each has at least
+        one structurally fusable join)."""
+        builder, size = GRAPH_ZOO[zoo_name]
+        result = explore_graph(builder(size))
+        chosen, boundary = result.chosen, result.all_boundary
+        lbl = result.layer_by_layer
+        assert chosen.feature_transfer_bytes < boundary.feature_transfer_bytes
+        assert boundary.feature_transfer_bytes < lbl.feature_transfer_bytes
+        assert chosen.fused_layer_count > boundary.fused_layer_count
+        assert chosen.fused_join_count > 0
+        assert boundary.fused_join_count == 0
+        assert lbl.fused_layer_count == 0
+
+    def test_layer_by_layer_has_no_storage(self, residual_net):
+        result = explore_graph(residual_net)
+        assert result.layer_by_layer.extra_storage_bytes == 0
+
+    def test_retained_skips_cost_storage_not_traffic(self, residual_net):
+        """Fusing the residual join retains the skip tensor on chip:
+        the chosen config's storage grows but its traffic shrinks."""
+        result = explore_graph(residual_net)
+        assert result.chosen.fused_join_count == 1
+        assert result.chosen.retained_skip_bytes > 0
+        assert (result.chosen.feature_transfer_bytes
+                < result.all_boundary.feature_transfer_bytes)
+
+
+class TestBudget:
+    def test_unbounded_budget_matches_argmin(self, residual_net):
+        free = explore_graph(residual_net)
+        capped = explore_graph(residual_net,
+                               storage_budget_bytes=2**30)
+        assert (capped.chosen.feature_transfer_bytes
+                == free.chosen.feature_transfer_bytes)
+
+    def test_tight_budget_respected(self, residual_net):
+        free = explore_graph(residual_net)
+        budget = max(0, free.chosen.extra_storage_bytes - 1)
+        capped = explore_graph(residual_net, storage_budget_bytes=budget)
+        assert capped.chosen.extra_storage_bytes <= budget
+        assert (capped.chosen.feature_transfer_bytes
+                >= free.chosen.feature_transfer_bytes)
+
+    def test_zero_budget_degenerates_to_layer_by_layer_storage(
+            self, residual_net):
+        capped = explore_graph(residual_net, storage_budget_bytes=0)
+        assert capped.chosen.extra_storage_bytes == 0
+
+
+class TestDecisions:
+    def test_decisions_cover_segments(self, diamond_net):
+        result = explore_graph(diamond_net)
+        program = result.program
+        assert len(result.chosen.decisions) == len(program.segments)
+        for step, decision in zip(program.segments,
+                                  result.chosen.decisions):
+            assert sum(decision.sizes) == len(step.levels)
+
+    def test_decision_round_trips_through_dict(self):
+        decision = SegmentDecision(sizes=(2, 1), join_fused=True)
+        assert SegmentDecision.from_dict(decision.to_dict()) == decision
+
+    def test_recompute_strategy_runs(self, residual_net):
+        result = explore_graph(residual_net,
+                               strategy=Strategy.RECOMPUTE)
+        assert (result.chosen.feature_transfer_bytes
+                <= result.layer_by_layer.feature_transfer_bytes)
+
+    def test_program_reuse_gives_identical_result(self, residual_net):
+        program = lower_graph(residual_net)
+        a = explore_graph(residual_net)
+        b = explore_graph(residual_net, program=program)
+        assert (a.chosen.decisions == b.chosen.decisions
+                and a.chosen.feature_transfer_bytes
+                == b.chosen.feature_transfer_bytes)

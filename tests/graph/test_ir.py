@@ -1,0 +1,127 @@
+"""GraphNetwork IR: construction invariants, shape inference, identity."""
+
+import pytest
+
+from repro.graph import (
+    INPUT,
+    ConcatSpec,
+    EltwiseSpec,
+    GraphError,
+    GraphNetwork,
+    depthwise,
+)
+from repro.nn.layers import ConvSpec, FCSpec, ReLUSpec
+from repro.nn.shapes import ShapeError, TensorShape
+
+from .conftest import tiny_concat, tiny_residual
+
+
+class TestConstruction:
+    def test_insertion_order_is_topological(self, residual_net):
+        for node in residual_net:
+            for src in node.inputs:
+                if src != INPUT:
+                    assert residual_net.node(src).index < node.index
+
+    def test_default_input_is_previous_node(self):
+        net = GraphNetwork("chain", TensorShape(3, 8, 8))
+        net.add(ConvSpec("a", kernel=3, stride=1, out_channels=4, padding=1))
+        net.add(ReLUSpec("b"))
+        assert net.node("b").inputs == ("a",)
+
+    def test_first_node_defaults_to_graph_input(self):
+        net = GraphNetwork("chain", TensorShape(3, 8, 8))
+        net.add(ReLUSpec("a"))
+        assert net.node("a").inputs == (INPUT,)
+
+    def test_unknown_input_rejected(self):
+        net = GraphNetwork("bad", TensorShape(3, 8, 8))
+        with pytest.raises(GraphError, match="unknown input tensor"):
+            net.add(ReLUSpec("a"), inputs=("ghost",))
+
+    def test_duplicate_name_rejected(self):
+        net = GraphNetwork("bad", TensorShape(3, 8, 8))
+        net.add(ReLUSpec("a"))
+        with pytest.raises(GraphError, match="duplicate"):
+            net.add(ReLUSpec("a"))
+
+    def test_reserved_input_name_rejected(self):
+        net = GraphNetwork("bad", TensorShape(3, 8, 8))
+        with pytest.raises(GraphError, match="reserved"):
+            net.add(ReLUSpec(INPUT))
+
+    def test_join_needs_explicit_distinct_inputs(self):
+        net = GraphNetwork("bad", TensorShape(3, 8, 8))
+        net.add(ReLUSpec("a"))
+        with pytest.raises(GraphError, match="explicit inputs"):
+            net.add(EltwiseSpec("j", op="add"))
+        with pytest.raises(GraphError, match="distinct"):
+            net.add(EltwiseSpec("j", op="add"), inputs=("a", "a"))
+
+
+class TestShapeInference:
+    def test_eltwise_preserves_shape(self, residual_net):
+        join = residual_net.node("res")
+        assert join.output_shape == residual_net.node("c2").output_shape
+
+    def test_eltwise_mismatch_diagnosed(self):
+        net = GraphNetwork("bad", TensorShape(3, 8, 8))
+        net.add(ConvSpec("a", kernel=3, stride=1, out_channels=4, padding=1))
+        net.add(ConvSpec("b", kernel=3, stride=1, out_channels=8, padding=1),
+                inputs=("a",))
+        with pytest.raises(ShapeError, match="disagree"):
+            net.add(EltwiseSpec("j", op="add"), inputs=("a", "b"))
+
+    def test_concat_sums_channels(self, concat_net):
+        cat = concat_net.node("route")
+        assert cat.output_shape.channels == 8
+        assert cat.output_shape.height == 12
+
+    def test_concat_spatial_mismatch_diagnosed(self):
+        net = GraphNetwork("bad", TensorShape(3, 8, 8))
+        net.add(ConvSpec("a", kernel=3, stride=1, out_channels=4, padding=1))
+        net.add(ConvSpec("b", kernel=2, stride=2, out_channels=4),
+                inputs=("a",))
+        with pytest.raises(ShapeError, match="spatially"):
+            net.add(ConcatSpec("j"), inputs=("a", "b"))
+
+    def test_depthwise_is_grouped_conv(self):
+        spec = depthwise("dw", channels=8)
+        assert spec.groups == 8 and spec.out_channels == 8
+
+
+class TestQueries:
+    def test_single_sink_and_output_shape(self, residual_net):
+        assert residual_net.output_name == "c3"
+        assert residual_net.output_shape == TensorShape(4, 14, 14)
+
+    def test_fan_out_counts_multiplicity(self, residual_net):
+        assert residual_net.fan_out("c1_relu") == 2
+        assert residual_net.fan_out("c3") == 0
+
+    def test_feature_extractor_drops_fc_tail(self):
+        net = tiny_residual()
+        net.add(FCSpec("fc", out_features=10))
+        trimmed = net.feature_extractor()
+        assert "fc" not in trimmed
+        assert trimmed.output_name == "c3"
+
+
+class TestIdentity:
+    def test_fingerprint_stable_across_rebuild(self, residual_net):
+        clone = GraphNetwork.from_dict(residual_net.to_dict())
+        assert clone.fingerprint() == residual_net.fingerprint()
+        assert len(clone) == len(residual_net)
+
+    def test_fingerprint_sees_rewiring(self):
+        a, b = tiny_residual(), tiny_residual()
+        rewired = b.to_dict()
+        # Point the skip operand at the pre-ReLU tensor instead.
+        for entry in rewired["nodes"]:
+            if entry["name"] == "res":
+                entry["inputs"] = ["c2", "c1"]
+        assert (GraphNetwork.from_dict(rewired).fingerprint()
+                != a.fingerprint())
+
+    def test_fingerprint_distinct_across_graphs(self):
+        assert tiny_residual().fingerprint() != tiny_concat().fingerprint()

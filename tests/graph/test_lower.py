@@ -1,0 +1,88 @@
+"""Lowering: segment decomposition, join classification, coverage."""
+
+import pytest
+
+from repro.graph import GRAPH_ZOO, GraphNetwork, lower_graph
+from repro.nn.layers import ConvSpec, FCSpec, PadSpec, ReLUSpec
+from repro.nn.shapes import TensorShape
+
+
+class TestTinyGraphs:
+    def test_residual_join_is_fusable(self, residual_net):
+        program = lower_graph(residual_net)
+        fused = [s for s in program.segments if s.join is not None]
+        assert len(fused) == 1
+        (segment,) = fused
+        join = segment.join
+        assert join.kind == "add"
+        # The skip operand is the segment's own input: retained on chip,
+        # never re-streamed.
+        assert segment.retained_skips() == ("c1_relu",)
+        assert segment.streamed_skips() == ()
+        # The trailing ReLU folded onto the join.
+        assert join.has_relu
+
+    def test_concat_join_is_fusable(self, concat_net):
+        program = lower_graph(concat_net)
+        fused = [s for s in program.segments if s.join is not None]
+        assert len(fused) == 1
+        assert fused[0].join.kind == "concat"
+
+    def test_diamond_join_fuses_one_branch_streams_other(self, diamond_net):
+        program = lower_graph(diamond_net)
+        # The join fuses through whichever branch is still open; the
+        # other operand is not the segment's input, so fusing the join
+        # means re-streaming it from DRAM rather than retaining it.
+        fused = [s for s in program.segments if s.join is not None]
+        assert len(fused) == 1
+        (segment,) = fused
+        assert segment.retained_skips() == ()
+        assert len(segment.streamed_skips()) == 1
+
+    def test_relu_folds_into_levels(self, residual_net):
+        program = lower_graph(residual_net)
+        claimed = set(program.node_step)
+        # ReLU nodes never surface as their own steps.
+        assert "c1_relu" in claimed and "res_relu" in claimed
+        names = {step.name for step in program.steps}
+        assert "c1_relu" not in names and "res_relu" not in names
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("zoo_name", sorted(GRAPH_ZOO))
+    def test_every_node_claimed_exactly_once(self, zoo_name):
+        builder, size = GRAPH_ZOO[zoo_name]
+        network = builder(size)
+        program = lower_graph(network)
+        assert set(program.node_step) == {node.name for node in network}
+
+    @pytest.mark.parametrize("zoo_name", sorted(GRAPH_ZOO))
+    def test_segment_levels_chain_geometrically(self, zoo_name):
+        builder, size = GRAPH_ZOO[zoo_name]
+        program = lower_graph(builder(size))
+        for segment in program.segments:
+            for prev, nxt in zip(segment.levels, segment.levels[1:]):
+                assert prev.out_shape == nxt.in_shape
+
+    def test_output_tensor_is_the_sink(self, residual_net):
+        program = lower_graph(residual_net)
+        assert program.output_tensor == "c3"
+
+
+class TestFolding:
+    def test_pad_folds_into_consuming_conv(self):
+        net = GraphNetwork("padded", TensorShape(3, 8, 8))
+        net.add(PadSpec("p", pad=1))
+        net.add(ConvSpec("c", kernel=3, stride=1, out_channels=4))
+        program = lower_graph(net)
+        assert program.node_step["p"] == program.node_step["c"]
+        (segment,) = program.segments
+        assert segment.levels[0].in_shape == TensorShape(3, 8, 8)
+
+    def test_fc_becomes_opaque_step(self):
+        net = GraphNetwork("fc-tail", TensorShape(3, 8, 8))
+        net.add(ConvSpec("c", kernel=3, stride=1, out_channels=4, padding=1))
+        net.add(ReLUSpec("c_relu"))
+        net.add(FCSpec("fc", out_features=10))
+        program = lower_graph(net)
+        assert [step.name for step in program.opaques] == ["fc"]

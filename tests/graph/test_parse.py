@@ -1,0 +1,151 @@
+"""The DAG text form: parsing, diagnostics, and dump/parse round trips.
+
+The Hypothesis block generates random small DAGs straight in the IR —
+branchy wiring, every spec kind the text form covers — and checks the
+canonical-text contract: ``parse_graph(dump_graph(g))`` reproduces the
+fingerprint exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    GRAPH_ZOO,
+    ConcatSpec,
+    EltwiseSpec,
+    GraphNetwork,
+    dump_graph,
+    parse_graph,
+)
+from repro.nn.layers import ConvSpec, FCSpec, PoolSpec, ReLUSpec
+from repro.nn.parse import ParseError
+from repro.nn.shapes import TensorShape
+
+EXAMPLE = """\
+graph example
+input 3x14x14
+c1 = conv 8 3x3/1 pad=1 relu
+c2 = conv 8 3x3/1 pad=1
+j = add(c2, c1_relu) relu
+d = dwconv 3x3/1 pad=1 nobias
+p = pool max 2x2/2
+f = fc 10
+"""
+
+
+class TestParse:
+    def test_example_parses_end_to_end(self):
+        net = parse_graph(EXAMPLE)
+        assert net.name == "example"
+        assert len(net) == 8  # two relu suffixes expand to nodes
+        assert net.node("j").inputs == ("c2", "c1_relu")
+        d = net.node("d").spec
+        assert d.groups == d.out_channels == 8 and not d.bias
+        assert net.output_shape == TensorShape(10, 1, 1)
+
+    def test_arrow_prefix_names_the_source(self):
+        net = parse_graph(
+            "input 3x8x8\n"
+            "a = conv 4 3x3/1 pad=1\n"
+            "b = conv 4 3x3/1 pad=1\n"
+            "a -> c = conv 4 3x3/1 pad=1\n")
+        assert net.node("c").inputs == ("a",)
+
+    @pytest.mark.parametrize("text, lineno, fragment", [
+        ("a = conv 4 3x3/1\n", 1, "input"),
+        ("input 3x8x8\na = conv 4 3x3/q\n", 2, "window"),
+        ("input 3x8x8\na = spin 4\n", 2, "unknown op"),
+        ("input 3x8x8\na = conv 4 3x3/1 warp=2\n", 2, "unknown option"),
+        ("input 3x8x8\na = relu\nj = add(a, ghost)\n", 3, "ghost"),
+        ("input 3x8x8\na = relu\nb = relu\na -> j = add(a, b)\n", 4,
+         "arrow"),
+        ("input 3x8x8\ninput 3x8x8\n", 2, "duplicate"),
+        ("input 3x8x8\na = relu\ngraph late\n", 3, "before"),
+    ])
+    def test_errors_carry_line_numbers(self, text, lineno, fragment):
+        with pytest.raises(ParseError) as info:
+            parse_graph(text)
+        assert f"line {lineno}" in str(info.value)
+        assert fragment in str(info.value)
+
+    def test_empty_text_diagnosed(self):
+        with pytest.raises(ParseError, match="input"):
+            parse_graph("# nothing here\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("zoo_name", sorted(GRAPH_ZOO))
+    def test_zoo_round_trips_exactly(self, zoo_name):
+        builder, size = GRAPH_ZOO[zoo_name]
+        network = builder(size)
+        clone = parse_graph(dump_graph(network))
+        assert clone.fingerprint() == network.fingerprint()
+        assert clone.name == network.name
+
+    def test_nn_parse_reexports_work(self):
+        from repro.nn.parse import dump_graph as dump2, parse_graph as parse2
+
+        net = parse2(EXAMPLE)
+        assert parse_graph(dump2(net)).fingerprint() == net.fingerprint()
+
+
+def _random_graph(draw) -> GraphNetwork:
+    """Draw a small DAG covering convs, pools, joins, relu suffixes."""
+    net = GraphNetwork("hyp", TensorShape(draw(st.integers(1, 4)), 16, 16))
+    count = draw(st.integers(2, 8))
+    for i in range(count):
+        name = f"n{i}"
+        # Eligible unary sources: spatial shape is preserved throughout
+        # (pad=1 convs), so any existing tensor is a legal input.
+        sources = ["input"] + [f"n{j}" for j in range(i)]
+        kind = draw(st.sampled_from(
+            ["conv", "conv", "dwconv", "pool", "join"]))
+        if kind == "join" and i >= 2:
+            a, b = draw(st.sampled_from(
+                [(x, y) for x in sources[1:] for y in sources[1:] if x != y]))
+            same = (net.tensor_shape(a) == net.tensor_shape(b))
+            spatial = (net.tensor_shape(a).height
+                       == net.tensor_shape(b).height)
+            if same and draw(st.booleans()):
+                net.add(EltwiseSpec(name, op=draw(
+                    st.sampled_from(["add", "mul", "max"]))), (a, b))
+            elif spatial:
+                net.add(ConcatSpec(name), (a, b))
+            else:
+                net.add(ReLUSpec(name), (draw(st.sampled_from(sources)),))
+            continue
+        src = draw(st.sampled_from(sources))
+        channels = net.tensor_shape(src).channels
+        if kind == "dwconv":
+            net.add(ConvSpec(name, kernel=3, stride=1, out_channels=channels,
+                             padding=1, groups=channels,
+                             bias=draw(st.booleans())), (src,))
+        elif kind == "pool":
+            net.add(PoolSpec(name, kernel=2, stride=1,
+                             mode=draw(st.sampled_from(["max", "avg"]))),
+                    (src,))
+        else:
+            kernel = draw(st.sampled_from([1, 3]))
+            net.add(ConvSpec(name, kernel=kernel, stride=1,
+                             out_channels=draw(st.integers(1, 6)),
+                             padding=1 if kernel == 3 else 0,
+                             bias=draw(st.booleans())), (src,))
+        if draw(st.booleans()):
+            net.add(ReLUSpec(f"{name}_relu"), (name,))
+    if draw(st.booleans()):
+        net.add(FCSpec("fc", out_features=draw(st.integers(1, 16))),
+                (net.last_name,))
+    return net
+
+
+class TestRoundTripProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_dump_parse_preserves_fingerprint(self, data):
+        network = _random_graph(data.draw)
+        text = dump_graph(network)
+        clone = parse_graph(text)
+        assert clone.fingerprint() == network.fingerprint()
+        # And the canonical form is a fixed point.
+        assert dump_graph(clone) == text

@@ -1,0 +1,74 @@
+"""The DAG zoo: legal input sizes, family structure, registry contract."""
+
+import pytest
+
+from repro.graph import (
+    GRAPH_ZOO,
+    GraphError,
+    mobilenetv2,
+    resnet18,
+    resnet50,
+    yolo_head,
+)
+from repro.graph.ir import JOIN_SPECS
+from repro.nn.layers import ConvSpec, FCSpec
+
+
+class TestRegistry:
+    def test_registry_names_and_builders(self):
+        assert sorted(GRAPH_ZOO) == ["mobilenetv2", "resnet18", "resnet50",
+                                     "yolohead"]
+        for name, (builder, size) in GRAPH_ZOO.items():
+            network = builder(size)
+            assert len(network) > 0
+            assert network.plan_family == "graph"
+
+    def test_registry_sizes_are_minimal(self):
+        """The registered size is the smallest legal one: one step down
+        must be rejected."""
+        for builder, size in GRAPH_ZOO.values():
+            stride = 32 if builder is not yolo_head else 16
+            with pytest.raises(GraphError, match="input size"):
+                builder(size - stride)
+
+
+class TestFamilies:
+    def test_resnet18_structure(self):
+        net = resnet18(37)
+        joins = [n for n in net if isinstance(n.spec, JOIN_SPECS)]
+        assert len(joins) == 8  # 4 stages x 2 basic blocks
+        assert all(n.spec.op == "add" for n in joins)
+        assert isinstance(net.node("fc").spec, FCSpec)
+        assert net.output_shape.channels == 1000
+
+    def test_resnet50_uses_bottlenecks_and_projections(self):
+        net = resnet50(37)
+        joins = [n for n in net if isinstance(n.spec, JOIN_SPECS)]
+        assert len(joins) == 16  # 3+4+6+3 bottleneck blocks
+        projections = [n for n in net if n.name.endswith("_proj")]
+        assert len(projections) == 4
+        for node in projections:
+            assert isinstance(node.spec, ConvSpec)
+            assert node.spec.kernel == 1 and not node.spec.bias
+
+    def test_mobilenetv2_depthwise_and_residuals(self):
+        net = mobilenetv2(33)
+        depthwise = [n for n in net
+                     if isinstance(n.spec, ConvSpec) and n.spec.groups > 1]
+        assert depthwise
+        for node in depthwise:
+            assert node.spec.groups == node.spec.out_channels
+        joins = [n for n in net if isinstance(n.spec, JOIN_SPECS)]
+        # Inverted residuals join only where stride 1 and equal channels.
+        assert len(joins) == 10
+
+    def test_yolo_head_routes_concat(self):
+        net = yolo_head(48)
+        cat = net.node("route")
+        assert cat.inputs == ("conv6_relu", "conv5_relu")
+        assert net.node("detect").output_shape.channels == 125
+
+    def test_default_sizes_are_imagenet_scale(self):
+        assert resnet18().input_shape.height == 197
+        assert mobilenetv2().input_shape.height == 193
+        assert yolo_head().input_shape.height == 208

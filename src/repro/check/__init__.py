@@ -25,6 +25,11 @@ from .analyzer import (
     check_pyramid_geometry,
 )
 from .diagnostics import CODES, CheckReport, Diagnostic, Severity, diag
+from .dist import (
+    check_pipeline_plan,
+    check_pipeline_plan_dict,
+    check_pipeline_plan_file,
+)
 from .graph import (
     check_graph_dict,
     check_graph_network,
@@ -61,6 +66,9 @@ __all__ = [
     "check_levels",
     "check_network",
     "check_partition",
+    "check_pipeline_plan",
+    "check_pipeline_plan_dict",
+    "check_pipeline_plan_file",
     "check_pipeline_schedule",
     "check_plan_cache_file",
     "check_plan_dict",

@@ -17,6 +17,8 @@ RC3xx  schedules: hazards in fused/pipeline/channel schedules
 RC4xx  records: compiled plans, plan caches, tuning databases
 RC5xx  traces: exported request-trace files (JSONL / Chrome trace)
 RC6xx  soak: overload-soak reports (accounting, correctness, scaling)
+RC7xx  graphs: DAG structure, joins, lowering coverage
+RC8xx  pipeline plans: stage coverage, device fits, links, aliasing
 RL1xx  lint: error-hierarchy discipline
 RL2xx  lint: determinism (seeded randomness, wall clock)
 RL3xx  lint: observability naming conventions
@@ -102,6 +104,13 @@ CODES: Dict[str, tuple] = {
     "RC704": (Severity.ERROR, "lowering does not cover the graph"),
     "RC705": (Severity.ERROR, "invalid graph node"),
     "RC706": (Severity.ERROR, "invalid graph plan record"),
+    # -- RC8xx pipeline (multi-device) plans ----------------------------------
+    "RC801": (Severity.ERROR, "stage split does not cover the network"),
+    "RC802": (Severity.ERROR, "stage exceeds its device's DSP budget"),
+    "RC803": (Severity.WARNING, "stage working set exceeds device BRAM"),
+    "RC804": (Severity.ERROR, "link traffic inconsistent with link model"),
+    "RC805": (Severity.ERROR, "pipeline plan key aliases another plan"),
+    "RC806": (Severity.ERROR, "pipeline interval/latency mispriced"),
     # -- RL lint ------------------------------------------------------------
     "RL101": (Severity.ERROR, "bare ValueError/RuntimeError raise"),
     "RL201": (Severity.ERROR, "unseeded randomness in deterministic module"),

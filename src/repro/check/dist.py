@@ -1,0 +1,253 @@
+"""Static validation of pipeline (multi-device) plans: the RC8xx family.
+
+A :class:`~repro.dist.plan.PipelinePlan` crosses process boundaries the
+same way a base plan does — as JSON in a plan cache — and carries the
+extra surface a hand edit or version skew can corrupt: a device fleet,
+a link model, a stage split, and a priced estimate. The checks here
+work on the serialized dictionary (no executor is built, no pricing
+search is re-run) and pin each failure mode to a stable code:
+
+* **RC801** — the stage split must cover every fused group of the base
+  plan exactly once, one non-empty stage per device;
+* **RC802** — every stage's DSP floor must fit its device;
+* **RC803** — a stage working set over its device's BRAM is suspicious
+  (warning: the estimate is a bound, not a schedule);
+* **RC804** — stored link traffic must be self-consistent: transfer
+  cycles re-derivable from the link model, no traffic out of the last
+  stage, one link model shared by plan and estimate;
+* **RC805** — the key must be the base key re-tagged with the
+  ``pipeline`` family and the fleet variant actually stored — a sharded
+  plan may never alias its base plan or a differently sharded sibling;
+* **RC806** — the frozen interval/latency must equal what the stored
+  per-stage cycles imply (max and sum of stage costs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+from .diagnostics import Diagnostic, diag
+
+_PIPELINE_FIELDS = ("key", "base", "devices", "link", "boundaries",
+                    "estimate")
+_STAGE_FIELDS = ("device", "atom_start", "atom_count", "compute_cycles",
+                 "dram_cycles", "link_out_bytes", "link_cycles",
+                 "dsp_floor", "bram_words")
+
+
+def _base_num_groups(base: Dict[str, Any]) -> Optional[int]:
+    """Fused-group count of a serialized base plan (linear or graph)."""
+    key = base.get("key")
+    family = key.get("family", "linear") if isinstance(key, dict) else "linear"
+    if family == "graph":
+        decisions = base.get("decisions")
+        if not isinstance(decisions, list):
+            return None
+        try:
+            return sum(len(d["sizes"]) for d in decisions)
+        except (KeyError, TypeError):
+            return None
+    sizes = base.get("partition_sizes")
+    if not isinstance(sizes, list):
+        return None
+    return len(sizes)
+
+
+def check_pipeline_plan_dict(data: Dict[str, Any],
+                             network: Optional[Any] = None,
+                             site: str = "") -> List[Diagnostic]:
+    """Validate one serialized pipeline plan (``PipelinePlan.to_dict``)."""
+    from ..dist.plan import DEFAULT_WEIGHT_ITEMS, pipeline_plan_key
+    from ..hw.device import DeviceSpec, WORDS_PER_BRAM18
+    from ..hw.link import LinkSpec
+    from ..serve.plan import PlanKey
+    from .records import check_plan_dict
+
+    out: List[Diagnostic] = []
+    if not isinstance(data, dict):
+        return [diag("RC408", f"pipeline plan record is "
+                     f"{type(data).__name__}, not an object", site=site)]
+    missing = [f for f in _PIPELINE_FIELDS if f not in data]
+    if missing:
+        return [diag("RC408", f"pipeline plan record is missing {missing}",
+                     site=site, missing=missing)]
+    try:
+        key = PlanKey.from_dict(data["key"])
+    except (KeyError, TypeError, ValueError) as err:
+        return [diag("RC403", f"unparseable plan key: {err}", site=site)]
+    site = site or str(key)
+
+    base = data["base"]
+    out.extend(check_plan_dict(base, network=network,
+                               site=f"{site}/base"))
+
+    try:
+        devices = [DeviceSpec.from_dict(d) for d in data["devices"]]
+        link = LinkSpec.from_dict(data["link"])
+    except (ConfigError, KeyError, TypeError, ValueError) as err:
+        out.append(diag("RC408", f"device fleet does not rebuild: {err}",
+                        site=site))
+        return out
+    weight_items = int(data.get("weight_items", DEFAULT_WEIGHT_ITEMS))
+
+    # -- RC805: key = base key re-tagged, never aliasing anything else ------
+    if key.family != "pipeline":
+        out.append(diag(
+            "RC805", f"sharded plan declares family {key.family!r}: it "
+            "would alias an unsharded plan in a cache", site=site,
+            family=key.family))
+    if isinstance(base.get("key"), dict):
+        try:
+            base_key = PlanKey.from_dict(base["key"])
+        except (KeyError, TypeError, ValueError):
+            base_key = None  # reported by the base check above
+        if base_key is not None:
+            if base_key.family not in ("linear", "graph"):
+                out.append(diag(
+                    "RC805", f"base plan family {base_key.family!r} is not "
+                    "shardable (pipeline-of-pipeline)", site=site,
+                    base_family=base_key.family))
+            expected = pipeline_plan_key(base_key, devices, link,
+                                         weight_items)
+            if key != expected and key.family == "pipeline":
+                out.append(diag(
+                    "RC805", f"key {key} does not match the stored fleet "
+                    f"(expected {expected}): two fleets would alias one "
+                    "cache slot", site=site, key=str(key),
+                    expected=str(expected)))
+
+    # -- RC801: stage split covers the base plan's groups -------------------
+    try:
+        boundaries = [int(b) for b in data["boundaries"]]
+    except (TypeError, ValueError):
+        out.append(diag("RC801", "boundaries are not a list of stage "
+                        "sizes", site=site))
+        return out
+    num_groups = _base_num_groups(base) if isinstance(base, dict) else None
+    if len(boundaries) != len(devices):
+        out.append(diag(
+            "RC801", f"{len(boundaries)} stages for {len(devices)} "
+            "devices: one stage per device required", site=site,
+            stages=len(boundaries), devices=len(devices)))
+    if any(b < 1 for b in boundaries):
+        out.append(diag("RC801", f"stage sizes {boundaries} contain an "
+                        "empty stage", site=site, boundaries=boundaries))
+    elif num_groups is not None and sum(boundaries) != num_groups:
+        out.append(diag(
+            "RC801", f"stage sizes {boundaries} cover {sum(boundaries)} "
+            f"groups but the base plan has {num_groups}: part of the "
+            "network would never execute", site=site,
+            boundaries=boundaries, groups=num_groups))
+
+    estimate = data["estimate"]
+    stages = estimate.get("stages") if isinstance(estimate, dict) else None
+    if not isinstance(stages, list) or not stages:
+        out.append(diag("RC408", "estimate has no stage list", site=site))
+        return out
+    for i, stage in enumerate(stages):
+        bad = [f for f in _STAGE_FIELDS
+               if not isinstance(stage, dict) or f not in stage]
+        if bad:
+            out.append(diag("RC408", f"stage {i} is missing {bad}",
+                            site=site, stage=i, missing=bad))
+            return out
+    if [int(s["atom_count"]) for s in stages] != boundaries:
+        out.append(diag(
+            "RC801", "estimate stages disagree with the stored boundaries",
+            site=site, boundaries=boundaries,
+            estimate=[int(s["atom_count"]) for s in stages]))
+    expected_start = 0
+    for i, stage in enumerate(stages):
+        if int(stage["atom_start"]) != expected_start:
+            out.append(diag(
+                "RC801", f"stage {i} starts at atom {stage['atom_start']}, "
+                f"expected {expected_start}: stages must tile the group "
+                "sequence contiguously", site=site, stage=i))
+            break
+        expected_start += int(stage["atom_count"])
+
+    # -- RC802/RC803: per-stage resource feasibility ------------------------
+    for i, (stage, device) in enumerate(zip(stages, devices)):
+        if int(stage["dsp_floor"]) > device.dsp:
+            out.append(diag(
+                "RC802", f"stage {i} needs {stage['dsp_floor']} DSP but "
+                f"device {device.name!r} has {device.dsp}", site=site,
+                stage=i, dsp_floor=int(stage["dsp_floor"]), dsp=device.dsp))
+        bram18 = -(-int(stage["bram_words"]) // WORDS_PER_BRAM18)
+        if bram18 > device.bram18:
+            out.append(diag(
+                "RC803", f"stage {i} working set is ~{bram18} BRAM18 but "
+                f"device {device.name!r} has {device.bram18}: weights or "
+                "line buffers would spill", site=site, stage=i,
+                bram18=bram18, capacity=device.bram18))
+
+    # -- RC804: link-capacity consistency -----------------------------------
+    if (isinstance(estimate.get("link"), dict)
+            and estimate["link"] != data["link"]):
+        out.append(diag(
+            "RC804", "the estimate was priced with a different link model "
+            "than the plan stores", site=site))
+    for i, stage in enumerate(stages):
+        link_out = int(stage["link_out_bytes"])
+        cycles = int(stage["link_cycles"])
+        if link_out < 0 or cycles < 0:
+            out.append(diag("RC804", f"stage {i} has negative link "
+                            "traffic", site=site, stage=i))
+            continue
+        if i == len(stages) - 1 and link_out:
+            out.append(diag(
+                "RC804", f"last stage claims {link_out} link-out bytes but "
+                "has no downstream device", site=site, stage=i,
+                link_out_bytes=link_out))
+        expected_cycles = link.transfer_cycles(link_out)
+        if cycles != expected_cycles:
+            out.append(diag(
+                "RC804", f"stage {i} stores {cycles} link cycles for "
+                f"{link_out} bytes; the link model prices "
+                f"{expected_cycles}", site=site, stage=i,
+                link_cycles=cycles, expected=expected_cycles))
+
+    # -- RC806: interval / latency sanity ------------------------------------
+    costs = [max(int(s["compute_cycles"]), int(s["dram_cycles"]))
+             + int(s["link_cycles"]) for s in stages]
+    interval = int(estimate.get("interval_cycles", -1))
+    latency = int(estimate.get("latency_cycles", -1))
+    if interval != max(costs):
+        out.append(diag(
+            "RC806", f"interval {interval} != max stage cost {max(costs)}: "
+            "the steady-state pipeline rate is mispriced", site=site,
+            interval=interval, expected=max(costs)))
+    if latency != sum(costs):
+        out.append(diag(
+            "RC806", f"latency {latency} != sum of stage costs "
+            f"{sum(costs)}", site=site, latency=latency,
+            expected=sum(costs)))
+    if interval <= 0:
+        out.append(diag("RC806", f"interval must be positive, got "
+                        f"{interval}", site=site, interval=interval))
+    return out
+
+
+def check_pipeline_plan(plan: Any,
+                        network: Optional[Any] = None) -> List[Diagnostic]:
+    """Validate an in-memory :class:`~repro.dist.plan.PipelinePlan`.
+
+    Round-trips through :meth:`PipelinePlan.to_dict` (the idiom of
+    :func:`~repro.check.records.check_compiled_plan`) so the persisted
+    and in-memory contracts cannot drift.
+    """
+    return check_pipeline_plan_dict(plan.to_dict(), network=network)
+
+
+def check_pipeline_plan_file(path: str,
+                             network: Optional[Any] = None
+                             ) -> List[Diagnostic]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [diag("RC408", f"cannot read pipeline plan: {err}",
+                     site=str(path))]
+    return check_pipeline_plan_dict(payload, network=network)

@@ -72,6 +72,11 @@ def check_plan_dict(data: Dict[str, Any],
         graph_network = (network if getattr(network, "plan_family", "linear")
                          == "graph" else None)
         return check_graph_plan_dict(data, network=graph_network, site=site)
+    if (isinstance(key_data, dict)
+            and key_data.get("family", "linear") == "pipeline"):
+        from .dist import check_pipeline_plan_dict
+
+        return check_pipeline_plan_dict(data, network=network, site=site)
     missing = [f for f in _PLAN_FIELDS if f not in data]
     if missing:
         return [diag("RC403", f"plan record is missing {missing}",
@@ -316,4 +321,11 @@ def check_tuned_record(record: Any, fingerprint: str,
             "RC407", f"record partition covers {candidate.num_units} units "
             f"but the network has {num_units}", site=site,
             sizes=record.partition_sizes, units=num_units))
+    devices = getattr(record, "devices", 1)
+    if devices < 1 or devices > len(record.partition_sizes):
+        out.append(diag(
+            "RC407", f"record wants {devices} devices but the partition "
+            f"has only {len(record.partition_sizes)} stages to shard",
+            site=site, devices=devices,
+            groups=len(record.partition_sizes)))
     return out

@@ -448,10 +448,13 @@ def cmd_tune(args) -> None:
     from .tune import tune
 
     network = _network(args.network, file=args.file, input_size=args.input_size)
+    device_counts = (tuple(int(d) for d in args.device_counts.split(","))
+                     if args.device_counts else None)
     result = tune(network, objective=args.objective, strategy=args.strategy,
                   evals=args.evals, seconds=args.seconds,
                   seed=args.fault_seed, jobs=args.jobs, batch=args.batch,
-                  num_convs=args.convs, dsp_budget=args.dsp, db=args.db)
+                  num_convs=args.convs, dsp_budget=args.dsp, db=args.db,
+                  device_counts=device_counts)
 
     print(f"{result.network_name}: {result.objective.describe()} over "
           f"{result.space.num_units} fusion units "
@@ -476,6 +479,12 @@ def cmd_tune(args) -> None:
           f"transfer {metrics['bytes'] / 2**20:.2f} MB, "
           f"DSP {metrics.get('dsp', 0):,.0f}, "
           f"BRAM18 {metrics.get('bram18', 0):,.0f}")
+    if "pipe_interval" in metrics and device_counts:
+        print(f"  pipeline: {result.incumbent.candidate.devices} device(s), "
+              f"interval {metrics['pipe_interval']:,.0f} cycles, "
+              f"interval*DSP {metrics['interval_dsp']:,.0f}, "
+              f"link {metrics.get('link_bytes', 0):,.0f} B/item, "
+              f"{metrics.get('throughput_per_dsp', 0):.6g} items/s/DSP")
     if len(result.pareto) > 1:
         print(f"  pareto archive ({len(result.pareto)} points, "
               f"cycles/energy/bytes):")
@@ -551,6 +560,69 @@ def cmd_multi(args) -> None:
           f"{design.resources().bram18:,}")
 
 
+def cmd_pipeline(args) -> None:
+    """Stage table of a multi-device pipeline shard of one network.
+
+    Shards the compiled plan's fused groups across ``--devices``
+    simulated accelerators (a resource-neutral split of the Virtex-7
+    device: each shard gets 1/K of the DSPs and BRAM, its own clock and
+    DRAM channel) and prints the per-stage compute/DRAM/link breakdown,
+    the steady-state initiation interval, per-stage utilization, and the
+    fill/drain verdict of an ``--items``-long micro-batch run.
+    """
+    import json
+
+    from .dist import simulate_microbatches
+    from .hw.device import DEFAULT_DEVICE, split_device
+    from .hw.link import LinkSpec
+    from .serve import compile_plan
+
+    network = _network(args.network, input_size=args.input_size, graph=True)
+    devices = split_device(DEFAULT_DEVICE, args.devices)
+    link = LinkSpec(latency_cycles=args.link_latency,
+                    bytes_per_cycle=args.link_bandwidth)
+    partition = _parse_sizes(args.partition) if args.partition else None
+    plan = compile_plan(network, devices=devices, link=link,
+                        weight_items=args.weight_items,
+                        partition_sizes=partition)
+    est = plan.estimate
+    utils = est.stage_utilization
+    print(plan.describe())
+    print(f"  {'stage':>5s} {'device':16s} {'groups':>6s} "
+          f"{'compute':>12s} {'dram':>12s} {'link':>10s} {'cost':>12s} "
+          f"{'util':>6s}")
+    for s, util in zip(est.stages, utils):
+        groups = (f"{s.atom_start}" if s.atom_count == 1
+                  else f"{s.atom_start}-{s.atom_start + s.atom_count - 1}")
+        bound = " max" if s.cost == est.interval_cycles else ""
+        print(f"  {s.index:>5d} {s.device.name:16s} {groups:>6s} "
+              f"{s.compute_cycles:>12,} {s.dram_cycles:>12,} "
+              f"{s.link_cycles:>10,} {s.cost:>12,} {util:>6.2f}{bound}")
+    run = simulate_microbatches([s.stage_cycles for s in est.stages],
+                                [s.link_cycles for s in est.stages],
+                                num_items=args.items)
+    print(f"  steady interval:  {est.interval_cycles:>14,} cycles "
+          f"({est.items_per_s:,.1f} items/s)")
+    print(f"  per-item latency: {est.latency_cycles:>14,} cycles")
+    print(f"  link traffic:     {est.link_bytes:>14,} B/item")
+    print(f"  fill/drain over {args.items} items: "
+          f"{run.fill_drain_cycles:,} cycles "
+          f"(bottleneck stage {run.bottleneck_stage})")
+    print(f"  throughput/DSP:   {est.throughput_per_dsp:.6g} items/s/DSP "
+          f"({est.total_dsp:,} DSPs total)")
+    if args.json:
+        summary = {"bench": "pipeline", "network": network.name,
+                   "devices": args.devices,
+                   "key": str(plan.key),
+                   "estimate": est.to_dict(),
+                   "stage_utilization": list(utils),
+                   "run": run.to_dict()}
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote pipeline summary JSON to {args.json}")
+
+
 def cmd_serve_bench(args) -> None:
     """Benchmark the :mod:`repro.serve` subsystem on one network.
 
@@ -597,6 +669,12 @@ def cmd_serve_bench(args) -> None:
     storage = (None if args.storage_budget is None
                else args.storage_budget * 2 ** 10)
     strategy = Strategy.RECOMPUTE if args.recompute else Strategy.REUSE
+    devices = None
+    if args.devices:
+        from .hw.device import DEFAULT_DEVICE, split_device
+
+        devices = split_device(DEFAULT_DEVICE, args.devices)
+    partition = _parse_sizes(args.partition) if args.partition else None
     svc = InferenceService(
         network, workers=args.workers, mode=args.mode,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
@@ -604,7 +682,10 @@ def cmd_serve_bench(args) -> None:
         storage_budget_bytes=storage, precision=args.precision,
         seed=args.fault_seed, faults=injector,
         retry=RetryPolicy(max_attempts=args.max_attempts), cache=cache,
-        trace=args.trace is not None, slo=args.slo)
+        trace=args.trace is not None, slo=args.slo,
+        devices=devices, partition_sizes=partition)
+    if devices:
+        print(svc.plan().describe())
 
     futures = []
     admitted = []
@@ -677,6 +758,14 @@ def cmd_serve_bench(args) -> None:
                    "workers": args.workers, "max_batch": args.max_batch,
                    "mode": args.mode, **svc.stats.summary(),
                    "plan_cache": cache.stats_dict()}
+        if devices:
+            est = svc.plan().estimate
+            summary["pipeline"] = {
+                "devices": args.devices,
+                "interval_cycles": est.interval_cycles,
+                "link_bytes": est.link_bytes,
+                "throughput_per_dsp": est.throughput_per_dsp,
+            }
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -1381,7 +1470,41 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--prom", default=None, metavar="PATH",
                     help="write a Prometheus text exposition snapshot "
                          "('-' for stdout)")
+    sb.add_argument("--devices", type=int, default=0, metavar="K",
+                    help="serve a pipeline plan sharded across K simulated "
+                         "devices (a resource-neutral split of the Virtex-7 "
+                         "part); 0 serves the unsharded plan")
+    sb.add_argument("--partition", default=None, metavar="SIZES",
+                    help="explicit fused-group sizes (e.g. 2,3,2) for the "
+                         "sharded plan instead of the explored partition")
     sb.set_defaults(func=cmd_serve_bench)
+
+    pl = sub.add_parser(
+        "pipeline",
+        help="stage table of a plan sharded across simulated devices")
+    pl.add_argument("network", nargs="?", default="toynet")
+    pl.add_argument("--input-size", type=int, default=None,
+                    help="input resolution for DAG zoo networks")
+    pl.add_argument("--devices", type=int, default=2, metavar="K",
+                    help="number of pipeline devices (resource-neutral "
+                         "split of the Virtex-7 part)")
+    pl.add_argument("--partition", default=None, metavar="SIZES",
+                    help="explicit fused-group sizes (e.g. 1,1,1) instead "
+                         "of the explored partition")
+    pl.add_argument("--items", type=int, default=32, metavar="N",
+                    help="micro-batch items for the fill/drain simulation")
+    pl.add_argument("--weight-items", type=int, default=8, metavar="N",
+                    dest="weight_items",
+                    help="micro-batch run length weights amortize over")
+    pl.add_argument("--link-latency", type=int, default=500,
+                    dest="link_latency", metavar="CYCLES",
+                    help="per-transfer link latency in cycles")
+    pl.add_argument("--link-bandwidth", type=float, default=16.0,
+                    dest="link_bandwidth", metavar="B_PER_CYCLE",
+                    help="sustained link streaming rate in bytes/cycle")
+    pl.add_argument("--json", default=None, metavar="PATH",
+                    help="write the stage table and estimate JSON here")
+    pl.set_defaults(func=cmd_pipeline)
 
     sl = sub.add_parser(
         "slo",
@@ -1520,7 +1643,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="conv-layer prefix to tune (default: all convs)")
     tn.add_argument("--objective", default="cycles",
                     help="metric to minimize: cycles | interval | energy | "
-                         "bytes, or a weighted sum like cycles=0.7,energy=0.3")
+                         "bytes | pipe_interval | interval_dsp (a.k.a. "
+                         "throughput_per_dsp), or a weighted sum like "
+                         "cycles=0.7,energy=0.3")
+    tn.add_argument("--device-counts", default=None, metavar="K1,K2,...",
+                    dest="device_counts",
+                    help="open the pipeline devices axis: co-search the "
+                         "partition with these fleet sizes (e.g. 1,2,4), "
+                         "priced by the repro.dist stage/link model")
     tn.add_argument("--strategy", choices=("random", "evolve"),
                     default="evolve", help="search strategy")
     tn.add_argument("--evals", type=int, default=None, metavar="N",

@@ -1,0 +1,171 @@
+"""Micro-batch pipeline scheduling with bounded per-stage queues.
+
+Given the per-stage costs a :class:`~repro.dist.stage.PipelineEstimate`
+produced, this simulates a stream of micro-batch items through the
+device chain in virtual cycles. The model:
+
+* a stage *serves* one item at a time; its service time is stage cycles
+  plus link-out cycles (the output port streams to the next device, so
+  the stage cannot accept the next item until the transfer drains) —
+  which makes the analytic steady-state interval exactly
+  ``max(stage compute + link transfer)``, the definition the cost model
+  freezes into plans;
+* each stage has a **bounded input queue** of ``queue_depth`` items.
+  A full queue exerts backpressure: the upstream stage may not *begin*
+  an item until the queue slot its output will occupy has been freed
+  (blocking-before-service), so a slow stage stalls the whole upstream
+  chain instead of buffering unboundedly;
+* fill and drain are first-class: the report separates the pipeline
+  fill (first item's traversal), the steady region, and the combined
+  fill/drain/blocking overhead over a perfectly steady pipeline.
+
+Everything is a pure function of its arguments — no wall clock, no
+randomness — so identical-seed serving runs report identical schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MicroBatchRun:
+    """One simulated pipeline run over ``num_items`` micro-batches."""
+
+    num_items: int
+    queue_depth: int
+    stage_service: Tuple[int, ...]
+    makespan_cycles: int
+    fill_cycles: int
+    fill_drain_cycles: int
+    steady_interval: int
+    measured_interval: float
+    stage_busy: Tuple[int, ...]
+    stage_utilization: Tuple[float, ...]
+    blocked_cycles: int
+    max_queue: Tuple[int, ...]
+
+    @property
+    def bottleneck_stage(self) -> int:
+        return max(range(len(self.stage_service)),
+                   key=lambda s: self.stage_service[s])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_items": self.num_items,
+            "queue_depth": self.queue_depth,
+            "stage_service": list(self.stage_service),
+            "makespan_cycles": self.makespan_cycles,
+            "fill_cycles": self.fill_cycles,
+            "fill_drain_cycles": self.fill_drain_cycles,
+            "steady_interval": self.steady_interval,
+            "measured_interval": self.measured_interval,
+            "stage_busy": list(self.stage_busy),
+            "stage_utilization": list(self.stage_utilization),
+            "blocked_cycles": self.blocked_cycles,
+            "max_queue": list(self.max_queue),
+        }
+
+
+def simulate_microbatches(stage_cycles: Sequence[int],
+                          link_cycles: Sequence[int],
+                          num_items: int,
+                          queue_depth: int = 2) -> MicroBatchRun:
+    """Run ``num_items`` items through the stage chain.
+
+    ``stage_cycles[s]`` is stage ``s``'s processing time per item;
+    ``link_cycles[s]`` the outbound transfer after it (the last entry is
+    ignored — there is no link after the final stage).
+    """
+    num_stages = len(stage_cycles)
+    if num_stages < 1:
+        raise ConfigError("a pipeline needs at least one stage")
+    if len(link_cycles) not in (num_stages, num_stages - 1):
+        raise ConfigError("one link per stage boundary required",
+                          stages=num_stages, links=len(link_cycles))
+    if num_items < 1:
+        raise ConfigError("need at least one item", num_items=num_items)
+    if queue_depth < 1:
+        raise ConfigError("queue depth must be >= 1",
+                          queue_depth=queue_depth)
+    service = [int(stage_cycles[s])
+               + (int(link_cycles[s]) if s < num_stages - 1 else 0)
+               for s in range(num_stages)]
+    if any(s <= 0 for s in service):
+        service = [max(s, 1) for s in service]
+
+    # begin[s] holds begin times of the last `queue_depth + 1` items per
+    # stage (enough history for the backpressure constraint).
+    history: List[List[int]] = [[] for _ in range(num_stages)]
+    last_begin = [-1] * num_stages  # begin time of the previous item
+    arrivals: List[List[Tuple[int, int]]] = [[] for _ in range(num_stages)]
+    blocked = 0
+    first_done = 0
+    last_done = 0
+    prev_done = 0
+    measured: List[int] = []
+
+    for item in range(num_items):
+        arrive = 0
+        for s in range(num_stages):
+            ready = arrive
+            if last_begin[s] >= 0:
+                ready = max(ready, last_begin[s] + service[s])
+            begin = ready
+            if s + 1 < num_stages:
+                # backpressure: downstream queue slot must be free —
+                # item (item - queue_depth) must already be in service
+                # downstream before this item may occupy the queue.
+                idx = item - queue_depth
+                if idx >= 0:
+                    release = history[s + 1][idx]
+                    if release > begin:
+                        blocked += release - begin
+                        begin = release
+            history[s].append(begin)
+            last_begin[s] = begin
+            arrivals[s].append((arrive, begin))
+            arrive = begin + service[s]
+        done = arrive
+        if item == 0:
+            first_done = done
+        else:
+            measured.append(done - prev_done)
+        prev_done = done
+        last_done = done
+
+    steady = max(service)
+    makespan = last_done
+    busy = tuple(service[s] * num_items for s in range(num_stages))
+    max_queue = _max_occupancy(arrivals, num_stages)
+    return MicroBatchRun(
+        num_items=num_items, queue_depth=queue_depth,
+        stage_service=tuple(service), makespan_cycles=makespan,
+        fill_cycles=first_done,
+        fill_drain_cycles=max(makespan - num_items * steady, 0),
+        steady_interval=steady,
+        measured_interval=(sum(measured) / len(measured)
+                           if measured else float(first_done)),
+        stage_busy=busy,
+        stage_utilization=tuple(b / makespan for b in busy),
+        blocked_cycles=blocked,
+        max_queue=max_queue)
+
+
+def _max_occupancy(arrivals: List[List[Tuple[int, int]]],
+                   num_stages: int) -> Tuple[int, ...]:
+    """Peak input-queue occupancy per stage: items arrived but not yet
+    begun, sampled at every arrival instant."""
+    peaks: List[int] = []
+    for s in range(num_stages):
+        events = arrivals[s]
+        peak = 0
+        for i, (arrive, _) in enumerate(events):
+            depth = sum(1 for a, b in events[:i + 1]
+                        if a <= arrive and b > arrive)
+            peak = max(peak, depth)
+        peaks.append(peak)
+    return tuple(peaks)

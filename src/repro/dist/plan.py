@@ -1,0 +1,365 @@
+"""PipelinePlan: the ``"pipeline"`` compiled-plan family.
+
+A pipeline plan wraps a base compiled plan (linear or graph) together
+with a device fleet, a link model, and a frozen stage split. It mirrors
+the :class:`~repro.serve.plan.CompiledPlan` surface (``key``,
+``execute``, ``byte_size``, ``num_groups``, ``describe``,
+``to_dict``/``from_dict``) so the serving stack — ``PlanCache``,
+``InferenceService``, ``WorkerPool`` — treats sharded plans like any
+other.
+
+Two things are deliberately decoupled:
+
+* **numerics** run stage-by-stage through the *same* operator sequence
+  the base plan's executor applies — linear stages execute contiguous
+  layer-binding slices via :class:`~repro.sim.network_exec.NetworkExecutor`,
+  graph stages execute :meth:`~repro.graph.executor.GraphExecutor.run_atom`
+  runs — so outputs are **bit-identical** to direct execution, including
+  under fault plans (faults live inside the unchanged fused executors);
+* **timing** is simulated in virtual cycles: every ``execute`` call also
+  runs the micro-batch scheduler over the frozen stage costs and records
+  the result (``last_run``) plus wall-clock per-stage offsets
+  (``last_stage_report``) for the per-device trace lanes.
+
+The plan key carries ``family="pipeline"`` and a variant tagged with the
+device count and fleet fingerprint (``pipe:d<K>:<fp>``), so a sharded
+plan can never alias its base plan — or a differently sharded sibling —
+in a cache (RC805 enforces this statically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..errors import ConfigError
+from ..hw.device import DeviceSpec
+from ..hw.link import DEFAULT_LINK, LinkSpec
+from ..nn.layers import ConvSpec, PoolSpec
+from ..nn.stages import extract_levels, independent_units
+from .pipeline import MicroBatchRun, simulate_microbatches
+from .stage import PipelineEstimate, balance_stages, plan_atoms
+
+
+#: Micro-batch run length weights amortize over by default: a stage
+#: streams its weights once, then serves this many items before the next
+#: fetch. Priced identically into single-device baselines for fairness.
+DEFAULT_WEIGHT_ITEMS = 8
+
+
+def fleet_fingerprint(devices: Sequence[DeviceSpec], link: LinkSpec,
+                      weight_items: int = DEFAULT_WEIGHT_ITEMS) -> str:
+    """Order-sensitive fingerprint of the device chain, its links, and
+    the weight-amortization run length (all the pricing inputs)."""
+    payload = "|".join([d.fingerprint() for d in devices]
+                       + [link.fingerprint(), f"m{weight_items}"])
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def pipeline_variant(base_variant: str, devices: Sequence[DeviceSpec],
+                     link: LinkSpec,
+                     weight_items: int = DEFAULT_WEIGHT_ITEMS) -> str:
+    """The variant string a sharded plan's key carries.
+
+    Encodes the device count and fleet fingerprint so pipeline plans of
+    the same base configuration but different fleets never alias.
+    """
+    fp = fleet_fingerprint(devices, link, weight_items)[:8]
+    tag = f"pipe:d{len(devices)}:{fp}"
+    if base_variant and base_variant != "default":
+        return f"{base_variant}|{tag}"
+    return tag
+
+
+def pipeline_plan_key(base_key, devices: Sequence[DeviceSpec],
+                      link: LinkSpec,
+                      weight_items: int = DEFAULT_WEIGHT_ITEMS):
+    """The :class:`~repro.serve.plan.PlanKey` a sharded compilation of
+    ``base_key`` gets — family ``"pipeline"``, fleet-tagged variant —
+    computable without compiling (the cache's lookup path)."""
+    return dataclasses.replace(
+        base_key, family="pipeline",
+        variant=pipeline_variant(base_key.variant, devices, link,
+                                 weight_items))
+
+
+def _linear_stage_bindings(network, partition_sizes: Sequence[int],
+                           boundaries: Sequence[int]) -> List[List[Any]]:
+    """Layer bindings of each pipeline stage of a linear plan.
+
+    Maps every binding to the fused group that owns it — windowed layers
+    by partition position, pads with the level they fold into, ReLU/LRN
+    with their producer, the classifier tail with the last group — then
+    slices groups by the stage boundaries. Concatenating the slices
+    reproduces the network's layer order exactly.
+    """
+    extractor = network.feature_extractor()
+    units = independent_units(extract_levels(extractor))
+    level_group: List[int] = []
+    unit_group: List[int] = []
+    for g, size in enumerate(partition_sizes):
+        unit_group.extend([g] * int(size))
+    if len(unit_group) != len(units):
+        raise ConfigError("partition does not cover the network",
+                          sizes=tuple(partition_sizes), units=len(units))
+    for u, unit in enumerate(units):
+        level_group.extend([unit_group[u]] * len(unit.levels))
+    last_group = len(partition_sizes) - 1
+    group_of: List[int] = []
+    w = 0
+    for binding in network:
+        spec = binding.spec
+        if isinstance(spec, (ConvSpec, PoolSpec)) and w < len(level_group):
+            group_of.append(level_group[w])
+            w += 1
+        elif type(spec).__name__ == "PadSpec" and w < len(level_group):
+            group_of.append(level_group[w])  # folds into the next level
+        else:
+            # ReLU/LRN ride their producer; the tail rides the last group.
+            group_of.append(group_of[-1] if group_of else 0)
+    stage_of_group: List[int] = []
+    for stage, count in enumerate(boundaries):
+        stage_of_group.extend([stage] * int(count))
+    stages: List[List[Any]] = [[] for _ in boundaries]
+    for binding, group in zip(network, group_of):
+        stages[stage_of_group[group]].append(binding)
+    return stages
+
+
+class PipelinePlan:
+    """A base plan sharded across a device fleet."""
+
+    def __init__(self, base, devices: Sequence[DeviceSpec], link: LinkSpec,
+                 estimate: PipelineEstimate, queue_depth: int = 2,
+                 weight_items: int = DEFAULT_WEIGHT_ITEMS,
+                 compile_s: float = 0.0):
+        if base.key.family not in ("linear", "graph"):
+            raise ConfigError(
+                f"cannot shard a {base.key.family!r} plan",
+                family=base.key.family)
+        if queue_depth < 1:
+            raise ConfigError("queue depth must be >= 1",
+                              queue_depth=queue_depth)
+        self.base = base
+        self.devices = tuple(devices)
+        self.link = link
+        self.estimate = estimate
+        self.queue_depth = queue_depth
+        self.weight_items = weight_items
+        self.compile_s = compile_s
+        self.key = pipeline_plan_key(base.key, self.devices, link,
+                                     weight_items)
+        self.network = base.network
+        self.seed = base.seed
+        self.degraded = base.degraded
+        self.executor = base.executor
+        self.last_run: Optional[MicroBatchRun] = None
+        self._tls = threading.local()
+        if base.key.family == "linear":
+            self._stage_bindings = _linear_stage_bindings(
+                base.network, base.partition_sizes, estimate.boundaries)
+            self._stage_atoms = None
+        else:
+            atoms = base.executor.exec_atoms()
+            if len(atoms) != base.num_groups:
+                raise ConfigError("atom extraction lost groups",
+                                  atoms=len(atoms), groups=base.num_groups)
+            self._stage_bindings = None
+            self._stage_atoms = []
+            start = 0
+            for count in estimate.boundaries:
+                self._stage_atoms.append(atoms[start:start + count])
+                start += count
+
+    # -- CompiledPlan surface ---------------------------------------------------
+
+    @property
+    def partition_sizes(self) -> Tuple[int, ...]:
+        return tuple(self.base.partition_sizes)
+
+    @property
+    def num_groups(self) -> int:
+        return self.base.num_groups
+
+    @property
+    def num_stages(self) -> int:
+        return self.estimate.num_stages
+
+    @property
+    def boundaries(self) -> Tuple[int, ...]:
+        return self.estimate.boundaries
+
+    @property
+    def byte_size(self) -> int:
+        return self.base.byte_size
+
+    @property
+    def last_stage_report(self) -> Optional[List[Dict[str, Any]]]:
+        """Per-stage wall-clock offsets of this thread's last ``execute``
+        call: ``[{stage, device, start_s, end_s}, ...]`` measured on the
+        :func:`time.perf_counter` clock — the tracer's time base, so the
+        serving worker can replay them as per-device spans."""
+        return getattr(self._tls, "report", None)
+
+    def describe(self) -> str:
+        interval = self.estimate.interval_cycles
+        return (f"{self.network.name}: {self.num_groups} groups over "
+                f"{self.num_stages} devices {self.boundaries}, interval "
+                f"{interval} cycles, {self.estimate.link_bytes} link B/item "
+                f"({self.key.precision} precision)")
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, xs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Run a batch stage by stage; bit-identical to the base plan.
+
+        Each item flows through every stage in order (the numerics are
+        sequential; the pipeline overlap is *simulated*), and the
+        micro-batch scheduler's verdict for this batch size lands in
+        ``last_run``/``last_stage_report``.
+        """
+        items = [np.asarray(x) for x in xs]
+        report: List[Dict[str, Any]] = []
+        with obs.span("dist.execute", network=self.network.name,
+                      devices=self.num_stages, batch=len(items)):
+            outs: List[np.ndarray] = []
+            stage_wall = [0.0] * self.num_stages
+            for item in items:
+                current = item
+                envs: Optional[Dict[str, np.ndarray]] = None
+                if self._stage_atoms is not None:
+                    from ..graph.ir import INPUT
+
+                    envs = {INPUT: np.asarray(item,
+                                              dtype=self.base.executor.dtype)}
+                for idx in range(self.num_stages):
+                    t0 = time.perf_counter()
+                    current = self._run_stage(idx, current, envs)
+                    stage_wall[idx] += time.perf_counter() - t0
+                outs.append(current)
+        if items:
+            clock = time.perf_counter()
+            offset = clock - sum(stage_wall)
+            for idx in range(self.num_stages):
+                report.append({
+                    "stage": idx,
+                    "device": self.devices[idx].name,
+                    "start_s": offset,
+                    "end_s": offset + stage_wall[idx],
+                })
+                offset += stage_wall[idx]
+            self._tls.report = report
+            self.last_run = simulate_microbatches(
+                [s.stage_cycles for s in self.estimate.stages],
+                [s.link_cycles for s in self.estimate.stages],
+                num_items=len(items), queue_depth=self.queue_depth)
+            obs.add_counter("dist.items_executed", len(items))
+            obs.add_counter("dist.link_bytes",
+                            self.estimate.link_bytes * len(items))
+        return outs
+
+    def _run_stage(self, idx: int, current: np.ndarray,
+                   envs: Optional[Dict[str, np.ndarray]]) -> np.ndarray:
+        if self._stage_bindings is not None:
+            for binding in self._stage_bindings[idx]:
+                current = self.base.executor._apply(binding.spec, current)
+            return current
+        assert envs is not None and self._stage_atoms is not None
+        for atom in self._stage_atoms[idx]:
+            self.base.executor.run_atom(atom, envs)
+        if idx == self.num_stages - 1:
+            return envs[self.base.program.output_tensor]
+        return current
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key.to_dict(),
+            "base": self.base.to_dict(),
+            "devices": [d.to_dict() for d in self.devices],
+            "link": self.link.to_dict(),
+            "boundaries": list(self.estimate.boundaries),
+            "queue_depth": self.queue_depth,
+            "weight_items": self.weight_items,
+            "estimate": self.estimate.to_dict(),
+            "seed": self.seed,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelinePlan":
+        from ..serve.plan import CompiledPlan
+
+        base = CompiledPlan.from_dict(data["base"])
+        devices = [DeviceSpec.from_dict(d) for d in data["devices"]]
+        link = LinkSpec.from_dict(data["link"])
+        boundaries = tuple(int(b) for b in data["boundaries"])
+        weight_items = int(data.get("weight_items", DEFAULT_WEIGHT_ITEMS))
+        atoms = plan_atoms(base)
+        estimate = balance_stages(atoms, devices, link,
+                                  boundaries=boundaries,
+                                  weight_items=weight_items)
+        return cls(base=base, devices=devices, link=link, estimate=estimate,
+                   queue_depth=int(data.get("queue_depth", 2)),
+                   weight_items=weight_items)
+
+
+def compile_pipeline_plan(network=None, devices: Sequence[DeviceSpec] = (),
+                          link: LinkSpec = DEFAULT_LINK,
+                          boundaries: Optional[Sequence[int]] = None,
+                          queue_depth: int = 2,
+                          weight_items: int = DEFAULT_WEIGHT_ITEMS,
+                          base=None, validate: bool = True,
+                          **compile_kwargs) -> PipelinePlan:
+    """Compile a network (or wrap an existing ``base`` plan) into a
+    pipeline plan over ``devices``.
+
+    Without explicit ``boundaries`` the stage split comes from
+    :func:`~repro.dist.stage.balance_stages` — the minimum steady-state
+    interval over all contiguous splits; with them (a cache restore, or
+    a tuner's choice) the split is only re-priced. Any remaining keyword
+    arguments go to :func:`repro.serve.plan.compile_plan` for the base
+    compilation.
+    """
+    if not devices:
+        raise ConfigError("a pipeline plan needs at least one device")
+    t0 = time.perf_counter()
+    if base is None:
+        if network is None:
+            raise ConfigError("need a network or a base plan")
+        from ..serve.plan import compile_plan
+
+        # devices=() (not None) keeps a tuned record's own device count
+        # from re-triggering the auto-shard recursively.
+        base = compile_plan(network, validate=validate, devices=(),
+                            **compile_kwargs)
+    atoms = plan_atoms(base)
+    with obs.span("dist.balance", network=base.network.name,
+                  devices=len(devices), groups=len(atoms)):
+        estimate = balance_stages(atoms, devices, link,
+                                  boundaries=boundaries,
+                                  weight_items=weight_items)
+    plan = PipelinePlan(base=base, devices=devices, link=link,
+                        estimate=estimate, queue_depth=queue_depth,
+                        weight_items=weight_items,
+                        compile_s=time.perf_counter() - t0)
+    if validate:
+        from ..check import check_pipeline_plan
+
+        findings = [d for d in check_pipeline_plan(plan) if d.is_error]
+        if findings:
+            raise ConfigError(
+                "pipeline plan failed static validation: "
+                + "; ".join(d.render() for d in findings[:3]),
+                key=str(plan.key), findings=len(findings))
+        obs.add_counter("serve.plans_validated")
+    obs.add_counter("serve.plans_compiled")
+    obs.add_counter("dist.plans_compiled")
+    return plan

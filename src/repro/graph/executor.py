@@ -20,6 +20,7 @@ fused-through skips from boundary skips.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -368,6 +369,101 @@ class GraphExecutor:
         if trace is not None:
             trace.read(step.name, x.size)
             trace.write(step.name, out.size)
+
+    # -- atom-granular execution ----------------------------------------------
+
+    def exec_atoms(self) -> "List[ExecAtom]":
+        """The program flattened to one executable atom per fused group.
+
+        Joins and opaque steps *ride* on the nearest preceding group atom
+        — the same convention :func:`repro.dist.stage.plan_atoms` uses for
+        cost, so a pipeline stage covering atoms ``[a, b)`` executes
+        exactly the work those atoms were priced for. Running the atoms
+        in order via :meth:`run_atom` is bit-identical to
+        :meth:`run_fused` (same operations, same order).
+        """
+        atoms: List[ExecAtom] = []
+        segment_idx = 0
+        for step in self.program.steps:
+            if isinstance(step, SegmentStep):
+                decision = self.decisions[segment_idx]
+                executors = self._group_executors[segment_idx]
+                for g in range(len(executors)):
+                    atoms.append(ExecAtom(index=len(atoms),
+                                          segment=segment_idx, group=g,
+                                          step=step))
+                if step.join is not None and not decision.join_fused:
+                    atoms[-1] = atoms[-1].with_rider(("join", step.join))
+                segment_idx += 1
+            elif isinstance(step, JoinStep):
+                if not atoms:
+                    raise ConfigError(
+                        "graph program has no fused group to host its "
+                        "leading steps", network=self.network.name)
+                atoms[-1] = atoms[-1].with_rider(("join", step.join))
+            else:
+                if not atoms:
+                    raise ConfigError(
+                        "graph program has no fused group to host its "
+                        "leading steps", network=self.network.name)
+                atoms[-1] = atoms[-1].with_rider(("opaque", step))
+        return atoms
+
+    def run_atom(self, atom: "ExecAtom", env: Dict[str, np.ndarray],
+                 trace: Optional[TrafficTrace] = None) -> None:
+        """Execute one atom against ``env`` (tensor name -> volume).
+
+        Non-final groups of a segment publish their output under
+        ``"<segment output>@<group>"``; the final group publishes the
+        segment's output tensor and runs the fused join, then any riders.
+        """
+        step = atom.step
+        decision = self.decisions[atom.segment]
+        executors = self._group_executors[atom.segment]
+        last = atom.group == len(executors) - 1
+        src = (step.input_tensor if atom.group == 0
+               else f"{step.output_tensor}@{atom.group - 1}")
+        suppress = last and decision.join_fused
+        sub = _SuppressedOutputTrace() if suppress else TrafficTrace()
+        out = executors[atom.group].run(env[src], trace=sub)
+        _merge_trace(trace, sub)
+        dst = (step.output_tensor if last
+               else f"{step.output_tensor}@{atom.group}")
+        env[dst] = out
+        if last and step.join is not None and decision.join_fused:
+            self._run_fused_join(step, env, trace)
+        for kind, payload in atom.riders:
+            if kind == "join":
+                self._run_boundary_join(payload, env, trace)
+            else:
+                self._run_opaque(payload, env, trace)
+
+    def run_atoms(self, x: np.ndarray,
+                  trace: Optional[TrafficTrace] = None) -> np.ndarray:
+        """Run every atom in order — bit-identical to :meth:`run_fused`."""
+        expected = self.network.input_shape
+        if x.shape != (expected.channels, expected.height, expected.width):
+            raise ShapeError(f"input {x.shape} != network input {expected}")
+        env: Dict[str, np.ndarray] = {INPUT: np.asarray(x, dtype=self.dtype)}
+        for atom in self.exec_atoms():
+            self.run_atom(atom, env, trace)
+        return env[self.program.output_tensor]
+
+
+@dataclass(frozen=True)
+class ExecAtom:
+    """One fused group plus the join/opaque steps riding on it."""
+
+    index: int
+    segment: int
+    group: int
+    step: SegmentStep
+    riders: Tuple[Tuple[str, object], ...] = ()
+
+    def with_rider(self, rider: Tuple[str, object]) -> "ExecAtom":
+        return ExecAtom(index=self.index, segment=self.segment,
+                        group=self.group, step=self.step,
+                        riders=self.riders + (rider,))
 
 
 def _eltwise(op: str, arrays: List[np.ndarray]) -> np.ndarray:

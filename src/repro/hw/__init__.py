@@ -19,13 +19,18 @@ from .baseline import (
 )
 from .codegen import generate_standalone
 from .device import (
+    DEFAULT_DEVICE,
     DSP_PER_ADD,
     DSP_PER_MAC,
     DSP_PER_MUL,
     VIRTEX7_485T,
     VIRTEX7_690T,
+    DeviceSpec,
     FpgaDevice,
+    replicate_device,
+    split_device,
 )
+from .link import DEFAULT_LINK, LinkSpec
 from .energy import EnergyBreakdown, EnergyModel, estimate_energy
 from .fused_accel import FusedDesign, ModuleConfig, module_cycles, optimize_fused
 from .memory_sim import ChannelSchedule, ComputeStage, MemStage, fused_design_stages, simulate_with_channel
@@ -52,6 +57,12 @@ __all__ = [
     "ChannelSchedule",
     "ComputeStage",
     "ConvStage",
+    "DEFAULT_DEVICE",
+    "DEFAULT_LINK",
+    "DeviceSpec",
+    "LinkSpec",
+    "replicate_device",
+    "split_device",
     "DSP_PER_ADD",
     "DSP_PER_MAC",
     "DSP_PER_MUL",

@@ -8,7 +8,10 @@ multiply-accumulate lane therefore costs 5 DSP48E1 slices.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
+from typing import Any, Dict, Tuple
 
 #: DSP48E1 slices per single-precision floating-point adder.
 DSP_PER_ADD = 2
@@ -53,3 +56,117 @@ VIRTEX7_485T = FpgaDevice(
     luts=303_600,
     ffs=607_200,
 )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One simulated accelerator in a multi-device pipeline.
+
+    Extends the static :class:`FpgaDevice` budget with the two dynamic
+    quantities a pipeline stage needs: a clock (so cycle counts become
+    seconds) and a *private* DRAM channel. Each device owns its channel —
+    the whole point of sharding fused groups across devices is that the
+    boundary traffic of a partition no longer funnels through a single
+    memory interface (Section VI's bandwidth wall, split K ways).
+    """
+
+    name: str
+    dsp: int
+    bram18: int
+    clock_mhz: float = 150.0
+    dram_bytes_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        if self.dsp < DSP_PER_MAC:
+            raise ConfigError(
+                f"device {self.name!r} has {self.dsp} DSP slices: fewer "
+                f"than one MAC lane ({DSP_PER_MAC})", device=self.name,
+                dsp=self.dsp)
+        if self.bram18 <= 0:
+            raise ConfigError(f"device {self.name!r} needs bram18 > 0",
+                              device=self.name, bram18=self.bram18)
+        if self.clock_mhz <= 0 or self.dram_bytes_per_cycle <= 0:
+            raise ConfigError(
+                f"device {self.name!r} needs a positive clock and DRAM "
+                "channel", device=self.name, clock_mhz=self.clock_mhz,
+                dram_bytes_per_cycle=self.dram_bytes_per_cycle)
+
+    @property
+    def mac_lanes(self) -> int:
+        return self.dsp // DSP_PER_MAC
+
+    @property
+    def ops_per_cycle(self) -> int:
+        """Peak arithmetic rate: one multiply + one add per MAC lane."""
+        return 2 * self.mac_lanes
+
+    def fpga(self) -> FpgaDevice:
+        """The static resource view the fused-engine optimizer consumes."""
+        return FpgaDevice(name=self.name, dsp_slices=self.dsp,
+                          bram18=self.bram18, luts=self.dsp * 120,
+                          ffs=self.dsp * 240)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "dsp": self.dsp, "bram18": self.bram18,
+                "clock_mhz": self.clock_mhz,
+                "dram_bytes_per_cycle": self.dram_bytes_per_cycle}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeviceSpec":
+        return cls(name=str(data["name"]), dsp=int(data["dsp"]),
+                   bram18=int(data["bram18"]),
+                   clock_mhz=float(data["clock_mhz"]),
+                   dram_bytes_per_cycle=float(data["dram_bytes_per_cycle"]))
+
+    def fingerprint(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+#: Default pipeline device: the paper's 690T budgets with a modest
+#: per-device DDR share — deliberately narrow enough that a deep network
+#: served on ONE device is memory bound, which is the regime fusion (and
+#: sharding) exists for.
+DEFAULT_DEVICE = DeviceSpec(name="v7-690t", dsp=3600, bram18=2940,
+                            clock_mhz=150.0, dram_bytes_per_cycle=2.0)
+
+
+def split_device(spec: DeviceSpec, count: int) -> Tuple[DeviceSpec, ...]:
+    """Split one device's DSP/BRAM budget into ``count`` equal shards.
+
+    Total compute/storage is conserved, but every shard keeps a *full*
+    private DRAM channel and the base clock — the resource-neutral fleet
+    the throughput-per-DSP benchmarks compare against a single device.
+    """
+    from ..errors import ConfigError
+
+    if count < 1:
+        raise ConfigError(f"cannot split {spec.name!r} into {count} devices",
+                          device=spec.name, count=count)
+    if count == 1:
+        return (spec,)
+    return tuple(
+        DeviceSpec(name=f"{spec.name}/{i}", dsp=spec.dsp // count,
+                   bram18=max(spec.bram18 // count, 1),
+                   clock_mhz=spec.clock_mhz,
+                   dram_bytes_per_cycle=spec.dram_bytes_per_cycle)
+        for i in range(count))
+
+
+def replicate_device(spec: DeviceSpec, count: int) -> Tuple[DeviceSpec, ...]:
+    """``count`` full copies of ``spec`` — the scale-out (not
+    resource-neutral) fleet."""
+    from ..errors import ConfigError
+
+    if count < 1:
+        raise ConfigError(f"cannot build a fleet of {count}",
+                          device=spec.name, count=count)
+    if count == 1:
+        return (spec,)
+    return tuple(
+        DeviceSpec(name=f"{spec.name}[{i}]", dsp=spec.dsp,
+                   bram18=spec.bram18, clock_mhz=spec.clock_mhz,
+                   dram_bytes_per_cycle=spec.dram_bytes_per_cycle)
+        for i in range(count))

@@ -1,0 +1,68 @@
+"""Inter-device link model for pipeline-parallel serving.
+
+When fused groups are sharded across devices, the boundary feature maps
+that a single-device partition rounds through DRAM instead *stream over
+a point-to-point link* to the next device's on-chip buffers. The link
+is priced like any serial channel: a fixed per-transfer latency (the
+handshake / serialization setup) plus bytes over bandwidth. Activation
+tensors are priced at the exact inter-group footprints the partition
+analysis already computes — nothing here re-derives geometry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from math import ceil
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point inter-device link.
+
+    ``latency_cycles`` is charged once per transfer (per micro-batch
+    item crossing the stage boundary); ``bytes_per_cycle`` is the
+    sustained streaming rate, in the consumer device's clock domain.
+    """
+
+    latency_cycles: int = 500
+    bytes_per_cycle: float = 16.0
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        if self.latency_cycles < 0:
+            raise ConfigError(
+                f"link latency must be >= 0, got {self.latency_cycles}",
+                latency_cycles=self.latency_cycles)
+        if self.bytes_per_cycle <= 0:
+            raise ConfigError(
+                f"link bandwidth must be > 0, got {self.bytes_per_cycle}",
+                bytes_per_cycle=self.bytes_per_cycle)
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles to move ``num_bytes`` across the link (0 bytes is free:
+        no transfer happens, so no handshake either)."""
+        if num_bytes <= 0:
+            return 0
+        return self.latency_cycles + ceil(num_bytes / self.bytes_per_cycle)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"latency_cycles": self.latency_cycles,
+                "bytes_per_cycle": self.bytes_per_cycle}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LinkSpec":
+        return cls(latency_cycles=int(data["latency_cycles"]),
+                   bytes_per_cycle=float(data["bytes_per_cycle"]))
+
+    def fingerprint(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+#: The default link: wide enough that a balanced pipeline is rarely
+#: link-bound, with a latency that still punishes chatty partitions.
+DEFAULT_LINK = LinkSpec(latency_cycles=500, bytes_per_cycle=16.0)

@@ -26,12 +26,14 @@ LOWER_IS_BETTER = (
     "bytes", "misses", "evictions", "failed", "rejected", "stall",
     "retries", "violations", "burn_rate", "energy", "interval", "pending",
     "shed", "shed_rate", "wrong_answers", "p999", "guaranteed_shed",
+    "fill_drain_cycles", "link_bytes", "interval_dsp", "blocked",
 )
 
 #: Name fragments whose metrics improve upward (rates, wins, coverage).
 HIGHER_IS_BETTER = (
     "requests_per_s", "per_s", "hits", "completed", "speedup",
     "improvement", "throughput", "utilization", "submitted", "ok",
+    "throughput_per_dsp", "stage_utilization", "items_per_s",
 )
 
 

@@ -113,6 +113,24 @@ class Tracer:
                           trace=trace_id, span=-1, parent=parent_id,
                           attrs=attrs or None)
 
+    def span_at(self, name: str, trace_id: int, start_s: float,
+                end_s: float, parent_id: int = -1, **attrs: Any) -> int:
+        """Record an already-finished span at explicit timestamps.
+
+        ``start_s``/``end_s`` are offsets on this tracer's clock (the
+        :func:`time.perf_counter` value minus :attr:`epoch`). Used to
+        replay timing a plan measured internally — e.g. per-device
+        pipeline stage windows — into the trace after the fact.
+        """
+        with self._lock:
+            span_id = next(self._ids)
+        self.store.append(name, start_s, kind=BEGIN, trace=trace_id,
+                          span=span_id, parent=parent_id,
+                          attrs=attrs or None)
+        self.store.append(name, end_s, kind=END, trace=trace_id,
+                          span=span_id, parent=parent_id, attrs=None)
+        return span_id
+
     @property
     def open_spans(self) -> int:
         with self._lock:
@@ -202,18 +220,36 @@ class Tracer:
         "serve.execute": (4, "execute"),
     }
     _OTHER_LANE = (9, "other")
+    #: first track id of the per-device lanes (spans carrying a
+    #: ``device`` attribute get one track per distinct device, in
+    #: first-seen order).
+    _DEVICE_LANE_BASE = 20
 
     def chrome_events(self, pid: int = 10) -> List[Dict[str, Any]]:
-        """Trace Event Format events: one track per stage + flow arrows."""
+        """Trace Event Format events: one track per stage + flow arrows.
+
+        Spans tagged with a ``device`` attribute (pipeline stage spans)
+        each get their own track — one lane per device, labelled with
+        the device name — so a sharded plan's per-stage occupancy reads
+        like a hardware pipeline diagram in Perfetto.
+        """
         events: List[Dict[str, Any]] = [
             {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
              "args": {"name": "serve.trace"}},
         ]
         lanes_used: Dict[int, str] = {}
+        device_lanes: Dict[str, int] = {}
         for trace_id in self.trace_ids():
             order = self.spans(trace_id)
             for span in order:
-                tid, label = self._LANES.get(span.name, self._OTHER_LANE)
+                device = span.attrs.get("device")
+                if device is not None:
+                    tid = device_lanes.setdefault(
+                        str(device), self._DEVICE_LANE_BASE
+                        + len(device_lanes))
+                    label = f"device {device}"
+                else:
+                    tid, label = self._LANES.get(span.name, self._OTHER_LANE)
                 lanes_used[tid] = label
                 args: Dict[str, Any] = {"trace": span.trace_id,
                                         "span": span.span_id}

@@ -216,12 +216,19 @@ class CompiledPlan:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CompiledPlan":
-        if data.get("key", {}).get("family", "linear") == "graph":
+        family = data.get("key", {}).get("family", "linear")
+        if family == "graph":
             # Saved DAG plans restore through the graph family so mixed
             # cache files (PlanCache.load, process-mode workers) work.
             from ..graph.plan import CompiledGraphPlan
 
             return CompiledGraphPlan.from_dict(data)
+        if family == "pipeline":
+            # Sharded plans likewise: the saved boundaries are re-priced,
+            # never re-searched.
+            from ..dist.plan import PipelinePlan
+
+            return PipelinePlan.from_dict(data)
         c, h, w = data["input_shape"]
         network = Network(data["network_name"], TensorShape(c, h, w),
                           [_spec_from_dict(d) for d in data["layers"]])
@@ -264,7 +271,10 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
                  on_budget: str = "degrade",
                  partition_sizes: Optional[Sequence[int]] = None,
                  jobs: int = 1, tuned: Optional[Any] = None,
-                 validate: bool = True) -> CompiledPlan:
+                 validate: bool = True,
+                 devices: Optional[Sequence[Any]] = None,
+                 link: Optional[Any] = None,
+                 weight_items: Optional[int] = None) -> CompiledPlan:
     """Compile ``network`` into an executable plan.
 
     Without ``partition_sizes`` the fusion partition comes from a full
@@ -293,7 +303,38 @@ def compile_plan(network: Network, strategy: Strategy = Strategy.REUSE,
     Networks of the ``"graph"`` plan family (DAGs) dispatch to
     :func:`repro.graph.plan.compile_graph_plan`; ``tuned`` records and
     explicit ``partition_sizes`` are linear-only and rejected there.
+
+    ``devices`` (a sequence of :class:`repro.hw.DeviceSpec`) shards the
+    compiled plan across a simulated device pipeline: the result is a
+    :class:`repro.dist.PipelinePlan` (family ``"pipeline"``) whose
+    served outputs remain bit-identical to the unsharded plan. ``link``
+    (:class:`repro.hw.LinkSpec`) and ``weight_items`` tune the
+    inter-device transfer model and the micro-batch weight-reuse run
+    length. A ``tuned`` record carrying a ``devices`` axis (the tuner's
+    device-count co-search) shards automatically onto the resource-
+    neutral ``split_device(DEFAULT_DEVICE, K)`` fleet when no explicit
+    ``devices`` are given; pass ``devices=()`` to force an unsharded
+    compile of such a record.
     """
+    if devices is None and tuned is not None:
+        tuned_devices = int(getattr(tuned, "devices", 1) or 1)
+        if tuned_devices > 1:
+            from ..hw.device import DEFAULT_DEVICE, split_device
+
+            devices = split_device(DEFAULT_DEVICE, tuned_devices)
+    if devices:
+        from ..dist.plan import DEFAULT_WEIGHT_ITEMS, compile_pipeline_plan
+        from ..hw.link import DEFAULT_LINK
+
+        return compile_pipeline_plan(
+            network=network, devices=tuple(devices),
+            link=link if link is not None else DEFAULT_LINK,
+            weight_items=(weight_items if weight_items is not None
+                          else DEFAULT_WEIGHT_ITEMS),
+            validate=validate, strategy=strategy, tip=tip,
+            storage_budget_bytes=storage_budget_bytes, precision=precision,
+            seed=seed, budget=budget, on_budget=on_budget,
+            partition_sizes=partition_sizes, jobs=jobs, tuned=tuned)
     if getattr(network, "plan_family", "linear") == "graph":
         if tuned is not None or partition_sizes is not None:
             raise ConfigError(
@@ -428,23 +469,48 @@ class PlanCache:
                        budget: Optional[ExplorationBudget] = None,
                        on_budget: str = "degrade",
                        jobs: int = 1,
-                       tuned: Optional[Any] = None) -> CompiledPlan:
-        """The serving entry point: memoized compilation."""
+                       tuned: Optional[Any] = None,
+                       partition_sizes: Optional[Sequence[int]] = None,
+                       devices: Optional[Sequence[Any]] = None,
+                       link: Optional[Any] = None,
+                       weight_items: Optional[int] = None) -> CompiledPlan:
+        """The serving entry point: memoized compilation.
+
+        With ``devices`` the memoized artifact is the sharded
+        ``"pipeline"``-family plan — its key is derived *before*
+        compiling (the fleet fingerprint needs no search), so a warm
+        cache never re-runs the stage balancer.
+        """
         if tuned is not None:
             strategy = Strategy(tuned.strategy)
             tip = int(tuned.tip)
+            if devices is None and int(getattr(tuned, "devices", 1) or 1) > 1:
+                from ..hw.device import DEFAULT_DEVICE, split_device
+
+                devices = split_device(DEFAULT_DEVICE, int(tuned.devices))
         key = make_plan_key(network, strategy=strategy, tip=tip,
                             storage_budget_bytes=storage_budget_bytes,
                             precision=precision, seed=seed,
                             variant=(f"tuned:{tuned.objective}"
                                      if tuned is not None else "default"))
+        if devices:
+            from ..dist.plan import DEFAULT_WEIGHT_ITEMS, pipeline_plan_key
+            from ..hw.link import DEFAULT_LINK
+            key = pipeline_plan_key(
+                key, tuple(devices),
+                link if link is not None else DEFAULT_LINK,
+                (weight_items if weight_items is not None
+                 else DEFAULT_WEIGHT_ITEMS))
         plan = self.lookup(key)
         if plan is not None:
             return plan
         plan = compile_plan(network, strategy=strategy, tip=tip,
                             storage_budget_bytes=storage_budget_bytes,
                             precision=precision, seed=seed, budget=budget,
-                            on_budget=on_budget, jobs=jobs, tuned=tuned)
+                            on_budget=on_budget, jobs=jobs, tuned=tuned,
+                            partition_sizes=partition_sizes,
+                            devices=devices, link=link,
+                            weight_items=weight_items)
         self.put(plan)
         return plan
 

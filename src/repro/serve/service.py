@@ -87,6 +87,14 @@ class InferenceService:
     stats (a bare number is shorthand for a p99 latency budget in
     milliseconds); ``stall_s_per_cycle`` scales how injected
     ``dram_stall`` cycles slow served requests down.
+
+    ``devices`` shards every registered network across that fleet of
+    simulated accelerators (see :mod:`repro.dist`): plans compile to
+    the ``"pipeline"`` family, execute bit-identically to direct runs,
+    and report per-device stage timing into the tracer. ``link`` and
+    ``weight_items`` tune the inter-device link model and micro-batch
+    weight amortization; both default to the :mod:`repro.dist`
+    defaults.
     """
 
     def __init__(self, network: Optional[Network] = None, *,
@@ -107,7 +115,12 @@ class InferenceService:
                  deadline_ms: Optional[float] = None,
                  autoscale: Optional[AutoscalePolicy] = None,
                  clock: Optional[Clock] = None,
-                 stall_s_per_cycle: float = STALL_S_PER_CYCLE):
+                 stall_s_per_cycle: float = STALL_S_PER_CYCLE,
+                 devices: Optional[Sequence[Any]] = None,
+                 link: Optional[Any] = None,
+                 weight_items: Optional[int] = None,
+                 partition_sizes: Optional[Sequence[int]] = None,
+                 tuned: Optional[Any] = None):
         self.cache = cache if cache is not None else PlanCache()
         self.stats = ServeStats()
         self.tracer: Optional[Tracer] = Tracer() if trace else None
@@ -132,7 +145,12 @@ class InferenceService:
         self._plan_defaults = dict(strategy=strategy, tip=tip,
                                    storage_budget_bytes=storage_budget_bytes,
                                    precision=precision, seed=seed,
-                                   budget=explore_budget)
+                                   budget=explore_budget,
+                                   devices=(tuple(devices) if devices
+                                            else devices),
+                                   link=link, weight_items=weight_items,
+                                   partition_sizes=partition_sizes,
+                                   tuned=tuned)
         self._plans: Dict[PlanKey, CompiledPlan] = {}
         self._default_key: Optional[PlanKey] = None
         self._next_id = 0

@@ -160,13 +160,20 @@ def run_soak(networks: Sequence[Network], requests: int = 100_000, *,
              mean_service_ms: float = 1.0, batch_setup_ms: float = 0.2,
              spot_check_every: int = 1000, tick_s: float = 0.02,
              cache: Optional[PlanCache] = None,
-             trace_kwargs: Optional[Dict[str, Any]] = None) -> SoakReport:
+             trace_kwargs: Optional[Dict[str, Any]] = None,
+             devices: Optional[Sequence[Any]] = None,
+             link: Optional[Any] = None,
+             weight_items: Optional[int] = None,
+             partition_sizes: Optional[Sequence[int]] = None) -> SoakReport:
     """Run one deterministic virtual-time soak; returns its report.
 
     ``networks`` is the serving zoo (arrivals round-robin over it by the
     trace's seeded choice); ``spot_check_every`` executes every Nth
     request for real and bit-compares against an independent reference
-    (0 disables). All randomness flows from ``seed``.
+    (0 disables). All randomness flows from ``seed``. With ``devices``
+    every plan is sharded across that simulated fleet (the
+    ``"pipeline"`` family, :mod:`repro.dist`); spot checks then pin the
+    sharded execution against the same single-executor reference.
     """
     if not networks:
         raise ConfigError("soak needs at least one network")
@@ -187,8 +194,11 @@ def run_soak(networks: Sequence[Network], requests: int = 100_000, *,
     injector = faults if faults is not None else FaultInjector()
     policy = autoscale if autoscale is not None else AutoscalePolicy()
     cache = cache if cache is not None else PlanCache()
-    plans: List[CompiledPlan] = [cache.get_or_compile(net)
-                                 for net in networks]
+    plans: List[CompiledPlan] = [
+        cache.get_or_compile(net, devices=devices, link=link,
+                             weight_items=weight_items,
+                             partition_sizes=partition_sizes)
+        for net in networks]
     references = [NetworkExecutor(net, seed=plan.seed,
                                   integer=plan.key.precision == "int")
                   for net, plan in zip(networks, plans)]
@@ -357,6 +367,7 @@ def run_soak(networks: Sequence[Network], requests: int = 100_000, *,
         "final_workers": scaler.workers,
         "mean_service_ms": mean_service_ms,
         "spot_check_every": spot_check_every,
+        "devices": [d.name for d in devices] if devices else [],
     }
     return SoakReport(
         config=config, counts=counts,

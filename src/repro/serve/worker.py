@@ -304,6 +304,7 @@ class WorkerPool:
                       network=plan.network.name):
             outs = self._run_with_retry(plan, execute, batch, exec_spans)
         exec_s = time.perf_counter() - t0
+        self._trace_stages(plan, batch, exec_spans)
         # feed the admission controller's service-rate EWMA (estimated
         # wait watermark + retry-after hints)
         self.scheduler.note_service(len(batch), exec_s)
@@ -322,6 +323,32 @@ class WorkerPool:
         if self.stats is not None:
             self.stats.record_batch(len(batch), queue_waits, exec_s,
                                     failed=failed)
+
+    def _trace_stages(self, plan: CompiledPlan, batch: List[ServeRequest],
+                      exec_spans: Dict[int, int]) -> None:
+        """Replay a sharded plan's per-device stage windows into the trace.
+
+        Pipeline plans record wall-clock per-stage offsets while
+        executing (``last_stage_report``, raw ``perf_counter`` values).
+        Emitted once per batch under the first traced request's execute
+        span; each span carries a ``device`` attribute so the Chrome
+        export gives every device its own lane.
+        """
+        report = getattr(plan, "last_stage_report", None)
+        if not report:
+            return
+        for request in batch:
+            if request.tracer is None:
+                continue
+            epoch = request.tracer.epoch
+            parent = exec_spans.get(request.id, -1)
+            for entry in report:
+                request.tracer.span_at(
+                    "serve.stage", request.trace_id,
+                    entry["start_s"] - epoch, entry["end_s"] - epoch,
+                    parent_id=parent, device=entry["device"],
+                    stage=entry["stage"])
+            return
 
     def _executor_for(self, plan: CompiledPlan,
                       clients: Dict[Any, _ProcessClient]

@@ -30,9 +30,18 @@ _VERSION = 1
 
 
 def space_key(fingerprint: str, device_name: str, dsp_budget: int,
-              objective_spec: str) -> str:
-    """The entry key one tuning space maps to."""
-    return f"{fingerprint}/{device_name}/dsp{dsp_budget}/{objective_spec}"
+              objective_spec: str,
+              device_counts: Tuple[int, ...] = (1,)) -> str:
+    """The entry key one tuning space maps to.
+
+    The classic single-device space keeps its historical key (old DBs
+    stay warm caches); a space with a ``devices`` axis gets a distinct
+    entry so its incumbent never clobbers the classic one.
+    """
+    key = f"{fingerprint}/{device_name}/dsp{dsp_budget}/{objective_spec}"
+    if tuple(device_counts) != (1,):
+        key += "/devices" + "-".join(str(d) for d in device_counts)
+    return key
 
 
 @dataclass(frozen=True)
@@ -53,6 +62,7 @@ class TunedRecord:
     tip: int
     value: float
     metrics: Dict[str, float]
+    devices: int = 1
 
     @classmethod
     def from_result(cls, fingerprint: str, objective: str, value: float,
@@ -61,12 +71,13 @@ class TunedRecord:
         return cls(fingerprint=fingerprint, objective=objective,
                    partition_sizes=c.sizes, tiles=c.tiles,
                    strategy=c.strategy, tip=c.tip, value=value,
-                   metrics=dict(result.metrics))
+                   metrics=dict(result.metrics), devices=c.devices)
 
     @property
     def candidate(self) -> Candidate:
         return Candidate(sizes=self.partition_sizes, tiles=self.tiles,
-                         strategy=self.strategy, tip=self.tip)
+                         strategy=self.strategy, tip=self.tip,
+                         devices=self.devices)
 
 
 class TuningDB:

@@ -35,7 +35,17 @@ from ..core.costs import group_transfer
 from ..core.fusion import GroupAnalysis, Strategy, analyze_group
 from ..core.pyramid import build_pyramid
 from ..errors import ConfigError, ReproError
-from ..hw.device import DSP_PER_MAC, VIRTEX7_690T, FpgaDevice
+from ..hw.device import (
+    DEFAULT_DEVICE,
+    DSP_PER_MAC,
+    VIRTEX7_690T,
+    DeviceSpec,
+    FpgaDevice,
+    split_device,
+)
+from ..dist.plan import DEFAULT_WEIGHT_ITEMS
+from ..dist.stage import _level_atoms, balance_stages
+from ..hw.link import DEFAULT_LINK, LinkSpec
 from ..hw.energy import estimate_energy
 from ..hw.fused_accel import (
     WORDS_PER_CYCLE,
@@ -53,12 +63,22 @@ from .space import Candidate, SearchSpace
 
 @dataclass(frozen=True)
 class EvalContext:
-    """Everything a worker process needs to price one candidate."""
+    """Everything a worker process needs to price one candidate.
+
+    ``pipe_device``/``link``/``weight_items`` parameterize the
+    :mod:`repro.dist` stage/link model that prices the ``devices`` axis:
+    a ``K``-device candidate runs on ``split_device(pipe_device, K)`` —
+    the resource-neutral fleet, so ``interval_dsp`` comparisons across
+    device counts are apples to apples.
+    """
 
     levels: Tuple[Level, ...]
     device: FpgaDevice = VIRTEX7_690T
     dsp_budget: int = VIRTEX7_690T.dsp_slices
     bram_budget: int = VIRTEX7_690T.bram18
+    pipe_device: DeviceSpec = DEFAULT_DEVICE
+    link: LinkSpec = DEFAULT_LINK
+    weight_items: int = DEFAULT_WEIGHT_ITEMS
 
     @classmethod
     def from_space(cls, space: SearchSpace) -> "EvalContext":
@@ -237,6 +257,44 @@ def analyze_candidate(levels: Sequence[Level],
     return analyses
 
 
+def _pipeline_metrics(ctx: EvalContext,
+                      candidate: Candidate) -> Dict[str, float]:
+    """Price the candidate's partition on its device fleet with the
+    :mod:`repro.dist` stage/link model.
+
+    Raises :class:`~repro.errors.ConfigError` when the fleet is
+    infeasible (fewer groups than devices, or a stage's DSP floor over
+    its shard) — the caller decides whether that invalidates the
+    candidate (``devices > 1``) or is merely uninformative
+    (``devices == 1``, where the classic metrics already apply).
+    """
+    groups = split_groups(ctx.levels, candidate.sizes)
+    names = [f"g{i}" for i in range(len(groups))]
+    atoms = _level_atoms(groups, names, "input",
+                         ctx.levels[0].in_shape.bytes)
+    fleet = split_device(ctx.pipe_device, candidate.devices)
+    estimate = balance_stages(atoms, fleet, ctx.link,
+                              weight_items=ctx.weight_items)
+    interval = estimate.interval_cycles
+    utilization = estimate.stage_utilization
+    # fill/drain over a standard micro-batch probe (one amortization run)
+    from ..dist.pipeline import simulate_microbatches
+
+    run = simulate_microbatches(
+        [s.stage_cycles for s in estimate.stages],
+        [s.link_cycles for s in estimate.stages],
+        num_items=max(ctx.weight_items, 2))
+    return {
+        "pipe_interval": float(interval),
+        "interval_dsp": float(interval) * estimate.total_dsp,
+        "link_bytes": float(estimate.link_bytes),
+        "pipe_latency": float(estimate.latency_cycles),
+        "fill_drain_cycles": float(run.fill_drain_cycles),
+        "stage_utilization": float(min(utilization)),
+        "throughput_per_dsp": estimate.throughput_per_dsp,
+    }
+
+
 def evaluate_candidate(ctx: EvalContext, candidate: Candidate) -> EvalResult:
     """Price one candidate: analytical costs + simulated hardware cycles.
 
@@ -260,6 +318,14 @@ def evaluate_candidate(ctx: EvalContext, candidate: Candidate) -> EvalResult:
                                   feature_bytes + weight_bytes,
                                   total_ops).total_j,
     }
+    try:
+        metrics.update(_pipeline_metrics(ctx, candidate))
+    except ConfigError as err:
+        if candidate.devices > 1:
+            # A multi-device candidate that cannot shard is a dead end;
+            # single-device candidates fall back to the classic metrics.
+            return EvalResult(candidate=candidate, valid=False,
+                              metrics=metrics, reason=str(err))
     try:
         design = candidate_design(ctx.levels, candidate,
                                   device=ctx.device,
@@ -318,8 +384,16 @@ def lower_bounds(ctx: EvalContext, candidate: Candidate) -> Dict[str, float]:
     energy_lb = estimate_energy("lower-bound",
                                 feature_bytes + weight_bytes,
                                 one_pass).total_j
+    # Pipeline floors: the slowest stage carries at least 1/K of the
+    # total arithmetic through a 1/K shard of the pipe device's lanes.
+    k = max(1, candidate.devices)
+    shard_dsp = ctx.pipe_device.dsp // k
+    shard_rate = max(1, 2 * (shard_dsp // DSP_PER_MAC))
+    pipe_interval_lb = ceil(one_pass / (k * shard_rate))
     return {"cycles": float(cycles_lb), "interval": float(interval_lb),
-            "bytes": float(feature_bytes), "energy": energy_lb}
+            "bytes": float(feature_bytes), "energy": energy_lb,
+            "pipe_interval": float(pipe_interval_lb),
+            "interval_dsp": float(pipe_interval_lb * k * shard_dsp)}
 
 
 def _eval_job(args: Tuple[EvalContext, Candidate]) -> EvalResult:

@@ -13,6 +13,16 @@ Four scalar metrics come out of every candidate evaluation
 * ``bytes`` — analytical DRAM feature-map traffic (alias ``transfer``),
   the paper's Figure 7 y-axis.
 
+Two more come from the :mod:`repro.dist` stage/link model when the
+candidate carries a ``devices`` axis (both still defined at one device):
+
+* ``pipe_interval`` — the pipeline's steady-state initiation interval,
+  the slowest stage's compute+link cycles (alias ``pipeline``);
+* ``interval_dsp`` — ``pipe_interval`` times the fleet's total DSP
+  count, the resource-time product whose reciprocal is throughput per
+  DSP (aliases ``per_dsp``, ``throughput_per_dsp``) — minimizing it
+  finds the device count that earns its silicon.
+
 An :class:`Objective` is either a single metric (``"cycles"``) or a
 positively weighted sum over baseline-normalized metrics
 (``"cycles=0.7,energy=0.3"``); normalization by the layer-by-layer
@@ -30,10 +40,12 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..errors import ConfigError
 
 #: The metrics an objective may reference.
-METRICS: Tuple[str, ...] = ("cycles", "interval", "energy", "bytes")
+METRICS: Tuple[str, ...] = ("cycles", "interval", "energy", "bytes",
+                            "pipe_interval", "interval_dsp")
 
 _ALIASES = {"throughput": "interval", "latency": "cycles",
-            "transfer": "bytes"}
+            "transfer": "bytes", "pipeline": "pipe_interval",
+            "per_dsp": "interval_dsp", "throughput_per_dsp": "interval_dsp"}
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,11 @@ tip size — into one point of the joint design space:
 * ``strategy`` — ``"reuse"`` buffers shared intermediates (BL/BT BRAM),
   ``"recompute"`` recomputes them (more cycles, less BRAM);
 * ``tip`` — the square pyramid-tip extent (clipped per group to its
-  output map).
+  output map);
+* ``devices`` — how many pipeline devices the groups shard across
+  (``1`` = classic single-accelerator serving; ``K > 1`` prices the
+  candidate with the :mod:`repro.dist` stage/link cost model over a
+  resource-neutral :func:`~repro.hw.device.split_device` fleet).
 
 :class:`SearchSpace` owns the legal choice sets, validity checks, and
 the two seeded generators every search strategy builds on:
@@ -58,11 +62,15 @@ class Candidate:
     tiles: Tuple[Tile, ...]
     strategy: str = "reuse"
     tip: int = 1
+    devices: int = 1
 
     def __post_init__(self) -> None:
         if not self.sizes or any(s <= 0 for s in self.sizes):
             raise ConfigError("candidate group sizes must be positive",
                               sizes=self.sizes)
+        if self.devices < 1:
+            raise ConfigError("candidate needs at least one device",
+                              devices=self.devices)
         if len(self.tiles) != len(self.sizes):
             raise ConfigError("candidate needs one tile entry per group",
                               sizes=self.sizes, tiles=self.tiles)
@@ -89,19 +97,28 @@ class Candidate:
         tiles = ",".join("auto" if t is None else f"{t[0]}x{t[1]}"
                          for t in self.tiles)
         sizes = "+".join(str(s) for s in self.sizes)
-        return f"{sizes}|{tiles}|{self.strategy}|tip{self.tip}"
+        key = f"{sizes}|{tiles}|{self.strategy}|tip{self.tip}"
+        # Single-device candidates keep their historical key, so every
+        # pre-devices tuning database stays a warm cache.
+        if self.devices != 1:
+            key += f"|d{self.devices}"
+        return key
 
     def describe(self) -> str:
         tiles = ", ".join("auto" if t is None else f"{t[0]}x{t[1]}"
                           for t in self.tiles)
-        return (f"partition {self.sizes} tiles ({tiles}) "
+        text = (f"partition {self.sizes} tiles ({tiles}) "
                 f"{self.strategy} tip {self.tip}")
+        if self.devices != 1:
+            text += f" over {self.devices} devices"
+        return text
 
     def to_dict(self) -> Dict[str, Any]:
         return {"sizes": list(self.sizes),
                 "tiles": [None if t is None else list(t) for t in self.tiles],
                 "strategy": self.strategy,
-                "tip": self.tip}
+                "tip": self.tip,
+                "devices": self.devices}
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Candidate":
@@ -109,7 +126,8 @@ class Candidate:
                    tiles=tuple(None if t is None else (int(t[0]), int(t[1]))
                                for t in data["tiles"]),
                    strategy=data.get("strategy", "reuse"),
-                   tip=int(data.get("tip", 1)))
+                   tip=int(data.get("tip", 1)),
+                   devices=int(data.get("devices", 1)))
 
 
 @dataclass(frozen=True)
@@ -130,6 +148,9 @@ class SearchSpace:
     tips: Tuple[int, ...] = TIP_CHOICES
     tile_choices: Tuple[int, ...] = TILE_CHOICES
     strategies: Tuple[str, ...] = STRATEGY_CHOICES
+    #: Pipeline device counts the search may propose (the ``devices``
+    #: axis of the co-search); ``(1,)`` keeps the classic search.
+    device_counts: Tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -142,6 +163,9 @@ class SearchSpace:
         if not all(s in STRATEGY_CHOICES for s in self.strategies):
             raise ConfigError("unknown strategy in space",
                               strategies=self.strategies)
+        if not self.device_counts or any(d < 1 for d in self.device_counts):
+            raise ConfigError("device counts must be positive",
+                              device_counts=self.device_counts)
 
     @classmethod
     def from_network(cls, network: Network, num_convs: Optional[int] = None,
@@ -163,8 +187,9 @@ class SearchSpace:
     def baseline(self) -> Candidate:
         """The layer-by-layer, default-tiled reference point (point A)."""
         n = self.num_units
+        devices = 1 if 1 in self.device_counts else min(self.device_counts)
         return Candidate(sizes=(1,) * n, tiles=(None,) * n,
-                         strategy="reuse", tip=1)
+                         strategy="reuse", tip=1, devices=devices)
 
     def validate(self, candidate: Candidate) -> Candidate:
         """Structural membership check; returns the candidate or raises."""
@@ -179,6 +204,10 @@ class SearchSpace:
         if candidate.tip not in self.tips:
             raise ConfigError(f"tip {candidate.tip} not in space",
                               tips=self.tips)
+        if candidate.devices not in self.device_counts:
+            raise ConfigError(
+                f"device count {candidate.devices} not in space",
+                device_counts=self.device_counts)
         for tile in candidate.tiles:
             if tile is not None and (tile[0] not in self.tile_choices
                                      or tile[1] not in self.tile_choices):
@@ -197,6 +226,8 @@ class SearchSpace:
         fixed (it is part of the seeded trajectory).
         """
         n = self.num_units
+        base_devices = (1 if 1 in self.device_counts
+                        else min(self.device_counts))
         out: List[Candidate] = []
         shapes = [(n,)]
         if n >= 2:
@@ -204,9 +235,18 @@ class SearchSpace:
         for sizes in shapes:
             for tip in self.tips:
                 cand = Candidate(sizes=sizes, tiles=(None,) * len(sizes),
-                                 strategy="reuse", tip=tip)
+                                 strategy="reuse", tip=tip,
+                                 devices=base_devices)
                 if cand not in out:
                     out.append(cand)
+        # The device axis's known-good corner: the finest partition on
+        # every multi-device fleet (K stages need >= K groups, so the
+        # (1,)*n partition is feasible for every legal count).
+        for devices in self.device_counts:
+            if devices == base_devices or devices > n:
+                continue
+            out.append(Candidate(sizes=(1,) * n, tiles=(None,) * n,
+                                 strategy="reuse", tip=1, devices=devices))
         return out
 
     # -- seeded generation -----------------------------------------------------
@@ -232,9 +272,11 @@ class SearchSpace:
                 run += 1
         sizes.append(run)
         tiles = tuple(self._random_tile(rng) for _ in sizes)
+        legal = [d for d in self.device_counts if d <= len(sizes)]
         return Candidate(sizes=tuple(sizes), tiles=tiles,
                          strategy=rng.choice(self.strategies),
-                         tip=rng.choice(self.tips))
+                         tip=rng.choice(self.tips),
+                         devices=rng.choice(legal or [min(self.device_counts)]))
 
     def mutate(self, rng: random.Random, candidate: Candidate) -> Candidate:
         """One random structural edit: split/merge a group, retile or
@@ -250,6 +292,8 @@ class SearchSpace:
             ops.append("strategy")
         if len(self.tips) > 1:
             ops.append("tip")
+        if len(self.device_counts) > 1:
+            ops.append("devices")
         op = rng.choice(ops)
         return getattr(self, f"_mutate_{op}")(rng, candidate)
 
@@ -265,7 +309,14 @@ class SearchSpace:
         g = rng.randrange(c.num_groups - 1)
         sizes = c.sizes[:g] + (c.sizes[g] + c.sizes[g + 1],) + c.sizes[g + 2:]
         tiles = c.tiles[:g] + (c.tiles[g],) + c.tiles[g + 2:]
-        return replace(c, sizes=sizes, tiles=tiles)
+        devices = c.devices
+        if devices > len(sizes):
+            # a merge can drop below the stage count: fall back to the
+            # largest fleet the new partition can still fill
+            legal = [d for d in self.device_counts if d <= len(sizes)]
+            if legal:
+                devices = max(legal)
+        return replace(c, sizes=sizes, tiles=tiles, devices=devices)
 
     def _mutate_retile(self, rng: random.Random, c: Candidate) -> Candidate:
         g = rng.randrange(c.num_groups)
@@ -296,8 +347,18 @@ class SearchSpace:
         others = [t for t in self.tips if t != c.tip]
         return replace(c, tip=rng.choice(others))
 
+    def _mutate_devices(self, rng: random.Random, c: Candidate) -> Candidate:
+        others = [d for d in self.device_counts
+                  if d != c.devices and d <= c.num_groups]
+        if not others:
+            return self._mutate_retile(rng, c)
+        return replace(c, devices=rng.choice(others))
+
     def describe(self) -> str:
-        return (f"{self.num_units} units, DSP budget {self.dsp_budget}, "
+        text = (f"{self.num_units} units, DSP budget {self.dsp_budget}, "
                 f"BRAM18 budget {self.bram18_budget}, tips {self.tips}, "
                 f"strategies {'/'.join(self.strategies)}, "
                 f"tile caps {self.tile_choices}")
+        if self.device_counts != (1,):
+            text += f", device counts {self.device_counts}"
+        return text

@@ -128,7 +128,8 @@ def tune(network: Network, objective: Union[str, Objective] = "cycles",
          dsp_budget: Optional[int] = None,
          db: Union[TuningDB, str, None] = None,
          space: Optional[SearchSpace] = None,
-         prune: bool = True) -> TuningResult:
+         prune: bool = True,
+         device_counts: Optional[Tuple[int, ...]] = None) -> TuningResult:
     """Search the joint fusion x tiling space of (a prefix of) a network.
 
     Parameters mirror the ``tune`` CLI subcommand: ``evals``/``seconds``
@@ -137,23 +138,34 @@ def tune(network: Network, objective: Union[str, Objective] = "cycles",
     fresh evaluations across processes, and ``db`` (a path or
     :class:`TuningDB`) makes the run resumable. ``space`` overrides the
     default :meth:`SearchSpace.from_network` construction (advanced
-    callers can narrow the choice sets).
+    callers can narrow the choice sets). ``device_counts`` opens the
+    pipeline ``devices`` axis — e.g. ``(1, 2, 4)`` co-searches the
+    partition with the fleet size, priced by the :mod:`repro.dist`
+    stage/link model (pair with objective ``interval_dsp`` a.k.a.
+    ``throughput_per_dsp`` to find the count that earns its silicon).
     """
     if batch < 1:
         raise ConfigError("batch must be >= 1", batch=batch)
+    if device_counts is not None and space is not None:
+        raise ConfigError(
+            "pass device_counts via the explicit space, not both",
+            device_counts=device_counts)
     obj = objective if isinstance(objective, Objective) else Objective.parse(objective)
     strat = strategy if isinstance(strategy, SearchStrategy) else make_strategy(strategy)
     sliced = (network.prefix(num_convs) if num_convs is not None
               else network.feature_extractor())
     if space is None:
         budget_dsp = device.dsp_slices if dsp_budget is None else dsp_budget
+        kwargs = {}
+        if device_counts is not None:
+            kwargs["device_counts"] = tuple(sorted(set(device_counts)))
         space = SearchSpace.from_network(sliced, device=device,
-                                         dsp_budget=budget_dsp)
+                                         dsp_budget=budget_dsp, **kwargs)
     fingerprint = sliced.fingerprint()
     ctx = EvalContext.from_space(space)
     database = TuningDB.open(db)
     key = space_key(fingerprint, space.device.name, space.dsp_budget,
-                    obj.spec())
+                    obj.spec(), device_counts=space.device_counts)
     if evals is None and seconds is None:
         evals = DEFAULT_EVALS
     budget = ExplorationBudget(max_evaluations=evals, max_seconds=seconds)

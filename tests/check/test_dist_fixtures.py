@@ -1,0 +1,78 @@
+"""Broken pipeline-plan fixtures: each seeded defect pins its RC8xx code.
+
+Mirrors ``test_fixtures.py`` for the multi-device plan checker
+(:mod:`repro.check.dist`): every fixture is a valid sharded ToyNet
+plan cache with exactly one aspect corrupted, and must keep producing
+its exact diagnostic code forever. RC803 is the one WARNING in the
+family (the working-set estimate is a bound, not a schedule), so its
+fixture only fails under ``--strict``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import check_pipeline_plan, check_pipeline_plan_dict
+from repro.cli import main
+from repro.dist import split_device
+from repro.hw.device import DEFAULT_DEVICE
+from repro.nn.zoo import toynet
+from repro.serve import compile_plan
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_check(capsys, *argv):
+    """Run ``check`` expecting findings; returns (exit_code, codes)."""
+    with pytest.raises(SystemExit) as info:
+        main(["check", *argv, "--json"])
+    data = json.loads(capsys.readouterr().out)
+    return info.value.code, sorted({d["code"] for d in data["diagnostics"]})
+
+
+class TestBrokenPipelineFixtures:
+    CASES = (
+        ("uncovered_stage_pipeline.json", "RC801"),
+        ("dsp_overcommit_pipeline.json", "RC802"),
+        ("bram_spill_pipeline.json", "RC803"),
+        ("link_mispriced_pipeline.json", "RC804"),
+        ("aliased_key_pipeline.json", "RC805"),
+        ("mispriced_interval_pipeline.json", "RC806"),
+    )
+
+    @pytest.mark.parametrize("fixture,expected", CASES)
+    def test_each_defect_pins_its_code(self, capsys, fixture, expected):
+        code, found = run_check(capsys, "--plan", str(FIXTURES / fixture),
+                                "--strict")
+        assert code == 2
+        assert found == [expected]
+
+    def test_bram_warning_passes_without_strict(self, capsys):
+        main(["check", "--plan",
+              str(FIXTURES / "bram_spill_pipeline.json"), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] == 0
+        assert data["warnings"] >= 1
+
+    def test_all_error_fixtures_fail_without_strict(self, capsys):
+        for fixture, expected in self.CASES:
+            if expected == "RC803":
+                continue
+            code, found = run_check(capsys, "--plan",
+                                    str(FIXTURES / fixture))
+            assert code == 2, fixture
+            assert expected in found, fixture
+
+
+class TestFreshPlansAreClean:
+    def test_freshly_compiled_sharded_plan_has_no_findings(self):
+        plan = compile_plan(toynet(), partition_sizes=(1, 1),
+                            devices=split_device(DEFAULT_DEVICE, 2))
+        assert check_pipeline_plan(plan, network=toynet()) == []
+
+    def test_dict_roundtrip_stays_clean(self):
+        plan = compile_plan(toynet(), partition_sizes=(1, 1),
+                            devices=split_device(DEFAULT_DEVICE, 2))
+        data = json.loads(json.dumps(plan.to_dict()))
+        assert check_pipeline_plan_dict(data) == []

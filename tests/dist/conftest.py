@@ -1,0 +1,31 @@
+"""Shared dist fixtures: ToyNet, integer inputs, golden outputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import toynet
+from repro.sim import NetworkExecutor
+
+
+@pytest.fixture
+def net():
+    return toynet()
+
+
+@pytest.fixture
+def inputs(net):
+    """16 deterministic integer-valued inputs in ToyNet's input shape."""
+    shape = net.input_shape
+    rng = np.random.default_rng(42)
+    dims = (shape.channels, shape.height, shape.width)
+    return [np.round(rng.uniform(-4.0, 4.0, size=dims))
+            for _ in range(16)]
+
+
+@pytest.fixture
+def golden(net, inputs):
+    """Direct per-item NetworkExecutor outputs (the bit-exactness oracle)."""
+    executor = NetworkExecutor(net, seed=0, integer=True)
+    return [executor.run(x) for x in inputs]

@@ -1,0 +1,69 @@
+"""DeviceSpec: budgets, fingerprints, and the resource-neutral split."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.device import (
+    DEFAULT_DEVICE,
+    DeviceSpec,
+    replicate_device,
+    split_device,
+)
+
+
+class TestDeviceSpec:
+    def test_default_device_is_the_virtex7_part(self):
+        assert DEFAULT_DEVICE.dsp == 3600
+        assert DEFAULT_DEVICE.bram18 == 2940
+
+    def test_roundtrip_preserves_fingerprint(self):
+        spec = DeviceSpec(name="a", dsp=100, bram18=50, clock_mhz=200.0,
+                          dram_bytes_per_cycle=4.0)
+        again = DeviceSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_distinguishes_devices(self):
+        a = DeviceSpec(name="a", dsp=100, bram18=50)
+        b = DeviceSpec(name="a", dsp=101, bram18=50)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_ops_per_cycle_follows_dsp(self):
+        spec = DeviceSpec(name="x", dsp=50, bram18=10)
+        assert spec.mac_lanes == 10
+        assert spec.ops_per_cycle == 20
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec(name="bad", dsp=0, bram18=10)
+        with pytest.raises(ConfigError):
+            DeviceSpec(name="bad", dsp=10, bram18=0)
+
+
+class TestSplitDevice:
+    def test_split_conserves_dsp(self):
+        for count in (1, 2, 3, 4, 8):
+            fleet = split_device(DEFAULT_DEVICE, count)
+            assert len(fleet) == count
+            assert sum(d.dsp for d in fleet) <= DEFAULT_DEVICE.dsp
+            assert all(d.dsp == DEFAULT_DEVICE.dsp // count for d in fleet)
+
+    def test_split_names_are_unique(self):
+        fleet = split_device(DEFAULT_DEVICE, 4)
+        assert len({d.name for d in fleet}) == 4
+
+    def test_split_keeps_clock_and_channel(self):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        for d in fleet:
+            assert d.clock_mhz == DEFAULT_DEVICE.clock_mhz
+            assert d.dram_bytes_per_cycle == DEFAULT_DEVICE.dram_bytes_per_cycle
+
+    def test_replicate_gives_full_copies(self):
+        fleet = replicate_device(DEFAULT_DEVICE, 3)
+        assert len(fleet) == 3
+        assert all(d.dsp == DEFAULT_DEVICE.dsp for d in fleet)
+        assert len({d.name for d in fleet}) == 3
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            split_device(DEFAULT_DEVICE, 0)

@@ -1,0 +1,73 @@
+"""Micro-batch pipeline scheduler: steady state, fill/drain, backpressure."""
+
+import pytest
+
+from repro.dist import simulate_microbatches
+from repro.errors import ConfigError
+
+
+class TestSteadyState:
+    def test_single_stage_interval_is_service_time(self):
+        run = simulate_microbatches([100], [0], num_items=10)
+        assert run.steady_interval == 100
+        assert run.makespan_cycles == 1000
+
+    def test_bottleneck_sets_the_interval(self):
+        run = simulate_microbatches([100, 300, 50], [0, 0, 0], num_items=20)
+        assert run.steady_interval == 300
+        assert run.bottleneck_stage == 1
+
+    def test_link_cycles_count_toward_the_stage(self):
+        without = simulate_microbatches([100, 100], [0, 0], num_items=16)
+        with_link = simulate_microbatches([100, 100], [40, 0], num_items=16)
+        assert (with_link.steady_interval
+                >= without.steady_interval)
+
+    def test_makespan_decomposes_into_fill_drain_plus_steady(self):
+        run = simulate_microbatches([100, 300, 50], [0, 0, 0], num_items=25)
+        assert run.makespan_cycles == (run.fill_drain_cycles
+                                       + 25 * run.steady_interval)
+
+
+class TestBackpressure:
+    def test_shallow_queue_blocks_fast_upstream(self):
+        deep = simulate_microbatches([10, 500], [0, 0], num_items=32,
+                                     queue_depth=64)
+        shallow = simulate_microbatches([10, 500], [0, 0], num_items=32,
+                                        queue_depth=1)
+        assert shallow.blocked_cycles >= deep.blocked_cycles
+        # backpressure never changes the bottleneck's verdict
+        assert (shallow.steady_interval
+                == deep.steady_interval)
+
+    def test_queue_occupancy_bounded_by_depth(self):
+        # stage 0 reads the unbounded ingress; the depth caps the
+        # inter-stage queues
+        run = simulate_microbatches([10, 500], [0, 0], num_items=32,
+                                    queue_depth=2)
+        assert max(run.max_queue[1:]) <= 2
+
+
+class TestValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_microbatches([], [], num_items=4)
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_microbatches([10], [0], num_items=0)
+
+    def test_link_length_must_match(self):
+        with pytest.raises(ConfigError):
+            simulate_microbatches([10, 10], [0, 0, 0], num_items=2)
+
+    def test_zero_queue_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_microbatches([10], [0], num_items=2, queue_depth=0)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_verdicts(self):
+        a = simulate_microbatches([75, 120, 40], [10, 5, 0], num_items=50)
+        b = simulate_microbatches([75, 120, 40], [10, 5, 0], num_items=50)
+        assert a.to_dict() == b.to_dict()

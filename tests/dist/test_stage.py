@@ -1,0 +1,124 @@
+"""Group atoms and the stage/link cost model."""
+
+import pytest
+
+from repro.dist import (
+    DEFAULT_LINK,
+    LinkSpec,
+    balance_stages,
+    enumerate_boundaries,
+    plan_atoms,
+    price_stages,
+    split_device,
+)
+from repro.errors import ConfigError
+from repro.hw.device import DEFAULT_DEVICE
+from repro.nn.zoo import toynet, vggnet_e
+from repro.serve import compile_plan
+
+
+@pytest.fixture(scope="module")
+def toy_plan():
+    return compile_plan(toynet(), partition_sizes=(1, 1), validate=False)
+
+
+@pytest.fixture(scope="module")
+def toy_atoms(toy_plan):
+    return plan_atoms(toy_plan)
+
+
+class TestPlanAtoms:
+    def test_one_atom_per_fused_group(self, toy_plan, toy_atoms):
+        assert len(toy_atoms) == toy_plan.num_groups
+
+    def test_atoms_chain_tensors(self, toy_atoms):
+        for upstream, downstream in zip(toy_atoms, toy_atoms[1:]):
+            produced = {name for name, _ in upstream.writes}
+            consumed = {name for name, _, _ in downstream.reads}
+            assert produced & consumed
+
+    def test_vgg_partition_matches_groups(self):
+        plan = compile_plan(vggnet_e().prefix(5), partition_sizes=(3, 4),
+                            validate=False)
+        assert len(plan_atoms(plan)) == 2
+
+    def test_atom_costs_positive(self, toy_atoms):
+        for atom in toy_atoms:
+            assert atom.ops > 0
+            assert atom.dsp_floor > 0
+            assert atom.bram_words > 0
+
+
+class TestPriceStages:
+    def test_stage_cycles_is_max_of_compute_and_dram(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        estimate = price_stages(toy_atoms, (1, 1), fleet, DEFAULT_LINK)
+        for stage in estimate.stages:
+            assert stage.stage_cycles == max(stage.compute_cycles,
+                                             stage.dram_cycles)
+            assert stage.cost == stage.stage_cycles + stage.link_cycles
+
+    def test_interval_is_max_stage_cost(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        estimate = price_stages(toy_atoms, (1, 1), fleet, DEFAULT_LINK)
+        assert estimate.interval_cycles == max(s.cost
+                                               for s in estimate.stages)
+        assert estimate.latency_cycles == sum(s.cost
+                                              for s in estimate.stages)
+
+    def test_last_stage_has_no_link_out(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        estimate = price_stages(toy_atoms, (1, 1), fleet, DEFAULT_LINK)
+        assert estimate.stages[-1].link_out_bytes == 0
+        assert estimate.stages[-1].link_cycles == 0
+
+    def test_link_cycles_follow_link_model(self, toy_atoms):
+        link = LinkSpec(latency_cycles=7, bytes_per_cycle=2.0)
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        estimate = price_stages(toy_atoms, (1, 1), fleet, link)
+        first = estimate.stages[0]
+        assert first.link_cycles == link.transfer_cycles(first.link_out_bytes)
+
+    def test_slower_link_never_shrinks_interval(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        fast = price_stages(toy_atoms, (1, 1), fleet,
+                            LinkSpec(latency_cycles=0, bytes_per_cycle=64.0))
+        slow = price_stages(toy_atoms, (1, 1), fleet,
+                            LinkSpec(latency_cycles=900, bytes_per_cycle=0.5))
+        assert slow.interval_cycles >= fast.interval_cycles
+
+
+class TestBalanceStages:
+    def test_covers_every_atom_exactly_once(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        estimate = balance_stages(toy_atoms, fleet, DEFAULT_LINK)
+        assert sum(estimate.boundaries) == len(toy_atoms)
+        assert all(b >= 1 for b in estimate.boundaries)
+
+    def test_balanced_split_is_optimal_over_enumeration(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        best = balance_stages(toy_atoms, fleet, DEFAULT_LINK)
+        for boundaries in enumerate_boundaries(len(toy_atoms), 2):
+            priced = price_stages(toy_atoms, boundaries, fleet, DEFAULT_LINK)
+            assert best.interval_cycles <= priced.interval_cycles
+
+    def test_more_devices_than_groups_rejected(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 4)
+        with pytest.raises(ConfigError):
+            balance_stages(toy_atoms, fleet, DEFAULT_LINK)
+
+    def test_explicit_boundaries_are_repriced_not_searched(self, toy_atoms):
+        fleet = split_device(DEFAULT_DEVICE, 2)
+        estimate = balance_stages(toy_atoms, fleet, DEFAULT_LINK,
+                                  boundaries=(1, 1))
+        assert estimate.boundaries == (1, 1)
+
+
+class TestEnumerateBoundaries:
+    def test_counts_compositions(self):
+        # C(n-1, k-1) contiguous splits of n atoms into k stages
+        assert len(list(enumerate_boundaries(5, 2))) == 4
+        assert len(list(enumerate_boundaries(6, 3))) == 10
+
+    def test_single_stage(self):
+        assert list(enumerate_boundaries(4, 1)) == [(4,)]

@@ -1,0 +1,111 @@
+"""The tuner's devices axis: device-count x partition co-search.
+
+Opened by ``tune(..., device_counts=...)``: every candidate carries a
+device count, pipeline metrics ride along in the eval, the DB key
+grows a ``/devicesK-L`` suffix so historical single-device spaces stay
+warm caches, and the winning record round-trips its device count into
+the serving stack's auto-shard.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.zoo import toynet
+from repro.tune import Candidate, EvalResult, TunedRecord, tune
+from repro.tune.db import TuningDB, space_key
+from repro.tune.space import SearchSpace
+
+
+class TestSpaceKeySuffix:
+    def test_multi_count_spaces_get_a_suffix(self):
+        key = space_key("ab12cd34", "XC7V690T", 3600, "interval_dsp",
+                        device_counts=(1, 2, 4))
+        assert key == "ab12cd34/XC7V690T/dsp3600/interval_dsp/devices1-2-4"
+
+    def test_single_device_keys_stay_historical(self):
+        # pre-devices DBs must remain warm caches: no suffix at (1,)
+        key = space_key("ab12cd34", "XC7V690T", 3600, "cycles")
+        assert key == "ab12cd34/XC7V690T/dsp3600/cycles"
+        assert key == space_key("ab12cd34", "XC7V690T", 3600, "cycles",
+                                device_counts=(1,))
+
+
+class TestCoSearch:
+    def test_candidates_stay_inside_the_counts(self):
+        result = tune(toynet(), objective="interval_dsp",
+                      device_counts=(1, 2), evals=12, seed=3, batch=4)
+        assert result.incumbent.candidate.devices in (1, 2)
+        assert result.record.metrics["pipe_interval"] > 0
+        assert result.record.metrics["interval_dsp"] > 0
+
+    def test_same_seed_same_verdict(self):
+        a = tune(toynet(), objective="interval_dsp", device_counts=(1, 2),
+                 evals=10, seed=11, batch=4)
+        b = tune(toynet(), objective="interval_dsp", device_counts=(1, 2),
+                 evals=10, seed=11, batch=4)
+        assert a.incumbent.candidate == b.incumbent.candidate
+        assert a.incumbent.value == b.incumbent.value
+
+    def test_explicit_space_and_counts_conflict(self):
+        space = SearchSpace.from_network(toynet())
+        with pytest.raises(ConfigError):
+            tune(toynet(), space=space, device_counts=(1, 2))
+
+    def test_pipeline_metrics_priced_for_any_device_count(self):
+        from repro.tune.evaluate import EvalContext, evaluate_candidate
+
+        ctx = EvalContext.from_space(SearchSpace.from_network(toynet()))
+        for devices in (1, 2):
+            candidate = Candidate(sizes=(1, 1), tiles=(None, None),
+                                  devices=devices)
+            res = evaluate_candidate(ctx, candidate)
+            assert res.valid
+            assert res.metrics["pipe_interval"] > 0
+            assert res.metrics["interval_dsp"] > 0
+
+    def test_more_devices_than_groups_is_invalid_not_fatal(self):
+        from repro.tune.evaluate import EvalContext, evaluate_candidate
+
+        ctx = EvalContext.from_space(SearchSpace.from_network(toynet()))
+        res = evaluate_candidate(ctx, Candidate(sizes=(2,), tiles=(None,),
+                                                devices=2))
+        assert not res.valid
+        assert res.reason
+
+
+class TestRecordRoundtrip:
+    def test_record_carries_devices(self):
+        result = tune(toynet(), objective="interval_dsp",
+                      device_counts=(2,), evals=8, seed=0, batch=4)
+        record = result.record
+        assert record.devices == 2
+        assert record.candidate.devices == 2
+
+    def test_db_roundtrip_preserves_devices(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        first = tune(toynet(), objective="interval_dsp",
+                     device_counts=(1, 2), evals=10, seed=5, db=path)
+        again = tune(toynet(), objective="interval_dsp",
+                     device_counts=(1, 2), evals=10, seed=5, db=path)
+        assert again.cached >= 1
+        assert (again.incumbent.candidate.devices
+                == first.incumbent.candidate.devices)
+
+    def test_legacy_records_default_to_one_device(self):
+        record = TunedRecord(fingerprint="ab12cd34", objective="cycles",
+                             partition_sizes=(2,), tiles=(None,),
+                             strategy="reuse", tip=1, value=9.0, metrics={})
+        assert record.devices == 1
+        assert record.candidate.devices == 1
+
+    def test_checker_rejects_impossible_device_counts(self):
+        from repro.check import check_tuned_record
+
+        bad = TunedRecord(fingerprint="ab12cd34", objective="interval_dsp",
+                          partition_sizes=(1, 1), tiles=(None, None),
+                          strategy="reuse", tip=1, value=9.0, metrics={},
+                          devices=5)
+        codes = {d.code for d in check_tuned_record(bad, fingerprint="ab12cd34")}
+        assert "RC407" in codes

@@ -24,6 +24,7 @@ from .analyzer import (
     check_partition,
     check_pyramid_geometry,
 )
+from .concurrency import check_concurrency_paths
 from .diagnostics import CODES, CheckReport, Diagnostic, Severity, diag
 from .dist import (
     check_pipeline_plan,
@@ -58,6 +59,7 @@ __all__ = [
     "Severity",
     "check_channel_schedule",
     "check_compiled_plan",
+    "check_concurrency_paths",
     "check_fused_schedule",
     "check_graph_dict",
     "check_graph_network",

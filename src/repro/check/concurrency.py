@@ -1,0 +1,634 @@
+"""Static concurrency analysis: races, lock discipline, lost wakeups.
+
+The serving stack reproduces the paper's inter-stage concurrency with
+real threads — the scheduler's condition variable, worker seats, the
+autoscaler supervisor, the traced event store — and a data race there
+is invisible to the test suite until a soak hits the window. This
+module walks source ASTs (no imports, no execution) over ``serve/``,
+``dist/``, and ``obs/`` and enforces the lock discipline those modules
+promise, reporting through the same
+:class:`~repro.check.diagnostics.Diagnostic` currency as the linter.
+
+Rules:
+
+====== ==================================================================
+RL501  write to a shared attribute outside the lock that guards it.
+       A class is *analyzed* when it owns a lock/condition attribute or
+       starts a ``threading.Thread``; an attribute's guard is inferred
+       by majority-of-accesses (most accesses happen under one lock ⇒
+       that lock guards it), and every write or container mutation
+       outside the guard is flagged.
+RL502  blocking call while holding a lock: ``Future.result``,
+       ``Condition.wait`` with no timeout, queue ``put``\\ s,
+       ``time.sleep``, ``subprocess.*``, and plan compiles
+       (``compile_plan`` / ``get_or_compile``).
+RL503  cycle in the lock-acquisition graph. Holding lock A while
+       acquiring lock B adds the edge A→B — through nested ``with``
+       blocks and through calls into methods (same class, or an
+       attribute whose class is known) that acquire locks. Any cycle is
+       a potential deadlock.
+RL504  lost-wakeup patterns: ``notify``/``notify_all`` on a condition
+       that is not currently held, or a ``wait`` that is not wrapped in
+       a predicate ``while`` loop (``wait_for`` is exempt — the
+       predicate is built in).
+RL505  a thread started inside ``__init__`` before every attribute is
+       assigned: the new thread can observe a half-built object.
+====== ==================================================================
+
+Two conventions keep the analysis honest without flow analysis:
+
+* a method whose name ends in ``_locked`` is, by contract, only called
+  with its class's guard held — its accesses count as guarded and its
+  blocking calls are still flagged;
+* a finding is suppressed when its source line carries ``# noqa``
+  (same machinery as the repo linter) — used where a wrapper
+  legitimately manipulates a lock it does not syntactically hold, e.g.
+  the runtime sanitizer's ``SanitizedCondition``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic, diag
+from .lint import _dotted, _iter_files, _display, _suppressed
+
+#: Lock-constructor call names (matched on the dotted tail) -> kind.
+_LOCK_CTORS = {
+    "Lock": "lock",
+    "RLock": "lock",
+    "SanitizedLock": "lock",
+    "make_lock": "lock",
+    "Condition": "condition",
+    "SanitizedCondition": "condition",
+    "make_condition": "condition",
+}
+
+#: Container-mutating method names: calling one of these on a guarded
+#: attribute is a write for RL501 purposes.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "remove",
+    "discard", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "move_to_end", "sort", "reverse", "rotate",
+})
+
+#: Accesses inside ``*_locked``-suffixed methods count as guarded by
+#: whatever lock wins the majority vote (the convention: such methods
+#: are only called with the guard held).
+_CONVENTION = "__locked_convention__"
+
+
+def _blocking_reason(name: str, call: ast.Call) -> Optional[str]:
+    """Why ``name(...)`` blocks, or None if it does not (RL502)."""
+    head, _, tail = name.rpartition(".")
+    if tail == "result":
+        return "Future.result() blocks until the future resolves"
+    if tail == "wait" and not call.args and not call.keywords:
+        return "Condition.wait() with no timeout blocks unboundedly"
+    if tail == "put" and name != "self.put":
+        return "queue put() blocks when the queue is full"
+    if tail == "sleep":
+        return "sleep() stalls every thread contending for the lock"
+    if head == "subprocess" or head.endswith(".subprocess"):
+        return "subprocess calls block on the child process"
+    if tail in ("compile_plan", "get_or_compile"):
+        return "plan compilation runs a full exploration sweep"
+    return None
+
+
+class _ClassInfo:
+    """Everything pass 1 learns about one class."""
+
+    def __init__(self, name: str, label: str):
+        self.name = name
+        self.label = label
+        #: attr -> "lock" | "condition"
+        self.lock_attrs: Dict[str, str] = {}
+        #: attr -> class name (from __init__ ctor calls / annotations)
+        self.attr_types: Dict[str, str] = {}
+        #: attrs assigned in __init__ (the shared-state candidates)
+        self.init_attrs: Set[str] = set()
+        self.creates_thread = False
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        #: (class, method) -> lock ids the method acquires (fixpoint)
+        self.acquires: Dict[str, Set[str]] = {}
+
+    @property
+    def analyzed(self) -> bool:
+        return bool(self.lock_attrs) or self.creates_thread
+
+    def lock_id(self, attr: str) -> str:
+        return f"{self.name}.{attr}"
+
+
+def _ctor_name(value: ast.AST) -> str:
+    """The capitalized constructor tail of ``value``, through IfExp."""
+    if isinstance(value, ast.IfExp):
+        return _ctor_name(value.body) or _ctor_name(value.orelse)
+    if isinstance(value, ast.Call):
+        tail = _dotted(value.func).rpartition(".")[2]
+        if tail[:1].isupper():
+            return tail
+    return ""
+
+
+def _annotation_names(node: ast.AST) -> List[str]:
+    """Capitalized Name ids inside an annotation (Optional[X] -> [X])."""
+    out = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id[:1].isupper():
+            if sub.id not in ("Optional", "Sequence", "List", "Dict",
+                              "Tuple", "Set", "Any", "Callable", "Union"):
+                out.append(sub.id)
+    return out
+
+
+def _collect_class(node: ast.ClassDef, label: str) -> _ClassInfo:
+    info = _ClassInfo(node.name, label)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[item.name] = item
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Call)
+                and _dotted(sub.func) in ("threading.Thread", "Thread")):
+            info.creates_thread = True
+            break
+    init = info.methods.get("__init__")
+    if init is None:
+        return info
+    annotations: Dict[str, List[str]] = {}
+    for arg in list(init.args.args) + list(init.args.kwonlyargs):
+        if arg.annotation is not None:
+            names = _annotation_names(arg.annotation)
+            if names:
+                annotations[arg.arg] = names
+    for sub in ast.walk(init):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(sub, ast.Assign):
+            targets, value = sub.targets, sub.value
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            targets, value = [sub.target], sub.value
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                attr = target.attr
+                info.init_attrs.add(attr)
+                if isinstance(value, ast.Call):
+                    tail = _dotted(value.func).rpartition(".")[2]
+                    if tail in _LOCK_CTORS:
+                        info.lock_attrs[attr] = _LOCK_CTORS[tail]
+                        continue
+                ctor = _ctor_name(value)
+                if ctor:
+                    info.attr_types[attr] = ctor
+                elif (isinstance(value, ast.Name)
+                      and value.id in annotations):
+                    info.attr_types[attr] = annotations[value.id][0]
+                elif isinstance(value, ast.IfExp):
+                    for branch in (value.body, value.orelse):
+                        if (isinstance(branch, ast.Name)
+                                and branch.id in annotations):
+                            info.attr_types[attr] = annotations[branch.id][0]
+                            break
+    return info
+
+
+def _direct_acquires(info: _ClassInfo, method: ast.FunctionDef) -> Set[str]:
+    """Lock ids this method acquires via ``with self.<lock>:``."""
+    out: Set[str] = set()
+    for sub in ast.walk(method):
+        if isinstance(sub, ast.With):
+            for item in sub.items:
+                name = _dotted(item.context_expr)
+                if name.startswith("self."):
+                    attr = name[5:]
+                    if attr in info.lock_attrs:
+                        out.add(info.lock_id(attr))
+    return out
+
+
+def _acquires_fixpoint(classes: Dict[str, _ClassInfo]) -> None:
+    """Close each method's acquired-lock set over intra/inter-class
+    calls (``self.m()``; ``self.X.m()`` with X's class known)."""
+    for info in classes.values():
+        for name, method in info.methods.items():
+            info.acquires[name] = _direct_acquires(info, method)
+    changed = True
+    passes = 0
+    while changed and passes < 20:
+        changed = False
+        passes += 1
+        for info in classes.values():
+            for name, method in info.methods.items():
+                acc = info.acquires[name]
+                before = len(acc)
+                for sub in ast.walk(method):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    dotted = _dotted(sub.func)
+                    parts = dotted.split(".")
+                    if len(parts) == 2 and parts[0] == "self":
+                        acc |= info.acquires.get(parts[1], set())
+                    elif (len(parts) == 3 and parts[0] == "self"
+                          and parts[1] in info.attr_types):
+                        other = classes.get(info.attr_types[parts[1]])
+                        if other is not None:
+                            acc |= other.acquires.get(parts[2], set())
+                if len(acc) != before:
+                    changed = True
+
+
+class _LockGraph:
+    """The global lock-acquisition graph (RL503)."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[str, Set[str]] = {}
+        self.sites: Dict[Tuple[str, str], str] = {}
+
+    def add(self, held: str, acquired: str, site: str) -> None:
+        if held == acquired:
+            return
+        self.edges.setdefault(held, set()).add(acquired)
+        self.sites.setdefault((held, acquired), site)
+
+    def cycles(self) -> List[List[str]]:
+        """Every elementary cycle, canonicalized and deduplicated."""
+        found: Set[Tuple[str, ...]] = set()
+        out: List[List[str]] = []
+
+        def dfs(start: str, node: str, path: List[str]) -> None:
+            for succ in sorted(self.edges.get(node, ())):
+                if succ == start:
+                    cycle = list(path)
+                    pivot = cycle.index(min(cycle))
+                    canon = tuple(cycle[pivot:] + cycle[:pivot])
+                    if canon not in found:
+                        found.add(canon)
+                        out.append(list(canon))
+                elif succ not in path and succ > start:
+                    dfs(start, succ, path + [succ])
+
+        for start in sorted(self.edges):
+            dfs(start, start, [start])
+        return out
+
+
+class _Access:
+    __slots__ = ("kind", "lineno", "guard")
+
+    def __init__(self, kind: str, lineno: int, guard: Optional[str]):
+        self.kind = kind      # "read" | "write"
+        self.lineno = lineno
+        self.guard = guard    # lock id, _CONVENTION, or None
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Pass 2 over one method: held-lock tracking + rule emission."""
+
+    def __init__(self, checker: "_FileChecker", info: Optional[_ClassInfo],
+                 method_name: str):
+        self.checker = checker
+        self.info = info
+        self.method_name = method_name
+        self.held: List[str] = []
+        self.while_depth = 0
+        self.local_locks: Dict[str, str] = {}  # name -> kind
+        self.convention = method_name.endswith("_locked")
+        self.in_init = method_name == "__init__"
+        self.thread_names: Set[str] = set()
+        self.thread_starts: List[int] = []
+        self.self_assign_lines: List[int] = []
+
+    # -- lock identity ---------------------------------------------------------
+
+    def _lock_of(self, name: str) -> Optional[Tuple[str, str]]:
+        """(lock id, kind) when ``name`` denotes a known lock."""
+        if name.startswith("self.") and self.info is not None:
+            attr = name[5:]
+            kind = self.info.lock_attrs.get(attr)
+            if kind is not None:
+                return self.info.lock_id(attr), kind
+        kind = self.local_locks.get(name)
+        if kind is not None:
+            owner = self.info.name if self.info else "<module>"
+            return f"{owner}.{self.method_name}.{name}", kind
+        return None
+
+    def _holding(self) -> bool:
+        return bool(self.held) or self.convention
+
+    # -- structure -------------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A nested def is a new execution context: it does not inherit
+        # the held locks or loop nesting of its definition site.
+        saved = (self.held, self.while_depth, self.convention, self.in_init)
+        self.held, self.while_depth = [], 0
+        self.convention = node.name.endswith("_locked")
+        self.in_init = False
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held, self.while_depth, self.convention, self.in_init = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_While(self, node: ast.While) -> None:
+        self.while_depth += 1
+        self.generic_visit(node)
+        self.while_depth -= 1
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            name = _dotted(item.context_expr)
+            lock = self._lock_of(name) if name else None
+            if lock is not None:
+                lock_id, _ = lock
+                for held in self.held:
+                    self.checker.graph_edge(held, lock_id, node.lineno)
+                acquired.append(lock_id)
+            if item.context_expr is not None:
+                self.visit(item.context_expr)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    # -- assignments (RL501 writes, RL505 ordering, local locks) ---------------
+
+    def _record_target(self, target: ast.expr, lineno: int) -> None:
+        node = target
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            if self.in_init:
+                self.self_assign_lines.append(lineno)
+            else:
+                self.checker.record_access(self.info, node.attr, "write",
+                                           lineno, self._guard())
+
+    def _guard(self) -> Optional[str]:
+        if self.held:
+            return self.held[-1]
+        if self.convention:
+            return _CONVENTION
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node.lineno)
+            if isinstance(target, ast.Name) and isinstance(node.value,
+                                                           ast.Call):
+                tail = _dotted(node.value.func).rpartition(".")[2]
+                if tail in _LOCK_CTORS:
+                    self.local_locks[target.id] = _LOCK_CTORS[tail]
+                if self.in_init and _dotted(node.value.func) in (
+                        "threading.Thread", "Thread"):
+                    self.thread_names.add(target.id)
+            if (self.in_init and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(node.value, ast.Call)
+                    and _dotted(node.value.func) in ("threading.Thread",
+                                                     "Thread")):
+                self.thread_names.add(f"self.{target.attr}")
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_target(node.target, node.lineno)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_target(target, node.lineno)
+
+    # -- calls (mutators, RL502, RL503 call edges, RL504, RL505) ---------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        parts = name.split(".") if name else []
+        tail = parts[-1] if parts else ""
+        receiver = ".".join(parts[:-1])
+        # container mutation on self.<attr> is a write (RL501)
+        if (len(parts) == 3 and parts[0] == "self" and tail in _MUTATORS
+                and not self.in_init):
+            self.checker.record_access(self.info, parts[1], "write",
+                                       node.lineno, self._guard())
+        # RL502: blocking call while a lock is held
+        if self._holding() and name:
+            reason = _blocking_reason(name, node)
+            if reason is not None:
+                held = self.held[-1] if self.held else (
+                    f"{self.info.name if self.info else '<module>'}"
+                    f".{self.method_name} [by _locked convention]")
+                self.checker.emit(
+                    "RL502", f"{name}() under lock {held}: {reason}",
+                    node.lineno, call=name, lock=held)
+        # RL503: calling a method that acquires locks while holding one
+        if self.held and self.info is not None:
+            callee_locks: Set[str] = set()
+            if len(parts) == 2 and parts[0] == "self":
+                callee_locks = self.info.acquires.get(tail, set())
+            elif (len(parts) == 3 and parts[0] == "self"
+                  and parts[1] in self.info.attr_types):
+                other = self.checker.classes.get(
+                    self.info.attr_types[parts[1]])
+                if other is not None:
+                    callee_locks = other.acquires.get(tail, set())
+            for lock_id in callee_locks:
+                for held in self.held:
+                    self.checker.graph_edge(held, lock_id, node.lineno)
+        # RL504: notify outside the condition / wait without a predicate loop
+        cond = self._lock_of(receiver) if receiver else None
+        if cond is not None and cond[1] == "condition":
+            lock_id = cond[0]
+            if tail in ("notify", "notify_all") and lock_id not in self.held:
+                self.checker.emit(
+                    "RL504", f"{name}() outside `with {receiver}:` — the "
+                    "wakeup can race the waiter's predicate check",
+                    node.lineno, call=name)
+            if tail == "wait" and self.while_depth == 0:
+                self.checker.emit(
+                    "RL504", f"{name}() not wrapped in a predicate while "
+                    "loop — a spurious or stolen wakeup is lost",
+                    node.lineno, call=name)
+        # RL505: thread .start() inside __init__
+        if self.in_init and tail == "start":
+            started = receiver in self.thread_names
+            if (isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Call)
+                    and _dotted(node.func.value.func) in ("threading.Thread",
+                                                          "Thread")):
+                started = True
+            if started:
+                self.thread_starts.append(node.lineno)
+        self.generic_visit(node)
+
+    # -- reads -----------------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and not self.in_init):
+            self.checker.record_access(self.info, node.attr, "read",
+                                       node.lineno, self._guard())
+        self.generic_visit(node)
+
+    # -- RL505 wrap-up ---------------------------------------------------------
+
+    def finish_init(self) -> None:
+        for start_line in self.thread_starts:
+            later = [ln for ln in self.self_assign_lines if ln > start_line]
+            if later:
+                self.checker.emit(
+                    "RL505", "thread started before __init__ finishes "
+                    f"assigning attributes (line {later[0]} follows): the "
+                    "thread can observe a half-built object",
+                    start_line, assigns_after=len(later))
+
+
+class _FileChecker:
+    """Runs pass 2 over one file, collecting accesses and findings."""
+
+    def __init__(self, label: str, lines: Sequence[str],
+                 classes: Dict[str, _ClassInfo], graph: _LockGraph):
+        self.label = label
+        self.lines = lines
+        self.classes = classes
+        self.graph = graph
+        self.diagnostics: List[Diagnostic] = []
+        #: (class name, attr) -> accesses
+        self.accesses: Dict[Tuple[str, str], List[_Access]] = {}
+
+    def emit(self, code: str, message: str, lineno: int, **context) -> None:
+        if _suppressed(self.lines, lineno):
+            return
+        self.diagnostics.append(
+            diag(code, message, site=f"{self.label}:{lineno}", **context))
+
+    def graph_edge(self, held: str, acquired: str, lineno: int) -> None:
+        if _suppressed(self.lines, lineno):
+            return
+        self.graph.add(held, acquired, f"{self.label}:{lineno}")
+
+    def record_access(self, info: Optional[_ClassInfo], attr: str,
+                      kind: str, lineno: int, guard: Optional[str]) -> None:
+        if info is None or not info.analyzed:
+            return
+        if attr not in info.init_attrs or attr in info.lock_attrs:
+            return
+        self.accesses.setdefault((info.name, attr), []).append(
+            _Access(kind, lineno, guard))
+
+    def run(self, tree: ast.Module) -> None:
+        self._walk_body(tree.body, None)
+        self._infer_guards()
+
+    def _walk_body(self, body: Sequence[ast.stmt],
+                   info: Optional[_ClassInfo]) -> None:
+        toplevel = _MethodWalker(self, info, "<module>")
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                self._walk_body(node.body, self.classes.get(node.name))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walker = _MethodWalker(self, info, node.name)
+                walker.local_locks.update(toplevel.local_locks)
+                for stmt in node.body:
+                    walker.visit(stmt)
+                if walker.in_init:
+                    walker.finish_init()
+            else:
+                # bare statements share one walker so a module-level
+                # lock assignment is visible to later statements (and,
+                # via the seeding above, to the module's functions)
+                toplevel.visit(node)
+
+    def _infer_guards(self) -> None:
+        for (cls, attr), accesses in sorted(self.accesses.items()):
+            by_lock: Dict[str, int] = {}
+            convention = 0
+            for access in accesses:
+                if access.guard == _CONVENTION:
+                    convention += 1
+                elif access.guard is not None:
+                    by_lock[access.guard] = by_lock.get(access.guard, 0) + 1
+            if not by_lock:
+                continue
+            winner = max(sorted(by_lock), key=lambda k: by_lock[k])
+            guarded = by_lock[winner] + convention
+            unguarded = len(accesses) - guarded - sum(
+                n for lock, n in by_lock.items() if lock != winner)
+            if guarded <= unguarded:
+                continue  # no majority: no guard inferred
+            for access in accesses:
+                if access.kind != "write":
+                    continue
+                if access.guard in (winner, _CONVENTION):
+                    continue
+                self.emit(
+                    "RL501", f"{cls}.{attr} is written here without "
+                    f"{winner}, which guards "
+                    f"{guarded}/{len(accesses)} of its accesses",
+                    access.lineno, attribute=f"{cls}.{attr}", lock=winner)
+
+
+def check_concurrency_paths(paths: Sequence[str]) -> List[Diagnostic]:
+    """Analyze every ``.py`` under ``paths`` for RL501–RL505.
+
+    Whole-run analysis: classes are collected across *all* files first,
+    so the lock-acquisition graph (RL503) and attribute-type resolution
+    see cross-module edges (e.g. a service holding its lock while
+    calling into the scheduler). Unreadable or syntactically invalid
+    files raise ``ConfigError`` — analyzing broken source is a bad
+    request, not a finding.
+    """
+    from ..errors import ConfigError
+
+    modules: List[Tuple[str, ast.Module, List[str]]] = []
+    classes: Dict[str, _ClassInfo] = {}
+    for path in _iter_files(paths):
+        label = _display(path, Path.cwd())
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except OSError as err:
+            raise ConfigError(f"cannot analyze {path}: {err}",
+                              path=str(path))
+        except SyntaxError as err:
+            raise ConfigError(f"cannot analyze {path}: {err}",
+                              path=str(path), line=err.lineno)
+        modules.append((label, tree, source.splitlines()))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = _collect_class(node, label)
+    _acquires_fixpoint(classes)
+    graph = _LockGraph()
+    out: List[Diagnostic] = []
+    for label, tree, lines in modules:
+        checker = _FileChecker(label, lines, classes, graph)
+        checker.run(tree)
+        out.extend(checker.diagnostics)
+    for cycle in graph.cycles():
+        ring = cycle + [cycle[0]]
+        sites = [graph.sites.get((a, b), "?")
+                 for a, b in zip(ring, ring[1:])]
+        out.append(diag(
+            "RL503", "lock-acquisition cycle: "
+            + " -> ".join(ring) + " (a thread holding one lock can wait "
+            "forever on a thread holding the next)",
+            site=sites[0], locks=" -> ".join(ring),
+            edges="; ".join(sites)))
+    out.sort(key=lambda d: (d.site, d.code))
+    return out

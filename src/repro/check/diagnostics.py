@@ -23,6 +23,7 @@ RL1xx  lint: error-hierarchy discipline
 RL2xx  lint: determinism (seeded randomness, wall clock)
 RL3xx  lint: observability naming conventions
 RL4xx  lint: CLI/README documentation drift
+RL5xx  lint: concurrency (races, lock discipline, lost wakeups)
 ====== ==========================================================
 
 Codes are append-only: a code, once released, keeps its meaning.
@@ -118,6 +119,11 @@ CODES: Dict[str, tuple] = {
     "RL301": (Severity.ERROR, "obs counter/gauge name violates convention"),
     "RL302": (Severity.ERROR, "event/span name violates convention"),
     "RL401": (Severity.ERROR, "CLI subcommand missing from README"),
+    "RL501": (Severity.ERROR, "unguarded write to a lock-guarded attribute"),
+    "RL502": (Severity.ERROR, "blocking call while holding a lock"),
+    "RL503": (Severity.ERROR, "lock-acquisition cycle (potential deadlock)"),
+    "RL504": (Severity.ERROR, "lost-wakeup pattern (notify/wait misuse)"),
+    "RL505": (Severity.ERROR, "thread started before __init__ completes"),
 }
 
 

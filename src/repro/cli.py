@@ -31,7 +31,8 @@ Commands map one-to-one to the paper's evaluation artifacts::
     bench-diff  compare two benchmark summary JSON files and flag
                 metrics that regressed past a threshold
     check       static analysis: verify a network/partition/plan without
-                executing, lint the repo's own invariants (--lint), and
+                executing, lint the repo's own invariants (--lint),
+                analyze lock discipline and races (--concurrency), and
                 validate plan-cache/tuning-db/trace files (--plan,
                 --tunedb, --trace) and DAG descriptions (--graph)
     hls         emit the specialized HLS C++ for a fused design
@@ -1253,7 +1254,8 @@ def cmd_check(args) -> None:
     any error is found (or any warning, under ``--strict``); 0 when
     clean — the contract the CI smoke job greps for.
     """
-    from .check import (CheckReport, check_graph_network, check_network,
+    from .check import (CheckReport, check_concurrency_paths,
+                        check_graph_network, check_network,
                         check_plan_cache_file, check_soak_report_file,
                         check_trace_file, check_tuning_db_file, lint_paths)
 
@@ -1301,10 +1303,14 @@ def cmd_check(args) -> None:
     if args.lint:
         report.extend("lint " + " ".join(args.lint),
                       lint_paths(args.lint, readme=args.readme))
+    if args.concurrency:
+        report.extend("concurrency " + " ".join(args.concurrency),
+                      check_concurrency_paths(args.concurrency))
     if not report.checks_run:
         raise SystemExit("nothing to check: give a NETWORK, --graph PATH, "
-                         "--lint PATH, --plan PATH, --tunedb PATH, "
-                         "--trace PATH, --soak PATH, or --request PATH")
+                         "--lint PATH, --concurrency PATH, --plan "
+                         "PATH, --tunedb PATH, --trace PATH, --soak "
+                         "PATH, or --request PATH")
     print(report.to_json() if args.json else report.render())
     code = report.exit_code(strict=args.strict)
     if code:
@@ -1743,6 +1749,11 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--lint", nargs="+", default=None, metavar="PATH",
                     help="lint these files/directories (repo invariants "
                          "RL101..RL401)")
+    ck.add_argument("--concurrency", nargs="+", default=None,
+                    metavar="PATH",
+                    help="concurrency-lint these files/directories: "
+                         "races, lock discipline, lost wakeups "
+                         "(RL501..RL505)")
     ck.add_argument("--readme", default=None, metavar="PATH",
                     help="README to cross-check CLI docs against "
                          "(default: nearest README.md above the lint roots)")

@@ -27,6 +27,7 @@ LOWER_IS_BETTER = (
     "retries", "violations", "burn_rate", "energy", "interval", "pending",
     "shed", "shed_rate", "wrong_answers", "p999", "guaranteed_shed",
     "fill_drain_cycles", "link_bytes", "interval_dsp", "blocked",
+    "lock_wait_s", "max_hold_s",
 )
 
 #: Name fragments whose metrics improve upward (rates, wins, coverage).

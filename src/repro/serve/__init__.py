@@ -37,6 +37,16 @@ from .plan import (
     compile_plan,
     make_plan_key,
 )
+from .sanitizer import (
+    LockSanitizer,
+    SanitizedCondition,
+    SanitizedLock,
+    Violation,
+    get_sanitizer,
+    make_condition,
+    make_lock,
+    sanitize_enabled,
+)
 from ..obs.slo import SLOMonitor, SLOTarget
 from ..obs.tracing import Tracer, TraceSpan
 from .autoscale import Autoscaler, AutoscalePolicy, ScaleEvent
@@ -77,6 +87,7 @@ __all__ = [
     "GUARANTEED",
     "InferenceService",
     "LATENCY_WINDOW",
+    "LockSanitizer",
     "ManualClock",
     "PlanCache",
     "PlanKey",
@@ -85,6 +96,8 @@ __all__ = [
     "SHEDDABLE",
     "SLOMonitor",
     "SLOTarget",
+    "SanitizedCondition",
+    "SanitizedLock",
     "ScaleEvent",
     "ServeOverloadError",
     "ServeRequest",
@@ -95,13 +108,18 @@ __all__ = [
     "TRACE_KINDS",
     "TraceSpan",
     "Tracer",
+    "Violation",
     "WorkerPool",
     "burst_trace",
     "compile_plan",
     "diurnal_trace",
+    "get_sanitizer",
+    "make_condition",
+    "make_lock",
     "make_plan_key",
     "make_trace",
     "percentile",
     "poisson_trace",
     "run_soak",
+    "sanitize_enabled",
 ]

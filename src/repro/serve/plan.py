@@ -50,6 +50,7 @@ from ..nn.shapes import TensorShape
 from ..nn.stages import extract_levels, independent_units
 from ..sim.batched import BatchedNetworkExecutor, preserves_exact_arithmetic
 from ..sim.network_exec import NetworkExecutor
+from .sanitizer import make_lock
 
 PRECISIONS = ("int", "float")
 
@@ -423,6 +424,15 @@ class PlanCache:
     least-recently-used but always leaves the most recent plan resident.
     Hits, misses, and evictions are mirrored into
     ``serve.plan_cache.{hits,misses,evictions}`` obs counters.
+
+    Thread-safe: one lock guards the LRU order, the byte budget, and
+    the hit/miss/eviction counters — the cache is shared between the
+    caller thread that registers networks and any worker or background
+    thread that compiles on demand. Compilation itself deliberately
+    runs *outside* the lock (holding it through a full exploration
+    sweep would stall every concurrent lookup); two threads missing on
+    the same key may both compile, deterministically producing
+    equivalent plans, and the last ``put`` wins.
     """
 
     def __init__(self, max_plans: int = 32,
@@ -438,28 +448,36 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = make_lock("serve.plan_cache.state")
         self._plans: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     @property
     def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes_locked()
+
+    def _total_bytes_locked(self) -> int:
         return sum(plan.byte_size for plan in self._plans.values())
 
     def lookup(self, key: PlanKey) -> Optional[CompiledPlan]:
         """Fetch without compiling; counts a hit or miss."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            obs.add_counter("serve.plan_cache.misses")
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        obs.add_counter("serve.plan_cache.hits")
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+            else:
+                self._plans.move_to_end(key)
+                self.hits += 1
+        obs.add_counter("serve.plan_cache.misses" if plan is None
+                        else "serve.plan_cache.hits")
         return plan
 
     def get_or_compile(self, network: Network,
@@ -504,6 +522,9 @@ class PlanCache:
         plan = self.lookup(key)
         if plan is not None:
             return plan
+        # Compile with no lock held (see the class docstring): a
+        # concurrent miss on the same key compiles redundantly but
+        # deterministically; both callers serve identical plans.
         plan = compile_plan(network, strategy=strategy, tip=tip,
                             storage_budget_bytes=storage_budget_bytes,
                             precision=precision, seed=seed, budget=budget,
@@ -516,28 +537,36 @@ class PlanCache:
 
     def put(self, plan: CompiledPlan) -> None:
         """Insert (or refresh) a plan, evicting LRU entries over budget."""
-        self._plans[plan.key] = plan
-        self._plans.move_to_end(plan.key)
-        while len(self._plans) > 1 and (
-                len(self._plans) > self.max_plans
-                or (self.max_bytes is not None
-                    and self.total_bytes > self.max_bytes)):
-            self._plans.popitem(last=False)
-            self.evictions += 1
-            obs.add_counter("serve.plan_cache.evictions")
+        evicted = 0
+        with self._lock:
+            self._plans[plan.key] = plan
+            self._plans.move_to_end(plan.key)
+            while len(self._plans) > 1 and (
+                    len(self._plans) > self.max_plans
+                    or (self.max_bytes is not None
+                        and self._total_bytes_locked() > self.max_bytes)):
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            obs.add_counter("serve.plan_cache.evictions", evicted)
 
     def stats_dict(self) -> Dict[str, Any]:
-        return {"plans": len(self._plans), "bytes": self.total_bytes,
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"plans": len(self._plans),
+                    "bytes": self._total_bytes_locked(),
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, path) -> None:
         """Write every resident plan to ``path`` as JSON (LRU order)."""
+        with self._lock:
+            resident = list(self._plans.values())
+        # serialize outside the lock: to_dict + file IO are slow
         payload = {"version": 1,
-                   "plans": [plan.to_dict()
-                             for plan in self._plans.values()]}
+                   "plans": [plan.to_dict() for plan in resident]}
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -1,0 +1,374 @@
+"""Runtime lock sanitizer: dynamic lock-order and hold-time checking.
+
+The static analyzer (:mod:`repro.check.concurrency`) proves lock
+discipline the AST can see; this module catches what only execution
+can — the actual inter-thread interleavings of the serving stack.
+:class:`SanitizedLock` and :class:`SanitizedCondition` are drop-in
+wrappers around :class:`threading.Lock` / :class:`threading.Condition`
+that record, per thread, the order locks are acquired in, assert the
+global acquisition-order graph stays a DAG, measure per-lock wait and
+hold times, and mirror every violation into :mod:`repro.obs` events.
+
+Switched on via the environment::
+
+    REPRO_SANITIZE=1 python -m pytest tests/serve tests/check -q
+
+With the flag off (the default), :func:`make_lock` /
+:func:`make_condition` return the plain :mod:`threading` primitives —
+zero overhead — so the serve modules create every lock through these
+factories unconditionally and the existing serve/soak test suites
+double as a dynamic race harness whenever the flag is set.
+
+Violation kinds:
+
+* ``lock_order`` — a thread acquired B while holding A after some
+  thread had acquired A while holding B: the order graph has a cycle,
+  i.e. a latent deadlock.
+* ``blocking_under_lock`` — ``Condition.wait`` entered while the
+  thread still held *another* sanitized lock (the classic way a
+  blocking call under a lock becomes a convoy or a deadlock).
+* ``long_hold`` — a lock was held longer than the warning threshold
+  (``REPRO_SANITIZE_MAX_HOLD_S``, default 0.5 s); time parked in
+  ``Condition.wait`` does not count — the wait releases the lock.
+
+Metrics (``metrics_dict()``; ``lock_wait_s`` and ``max_hold_s`` carry
+bench-diff lower-is-better direction) aggregate per lock name:
+acquisitions, total time spent waiting to acquire, total and maximum
+hold time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+
+#: Default long-hold warning threshold in seconds (override with the
+#: REPRO_SANITIZE_MAX_HOLD_S environment variable).
+DEFAULT_MAX_HOLD_S = 0.5
+
+
+def sanitize_enabled() -> bool:
+    """Is the runtime sanitizer switched on (``REPRO_SANITIZE=1``)?"""
+    return os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule the runtime sanitizer saw broken."""
+
+    kind: str            #: lock_order | blocking_under_lock | long_hold
+    lock: str            #: the lock being acquired/held
+    thread: str
+    detail: str
+    held: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        held = f" (holding {', '.join(self.held)})" if self.held else ""
+        return f"[{self.kind}] {self.lock} in {self.thread}{held}: " \
+               f"{self.detail}"
+
+
+@dataclass
+class _LockMetrics:
+    acquisitions: int = 0
+    lock_wait_s: float = 0.0
+    hold_s: float = 0.0
+    max_hold_s: float = 0.0
+    contended: int = 0
+
+
+class LockSanitizer:
+    """Process-wide registry of sanitized-lock activity.
+
+    One global instance backs every :class:`SanitizedLock`; tests may
+    construct private instances to assert violations in isolation.
+    """
+
+    def __init__(self, max_hold_s: Optional[float] = None):
+        if max_hold_s is None:
+            max_hold_s = float(os.environ.get("REPRO_SANITIZE_MAX_HOLD_S",
+                                              DEFAULT_MAX_HOLD_S))
+        self.max_hold_s = max_hold_s
+        self._state = threading.Lock()   # guards order/violations/merges
+        self._tls = threading.local()    # per-thread stack + metrics
+        #: every thread's private metrics dict, for merging on demand
+        self._thread_metrics: List[Dict[str, _LockMetrics]] = []
+        #: acquisition-order edges: first -> set of locks taken under it
+        self.order: Dict[str, set] = {}
+        self.violations: List[Violation] = []
+
+    # -- per-thread state ------------------------------------------------------
+
+    def _local(self) -> Tuple[List[str], Dict[str, _LockMetrics]]:
+        """This thread's (held-lock stack, metrics) pair.
+
+        Metrics are sharded per thread so the acquire/release fast path
+        never touches the sanitizer's own lock — only nested acquires
+        (order-graph edges) and violations pay for ``_state``. A
+        process-wide metrics dict would otherwise serialize every
+        sanitized lock through one extra lock and dominate the very
+        hold times it measures.
+        """
+        local = getattr(self._tls, "local", None)
+        if local is None:
+            local = self._tls.local = ([], {})
+            with self._state:
+                self._thread_metrics.append(local[1])
+        return local
+
+    def held(self) -> List[str]:
+        """Names of the locks the calling thread holds, oldest first."""
+        return self._local()[0]
+
+    # -- bookkeeping (called by the wrappers) ----------------------------------
+
+    def note_acquired(self, name: str, wait_s: float) -> None:
+        held, thread_metrics = self._local()
+        metrics = thread_metrics.get(name)
+        if metrics is None:
+            metrics = thread_metrics.setdefault(name, _LockMetrics())
+        metrics.acquisitions += 1
+        metrics.lock_wait_s += wait_s
+        if wait_s > 1e-6:
+            metrics.contended += 1
+        if held:  # nested acquire: update the global order graph
+            with self._state:
+                for prior in held:
+                    if prior == name:
+                        continue
+                    self.order.setdefault(prior, set()).add(name)
+                    if prior in self.order.get(name, ()):  # reverse edge
+                        self._record_locked(Violation(
+                            kind="lock_order", lock=name,
+                            thread=threading.current_thread().name,
+                            detail=f"acquired after {prior}, but {name} -> "
+                                   f"{prior} was already observed: the "
+                                   "lock order graph has a cycle",
+                            held=tuple(held)))
+        held.append(name)
+
+    def note_released(self, name: str, hold_s: float) -> None:
+        held, thread_metrics = self._local()
+        if name in held:
+            # remove the newest occurrence (RLock-style reentry safe)
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] == name:
+                    del held[i]
+                    break
+        metrics = thread_metrics.get(name)
+        if metrics is None:
+            metrics = thread_metrics.setdefault(name, _LockMetrics())
+        metrics.hold_s += hold_s
+        if hold_s > metrics.max_hold_s:
+            metrics.max_hold_s = hold_s
+        if hold_s > self.max_hold_s:
+            with self._state:
+                self._record_locked(Violation(
+                    kind="long_hold", lock=name,
+                    thread=threading.current_thread().name,
+                    detail=f"held {hold_s * 1e3:.1f} ms, over the "
+                           f"{self.max_hold_s * 1e3:.0f} ms threshold"))
+
+    def note_wait(self, name: str) -> None:
+        """A ``Condition.wait`` is entered on ``name``; any *other* lock
+        still held by this thread blocks under it."""
+        others = [held for held in self.held() if held != name]
+        if others:
+            with self._state:
+                self._record_locked(Violation(
+                    kind="blocking_under_lock", lock=name,
+                    thread=threading.current_thread().name,
+                    detail="Condition.wait entered while still holding "
+                           + ", ".join(others),
+                    held=tuple(others)))
+
+    def _record_locked(self, violation: Violation) -> None:
+        self.violations.append(violation)
+        obs.add_counter("serve.sanitizer.violations")
+        obs.emit_event(f"serve.sanitizer.{violation.kind}",
+                       attrs={"lock": violation.lock,
+                              "thread": violation.thread})
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def metrics(self) -> Dict[str, _LockMetrics]:
+        """Per-lock metrics merged across every thread's shard."""
+        with self._state:
+            merged: Dict[str, _LockMetrics] = {}
+            for shard in self._thread_metrics:
+                for name, m in shard.items():
+                    agg = merged.get(name)
+                    if agg is None:
+                        agg = merged.setdefault(name, _LockMetrics())
+                    agg.acquisitions += m.acquisitions
+                    agg.lock_wait_s += m.lock_wait_s
+                    agg.hold_s += m.hold_s
+                    agg.max_hold_s = max(agg.max_hold_s, m.max_hold_s)
+                    agg.contended += m.contended
+            return merged
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        """Machine-readable metrics (bench-diff friendly names)."""
+        merged = self.metrics
+        locks = {
+            name: {"acquisitions": m.acquisitions,
+                   "contended": m.contended,
+                   "lock_wait_s": m.lock_wait_s,
+                   "hold_s": m.hold_s,
+                   "max_hold_s": m.max_hold_s}
+            for name, m in sorted(merged.items())}
+        return {"locks": locks,
+                "violations": len(self.violations),
+                "lock_wait_s": sum(m.lock_wait_s
+                                   for m in merged.values()),
+                "max_hold_s": max(
+                    (m.max_hold_s for m in merged.values()),
+                    default=0.0)}
+
+    def render(self) -> str:
+        data = self.metrics_dict()
+        lines = [f"lock sanitizer: {data['violations']} violations, "
+                 f"{data['lock_wait_s'] * 1e3:.2f} ms total lock wait, "
+                 f"{data['max_hold_s'] * 1e3:.2f} ms max hold"]
+        for name, m in data["locks"].items():
+            lines.append(
+                f"  {name}: {m['acquisitions']} acquisitions "
+                f"({m['contended']} contended), wait "
+                f"{m['lock_wait_s'] * 1e3:.2f} ms, max hold "
+                f"{m['max_hold_s'] * 1e3:.2f} ms")
+        for violation in self.violations:
+            lines.append("  " + violation.render())
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._state:
+            self.order.clear()
+            self.violations.clear()
+            for shard in self._thread_metrics:
+                shard.clear()
+
+
+#: The process-global sanitizer every factory-made lock reports to.
+_GLOBAL = LockSanitizer()
+
+
+def get_sanitizer() -> LockSanitizer:
+    return _GLOBAL
+
+
+class SanitizedLock:
+    """Drop-in ``threading.Lock`` reporting to a :class:`LockSanitizer`."""
+
+    def __init__(self, name: str,
+                 sanitizer: Optional[LockSanitizer] = None):
+        self.name = name
+        self._sanitizer = sanitizer if sanitizer is not None else _GLOBAL
+        self._inner = threading.Lock()
+        self._acquired_at = 0.0  # written only by the owning thread
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        t0 = time.perf_counter()
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            now = time.perf_counter()
+            self._sanitizer.note_acquired(self.name, now - t0)
+            self._acquired_at = now
+        return ok
+
+    def release(self) -> None:
+        hold_s = time.perf_counter() - self._acquired_at
+        self._sanitizer.note_released(self.name, hold_s)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+
+class SanitizedCondition:
+    """Drop-in ``threading.Condition`` reporting to a sanitizer.
+
+    ``wait`` is accounted as release + re-acquire — the underlying
+    condition releases its lock while parked, so idle waits must not
+    count as hold time (or every idle worker would trip ``long_hold``).
+    """
+
+    def __init__(self, name: str,
+                 sanitizer: Optional[LockSanitizer] = None):
+        self.name = name
+        self._sanitizer = sanitizer if sanitizer is not None else _GLOBAL
+        self._inner = threading.Condition()
+        self._acquired_at = 0.0  # written only by the owning thread
+
+    # -- lock protocol ---------------------------------------------------------
+
+    def acquire(self, *args: Any) -> bool:
+        t0 = time.perf_counter()
+        ok = self._inner.acquire(*args)
+        if ok:
+            now = time.perf_counter()
+            self._sanitizer.note_acquired(self.name, now - t0)
+            self._acquired_at = now
+        return ok
+
+    def release(self) -> None:
+        hold_s = time.perf_counter() - self._acquired_at
+        self._sanitizer.note_released(self.name, hold_s)
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    # -- condition protocol ----------------------------------------------------
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._sanitizer.note_wait(self.name)
+        hold_s = time.perf_counter() - self._acquired_at
+        self._sanitizer.note_released(self.name, hold_s)
+        try:
+            # the inner condition re-checks ownership; wait releases the
+            # lock while parked and re-acquires before returning # noqa: RL504
+            return self._inner.wait(timeout)  # noqa: RL502 RL504
+        finally:
+            self._sanitizer.note_acquired(self.name, 0.0)
+            self._acquired_at = time.perf_counter()
+
+    def notify(self, n: int = 1) -> None:
+        # the caller holds this condition through the wrapper # noqa
+        self._inner.notify(n)  # noqa: RL504
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()  # noqa: RL504
+
+
+def make_lock(name: str) -> Any:
+    """A lock for the serving stack: plain ``threading.Lock`` normally,
+    a :class:`SanitizedLock` under ``REPRO_SANITIZE=1``."""
+    if sanitize_enabled():
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_condition(name: str) -> Any:
+    """A condition variable, sanitized under ``REPRO_SANITIZE=1``."""
+    if sanitize_enabled():
+        return SanitizedCondition(name)
+    return threading.Condition()

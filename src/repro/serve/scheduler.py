@@ -42,6 +42,7 @@ from .. import obs
 from ..errors import (ConfigError, ServeOverloadError, ServeShedError,
                       SimFaultError)
 from .clock import SYSTEM_CLOCK, Clock
+from .sanitizer import make_condition
 
 #: Request classes: guaranteed traffic is only rejected when the queue
 #: is hard-full; sheddable traffic is shed at the admission watermarks.
@@ -231,9 +232,22 @@ class BatchScheduler:
         self.deadline_flushes = 0
         self._shards: "OrderedDict[Any, Deque[ServeRequest]]" = OrderedDict()
         self._closed = False
-        import threading
-
-        self._cond = threading.Condition()
+        # One condition guards every mutable field of the scheduler
+        # (depth, shed, deadline_flushes, _shards, _closed, and the
+        # admission controller's EWMA). Wakeup discipline:
+        #
+        # * submit() uses notify(): one new request makes at most one
+        #   batch flushable, so waking one worker suffices. Safe
+        #   against lost wakeups because any worker that wakes with the
+        #   queue non-empty computes a *bounded* wait from the earliest
+        #   flush deadline (_wait_s_locked) — an unbounded wait only
+        #   ever happens on an empty queue.
+        # * requeue() uses notify_all(): a crashed batch can make
+        #   several shards flushable at once (the requeued shard plus
+        #   any promotion reshuffle), so every worker must re-check.
+        # * close() uses notify_all(): shutdown must wake every parked
+        #   worker so each can observe _closed and exit.
+        self._cond = make_condition("serve.scheduler.cond")
 
     @property
     def closed(self) -> bool:
@@ -343,6 +357,10 @@ class BatchScheduler:
         """
         deadline = None if timeout is None else self.clock.now() + timeout
         with self._cond:
+            # Predicate loop: every wait re-derives its state from the
+            # queue under the lock, so spurious wakeups, stolen batches
+            # (another worker popped first), and notify-before-wait
+            # races are all absorbed by re-checking _pop_locked.
             while True:
                 batch = self._pop_locked()
                 if batch is not None:
@@ -357,6 +375,11 @@ class BatchScheduler:
                     if remaining <= 0:
                         return []
                     wait = remaining if wait is None else min(wait, remaining)
+                # wait is None (unbounded) only when the queue is empty
+                # — the one state where a notify must precede progress;
+                # with work queued the wait is bounded by the earliest
+                # flush deadline, so a missed notify costs latency, not
+                # liveness.
                 self._cond.wait(wait)
 
     def poll(self) -> Optional[List[ServeRequest]]:

@@ -40,6 +40,7 @@ from ..obs.tracing import Tracer
 from .autoscale import AutoscalePolicy
 from .clock import Clock
 from .plan import CompiledPlan, PlanCache, PlanKey
+from .sanitizer import make_lock
 from .scheduler import SHEDDABLE, AdmissionPolicy, BatchScheduler, ServeRequest
 from .stats import ServeStats
 from .worker import STALL_S_PER_CYCLE, WorkerPool
@@ -154,7 +155,8 @@ class InferenceService:
         self._plans: Dict[PlanKey, CompiledPlan] = {}
         self._default_key: Optional[PlanKey] = None
         self._next_id = 0
-        self._lock = threading.Lock()
+        # guards _plans, _default_key, _next_id, and _shut_down
+        self._lock = make_lock("serve.service.state")
         self._shut_down = False
         for net in ([network] if network is not None else []) + list(networks):
             self.register(net)

@@ -23,6 +23,7 @@ from collections import Counter
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs.slo import SLOMonitor, SLOTarget, render_slos
+from .sanitizer import make_lock
 from ..obs.timeline import RollingQuantile, Timeline
 
 
@@ -48,7 +49,8 @@ class ServeStats:
 
     def __init__(self, latency_window: int = LATENCY_WINDOW,
                  timeline_bucket_s: float = 0.05):
-        self._lock = threading.Lock()
+        # guards every counter, quantile window, and the SLO list
+        self._lock = make_lock("serve.stats.state")
         self.submitted = 0
         self.rejected = 0
         self.shed = 0        # watermark sheds (a subset of rejected)

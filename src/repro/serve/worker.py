@@ -33,6 +33,7 @@ from ..faults.spec import TRANSFER_CORRUPT
 from .autoscale import Autoscaler, AutoscalePolicy, ScaleEvent
 from .clock import SYSTEM_CLOCK, Clock, SystemClock
 from .plan import CompiledPlan
+from .sanitizer import make_lock
 from .scheduler import BatchScheduler, ServeRequest
 from .stats import ServeStats
 
@@ -141,7 +142,10 @@ class WorkerPool:
         if self.autoscaler is not None:
             self.workers = self.autoscaler.workers
         self.respawns = 0
-        self._lock = threading.Lock()
+        # guards _threads, _seats, _started, workers, and respawns —
+        # everything the worker threads, the autoscaler supervisor, and
+        # the caller thread all touch
+        self._lock = make_lock("serve.worker.pool")
         self._threads: List[threading.Thread] = []
         self._seats: Dict[int, threading.Thread] = {}
         self._started = False
@@ -157,7 +161,7 @@ class WorkerPool:
                 return
             self._started = True
             for wid in range(self.workers):
-                self._spawn(wid)
+                self._spawn_locked(wid)
             # The live supervisor only makes sense on real time; a
             # ManualClock pool is driven by explicit scale_tick() calls
             # (tests, the virtual-time soak), where a background ticker
@@ -170,7 +174,8 @@ class WorkerPool:
                 self._threads.append(supervisor)
                 supervisor.start()
 
-    def _spawn(self, wid: int) -> None:
+    def _spawn_locked(self, wid: int) -> None:
+        """Seat a fresh worker thread; caller must hold ``self._lock``."""
         thread = threading.Thread(target=self._run, args=(wid,),
                                   name=f"serve-worker-{wid}", daemon=True)
         self._threads.append(thread)
@@ -203,7 +208,7 @@ class WorkerPool:
                     for wid in range(event.workers_from, event.workers_to):
                         seat = self._seats.get(wid)
                         if seat is None or not seat.is_alive():
-                            self._spawn(wid)
+                            self._spawn_locked(wid)
         if event is not None:
             obs.add_counter(f"serve.scale_{event.action}")
             if self.stats is not None:
@@ -264,7 +269,7 @@ class WorkerPool:
                     self.scheduler.requeue(pending)
                     with self._lock:
                         self.respawns += 1
-                        self._spawn(wid)
+                        self._spawn_locked(wid)
                     obs.add_counter("serve.worker_respawns")
                     return
         finally:

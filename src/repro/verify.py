@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -78,7 +79,7 @@ def run_verification(scale: int = 4) -> List[CheckResult]:
     results: List[CheckResult] = []
 
     def static_analysis() -> str:
-        from .check import check_network
+        from .check import check_concurrency_paths, check_network
         from .nn.zoo import alexnet
 
         findings = 0
@@ -90,8 +91,13 @@ def run_verification(scale: int = 4) -> List[CheckResult]:
             assert report.ok(strict=True), (
                 f"{network.name}: " + "; ".join(
                     d.render() for d in report.diagnostics[:3]))
+        here = Path(__file__).resolve().parent
+        threaded = [str(here / d) for d in ("serve", "dist", "obs")]
+        races = check_concurrency_paths(threaded)
+        checks += 1
+        assert not races, "; ".join(d.render() for d in races[:3])
         return (f"{checks} static checks, {findings} findings "
-                "(geometry, hazards, dataflow)")
+                "(geometry, hazards, dataflow, lock discipline)")
 
     results.append(_check("static analysis (repro.check)", static_analysis))
 

@@ -1,0 +1,25 @@
+"""Broken fixture: a lock-guarded counter written without the lock.
+
+``total`` is written under ``_lock`` in two methods and bare in one,
+so the majority-of-accesses inference names ``_lock`` its guard and
+the bare write is RL501. Keep this defect — the fixture pins the code.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def drain(self):
+        with self._lock:
+            self.total = 0
+
+    def sneak(self, n):
+        self.total += n  # seeded defect: bypasses _lock -> RL501

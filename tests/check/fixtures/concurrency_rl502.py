@@ -1,0 +1,24 @@
+"""Broken fixture: a blocking call made while holding a lock.
+
+``refresh`` sleeps inside ``with self._lock`` — every other thread
+touching the cache convoys behind the nap. Keep this defect — the
+fixture pins RL502.
+"""
+
+import threading
+import time
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def refresh(self, key):
+        with self._lock:
+            time.sleep(0.1)  # seeded defect: blocks under _lock -> RL502
+            self.entries[key] = key
+
+    def clear(self):
+        with self._lock:
+            self.entries.clear()

@@ -1,0 +1,24 @@
+"""Broken fixture: two locks acquired in opposite orders.
+
+``forward`` takes ``_src`` then ``_dst``; ``backward`` takes ``_dst``
+then ``_src`` — the classic AB/BA deadlock. Keep this defect — the
+fixture pins RL503.
+"""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._src = threading.Lock()
+        self._dst = threading.Lock()
+
+    def forward(self, n):
+        with self._src:
+            with self._dst:  # seeded defect half: _src -> _dst
+                return n
+
+    def backward(self, n):
+        with self._dst:
+            with self._src:  # seeded defect half: _dst -> _src -> RL503
+                return n

@@ -1,0 +1,26 @@
+"""Broken fixture: both halves of a lost wakeup.
+
+``post`` notifies *outside* the condition (the wakeup can slip between
+a waiter's predicate check and its wait), and ``take`` waits on a bare
+``if`` (a spurious wakeup pops an empty list). Keep these defects —
+the fixture pins RL504.
+"""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.items = []
+
+    def post(self, item):
+        with self._cond:
+            self.items.append(item)
+        self._cond.notify()  # seeded defect: notify outside the lock
+
+    def take(self):
+        with self._cond:
+            if not self.items:
+                self._cond.wait(0.1)  # seeded defect: not predicate-looped
+            return self.items.pop()

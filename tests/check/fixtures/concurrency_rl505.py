@@ -1,0 +1,22 @@
+"""Broken fixture: a worker thread started before __init__ finishes.
+
+The poller thread can read ``_interval`` and ``_stopped`` before the
+constructor assigns them and die on AttributeError. Keep this defect —
+the fixture pins RL505.
+"""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()  # seeded defect: attrs below not yet set
+        self._interval = 0.5
+        self._stopped = False
+
+    def _run(self):
+        while not self._stopped:
+            time.sleep(self._interval)

@@ -1,0 +1,424 @@
+"""Concurrency analyzer: rule-by-rule on synthetic classes, plus the
+merged-tree cleanliness contract on the threaded subsystems."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import check_concurrency_paths
+from repro.errors import ConfigError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def analyze(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return check_concurrency_paths([str(path)])
+
+
+GUARDED_COUNTER = """\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def drain(self):
+        with self._lock:
+            self.total = 0
+"""
+
+
+class TestRuleRL501:
+    def test_unguarded_write_to_guarded_attr(self, tmp_path):
+        findings = analyze(tmp_path, GUARDED_COUNTER + """
+    def sneak(self, n):
+        self.total += n
+""")
+        assert codes(findings) == ["RL501"]
+        assert "Counter._lock" in findings[0].message
+
+    def test_consistent_guarding_is_clean(self, tmp_path):
+        assert analyze(tmp_path, GUARDED_COUNTER) == []
+
+    def test_reads_are_not_flagged(self, tmp_path):
+        findings = analyze(tmp_path, GUARDED_COUNTER + """
+    def peek(self):
+        return self.total
+""")
+        assert findings == []
+
+    def test_majority_unguarded_infers_no_guard(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Loose:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0
+
+    def a(self):
+        self.n += 1
+
+    def b(self):
+        self.n += 2
+""")
+        assert findings == []
+
+    def test_container_mutators_count_as_writes(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def put(self, x):
+        with self._lock:
+            self.items.append(x)
+
+    def drain(self):
+        with self._lock:
+            self.items.clear()
+
+    def sneak(self, x):
+        self.items.append(x)
+""")
+        assert codes(findings) == ["RL501"]
+
+    def test_locked_suffix_convention_counts_as_guarded(self, tmp_path):
+        findings = analyze(tmp_path, GUARDED_COUNTER + """
+    def bump_locked(self, n):
+        self.total += n
+""")
+        assert findings == []
+
+    def test_classes_without_locks_or_threads_are_skipped(self, tmp_path):
+        findings = analyze(tmp_path, """
+class Plain:
+    def __init__(self):
+        self.total = 0
+
+    def add(self, n):
+        self.total += n
+""")
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = analyze(tmp_path, GUARDED_COUNTER + """
+    def sneak(self, n):
+        self.total += n  # noqa: RL501
+""")
+        assert findings == []
+
+
+class TestRuleRL502:
+    def test_sleep_under_lock(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+import time
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def refresh(self):
+        with self._lock:
+            time.sleep(0.1)
+""")
+        assert codes(findings) == ["RL502"]
+
+    def test_future_result_under_lock(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Waiter:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def join(self, future):
+        with self._lock:
+            return future.result()
+""")
+        assert codes(findings) == ["RL502"]
+
+    def test_blocking_call_outside_lock_is_clean(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+import time
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def refresh(self):
+        with self._lock:
+            pass
+        time.sleep(0.1)
+""")
+        assert findings == []
+
+    def test_nested_def_under_with_is_not_under_the_lock(self, tmp_path):
+        # the inner function runs later, not at definition site
+        findings = analyze(tmp_path, """
+import threading
+import time
+
+class Factory:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def make(self):
+        with self._lock:
+            def later():
+                time.sleep(0.1)
+            return later
+""")
+        assert findings == []
+
+
+class TestRuleRL503:
+    def test_inverted_acquisition_orders(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+""")
+        assert codes(findings) == ["RL503"]
+        assert "cycle" in findings[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                pass
+""")
+        assert findings == []
+
+    def test_cycle_through_a_method_call(self, tmp_path):
+        # backward() holds _b and calls helper(), which takes _a
+        findings = analyze(tmp_path, """
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def helper(self):
+        with self._a:
+            pass
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            self.helper()
+""")
+        assert codes(findings) == ["RL503"]
+
+    def test_cross_class_cycle(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Inner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def poke(self):
+        with self._lock:
+            pass
+
+class Outer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inner = Inner()
+
+    def poke(self):
+        with self._lock:
+            self.inner.poke()
+
+class Backwards:
+    def __init__(self):
+        self._guard = threading.Lock()
+
+    def run(self, inner, outer):
+        with inner._lock:
+            pass
+""")
+        # Outer._lock -> Inner._lock only: consistent, no cycle
+        assert findings == []
+
+
+class TestRuleRL504:
+    def test_notify_outside_the_condition(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    def post(self):
+        self._cond.notify()
+""")
+        assert codes(findings) == ["RL504"]
+
+    def test_wait_without_predicate_loop(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    def take(self):
+        with self._cond:
+            self._cond.wait(0.1)
+""")
+        assert codes(findings) == ["RL504"]
+
+    def test_predicate_looped_wait_is_clean(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.items = []
+
+    def take(self):
+        with self._cond:
+            while not self.items:
+                self._cond.wait(0.1)
+            return self.items.pop()
+
+    def post(self, item):
+        with self._cond:
+            self.items.append(item)
+            self._cond.notify()
+""")
+        assert findings == []
+
+
+class TestRuleRL505:
+    def test_thread_started_before_attrs_assigned(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Poller:
+    def __init__(self):
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+        self._stopped = False
+
+    def _run(self):
+        return self._stopped
+""")
+        assert codes(findings) == ["RL505"]
+
+    def test_thread_started_last_is_clean(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Poller:
+    def __init__(self):
+        self._stopped = False
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+
+    def _run(self):
+        return self._stopped
+""")
+        assert findings == []
+
+    def test_start_outside_init_is_clean(self, tmp_path):
+        findings = analyze(tmp_path, """
+import threading
+
+class Poller:
+    def __init__(self):
+        self._thread = threading.Thread(target=self._run)
+        self._stopped = False
+
+    def start(self):
+        self._thread.start()
+
+    def _run(self):
+        return self._stopped
+""")
+        assert findings == []
+
+
+class TestDriver:
+    def test_syntax_error_is_diagnosed(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        with pytest.raises(ConfigError):
+            check_concurrency_paths([str(path)])
+
+    def test_missing_path_is_diagnosed(self, tmp_path):
+        with pytest.raises(ConfigError):
+            check_concurrency_paths([str(tmp_path / "nope.py")])
+
+    def test_sites_are_stably_sorted(self, tmp_path):
+        findings = analyze(tmp_path, GUARDED_COUNTER + """
+    def sneak_b(self, n):
+        self.total += n
+
+    def sneak_a(self, n):
+        self.total -= n
+""")
+        lines = [f.site for f in findings]
+        assert lines == sorted(lines)
+
+
+class TestMergedTreeContract:
+    def test_threaded_subsystems_are_clean(self):
+        src = REPO_ROOT / "src" / "repro"
+        paths = [str(src / d) for d in ("serve", "dist", "obs")]
+        assert check_concurrency_paths(paths) == []
+
+    def test_whole_package_is_clean(self):
+        assert check_concurrency_paths(
+            [str(REPO_ROOT / "src" / "repro")]) == []

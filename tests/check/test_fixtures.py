@@ -61,3 +61,22 @@ class TestBrokenFixtures:
             assert info.value.code == 2, name
             data = json.loads(capsys.readouterr().out)
             assert data["errors"] >= 1, name
+
+
+class TestConcurrencyFixtures:
+    """Each RL5xx rule stays pinned by one seeded-defect module."""
+
+    @pytest.mark.parametrize("rule", ["RL501", "RL502", "RL503",
+                                      "RL504", "RL505"])
+    def test_each_rule_pins_its_fixture(self, capsys, rule):
+        path = FIXTURES / f"concurrency_{rule.lower()}.py"
+        code, found = run_check(capsys, "--concurrency", str(path))
+        assert code == 2
+        assert found == [rule]
+
+    def test_all_fixtures_together_surface_every_rule(self, capsys):
+        paths = [str(FIXTURES / f"concurrency_rl50{n}.py")
+                 for n in range(1, 6)]
+        code, found = run_check(capsys, "--concurrency", *paths)
+        assert code == 2
+        assert found == ["RL501", "RL502", "RL503", "RL504", "RL505"]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -194,3 +196,55 @@ class TestPlanCache:
             PlanCache(max_plans=0)
         with pytest.raises(ConfigError):
             PlanCache(max_bytes=0)
+
+
+class TestPlanCacheConcurrency:
+    """Many threads hammering one cache must not corrupt its state."""
+
+    def test_concurrent_get_or_compile_single_key(self, net):
+        cache = PlanCache(max_plans=4)
+        threads, results, errors = 8, [], []
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    results.append(cache.get_or_compile(net))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        assert not errors
+        # every caller saw an equivalent plan and the cache holds one entry
+        keys = {plan.key for plan in results}
+        assert len(keys) == 1
+        assert len(cache) == 1
+        # each call is accounted exactly once, as a hit or a miss
+        assert cache.hits + cache.misses == threads * 5
+        assert cache.lookup(next(iter(keys))) is not None
+
+    def test_concurrent_puts_respect_the_entry_budget(self, net):
+        plans = [compile_plan(toynet(), seed=s) for s in range(6)]
+        cache = PlanCache(max_plans=2)
+        barrier = threading.Barrier(len(plans))
+
+        def worker(plan):
+            barrier.wait()
+            cache.put(plan)
+
+        pool = [threading.Thread(target=worker, args=(p,)) for p in plans]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        assert len(cache) == 2
+        assert cache.evictions == len(plans) - 2
+        assert cache.total_bytes == sum(
+            p.byte_size for p in cache._plans.values())

@@ -1,0 +1,189 @@
+"""The runtime lock sanitizer: order DAG, blocking waits, hold times."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import InferenceService
+from repro.serve.sanitizer import (
+    DEFAULT_MAX_HOLD_S,
+    LockSanitizer,
+    SanitizedCondition,
+    SanitizedLock,
+    get_sanitizer,
+    make_condition,
+    make_lock,
+    sanitize_enabled,
+)
+
+
+@pytest.fixture
+def san():
+    """A private sanitizer so tests never touch the process-global one."""
+    return LockSanitizer(max_hold_s=10.0)
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self, san):
+        a = SanitizedLock("serve.test.a", sanitizer=san)
+        b = SanitizedLock("serve.test.b", sanitizer=san)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert san.violations == []
+        assert san.order["serve.test.a"] == {"serve.test.b"}
+
+    def test_inverted_order_trips_lock_order(self, san):
+        a = SanitizedLock("serve.test.a", sanitizer=san)
+        b = SanitizedLock("serve.test.b", sanitizer=san)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # reverse edge: a->b already observed
+                pass
+        kinds = [v.kind for v in san.violations]
+        assert kinds == ["lock_order"]
+        violation = san.violations[0]
+        assert violation.lock == "serve.test.a"
+        assert violation.held == ("serve.test.b",)
+        assert "cycle" in violation.detail
+
+    def test_reacquiring_the_same_lock_name_is_not_a_cycle(self, san):
+        a = SanitizedLock("serve.test.a", sanitizer=san)
+        with a:
+            pass
+        with a:
+            pass
+        assert san.violations == []
+
+
+class TestBlockingUnderLock:
+    def test_wait_while_holding_another_lock_trips(self, san):
+        outer = SanitizedLock("serve.test.outer", sanitizer=san)
+        cond = SanitizedCondition("serve.test.cond", sanitizer=san)
+
+        def waker():
+            with cond:
+                cond.notify_all()
+
+        with outer:
+            with cond:
+                threading.Timer(0.05, waker).start()
+                cond.wait(timeout=2.0)
+        kinds = [v.kind for v in san.violations]
+        assert "blocking_under_lock" in kinds
+        violation = next(v for v in san.violations
+                         if v.kind == "blocking_under_lock")
+        assert violation.lock == "serve.test.cond"
+        assert violation.held == ("serve.test.outer",)
+
+    def test_bare_wait_is_clean(self, san):
+        cond = SanitizedCondition("serve.test.cond", sanitizer=san)
+        with cond:
+            cond.wait(timeout=0.01)
+        assert san.violations == []
+
+
+class TestLongHold:
+    def test_hold_over_threshold_trips(self):
+        san = LockSanitizer(max_hold_s=0.0)  # any hold is too long
+        lock = SanitizedLock("serve.test.slow", sanitizer=san)
+        with lock:
+            pass
+        kinds = [v.kind for v in san.violations]
+        assert kinds == ["long_hold"]
+        assert "threshold" in san.violations[0].detail
+
+    def test_idle_condition_wait_does_not_count_as_hold(self):
+        san = LockSanitizer(max_hold_s=0.05)
+        cond = SanitizedCondition("serve.test.cond", sanitizer=san)
+        with cond:
+            cond.wait(timeout=0.2)  # parked 4x the threshold
+        assert san.violations == []
+
+    def test_threshold_defaults_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE_MAX_HOLD_S", raising=False)
+        assert LockSanitizer().max_hold_s == DEFAULT_MAX_HOLD_S
+        monkeypatch.setenv("REPRO_SANITIZE_MAX_HOLD_S", "1.5")
+        assert LockSanitizer().max_hold_s == 1.5
+
+
+class TestMetrics:
+    def test_metrics_dict_shape(self, san):
+        lock = SanitizedLock("serve.test.a", sanitizer=san)
+        with lock:
+            pass
+        with lock:
+            pass
+        data = san.metrics_dict()
+        assert data["violations"] == 0
+        assert set(data) == {"locks", "violations", "lock_wait_s",
+                             "max_hold_s"}
+        m = data["locks"]["serve.test.a"]
+        assert m["acquisitions"] == 2
+        assert m["max_hold_s"] >= 0.0
+        assert set(m) == {"acquisitions", "contended", "lock_wait_s",
+                          "hold_s", "max_hold_s"}
+
+    def test_render_names_every_lock(self, san):
+        with SanitizedLock("serve.test.a", sanitizer=san):
+            pass
+        text = san.render()
+        assert "serve.test.a" in text
+        assert "0 violations" in text
+
+    def test_reset_clears_everything(self, san):
+        a = SanitizedLock("serve.test.a", sanitizer=san)
+        b = SanitizedLock("serve.test.b", sanitizer=san)
+        with b:
+            with a:
+                pass
+        with a:
+            with b:
+                pass
+        assert san.violations
+        san.reset()
+        assert san.violations == []
+        assert san.metrics == {}
+        assert san.order == {}
+
+
+class TestFactories:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        assert isinstance(make_lock("serve.test.x"), type(threading.Lock()))
+        assert isinstance(make_condition("serve.test.x"),
+                          threading.Condition)
+
+    def test_enabled_by_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+        assert isinstance(make_lock("serve.test.x"), SanitizedLock)
+        assert isinstance(make_condition("serve.test.x"),
+                          SanitizedCondition)
+
+
+class TestLiveServeSanitized:
+    def test_thread_pool_mini_soak_is_violation_free(self, monkeypatch,
+                                                     net, inputs):
+        """A real thread-mode pool under REPRO_SANITIZE=1: the serving
+        stack's locks must show a clean order graph and no blocking
+        waits under foreign locks."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        get_sanitizer().reset()
+        with InferenceService(net, workers=3, max_batch=4,
+                              max_wait_ms=1.0) as svc:
+            outs = [svc.infer(x) for x in inputs * 2]
+        assert len(outs) == len(inputs) * 2
+        san = get_sanitizer()
+        assert [v.render() for v in san.violations] == []
+        data = san.metrics_dict()
+        # the named serving locks actually went through the sanitizer
+        assert "serve.scheduler.cond" in data["locks"]
+        assert "serve.plan_cache.state" in data["locks"]
+        assert data["locks"]["serve.scheduler.cond"]["acquisitions"] > 0

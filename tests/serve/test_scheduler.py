@@ -267,3 +267,47 @@ class TestValidation:
     def test_bad_knobs_are_diagnosed(self, kwargs):
         with pytest.raises(ConfigError):
             BatchScheduler(**kwargs)
+
+
+class TestSchedulerStress:
+    """Producers and consumers racing on one scheduler: every request is
+    served exactly once and shutdown wakes every parked worker."""
+
+    def test_producers_and_consumers_drain_everything(self):
+        sched = BatchScheduler(max_batch=4, max_queue=10_000,
+                               max_wait_ms=1.0)
+        producers, per_producer, consumers = 4, 50, 3
+        served, lock = [], threading.Lock()
+        start = threading.Barrier(producers + consumers)
+
+        def produce(base):
+            start.wait()
+            for i in range(per_producer):
+                sched.submit(_request(base + i, klass=GUARANTEED))
+
+        def consume():
+            start.wait()
+            while True:
+                batch = sched.next_batch(timeout=5.0)
+                if batch is None:
+                    return
+                with lock:
+                    served.extend(r.id for r in batch)
+
+        threads = [threading.Thread(target=produce, args=(k * 1000,))
+                   for k in range(producers)]
+        threads += [threading.Thread(target=consume)
+                    for _ in range(consumers)]
+        for t in threads:
+            t.start()
+        for t in threads[:producers]:
+            t.join(timeout=10.0)
+        sched.close()  # notify_all: every parked consumer must wake
+        for t in threads[producers:]:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+
+        expected = sorted(k * 1000 + i for k in range(producers)
+                          for i in range(per_producer))
+        assert sorted(served) == expected  # exactly once, none lost
+        assert sched.depth == 0
